@@ -1,0 +1,38 @@
+// ABL-2: the shared-memory request buffer size G (section 5.2). G trades
+// context switches (2 per exchange) against the memory the pending batch
+// occupies: too small and switch costs dominate; the paper uses G = B.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mmjoin;
+  const sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+  const rel::RelationConfig rc;
+
+  std::printf("# G buffer ablation (nested loops, memory = 0.2)\n");
+  std::printf("G_bytes\tentries_per_exchange\ttotal_s\tcs_ms_per_rproc\n");
+  const uint64_t entry = sizeof(rel::RObject) + 8 + sizeof(rel::SObject);
+  for (uint64_t g : {entry, uint64_t{1024}, uint64_t{4096},
+                     uint64_t{16384}, uint64_t{65536}}) {
+    sim::SimEnv env(mc);
+    auto w = rel::BuildWorkload(&env, rc);
+    if (!w.ok()) return 1;
+    join::JoinParams params;
+    params.m_rproc_bytes = static_cast<uint64_t>(
+        0.2 * rc.r_objects * sizeof(rel::RObject));
+    params.m_sproc_bytes = params.m_rproc_bytes;
+    params.g_bytes = g;
+    auto r = join::RunNestedLoops(&env, *w, params);
+    if (!r.ok() || !r->verified) return 1;
+    double cs_ms = 0;
+    for (const auto& s : r->rproc_stats) {
+      cs_ms += static_cast<double>(s.context_switches) * mc.cs_ms;
+    }
+    std::printf("%llu\t%llu\t%.2f\t%.1f\n",
+                static_cast<unsigned long long>(g),
+                static_cast<unsigned long long>(g / entry),
+                r->elapsed_ms / 1000.0, cs_ms / r->rproc_stats.size());
+  }
+  return 0;
+}

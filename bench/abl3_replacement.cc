@@ -1,0 +1,43 @@
+// ABL-3: page replacement policy in the Grace thrash region. The paper
+// blames LRU's "wrong decisions" for the low-memory anomaly (sections 6.2,
+// 7.2, 9) and calls for application-controlled replacement; comparing true
+// LRU, CLOCK and FIFO quantifies how much of the anomaly is policy-specific.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mmjoin;
+  const sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+  const rel::RelationConfig rc;
+  const double r_bytes =
+      static_cast<double>(rc.r_objects) * sizeof(rel::RObject);
+
+  std::printf("# Replacement policy ablation (Grace, thrash region)\n");
+  std::printf("x\tLRU_s\tCLOCK_s\tFIFO_s\tLRU_faults\tCLOCK_faults\tFIFO_faults\n");
+  for (double x : {0.006, 0.008, 0.010, 0.014, 0.02, 0.04}) {
+    double t[3];
+    uint64_t faults[3];
+    int idx = 0;
+    for (auto policy : {vm::PolicyKind::kLru, vm::PolicyKind::kClock,
+                        vm::PolicyKind::kFifo}) {
+      sim::SimEnv env(mc);
+      auto w = rel::BuildWorkload(&env, rc);
+      if (!w.ok()) return 1;
+      join::JoinParams params;
+      params.m_rproc_bytes = static_cast<uint64_t>(x * r_bytes);
+      params.m_sproc_bytes = params.m_rproc_bytes;
+      params.policy = policy;
+      auto r = join::RunGrace(&env, *w, params);
+      if (!r.ok() || !r->verified) return 1;
+      t[idx] = r->elapsed_ms / 1000.0;
+      faults[idx] = r->faults;
+      ++idx;
+    }
+    std::printf("%.3f\t%.2f\t%.2f\t%.2f\t%llu\t%llu\t%llu\n", x, t[0], t[1],
+                t[2], static_cast<unsigned long long>(faults[0]),
+                static_cast<unsigned long long>(faults[1]),
+                static_cast<unsigned long long>(faults[2]));
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Shared helpers for the figure-regeneration benches: paper-scale workload
+// construction, model-vs-experiment sweeps, and TSV output in the shape of
+// the paper's plots.
+#ifndef MMJOIN_BENCH_BENCH_COMMON_H_
+#define MMJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "join/grace.h"
+#include "join/hybrid_hash.h"
+#include "join/nested_loops.h"
+#include "join/sort_merge.h"
+#include "model/join_model.h"
+#include "rel/generator.h"
+#include "sim/sim_env.h"
+
+namespace mmjoin::bench {
+
+inline StatusOr<join::JoinRunResult> RunAlgorithm(
+    join::Algorithm a, sim::SimEnv* env, const rel::Workload& w,
+    const join::JoinParams& p) {
+  switch (a) {
+    case join::Algorithm::kNestedLoops:
+      return join::RunNestedLoops(env, w, p);
+    case join::Algorithm::kSortMerge:
+      return join::RunSortMerge(env, w, p);
+    case join::Algorithm::kGrace:
+      return join::RunGrace(env, w, p);
+    case join::Algorithm::kHybridHash:
+      return join::RunHybridHash(env, w, p);
+  }
+  return Status::InvalidArgument("bad algorithm");
+}
+
+/// One point of a model-vs-experiment sweep.
+struct SweepPoint {
+  double x = 0;              ///< M_Rproc / (|R| * r)
+  double model_s = 0;        ///< predicted Time/Rproc, seconds
+  double experiment_s = 0;   ///< measured Time/Rproc, seconds
+  bool verified = false;
+  uint64_t faults = 0;
+  uint64_t npass = 0;        ///< sort-merge merging passes (0 otherwise)
+  uint32_t k_buckets = 0;    ///< Grace K (0 otherwise)
+};
+
+/// Environment bundle reused across sweep points (fresh SimEnv per point so
+/// cache/disk state never leaks between runs).
+struct SweepConfig {
+  join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+  rel::RelationConfig relation;    ///< defaults = paper scale
+  sim::MachineConfig machine = sim::MachineConfig::SequentSymmetry1996();
+  std::vector<double> memory_fractions;  ///< x-axis: M_Rproc / (|R| * r)
+  join::JoinParams params;               ///< memory fields are overwritten
+};
+
+/// Runs one model-vs-experiment sweep over memory fractions.
+inline std::vector<SweepPoint> RunSweep(const SweepConfig& cfg) {
+  std::vector<SweepPoint> points;
+  const double r_bytes = static_cast<double>(cfg.relation.r_objects) *
+                         sizeof(rel::RObject);
+
+  // Measure the dtt curves once (they depend only on the disk geometry).
+  model::DttCurves dtt = model::MeasureDttCurves(cfg.machine.disk);
+
+  for (double frac : cfg.memory_fractions) {
+    SweepPoint pt;
+    pt.x = frac;
+    const uint64_t mem = static_cast<uint64_t>(frac * r_bytes);
+
+    sim::SimEnv env(cfg.machine);
+    auto workload = rel::BuildWorkload(&env, cfg.relation);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   workload.status().ToString().c_str());
+      continue;
+    }
+
+    join::JoinParams params = cfg.params;
+    params.m_rproc_bytes = mem;
+    params.m_sproc_bytes = mem;
+
+    auto result = RunAlgorithm(cfg.algorithm, &env, *workload, params);
+    if (!result.ok()) {
+      std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    pt.experiment_s = result->elapsed_ms / 1000.0;
+    pt.verified = result->verified;
+    pt.faults = result->faults;
+    pt.npass = result->npass;
+    pt.k_buckets = result->k_buckets;
+
+    model::ModelInputs inputs;
+    inputs.machine = cfg.machine;
+    inputs.relation = cfg.relation;
+    inputs.skew = workload->skew;
+    inputs.params = params;
+    inputs.dtt = dtt;
+    pt.model_s = model::Predict(cfg.algorithm, inputs).total_ms() / 1000.0;
+
+    points.push_back(pt);
+  }
+  return points;
+}
+
+/// Runs one point and prints the per-pass breakdown (the granularity at
+/// which the paper's analysis assigns costs).
+inline void PrintPassBreakdown(const SweepConfig& cfg, double frac) {
+  sim::SimEnv env(cfg.machine);
+  auto workload = rel::BuildWorkload(&env, cfg.relation);
+  if (!workload.ok()) return;
+  join::JoinParams params = cfg.params;
+  params.m_rproc_bytes = static_cast<uint64_t>(
+      frac * static_cast<double>(cfg.relation.r_objects) *
+      sizeof(rel::RObject));
+  params.m_sproc_bytes = params.m_rproc_bytes;
+  auto result = RunAlgorithm(cfg.algorithm, &env, *workload, params);
+  if (!result.ok()) return;
+  std::printf("\n# per-pass breakdown at x = %.3f (seconds, faults)\n",
+              frac);
+  std::printf("pass\tseconds\tfaults\n");
+  for (const auto& pass : result->passes) {
+    std::printf("%s\t%.2f\t%llu\n", pass.label.c_str(),
+                pass.elapsed_ms / 1000.0,
+                static_cast<unsigned long long>(pass.faults));
+  }
+}
+
+/// Prints the sweep in the paper's plot shape (TSV).
+inline void PrintSweep(const char* title, const char* figure,
+                       const std::vector<SweepPoint>& points) {
+  std::printf("# %s (%s)\n", title, figure);
+  std::printf(
+      "# x = M_Rproc/(|R|*r); times are seconds per Rproc\n"
+      "x\tmodel_s\texperiment_s\tratio\tverified\tfaults\n");
+  for (const auto& p : points) {
+    std::printf("%.4f\t%.2f\t%.2f\t%.3f\t%s\t%llu\n", p.x, p.model_s,
+                p.experiment_s,
+                p.experiment_s > 0 ? p.model_s / p.experiment_s : 0.0,
+                p.verified ? "yes" : "NO",
+                static_cast<unsigned long long>(p.faults));
+  }
+}
+
+}  // namespace mmjoin::bench
+
+#endif  // MMJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,25 @@
+// Fig. 5(b): parallel pointer-based sort-merge — model vs experiment.
+// Time per Rproc as M_Rproc sweeps 0.01 .. 0.05 of |R|*r. The paper's plot
+// shows discontinuities where the number of merging passes (NPASS) changes;
+// the npass column makes those visible.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mmjoin;
+  bench::SweepConfig cfg;
+  cfg.algorithm = join::Algorithm::kSortMerge;
+  for (double x = 0.004; x <= 0.0501; x += 0.002) {
+    cfg.memory_fractions.push_back(x);
+  }
+  const auto points = bench::RunSweep(cfg);
+  bench::PrintSweep("Parallel pointer-based sort-merge, model vs experiment",
+                    "Fig 5b", points);
+  std::printf("\n# merging passes per point (discontinuity structure)\n");
+  std::printf("x\tnpass\n");
+  for (const auto& p : points) {
+    std::printf("%.4f\t%llu\n", p.x,
+                static_cast<unsigned long long>(p.npass));
+  }
+  bench::PrintPassBreakdown(cfg, 0.02);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig. 5(c): parallel pointer-based Grace — model vs experiment.
+// Time per Rproc as M_Rproc sweeps 0.02 .. 0.08 of |R|*r. The paper's plot
+// curves upward at low memory where the LRU page replacement thrashes the
+// bucket pages of pass 0; the urn-model term of section 7.3 approximates
+// that extra I/O.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace mmjoin;
+  bench::SweepConfig cfg;
+  cfg.algorithm = join::Algorithm::kGrace;
+  for (double x = 0.006; x <= 0.0801; x += (x < 0.02 ? 0.002 : 0.005)) {
+    cfg.memory_fractions.push_back(x);
+  }
+  const auto points = bench::RunSweep(cfg);
+  bench::PrintSweep("Parallel pointer-based Grace, model vs experiment",
+                    "Fig 5c", points);
+  std::printf("\n# buckets per point\n");
+  std::printf("x\tK\n");
+  for (const auto& p : points) {
+    std::printf("%.4f\t%u\n", p.x, p.k_buckets);
+  }
+  bench::PrintPassBreakdown(cfg, 0.03);
+  return 0;
+}

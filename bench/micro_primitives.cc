@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives: heap
+// operations, page-cache touches, disk accesses, and segment-relative
+// pointer dereferences. These measure *host* performance of the library
+// machinery itself (not the simulated 1996 costs).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "heap/heapsort.h"
+#include "heap/merge_heap.h"
+#include "util/random.h"
+#include "vm/page_cache.h"
+#include "mmap/btree.h"
+
+#include <unistd.h>
+#include <string>
+
+namespace mmjoin {
+namespace {
+
+void BM_HeapSort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<uint64_t> original(n);
+  for (auto& x : original) x = rng.Next();
+  const HeapLess less = [](uint64_t a, uint64_t b) { return a < b; };
+  for (auto _ : state) {
+    std::vector<uint64_t> v = original;
+    HeapSort(&v, less, nullptr);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_HeapSort)->Range(1 << 10, 1 << 16);
+
+void BM_MergeHeapDeleteInsert(benchmark::State& state) {
+  const size_t fanin = static_cast<size_t>(state.range(0));
+  MergeHeap heap(fanin);
+  Rng rng(2);
+  for (size_t i = 0; i < fanin; ++i) {
+    heap.Insert(MergeEntry{rng.Next(), static_cast<uint32_t>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.DeleteInsert(MergeEntry{rng.Next(), 0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeHeapDeleteInsert)->Range(2, 1 << 10);
+
+void BM_PageCacheHit(benchmark::State& state) {
+  disk::DiskArray disks(1, disk::DiskGeometry{});
+  vm::PageCache cache(64, vm::PolicyKind::kLru, &disks);
+  cache.Touch(vm::PageId{1, 0}, 0, 0, false, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Touch(vm::PageId{1, 0}, 0, 0, false, true));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCacheHit);
+
+void BM_PageCacheMissEvict(benchmark::State& state) {
+  disk::DiskArray disks(1, disk::DiskGeometry{});
+  vm::PageCache cache(64, vm::PolicyKind::kLru, &disks);
+  uint64_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Touch(vm::PageId{1, p++ % 100000}, 0, p % 100000, false, true));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCacheMissEvict);
+
+void BM_DiskRandomRead(benchmark::State& state) {
+  disk::SimulatedDisk disk((disk::DiskGeometry()));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.ReadBlock(rng.Uniform(100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskRandomRead);
+
+void BM_SstfWriteQueue(benchmark::State& state) {
+  disk::DiskGeometry g;
+  g.write_queue_blocks = static_cast<uint32_t>(state.range(0));
+  disk::SimulatedDisk disk(g);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.WriteBlock(rng.Uniform(100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SstfWriteQueue)->Arg(8)->Arg(32)->Arg(128);
+
+
+void BM_BTreeInsert(benchmark::State& state) {
+  const std::string path =
+      "/tmp/mmjoin_bench_btree_" + std::to_string(::getpid()) + ".seg";
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)mmjoin::mm::Segment::Delete(path);
+    auto seg = mmjoin::mm::Segment::Create(path, 64 << 20);
+    auto tree = mmjoin::mm::BTree::Create(&*seg);
+    Rng rng(7);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(tree->Insert(rng.Next(), i).ok());
+    }
+  }
+  (void)mmjoin::mm::Segment::Delete(path);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BTreeFind(benchmark::State& state) {
+  const std::string path =
+      "/tmp/mmjoin_bench_btreef_" + std::to_string(::getpid()) + ".seg";
+  (void)mmjoin::mm::Segment::Delete(path);
+  auto seg = mmjoin::mm::Segment::Create(path, 64 << 20);
+  auto tree = mmjoin::mm::BTree::Create(&*seg);
+  Rng rng(7);
+  std::vector<uint64_t> keys(1 << 15);
+  for (auto& k : keys) {
+    k = rng.Next();
+    (void)tree->Insert(k, 1).ok();
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Find(keys[i++ % keys.size()]).ok());
+  }
+  (void)mmjoin::mm::Segment::Delete(path);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeFind);
+
+}  // namespace
+}  // namespace mmjoin
+
+BENCHMARK_MAIN();

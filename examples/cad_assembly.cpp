@@ -1,0 +1,74 @@
+// CAD assembly resolution: the class of application the paper's intro
+// motivates (computer-aided design over a single-level store). An
+// assembly's bill-of-materials R references a master component library S
+// through virtual pointers; resolving every reference is exactly a
+// pointer-based join. Popular standard components (fasteners, bearings)
+// are referenced far more often, so the pointer distribution is skewed —
+// we compare the algorithms under that skew.
+//
+// Run:  ./build/examples/cad_assembly
+#include <cstdio>
+
+#include "mmjoin/mmjoin.h"
+
+int main() {
+  using namespace mmjoin;
+  const sim::MachineConfig machine = sim::MachineConfig::SequentSymmetry1996();
+
+  // 40960 BOM lines referencing a 16384-component master library, with a
+  // Zipf-skewed popularity distribution over components.
+  rel::RelationConfig relation;
+  relation.r_objects = 40960;   // bill-of-material lines
+  relation.s_objects = 16384;   // master component library
+  relation.zipf_theta = 0.8;    // standard parts dominate
+  relation.seed = 4242;
+
+  join::JoinParams params;
+  params.m_rproc_bytes = 1 << 20;  // 1 MiB per process pair
+  params.m_sproc_bytes = 1 << 20;
+
+  std::printf(
+      "CAD assembly resolution: %llu BOM lines -> %llu components, "
+      "Zipf %.1f\n\n",
+      static_cast<unsigned long long>(relation.r_objects),
+      static_cast<unsigned long long>(relation.s_objects),
+      relation.zipf_theta);
+
+  std::printf("%-14s %10s %10s %12s %14s\n", "algorithm", "time_s",
+              "faults", "resolved", "verified");
+  for (auto a : {join::Algorithm::kNestedLoops, join::Algorithm::kSortMerge,
+                 join::Algorithm::kGrace}) {
+    sim::SimEnv env(machine);
+    auto workload = rel::BuildWorkload(&env, relation);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<join::JoinRunResult> result = [&] {
+      switch (a) {
+        case join::Algorithm::kNestedLoops:
+          return join::RunNestedLoops(&env, *workload, params);
+        case join::Algorithm::kSortMerge:
+          return join::RunSortMerge(&env, *workload, params);
+        default:
+          return join::RunGrace(&env, *workload, params);
+      }
+    }();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", join::AlgorithmName(a),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %10.2f %10llu %12llu %14s\n", join::AlgorithmName(a),
+                result->elapsed_ms / 1000.0,
+                static_cast<unsigned long long>(result->faults),
+                static_cast<unsigned long long>(result->output_count),
+                result->verified ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nEvery BOM line resolved its component through the S-pointer; the\n"
+      "virtual-pointer join attribute means the component library is never\n"
+      "sorted or hashed (sections 4, 6, 7 of the paper).\n");
+  return 0;
+}

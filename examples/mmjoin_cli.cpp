@@ -1,0 +1,214 @@
+// mmjoin_cli: command-line driver for the simulated join environment.
+// Configure the machine, relations and algorithm from flags, run the join,
+// and optionally compare against the analytical model and print the
+// per-pass breakdown.
+//
+//   ./build/examples/mmjoin_cli --algorithm=grace --r=102400 --s=102400
+//       --disks=4 --theta=0.0 --mem-frac=0.05 --model --passes
+//
+// Flags (all optional):
+//   --algorithm=nl|sm|grace|hh|all  which join to run          [all]
+//   --r=N --s=N                   relation sizes in objects    [102400]
+//   --disks=D                     partitions/disks             [4]
+//   --theta=T                     Zipf skew of S-pointers      [0.0]
+//   --mem-frac=X                  M_Rproc as fraction of |R|r  [0.05]
+//   --mem-bytes=N                 M_Rproc in bytes (overrides)
+//   --g=N                         G buffer bytes               [page]
+//   --policy=lru|clock|fifo       replacement policy           [lru]
+//   --sync=auto|on|off            phase synchronization        [auto]
+//   --seed=N                      workload seed
+//   --model                       also print the model's prediction
+//   --passes                      print the per-pass breakdown
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mmjoin/mmjoin.h"
+
+namespace {
+
+using namespace mmjoin;
+
+struct Flags {
+  std::string algorithm = "all";
+  rel::RelationConfig relation;
+  double mem_frac = 0.05;
+  uint64_t mem_bytes = 0;
+  uint64_t g_bytes = 0;
+  std::string policy = "lru";
+  std::string sync = "auto";
+  bool show_model = false;
+  bool show_passes = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--algorithm", &v)) {
+      flags->algorithm = v;
+    } else if (ParseFlag(argv[i], "--r", &v)) {
+      flags->relation.r_objects = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--s", &v)) {
+      flags->relation.s_objects = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--disks", &v)) {
+      flags->relation.num_partitions =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--theta", &v)) {
+      flags->relation.zipf_theta = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags->relation.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--mem-frac", &v)) {
+      flags->mem_frac = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "--mem-bytes", &v)) {
+      flags->mem_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--g", &v)) {
+      flags->g_bytes = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--policy", &v)) {
+      flags->policy = v;
+    } else if (ParseFlag(argv[i], "--sync", &v)) {
+      flags->sync = v;
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      flags->show_model = true;
+    } else if (std::strcmp(argv[i], "--passes") == 0) {
+      flags->show_passes = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see header for usage)\n",
+                   argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunOne(join::Algorithm a, const Flags& flags,
+           const sim::MachineConfig& machine, const join::JoinParams& params,
+           const model::DttCurves* dtt) {
+  sim::SimEnv env(machine);
+  auto workload = rel::BuildWorkload(&env, flags.relation);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<join::JoinRunResult> result = [&] {
+    switch (a) {
+      case join::Algorithm::kNestedLoops:
+        return join::RunNestedLoops(&env, *workload, params);
+      case join::Algorithm::kSortMerge:
+        return join::RunSortMerge(&env, *workload, params);
+      case join::Algorithm::kHybridHash:
+        return join::RunHybridHash(&env, *workload, params);
+      default:
+        return join::RunGrace(&env, *workload, params);
+    }
+  }();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", join::AlgorithmName(a),
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-14s time/Rproc %10.2f s   faults %8llu   verified %s\n",
+              join::AlgorithmName(a), result->elapsed_ms / 1000.0,
+              static_cast<unsigned long long>(result->faults),
+              result->verified ? "yes" : "NO");
+  if (flags.show_model && dtt != nullptr) {
+    model::ModelInputs in;
+    in.machine = machine;
+    in.relation = flags.relation;
+    in.skew = workload->skew;
+    in.params = params;
+    in.dtt = *dtt;
+    const model::CostBreakdown c = model::Predict(a, in);
+    std::printf("  model: total %.2f s  (io %.2f, cpu %.2f, cs %.2f, "
+                "setup %.2f)\n",
+                c.total_ms() / 1000.0, c.io_ms / 1000.0, c.cpu_ms / 1000.0,
+                c.cs_ms / 1000.0, c.setup_ms / 1000.0);
+  }
+  if (flags.show_passes) {
+    for (const auto& pass : result->passes) {
+      std::printf("  pass %-16s %10.2f s   faults %8llu\n",
+                  pass.label.c_str(), pass.elapsed_ms / 1000.0,
+                  static_cast<unsigned long long>(pass.faults));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  sim::MachineConfig machine = sim::MachineConfig::SequentSymmetry1996();
+  machine.num_disks = flags.relation.num_partitions;
+
+  join::JoinParams params;
+  params.m_rproc_bytes =
+      flags.mem_bytes
+          ? flags.mem_bytes
+          : static_cast<uint64_t>(flags.mem_frac * flags.relation.r_objects *
+                                  sizeof(rel::RObject));
+  params.m_sproc_bytes = params.m_rproc_bytes;
+  params.g_bytes = flags.g_bytes;
+  if (flags.policy == "clock") {
+    params.policy = vm::PolicyKind::kClock;
+  } else if (flags.policy == "fifo") {
+    params.policy = vm::PolicyKind::kFifo;
+  } else if (flags.policy != "lru") {
+    std::fprintf(stderr, "bad --policy\n");
+    return 2;
+  }
+  if (flags.sync == "on") {
+    params.phase_sync = true;
+  } else if (flags.sync == "off") {
+    params.phase_sync = false;
+  } else if (flags.sync != "auto") {
+    std::fprintf(stderr, "bad --sync\n");
+    return 2;
+  }
+
+  std::printf("|R|=%llu |S|=%llu D=%u theta=%.2f M_Rproc=%llu B G=%llu\n\n",
+              static_cast<unsigned long long>(flags.relation.r_objects),
+              static_cast<unsigned long long>(flags.relation.s_objects),
+              flags.relation.num_partitions, flags.relation.zipf_theta,
+              static_cast<unsigned long long>(params.m_rproc_bytes),
+              static_cast<unsigned long long>(
+                  params.g_bytes ? params.g_bytes : machine.page_size));
+
+  model::DttCurves dtt;
+  if (flags.show_model) dtt = model::MeasureDttCurves(machine.disk);
+
+  std::vector<join::Algorithm> algorithms;
+  if (flags.algorithm == "nl") {
+    algorithms = {join::Algorithm::kNestedLoops};
+  } else if (flags.algorithm == "sm") {
+    algorithms = {join::Algorithm::kSortMerge};
+  } else if (flags.algorithm == "grace") {
+    algorithms = {join::Algorithm::kGrace};
+  } else if (flags.algorithm == "hh") {
+    algorithms = {join::Algorithm::kHybridHash};
+  } else if (flags.algorithm == "all") {
+    algorithms = {join::Algorithm::kNestedLoops, join::Algorithm::kSortMerge,
+                  join::Algorithm::kGrace, join::Algorithm::kHybridHash};
+  } else {
+    std::fprintf(stderr, "bad --algorithm\n");
+    return 2;
+  }
+
+  for (auto a : algorithms) {
+    const int rc =
+        RunOne(a, flags, machine, params, flags.show_model ? &dtt : nullptr);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}

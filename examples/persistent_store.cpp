@@ -1,0 +1,116 @@
+// Persistent store: the real mmap(2) single-level store with "exact
+// positioning of data" (section 2.1 / µDatabase). A parts catalogue is
+// built as a linked structure of segment-relative VPtrs inside one
+// segment, synced, closed, and then reopened in a second mapping — no
+// pointer ever needs relocation or swizzling because every reference is an
+// offset from the segment base.
+//
+// Run:  ./build/examples/persistent_store [directory]
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "mmap/segment.h"
+#include "mmap/segment_manager.h"
+
+namespace {
+
+using mmjoin::mm::Segment;
+using mmjoin::mm::SegmentManager;
+using mmjoin::mm::VPtr;
+
+// A persistent part record. Only offsets (VPtr) are stored, never raw
+// addresses, so the structure survives arbitrary remapping.
+struct Part {
+  char name[24] = {};
+  double unit_cost = 0;
+  uint32_t quantity = 0;
+  VPtr<Part> next;  // intrusive list within the segment
+};
+
+mmjoin::Status BuildCatalogue(SegmentManager& mgr) {
+  MMJOIN_ASSIGN_OR_RETURN(Segment seg,
+                          mgr.CreateSegment("catalogue", 1 << 20));
+  struct Spec {
+    const char* name;
+    double cost;
+    uint32_t qty;
+  };
+  const Spec specs[] = {
+      {"hex bolt M8", 0.12, 4000},   {"bearing 6204", 3.80, 240},
+      {"shaft 320mm", 17.50, 32},    {"housing cast", 42.00, 16},
+      {"seal ring 40", 0.95, 480},
+  };
+  VPtr<Part> head;
+  for (const Spec& s : specs) {
+    MMJOIN_ASSIGN_OR_RETURN(VPtr<Part> node, seg.New<Part>());
+    Part* p = node.get(seg);
+    std::strncpy(p->name, s.name, sizeof(p->name) - 1);
+    p->unit_cost = s.cost;
+    p->quantity = s.qty;
+    p->next = head;
+    head = node;
+  }
+  seg.set_root(head.offset());
+  MMJOIN_RETURN_NOT_OK(seg.Sync());
+  return seg.Close();
+}
+
+mmjoin::Status ReadCatalogue(SegmentManager& mgr) {
+  MMJOIN_ASSIGN_OR_RETURN(Segment seg, mgr.OpenSegment("catalogue"));
+  std::printf("%-16s %10s %8s %12s\n", "part", "unit_cost", "qty",
+              "inventory");
+  double total = 0;
+  for (VPtr<Part> cur(seg.root()); cur; cur = cur.get(seg)->next) {
+    const Part* p = cur.get(seg);
+    const double value = p->unit_cost * p->quantity;
+    total += value;
+    std::printf("%-16s %10.2f %8u %12.2f\n", p->name, p->unit_cost,
+                p->quantity, value);
+  }
+  std::printf("%-16s %31s %12.2f\n", "TOTAL", "", total);
+  return seg.Close();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1]
+                             : "/tmp/mmjoin_store_" +
+                                   std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  SegmentManager mgr(dir);
+
+  if (mgr.Exists("catalogue")) {
+    if (auto st = mgr.DeleteSegment("catalogue"); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("== building catalogue in %s (newMap + store) ==\n",
+              dir.c_str());
+  if (auto st = BuildCatalogue(mgr); !st.ok()) {
+    std::fprintf(stderr, "build: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== reopening in a fresh mapping (openMap) ==\n");
+  if (auto st = ReadCatalogue(mgr); !st.ok()) {
+    std::fprintf(stderr, "read: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // The three mapping primitives were timed along the way (Fig. 1b data).
+  std::printf("\nmapping samples collected: %zu\n", mgr.samples().size());
+  if (auto st = mgr.DeleteSegment("catalogue"); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("catalogue deleted (deleteMap).\n");
+  if (argc <= 1) ::rmdir(dir.c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// mmjoin: parallel pointer-based join algorithms in memory-mapped
+// environments — umbrella header for the public API.
+//
+// Reproduction of Buhr, Goel, Nishimura & Ragde, ICDE 1996.
+#ifndef MMJOIN_MMJOIN_H_
+#define MMJOIN_MMJOIN_H_
+
+#include "disk/band_measure.h"     // Fig. 1(a) measurement harness
+#include "disk/disk_array.h"       // simulated multi-disk substrate
+#include "heap/heapsort.h"         // Floyd build + heapsort (Munro)
+#include "heap/merge_heap.h"       // delete-insert k-way merge heap
+#include "join/grace.h"            // parallel pointer-based Grace join
+#include "join/hybrid_hash.h"      // pointer-based hybrid-hash (EXT-5)
+#include "join/join_common.h"      // parameters / results / execution core
+#include "join/nested_loops.h"     // parallel pointer-based nested loops
+#include "join/oracle.h"           // reference join for verification
+#include "join/sort_merge.h"       // parallel pointer-based sort-merge
+#include "mmap/segment.h"          // real mmap single-level store
+#include "mmap/btree.h"        // persistent B+-tree on the store
+#include "mmap/mm_relation.h"     // relations in real mapped segments
+#include "mmap/mmap_join.h"        // real parallel mmap joins
+#include "mmap/segment_manager.h"  // named-segment catalogue
+#include "model/join_model.h"      // analytical cost models
+#include "model/urn.h"             // Johnson-Kotz urn occupancy
+#include "model/ylru.h"            // Mackert-Lohman LRU model
+#include "rel/generator.h"         // workload generation
+#include "rel/relation.h"          // relation layout and pointers
+#include "sim/machine_config.h"    // environment parameters
+#include "sim/sim_env.h"           // simulated single-level store
+#include "vm/page_cache.h"         // paged resident-set simulation
+
+#endif  // MMJOIN_MMJOIN_H_

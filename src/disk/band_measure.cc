@@ -1,0 +1,71 @@
+#include "disk/band_measure.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.h"
+
+namespace mmjoin::disk {
+
+namespace {
+
+enum class Op { kRead, kWrite };
+
+std::vector<BandPoint> MeasureCurve(const DiskGeometry& geometry,
+                                    const BandMeasureOptions& options,
+                                    Op op) {
+  std::vector<BandPoint> curve;
+  curve.reserve(options.band_sizes.size());
+  Rng rng(options.seed);
+
+  for (uint64_t band : options.band_sizes) {
+    assert(band >= 1);
+    SimulatedDisk disk(geometry);
+    const uint64_t area =
+        std::min<uint64_t>(options.area_blocks, geometry.num_blocks);
+    double total_ms = 0;
+    uint64_t total_accesses = 0;
+
+    if (band == 1) {
+      // Pure sequential scan of the area.
+      for (uint64_t b = 0; b < area; ++b) {
+        total_ms += op == Op::kRead ? disk.ReadBlock(b) : disk.WriteBlock(b);
+        ++total_accesses;
+      }
+    } else {
+      // Sweep bands across the area; random single-block accesses within
+      // the current band, without duplicates (as in the paper's curves).
+      for (uint64_t start = 0; start + band <= area; start += band) {
+        std::vector<uint64_t> blocks(band);
+        for (uint64_t i = 0; i < band; ++i) blocks[i] = start + i;
+        Shuffle(&blocks, &rng);
+        const uint64_t n =
+            std::min<uint64_t>(options.accesses_per_band, band);
+        for (uint64_t i = 0; i < n; ++i) {
+          total_ms += op == Op::kRead ? disk.ReadBlock(blocks[i])
+                                      : disk.WriteBlock(blocks[i]);
+          ++total_accesses;
+        }
+      }
+    }
+    if (op == Op::kWrite) total_ms += disk.FlushWrites();
+    curve.push_back(BandPoint{
+        band, total_accesses ? total_ms / static_cast<double>(total_accesses)
+                             : 0.0});
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<BandPoint> MeasureReadCurve(const DiskGeometry& geometry,
+                                        const BandMeasureOptions& options) {
+  return MeasureCurve(geometry, options, Op::kRead);
+}
+
+std::vector<BandPoint> MeasureWriteCurve(const DiskGeometry& geometry,
+                                         const BandMeasureOptions& options) {
+  return MeasureCurve(geometry, options, Op::kWrite);
+}
+
+}  // namespace mmjoin::disk

@@ -1,0 +1,50 @@
+// Band-size measurement harness (the methodology behind Fig. 1a).
+//
+// The paper measures "the average cost (per block) of sequentially accessing
+// bands in which random access occurs, over a large area of disk". We do the
+// same against the simulated drive: for each band size, walk bands across a
+// large disk area, issue single-block accesses at random positions inside
+// the current band, and report the mean per-block elapsed time. The result
+// is a dttr (reads) or dttw (writes) curve that the analytical model
+// interpolates.
+#ifndef MMJOIN_DISK_BAND_MEASURE_H_
+#define MMJOIN_DISK_BAND_MEASURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk_model.h"
+
+namespace mmjoin::disk {
+
+/// One point of a measured transfer-time curve.
+struct BandPoint {
+  uint64_t band_blocks = 0;  ///< band size, in blocks
+  double ms_per_block = 0;   ///< average elapsed ms per block transferred
+};
+
+/// Options for the measurement sweep.
+struct BandMeasureOptions {
+  /// Band sizes to measure. Band size 1 means strictly sequential access.
+  std::vector<uint64_t> band_sizes = {1,    400,  1600, 3200, 4800,  6400,
+                                      8000, 9600, 11200, 12800};
+  /// Total disk area swept per band size, in blocks.
+  uint64_t area_blocks = 64000;
+  /// Accesses per band before moving to the next band.
+  uint32_t accesses_per_band = 64;
+  uint64_t seed = 42;
+};
+
+/// Measures the average per-block read time for each band size.
+std::vector<BandPoint> MeasureReadCurve(const DiskGeometry& geometry,
+                                        const BandMeasureOptions& options);
+
+/// Measures the average per-block write time for each band size (writes go
+/// through the drive's write-behind queue; the queue is flushed at the end
+/// and its cost included, as a real dirty-page sweep would be).
+std::vector<BandPoint> MeasureWriteCurve(const DiskGeometry& geometry,
+                                         const BandMeasureOptions& options);
+
+}  // namespace mmjoin::disk
+
+#endif  // MMJOIN_DISK_BAND_MEASURE_H_

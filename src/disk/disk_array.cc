@@ -1,0 +1,93 @@
+#include "disk/disk_array.h"
+
+#include <cassert>
+
+namespace mmjoin::disk {
+
+DiskArray::DiskArray(uint32_t num_disks, const DiskGeometry& geometry) {
+  assert(num_disks > 0);
+  disks_.reserve(num_disks);
+  free_lists_.resize(num_disks);
+  for (uint32_t i = 0; i < num_disks; ++i) {
+    disks_.push_back(std::make_unique<SimulatedDisk>(geometry));
+    free_lists_[i].emplace(0, geometry.num_blocks);
+  }
+}
+
+StatusOr<Extent> DiskArray::Allocate(uint32_t disk, uint64_t num_blocks) {
+  if (disk >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  if (num_blocks == 0) {
+    return Status::InvalidArgument("cannot allocate zero blocks");
+  }
+  auto& holes = free_lists_[disk];
+  for (auto it = holes.begin(); it != holes.end(); ++it) {
+    if (it->second < num_blocks) continue;
+    Extent e{disk, it->first, num_blocks};
+    const uint64_t remaining = it->second - num_blocks;
+    const uint64_t new_start = it->first + num_blocks;
+    holes.erase(it);
+    if (remaining > 0) holes.emplace(new_start, remaining);
+    return e;
+  }
+  return Status::ResourceExhausted("no contiguous hole of requested size");
+}
+
+Status DiskArray::Free(const Extent& extent) {
+  if (extent.disk >= num_disks()) {
+    return Status::InvalidArgument("disk index out of range");
+  }
+  if (extent.num_blocks == 0) {
+    return Status::InvalidArgument("cannot free empty extent");
+  }
+  auto& holes = free_lists_[extent.disk];
+  // Find the insertion point and check for overlap with neighbours.
+  auto next = holes.lower_bound(extent.start_block);
+  if (next != holes.end() &&
+      extent.start_block + extent.num_blocks > next->first) {
+    return Status::InvalidArgument("double free: overlaps following hole");
+  }
+  if (next != holes.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > extent.start_block) {
+      return Status::InvalidArgument("double free: overlaps preceding hole");
+    }
+  }
+  uint64_t start = extent.start_block;
+  uint64_t len = extent.num_blocks;
+  // Coalesce with following hole.
+  if (next != holes.end() && next->first == start + len) {
+    len += next->second;
+    next = holes.erase(next);
+  }
+  // Coalesce with preceding hole.
+  if (next != holes.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      holes.erase(prev);
+    }
+  }
+  holes.emplace(start, len);
+  return Status::OK();
+}
+
+uint64_t DiskArray::FreeBlocks(uint32_t disk) const {
+  uint64_t total = 0;
+  for (const auto& [start, len] : free_lists_[disk]) total += len;
+  return total;
+}
+
+double DiskArray::TotalBusyMs() const {
+  double total = 0;
+  for (const auto& d : disks_) total += d->stats().busy_ms;
+  return total;
+}
+
+void DiskArray::ResetStats() {
+  for (auto& d : disks_) d->ResetStats();
+}
+
+}  // namespace mmjoin::disk

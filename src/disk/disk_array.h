@@ -1,0 +1,62 @@
+// A bank of D independently seekable simulated drives with extent
+// allocation. The paper assumes D parallel I/O paths (one controller per
+// partition pair R_i/S_i); partitions are laid out as contiguous extents so
+// that the band-size effects of the algorithms' access patterns emerge
+// naturally from arm movement.
+#ifndef MMJOIN_DISK_DISK_ARRAY_H_
+#define MMJOIN_DISK_DISK_ARRAY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "util/status.h"
+
+namespace mmjoin::disk {
+
+/// A contiguous run of blocks on one drive.
+struct Extent {
+  uint32_t disk = 0;
+  uint64_t start_block = 0;
+  uint64_t num_blocks = 0;
+
+  bool Contains(uint64_t block) const {
+    return block >= start_block && block < start_block + num_blocks;
+  }
+};
+
+/// D simulated drives plus a first-fit extent allocator per drive.
+class DiskArray {
+ public:
+  DiskArray(uint32_t num_disks, const DiskGeometry& geometry);
+
+  uint32_t num_disks() const { return static_cast<uint32_t>(disks_.size()); }
+  SimulatedDisk& disk(uint32_t i) { return *disks_[i]; }
+  const SimulatedDisk& disk(uint32_t i) const { return *disks_[i]; }
+
+  /// Allocates a contiguous extent of `num_blocks` on drive `disk` (first
+  /// fit). Fails with ResourceExhausted when no hole is large enough.
+  StatusOr<Extent> Allocate(uint32_t disk, uint64_t num_blocks);
+
+  /// Returns an extent's blocks to the free pool. Invalid frees fail.
+  Status Free(const Extent& extent);
+
+  /// Total free blocks on drive `disk`.
+  uint64_t FreeBlocks(uint32_t disk) const;
+
+  /// Sum of per-drive busy time; the device-level bottleneck metric.
+  double TotalBusyMs() const;
+
+  void ResetStats();
+
+ private:
+  std::vector<std::unique_ptr<SimulatedDisk>> disks_;
+  // Per-disk free list: start_block -> num_blocks, kept coalesced.
+  std::vector<std::map<uint64_t, uint64_t>> free_lists_;
+};
+
+}  // namespace mmjoin::disk
+
+#endif  // MMJOIN_DISK_DISK_ARRAY_H_

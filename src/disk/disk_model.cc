@@ -1,0 +1,90 @@
+#include "disk/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mmjoin::disk {
+
+SimulatedDisk::SimulatedDisk(const DiskGeometry& geometry)
+    : geometry_(geometry) {
+  assert(geometry_.num_blocks > 0);
+  write_queue_.reserve(geometry_.write_queue_blocks + 1);
+}
+
+double SimulatedDisk::SeekTime(uint64_t distance) const {
+  if (distance == 0) return 0.0;
+  const double frac =
+      static_cast<double>(distance) / static_cast<double>(geometry_.num_blocks);
+  return geometry_.min_seek_ms +
+         (geometry_.max_seek_ms - geometry_.min_seek_ms) * std::sqrt(frac);
+}
+
+double SimulatedDisk::Access(uint64_t block, double rotation_fraction) {
+  assert(block < geometry_.num_blocks);
+  const uint64_t distance = block >= arm_ ? block - arm_ : arm_ - block;
+  double t = geometry_.overhead_ms + geometry_.transfer_ms;
+  if (distance != 0) {
+    // A head movement implies both a seek and an (average) rotational
+    // latency; streaming the next block pays transfer + overhead only.
+    t += SeekTime(distance) + geometry_.rotation_ms * rotation_fraction;
+  }
+  stats_.seek_blocks += distance;
+  // After the access the head has swept past the block just transferred.
+  arm_ = std::min<uint64_t>(block + 1, geometry_.num_blocks - 1);
+  return t;
+}
+
+double SimulatedDisk::ReadBlock(uint64_t block) {
+  const double t = Access(block, /*rotation_fraction=*/0.5);
+  ++stats_.reads;
+  stats_.read_ms += t;
+  stats_.busy_ms += t;
+  return t;
+}
+
+uint64_t SimulatedDisk::PopNearestWrite() {
+  assert(!write_queue_.empty());
+  size_t best = 0;
+  uint64_t best_dist = UINT64_MAX;
+  for (size_t i = 0; i < write_queue_.size(); ++i) {
+    const uint64_t b = write_queue_[i];
+    const uint64_t d = b >= arm_ ? b - arm_ : arm_ - b;
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  const uint64_t block = write_queue_[best];
+  write_queue_[best] = write_queue_.back();
+  write_queue_.pop_back();
+  return block;
+}
+
+double SimulatedDisk::WriteBlock(uint64_t block) {
+  assert(block < geometry_.num_blocks);
+  ++stats_.writes;
+  write_queue_.push_back(block);
+  if (write_queue_.size() <= geometry_.write_queue_blocks) return 0.0;
+  const uint64_t victim = PopNearestWrite();
+  const double t = Access(victim, geometry_.write_rotation_fraction);
+  ++stats_.flushed_writes;
+  stats_.write_ms += t;
+  stats_.busy_ms += t;
+  return t;
+}
+
+double SimulatedDisk::FlushWrites() {
+  double total = 0.0;
+  while (!write_queue_.empty()) {
+    const uint64_t victim = PopNearestWrite();
+    const double t = Access(victim, geometry_.write_rotation_fraction);
+    ++stats_.flushed_writes;
+    stats_.write_ms += t;
+    stats_.busy_ms += t;
+    total += t;
+  }
+  return total;
+}
+
+}  // namespace mmjoin::disk

@@ -1,0 +1,28 @@
+// Operation counters for heap algorithms. The analytical model of the paper
+// charges `compare`, `swap` and `transfer` costs per primitive heap
+// operation; the execution engine counts the primitives actually performed
+// so that model and experiment can be compared on equal footing.
+#ifndef MMJOIN_HEAP_HEAP_COST_H_
+#define MMJOIN_HEAP_HEAP_COST_H_
+
+#include <cstdint>
+
+namespace mmjoin {
+
+/// Counts of primitive operations performed by a heap algorithm.
+struct HeapCost {
+  uint64_t compares = 0;   ///< key comparisons
+  uint64_t swaps = 0;      ///< element exchanges inside the heap
+  uint64_t transfers = 0;  ///< moves of an element into/out of the heap
+
+  HeapCost& operator+=(const HeapCost& o) {
+    compares += o.compares;
+    swaps += o.swaps;
+    transfers += o.transfers;
+    return *this;
+  }
+};
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_HEAP_HEAP_COST_H_

@@ -1,0 +1,119 @@
+#include "heap/heapsort.h"
+
+#include <cmath>
+#include <utility>
+
+namespace mmjoin {
+
+namespace {
+
+// Sifts items[i] down within items[0..n) maintaining a min-heap under less.
+void SiftDown(std::vector<uint64_t>& items, size_t i, size_t n,
+              const HeapLess& less, HeapCost* cost) {
+  for (;;) {
+    size_t smallest = i;
+    const size_t l = 2 * i + 1;
+    const size_t r = 2 * i + 2;
+    if (l < n) {
+      if (cost) ++cost->compares;
+      if (less(items[l], items[smallest])) smallest = l;
+    }
+    if (r < n) {
+      if (cost) ++cost->compares;
+      if (less(items[r], items[smallest])) smallest = r;
+    }
+    if (smallest == i) return;
+    std::swap(items[i], items[smallest]);
+    if (cost) ++cost->swaps;
+    i = smallest;
+  }
+}
+
+}  // namespace
+
+void FloydBuildHeap(std::vector<uint64_t>* items, const HeapLess& less,
+                    HeapCost* cost) {
+  auto& v = *items;
+  const size_t n = v.size();
+  if (n < 2) return;
+  for (size_t i = n / 2; i-- > 0;) {
+    SiftDown(v, i, n, less, cost);
+  }
+}
+
+void HeapSort(std::vector<uint64_t>* items, const HeapLess& less,
+              HeapCost* cost) {
+  auto& v = *items;
+  const size_t n = v.size();
+  if (n < 2) return;
+
+  // Build a max-heap (inverted comparator) so that repeatedly moving the
+  // maximum to the end yields an ascending array in place.
+  HeapLess greater = [&less](uint64_t a, uint64_t b) { return less(b, a); };
+  FloydBuildHeap(items, greater, cost);
+
+  for (size_t end = n - 1; end > 0; --end) {
+    // Remove the root to its final position; the displaced last element is
+    // re-inserted with the Munro bounce: promote the larger child all the
+    // way to a leaf (one comparison per level), then sift the displaced
+    // element back up (cheap on average), for ~1 comparison per level total.
+    const uint64_t displaced = v[end];
+    v[end] = v[0];
+    if (cost) ++cost->transfers;
+
+    // Promote larger children down to a leaf.
+    size_t hole = 0;
+    for (;;) {
+      const size_t l = 2 * hole + 1;
+      const size_t r = 2 * hole + 2;
+      if (l >= end) break;
+      size_t child = l;
+      if (r < end) {
+        if (cost) ++cost->compares;
+        if (greater(v[r], v[l])) child = r;
+      }
+      v[hole] = v[child];
+      if (cost) ++cost->transfers;
+      hole = child;
+    }
+    // Sift the displaced element back up from the leaf hole.
+    v[hole] = displaced;
+    if (cost) ++cost->transfers;
+    while (hole > 0) {
+      const size_t parent = (hole - 1) / 2;
+      if (cost) ++cost->compares;
+      if (!greater(v[hole], v[parent])) break;
+      std::swap(v[hole], v[parent]);
+      if (cost) ++cost->swaps;
+      hole = parent;
+    }
+  }
+}
+
+bool IsMinHeap(const std::vector<uint64_t>& items, const HeapLess& less) {
+  const size_t n = items.size();
+  for (size_t i = 1; i < n; ++i) {
+    const size_t parent = (i - 1) / 2;
+    if (less(items[i], items[parent])) return false;
+  }
+  return true;
+}
+
+HeapCost FloydBuildModelCost(uint64_t n) {
+  HeapCost c;
+  const double nn = static_cast<double>(n);
+  c.compares = static_cast<uint64_t>(1.77 * nn);
+  c.swaps = static_cast<uint64_t>(1.77 * nn / 2.0);
+  c.transfers = n;
+  return c;
+}
+
+HeapCost HeapSortModelCost(uint64_t n, uint64_t run_len) {
+  HeapCost c;
+  const double lg = run_len > 1 ? std::log2(static_cast<double>(run_len)) : 0;
+  c.compares = static_cast<uint64_t>(static_cast<double>(n) * lg);
+  c.transfers = static_cast<uint64_t>(static_cast<double>(n) * lg);
+  return c;
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,46 @@
+// Heapsort as used in pass 2 of the parallel sort-merge join (section 6.1 of
+// the paper): Floyd's bottom-up heap construction followed by repeated
+// deletion of minima using the Munro "bounce" improvement, which completes in
+// approximately N log N comparisons and transfers on average (the paper cites
+// Schaffer & Sedgewick and Gonnet & Munro for these bounds).
+#ifndef MMJOIN_HEAP_HEAPSORT_H_
+#define MMJOIN_HEAP_HEAPSORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "heap/heap_cost.h"
+
+namespace mmjoin {
+
+/// Comparator signature: returns true when a orders before b.
+using HeapLess = std::function<bool(uint64_t a, uint64_t b)>;
+
+/// Builds a min-heap over `items` in place using Floyd's bottom-up algorithm
+/// (siftdown from the last internal node to the root). Costs are accumulated
+/// into `cost` if non-null.
+void FloydBuildHeap(std::vector<uint64_t>* items, const HeapLess& less,
+                    HeapCost* cost);
+
+/// Sorts `items` ascending (per `less`) via build-heap + repeated delete-min
+/// with the bounce (sift-to-leaf-then-up) optimization. Costs accumulate into
+/// `cost` if non-null.
+void HeapSort(std::vector<uint64_t>* items, const HeapLess& less,
+              HeapCost* cost);
+
+/// Returns true if `items` form a valid min-heap under `less`.
+bool IsMinHeap(const std::vector<uint64_t>& items, const HeapLess& less);
+
+/// Analytical cost of Floyd heap construction per the paper's model:
+/// 1.77*N*(compare + swap/2) + N*transfer, expressed in counted primitives.
+HeapCost FloydBuildModelCost(uint64_t n);
+
+/// Analytical cost of sorting by repeated deletion of minima per the paper:
+/// N*log2(run)*(compare + transfer).
+HeapCost HeapSortModelCost(uint64_t n, uint64_t run_len);
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_HEAP_HEAPSORT_H_

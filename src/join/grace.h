@@ -1,0 +1,45 @@
+// Parallel pointer-based Grace join (section 7).
+//
+// Passes 0/1 partition R as in sort-merge, but each R object is hashed —
+// by a *monotone* coarse hash on its S-pointer — into one of K bucket
+// sub-partitions of RS_i. Monotonicity guarantees bucket j holds only
+// pointers smaller than any pointer in bucket j+1, so the final pass reads
+// S_i sequentially overall. In pass 1+j each bucket is loaded into an
+// in-memory hash table of TSIZE chains (duplicate references collide into
+// one chain, so each S object is read once) and joined against S_i through
+// the G buffer.
+#ifndef MMJOIN_JOIN_GRACE_H_
+#define MMJOIN_JOIN_GRACE_H_
+
+#include "join/join_common.h"
+
+namespace mmjoin::join {
+
+/// Derived Grace plan parameters (section 7.2).
+struct GracePlan {
+  uint32_t k_buckets = 0;  ///< K: coarse buckets per RS_i
+  uint32_t tsize = 0;      ///< TSIZE: chains in the per-bucket hash table
+};
+
+/// Chooses K so one bucket plus its hash-table overhead fits in memory, and
+/// a TSIZE giving short chains, per section 7.2.
+GracePlan PlanGrace(uint64_t m_rproc_bytes, uint64_t rs_objects,
+                    const JoinParams& params);
+
+/// The monotone coarse hash: bucket of a pointer with local index `index`
+/// into a partition of `s_count` objects, for K buckets.
+inline uint32_t GraceBucketOf(uint64_t index, uint64_t s_count, uint32_t k) {
+  if (s_count == 0) return 0;
+  uint64_t b = (index * k) / s_count;
+  if (b >= k) b = k - 1;
+  return static_cast<uint32_t>(b);
+}
+
+/// Runs the parallel pointer-based Grace join on `workload`.
+StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,
+                                 const rel::Workload& workload,
+                                 const JoinParams& params);
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_GRACE_H_

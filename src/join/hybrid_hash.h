@@ -1,0 +1,30 @@
+// Parallel pointer-based hybrid-hash join — the "more modern hash-based
+// join algorithm" the paper defers to future work (section 7), built on
+// the same pass structure as Grace.
+//
+// Difference from Grace: bucket 0 of each RS_i is *resident* — the owner's
+// own-partition objects (R_{i,i}) that hash into bucket 0 go straight into
+// an in-memory hash table during pass 0 instead of being written to disk
+// and read back. Contributions from remote processes still spill (a remote
+// writer cannot reach the owner's private table), so the resident fraction
+// is the owner's share of bucket 0. With K = 1 (memory holds all of RS_i)
+// the algorithm degenerates to a pure in-memory hash join of R_{i,i}
+// against S_i plus Grace handling of the repartitioned remainder; with
+// large K it converges to Grace — the classic hybrid-hash behaviour,
+// transposed to the pointer-join setting.
+#ifndef MMJOIN_JOIN_HYBRID_HASH_H_
+#define MMJOIN_JOIN_HYBRID_HASH_H_
+
+#include "join/join_common.h"
+
+namespace mmjoin::join {
+
+/// Runs the parallel pointer-based hybrid-hash join on `workload`.
+/// Grace's K/TSIZE parameter rules (section 7.2) apply unchanged.
+StatusOr<JoinRunResult> RunHybridHash(sim::SimEnv* env,
+                                      const rel::Workload& workload,
+                                      const JoinParams& params);
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_HYBRID_HASH_H_

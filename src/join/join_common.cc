@@ -1,0 +1,181 @@
+#include "join/join_common.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mmjoin::join {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kNestedLoops:
+      return "nested-loops";
+    case Algorithm::kSortMerge:
+      return "sort-merge";
+    case Algorithm::kGrace:
+      return "grace";
+    case Algorithm::kHybridHash:
+      return "hybrid-hash";
+  }
+  return "?";
+}
+
+JoinExecution::JoinExecution(sim::SimEnv* env, const rel::Workload& workload,
+                             const JoinParams& params)
+    : env_(env),
+      workload_(&workload),
+      params_(params),
+      d_(static_cast<uint32_t>(workload.r_segs.size())),
+      g_bytes_(params.g_bytes ? params.g_bytes : env->config().page_size) {
+  const uint64_t entry_bytes =
+      sizeof(rel::RObject) + sizeof(uint64_t) + sizeof(rel::SObject);
+  for (uint32_t i = 0; i < d_; ++i) {
+    rprocs_.push_back(std::make_unique<sim::Process>(
+        env_, "Rproc" + std::to_string(i), params_.m_rproc_bytes,
+        params_.policy));
+    sprocs_.push_back(std::make_unique<sim::Process>(
+        env_, "Sproc" + std::to_string(i), params_.m_sproc_bytes,
+        params_.policy));
+    gbufs_.push_back(std::make_unique<sim::GBuffer>(g_bytes_, entry_bytes));
+  }
+  pending_.resize(d_);
+  out_count_.assign(d_, 0);
+  out_digest_.assign(d_, 0);
+  rp_segs_.assign(d_, sim::kInvalidSeg);
+}
+
+JoinExecution::~JoinExecution() {
+  // Temporaries are deleted by the drivers; if a driver errored out early,
+  // drop whatever is still live so the environment can be reused.
+  for (uint32_t i = 0; i < d_; ++i) {
+    if (rp_segs_[i] != sim::kInvalidSeg && env_->IsLive(rp_segs_[i])) {
+      rprocs_[i]->DropSegment(rp_segs_[i], /*discard=*/true);
+      (void)env_->DeleteSegment(rp_segs_[i]);
+    }
+  }
+}
+
+Status JoinExecution::CreateRpSegments() {
+  rp_sub_offset_.assign(d_, std::vector<uint64_t>(d_ + 1, 0));
+  rp_cursor_.assign(d_, std::vector<uint64_t>(d_, 0));
+  for (uint32_t i = 0; i < d_; ++i) {
+    uint64_t total = 0;
+    for (uint32_t j = 0; j < d_; ++j) {
+      rp_sub_offset_[i][j] = total * sizeof(rel::RObject);
+      if (j != i) total += workload_->counts[i][j];
+    }
+    rp_sub_offset_[i][d_] = total * sizeof(rel::RObject);
+    // An RP can be empty (D = 1, or pathological skew); allocate one object
+    // so the segment machinery has something to map.
+    const uint64_t bytes =
+        std::max<uint64_t>(total, 1) * sizeof(rel::RObject);
+    MMJOIN_ASSIGN_OR_RETURN(
+        rp_segs_[i], env_->CreateSegment("RP" + std::to_string(i), i, bytes,
+                                         /*materialized=*/false));
+  }
+  return Status::OK();
+}
+
+uint64_t JoinExecution::RpSubOffset(uint32_t i, uint32_t j) const {
+  return rp_sub_offset_[i][j];
+}
+
+uint64_t JoinExecution::RpSubCount(uint32_t i, uint32_t j) const {
+  assert(j != i);
+  return workload_->counts[i][j];
+}
+
+uint64_t JoinExecution::RpPages(uint32_t i) const {
+  return env_->segment(rp_segs_[i]).pages();
+}
+
+void JoinExecution::AppendToRp(uint32_t i, uint32_t j,
+                               const rel::RObject& obj) {
+  assert(j != i);
+  const uint64_t slot = rp_cursor_[i][j]++;
+  assert(slot < workload_->counts[i][j]);
+  const uint64_t off = rp_sub_offset_[i][j] + slot * sizeof(rel::RObject);
+  void* dst = rprocs_[i]->Write(rp_segs_[i], off, sizeof(rel::RObject));
+  std::memcpy(dst, &obj, sizeof(rel::RObject));
+  rprocs_[i]->ChargeCpu(sizeof(rel::RObject) * env_->config().mt_pp_ms);
+}
+
+void JoinExecution::ServiceSBatch(uint32_t i, uint64_t n) {
+  assert(n <= pending_[i].size());
+  auto& queue = pending_[i];
+  sim::Process& payer = *rprocs_[i];
+  for (uint64_t k = 0; k < n; ++k) {
+    const PendingS& req = queue[k];
+    const rel::SPtr sp = rel::SPtr::Unpack(req.sptr);
+    assert(sp.partition < d_);
+    const auto* sobj = static_cast<const rel::SObject*>(
+        sprocs_[sp.partition]->ReadFor(&payer,
+                                       workload_->s_segs[sp.partition],
+                                       rel::Workload::SOffset(sp.index),
+                                       sizeof(rel::SObject)));
+    out_digest_[i] += rel::OutputDigest(req.r_id, sobj->key);
+    ++out_count_[i];
+  }
+  queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(n));
+}
+
+void JoinExecution::RequestS(uint32_t i, uint64_t r_id,
+                             uint64_t packed_sptr) {
+  pending_[i].push_back(PendingS{r_id, packed_sptr});
+  const uint64_t batch = gbufs_[i]->Add(rprocs_[i].get());
+  if (batch > 0) ServiceSBatch(i, batch);
+}
+
+void JoinExecution::FlushSRequests(uint32_t i) {
+  const uint64_t batch = gbufs_[i]->Flush(rprocs_[i].get());
+  if (batch > 0) ServiceSBatch(i, batch);
+  assert(pending_[i].empty());
+}
+
+void JoinExecution::MarkPass(const std::string& label) {
+  double max_ms = 0;
+  uint64_t faults = 0;
+  for (uint32_t i = 0; i < d_; ++i) {
+    max_ms = std::max(max_ms, rprocs_[i]->clock_ms());
+    faults += rprocs_[i]->stats().faults + sprocs_[i]->stats().faults;
+  }
+  passes_.push_back(PassMark{label, max_ms - last_mark_ms_,
+                             faults - last_mark_faults_});
+  last_mark_ms_ = max_ms;
+  last_mark_faults_ = faults;
+}
+
+void JoinExecution::SyncClocks() {
+  double max_ms = 0;
+  for (auto& p : rprocs_) max_ms = std::max(max_ms, p->clock_ms());
+  for (auto& p : rprocs_) p->set_clock_ms(max_ms);
+}
+
+void JoinExecution::ChargeSetupAll(double per_proc_ms) {
+  const double serial_ms = per_proc_ms * static_cast<double>(d_);
+  setup_ms_ += serial_ms;
+  for (auto& p : rprocs_) p->ChargeSetup(serial_ms);
+}
+
+JoinRunResult JoinExecution::Finish() {
+  JoinRunResult r;
+  r.rproc_ms.resize(d_);
+  r.rproc_stats.resize(d_);
+  for (uint32_t i = 0; i < d_; ++i) {
+    r.rproc_ms[i] = rprocs_[i]->clock_ms();
+    r.rproc_stats[i] = rprocs_[i]->stats();
+    r.elapsed_ms = std::max(r.elapsed_ms, r.rproc_ms[i]);
+    r.output_count += out_count_[i];
+    r.output_checksum += out_digest_[i];
+    r.faults += rprocs_[i]->stats().faults + sprocs_[i]->stats().faults;
+    r.write_backs +=
+        rprocs_[i]->stats().write_backs + sprocs_[i]->stats().write_backs;
+  }
+  r.setup_ms = setup_ms_;
+  r.passes = passes_;
+  r.verified = r.output_count == workload_->expected_output_count &&
+               r.output_checksum == workload_->expected_checksum;
+  return r;
+}
+
+}  // namespace mmjoin::join

@@ -1,0 +1,181 @@
+// Shared infrastructure of the three parallel pointer-based join algorithms:
+// parameters, results, the Rproc/Sproc process set, the staggered-phase
+// offset function, the RP_i temporary sub-partitioning of passes 0/1, and
+// the G-buffered S-object fetch protocol.
+#ifndef MMJOIN_JOIN_JOIN_COMMON_H_
+#define MMJOIN_JOIN_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/relation.h"
+#include "sim/shared_buffer.h"
+#include "sim/sim_env.h"
+#include "util/status.h"
+#include "vm/replacement.h"
+
+namespace mmjoin::join {
+
+/// Which algorithm a driver runs (used by the comparison benches).
+enum class Algorithm { kNestedLoops, kSortMerge, kGrace, kHybridHash };
+
+const char* AlgorithmName(Algorithm a);
+
+/// Tunable parameters of a join execution. Fields left at 0 (or nullopt)
+/// are derived automatically per the paper's parameter-choice sections.
+struct JoinParams {
+  uint64_t m_rproc_bytes = 4ull << 20;  ///< M_Rproc_i: private memory
+  uint64_t m_sproc_bytes = 4ull << 20;  ///< M_Sproc_i: S-side memory
+  uint64_t g_bytes = 0;                 ///< G buffer size; 0 = one page
+  /// Synchronize processes after every pass/phase. Default: off for nested
+  /// loops (section 5.1), on for sort-merge and Grace (sections 6.3/7.3).
+  std::optional<bool> phase_sync;
+  vm::PolicyKind policy = vm::PolicyKind::kLru;
+
+  // --- sort-merge (section 6.2); 0 = choose automatically ---
+  uint64_t irun = 0;       ///< objects per initial sorted run
+  uint64_t nrun_abl = 0;   ///< merge fan-in, all passes but the last
+  uint64_t nrun_last = 0;  ///< merge fan-in bound on the last pass
+  uint32_t heap_ptr_bytes = 8;  ///< hp: bytes per pointer-heap element
+
+  // --- Grace (section 7.2); 0 = choose automatically ---
+  uint32_t k_buckets = 0;  ///< K: coarse hash buckets per RS_i
+  uint32_t tsize = 0;      ///< TSIZE: in-memory hash table chains
+  double fuzz = 1.15;      ///< hash-table overhead allowance for auto-K
+};
+
+/// Elapsed time of one pass (or phase group) of an execution, measured as
+/// the difference of the max-over-Rprocs clock at its boundaries.
+struct PassMark {
+  std::string label;
+  double elapsed_ms = 0;  ///< duration of this pass
+  uint64_t faults = 0;    ///< page faults incurred during this pass
+};
+
+/// Outcome of one join execution.
+struct JoinRunResult {
+  double elapsed_ms = 0;  ///< max over Rproc clocks = total join time
+  std::vector<double> rproc_ms;
+  std::vector<sim::ProcessStats> rproc_stats;
+  /// Per-pass timing (setup, pass 0, pass 1, sort, merge, final join) —
+  /// the granularity at which the paper's analysis assigns costs.
+  std::vector<PassMark> passes;
+
+  uint64_t output_count = 0;
+  uint64_t output_checksum = 0;
+  bool verified = false;  ///< output matched the workload's expected join
+
+  double setup_ms = 0;  ///< mapping setup portion (per Rproc)
+  uint64_t faults = 0;
+  uint64_t write_backs = 0;
+
+  // Echoes of the derived algorithm parameters, for reporting.
+  uint64_t irun = 0, nrun_abl = 0, nrun_last = 0, npass = 0, lrun = 0;
+  uint32_t k_buckets = 0, tsize = 0;
+};
+
+/// The staggered-phase partner: in phase t (1-based), Rproc_i works against
+/// partition offset(i, t) = (i + t) mod D, so no two Rprocs touch the same
+/// partition in the same phase (the 0-based form of the paper's
+/// ((i + t - 1) mod D) + 1).
+inline uint32_t PhaseOffset(uint32_t i, uint32_t t, uint32_t d) {
+  return (i + t) % d;
+}
+
+/// Common execution state: the Rproc_i/Sproc_i process pairs, the RP_i
+/// temporary areas with their exact sub-partition layout, and per-Rproc
+/// join-output tallies. The three algorithm drivers build on this.
+class JoinExecution {
+ public:
+  JoinExecution(sim::SimEnv* env, const rel::Workload& workload,
+                const JoinParams& params);
+  ~JoinExecution();
+
+  uint32_t D() const { return d_; }
+  sim::SimEnv* env() { return env_; }
+  const rel::Workload& workload() const { return *workload_; }
+  const JoinParams& params() const { return params_; }
+
+  sim::Process& rproc(uint32_t i) { return *rprocs_[i]; }
+  sim::Process& sproc(uint32_t i) { return *sprocs_[i]; }
+
+  /// Creates the RP_i temporaries (exactly sized from the workload's
+  /// sub-partition counts) on each disk.
+  Status CreateRpSegments();
+  sim::SegId rp_seg(uint32_t i) const { return rp_segs_[i]; }
+  /// Byte offset of sub-partition RP_{i,j} within RP_i.
+  uint64_t RpSubOffset(uint32_t i, uint32_t j) const;
+  /// Number of objects in sub-partition RP_{i,j} (j != i).
+  uint64_t RpSubCount(uint32_t i, uint32_t j) const;
+  /// Pages of RP_i.
+  uint64_t RpPages(uint32_t i) const;
+
+  /// Appends an R object to RP_{i,j}, charging the private->private move.
+  void AppendToRp(uint32_t i, uint32_t j, const rel::RObject& obj);
+
+  /// Requests the S object behind `sptr` on behalf of Rproc_i through the
+  /// G buffer; drained requests touch Sproc's cache and emit join output.
+  void RequestS(uint32_t i, uint64_t r_id, uint64_t packed_sptr);
+  /// Drains Rproc_i's pending S requests (end of a scan or phase).
+  void FlushSRequests(uint32_t i);
+
+  /// Barrier: sets every Rproc clock to the current maximum.
+  void SyncClocks();
+
+  /// Closes the current pass: records the elapsed time and faults since
+  /// the previous mark under `label` (for JoinRunResult::passes).
+  void MarkPass(const std::string& label);
+
+  /// True if this run synchronizes phases (param or algorithm default).
+  bool phase_sync(bool algorithm_default) const {
+    return params_.phase_sync.value_or(algorithm_default);
+  }
+
+  /// Charges mapping-setup time to every Rproc, multiplied by D since
+  /// manipulating a mapping is a serial operation (the paper's convention).
+  void ChargeSetupAll(double per_proc_ms);
+
+  /// Assembles the common parts of the result and verifies the output
+  /// against the workload's expected join.
+  JoinRunResult Finish();
+
+  uint64_t out_count(uint32_t i) const { return out_count_[i]; }
+
+ private:
+  void ServiceSBatch(uint32_t i, uint64_t n);
+
+  sim::SimEnv* env_;
+  const rel::Workload* workload_;
+  JoinParams params_;
+  uint32_t d_;
+  uint64_t g_bytes_;
+
+  std::vector<std::unique_ptr<sim::Process>> rprocs_;
+  std::vector<std::unique_ptr<sim::Process>> sprocs_;
+
+  std::vector<sim::SegId> rp_segs_;
+  std::vector<std::vector<uint64_t>> rp_sub_offset_;  // [i][j] bytes
+  std::vector<std::vector<uint64_t>> rp_cursor_;      // [i][j] objects
+
+  struct PendingS {
+    uint64_t r_id;
+    uint64_t sptr;
+  };
+  std::vector<std::unique_ptr<sim::GBuffer>> gbufs_;
+  std::vector<std::vector<PendingS>> pending_;
+
+  std::vector<uint64_t> out_count_;
+  std::vector<uint64_t> out_digest_;
+  double setup_ms_ = 0;
+
+  std::vector<PassMark> passes_;
+  double last_mark_ms_ = 0;
+  uint64_t last_mark_faults_ = 0;
+};
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_JOIN_COMMON_H_

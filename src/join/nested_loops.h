@@ -1,0 +1,24 @@
+// Parallel pointer-based nested loops join (section 5).
+//
+// Pass 0: each Rproc_i streams R_i; objects pointing into S_i are joined
+// immediately through the G buffer against Sproc_i, the rest are written to
+// the sub-partitions RP_{i,j} of a temporary RP_i on the same disk.
+// Pass 1: D-1 staggered phases; in phase t, Rproc_i streams RP_{i,offset(i,t)}
+// and joins each object against Sproc_offset(i,t). The offset guarantees
+// that, absent skew, each S partition is served to exactly one Rproc per
+// phase, eliminating disk contention without synchronization.
+#ifndef MMJOIN_JOIN_NESTED_LOOPS_H_
+#define MMJOIN_JOIN_NESTED_LOOPS_H_
+
+#include "join/join_common.h"
+
+namespace mmjoin::join {
+
+/// Runs the parallel pointer-based nested loops join on `workload`.
+StatusOr<JoinRunResult> RunNestedLoops(sim::SimEnv* env,
+                                       const rel::Workload& workload,
+                                       const JoinParams& params);
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_NESTED_LOOPS_H_

@@ -1,0 +1,23 @@
+#include "join/oracle.h"
+
+namespace mmjoin::join {
+
+OracleResult OracleJoin(sim::SimEnv* env, const rel::Workload& workload) {
+  OracleResult result;
+  const uint32_t d = static_cast<uint32_t>(workload.r_segs.size());
+  for (uint32_t i = 0; i < d; ++i) {
+    const auto* r_objs = reinterpret_cast<const rel::RObject*>(
+        env->segment(workload.r_segs[i]).raw());
+    for (uint64_t k = 0; k < workload.r_count[i]; ++k) {
+      const rel::SPtr sp = rel::SPtr::Unpack(r_objs[k].sptr);
+      const auto* s_objs = reinterpret_cast<const rel::SObject*>(
+          env->segment(workload.s_segs[sp.partition]).raw());
+      result.checksum +=
+          rel::OutputDigest(r_objs[k].id, s_objs[sp.index].key);
+      ++result.count;
+    }
+  }
+  return result;
+}
+
+}  // namespace mmjoin::join

@@ -1,0 +1,28 @@
+// Reference join: a straightforward uninstrumented pointer join over the
+// raw relation bytes. Used by tests and benches to verify that every
+// algorithm produces exactly the paper-defined join (same cardinality and
+// order-independent checksum).
+#ifndef MMJOIN_JOIN_ORACLE_H_
+#define MMJOIN_JOIN_ORACLE_H_
+
+#include <cstdint>
+
+#include "rel/relation.h"
+#include "sim/sim_env.h"
+
+namespace mmjoin::join {
+
+/// The reference join result: cardinality plus the order-independent sum of
+/// per-tuple digests.
+struct OracleResult {
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+};
+
+/// Joins R with S by dereferencing every R object's S-pointer directly
+/// against the raw S partitions (no paging, no cost model).
+OracleResult OracleJoin(sim::SimEnv* env, const rel::Workload& workload);
+
+}  // namespace mmjoin::join
+
+#endif  // MMJOIN_JOIN_ORACLE_H_

@@ -1,0 +1,305 @@
+#include "mmap/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace mmjoin::mm {
+
+// Node layout. For internal nodes, children[0..count] bracket keys[0..count):
+// subtree children[i] holds keys < keys[i]; children[count] holds the rest.
+// For leaves, values[i] pairs with keys[i] and `next` chains to the right
+// sibling (0 terminates).
+struct BTree::Node {
+  uint16_t is_leaf = 0;
+  uint16_t count = 0;
+  uint32_t pad = 0;
+  uint64_t next = 0;  // leaf chain only
+  // One slot of slack beyond kMaxKeys: inserts overflow transiently before
+  // the node is split.
+  uint64_t keys[kMaxKeys + 1];
+  uint64_t children[kMaxKeys + 2];  // child offsets or values
+};
+
+struct BTree::Meta {
+  static constexpr uint64_t kMagic = 0x62747265656d6d31ULL;  // "btreemm1"
+  uint64_t magic = kMagic;
+  uint64_t root = 0;
+  uint64_t size = 0;
+  uint32_t height = 1;
+  uint32_t pad = 0;
+};
+
+BTree::Meta* BTree::meta() const {
+  return static_cast<Meta*>(segment_->Resolve(meta_offset_));
+}
+
+BTree::Node* BTree::NodeAt(uint64_t offset) const {
+  return static_cast<Node*>(segment_->Resolve(offset));
+}
+
+StatusOr<uint64_t> BTree::NewNode(bool leaf) {
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t off, segment_->Allocate(sizeof(Node)));
+  Node* n = new (segment_->Resolve(off)) Node();
+  n->is_leaf = leaf ? 1 : 0;
+  return off;
+}
+
+StatusOr<BTree> BTree::Create(Segment* segment) {
+  if (segment == nullptr || !segment->mapped()) {
+    return Status::InvalidArgument("segment not mapped");
+  }
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t meta_off,
+                          segment->Allocate(sizeof(Meta)));
+  BTree tree(segment, meta_off);
+  Meta* m = static_cast<Meta*>(segment->Resolve(meta_off));
+  *m = Meta{};
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t root, tree.NewNode(/*leaf=*/true));
+  tree.meta()->root = root;
+  segment->set_root(meta_off);
+  return tree;
+}
+
+StatusOr<BTree> BTree::Attach(Segment* segment) {
+  if (segment == nullptr || !segment->mapped()) {
+    return Status::InvalidArgument("segment not mapped");
+  }
+  const uint64_t meta_off = segment->root();
+  if (meta_off == 0) return Status::NotFound("segment has no tree");
+  BTree tree(segment, meta_off);
+  if (tree.meta()->magic != Meta::kMagic) {
+    return Status::IOError("not a BTree segment");
+  }
+  return tree;
+}
+
+uint64_t BTree::size() const { return meta()->size; }
+uint32_t BTree::height() const { return meta()->height; }
+
+StatusOr<uint64_t> BTree::Find(uint64_t key) const {
+  uint64_t off = meta()->root;
+  for (;;) {
+    const Node* n = NodeAt(off);
+    if (n->is_leaf) {
+      const uint64_t* end = n->keys + n->count;
+      const uint64_t* it = std::lower_bound(n->keys, end, key);
+      if (it != end && *it == key) {
+        return n->children[it - n->keys];
+      }
+      return Status::NotFound("key not in tree");
+    }
+    // First key strictly greater than `key` selects the child.
+    const uint64_t* it =
+        std::upper_bound(n->keys, n->keys + n->count, key);
+    off = n->children[it - n->keys];
+  }
+}
+
+Status BTree::Insert(uint64_t key, uint64_t value) {
+  bool inserted = false;
+  MMJOIN_ASSIGN_OR_RETURN(SplitResult split,
+                          InsertRec(meta()->root, key, value,
+                                          &inserted));
+  if (split.split) {
+    MMJOIN_ASSIGN_OR_RETURN(uint64_t new_root, NewNode(/*leaf=*/false));
+    Node* root = NodeAt(new_root);
+    root->count = 1;
+    root->keys[0] = split.separator;
+    root->children[0] = meta()->root;
+    root->children[1] = split.right_off;
+    meta()->root = new_root;
+    ++meta()->height;
+  }
+  if (inserted) ++meta()->size;
+  return Status::OK();
+}
+
+StatusOr<BTree::SplitResult> BTree::InsertRec(uint64_t node_off,
+                                                    uint64_t key,
+                                                    uint64_t value,
+                                                    bool* inserted) {
+  Node* n = NodeAt(node_off);
+  if (!n->is_leaf) {
+    const uint64_t* sep =
+        std::upper_bound(n->keys, n->keys + n->count, key);
+    const uint32_t child_idx = static_cast<uint32_t>(sep - n->keys);
+    MMJOIN_ASSIGN_OR_RETURN(
+        SplitResult child_split,
+        InsertRec(n->children[child_idx], key, value, inserted));
+    if (!child_split.split) return SplitResult{};
+    n = NodeAt(node_off);
+    for (uint32_t k = n->count; k > child_idx; --k) {
+      n->keys[k] = n->keys[k - 1];
+      n->children[k + 1] = n->children[k];
+    }
+    n->keys[child_idx] = child_split.separator;
+    n->children[child_idx + 1] = child_split.right_off;
+    ++n->count;
+    if (n->count <= kMaxKeys) return SplitResult{};
+    const uint32_t mid = n->count / 2;
+    MMJOIN_ASSIGN_OR_RETURN(uint64_t right_off, NewNode(/*leaf=*/false));
+    Node* right = NodeAt(right_off);
+    n = NodeAt(node_off);
+    const uint64_t up_key = n->keys[mid];
+    right->count = static_cast<uint16_t>(n->count - mid - 1);
+    for (uint32_t k = 0; k < right->count; ++k) {
+      right->keys[k] = n->keys[mid + 1 + k];
+      right->children[k] = n->children[mid + 1 + k];
+    }
+    right->children[right->count] = n->children[n->count];
+    n->count = static_cast<uint16_t>(mid);
+    return SplitResult{true, up_key, right_off};
+  }
+
+  // Leaf.
+  uint64_t* end = n->keys + n->count;
+  uint64_t* it = std::lower_bound(n->keys, end, key);
+  const uint32_t pos = static_cast<uint32_t>(it - n->keys);
+  if (it != end && *it == key) {
+    n->children[pos] = value;
+    *inserted = false;
+    return SplitResult{};
+  }
+  for (uint32_t k = n->count; k > pos; --k) {
+    n->keys[k] = n->keys[k - 1];
+    n->children[k] = n->children[k - 1];
+  }
+  n->keys[pos] = key;
+  n->children[pos] = value;
+  ++n->count;
+  *inserted = true;
+  if (n->count <= kMaxKeys) return SplitResult{};
+
+  // Split the leaf: upper half moves right; separator = right's first key.
+  const uint32_t mid = n->count / 2;
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t right_off, NewNode(/*leaf=*/true));
+  Node* right = NodeAt(right_off);
+  n = NodeAt(node_off);
+  right->count = static_cast<uint16_t>(n->count - mid);
+  for (uint32_t k = 0; k < right->count; ++k) {
+    right->keys[k] = n->keys[mid + k];
+    right->children[k] = n->children[mid + k];
+  }
+  right->next = n->next;
+  n->next = right_off;
+  n->count = static_cast<uint16_t>(mid);
+  return SplitResult{true, right->keys[0], right_off};
+}
+
+Status BTree::Erase(uint64_t key) {
+  uint64_t off = meta()->root;
+  for (;;) {
+    Node* n = NodeAt(off);
+    if (n->is_leaf) {
+      uint64_t* end = n->keys + n->count;
+      uint64_t* it = std::lower_bound(n->keys, end, key);
+      if (it == end || *it != key) return Status::NotFound("key absent");
+      const uint32_t pos = static_cast<uint32_t>(it - n->keys);
+      for (uint32_t k = pos; k + 1 < n->count; ++k) {
+        n->keys[k] = n->keys[k + 1];
+        n->children[k] = n->children[k + 1];
+      }
+      --n->count;
+      --meta()->size;
+      return Status::OK();
+    }
+    const uint64_t* it =
+        std::upper_bound(n->keys, n->keys + n->count, key);
+    off = n->children[it - n->keys];
+  }
+}
+
+uint64_t BTree::Scan(uint64_t lo, uint64_t hi,
+                     const std::function<void(uint64_t, uint64_t)>& fn)
+    const {
+  if (lo > hi) return 0;
+  // Descend to the leaf that would contain `lo`.
+  uint64_t off = meta()->root;
+  for (;;) {
+    const Node* n = NodeAt(off);
+    if (n->is_leaf) break;
+    const uint64_t* it = std::upper_bound(n->keys, n->keys + n->count, lo);
+    off = n->children[it - n->keys];
+  }
+  uint64_t visited = 0;
+  while (off != 0) {
+    const Node* leaf = NodeAt(off);
+    for (uint32_t k = 0; k < leaf->count; ++k) {
+      if (leaf->keys[k] < lo) continue;
+      if (leaf->keys[k] > hi) return visited;
+      fn(leaf->keys[k], leaf->children[k]);
+      ++visited;
+    }
+    off = leaf->next;
+  }
+  return visited;
+}
+
+Status BTree::ValidateRec(uint64_t node_off, uint32_t depth,
+                          uint32_t leaf_depth, uint64_t lower,
+                          uint64_t upper, uint64_t* count) const {
+  const Node* n = NodeAt(node_off);
+  if (n->count > kMaxKeys) return Status::Internal("node overflow");
+  for (uint32_t k = 0; k + 1 < n->count; ++k) {
+    if (n->keys[k] >= n->keys[k + 1]) {
+      return Status::Internal("keys not strictly increasing in node");
+    }
+  }
+  for (uint32_t k = 0; k < n->count; ++k) {
+    if (n->keys[k] < lower ||
+        (upper != UINT64_MAX && n->keys[k] >= upper)) {
+      return Status::Internal("key outside separator range");
+    }
+  }
+  if (n->is_leaf) {
+    if (depth != leaf_depth) return Status::Internal("uneven leaf depth");
+    *count += n->count;
+    return Status::OK();
+  }
+  for (uint32_t c = 0; c <= n->count; ++c) {
+    const uint64_t lo = c == 0 ? lower : n->keys[c - 1];
+    const uint64_t hi = c == n->count ? upper : n->keys[c];
+    MMJOIN_RETURN_NOT_OK(
+        ValidateRec(n->children[c], depth + 1, leaf_depth, lo, hi, count));
+  }
+  return Status::OK();
+}
+
+Status BTree::Validate() const {
+  // Leaf depth from the leftmost path.
+  uint32_t leaf_depth = 0;
+  uint64_t off = meta()->root;
+  while (!NodeAt(off)->is_leaf) {
+    off = NodeAt(off)->children[0];
+    ++leaf_depth;
+  }
+  if (leaf_depth + 1 != meta()->height) {
+    return Status::Internal("height metadata inconsistent");
+  }
+  uint64_t count = 0;
+  MMJOIN_RETURN_NOT_OK(ValidateRec(meta()->root, 0, leaf_depth, 0,
+                                   UINT64_MAX, &count));
+  if (count != meta()->size) return Status::Internal("size mismatch");
+  // Leaf chain must be globally sorted and cover every entry.
+  uint64_t chain_count = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  while (off != 0) {
+    const Node* leaf = NodeAt(off);
+    for (uint32_t k = 0; k < leaf->count; ++k) {
+      if (!first && leaf->keys[k] <= prev) {
+        return Status::Internal("leaf chain out of order");
+      }
+      prev = leaf->keys[k];
+      first = false;
+      ++chain_count;
+    }
+    off = leaf->next;
+  }
+  if (chain_count != meta()->size) {
+    return Status::Internal("leaf chain misses entries");
+  }
+  return Status::OK();
+}
+
+}  // namespace mmjoin::mm

@@ -1,0 +1,87 @@
+// A persistent B+-tree living entirely inside one memory-mapped segment.
+//
+// This is the kind of data structure the paper's substrate (µDatabase) was
+// built to support: every reference between nodes is a segment-relative
+// offset (VPtr), so the tree is stored, closed and reopened with zero
+// pointer relocation or swizzling — the "exact positioning of data"
+// approach. Keys and values are 64-bit; leaves are chained for range
+// scans.
+//
+// Deletion is lazy (entries are removed from leaves without rebalancing),
+// which keeps the structure valid and the paper-relevant operations —
+// bulk build, point lookup, sequential scan — fully supported.
+#ifndef MMJOIN_MMAP_BTREE_H_
+#define MMJOIN_MMAP_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "mmap/segment.h"
+#include "util/status.h"
+
+namespace mmjoin::mm {
+
+/// B+-tree over (uint64_t -> uint64_t) inside a Segment.
+class BTree {
+ public:
+  /// Max keys per node; small enough that splits are frequent and the
+  /// structure is exercised even in modest tests.
+  static constexpr uint32_t kMaxKeys = 16;
+
+  /// Creates a new empty tree in `segment` and records it as the segment
+  /// root. The segment must outlive the BTree.
+  static StatusOr<BTree> Create(Segment* segment);
+
+  /// Attaches to the tree previously created in `segment`.
+  static StatusOr<BTree> Attach(Segment* segment);
+
+  /// Inserts or updates a key.
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Returns the value for `key`, or NotFound.
+  StatusOr<uint64_t> Find(uint64_t key) const;
+
+  /// Removes `key`; NotFound if absent. Lazy: leaves may underflow.
+  Status Erase(uint64_t key);
+
+  /// Invokes fn(key, value) for every entry with lo <= key <= hi, in key
+  /// order. Returns the number of entries visited.
+  uint64_t Scan(uint64_t lo, uint64_t hi,
+                const std::function<void(uint64_t, uint64_t)>& fn) const;
+
+  uint64_t size() const;
+  uint32_t height() const;
+
+  /// Checks all structural invariants: key ordering within and across
+  /// nodes, fanout bounds, uniform leaf depth, and the leaf chain.
+  Status Validate() const;
+
+ private:
+  struct Node;
+  struct Meta;
+
+  explicit BTree(Segment* segment, uint64_t meta_offset)
+      : segment_(segment), meta_offset_(meta_offset) {}
+
+  Meta* meta() const;
+  Node* NodeAt(uint64_t offset) const;
+  StatusOr<uint64_t> NewNode(bool leaf);
+
+  /// Result of inserting into a subtree: set when the child split.
+  struct SplitResult {
+    bool split = false;
+    uint64_t separator = 0;   ///< smallest key of the new right sibling
+    uint64_t right_off = 0;   ///< offset of the new right sibling
+  };
+  StatusOr<SplitResult> InsertRec(uint64_t node_off, uint64_t key,
+                                  uint64_t value, bool* inserted);
+  Status ValidateRec(uint64_t node_off, uint32_t depth, uint32_t leaf_depth,
+                     uint64_t lower, uint64_t upper, uint64_t* count) const;
+
+  Segment* segment_;
+  uint64_t meta_offset_;
+};
+
+}  // namespace mmjoin::mm
+
+#endif  // MMJOIN_MMAP_BTREE_H_

@@ -1,0 +1,107 @@
+#include "mmap/mm_relation.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/random.h"
+
+namespace mmjoin::mm {
+
+StatusOr<MmWorkload> BuildMmWorkload(SegmentManager* manager,
+                                     const std::string& prefix,
+                                     const rel::RelationConfig& config) {
+  if (config.num_partitions == 0) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  if (config.r_objects == 0 || config.s_objects == 0) {
+    return Status::InvalidArgument("relations must be non-empty");
+  }
+  const uint32_t d = config.num_partitions;
+  const uint64_t r_per = config.r_objects / d;
+  const uint64_t s_per = config.s_objects / d;
+  if (r_per == 0 || s_per == 0) {
+    return Status::InvalidArgument("fewer objects than partitions");
+  }
+
+  MmWorkload w;
+  w.config = config;
+  w.r_count.assign(d, 0);
+  w.s_count.assign(d, 0);
+  w.r_base.assign(d, 0);
+  w.s_base.assign(d, 0);
+  w.counts.assign(d, std::vector<uint64_t>(d, 0));
+  for (uint32_t i = 0; i < d; ++i) {
+    w.r_count[i] = (i == d - 1) ? config.r_objects - r_per * (d - 1) : r_per;
+    w.s_count[i] = (i == d - 1) ? config.s_objects - s_per * (d - 1) : s_per;
+  }
+
+  // Create and fill the S partitions first (they define the pointees).
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t bytes =
+        sizeof(SegmentHeader) + 64 + w.s_count[i] * sizeof(rel::SObject);
+    MMJOIN_ASSIGN_OR_RETURN(
+        Segment seg,
+        manager->CreateSegment(prefix + "_s" + std::to_string(i), bytes));
+    MMJOIN_ASSIGN_OR_RETURN(uint64_t base,
+                            seg.Allocate(w.s_count[i] * sizeof(rel::SObject)));
+    seg.set_root(base);
+    auto* objs = reinterpret_cast<rel::SObject*>(seg.Resolve(base));
+    for (uint64_t k = 0; k < w.s_count[i]; ++k) {
+      objs[k].id = static_cast<uint64_t>(i) * s_per + k;
+      objs[k].key = rel::SKeyFor(i, k);
+      std::memset(objs[k].payload, static_cast<int>(objs[k].key & 0xff),
+                  sizeof(objs[k].payload));
+    }
+    w.s_base[i] = base;
+    w.s_segs.push_back(std::move(seg));
+  }
+
+  // Fill R with the identical pointer stream as rel::BuildWorkload (same
+  // generator, same seed) so both substrates join identically.
+  ZipfGenerator gen(config.s_objects, config.zipf_theta, config.seed);
+  uint64_t r_id = 0;
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t bytes =
+        sizeof(SegmentHeader) + 64 + w.r_count[i] * sizeof(rel::RObject);
+    MMJOIN_ASSIGN_OR_RETURN(
+        Segment seg,
+        manager->CreateSegment(prefix + "_r" + std::to_string(i), bytes));
+    MMJOIN_ASSIGN_OR_RETURN(uint64_t base,
+                            seg.Allocate(w.r_count[i] * sizeof(rel::RObject)));
+    seg.set_root(base);
+    auto* objs = reinterpret_cast<rel::RObject*>(seg.Resolve(base));
+    for (uint64_t k = 0; k < w.r_count[i]; ++k, ++r_id) {
+      const uint64_t global_s = gen.Next();
+      uint32_t part = static_cast<uint32_t>(global_s / s_per);
+      if (part >= d) part = d - 1;
+      const uint64_t local = global_s - static_cast<uint64_t>(part) * s_per;
+      objs[k].id = r_id;
+      objs[k].sptr = rel::SPtr{part, local}.Pack();
+      std::memset(objs[k].payload, static_cast<int>(r_id & 0xff),
+                  sizeof(objs[k].payload));
+      ++w.counts[i][part];
+      w.expected_checksum +=
+          rel::OutputDigest(r_id, rel::SKeyFor(part, local));
+      ++w.expected_output_count;
+    }
+    w.r_base[i] = base;
+    w.r_segs.push_back(std::move(seg));
+  }
+  return w;
+}
+
+Status DeleteMmWorkload(SegmentManager* manager, const std::string& prefix,
+                        uint32_t num_partitions) {
+  Status first_error;
+  for (uint32_t i = 0; i < num_partitions; ++i) {
+    for (const char* kind : {"_r", "_s"}) {
+      const std::string name = prefix + kind + std::to_string(i);
+      if (!manager->Exists(name)) continue;
+      const Status st = manager->DeleteSegment(name);
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+  }
+  return first_error;
+}
+
+}  // namespace mmjoin::mm

@@ -1,0 +1,61 @@
+// Partitioned R/S relations stored in REAL memory-mapped segments.
+//
+// This is the non-simulated counterpart of rel::BuildWorkload: the same
+// 128-byte objects and S-pointer join attributes, but living in mmap(2)
+// segments managed by a SegmentManager, so the parallel pointer joins of
+// mmap_join.h run against the actual single-level store (implicit I/O via
+// the host kernel's paging).
+#ifndef MMJOIN_MMAP_MM_RELATION_H_
+#define MMJOIN_MMAP_MM_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mmap/segment.h"
+#include "mmap/segment_manager.h"
+#include "rel/relation.h"
+#include "util/status.h"
+
+namespace mmjoin::mm {
+
+/// A pair of partitioned relations in mapped segments. Objects start at
+/// `r_base`/`s_base` within each segment (after the segment header).
+struct MmWorkload {
+  rel::RelationConfig config;
+  std::vector<Segment> r_segs;  ///< R_i, one segment per partition
+  std::vector<Segment> s_segs;  ///< S_i
+  std::vector<uint64_t> r_count;
+  std::vector<uint64_t> s_count;
+  std::vector<uint64_t> r_base;  ///< byte offset of R_i's object array
+  std::vector<uint64_t> s_base;
+  /// counts[i][j] = |R_{i,j}|, as in the simulated workload.
+  std::vector<std::vector<uint64_t>> counts;
+  uint64_t expected_output_count = 0;
+  uint64_t expected_checksum = 0;
+
+  const rel::RObject* RObjects(uint32_t i) const {
+    return reinterpret_cast<const rel::RObject*>(
+        static_cast<const char*>(r_segs[i].base()) + r_base[i]);
+  }
+  const rel::SObject* SObjects(uint32_t i) const {
+    return reinterpret_cast<const rel::SObject*>(
+        static_cast<const char*>(s_segs[i].base()) + s_base[i]);
+  }
+};
+
+/// Creates segments `<prefix>_r<i>` / `<prefix>_s<i>` under `manager` and
+/// fills them exactly like rel::BuildWorkload (same seed ⇒ same join).
+/// Existing segments with those names are an error (AlreadyExists).
+StatusOr<MmWorkload> BuildMmWorkload(SegmentManager* manager,
+                                     const std::string& prefix,
+                                     const rel::RelationConfig& config);
+
+/// Deletes the workload's segments from the manager (the MmWorkload must
+/// outlive no mappings: pass it by value and let it unmap first).
+Status DeleteMmWorkload(SegmentManager* manager, const std::string& prefix,
+                        uint32_t num_partitions);
+
+}  // namespace mmjoin::mm
+
+#endif  // MMJOIN_MMAP_MM_RELATION_H_

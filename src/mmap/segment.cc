@@ -1,0 +1,171 @@
+#include "mmap/segment.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace mmjoin::mm {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Segment::~Segment() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+}
+
+Segment::Segment(Segment&& o) noexcept
+    : base_(o.base_), size_(o.size_), path_(std::move(o.path_)) {
+  o.base_ = nullptr;
+  o.size_ = 0;
+}
+
+Segment& Segment::operator=(Segment&& o) noexcept {
+  if (this != &o) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = o.base_;
+    size_ = o.size_;
+    path_ = std::move(o.path_);
+    o.base_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+StatusOr<Segment> Segment::Create(const std::string& path, uint64_t bytes,
+                                  MapTimings* timings) {
+  if (bytes <= sizeof(SegmentHeader)) {
+    return Status::InvalidArgument("segment too small for header");
+  }
+  const double t0 = NowSeconds();
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists("segment file exists: " + path);
+    }
+    return Errno("open " + path);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const Status st = Errno("ftruncate " + path);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return st;
+  }
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::unlink(path.c_str());
+    return Errno("mmap " + path);
+  }
+
+  Segment seg;
+  seg.base_ = base;
+  seg.size_ = bytes;
+  seg.path_ = path;
+  SegmentHeader* header = seg.header();
+  header->magic = SegmentHeader::kMagic;
+  header->size_bytes = bytes;
+  header->bump = sizeof(SegmentHeader);
+  header->root = 0;
+  if (timings != nullptr) timings->new_map_s += NowSeconds() - t0;
+  return seg;
+}
+
+StatusOr<Segment> Segment::Open(const std::string& path,
+                                MapTimings* timings) {
+  const double t0 = NowSeconds();
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no segment: " + path);
+    return Errno("open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status s = Errno("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  const uint64_t bytes = static_cast<uint64_t>(st.st_size);
+  if (bytes <= sizeof(SegmentHeader)) {
+    ::close(fd);
+    return Status::IOError("segment file truncated: " + path);
+  }
+  void* base =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return Errno("mmap " + path);
+
+  Segment seg;
+  seg.base_ = base;
+  seg.size_ = bytes;
+  seg.path_ = path;
+  const SegmentHeader* header = seg.header();
+  if (header->magic != SegmentHeader::kMagic || header->size_bytes != bytes) {
+    return Status::IOError("bad segment header: " + path);
+  }
+  if (timings != nullptr) timings->open_map_s += NowSeconds() - t0;
+  return seg;
+}
+
+Status Segment::Delete(const std::string& path, MapTimings* timings) {
+  const double t0 = NowSeconds();
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no segment: " + path);
+    return Errno("unlink " + path);
+  }
+  if (timings != nullptr) timings->delete_map_s += NowSeconds() - t0;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Segment::Allocate(uint64_t bytes) {
+  assert(mapped());
+  SegmentHeader* h = header();
+  const uint64_t aligned = (h->bump + 7) & ~uint64_t{7};
+  if (aligned + bytes > size_) {
+    return Status::ResourceExhausted("segment full: " + path_);
+  }
+  h->bump = aligned + bytes;
+  return aligned;
+}
+
+void* Segment::Resolve(uint64_t offset) const {
+  assert(mapped());
+  assert(offset < size_);
+  return reinterpret_cast<char*>(base_) + offset;
+}
+
+Status Segment::Sync() {
+  assert(mapped());
+  if (::msync(base_, size_, MS_SYNC) != 0) return Errno("msync " + path_);
+  return Status::OK();
+}
+
+Status Segment::Close() {
+  if (base_ == nullptr) return Status::OK();
+  if (::munmap(base_, size_) != 0) return Errno("munmap " + path_);
+  base_ = nullptr;
+  size_ = 0;
+  return Status::OK();
+}
+
+}  // namespace mmjoin::mm

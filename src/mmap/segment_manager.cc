@@ -1,0 +1,55 @@
+#include "mmap/segment_manager.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+namespace mmjoin::mm {
+
+SegmentManager::SegmentManager(std::string root_dir)
+    : root_dir_(std::move(root_dir)) {}
+
+std::string SegmentManager::PathFor(const std::string& name) const {
+  return root_dir_ + "/" + name + ".seg";
+}
+
+StatusOr<Segment> SegmentManager::CreateSegment(const std::string& name,
+                                                uint64_t bytes) {
+  MapTimings t;
+  auto seg = Segment::Create(PathFor(name), bytes, &t);
+  if (seg.ok()) {
+    samples_.push_back(MapSample{bytes, t.new_map_s, 0, 0});
+    sizes_[name] = bytes;
+  }
+  return seg;
+}
+
+StatusOr<Segment> SegmentManager::OpenSegment(const std::string& name) {
+  MapTimings t;
+  auto seg = Segment::Open(PathFor(name), &t);
+  if (seg.ok()) {
+    samples_.push_back(MapSample{seg->size(), 0, t.open_map_s, 0});
+    sizes_[name] = seg->size();
+  }
+  return seg;
+}
+
+Status SegmentManager::DeleteSegment(const std::string& name) {
+  MapTimings t;
+  uint64_t bytes = 0;
+  auto it = sizes_.find(name);
+  if (it != sizes_.end()) bytes = it->second;
+  const Status st = Segment::Delete(PathFor(name), &t);
+  if (st.ok()) {
+    samples_.push_back(MapSample{bytes, 0, 0, t.delete_map_s});
+    sizes_.erase(name);
+  }
+  return st;
+}
+
+bool SegmentManager::Exists(const std::string& name) const {
+  struct stat st;
+  return ::stat(PathFor(name).c_str(), &st) == 0;
+}
+
+}  // namespace mmjoin::mm

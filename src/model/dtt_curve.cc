@@ -1,0 +1,45 @@
+#include "model/dtt_curve.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmjoin::model {
+
+DttCurve::DttCurve(std::vector<disk::BandPoint> points)
+    : points_(std::move(points)) {
+  assert(!points_.empty());
+  std::sort(points_.begin(), points_.end(),
+            [](const disk::BandPoint& a, const disk::BandPoint& b) {
+              return a.band_blocks < b.band_blocks;
+            });
+}
+
+double DttCurve::Ms(double band_blocks) const {
+  assert(!points_.empty());
+  if (band_blocks <= static_cast<double>(points_.front().band_blocks)) {
+    return points_.front().ms_per_block;
+  }
+  if (band_blocks >= static_cast<double>(points_.back().band_blocks)) {
+    return points_.back().ms_per_block;
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const double x0 = static_cast<double>(points_[i - 1].band_blocks);
+    const double x1 = static_cast<double>(points_[i].band_blocks);
+    if (band_blocks <= x1) {
+      const double f = (band_blocks - x0) / (x1 - x0);
+      return points_[i - 1].ms_per_block +
+             f * (points_[i].ms_per_block - points_[i - 1].ms_per_block);
+    }
+  }
+  return points_.back().ms_per_block;
+}
+
+DttCurves MeasureDttCurves(const disk::DiskGeometry& geometry,
+                           const disk::BandMeasureOptions& options) {
+  DttCurves curves;
+  curves.read = DttCurve(disk::MeasureReadCurve(geometry, options));
+  curves.write = DttCurve(disk::MeasureWriteCurve(geometry, options));
+  return curves;
+}
+
+}  // namespace mmjoin::model

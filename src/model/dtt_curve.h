@@ -1,0 +1,46 @@
+// dttr/dttw: the measured disk-transfer-time functions (section 3.1).
+//
+// A DttCurve holds measured (band size, ms/block) points and interpolates
+// linearly between them, exactly as the paper interpolates its Fig. 1(a)
+// measurements when evaluating the model.
+#ifndef MMJOIN_MODEL_DTT_CURVE_H_
+#define MMJOIN_MODEL_DTT_CURVE_H_
+
+#include <vector>
+
+#include "disk/band_measure.h"
+
+namespace mmjoin::model {
+
+/// Piecewise-linear interpolation over measured band points.
+class DttCurve {
+ public:
+  DttCurve() = default;
+  /// Points must be non-empty; they are sorted by band size internally.
+  explicit DttCurve(std::vector<disk::BandPoint> points);
+
+  /// Average ms per block when single-block accesses are spread over a band
+  /// of `band_blocks`. Clamps outside the measured range.
+  double Ms(double band_blocks) const;
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<disk::BandPoint>& points() const { return points_; }
+
+ private:
+  std::vector<disk::BandPoint> points_;
+};
+
+/// The pair of measured curves the model needs.
+struct DttCurves {
+  DttCurve read;   ///< dttr
+  DttCurve write;  ///< dttw
+};
+
+/// Measures both curves on the simulated drive described by `geometry`
+/// (the Fig. 1a methodology; see disk/band_measure.h).
+DttCurves MeasureDttCurves(const disk::DiskGeometry& geometry,
+                           const disk::BandMeasureOptions& options = {});
+
+}  // namespace mmjoin::model
+
+#endif  // MMJOIN_MODEL_DTT_CURVE_H_

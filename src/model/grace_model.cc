@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <cmath>
+
+#include "join/grace.h"
+#include "model/join_model.h"
+#include "model/urn.h"
+
+namespace mmjoin::model {
+
+namespace {
+
+/// Expected premature page replacements of RS_i bucket pages in pass 0 when
+/// memory is scarce (section 7.3's urn model, with the interpretation
+/// documented in DESIGN.md):
+///
+/// A bucket page that was hit is evicted before its next hit iff the pages
+/// referenced in between fill the resident set: K-or-fewer other bucket
+/// pages, plus "fill events" from the D-1 RP streams and the R_i stream,
+/// plus the D current pages. Epoch q groups the alpha_q objects hashed
+/// after a hit (alpha_0 = K, alpha_q = 1); p_q is the urn-model probability
+/// that too few buckets remain un-hit, y_q the chance of a re-hit in the
+/// epoch.
+double GracePrematureReplacements(double rii, double k_buckets,
+                                  double frames, double d,
+                                  double objects_per_page) {
+  if (k_buckets < 1 || rii <= 0) return 0;
+  const uint64_t k = static_cast<uint64_t>(k_buckets);
+  const double miss_rate = 1.0 / k_buckets;  // P(a given object re-hits)
+
+  double sum = 0;      // P(page absent at its next hit)
+  double survive = 1;  // P(no re-hit has happened yet)
+  double h = 0;        // objects hashed since our page's last hit
+  const uint64_t max_epochs = 4 * k + 64;
+  for (uint64_t epoch = 0; epoch < max_epochs && survive > 1e-9; ++epoch) {
+    const double alpha = epoch == 0 ? k_buckets : 1.0;
+    const double h_end = h + alpha;
+    // Fill events from the D-1 RP streams by the end of the epoch.
+    const double fills = h_end * (d - 1.0) / objects_per_page;
+    // The page was evicted before the re-hit when the distinct pages
+    // referenced in between — (K - #empty) bucket pages hit, the fill
+    // events, and the D current pages — exhausted the resident set; i.e.
+    // when at most K - (frames - fills - D) buckets were left un-hit.
+    const double threshold = k_buckets - (frames - fills - d);
+    double p;
+    if (threshold < 0) {
+      p = 0.0;
+    } else if (threshold >= k_buckets) {
+      p = 1.0;
+    } else {
+      p = ProbEmptyUrnsAtMost(k, static_cast<uint64_t>(h_end),
+                              static_cast<uint64_t>(threshold));
+    }
+    // P(first re-hit falls in this epoch).
+    const double y = survive * (1.0 - std::pow(1.0 - miss_rate, alpha));
+    sum += p * y;
+    survive *= std::pow(1.0 - miss_rate, alpha);
+    h = h_end;
+    if (p >= 1.0 - 1e-12) {
+      // Fills only grow, so every later epoch also has p = 1: the whole
+      // remaining re-hit probability mass is premature.
+      sum += survive;
+      survive = 0;
+    }
+  }
+  // Each of the |R_{i,i}| hash insertions is a hit whose successor hit
+  // faults with probability `sum`; each premature replacement costs one
+  // extra write plus one extra read (charged by the caller).
+  return rii * std::min(1.0, sum);
+}
+
+}  // namespace
+
+CostBreakdown PredictGrace(const ModelInputs& in) {
+  CostBreakdown c;
+  const auto& mc = in.machine;
+  const DerivedSizes z = ComputeSizes(in, /*synchronized=*/true);
+  const double b = static_cast<double>(mc.page_size);
+
+  const join::GracePlan plan = join::PlanGrace(
+      in.params.m_rproc_bytes, static_cast<uint64_t>(z.rsi), in.params);
+  const double k = static_cast<double>(plan.k_buckets);
+  const double p_rii = std::ceil(z.rii * z.r_size / b);
+  const double frames = std::max(
+      1.0, std::floor(static_cast<double>(in.params.m_rproc_bytes) / b));
+
+  // ---- Pass 0: R_i read; RP_i and the K buckets of RS_i written. ----
+  const double band0 = z.p_ri + z.p_si + z.p_rsi + z.p_rpi;
+  c.io_ms += z.p_ri * in.dtt.read.Ms(band0);
+  c.io_ms += z.p_rpi * in.dtt.write.Ms(band0);
+  c.io_ms += (p_rii + k) * in.dtt.write.Ms(band0);
+  // Thrashing: premature replacements cost one extra write + one read each.
+  const double premature = GracePrematureReplacements(
+      z.rii, k, frames, z.d, b / z.r_size);
+  c.io_ms += premature * (in.dtt.read.Ms(band0) + in.dtt.write.Ms(band0));
+
+  c.cpu_ms += z.ri * mc.map_ms;
+  c.cpu_ms += z.rii * mc.hash_ms;
+  c.cpu_ms += z.ri * z.r_size * mc.mt_pp_ms;
+
+  // ---- Pass 1: RP_i read; RS_j buckets written. ----
+  const double band1 = z.p_rsi + z.p_rpi;
+  c.io_ms += z.p_rpi * in.dtt.read.Ms(band1);
+  c.io_ms += (z.p_rpi + k) * in.dtt.write.Ms(band1);
+  c.cpu_ms += z.rpi * mc.hash_ms;
+  c.cpu_ms += z.rpi * z.r_size * mc.mt_pp_ms;
+
+  // ---- Bucket-processing passes: RS_i and S_i read bucket by bucket. ----
+  const double band_buckets = z.p_rsi / k / 2.0;
+  c.io_ms += (z.p_rsi + z.p_si) * in.dtt.read.Ms(band_buckets);
+  c.cpu_ms += z.rsi * mc.hash_ms;
+  c.cpu_ms += z.rsi * (z.r_size + z.sptr_size + z.s_size) * mc.mt_ps_ms;
+  c.cs_ms += GBufferSwitchMs(in, z.rsi);
+
+  // ---- Setup. ----
+  c.setup_ms += z.d * (mc.OpenMapMs(static_cast<uint64_t>(z.p_ri)) +
+                       mc.OpenMapMs(static_cast<uint64_t>(z.p_si)) +
+                       mc.NewMapMs(static_cast<uint64_t>(z.p_rsi + z.p_rpi)) +
+                       mc.OpenMapMs(static_cast<uint64_t>(z.p_rsi)));
+  return c;
+}
+
+CostBreakdown PredictHybridHash(const ModelInputs& in) {
+  // Grace's analysis with the owner's bucket-0 share of RS_i resident in
+  // memory: those |R_{i,i}|/K objects are neither written in pass 0 nor
+  // re-read in the bucket-processing pass. With K = 1 every own-partition
+  // object is resident (classic hybrid-hash); as K grows the correction
+  // vanishes and the prediction converges to Grace's.
+  CostBreakdown c;
+  const auto& mc = in.machine;
+  const DerivedSizes z = ComputeSizes(in, /*synchronized=*/true);
+  const double b = static_cast<double>(mc.page_size);
+
+  const join::GracePlan plan = join::PlanGrace(
+      in.params.m_rproc_bytes, static_cast<uint64_t>(z.rsi), in.params);
+  const double k = static_cast<double>(plan.k_buckets);
+  const double p_rii = std::ceil(z.rii * z.r_size / b);
+  const double resident_objects = z.rii / k;
+  const double p_resident = std::ceil(resident_objects * z.r_size / b);
+  const double frames = std::max(
+      1.0, std::floor(static_cast<double>(in.params.m_rproc_bytes) / b));
+
+  // ---- Pass 0: as Grace, minus the resident bucket's writes. ----
+  const double band0 = z.p_ri + z.p_si + z.p_rsi + z.p_rpi;
+  c.io_ms += z.p_ri * in.dtt.read.Ms(band0);
+  c.io_ms += z.p_rpi * in.dtt.write.Ms(band0);
+  c.io_ms += (std::max(0.0, p_rii - p_resident) + k) *
+             in.dtt.write.Ms(band0);
+  const double premature = GracePrematureReplacements(
+      z.rii - resident_objects, k, frames, z.d, b / z.r_size);
+  c.io_ms += premature * (in.dtt.read.Ms(band0) + in.dtt.write.Ms(band0));
+
+  c.cpu_ms += z.ri * mc.map_ms;
+  c.cpu_ms += z.rii * mc.hash_ms;
+  c.cpu_ms += z.ri * z.r_size * mc.mt_pp_ms;
+
+  // ---- Pass 1: identical to Grace (remote contributions all spill). ----
+  const double band1 = z.p_rsi + z.p_rpi;
+  c.io_ms += z.p_rpi * in.dtt.read.Ms(band1);
+  c.io_ms += (z.p_rpi + k) * in.dtt.write.Ms(band1);
+  c.cpu_ms += z.rpi * mc.hash_ms;
+  c.cpu_ms += z.rpi * z.r_size * mc.mt_pp_ms;
+
+  // ---- Bucket passes: the resident pages are not re-read. ----
+  const double band_buckets = z.p_rsi / k / 2.0;
+  c.io_ms += (std::max(0.0, z.p_rsi - p_resident) + z.p_si) *
+             in.dtt.read.Ms(band_buckets);
+  c.cpu_ms += z.rsi * mc.hash_ms;
+  c.cpu_ms += z.rsi * (z.r_size + z.sptr_size + z.s_size) * mc.mt_ps_ms;
+  c.cs_ms += GBufferSwitchMs(in, z.rsi);
+
+  c.setup_ms += z.d * (mc.OpenMapMs(static_cast<uint64_t>(z.p_ri)) +
+                       mc.OpenMapMs(static_cast<uint64_t>(z.p_si)) +
+                       mc.NewMapMs(static_cast<uint64_t>(z.p_rsi + z.p_rpi)) +
+                       mc.OpenMapMs(static_cast<uint64_t>(z.p_rsi)));
+  return c;
+}
+
+}  // namespace mmjoin::model

@@ -1,0 +1,83 @@
+// Common types of the analytical cost models (sections 5.3, 6.3, 7.3).
+//
+// Each Predict* function returns the model's total elapsed time per Rproc
+// for the given machine, relation and memory configuration, broken down by
+// cost category so that model and experiment can be compared term by term.
+#ifndef MMJOIN_MODEL_JOIN_MODEL_H_
+#define MMJOIN_MODEL_JOIN_MODEL_H_
+
+#include <cstdint>
+
+#include "join/join_common.h"
+#include "model/dtt_curve.h"
+#include "rel/relation.h"
+#include "sim/machine_config.h"
+
+namespace mmjoin::model {
+
+/// Everything the analytical model needs.
+struct ModelInputs {
+  sim::MachineConfig machine;
+  rel::RelationConfig relation;
+  double skew = 1.0;  ///< measured max_j |R_{i,j}| / (|R_i|/D)
+  join::JoinParams params;
+  DttCurves dtt;  ///< measured dttr/dttw curves
+};
+
+/// The model's predicted cost, per Rproc, in milliseconds.
+struct CostBreakdown {
+  double io_ms = 0;     ///< disk transfer terms
+  double cpu_ms = 0;    ///< moves, maps, hashes, heap operations
+  double cs_ms = 0;     ///< context-switch terms
+  double setup_ms = 0;  ///< mapping setup terms
+
+  double total_ms() const { return io_ms + cpu_ms + cs_ms + setup_ms; }
+};
+
+/// Sizes shared by every analysis (object counts and page counts per
+/// partition, for the largest-skew partition where the paper says so).
+struct DerivedSizes {
+  double r_size = 0;     ///< r: bytes per R object
+  double s_size = 0;     ///< s: bytes per S object
+  double sptr_size = 8;  ///< bytes of a copied-out S-pointer
+  double d = 0;          ///< D
+  double ri = 0;         ///< |R_i| = |R|/D
+  double rii = 0;        ///< |R_{i,i}| (skew-adjusted where applicable)
+  double rpi = 0;        ///< |RP_i|
+  double rsi = 0;        ///< |RS_i| = |R|/D
+  double p_ri = 0;       ///< pages of R_i
+  double p_si = 0;       ///< pages of S_i
+  double p_rpi = 0;      ///< pages of RP_i
+  double p_rsi = 0;      ///< pages of RS_i
+};
+
+/// Computes the shared sizes. `synchronized` selects the paper's two skew
+/// conventions: without phase synchronization (nested loops) skew inflates
+/// only R_{i,i}; with synchronization (sort-merge, Grace) the per-pass worst
+/// case inflates |RP_i| as well (sections 5.3 vs 6.3).
+DerivedSizes ComputeSizes(const ModelInputs& in, bool synchronized);
+
+/// g(h): context-switch cost of joining h objects through the G buffer —
+/// 2 * CS * ceil(h / (G / (r + sptr + s))) (section 5.3).
+double GBufferSwitchMs(const ModelInputs& in, double h);
+
+/// Predicted cost of the parallel pointer-based nested loops join (5.3).
+CostBreakdown PredictNestedLoops(const ModelInputs& in);
+
+/// Predicted cost of the parallel pointer-based sort-merge join (6.3).
+CostBreakdown PredictSortMerge(const ModelInputs& in);
+
+/// Predicted cost of the parallel pointer-based Grace join (7.3).
+CostBreakdown PredictGrace(const ModelInputs& in);
+
+/// Predicted cost of the parallel pointer-based hybrid-hash join (the
+/// paper's deferred "more modern hash-based" variant): Grace's model with
+/// the owner's bucket-0 share of RS_i neither written nor re-read.
+CostBreakdown PredictHybridHash(const ModelInputs& in);
+
+/// Dispatch by algorithm.
+CostBreakdown Predict(join::Algorithm algorithm, const ModelInputs& in);
+
+}  // namespace mmjoin::model
+
+#endif  // MMJOIN_MODEL_JOIN_MODEL_H_

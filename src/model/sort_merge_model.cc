@@ -1,0 +1,102 @@
+#include <algorithm>
+#include <cmath>
+
+#include "join/sort_merge.h"
+#include "model/join_model.h"
+
+namespace mmjoin::model {
+
+namespace {
+
+/// Average (compare, swap)-levels of one delete-insert on a heap of h
+/// elements: g(h) = (k(h+1) - 2^k)/h with k = ceil(log2 h) + 1
+/// (Gonnet & Baeza-Yates; used with weight 2*compare + swap).
+double DeleteInsertLevels(double h) {
+  if (h <= 1) return 0;
+  const double k = std::ceil(std::log2(h)) + 1.0;
+  return (k * (h + 1.0) - std::pow(2.0, k)) / h;
+}
+
+}  // namespace
+
+CostBreakdown PredictSortMerge(const ModelInputs& in) {
+  CostBreakdown c;
+  const auto& mc = in.machine;
+  const DerivedSizes z = ComputeSizes(in, /*synchronized=*/true);
+  const double b = static_cast<double>(mc.page_size);
+
+  const join::SortMergePlan plan = join::PlanSortMerge(
+      in.params.m_rproc_bytes, mc.page_size,
+      static_cast<uint64_t>(z.rsi), in.params);
+  const double irun = static_cast<double>(plan.irun);
+  const double npass = static_cast<double>(plan.npass);
+  const double p_merge = z.p_rsi;  // Merge_i mirrors RS_i
+
+  // ---- Pass 0: R_i read; RP_i and RS_i written. ----
+  const double band0 = z.p_ri + z.p_si + z.p_rsi + z.p_rpi;
+  c.io_ms += z.p_ri * in.dtt.read.Ms(band0);
+  c.io_ms += z.p_rsi * in.dtt.write.Ms(band0);
+  c.io_ms += z.p_rpi * in.dtt.write.Ms(band0);
+
+  // ---- Pass 1: RP_i read; RS_i written. ----
+  const double band1 = z.p_rsi + z.p_rpi;
+  c.io_ms += z.p_rpi * in.dtt.read.Ms(band1);
+  c.io_ms += z.p_rsi * in.dtt.write.Ms(band1);
+
+  // Moves and mapping in passes 0/1.
+  c.cpu_ms += z.ri * z.r_size * mc.mt_pp_ms;
+  c.cpu_ms += z.rpi * z.r_size * mc.mt_pp_ms;
+  c.cpu_ms += z.ri * mc.map_ms;
+
+  // ---- Pass 2: heapsort runs of IRUN; band is twice a run. ----
+  const double band2 = 2.0 * z.r_size * irun / b;
+  c.io_ms += z.p_rsi * in.dtt.read.Ms(band2);
+  c.io_ms += z.p_rsi * in.dtt.write.Ms(band2);
+  // Floyd construction + repeated deletion of minima + in-place move.
+  c.cpu_ms += 1.77 * z.rsi * (mc.compare_ms + mc.swap_ms / 2.0) +
+              z.rsi * mc.transfer_ms;
+  c.cpu_ms +=
+      z.rsi * std::log2(std::max(2.0, irun)) *
+      (mc.compare_ms + mc.transfer_ms);
+  c.cpu_ms += z.rsi * z.r_size * mc.mt_pp_ms;
+
+  // ---- Merge passes (all but the last). ----
+  const double band_abl = z.p_rsi + z.p_rpi + p_merge;
+  c.io_ms += z.p_rsi * in.dtt.read.Ms(band_abl) * (npass - 1.0);
+  c.io_ms += z.p_rsi * in.dtt.write.Ms(band_abl) * (npass - 1.0);
+  const double g_abl =
+      (2.0 * mc.compare_ms + mc.swap_ms) *
+          DeleteInsertLevels(static_cast<double>(plan.nrun_abl)) +
+      2.0 * mc.transfer_ms;
+  c.cpu_ms += g_abl * z.rsi * (npass - 1.0);
+  c.cpu_ms += z.rsi * z.r_size * mc.mt_pp_ms * (npass - 1.0);
+
+  // ---- Last pass: merge LRUN runs while scanning S_i sequentially. ----
+  const double band_last =
+      z.p_si + z.p_rsi +
+      (z.p_rpi + p_merge) *
+          static_cast<double>((plan.npass - 1) % 2);
+  c.io_ms += z.p_rsi * in.dtt.read.Ms(band_last);
+  c.io_ms += z.p_si * in.dtt.read.Ms(band_last);
+  const double g_last =
+      (2.0 * mc.compare_ms + mc.swap_ms) *
+          DeleteInsertLevels(static_cast<double>(plan.lrun)) +
+      2.0 * mc.transfer_ms;
+  c.cpu_ms += g_last * z.rsi;
+  c.cpu_ms += z.rsi * (z.r_size + z.sptr_size + z.s_size) * mc.mt_ps_ms;
+  c.cs_ms += GBufferSwitchMs(in, z.rsi);
+
+  // ---- Setup. ----
+  c.setup_ms +=
+      z.d * (mc.OpenMapMs(static_cast<uint64_t>(z.p_ri)) +
+             mc.OpenMapMs(static_cast<uint64_t>(z.p_si)) +
+             mc.NewMapMs(static_cast<uint64_t>(z.p_rsi)) +
+             mc.NewMapMs(static_cast<uint64_t>(z.p_rpi)) +
+             mc.NewMapMs(static_cast<uint64_t>(p_merge)));
+  c.setup_ms += (mc.DeleteMapMs(static_cast<uint64_t>(p_merge)) +
+                 mc.NewMapMs(static_cast<uint64_t>(p_merge))) *
+                (npass - 1.0);
+  return c;
+}
+
+}  // namespace mmjoin::model

@@ -1,0 +1,41 @@
+#include "model/urn.h"
+
+#include <cassert>
+
+namespace mmjoin::model {
+
+std::vector<double> OccupiedUrnDistribution(uint64_t urns, uint64_t balls) {
+  assert(urns > 0);
+  std::vector<double> dist(urns + 1, 0.0);
+  dist[0] = 1.0;
+  const double m = static_cast<double>(urns);
+  for (uint64_t b = 0; b < balls; ++b) {
+    // Walk occupied counts downward so each step uses pre-ball values.
+    for (uint64_t occ = std::min(b + 1, urns); occ > 0; --occ) {
+      const double stay = dist[occ] * (static_cast<double>(occ) / m);
+      const double grow =
+          dist[occ - 1] * (m - static_cast<double>(occ - 1)) / m;
+      dist[occ] = stay + grow;
+    }
+    dist[0] = 0.0;  // after the first ball at least one urn is occupied
+  }
+  return dist;
+}
+
+double ProbEmptyUrnsAtMost(uint64_t urns, uint64_t balls, uint64_t k_max) {
+  const std::vector<double> dist = OccupiedUrnDistribution(urns, balls);
+  // k empty urns <=> (urns - k) occupied; empty <= k_max <=> occupied >=
+  // urns - k_max.
+  double prob = 0.0;
+  const uint64_t min_occupied = k_max >= urns ? 0 : urns - k_max;
+  for (uint64_t occ = min_occupied; occ <= urns; ++occ) prob += dist[occ];
+  return prob > 1.0 ? 1.0 : prob;
+}
+
+double ProbEmptyUrnsExactly(uint64_t urns, uint64_t balls, uint64_t k) {
+  if (k > urns) return 0.0;
+  const std::vector<double> dist = OccupiedUrnDistribution(urns, balls);
+  return dist[urns - k];
+}
+
+}  // namespace mmjoin::model

@@ -1,0 +1,31 @@
+// Urn occupancy model (Johnson & Kotz, "Urn Models and their Application",
+// 1977), used by the Grace analysis (section 7.3) to approximate premature
+// page replacements in pass 0.
+//
+// The paper quotes the closed-form alternating series for Pr[X = k urns
+// empty after n balls in m urns]; that series is numerically unstable for
+// the m, n of interest, so we compute the *exact same distribution* by the
+// occupancy Markov chain: after each ball, the number of occupied urns
+// either stays (prob occ/m) or grows by one (prob (m-occ)/m).
+#ifndef MMJOIN_MODEL_URN_H_
+#define MMJOIN_MODEL_URN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mmjoin::model {
+
+/// Full distribution over the number of OCCUPIED urns after `balls` balls
+/// are thrown independently and uniformly into `urns` urns.
+/// result[k] = Pr[exactly k urns occupied], k = 0..urns.
+std::vector<double> OccupiedUrnDistribution(uint64_t urns, uint64_t balls);
+
+/// Pr[number of EMPTY urns <= k_max] after `balls` balls into `urns` urns.
+double ProbEmptyUrnsAtMost(uint64_t urns, uint64_t balls, uint64_t k_max);
+
+/// Pr[exactly k urns empty] — the Johnson-Kotz quantity, via the DP.
+double ProbEmptyUrnsExactly(uint64_t urns, uint64_t balls, uint64_t k);
+
+}  // namespace mmjoin::model
+
+#endif  // MMJOIN_MODEL_URN_H_

@@ -1,0 +1,42 @@
+#include "model/ylru.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mmjoin::model {
+
+double Ylru(double n_tuples, double t_pages, double i_keys, double b_pages,
+            double x_accesses) {
+  assert(n_tuples > 0 && t_pages > 0 && i_keys > 0 && b_pages > 0);
+  if (x_accesses <= 0) return 0;
+
+  const double hi = std::max(t_pages, i_keys);
+  const double lo = std::min(t_pages, i_keys);
+  const double q = std::pow(1.0 - 1.0 / hi, n_tuples / lo);
+  const double p = 1.0 - q;
+
+  // n = largest j (<= i) with t(1 - q^j) <= b; i.e. the buffer is still
+  // filling. Solve analytically: t(1 - q^j) <= b  <=>  q^j >= 1 - b/t.
+  double n;
+  if (b_pages >= t_pages) {
+    n = i_keys;  // the whole relation fits: the buffer never evicts
+  } else {
+    const double rhs = 1.0 - b_pages / t_pages;
+    n = std::floor(std::log(rhs) / std::log(q));
+    n = std::clamp(n, 0.0, i_keys);
+  }
+
+  double y;
+  if (x_accesses <= n) {
+    y = t_pages * (1.0 - std::pow(q, x_accesses));
+  } else {
+    const double qn = std::pow(q, n);
+    y = t_pages * (1.0 - qn) + t_pages * p * (x_accesses - n) * qn;
+  }
+  // An access faults at most once, and never more than every page per
+  // access beyond steady state; clamp to the trivial upper bound.
+  return std::min(y, x_accesses);
+}
+
+}  // namespace mmjoin::model

@@ -1,0 +1,28 @@
+// The Mackert-Lohman LRU buffer model (ACM TODS 14(3), 1989), as used by
+// the paper to approximate page faults when |Ri,i| or |RPi| S-objects are
+// fetched one at a time through an LRU buffer of b pages:
+//
+//   Ylru(N, t, i, b, x) = t(1 - q^x)                        if x <= n
+//                       = t(1 - q^n) + t*p*(x - n)*q^n      if x >  n
+//
+// with p = 1 - q = 1 - (1 - 1/max(t,i))^(N/min(t,i)) and
+// n = max{ j <= i : t(1 - q^j) <= b } (the point at which the buffer
+// fills). The steady-state branch charges the marginal fault rate t*p*q^n
+// per additional key access; the result is clamped to x (an access faults
+// at most once).
+#ifndef MMJOIN_MODEL_YLRU_H_
+#define MMJOIN_MODEL_YLRU_H_
+
+#include <cstdint>
+
+namespace mmjoin::model {
+
+/// Expected page faults when `x` of `i` distinct key values are used to
+/// retrieve all matching tuples of an `N`-tuple, `t`-page relation through
+/// a `b`-page LRU buffer.
+double Ylru(double n_tuples, double t_pages, double i_keys, double b_pages,
+            double x_accesses);
+
+}  // namespace mmjoin::model
+
+#endif  // MMJOIN_MODEL_YLRU_H_

@@ -1,0 +1,105 @@
+#include "rel/generator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/random.h"
+
+namespace mmjoin::rel {
+
+StatusOr<Workload> BuildWorkload(sim::SimEnv* env,
+                                 const RelationConfig& config) {
+  if (config.num_partitions == 0 ||
+      config.num_partitions != env->config().num_disks) {
+    return Status::InvalidArgument(
+        "num_partitions must equal the environment's disk count");
+  }
+  if (config.r_objects == 0 || config.s_objects == 0) {
+    return Status::InvalidArgument("relations must be non-empty");
+  }
+  const uint32_t d = config.num_partitions;
+
+  Workload w;
+  w.config = config;
+  w.r_count.assign(d, 0);
+  w.s_count.assign(d, 0);
+  w.counts.assign(d, std::vector<uint64_t>(d, 0));
+
+  // Equal-sized partitions; the last one absorbs any remainder.
+  const uint64_t r_per = config.r_objects / d;
+  const uint64_t s_per = config.s_objects / d;
+  if (r_per == 0 || s_per == 0) {
+    return Status::InvalidArgument("fewer objects than partitions");
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    w.r_count[i] = (i == d - 1) ? config.r_objects - r_per * (d - 1) : r_per;
+    w.s_count[i] = (i == d - 1) ? config.s_objects - s_per * (d - 1) : s_per;
+  }
+
+  // Allocate R_i then S_i on each disk so the per-disk layout is [R_i][S_i].
+  w.r_segs.resize(d);
+  w.s_segs.resize(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    MMJOIN_ASSIGN_OR_RETURN(
+        w.r_segs[i],
+        env->CreateSegment("R" + std::to_string(i), i,
+                           w.r_count[i] * sizeof(RObject),
+                           /*materialized=*/true));
+    MMJOIN_ASSIGN_OR_RETURN(
+        w.s_segs[i],
+        env->CreateSegment("S" + std::to_string(i), i,
+                           w.s_count[i] * sizeof(SObject),
+                           /*materialized=*/true));
+  }
+
+  // Fill S: key is a deterministic function of (partition, index) so that
+  // the join can be verified from R alone.
+  for (uint32_t i = 0; i < d; ++i) {
+    auto* objs =
+        reinterpret_cast<SObject*>(env->segment(w.s_segs[i]).raw());
+    for (uint64_t k = 0; k < w.s_count[i]; ++k) {
+      objs[k].id = static_cast<uint64_t>(i) * s_per + k;
+      objs[k].key = SKeyFor(i, k);
+      // A little deterministic payload so the bytes are not all zero.
+      std::memset(objs[k].payload, static_cast<int>(objs[k].key & 0xff),
+                  sizeof(objs[k].payload));
+    }
+  }
+
+  // Fill R with S-pointers drawn uniformly or Zipf-skewed over global S
+  // indices, then map global index -> (partition, local index).
+  ZipfGenerator gen(config.s_objects, config.zipf_theta, config.seed);
+  uint64_t r_id = 0;
+  for (uint32_t i = 0; i < d; ++i) {
+    auto* objs =
+        reinterpret_cast<RObject*>(env->segment(w.r_segs[i]).raw());
+    for (uint64_t k = 0; k < w.r_count[i]; ++k, ++r_id) {
+      const uint64_t global_s = gen.Next();
+      uint32_t part = static_cast<uint32_t>(global_s / s_per);
+      if (part >= d) part = d - 1;
+      const uint64_t local = global_s - static_cast<uint64_t>(part) * s_per;
+      const SPtr sp{part, local};
+      objs[k].id = r_id;
+      objs[k].sptr = sp.Pack();
+      std::memset(objs[k].payload, static_cast<int>(r_id & 0xff),
+                  sizeof(objs[k].payload));
+      ++w.counts[i][part];
+      w.expected_checksum += OutputDigest(r_id, SKeyFor(part, local));
+      ++w.expected_output_count;
+    }
+  }
+
+  // skew = max_{i,j} |R_{i,j}| / (|R_i| / D).
+  double skew = 0.0;
+  for (uint32_t i = 0; i < d; ++i) {
+    const double even =
+        static_cast<double>(w.r_count[i]) / static_cast<double>(d);
+    for (uint32_t j = 0; j < d; ++j) {
+      skew = std::max(skew, static_cast<double>(w.counts[i][j]) / even);
+    }
+  }
+  w.skew = skew;
+  return w;
+}
+
+}  // namespace mmjoin::rel

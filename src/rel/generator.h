@@ -1,0 +1,25 @@
+// Workload generator: builds partitioned R and S relations inside a SimEnv
+// (bulk load, no simulated cost) and precomputes the metadata the join
+// drivers and the verifier need.
+#ifndef MMJOIN_REL_GENERATOR_H_
+#define MMJOIN_REL_GENERATOR_H_
+
+#include "rel/relation.h"
+#include "sim/sim_env.h"
+#include "util/status.h"
+
+namespace mmjoin::rel {
+
+/// Creates segments R_i and S_i (in that order, so the on-disk layout per
+/// disk is [R_i][S_i][temporaries...] as in the paper's band-size
+/// diagrams), fills them, and computes sub-partition counts, skew, and the
+/// expected join checksum.
+///
+/// S-pointers are uniform over S for zipf_theta = 0, Zipf-skewed toward low
+/// S indices (and hence partition 0) otherwise.
+StatusOr<Workload> BuildWorkload(sim::SimEnv* env,
+                                 const RelationConfig& config);
+
+}  // namespace mmjoin::rel
+
+#endif  // MMJOIN_REL_GENERATOR_H_

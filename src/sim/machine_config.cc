@@ -1,0 +1,13 @@
+#include "sim/machine_config.h"
+
+namespace mmjoin::sim {
+
+MachineConfig MachineConfig::SequentSymmetry1996() {
+  MachineConfig mc;
+  mc.page_size = 4096;
+  mc.num_disks = 4;
+  mc.disk = disk::DiskGeometry{};  // Fujitsu-class defaults (see disk_model.h)
+  return mc;
+}
+
+}  // namespace mmjoin::sim

@@ -1,0 +1,33 @@
+#include "sim/shared_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmjoin::sim {
+
+GBuffer::GBuffer(uint64_t g_bytes, uint64_t entry_bytes)
+    : entry_bytes_(entry_bytes),
+      capacity_(std::max<uint64_t>(1, g_bytes / entry_bytes)) {
+  assert(entry_bytes > 0);
+}
+
+uint64_t GBuffer::ChargeExchange(Process* rproc) {
+  const uint64_t batch = pending_;
+  if (batch == 0) return 0;
+  rproc->ChargeContextSwitches(2);
+  rproc->ChargeCpu(static_cast<double>(batch * entry_bytes_) *
+                   rproc->env()->config().mt_ps_ms);
+  ++exchanges_;
+  pending_ = 0;
+  return batch;
+}
+
+uint64_t GBuffer::Add(Process* rproc) {
+  ++pending_;
+  if (pending_ < capacity_) return 0;
+  return ChargeExchange(rproc);
+}
+
+uint64_t GBuffer::Flush(Process* rproc) { return ChargeExchange(rproc); }
+
+}  // namespace mmjoin::sim

@@ -1,0 +1,48 @@
+// The shared-memory request buffer of size G (sections 5.1/5.2).
+//
+// Rproc_i batches S-object requests into a shared buffer instead of context
+// switching to Sproc_j per object: each exchange costs two context switches
+// (Rproc -> Sproc -> Rproc) plus the private->shared transfer of the batch
+// (r + sptr + s bytes per entry: the R object and the copied-out S-pointer
+// travel in, the S object travels back). GBuffer does this accounting; the
+// join code performs the actual S-page touches for each drained entry.
+#ifndef MMJOIN_SIM_SHARED_BUFFER_H_
+#define MMJOIN_SIM_SHARED_BUFFER_H_
+
+#include <cstdint>
+
+#include "sim/sim_env.h"
+
+namespace mmjoin::sim {
+
+class GBuffer {
+ public:
+  /// `g_bytes` is the buffer size G; `entry_bytes` = r + sizeof(sptr) + s.
+  GBuffer(uint64_t g_bytes, uint64_t entry_bytes);
+
+  /// Entries per full exchange (at least 1 even when G < entry size).
+  uint64_t capacity() const { return capacity_; }
+
+  /// Records one request. When the buffer reaches capacity, charges the
+  /// exchange (2 CS + the batch's MTps transfer) to `rproc` and returns the
+  /// number of entries the caller must now service; returns 0 otherwise.
+  uint64_t Add(Process* rproc);
+
+  /// Drains a partial batch (end of a scan); charges and returns its size.
+  uint64_t Flush(Process* rproc);
+
+  uint64_t exchanges() const { return exchanges_; }
+  uint64_t pending() const { return pending_; }
+
+ private:
+  uint64_t ChargeExchange(Process* rproc);
+
+  uint64_t entry_bytes_;
+  uint64_t capacity_;
+  uint64_t pending_ = 0;
+  uint64_t exchanges_ = 0;
+};
+
+}  // namespace mmjoin::sim
+
+#endif  // MMJOIN_SIM_SHARED_BUFFER_H_

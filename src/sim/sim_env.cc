@@ -1,0 +1,123 @@
+#include "sim/sim_env.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mmjoin::sim {
+
+SimSegment::SimSegment(SegId id, std::string name, const disk::Extent& extent,
+                       uint64_t bytes, uint32_t page_size, bool materialized)
+    : id_(id),
+      name_(std::move(name)),
+      extent_(extent),
+      bytes_(bytes),
+      data_(bytes, 0),
+      materialized_((bytes + page_size - 1) / page_size,
+                    materialized ? 1 : 0) {}
+
+void SimSegment::MarkAllMaterialized() {
+  for (auto& m : materialized_) m = 1;
+}
+
+SimEnv::SimEnv(const MachineConfig& config)
+    : config_(config), disks_(config.num_disks, config.disk) {}
+
+StatusOr<SegId> SimEnv::CreateSegment(const std::string& name, uint32_t disk,
+                                      uint64_t bytes, bool materialized) {
+  if (bytes == 0) return Status::InvalidArgument("empty segment: " + name);
+  const uint64_t blocks =
+      (bytes + config_.page_size - 1) / config_.page_size;
+  MMJOIN_ASSIGN_OR_RETURN(disk::Extent extent,
+                          disks_.Allocate(disk, blocks));
+  const SegId id = static_cast<SegId>(segments_.size());
+  segments_.push_back(std::make_unique<SimSegment>(
+      id, name, extent, bytes, config_.page_size, materialized));
+  return id;
+}
+
+Status SimEnv::DeleteSegment(SegId id) {
+  if (!IsLive(id)) return Status::NotFound("segment not live");
+  MMJOIN_RETURN_NOT_OK(disks_.Free(segments_[id]->extent()));
+  segments_[id].reset();
+  return Status::OK();
+}
+
+Process::Process(SimEnv* env, std::string name, uint64_t mem_bytes,
+                 vm::PolicyKind policy)
+    : env_(env),
+      name_(std::move(name)),
+      cache_(std::max<uint64_t>(1, mem_bytes / env->config().page_size),
+             policy, &env->disks()) {
+  cache_.set_write_back_listener([this](const vm::PageId& id) {
+    if (env_->IsLive(id.segment)) {
+      env_->segment(id.segment).set_page_materialized(id.page);
+    }
+  });
+}
+
+void Process::TouchRange(SegId seg, uint64_t offset, uint64_t len, bool write,
+                         ProcessStats* payer) {
+  assert(env_->IsLive(seg));
+  SimSegment& s = env_->segment(seg);
+  assert(offset + len <= s.bytes());
+  const uint32_t page_size = env_->config().page_size;
+  const uint64_t first = offset / page_size;
+  const uint64_t last = len == 0 ? first : (offset + len - 1) / page_size;
+  for (uint64_t p = first; p <= last; ++p) {
+    const vm::PageId id{seg, p};
+    const bool need_read = s.page_materialized(p);
+    const vm::TouchResult r =
+        cache_.Touch(id, s.disk(), s.BlockOf(p), write, need_read);
+    payer->clock_ms += r.ms;
+    payer->io_ms += r.ms;
+    if (r.faulted) ++payer->faults;
+    if (r.wrote_back) ++payer->write_backs;
+  }
+}
+
+const void* Process::Read(SegId seg, uint64_t offset, uint64_t len) {
+  TouchRange(seg, offset, len, /*write=*/false, &stats_);
+  return env_->segment(seg).raw() + offset;
+}
+
+void* Process::Write(SegId seg, uint64_t offset, uint64_t len) {
+  TouchRange(seg, offset, len, /*write=*/true, &stats_);
+  return env_->segment(seg).raw() + offset;
+}
+
+const void* Process::ReadFor(Process* payer, SegId seg, uint64_t offset,
+                             uint64_t len) {
+  TouchRange(seg, offset, len, /*write=*/false, &payer->stats_);
+  return env_->segment(seg).raw() + offset;
+}
+
+void Process::ChargeCpu(double ms) {
+  stats_.clock_ms += ms;
+  stats_.cpu_ms += ms;
+}
+
+void Process::ChargeSetup(double ms) {
+  stats_.clock_ms += ms;
+  stats_.setup_ms += ms;
+}
+
+void Process::ChargeContextSwitches(uint64_t n) {
+  stats_.context_switches += n;
+  const double ms = static_cast<double>(n) * env_->config().cs_ms;
+  stats_.clock_ms += ms;
+  stats_.cpu_ms += ms;
+}
+
+void Process::FlushCache() {
+  const double ms = cache_.FlushAll();
+  stats_.clock_ms += ms;
+  stats_.io_ms += ms;
+}
+
+void Process::DropSegment(SegId seg, bool discard) {
+  const double ms = cache_.EvictSegment(seg, discard);
+  stats_.clock_ms += ms;
+  stats_.io_ms += ms;
+}
+
+}  // namespace mmjoin::sim

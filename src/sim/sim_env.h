@@ -1,0 +1,174 @@
+// The simulated memory-mapped execution environment.
+//
+// SimEnv owns a bank of simulated disks and a set of segments (the
+// single-level store). A Process is the analogue of one µC++ task with its
+// own resident set (Rproc_i / Sproc_i in the paper): every Read/Write of a
+// byte range touches the covering pages through the process's page cache,
+// charging simulated time for page faults and dirty write-backs to the
+// process's private clock. Segment data itself lives in host memory, so the
+// joins move real bytes and their output can be verified, while all timing
+// flows from the disk and paging models.
+#ifndef MMJOIN_SIM_SIM_ENV_H_
+#define MMJOIN_SIM_SIM_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "sim/machine_config.h"
+#include "util/status.h"
+#include "vm/page_cache.h"
+
+namespace mmjoin::sim {
+
+/// Identifies a segment within a SimEnv.
+using SegId = uint32_t;
+constexpr SegId kInvalidSeg = UINT32_MAX;
+
+/// One mapped area of one disk: a contiguous extent plus its (host-memory)
+/// backing bytes and per-page materialization state. A page that has never
+/// been written back to disk is "zero-fill": faulting it in costs no read.
+class SimSegment {
+ public:
+  SimSegment(SegId id, std::string name, const disk::Extent& extent,
+             uint64_t bytes, uint32_t page_size, bool materialized);
+
+  SegId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const disk::Extent& extent() const { return extent_; }
+  uint32_t disk() const { return extent_.disk; }
+  uint64_t bytes() const { return bytes_; }
+  uint64_t pages() const { return materialized_.size(); }
+
+  /// Direct access to the backing bytes (no cost accounting) — used by the
+  /// workload generator and by verification, never by the join algorithms.
+  uint8_t* raw() { return data_.data(); }
+  const uint8_t* raw() const { return data_.data(); }
+
+  bool page_materialized(uint64_t page) const { return materialized_[page]; }
+  void set_page_materialized(uint64_t page) { materialized_[page] = 1; }
+  /// Marks the whole segment as present on disk (generator bulk loads).
+  void MarkAllMaterialized();
+
+  /// Disk block backing a given page of this segment.
+  uint64_t BlockOf(uint64_t page) const { return extent_.start_block + page; }
+
+ private:
+  SegId id_;
+  std::string name_;
+  disk::Extent extent_;
+  uint64_t bytes_;
+  std::vector<uint8_t> data_;
+  std::vector<uint8_t> materialized_;  // per page; 1 = present on disk
+};
+
+/// The environment: disks + segments + the machine parameter set.
+class SimEnv {
+ public:
+  explicit SimEnv(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+  disk::DiskArray& disks() { return disks_; }
+
+  /// Creates a segment of `bytes` bytes on `disk`. `materialized` = true
+  /// models openMap of pre-existing data; false models newMap (zero-fill
+  /// pages). Mapping *setup time* is not charged here — callers charge
+  /// NewMapMs/OpenMapMs to the appropriate process clock, as the paper
+  /// accounts setup separately.
+  StatusOr<SegId> CreateSegment(const std::string& name, uint32_t disk,
+                                uint64_t bytes, bool materialized);
+
+  /// Destroys a segment and frees its extent. Pages still cached by
+  /// processes must have been dropped first (DropSegment).
+  Status DeleteSegment(SegId id);
+
+  SimSegment& segment(SegId id) { return *segments_[id]; }
+  const SimSegment& segment(SegId id) const { return *segments_[id]; }
+  bool IsLive(SegId id) const {
+    return id < segments_.size() && segments_[id] != nullptr;
+  }
+
+ private:
+  MachineConfig config_;
+  disk::DiskArray disks_;
+  std::vector<std::unique_ptr<SimSegment>> segments_;
+};
+
+/// Aggregated accounting for one simulated process.
+struct ProcessStats {
+  double clock_ms = 0;   ///< total elapsed virtual time
+  double io_ms = 0;      ///< portion spent in page-fault / write-back I/O
+  double cpu_ms = 0;     ///< portion charged as CPU work
+  double setup_ms = 0;   ///< portion charged as mapping setup
+  double wait_ms = 0;    ///< idle time spent at phase barriers
+  uint64_t faults = 0;
+  uint64_t write_backs = 0;
+  uint64_t context_switches = 0;
+};
+
+/// One simulated process (an Rproc or Sproc): a private clock plus a
+/// resident set of `mem_bytes` over the environment's disks.
+class Process {
+ public:
+  Process(SimEnv* env, std::string name, uint64_t mem_bytes,
+          vm::PolicyKind policy = vm::PolicyKind::kLru);
+
+  const std::string& name() const { return name_; }
+  SimEnv* env() { return env_; }
+
+  /// Reads `len` bytes at `offset` of segment `seg`: touches the covering
+  /// pages (charging fault time) and returns a pointer to the bytes.
+  const void* Read(SegId seg, uint64_t offset, uint64_t len);
+
+  /// Same as Read but marks the pages dirty and returns a writable pointer.
+  void* Write(SegId seg, uint64_t offset, uint64_t len);
+
+  /// Reads through *this* process's cache but charges the elapsed time to
+  /// `payer` (the requesting process blocks while this one services the
+  /// request — e.g. Sproc_j dereferencing an S-pointer on behalf of
+  /// Rproc_i).
+  const void* ReadFor(Process* payer, SegId seg, uint64_t offset,
+                      uint64_t len);
+
+  /// Adds CPU time to the clock.
+  void ChargeCpu(double ms);
+  /// Adds mapping-setup time to the clock.
+  void ChargeSetup(double ms);
+  /// Records `n` context switches (each costing CS).
+  void ChargeContextSwitches(uint64_t n);
+
+  /// Writes back all dirty pages in this process's cache; charges the time.
+  void FlushCache();
+
+  /// Drops all pages of `seg` from this cache. With `discard` the dirty
+  /// pages are thrown away (deleteMap semantics); otherwise they are
+  /// written back. Charges the time.
+  void DropSegment(SegId seg, bool discard);
+
+  double clock_ms() const { return stats_.clock_ms; }
+  /// Forces the clock (phase-synchronization barriers). A forward move is
+  /// accounted as barrier wait; a backward move rewrites history and leaves
+  /// the categories untouched (used only by tests).
+  void set_clock_ms(double ms) {
+    if (ms > stats_.clock_ms) stats_.wait_ms += ms - stats_.clock_ms;
+    stats_.clock_ms = ms;
+  }
+
+  const ProcessStats& stats() const { return stats_; }
+  vm::PageCache& cache() { return cache_; }
+
+ private:
+  void TouchRange(SegId seg, uint64_t offset, uint64_t len, bool write,
+                  ProcessStats* payer);
+
+  SimEnv* env_;
+  std::string name_;
+  vm::PageCache cache_;
+  ProcessStats stats_;
+};
+
+}  // namespace mmjoin::sim
+
+#endif  // MMJOIN_SIM_SIM_ENV_H_

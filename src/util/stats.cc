@@ -1,0 +1,58 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mmjoin {
+
+void RunningStat::Add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.empty() ? 1 : bounds_.size() - 1, 0) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (counts_.size() == 1) {
+    ++counts_[0];
+    return;
+  }
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  size_t idx;
+  if (it == bounds_.begin()) {
+    idx = 0;
+  } else {
+    idx = static_cast<size_t>(it - bounds_.begin()) - 1;
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::fraction(size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+std::string FormatFixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace mmjoin

@@ -1,0 +1,62 @@
+// Small statistics helpers shared by the measurement harnesses and benches.
+#ifndef MMJOIN_UTIL_STATS_H_
+#define MMJOIN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mmjoin {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-boundary histogram for distribution sanity checks in tests.
+class Histogram {
+ public:
+  /// Buckets are [bounds[i], bounds[i+1]); values outside land in the
+  /// first/last bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+  /// Fraction of samples in bucket i.
+  double fraction(size_t i) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Formats a double with fixed decimals (bench TSV output helper).
+std::string FormatFixed(double v, int decimals);
+
+}  // namespace mmjoin
+
+#endif  // MMJOIN_UTIL_STATS_H_

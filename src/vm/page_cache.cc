@@ -1,0 +1,142 @@
+#include "vm/page_cache.h"
+
+#include <cassert>
+
+namespace mmjoin::vm {
+
+PageCache::PageCache(size_t frames, PolicyKind policy,
+                     disk::DiskArray* disks)
+    : capacity_(frames),
+      policy_kind_(policy),
+      disks_(disks),
+      policy_(ReplacementPolicy::Create(policy, frames)),
+      frames_(frames) {
+  assert(frames > 0);
+  assert(disks != nullptr);
+  free_frames_.reserve(frames);
+  for (size_t i = frames; i-- > 0;) free_frames_.push_back(i);
+}
+
+double PageCache::WriteBack(Frame& frame) {
+  assert(frame.valid && frame.dirty);
+  const double ms = disks_->disk(frame.disk).WriteBlock(frame.block);
+  frame.dirty = false;
+  ++stats_.write_backs;
+  if (write_back_listener_) write_back_listener_(frame.id);
+  return ms;
+}
+
+double PageCache::EvictOne() {
+  const size_t victim = policy_->PickVictim();
+  Frame& frame = frames_[victim];
+  assert(frame.valid);
+  double ms = 0;
+  if (frame.dirty) ms = WriteBack(frame);
+  policy_->OnRemove(victim);
+  map_.erase(frame.id);
+  frame.valid = false;
+  free_frames_.push_back(victim);
+  return ms;
+}
+
+TouchResult PageCache::Touch(const PageId& id, uint32_t disk, uint64_t block,
+                             bool write, bool need_disk_read) {
+  TouchResult result;
+  ++stats_.touches;
+
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    result.hit = true;
+    ++stats_.hits;
+    Frame& frame = frames_[it->second];
+    frame.dirty = frame.dirty || write;
+    policy_->OnAccess(it->second);
+    return result;
+  }
+
+  // Miss: make room, then fault the page in.
+  if (free_frames_.empty()) {
+    const uint64_t wb_before = stats_.write_backs;
+    result.ms += EvictOne();
+    result.wrote_back = stats_.write_backs > wb_before;
+  }
+  assert(!free_frames_.empty());
+  const size_t slot = free_frames_.back();
+  free_frames_.pop_back();
+
+  if (need_disk_read) {
+    result.faulted = true;
+    ++stats_.faults;
+    result.ms += disks_->disk(disk).ReadBlock(block);
+  } else {
+    ++stats_.zero_fills;
+  }
+
+  Frame& frame = frames_[slot];
+  frame.id = id;
+  frame.disk = disk;
+  frame.block = block;
+  frame.dirty = write;
+  frame.valid = true;
+  map_.emplace(id, slot);
+  policy_->OnInsert(slot);
+
+  stats_.io_ms += result.ms;
+  return result;
+}
+
+bool PageCache::IsResident(const PageId& id) const {
+  return map_.find(id) != map_.end();
+}
+
+double PageCache::FlushAll() {
+  double ms = 0;
+  for (auto& frame : frames_) {
+    if (frame.valid && frame.dirty) ms += WriteBack(frame);
+  }
+  stats_.io_ms += ms;
+  return ms;
+}
+
+double PageCache::EvictSegment(uint32_t segment, bool discard) {
+  double ms = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (!frame.valid || frame.id.segment != segment) continue;
+    if (frame.dirty && !discard) ms += WriteBack(frame);
+    policy_->OnRemove(i);
+    map_.erase(frame.id);
+    frame.valid = false;
+    free_frames_.push_back(i);
+  }
+  stats_.io_ms += ms;
+  return ms;
+}
+
+double PageCache::Resize(size_t frames) {
+  assert(frames > 0);
+  double ms = 0;
+  while (map_.size() > frames) ms += EvictOne();
+  // Rebuild frame storage preserving resident pages.
+  std::vector<Frame> old_frames = std::move(frames_);
+  frames_.assign(frames, Frame{});
+  free_frames_.clear();
+  policy_ = ReplacementPolicy::Create(policy_kind_, frames);
+  map_.clear();
+  size_t slot = 0;
+  // Note: recency order is not preserved across a resize; resizing is only
+  // done between experiment runs, never mid-join.
+  for (auto& frame : old_frames) {
+    if (!frame.valid) continue;
+    frames_[slot] = frame;
+    map_.emplace(frame.id, slot);
+    policy_->OnInsert(slot);
+    ++slot;
+  }
+  for (size_t i = frames; i-- > slot;) free_frames_.push_back(i);
+  capacity_ = frames;
+  stats_.io_ms += ms;
+  return ms;
+}
+
+}  // namespace mmjoin::vm

@@ -1,0 +1,126 @@
+// Per-process paged cache over the simulated disk array.
+//
+// This is the analogue of the operating system's resident set for one
+// process in the paper's environment: each Rproc/Sproc has M_proc bytes of
+// real memory; every access to a mapped segment touches a page, and a miss
+// is a page fault that performs a block read against the owning disk (and
+// possibly a dirty write-back of the evicted page). Segment data itself
+// lives in ordinary host memory — the cache tracks *residency and cost*, so
+// join correctness is independent of the paging model while the timing is
+// governed by it.
+#ifndef MMJOIN_VM_PAGE_CACHE_H_
+#define MMJOIN_VM_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/disk_array.h"
+#include "vm/replacement.h"
+
+namespace mmjoin::vm {
+
+/// Identifies one virtual-memory page: a segment id plus a page number
+/// within the segment.
+struct PageId {
+  uint32_t segment = 0;
+  uint64_t page = 0;
+
+  bool operator==(const PageId& o) const {
+    return segment == o.segment && page == o.page;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return std::hash<uint64_t>()((uint64_t(id.segment) << 40) ^ id.page);
+  }
+};
+
+/// Outcome of touching one page.
+struct TouchResult {
+  bool hit = false;         ///< page was already resident
+  bool faulted = false;     ///< a disk read was performed
+  bool wrote_back = false;  ///< a dirty victim was written back
+  double ms = 0;            ///< elapsed simulated time charged to the caller
+};
+
+/// Cumulative cache statistics.
+struct CacheStats {
+  uint64_t touches = 0;
+  uint64_t hits = 0;
+  uint64_t faults = 0;       ///< misses that required a disk read
+  uint64_t zero_fills = 0;   ///< misses satisfied without a read (fresh page)
+  uint64_t write_backs = 0;  ///< dirty evictions written to disk
+  double io_ms = 0;          ///< total disk time charged through this cache
+};
+
+/// Fixed-capacity page cache with a pluggable replacement policy.
+class PageCache {
+ public:
+  /// `frames` is the resident-set size in pages; `disks` services fault I/O
+  /// and write-backs and must outlive the cache.
+  PageCache(size_t frames, PolicyKind policy, disk::DiskArray* disks);
+
+  /// Called with the PageId of a dirty page at the moment it is written back
+  /// (eviction or flush); used by segments to track materialization.
+  void set_write_back_listener(std::function<void(const PageId&)> fn) {
+    write_back_listener_ = std::move(fn);
+  }
+
+  /// Touches a page. `disk`/`block` locate the backing block for fault I/O;
+  /// `write` marks the page dirty; `need_disk_read` is false for pages of a
+  /// freshly created mapping that have never been materialized on disk
+  /// (zero-fill — no read occurs on first touch).
+  TouchResult Touch(const PageId& id, uint32_t disk, uint64_t block,
+                    bool write, bool need_disk_read);
+
+  /// Returns true if the page is currently resident.
+  bool IsResident(const PageId& id) const;
+
+  /// Writes back all dirty pages (cache contents stay resident); returns
+  /// elapsed simulated milliseconds.
+  double FlushAll();
+
+  /// Drops every page of `segment`, writing back dirty ones unless
+  /// `discard` is true (deleteMap semantics). Returns elapsed milliseconds.
+  double EvictSegment(uint32_t segment, bool discard);
+
+  /// Changes the resident-set size; shrinking evicts (with write-back) until
+  /// the new capacity is met. Returns elapsed milliseconds.
+  double Resize(size_t frames);
+
+  size_t capacity() const { return capacity_; }
+  size_t resident() const { return map_.size(); }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Frame {
+    PageId id;
+    uint32_t disk = 0;
+    uint64_t block = 0;
+    bool dirty = false;
+    bool valid = false;
+  };
+
+  /// Evicts the policy's victim; returns write-back time (0 if clean).
+  double EvictOne();
+  double WriteBack(Frame& frame);
+
+  size_t capacity_;
+  PolicyKind policy_kind_;
+  disk::DiskArray* disks_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t, PageIdHash> map_;
+  std::function<void(const PageId&)> write_back_listener_;
+  CacheStats stats_;
+};
+
+}  // namespace mmjoin::vm
+
+#endif  // MMJOIN_VM_PAGE_CACHE_H_

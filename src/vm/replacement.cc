@@ -1,0 +1,131 @@
+#include "vm/replacement.h"
+
+#include <cassert>
+
+namespace mmjoin::vm {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "LRU";
+    case PolicyKind::kClock:
+      return "CLOCK";
+    case PolicyKind::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplacementPolicy> ReplacementPolicy::Create(PolicyKind kind,
+                                                             size_t capacity) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>(capacity);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(capacity);
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoPolicy>(capacity);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- LRU
+
+LruPolicy::LruPolicy(size_t capacity)
+    : where_(capacity), present_(capacity, false) {}
+
+void LruPolicy::OnInsert(size_t frame) {
+  assert(frame < present_.size() && !present_[frame]);
+  order_.push_front(frame);
+  where_[frame] = order_.begin();
+  present_[frame] = true;
+}
+
+void LruPolicy::OnAccess(size_t frame) {
+  assert(present_[frame]);
+  order_.erase(where_[frame]);
+  order_.push_front(frame);
+  where_[frame] = order_.begin();
+}
+
+void LruPolicy::OnRemove(size_t frame) {
+  assert(present_[frame]);
+  order_.erase(where_[frame]);
+  present_[frame] = false;
+}
+
+size_t LruPolicy::PickVictim() {
+  assert(!order_.empty());
+  return order_.back();
+}
+
+// -------------------------------------------------------------- CLOCK
+
+ClockPolicy::ClockPolicy(size_t capacity)
+    : present_(capacity, false), referenced_(capacity, false) {}
+
+void ClockPolicy::OnInsert(size_t frame) {
+  assert(!present_[frame]);
+  present_[frame] = true;
+  referenced_[frame] = true;
+}
+
+void ClockPolicy::OnAccess(size_t frame) {
+  assert(present_[frame]);
+  referenced_[frame] = true;
+}
+
+void ClockPolicy::OnRemove(size_t frame) {
+  assert(present_[frame]);
+  present_[frame] = false;
+  referenced_[frame] = false;
+}
+
+size_t ClockPolicy::PickVictim() {
+  const size_t n = present_.size();
+  for (size_t sweep = 0; sweep < 2 * n + 1; ++sweep) {
+    const size_t f = hand_;
+    hand_ = (hand_ + 1) % n;
+    if (!present_[f]) continue;
+    if (referenced_[f]) {
+      referenced_[f] = false;  // second chance
+      continue;
+    }
+    return f;
+  }
+  assert(false && "no victim found");
+  return 0;
+}
+
+// --------------------------------------------------------------- FIFO
+
+FifoPolicy::FifoPolicy(size_t capacity) : present_(capacity, false) {}
+
+void FifoPolicy::OnInsert(size_t frame) {
+  assert(!present_[frame]);
+  queue_.push_back(frame);
+  present_[frame] = true;
+}
+
+void FifoPolicy::OnAccess(size_t frame) {
+  assert(present_[frame]);
+  (void)frame;
+}
+
+void FifoPolicy::OnRemove(size_t frame) {
+  assert(present_[frame]);
+  present_[frame] = false;
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == frame) {
+      queue_.erase(it);
+      break;
+    }
+  }
+}
+
+size_t FifoPolicy::PickVictim() {
+  assert(!queue_.empty());
+  return queue_.front();
+}
+
+}  // namespace mmjoin::vm

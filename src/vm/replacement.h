@@ -1,0 +1,90 @@
+// Page replacement policies for the simulated virtual-memory cache.
+//
+// The paper's model assumes LRU (it uses the Mackert-Lohman LRU buffer
+// approximation, and both the sort-merge NRUN rule and the Grace thrashing
+// analysis are consequences of LRU "making the wrong decision"). True LRU is
+// therefore the default; CLOCK (a Dynix-style approximation) and FIFO are
+// provided for the replacement-policy ablation (ABL-3).
+#ifndef MMJOIN_VM_REPLACEMENT_H_
+#define MMJOIN_VM_REPLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <vector>
+
+namespace mmjoin::vm {
+
+enum class PolicyKind { kLru, kClock, kFifo };
+
+const char* PolicyKindName(PolicyKind kind);
+
+/// Tracks frame recency and picks eviction victims. Frames are identified by
+/// dense indices [0, capacity).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A page was installed in `frame`.
+  virtual void OnInsert(size_t frame) = 0;
+  /// The page in `frame` was referenced.
+  virtual void OnAccess(size_t frame) = 0;
+  /// The page in `frame` was removed (eviction already decided, or explicit
+  /// invalidation).
+  virtual void OnRemove(size_t frame) = 0;
+  /// Chooses the frame to evict. At least one frame must be tracked.
+  virtual size_t PickVictim() = 0;
+
+  static std::unique_ptr<ReplacementPolicy> Create(PolicyKind kind,
+                                                   size_t capacity);
+};
+
+/// True least-recently-used (doubly linked list of frames).
+class LruPolicy : public ReplacementPolicy {
+ public:
+  explicit LruPolicy(size_t capacity);
+  void OnInsert(size_t frame) override;
+  void OnAccess(size_t frame) override;
+  void OnRemove(size_t frame) override;
+  size_t PickVictim() override;
+
+ private:
+  std::list<size_t> order_;  // front = most recent
+  std::vector<std::list<size_t>::iterator> where_;
+  std::vector<bool> present_;
+};
+
+/// Second-chance CLOCK.
+class ClockPolicy : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(size_t capacity);
+  void OnInsert(size_t frame) override;
+  void OnAccess(size_t frame) override;
+  void OnRemove(size_t frame) override;
+  size_t PickVictim() override;
+
+ private:
+  std::vector<bool> present_;
+  std::vector<bool> referenced_;
+  size_t hand_ = 0;
+};
+
+/// First-in first-out.
+class FifoPolicy : public ReplacementPolicy {
+ public:
+  explicit FifoPolicy(size_t capacity);
+  void OnInsert(size_t frame) override;
+  void OnAccess(size_t frame) override;
+  void OnRemove(size_t frame) override;
+  size_t PickVictim() override;
+
+ private:
+  std::deque<size_t> queue_;
+  std::vector<bool> present_;
+};
+
+}  // namespace mmjoin::vm
+
+#endif  // MMJOIN_VM_REPLACEMENT_H_

@@ -1,0 +1,91 @@
+// Properties of the measured dttr/dttw curves (the Fig. 1a methodology):
+// both curves increase with band size, writes are cheaper than reads for
+// random bands, and band size 1 approaches the sequential cost.
+#include "disk/band_measure.h"
+
+#include <gtest/gtest.h>
+
+namespace mmjoin::disk {
+namespace {
+
+BandMeasureOptions FastOptions() {
+  BandMeasureOptions o;
+  o.area_blocks = 16000;
+  o.accesses_per_band = 32;
+  return o;
+}
+
+TEST(BandMeasureTest, ReadCurveIsMonotoneNondecreasing) {
+  const auto curve = MeasureReadCurve(DiskGeometry{}, FastOptions());
+  ASSERT_GT(curve.size(), 3u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].ms_per_block, curve[i - 1].ms_per_block * 0.98)
+        << "band " << curve[i].band_blocks;
+  }
+}
+
+TEST(BandMeasureTest, WriteCurveIsMonotoneNondecreasing) {
+  const auto curve = MeasureWriteCurve(DiskGeometry{}, FastOptions());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].ms_per_block, curve[i - 1].ms_per_block * 0.98);
+  }
+}
+
+TEST(BandMeasureTest, WritesCheaperThanReadsInRandomBands) {
+  const DiskGeometry g;
+  const auto reads = MeasureReadCurve(g, FastOptions());
+  const auto writes = MeasureWriteCurve(g, FastOptions());
+  ASSERT_EQ(reads.size(), writes.size());
+  for (size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].band_blocks == 1) continue;  // sequential: comparable
+    EXPECT_LT(writes[i].ms_per_block, reads[i].ms_per_block)
+        << "band " << reads[i].band_blocks;
+  }
+}
+
+TEST(BandMeasureTest, SequentialBandMatchesStreamingCost) {
+  const DiskGeometry g;
+  const auto reads = MeasureReadCurve(g, FastOptions());
+  ASSERT_EQ(reads.front().band_blocks, 1u);
+  // Sequential reads cost overhead + transfer (plus one initial seek,
+  // amortized away over the area).
+  EXPECT_NEAR(reads.front().ms_per_block, g.overhead_ms + g.transfer_ms,
+              0.2);
+}
+
+TEST(BandMeasureTest, MagnitudesMatchFig1a) {
+  // The paper's Fig 1(a): ~6 ms sequential, ~18-22 ms for random reads in a
+  // 12800-block band; writes peak lower (~12-14 ms).
+  const auto reads = MeasureReadCurve(DiskGeometry{}, FastOptions());
+  const auto writes = MeasureWriteCurve(DiskGeometry{}, FastOptions());
+  const auto& seq = reads.front();
+  const auto& wide_r = reads.back();
+  const auto& wide_w = writes.back();
+  EXPECT_GT(seq.ms_per_block, 3.0);
+  EXPECT_LT(seq.ms_per_block, 9.0);
+  EXPECT_GT(wide_r.ms_per_block, 14.0);
+  EXPECT_LT(wide_r.ms_per_block, 26.0);
+  EXPECT_GT(wide_w.ms_per_block, 8.0);
+  EXPECT_LT(wide_w.ms_per_block, 18.0);
+}
+
+TEST(BandMeasureTest, DeterministicForSeed) {
+  const auto a = MeasureReadCurve(DiskGeometry{}, FastOptions());
+  const auto b = MeasureReadCurve(DiskGeometry{}, FastOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].ms_per_block, b[i].ms_per_block);
+  }
+}
+
+TEST(BandMeasureTest, CustomBandList) {
+  BandMeasureOptions o = FastOptions();
+  o.band_sizes = {1, 64, 256};
+  const auto curve = MeasureReadCurve(DiskGeometry{}, o);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve[0].band_blocks, 1u);
+  EXPECT_EQ(curve[2].band_blocks, 256u);
+}
+
+}  // namespace
+}  // namespace mmjoin::disk

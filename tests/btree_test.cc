@@ -1,0 +1,209 @@
+// The persistent B+-tree on the mmap substrate: structural invariants,
+// differential testing against std::map, and persistence across remapping.
+#include "mmap/btree.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <map>
+#include <string>
+
+#include "util/random.h"
+
+namespace mmjoin::mm {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = ::testing::TempDir() + "btree_" + std::to_string(::getpid()) +
+           "_" + std::to_string(counter++);
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    path_ = dir_ + "/tree.seg";
+  }
+
+  Segment MakeSegment(uint64_t bytes = 16 << 20) {
+    auto seg = Segment::Create(path_, bytes);
+    EXPECT_TRUE(seg.ok()) << seg.status().ToString();
+    return std::move(seg).value();
+  }
+
+  std::string dir_, path_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  Segment seg = MakeSegment();
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 0u);
+  EXPECT_EQ(tree->height(), 1u);
+  EXPECT_EQ(tree->Find(42).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST_F(BTreeTest, InsertAndFindFew) {
+  Segment seg = MakeSegment();
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k : {5ull, 1ull, 9ull, 3ull}) {
+    ASSERT_TRUE(tree->Insert(k, k * 10).ok());
+  }
+  EXPECT_EQ(tree->size(), 4u);
+  for (uint64_t k : {5ull, 1ull, 9ull, 3ull}) {
+    auto v = tree->Find(k);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, k * 10);
+  }
+  EXPECT_FALSE(tree->Find(2).ok());
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST_F(BTreeTest, UpdateInPlace) {
+  Segment seg = MakeSegment();
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Insert(7, 1).ok());
+  ASSERT_TRUE(tree->Insert(7, 2).ok());
+  EXPECT_EQ(tree->size(), 1u);
+  EXPECT_EQ(*tree->Find(7), 2u);
+}
+
+TEST_F(BTreeTest, SplitsGrowHeight) {
+  Segment seg = MakeSegment();
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree->Insert(k, k).ok());
+  }
+  EXPECT_EQ(tree->size(), 1000u);
+  EXPECT_GT(tree->height(), 2u);
+  EXPECT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+}
+
+class BTreeSweepTest : public BTreeTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(BTreeSweepTest, MatchesStdMapUnderRandomWorkload) {
+  Segment seg = MakeSegment();
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(GetParam());
+  std::map<uint64_t, uint64_t> model;
+  const int ops = 4000;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t key = rng.Uniform(700);  // collisions guaranteed
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (action < 6) {  // insert/update
+      const uint64_t value = rng.Next();
+      ASSERT_TRUE(tree->Insert(key, value).ok());
+      model[key] = value;
+    } else if (action < 8) {  // erase
+      const Status st = tree->Erase(key);
+      EXPECT_EQ(st.ok(), model.erase(key) > 0);
+    } else {  // lookup
+      auto v = tree->Find(key);
+      auto it = model.find(key);
+      ASSERT_EQ(v.ok(), it != model.end());
+      if (v.ok()) {
+        EXPECT_EQ(*v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(tree->size(), model.size());
+  // Full-range scan equals in-order model traversal.
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  tree->Scan(0, UINT64_MAX,
+             [&](uint64_t k, uint64_t v) { scanned.emplace_back(k, v); });
+  ASSERT_EQ(scanned.size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ(scanned[i].first, k);
+    EXPECT_EQ(scanned[i].second, v);
+    ++i;
+  }
+  EXPECT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeSweepTest, ::testing::Values(1, 2, 3, 7));
+
+TEST_F(BTreeTest, RangeScanSubrange) {
+  Segment seg = MakeSegment();
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  for (uint64_t k = 0; k < 500; k += 5) {
+    ASSERT_TRUE(tree->Insert(k, k).ok());
+  }
+  std::vector<uint64_t> keys;
+  const uint64_t n =
+      tree->Scan(100, 200, [&](uint64_t k, uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(n, 21u);  // 100,105,...,200
+  EXPECT_EQ(keys.front(), 100u);
+  EXPECT_EQ(keys.back(), 200u);
+  EXPECT_EQ(tree->Scan(201, 204, [](uint64_t, uint64_t) {}), 0u);
+  EXPECT_EQ(tree->Scan(10, 5, [](uint64_t, uint64_t) {}), 0u);  // lo > hi
+}
+
+TEST_F(BTreeTest, PersistsAcrossRemap) {
+  {
+    Segment seg = MakeSegment();
+    auto tree = BTree::Create(&seg);
+    ASSERT_TRUE(tree.ok());
+    for (uint64_t k = 0; k < 2000; ++k) {
+      ASSERT_TRUE(tree->Insert(k * 3, k).ok());
+    }
+    ASSERT_TRUE(seg.Sync().ok());
+  }  // unmapped
+  {
+    auto seg = Segment::Open(path_);
+    ASSERT_TRUE(seg.ok());
+    auto tree = BTree::Attach(&*seg);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(tree->size(), 2000u);
+    EXPECT_TRUE(tree->Validate().ok());
+    for (uint64_t k = 0; k < 2000; k += 97) {
+      auto v = tree->Find(k * 3);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, k);
+    }
+    EXPECT_FALSE(tree->Find(1).ok());
+  }
+}
+
+TEST_F(BTreeTest, AttachFailsOnEmptySegment) {
+  Segment seg = MakeSegment(1 << 20);
+  auto tree = BTree::Attach(&seg);
+  EXPECT_EQ(tree.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, DescendingAndAscendingInsertsBothBalance) {
+  for (bool descending : {false, true}) {
+    const std::string p = path_ + (descending ? ".d" : ".a");
+    auto seg = Segment::Create(p, 16 << 20);
+    ASSERT_TRUE(seg.ok());
+    auto tree = BTree::Create(&*seg);
+    ASSERT_TRUE(tree.ok());
+    for (uint64_t i = 0; i < 3000; ++i) {
+      const uint64_t k = descending ? 3000 - i : i;
+      ASSERT_TRUE(tree->Insert(k, k).ok());
+    }
+    EXPECT_TRUE(tree->Validate().ok()) << tree->Validate().ToString();
+    // Height stays logarithmic: 3000 keys at fanout >= 8 fits in 5 levels.
+    EXPECT_LE(tree->height(), 5u);
+  }
+}
+
+TEST_F(BTreeTest, SegmentExhaustionSurfacesAsError) {
+  Segment seg = MakeSegment(8192);  // room for only a handful of nodes
+  auto tree = BTree::Create(&seg);
+  ASSERT_TRUE(tree.ok());
+  Status last;
+  for (uint64_t k = 0; k < 10000 && last.ok(); ++k) {
+    last = tree->Insert(k, k);
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace mmjoin::mm

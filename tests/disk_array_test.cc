@@ -1,0 +1,97 @@
+#include "disk/disk_array.h"
+
+#include <gtest/gtest.h>
+
+namespace mmjoin::disk {
+namespace {
+
+DiskGeometry SmallGeo() {
+  DiskGeometry g;
+  g.num_blocks = 1000;
+  return g;
+}
+
+TEST(DiskArrayTest, AllocateIsContiguousAndOrdered) {
+  DiskArray arr(2, SmallGeo());
+  auto a = arr.Allocate(0, 100);
+  auto b = arr.Allocate(0, 50);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->start_block, 0u);
+  EXPECT_EQ(b->start_block, 100u);
+  EXPECT_EQ(arr.FreeBlocks(0), 850u);
+  EXPECT_EQ(arr.FreeBlocks(1), 1000u);
+}
+
+TEST(DiskArrayTest, AllocationExhaustion) {
+  DiskArray arr(1, SmallGeo());
+  auto a = arr.Allocate(0, 1000);
+  ASSERT_TRUE(a.ok());
+  auto b = arr.Allocate(0, 1);
+  EXPECT_EQ(b.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DiskArrayTest, FreeCoalescesNeighbours) {
+  DiskArray arr(1, SmallGeo());
+  auto a = arr.Allocate(0, 100);
+  auto b = arr.Allocate(0, 100);
+  auto c = arr.Allocate(0, 100);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(arr.Free(*a).ok());
+  ASSERT_TRUE(arr.Free(*c).ok());
+  ASSERT_TRUE(arr.Free(*b).ok());
+  // Everything coalesced: a fresh 1000-block allocation must succeed.
+  auto big = arr.Allocate(0, 1000);
+  EXPECT_TRUE(big.ok());
+  EXPECT_EQ(big->start_block, 0u);
+}
+
+TEST(DiskArrayTest, FirstFitReusesHoles) {
+  DiskArray arr(1, SmallGeo());
+  auto a = arr.Allocate(0, 100);
+  auto b = arr.Allocate(0, 100);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(arr.Free(*a).ok());
+  auto c = arr.Allocate(0, 80);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->start_block, 0u);  // fits in the first hole
+}
+
+TEST(DiskArrayTest, DoubleFreeRejected) {
+  DiskArray arr(1, SmallGeo());
+  auto a = arr.Allocate(0, 100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(arr.Free(*a).ok());
+  EXPECT_FALSE(arr.Free(*a).ok());
+}
+
+TEST(DiskArrayTest, InvalidArgumentsRejected) {
+  DiskArray arr(2, SmallGeo());
+  EXPECT_EQ(arr.Allocate(5, 10).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(arr.Allocate(0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  Extent bogus{7, 0, 10};
+  EXPECT_FALSE(arr.Free(bogus).ok());
+}
+
+TEST(DiskArrayTest, DisksAreIndependent) {
+  DiskArray arr(2, SmallGeo());
+  arr.disk(0).ReadBlock(500);
+  EXPECT_GT(arr.disk(0).stats().reads, 0u);
+  EXPECT_EQ(arr.disk(1).stats().reads, 0u);
+  EXPECT_GT(arr.TotalBusyMs(), 0.0);
+  arr.ResetStats();
+  EXPECT_EQ(arr.TotalBusyMs(), 0.0);
+}
+
+TEST(ExtentTest, Contains) {
+  Extent e{0, 100, 50};
+  EXPECT_TRUE(e.Contains(100));
+  EXPECT_TRUE(e.Contains(149));
+  EXPECT_FALSE(e.Contains(150));
+  EXPECT_FALSE(e.Contains(99));
+}
+
+}  // namespace
+}  // namespace mmjoin::disk

@@ -1,0 +1,129 @@
+#include "disk/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mmjoin::disk {
+namespace {
+
+DiskGeometry Geo() { return DiskGeometry{}; }
+
+TEST(SeekTimeTest, ZeroDistanceIsFree) {
+  SimulatedDisk d(Geo());
+  EXPECT_EQ(d.SeekTime(0), 0.0);
+}
+
+TEST(SeekTimeTest, MonotoneInDistance) {
+  SimulatedDisk d(Geo());
+  double prev = 0;
+  for (uint64_t dist : {1ull, 10ull, 100ull, 1000ull, 10000ull, 100000ull}) {
+    const double t = d.SeekTime(dist);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SeekTimeTest, BoundedByMinAndMax) {
+  const DiskGeometry g = Geo();
+  SimulatedDisk d(g);
+  EXPECT_GE(d.SeekTime(1), g.min_seek_ms);
+  EXPECT_LE(d.SeekTime(g.num_blocks - 1), g.max_seek_ms + 1e-9);
+}
+
+TEST(ReadTest, SequentialIsCheaperThanRandom) {
+  const DiskGeometry g = Geo();
+  SimulatedDisk seq(g), rnd(g);
+  double seq_ms = 0, rnd_ms = 0;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) seq_ms += seq.ReadBlock(i);
+  for (int i = 0; i < 1000; ++i) rnd_ms += rnd.ReadBlock(rng.Uniform(100000));
+  EXPECT_LT(seq_ms, rnd_ms / 2);
+}
+
+TEST(ReadTest, SequentialCostIsOverheadPlusTransfer) {
+  const DiskGeometry g = Geo();
+  SimulatedDisk d(g);
+  d.ReadBlock(0);  // position the arm
+  const double t = d.ReadBlock(1);
+  EXPECT_DOUBLE_EQ(t, g.overhead_ms + g.transfer_ms);
+}
+
+TEST(ReadTest, RandomCostIncludesSeekAndRotation) {
+  const DiskGeometry g = Geo();
+  SimulatedDisk d(g);
+  d.ReadBlock(0);
+  const double t = d.ReadBlock(50000);
+  EXPECT_GT(t, g.overhead_ms + g.transfer_ms + g.min_seek_ms);
+}
+
+TEST(ReadTest, ArmAdvancesPastBlock) {
+  SimulatedDisk d(Geo());
+  d.ReadBlock(100);
+  EXPECT_EQ(d.arm(), 101u);
+}
+
+TEST(WriteTest, QueuedWritesAreDeferred) {
+  const DiskGeometry g = Geo();
+  SimulatedDisk d(g);
+  // Up to the queue capacity, writes cost nothing at issue time.
+  for (uint32_t i = 0; i < g.write_queue_blocks; ++i) {
+    EXPECT_EQ(d.WriteBlock(i * 97 % g.num_blocks), 0.0);
+  }
+  // The next write forces a flush of the nearest pending block.
+  EXPECT_GT(d.WriteBlock(12345), 0.0);
+}
+
+TEST(WriteTest, FlushDrainsEverything) {
+  const DiskGeometry g = Geo();
+  SimulatedDisk d(g);
+  for (int i = 0; i < 10; ++i) d.WriteBlock(i * 1000);
+  const double t = d.FlushWrites();
+  EXPECT_GT(t, 0.0);
+  EXPECT_EQ(d.stats().flushed_writes, 10u);
+  EXPECT_EQ(d.FlushWrites(), 0.0);  // idempotent
+}
+
+TEST(WriteTest, ShortestSeekFirstBeatsFifoOrder) {
+  // Random writes in a wide band, flushed SSTF, must cost less per block
+  // than immediate (unscheduled) reads of the same blocks.
+  const DiskGeometry g = Geo();
+  SimulatedDisk wr(g), rd(g);
+  Rng rng(2);
+  std::vector<uint64_t> blocks(512);
+  for (auto& b : blocks) b = rng.Uniform(12800);
+  double write_ms = 0, read_ms = 0;
+  for (uint64_t b : blocks) write_ms += wr.WriteBlock(b);
+  write_ms += wr.FlushWrites();
+  for (uint64_t b : blocks) read_ms += rd.ReadBlock(b);
+  EXPECT_LT(write_ms, read_ms);
+}
+
+TEST(StatsTest, CountersTrackOperations) {
+  SimulatedDisk d(Geo());
+  d.ReadBlock(5);
+  d.ReadBlock(10);
+  d.WriteBlock(20);
+  d.FlushWrites();
+  EXPECT_EQ(d.stats().reads, 2u);
+  EXPECT_EQ(d.stats().writes, 1u);
+  EXPECT_EQ(d.stats().flushed_writes, 1u);
+  EXPECT_GT(d.stats().busy_ms, 0.0);
+  EXPECT_GT(d.stats().seek_blocks, 0u);
+  d.ResetStats();
+  EXPECT_EQ(d.stats().reads, 0u);
+}
+
+TEST(DeterminismTest, SameSequenceSameCost) {
+  SimulatedDisk a(Geo()), b(Geo());
+  Rng rng(3);
+  double ta = 0, tb = 0;
+  std::vector<uint64_t> blocks(200);
+  for (auto& blk : blocks) blk = rng.Uniform(10000);
+  for (uint64_t blk : blocks) ta += a.ReadBlock(blk);
+  for (uint64_t blk : blocks) tb += b.ReadBlock(blk);
+  EXPECT_DOUBLE_EQ(ta, tb);
+}
+
+}  // namespace
+}  // namespace mmjoin::disk

@@ -1,0 +1,51 @@
+#include "model/dtt_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace mmjoin::model {
+namespace {
+
+DttCurve MakeCurve() {
+  return DttCurve({{1, 6.0}, {1000, 10.0}, {10000, 20.0}});
+}
+
+TEST(DttCurveTest, ExactPoints) {
+  const DttCurve c = MakeCurve();
+  EXPECT_DOUBLE_EQ(c.Ms(1), 6.0);
+  EXPECT_DOUBLE_EQ(c.Ms(1000), 10.0);
+  EXPECT_DOUBLE_EQ(c.Ms(10000), 20.0);
+}
+
+TEST(DttCurveTest, LinearInterpolation) {
+  const DttCurve c = MakeCurve();
+  EXPECT_NEAR(c.Ms(5500), 15.0, 1e-9);  // halfway between 1000 and 10000
+}
+
+TEST(DttCurveTest, ClampsOutsideRange) {
+  const DttCurve c = MakeCurve();
+  EXPECT_DOUBLE_EQ(c.Ms(0), 6.0);
+  EXPECT_DOUBLE_EQ(c.Ms(1e9), 20.0);
+}
+
+TEST(DttCurveTest, SortsUnorderedPoints) {
+  DttCurve c({{10000, 20.0}, {1, 6.0}, {1000, 10.0}});
+  EXPECT_DOUBLE_EQ(c.Ms(1), 6.0);
+  EXPECT_NEAR(c.Ms(500), 6.0 + 4.0 * 499.0 / 999.0, 1e-9);
+}
+
+TEST(MeasureDttCurvesTest, ProducesBothCurves) {
+  disk::BandMeasureOptions opt;
+  opt.area_blocks = 8000;
+  opt.accesses_per_band = 16;
+  opt.band_sizes = {1, 400, 1600, 6400};
+  const DttCurves curves = MeasureDttCurves(disk::DiskGeometry{}, opt);
+  ASSERT_FALSE(curves.read.empty());
+  ASSERT_FALSE(curves.write.empty());
+  // Reads: sequential cheaper than wide-band random.
+  EXPECT_LT(curves.read.Ms(1), curves.read.Ms(6400));
+  // Writes cheaper than reads at wide bands (deferred + SSTF).
+  EXPECT_LT(curves.write.Ms(6400), curves.read.Ms(6400));
+}
+
+}  // namespace
+}  // namespace mmjoin::model

@@ -1,0 +1,180 @@
+#include "rel/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "join/oracle.h"
+
+namespace mmjoin::rel {
+namespace {
+
+sim::MachineConfig Config(uint32_t disks = 4) {
+  sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+  mc.num_disks = disks;
+  return mc;
+}
+
+TEST(SPtrTest, PackUnpackRoundTrip) {
+  for (uint32_t part : {0u, 1u, 3u, 4095u}) {
+    for (uint64_t idx : {0ull, 1ull, 102399ull, (1ull << 52) - 1}) {
+      const SPtr sp{part, idx};
+      const SPtr back = SPtr::Unpack(sp.Pack());
+      EXPECT_EQ(back.partition, part);
+      EXPECT_EQ(back.index, idx);
+    }
+  }
+}
+
+TEST(SPtrTest, PackedOrderIsPartitionMajor) {
+  EXPECT_LT((SPtr{0, 99}.Pack()), (SPtr{1, 0}.Pack()));
+  EXPECT_LT((SPtr{1, 5}.Pack()), (SPtr{1, 6}.Pack()));
+}
+
+TEST(GeneratorTest, PartitionSizesBalance) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.r_objects = 1000;
+  rc.s_objects = 1003;  // not divisible by 4
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  uint64_t r_total = 0, s_total = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    r_total += w->r_count[i];
+    s_total += w->s_count[i];
+  }
+  EXPECT_EQ(r_total, 1000u);
+  EXPECT_EQ(s_total, 1003u);
+  EXPECT_EQ(w->s_count[3], 253u);  // last absorbs the remainder
+}
+
+TEST(GeneratorTest, CountsMatrixConsistent) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 4096;
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    uint64_t row = 0;
+    for (uint32_t j = 0; j < 4; ++j) row += w->counts[i][j];
+    EXPECT_EQ(row, w->r_count[i]);
+  }
+}
+
+TEST(GeneratorTest, UniformSkewNearOne) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 102400 / 4;  // keep the test fast
+  rc.zipf_theta = 0.0;
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w->skew, 0.95);
+  EXPECT_LT(w->skew, 1.10);
+}
+
+TEST(GeneratorTest, ZipfSkewExceedsUniform) {
+  sim::SimEnv env1(Config()), env2(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 8192;
+  rc.zipf_theta = 0.0;
+  auto uniform = BuildWorkload(&env1, rc);
+  rc.zipf_theta = 0.9;
+  auto skewed = BuildWorkload(&env2, rc);
+  ASSERT_TRUE(uniform.ok() && skewed.ok());
+  EXPECT_GT(skewed->skew, uniform->skew + 0.3);
+  // Zipf mass concentrates in partition 0 (low S indices).
+  uint64_t to_part0 = 0, total = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    to_part0 += skewed->counts[i][0];
+    for (uint32_t j = 0; j < 4; ++j) total += skewed->counts[i][j];
+  }
+  EXPECT_GT(to_part0 * 2, total);  // more than half the pointers
+}
+
+TEST(GeneratorTest, SKeysMatchDefinition) {
+  sim::SimEnv env(Config(2));
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 256;
+  rc.num_partitions = 2;
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  for (uint32_t i = 0; i < 2; ++i) {
+    const auto* objs =
+        reinterpret_cast<const SObject*>(env.segment(w->s_segs[i]).raw());
+    for (uint64_t k = 0; k < w->s_count[i]; ++k) {
+      EXPECT_EQ(objs[k].key, SKeyFor(i, k));
+    }
+  }
+}
+
+TEST(GeneratorTest, AllSPtrsAreValid) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 5000;
+  rc.zipf_theta = 0.7;
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    const auto* objs =
+        reinterpret_cast<const RObject*>(env.segment(w->r_segs[i]).raw());
+    for (uint64_t k = 0; k < w->r_count[i]; ++k) {
+      const SPtr sp = SPtr::Unpack(objs[k].sptr);
+      ASSERT_LT(sp.partition, 4u);
+      ASSERT_LT(sp.index, w->s_count[sp.partition]);
+    }
+  }
+}
+
+TEST(GeneratorTest, ExpectedChecksumMatchesOracle) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 3000;
+  rc.zipf_theta = 0.4;
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  const auto oracle = join::OracleJoin(&env, *w);
+  EXPECT_EQ(oracle.count, w->expected_output_count);
+  EXPECT_EQ(oracle.checksum, w->expected_checksum);
+  EXPECT_EQ(oracle.count, rc.r_objects);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  sim::SimEnv env1(Config()), env2(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 2048;
+  rc.seed = 777;
+  auto a = BuildWorkload(&env1, rc);
+  auto b = BuildWorkload(&env2, rc);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->expected_checksum, b->expected_checksum);
+  EXPECT_EQ(a->skew, b->skew);
+}
+
+TEST(GeneratorTest, RejectsBadConfigs) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.num_partitions = 8;  // mismatch with env's 4 disks
+  EXPECT_FALSE(BuildWorkload(&env, rc).ok());
+  rc.num_partitions = 4;
+  rc.r_objects = 0;
+  EXPECT_FALSE(BuildWorkload(&env, rc).ok());
+  rc.r_objects = 2;  // fewer than partitions
+  rc.s_objects = 100;
+  EXPECT_FALSE(BuildWorkload(&env, rc).ok());
+}
+
+TEST(GeneratorTest, DiskLayoutIsRiThenSi) {
+  sim::SimEnv env(Config());
+  RelationConfig rc;
+  rc.r_objects = rc.s_objects = 4096;
+  auto w = BuildWorkload(&env, rc);
+  ASSERT_TRUE(w.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    const auto& r_ext = env.segment(w->r_segs[i]).extent();
+    const auto& s_ext = env.segment(w->s_segs[i]).extent();
+    EXPECT_EQ(r_ext.disk, i);
+    EXPECT_EQ(s_ext.disk, i);
+    EXPECT_EQ(s_ext.start_block, r_ext.start_block + r_ext.num_blocks);
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin::rel

@@ -1,0 +1,94 @@
+// Grace parameter choice (section 7.2) and the monotone coarse hash that
+// lets S be read sequentially across buckets.
+#include <gtest/gtest.h>
+
+#include "join/grace.h"
+
+namespace mmjoin::join {
+namespace {
+
+TEST(PlanGraceTest, BucketFitsMemory) {
+  const uint64_t rs = 25600;
+  for (uint64_t mem : {128ull << 10, 512ull << 10, 2ull << 20}) {
+    JoinParams p;
+    const auto plan = PlanGrace(mem, rs, p);
+    // One bucket's objects (with fuzz overhead) must fit in memory.
+    const double bucket_bytes = p.fuzz * double(rs) / plan.k_buckets *
+                                sizeof(rel::RObject);
+    EXPECT_LE(bucket_bytes, double(mem) * 1.05) << "mem=" << mem;
+  }
+}
+
+TEST(PlanGraceTest, KNonincreasingInMemory) {
+  uint32_t prev = UINT32_MAX;
+  for (uint64_t mem = 64ull << 10; mem <= 8ull << 20; mem *= 2) {
+    const auto plan = PlanGrace(mem, 25600, JoinParams{});
+    EXPECT_LE(plan.k_buckets, prev);
+    prev = plan.k_buckets;
+  }
+  EXPECT_EQ(prev, 1u);  // everything fits: one bucket
+}
+
+TEST(PlanGraceTest, TsizeIsPowerOfTwoWithFloor) {
+  for (uint64_t mem : {128ull << 10, 1ull << 20}) {
+    const auto plan = PlanGrace(mem, 25600, JoinParams{});
+    EXPECT_GE(plan.tsize, 64u);
+    EXPECT_EQ(plan.tsize & (plan.tsize - 1), 0u);
+  }
+}
+
+TEST(PlanGraceTest, ManualOverridesWin) {
+  JoinParams p;
+  p.k_buckets = 13;
+  p.tsize = 33;  // deliberately not a power of two: must be honoured
+  const auto plan = PlanGrace(1 << 20, 25600, p);
+  EXPECT_EQ(plan.k_buckets, 13u);
+  EXPECT_EQ(plan.tsize, 33u);
+}
+
+TEST(GraceBucketTest, MonotoneInIndex) {
+  const uint64_t s_count = 25600;
+  const uint32_t k = 17;
+  uint32_t prev = 0;
+  for (uint64_t idx = 0; idx < s_count; idx += 37) {
+    const uint32_t b = GraceBucketOf(idx, s_count, k);
+    EXPECT_GE(b, prev) << "idx=" << idx;
+    EXPECT_LT(b, k);
+    prev = b;
+  }
+}
+
+TEST(GraceBucketTest, CoversAllBuckets) {
+  const uint64_t s_count = 1000;
+  const uint32_t k = 10;
+  std::vector<int> hit(k, 0);
+  for (uint64_t idx = 0; idx < s_count; ++idx) {
+    ++hit[GraceBucketOf(idx, s_count, k)];
+  }
+  for (uint32_t b = 0; b < k; ++b) {
+    EXPECT_EQ(hit[b], 100) << "bucket " << b;  // perfectly even ranges
+  }
+}
+
+TEST(GraceBucketTest, EdgeCases) {
+  EXPECT_EQ(GraceBucketOf(0, 0, 5), 0u);        // empty partition
+  EXPECT_EQ(GraceBucketOf(0, 100, 1), 0u);      // single bucket
+  EXPECT_EQ(GraceBucketOf(99, 100, 100), 99u);  // one object per bucket
+  // More buckets than objects: the last object maps below k.
+  EXPECT_LT(GraceBucketOf(4, 5, 64), 64u);
+}
+
+TEST(GraceBucketTest, BucketBoundariesPreserveSPtrOrder) {
+  // For any two pointers a < b (same partition), bucket(a) <= bucket(b):
+  // the property that makes the final pass read S sequentially.
+  const uint64_t s_count = 4096;
+  const uint32_t k = 7;
+  for (uint64_t a = 0; a < s_count; a += 61) {
+    for (uint64_t b = a; b < s_count; b += 127) {
+      EXPECT_LE(GraceBucketOf(a, s_count, k), GraceBucketOf(b, s_count, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin::join

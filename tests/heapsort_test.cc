@@ -1,0 +1,120 @@
+#include "heap/heapsort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mmjoin {
+namespace {
+
+HeapLess ValueLess() {
+  return [](uint64_t a, uint64_t b) { return a < b; };
+}
+
+TEST(FloydBuildHeapTest, ProducesValidHeap) {
+  Rng rng(1);
+  for (size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1000u}) {
+    std::vector<uint64_t> v(n);
+    for (auto& x : v) x = rng.Uniform(1000);
+    FloydBuildHeap(&v, ValueLess(), nullptr);
+    EXPECT_TRUE(IsMinHeap(v, ValueLess())) << "n=" << n;
+  }
+}
+
+TEST(FloydBuildHeapTest, CountsCosts) {
+  std::vector<uint64_t> v{5, 4, 3, 2, 1};
+  HeapCost cost;
+  FloydBuildHeap(&v, ValueLess(), &cost);
+  EXPECT_GT(cost.compares, 0u);
+  EXPECT_GT(cost.swaps, 0u);
+}
+
+TEST(FloydBuildHeapTest, LinearCompareCount) {
+  // Floyd construction is O(n): compares per element bounded by a small
+  // constant (the classic bound is < 2n; the paper models 1.77n).
+  Rng rng(2);
+  std::vector<uint64_t> v(10000);
+  for (auto& x : v) x = rng.Next();
+  HeapCost cost;
+  FloydBuildHeap(&v, ValueLess(), &cost);
+  EXPECT_LT(cost.compares, 2 * v.size() + 16);
+}
+
+class HeapSortParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HeapSortParamTest, SortsRandomInput) {
+  const size_t n = GetParam();
+  Rng rng(n + 17);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.Uniform(n * 3 + 1);
+  std::vector<uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  HeapSort(&v, ValueLess(), nullptr);
+  EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeapSortParamTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 16, 100, 1024,
+                                           10000));
+
+TEST(HeapSortTest, SortsSortedAndReversedInput) {
+  std::vector<uint64_t> asc{1, 2, 3, 4, 5, 6, 7};
+  std::vector<uint64_t> desc{7, 6, 5, 4, 3, 2, 1};
+  std::vector<uint64_t> expected{1, 2, 3, 4, 5, 6, 7};
+  HeapSort(&asc, ValueLess(), nullptr);
+  HeapSort(&desc, ValueLess(), nullptr);
+  EXPECT_EQ(asc, expected);
+  EXPECT_EQ(desc, expected);
+}
+
+TEST(HeapSortTest, StableUnderDuplicates) {
+  std::vector<uint64_t> v(500, 7);
+  v[100] = 3;
+  v[400] = 9;
+  HeapSort(&v, ValueLess(), nullptr);
+  EXPECT_EQ(v.front(), 3u);
+  EXPECT_EQ(v.back(), 9u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(HeapSortTest, CustomComparatorSortsDescending) {
+  std::vector<uint64_t> v{3, 1, 4, 1, 5, 9, 2, 6};
+  HeapSort(&v, [](uint64_t a, uint64_t b) { return a > b; }, nullptr);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>()));
+}
+
+TEST(HeapSortTest, AverageCaseCompareCountNearNLogN) {
+  // The Munro bounce keeps total comparisons near N log N (not 2 N log N).
+  Rng rng(5);
+  const size_t n = 1 << 14;
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.Next();
+  HeapCost cost;
+  HeapSort(&v, ValueLess(), &cost);
+  const double nlogn = double(n) * std::log2(double(n));
+  EXPECT_LT(static_cast<double>(cost.compares), 1.35 * nlogn);
+  EXPECT_GT(static_cast<double>(cost.compares), 0.8 * nlogn);
+}
+
+TEST(HeapSortModelTest, ModelCostsScale) {
+  const HeapCost small = HeapSortModelCost(1000, 1000);
+  const HeapCost large = HeapSortModelCost(2000, 1000);
+  EXPECT_GT(large.compares, small.compares);
+  const HeapCost build = FloydBuildModelCost(1000);
+  EXPECT_NEAR(static_cast<double>(build.compares), 1770.0, 1.0);
+  EXPECT_EQ(build.transfers, 1000u);
+}
+
+TEST(IsMinHeapTest, DetectsViolation) {
+  std::vector<uint64_t> good{1, 2, 3, 4, 5};
+  std::vector<uint64_t> bad{1, 2, 3, 0, 5};
+  EXPECT_TRUE(IsMinHeap(good, ValueLess()));
+  EXPECT_FALSE(IsMinHeap(bad, ValueLess()));
+}
+
+}  // namespace
+}  // namespace mmjoin

@@ -1,0 +1,149 @@
+// The pointer-based hybrid-hash join (the paper's deferred hash variant):
+// correctness across the same sweep as the core algorithms, plus the
+// defining property — it strictly reduces disk traffic relative to Grace
+// and converges to Grace as memory shrinks.
+#include "join/hybrid_hash.h"
+
+#include <gtest/gtest.h>
+
+#include "join/grace.h"
+#include "join/oracle.h"
+#include "model/join_model.h"
+#include "rel/generator.h"
+
+namespace mmjoin::join {
+namespace {
+
+struct TestEnv {
+  TestEnv(uint64_t n, uint32_t d, double theta)
+      : mc([&] {
+          auto m = sim::MachineConfig::SequentSymmetry1996();
+          m.num_disks = d;
+          return m;
+        }()),
+        env(mc) {
+    rel::RelationConfig rc;
+    rc.r_objects = rc.s_objects = n;
+    rc.num_partitions = d;
+    rc.zipf_theta = theta;
+    auto built = rel::BuildWorkload(&env, rc);
+    EXPECT_TRUE(built.ok());
+    workload = std::move(built).value();
+  }
+
+  sim::MachineConfig mc;
+  sim::SimEnv env;
+  rel::Workload workload;
+};
+
+struct Case {
+  uint64_t n;
+  uint32_t d;
+  double theta;
+  uint64_t mem;
+};
+
+class HybridHashTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(HybridHashTest, MatchesOracle) {
+  const Case c = GetParam();
+  TestEnv s(c.n, c.d, c.theta);
+  JoinParams p;
+  p.m_rproc_bytes = c.mem;
+  p.m_sproc_bytes = c.mem;
+  auto r = RunHybridHash(&s.env, s.workload, p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->verified);
+  EXPECT_EQ(r->output_count, c.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HybridHashTest,
+    ::testing::Values(Case{256, 1, 0.0, 64 << 10},
+                      Case{4096, 2, 0.0, 64 << 10},
+                      Case{4096, 4, 0.6, 64 << 10},
+                      Case{20000, 4, 0.0, 1 << 20},
+                      Case{20000, 4, 0.6, 1 << 20},
+                      Case{4096, 4, 0.0, 4 * 4096}),  // tiny memory
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const Case& c = info.param;
+      return "n" + std::to_string(c.n) + "_d" + std::to_string(c.d) + "_t" +
+             std::to_string(int(c.theta * 10)) + "_m" +
+             std::to_string(c.mem >> 10) + "k";
+    });
+
+TEST(HybridHashProperty, NeverSlowerThanGraceAndFewerFaults) {
+  for (double frac : {0.05, 0.2, 0.8}) {
+    TestEnv s(25600, 4, 0.0);
+    JoinParams p;
+    p.m_rproc_bytes = static_cast<uint64_t>(
+        frac * 25600 * sizeof(rel::RObject));
+    p.m_sproc_bytes = p.m_rproc_bytes;
+
+    TestEnv s2(25600, 4, 0.0);
+    auto grace = RunGrace(&s.env, s.workload, p);
+    auto hybrid = RunHybridHash(&s2.env, s2.workload, p);
+    ASSERT_TRUE(grace.ok() && hybrid.ok());
+    ASSERT_TRUE(grace->verified && hybrid->verified);
+    EXPECT_LE(hybrid->elapsed_ms, grace->elapsed_ms * 1.01) << frac;
+    // The resident bucket never adds disk traffic; allow a handful of
+    // faults of slack for second-order access-order differences.
+    EXPECT_LE(hybrid->faults, grace->faults + grace->faults / 100 + 8)
+        << frac;
+  }
+}
+
+TEST(HybridHashProperty, AdvantageGrowsWithMemory) {
+  auto saving_at = [](double frac) {
+    TestEnv sg(25600, 4, 0.0), sh(25600, 4, 0.0);
+    JoinParams p;
+    p.m_rproc_bytes = static_cast<uint64_t>(
+        frac * 25600 * sizeof(rel::RObject));
+    p.m_sproc_bytes = p.m_rproc_bytes;
+    auto grace = RunGrace(&sg.env, sg.workload, p);
+    auto hybrid = RunHybridHash(&sh.env, sh.workload, p);
+    EXPECT_TRUE(grace.ok() && hybrid.ok());
+    return (grace->elapsed_ms - hybrid->elapsed_ms) / grace->elapsed_ms;
+  };
+  EXPECT_GT(saving_at(0.9), saving_at(0.05));
+}
+
+TEST(HybridHashModel, ModelTracksExperiment) {
+  TestEnv s(25600, 4, 0.0);
+  JoinParams p;
+  p.m_rproc_bytes = static_cast<uint64_t>(0.1 * 25600 * sizeof(rel::RObject));
+  p.m_sproc_bytes = p.m_rproc_bytes;
+  auto r = RunHybridHash(&s.env, s.workload, p);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->verified);
+
+  model::ModelInputs in;
+  in.machine = s.mc;
+  in.relation = s.workload.config;
+  in.skew = s.workload.skew;
+  in.params = p;
+  in.dtt = model::MeasureDttCurves(s.mc.disk);
+  const double predicted = model::PredictHybridHash(in).total_ms();
+  const double ratio = predicted / r->elapsed_ms;
+  EXPECT_GT(ratio, 0.75) << predicted << " vs " << r->elapsed_ms;
+  EXPECT_LT(ratio, 1.5) << predicted << " vs " << r->elapsed_ms;
+}
+
+TEST(HybridHashModel, PredictionBelowGraceAboveZeroSavings) {
+  model::ModelInputs in;
+  in.machine = sim::MachineConfig::SequentSymmetry1996();
+  in.relation = rel::RelationConfig{};
+  in.skew = 1.0;
+  in.dtt = model::MeasureDttCurves(in.machine.disk);
+  for (double frac : {0.05, 0.2, 0.8}) {
+    in.params.m_rproc_bytes = static_cast<uint64_t>(
+        frac * in.relation.r_objects * sizeof(rel::RObject));
+    in.params.m_sproc_bytes = in.params.m_rproc_bytes;
+    const double grace = model::PredictGrace(in).total_ms();
+    const double hybrid = model::PredictHybridHash(in).total_ms();
+    EXPECT_LT(hybrid, grace) << frac;
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin::join

@@ -1,0 +1,48 @@
+#include "sim/machine_config.h"
+
+#include <gtest/gtest.h>
+
+namespace mmjoin::sim {
+namespace {
+
+TEST(MachineConfigTest, PaperDefaults) {
+  const MachineConfig mc = MachineConfig::SequentSymmetry1996();
+  EXPECT_EQ(mc.page_size, 4096u);  // "all virtual memory I/O ... 4K blocks"
+  EXPECT_EQ(mc.num_disks, 4u);     // "partitioned across 4 disks"
+}
+
+TEST(MachineConfigTest, MappingCostsLinearInSize) {
+  const MachineConfig mc = MachineConfig::SequentSymmetry1996();
+  const double a = mc.NewMapMs(1000);
+  const double b = mc.NewMapMs(2000);
+  const double c = mc.NewMapMs(3000);
+  EXPECT_NEAR(c - b, b - a, 1e-9);
+}
+
+TEST(MachineConfigTest, NewCostsMoreThanOpenCostsMoreThanDelete) {
+  // Fig 1(b): acquiring disk space > attaching > freeing.
+  const MachineConfig mc = MachineConfig::SequentSymmetry1996();
+  for (uint64_t blocks : {100ull, 1600ull, 12800ull}) {
+    EXPECT_GT(mc.NewMapMs(blocks), mc.OpenMapMs(blocks));
+    EXPECT_GT(mc.OpenMapMs(blocks), mc.DeleteMapMs(blocks));
+  }
+}
+
+TEST(MachineConfigTest, Fig1bMagnitudes) {
+  // newMap of a 12800-block file is ~12 s in the paper.
+  const MachineConfig mc = MachineConfig::SequentSymmetry1996();
+  EXPECT_GT(mc.NewMapMs(12800), 8000.0);
+  EXPECT_LT(mc.NewMapMs(12800), 16000.0);
+}
+
+TEST(MachineConfigTest, MemoryTransferOrdering) {
+  // Shared-memory transfers cross the bus twice; private-private is the
+  // cheapest path.
+  const MachineConfig mc = MachineConfig::SequentSymmetry1996();
+  EXPECT_LT(mc.mt_pp_ms, mc.mt_ps_ms);
+  EXPECT_LE(mc.mt_ps_ms, mc.mt_ss_ms);
+  EXPECT_DOUBLE_EQ(mc.mt_ps_ms, mc.mt_sp_ms);  // symmetric copy directions
+}
+
+}  // namespace
+}  // namespace mmjoin::sim

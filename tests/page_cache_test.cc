@@ -1,0 +1,176 @@
+#include "vm/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace mmjoin::vm {
+namespace {
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  PageCacheTest() : disks_(1, Geo()) {}
+
+  static disk::DiskGeometry Geo() {
+    disk::DiskGeometry g;
+    g.num_blocks = 100000;
+    return g;
+  }
+
+  disk::DiskArray disks_;
+};
+
+TEST_F(PageCacheTest, MissThenHit) {
+  PageCache cache(4, PolicyKind::kLru, &disks_);
+  const PageId id{1, 0};
+  auto r1 = cache.Touch(id, 0, 10, /*write=*/false, /*need_disk_read=*/true);
+  EXPECT_FALSE(r1.hit);
+  EXPECT_TRUE(r1.faulted);
+  EXPECT_GT(r1.ms, 0.0);
+  auto r2 = cache.Touch(id, 0, 10, false, true);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(r2.ms, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().faults, 1u);
+}
+
+TEST_F(PageCacheTest, ZeroFillCostsNoRead) {
+  PageCache cache(4, PolicyKind::kLru, &disks_);
+  auto r = cache.Touch(PageId{1, 0}, 0, 10, /*write=*/true,
+                       /*need_disk_read=*/false);
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.ms, 0.0);
+  EXPECT_EQ(cache.stats().zero_fills, 1u);
+}
+
+TEST_F(PageCacheTest, EvictionWritesBackDirtyPages) {
+  PageCache cache(2, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{1, 0}, 0, 0, /*write=*/true, false);
+  cache.Touch(PageId{1, 1}, 0, 1, /*write=*/false, true);
+  // Third page evicts page 0 (LRU), which is dirty.
+  auto r = cache.Touch(PageId{1, 2}, 0, 2, false, true);
+  EXPECT_TRUE(r.wrote_back);
+  EXPECT_EQ(cache.stats().write_backs, 1u);
+  EXPECT_EQ(cache.resident(), 2u);
+}
+
+TEST_F(PageCacheTest, CleanEvictionIsSilent) {
+  PageCache cache(1, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{1, 0}, 0, 0, false, true);
+  auto r = cache.Touch(PageId{1, 1}, 0, 1, false, true);
+  EXPECT_FALSE(r.wrote_back);
+}
+
+TEST_F(PageCacheTest, WriteBackListenerFires) {
+  PageCache cache(1, PolicyKind::kLru, &disks_);
+  std::vector<PageId> written;
+  cache.set_write_back_listener(
+      [&](const PageId& id) { written.push_back(id); });
+  cache.Touch(PageId{3, 7}, 0, 0, /*write=*/true, false);
+  cache.Touch(PageId{3, 8}, 0, 1, false, true);  // evicts dirty {3,7}
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0].segment, 3u);
+  EXPECT_EQ(written[0].page, 7u);
+}
+
+TEST_F(PageCacheTest, FlushAllWritesDirtyOnly) {
+  PageCache cache(4, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{1, 0}, 0, 0, true, false);
+  cache.Touch(PageId{1, 1}, 0, 1, false, true);
+  cache.Touch(PageId{1, 2}, 0, 2, true, false);
+  const double ms = cache.FlushAll();
+  EXPECT_GE(ms, 0.0);
+  EXPECT_EQ(cache.stats().write_backs, 2u);
+  // Pages stay resident after flush.
+  EXPECT_EQ(cache.resident(), 3u);
+  // Second flush: nothing dirty.
+  EXPECT_EQ(cache.FlushAll(), 0.0);
+}
+
+TEST_F(PageCacheTest, EvictSegmentSelective) {
+  PageCache cache(8, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{1, 0}, 0, 0, true, false);
+  cache.Touch(PageId{2, 0}, 0, 10, true, false);
+  cache.Touch(PageId{2, 1}, 0, 11, false, true);
+  cache.EvictSegment(2, /*discard=*/false);
+  EXPECT_TRUE(cache.IsResident(PageId{1, 0}));
+  EXPECT_FALSE(cache.IsResident(PageId{2, 0}));
+  EXPECT_FALSE(cache.IsResident(PageId{2, 1}));
+  EXPECT_EQ(cache.stats().write_backs, 1u);  // only the dirty {2,0}
+}
+
+TEST_F(PageCacheTest, EvictSegmentDiscardSkipsWriteBack) {
+  PageCache cache(8, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{2, 0}, 0, 10, true, false);
+  const double ms = cache.EvictSegment(2, /*discard=*/true);
+  EXPECT_EQ(ms, 0.0);
+  EXPECT_EQ(cache.stats().write_backs, 0u);
+}
+
+TEST_F(PageCacheTest, LruOrderGovernsEviction) {
+  PageCache cache(3, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{1, 0}, 0, 0, false, true);
+  cache.Touch(PageId{1, 1}, 0, 1, false, true);
+  cache.Touch(PageId{1, 2}, 0, 2, false, true);
+  cache.Touch(PageId{1, 0}, 0, 0, false, true);  // refresh page 0
+  cache.Touch(PageId{1, 3}, 0, 3, false, true);  // evicts page 1
+  EXPECT_TRUE(cache.IsResident(PageId{1, 0}));
+  EXPECT_FALSE(cache.IsResident(PageId{1, 1}));
+}
+
+TEST_F(PageCacheTest, ResizeShrinkEvicts) {
+  PageCache cache(8, PolicyKind::kLru, &disks_);
+  for (uint64_t p = 0; p < 8; ++p) {
+    cache.Touch(PageId{1, p}, 0, p, true, false);
+  }
+  cache.Resize(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  EXPECT_EQ(cache.resident(), 3u);
+  EXPECT_EQ(cache.stats().write_backs, 5u);
+  // Cache still works after resize.
+  auto r = cache.Touch(PageId{1, 100}, 0, 100, false, true);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(cache.resident(), 3u);
+}
+
+TEST_F(PageCacheTest, ResizeGrowKeepsResidents) {
+  PageCache cache(2, PolicyKind::kLru, &disks_);
+  cache.Touch(PageId{1, 0}, 0, 0, false, true);
+  cache.Touch(PageId{1, 1}, 0, 1, false, true);
+  cache.Resize(6);
+  EXPECT_TRUE(cache.IsResident(PageId{1, 0}));
+  EXPECT_TRUE(cache.IsResident(PageId{1, 1}));
+  for (uint64_t p = 2; p < 6; ++p) {
+    cache.Touch(PageId{1, p}, 0, p, false, true);
+  }
+  EXPECT_EQ(cache.resident(), 6u);
+}
+
+TEST_F(PageCacheTest, WorkingSetWithinCapacityNeverRefaults) {
+  PageCache cache(16, PolicyKind::kLru, &disks_);
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    for (uint64_t p = 0; p < 16; ++p) {
+      cache.Touch(PageId{1, p}, 0, p, false, true);
+    }
+  }
+  EXPECT_EQ(cache.stats().faults, 16u);  // compulsory misses only
+}
+
+TEST_F(PageCacheTest, CyclicScanOverCapacityThrashesUnderLru) {
+  // The classic LRU pathology: scanning N+1 pages with N frames misses
+  // every time.
+  PageCache cache(4, PolicyKind::kLru, &disks_);
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t p = 0; p < 5; ++p) {
+      cache.Touch(PageId{1, p}, 0, p, false, true);
+    }
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().faults, 50u);
+}
+
+}  // namespace
+}  // namespace mmjoin::vm

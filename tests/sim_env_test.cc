@@ -1,0 +1,179 @@
+#include "sim/sim_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/shared_buffer.h"
+
+namespace mmjoin::sim {
+namespace {
+
+MachineConfig Config() { return MachineConfig::SequentSymmetry1996(); }
+
+TEST(SimEnvTest, CreateSegmentAllocatesExtent) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 10000, true);
+  ASSERT_TRUE(seg.ok());
+  const SimSegment& s = env.segment(*seg);
+  EXPECT_EQ(s.name(), "a");
+  EXPECT_EQ(s.disk(), 0u);
+  EXPECT_EQ(s.pages(), 3u);  // ceil(10000 / 4096)
+  EXPECT_TRUE(env.IsLive(*seg));
+}
+
+TEST(SimEnvTest, DeleteSegmentFreesExtent) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 4096 * 100, true);
+  ASSERT_TRUE(seg.ok());
+  const uint64_t free_before = env.disks().FreeBlocks(0);
+  ASSERT_TRUE(env.DeleteSegment(*seg).ok());
+  EXPECT_EQ(env.disks().FreeBlocks(0), free_before + 100);
+  EXPECT_FALSE(env.IsLive(*seg));
+  EXPECT_FALSE(env.DeleteSegment(*seg).ok());
+}
+
+TEST(SimEnvTest, RejectsEmptyAndBadDisk) {
+  SimEnv env(Config());
+  EXPECT_FALSE(env.CreateSegment("e", 0, 0, true).ok());
+  EXPECT_FALSE(env.CreateSegment("d", 99, 100, true).ok());
+}
+
+TEST(ProcessTest, ReadMaterializedChargesFault) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 1 << 20, /*materialized=*/true);
+  ASSERT_TRUE(seg.ok());
+  Process p(&env, "p", 64 << 10);
+  p.Read(*seg, 0, 128);
+  EXPECT_EQ(p.stats().faults, 1u);
+  EXPECT_GT(p.clock_ms(), 0.0);
+  const double after_first = p.clock_ms();
+  p.Read(*seg, 64, 128);  // same page: hit
+  EXPECT_EQ(p.clock_ms(), after_first);
+}
+
+TEST(ProcessTest, FreshSegmentReadsAreZeroFill) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 1 << 20, /*materialized=*/false);
+  ASSERT_TRUE(seg.ok());
+  Process p(&env, "p", 64 << 10);
+  p.Write(*seg, 0, 128);
+  EXPECT_EQ(p.stats().faults, 0u);
+  EXPECT_EQ(p.clock_ms(), 0.0);
+}
+
+TEST(ProcessTest, WriteBackMaterializesPage) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 1 << 20, false);
+  ASSERT_TRUE(seg.ok());
+  Process p(&env, "p", 64 << 10);
+  p.Write(*seg, 0, 128);
+  EXPECT_FALSE(env.segment(*seg).page_materialized(0));
+  p.FlushCache();
+  EXPECT_TRUE(env.segment(*seg).page_materialized(0));
+  // A different process must now pay a real read for that page.
+  Process q(&env, "q", 64 << 10);
+  q.Read(*seg, 0, 128);
+  EXPECT_EQ(q.stats().faults, 1u);
+}
+
+TEST(ProcessTest, RangeTouchesAllCoveredPages) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 1 << 20, true);
+  ASSERT_TRUE(seg.ok());
+  Process p(&env, "p", 1 << 20);
+  p.Read(*seg, 4000, 200);  // straddles pages 0 and 1
+  EXPECT_EQ(p.stats().faults, 2u);
+  p.Read(*seg, 3 * 4096, 3 * 4096);  // pages 3,4,5
+  EXPECT_EQ(p.stats().faults, 5u);
+}
+
+TEST(ProcessTest, DataActuallyMoves) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 1 << 20, false);
+  ASSERT_TRUE(seg.ok());
+  Process p(&env, "p", 64 << 10);
+  void* dst = p.Write(*seg, 100, 16);
+  std::memcpy(dst, "abcdefghijklmno", 16);
+  const void* src = p.Read(*seg, 100, 16);
+  EXPECT_EQ(std::memcmp(src, "abcdefghijklmno", 16), 0);
+}
+
+TEST(ProcessTest, ChargesAccumulateByCategory) {
+  SimEnv env(Config());
+  Process p(&env, "p", 64 << 10);
+  p.ChargeCpu(5.0);
+  p.ChargeSetup(7.0);
+  p.ChargeContextSwitches(4);
+  EXPECT_DOUBLE_EQ(p.stats().cpu_ms, 5.0 + 4 * env.config().cs_ms);
+  EXPECT_DOUBLE_EQ(p.stats().setup_ms, 7.0);
+  EXPECT_EQ(p.stats().context_switches, 4u);
+  EXPECT_DOUBLE_EQ(p.clock_ms(),
+                   5.0 + 7.0 + 4 * env.config().cs_ms);
+  p.set_clock_ms(100.0);
+  EXPECT_DOUBLE_EQ(p.clock_ms(), 100.0);
+}
+
+TEST(ProcessTest, ReadForChargesPayerNotOwner) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("s", 0, 1 << 20, true);
+  ASSERT_TRUE(seg.ok());
+  Process sproc(&env, "sproc", 256 << 10);
+  Process rproc(&env, "rproc", 256 << 10);
+  sproc.ReadFor(&rproc, *seg, 0, 128);
+  EXPECT_EQ(rproc.stats().faults, 1u);
+  EXPECT_GT(rproc.clock_ms(), 0.0);
+  EXPECT_EQ(sproc.stats().faults, 0u);
+  EXPECT_EQ(sproc.clock_ms(), 0.0);
+  // The page lives in sproc's cache: a second ReadFor is a hit and free.
+  const double t = rproc.clock_ms();
+  sproc.ReadFor(&rproc, *seg, 0, 128);
+  EXPECT_EQ(rproc.clock_ms(), t);
+}
+
+TEST(ProcessTest, DropSegmentDiscardLosesWriteBack) {
+  SimEnv env(Config());
+  auto seg = env.CreateSegment("a", 0, 1 << 20, false);
+  ASSERT_TRUE(seg.ok());
+  Process p(&env, "p", 64 << 10);
+  p.Write(*seg, 0, 128);
+  p.DropSegment(*seg, /*discard=*/true);
+  EXPECT_EQ(p.stats().write_backs, 0u);
+  EXPECT_FALSE(env.segment(*seg).page_materialized(0));
+}
+
+TEST(GBufferTest, CapacityFromEntrySize) {
+  GBuffer buf(4096, 272);  // 128 + 8 + 128 + ... roughly the join entry
+  EXPECT_EQ(buf.capacity(), 4096u / 272u);
+  GBuffer tiny(16, 272);
+  EXPECT_EQ(tiny.capacity(), 1u);  // never zero
+}
+
+TEST(GBufferTest, ChargesTwoSwitchesPerExchange) {
+  MachineConfig mc = Config();
+  SimEnv env(mc);
+  Process p(&env, "p", 64 << 10);
+  GBuffer buf(3 * 100, 100);  // capacity 3
+  EXPECT_EQ(buf.Add(&p), 0u);
+  EXPECT_EQ(buf.Add(&p), 0u);
+  EXPECT_EQ(buf.Add(&p), 3u);  // full: exchange
+  EXPECT_EQ(p.stats().context_switches, 2u);
+  EXPECT_EQ(buf.exchanges(), 1u);
+  EXPECT_GT(p.stats().cpu_ms, 2 * mc.cs_ms - 1e-9);  // + transfer cost
+}
+
+TEST(GBufferTest, FlushDrainsPartialBatch) {
+  SimEnv env(Config());
+  Process p(&env, "p", 64 << 10);
+  GBuffer buf(1000, 100);
+  buf.Add(&p);
+  buf.Add(&p);
+  EXPECT_EQ(buf.pending(), 2u);
+  EXPECT_EQ(buf.Flush(&p), 2u);
+  EXPECT_EQ(buf.pending(), 0u);
+  EXPECT_EQ(buf.Flush(&p), 0u);  // nothing left: no switches charged
+  EXPECT_EQ(p.stats().context_switches, 2u);
+}
+
+}  // namespace
+}  // namespace mmjoin::sim

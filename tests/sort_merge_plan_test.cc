@@ -1,0 +1,100 @@
+// The sort-merge parameter-choice rules of section 6.2/6.3: IRUN, NRUN,
+// NPASS and LRUN as functions of memory.
+#include <gtest/gtest.h>
+
+#include "join/sort_merge.h"
+
+namespace mmjoin::join {
+namespace {
+
+constexpr uint32_t kPage = 4096;
+constexpr uint64_t kRs = 25600;  // |RS_i| at paper scale
+
+JoinParams Defaults() { return JoinParams{}; }
+
+TEST(PlanSortMergeTest, IrunFillsMemoryWithPointerOverhead) {
+  const auto plan = PlanSortMerge(1 << 20, kPage, kRs, Defaults());
+  EXPECT_EQ(plan.irun, (1ull << 20) / (sizeof(rel::RObject) + 8));
+}
+
+TEST(PlanSortMergeTest, NrunUsesThirdOfMemoryPages) {
+  const auto plan = PlanSortMerge(1 << 20, kPage, kRs, Defaults());
+  EXPECT_EQ(plan.nrun_abl, (1ull << 20) / (3 * kPage));
+  EXPECT_EQ(plan.nrun_last, (1ull << 20) / (2 * kPage));
+  EXPECT_GT(plan.nrun_last, plan.nrun_abl);
+}
+
+TEST(PlanSortMergeTest, TinyMemoryClampsToProgress) {
+  const auto plan = PlanSortMerge(2 * kPage, kPage, kRs, Defaults());
+  EXPECT_GE(plan.irun, 1u);
+  EXPECT_GE(plan.nrun_abl, 2u);  // a 1-way merge would never finish
+  EXPECT_GE(plan.nrun_last, 2u);
+}
+
+TEST(PlanSortMergeTest, NpassNonincreasingInMemory) {
+  uint64_t prev = UINT64_MAX;
+  for (uint64_t mem = 64ull << 10; mem <= 16ull << 20; mem *= 2) {
+    const auto plan = PlanSortMerge(mem, kPage, kRs, Defaults());
+    EXPECT_LE(plan.npass, prev) << "mem=" << mem;
+    prev = plan.npass;
+  }
+  // Big memory: a single (join) pass.
+  EXPECT_EQ(prev, 1u);
+}
+
+TEST(PlanSortMergeTest, LrunNeverExceedsLastFanIn) {
+  for (uint64_t mem : {48ull << 10, 128ull << 10, 512ull << 10,
+                       4ull << 20}) {
+    for (uint64_t rs : {100ull, 5000ull, 25600ull, 400000ull}) {
+      const auto plan = PlanSortMerge(mem, kPage, rs, Defaults());
+      EXPECT_LE(plan.lrun, plan.nrun_last)
+          << "mem=" << mem << " rs=" << rs;
+      EXPECT_GE(plan.npass, 1u);
+    }
+  }
+}
+
+TEST(PlanSortMergeTest, NpassConsistentWithRunArithmetic) {
+  for (uint64_t mem : {64ull << 10, 256ull << 10, 1ull << 20}) {
+    const auto plan = PlanSortMerge(mem, kPage, kRs, Defaults());
+    // Simulate the merge tree: runs0 shrinks by nrun_abl per pass until
+    // <= nrun_last, then one final pass.
+    uint64_t runs = plan.runs0;
+    uint64_t passes = 0;
+    while (runs > plan.nrun_last) {
+      runs = (runs + plan.nrun_abl - 1) / plan.nrun_abl;
+      ++passes;
+    }
+    EXPECT_EQ(plan.npass, passes + 1);
+    EXPECT_EQ(plan.lrun, runs);
+  }
+}
+
+TEST(PlanSortMergeTest, ManualOverridesWin) {
+  JoinParams p;
+  p.irun = 123;
+  p.nrun_abl = 5;
+  p.nrun_last = 7;
+  const auto plan = PlanSortMerge(1 << 20, kPage, kRs, p);
+  EXPECT_EQ(plan.irun, 123u);
+  EXPECT_EQ(plan.nrun_abl, 5u);
+  EXPECT_EQ(plan.nrun_last, 7u);
+  EXPECT_EQ(plan.runs0, (kRs + 122) / 123);
+}
+
+TEST(PlanSortMergeTest, HeapPointerSizeMatters) {
+  JoinParams fat;
+  fat.heap_ptr_bytes = 128;
+  const auto thin = PlanSortMerge(1 << 20, kPage, kRs, Defaults());
+  const auto wide = PlanSortMerge(1 << 20, kPage, kRs, fat);
+  EXPECT_LT(wide.irun, thin.irun);
+}
+
+TEST(PlanSortMergeTest, EmptyRelationStillOnePass) {
+  const auto plan = PlanSortMerge(1 << 20, kPage, 0, Defaults());
+  EXPECT_EQ(plan.runs0, 1u);  // degenerate single empty run
+  EXPECT_EQ(plan.npass, 1u);
+}
+
+}  // namespace
+}  // namespace mmjoin::join

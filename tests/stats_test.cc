@@ -1,0 +1,84 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmjoin {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  RunningStat s;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) s.Add(offset + x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-3);
+}
+
+TEST(HistogramTest, BucketsAndFractions) {
+  Histogram h({0.0, 1.0, 2.0, 3.0});
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  h.Add(2.5);
+  EXPECT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEnds) {
+  Histogram h({0.0, 1.0, 2.0});
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(HistogramTest, BoundaryGoesToUpperBucket) {
+  Histogram h({0.0, 1.0, 2.0});
+  h.Add(1.0);  // [1, 2) bucket
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(FormatFixedTest, Formats) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(1.0, 0), "1");
+  EXPECT_EQ(FormatFixed(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace mmjoin

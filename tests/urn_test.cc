@@ -1,0 +1,98 @@
+// The urn occupancy model: exactness against closed forms and Monte Carlo.
+#include "model/urn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace mmjoin::model {
+namespace {
+
+TEST(UrnTest, ZeroBallsAllEmpty) {
+  const auto dist = OccupiedUrnDistribution(10, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  EXPECT_DOUBLE_EQ(ProbEmptyUrnsExactly(10, 0, 10), 1.0);
+}
+
+TEST(UrnTest, OneBallOneOccupied) {
+  const auto dist = OccupiedUrnDistribution(10, 1);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+}
+
+TEST(UrnTest, DistributionSumsToOne) {
+  for (uint64_t m : {1ull, 2ull, 7ull, 64ull}) {
+    for (uint64_t n : {0ull, 1ull, 5ull, 100ull, 1000ull}) {
+      const auto dist = OccupiedUrnDistribution(m, n);
+      const double sum = std::accumulate(dist.begin(), dist.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(UrnTest, MatchesClosedFormForTwoUrns) {
+  // With 2 urns and n balls: P[1 occupied] = 2 * (1/2)^n.
+  for (uint64_t n : {1ull, 2ull, 5ull, 10ull}) {
+    const auto dist = OccupiedUrnDistribution(2, n);
+    EXPECT_NEAR(dist[1], 2.0 * std::pow(0.5, double(n)), 1e-12);
+  }
+}
+
+TEST(UrnTest, ExpectedOccupiedMatchesFormula) {
+  // E[occupied] = m(1 - (1 - 1/m)^n).
+  const uint64_t m = 50, n = 120;
+  const auto dist = OccupiedUrnDistribution(m, n);
+  double expectation = 0;
+  for (uint64_t k = 0; k <= m; ++k) {
+    expectation += double(k) * dist[k];
+  }
+  const double formula =
+      double(m) * (1.0 - std::pow(1.0 - 1.0 / double(m), double(n)));
+  EXPECT_NEAR(expectation, formula, 1e-9);
+}
+
+TEST(UrnTest, CumulativeEmptyProbabilityEdges) {
+  EXPECT_DOUBLE_EQ(ProbEmptyUrnsAtMost(10, 5, 10), 1.0);
+  // At most -impossible- empties: with 5 balls at least 5 urns are empty.
+  EXPECT_DOUBLE_EQ(ProbEmptyUrnsAtMost(10, 5, 2), 0.0);
+}
+
+TEST(UrnTest, CumulativeMonotoneInThreshold) {
+  double prev = 0;
+  for (uint64_t k = 0; k <= 20; ++k) {
+    const double p = ProbEmptyUrnsAtMost(20, 30, k);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(UrnTest, AgreesWithMonteCarlo) {
+  const uint64_t m = 30, n = 60;
+  Rng rng(99);
+  const int trials = 20000;
+  std::vector<int> empties_count(m + 1, 0);
+  for (int t = 0; t < trials; ++t) {
+    std::vector<bool> hit(m, false);
+    for (uint64_t ball = 0; ball < n; ++ball) hit[rng.Uniform(m)] = true;
+    int empty = 0;
+    for (bool h : hit) {
+      if (!h) ++empty;
+    }
+    ++empties_count[empty];
+  }
+  for (uint64_t k = 0; k <= m; ++k) {
+    const double mc = empties_count[k] / double(trials);
+    const double exact = ProbEmptyUrnsExactly(m, n, k);
+    EXPECT_NEAR(mc, exact, 0.015) << "k=" << k;
+  }
+}
+
+TEST(UrnTest, ExactlyOutOfRangeIsZero) {
+  EXPECT_EQ(ProbEmptyUrnsExactly(5, 3, 6), 0.0);
+}
+
+}  // namespace
+}  // namespace mmjoin::model

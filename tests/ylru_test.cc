@@ -1,0 +1,92 @@
+// Properties of the Mackert-Lohman LRU approximation, plus a differential
+// check against the real LRU page cache.
+#include "model/ylru.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "vm/page_cache.h"
+
+namespace mmjoin::model {
+namespace {
+
+TEST(YlruTest, ZeroAccessesZeroFaults) {
+  EXPECT_EQ(Ylru(1000, 100, 1000, 10, 0), 0.0);
+}
+
+TEST(YlruTest, NeverExceedsAccessCount) {
+  for (double x : {1.0, 10.0, 100.0, 5000.0, 50000.0}) {
+    EXPECT_LE(Ylru(25600, 800, 25600, 8, x), x);
+  }
+}
+
+TEST(YlruTest, MonotoneInAccesses) {
+  double prev = 0;
+  for (double x = 100; x <= 30000; x += 500) {
+    const double y = Ylru(25600, 800, 25600, 100, x);
+    EXPECT_GE(y, prev - 1e-9);
+    prev = y;
+  }
+}
+
+TEST(YlruTest, MonotoneNonincreasingInBuffer) {
+  double prev = 1e18;
+  for (double b : {8.0, 32.0, 128.0, 400.0, 800.0, 1600.0}) {
+    const double y = Ylru(25600, 800, 25600, b, 20000);
+    EXPECT_LE(y, prev + 1e-9);
+    prev = y;
+  }
+}
+
+TEST(YlruTest, BigBufferGivesCompulsoryMissesOnly) {
+  // Buffer larger than the relation: faults approach the distinct pages
+  // touched (t * (1 - q^x) <= t).
+  const double y = Ylru(25600, 800, 25600, 2000, 25600);
+  EXPECT_LE(y, 800.0 + 1e-9);
+  EXPECT_GT(y, 700.0);  // nearly every page gets touched
+}
+
+TEST(YlruTest, TinyBufferFaultsNearlyEveryAccessBeyondWarmup) {
+  const double x = 20000;
+  const double y = Ylru(25600, 800, 25600, 4, x);
+  EXPECT_GT(y, 0.9 * x);
+}
+
+TEST(YlruTest, SteadyStateBranchContinuousAtN) {
+  // The two branches must agree (approximately) where they meet.
+  const double n_tuples = 10000, t = 500, i = 10000, b = 200;
+  // Find n empirically: largest x where the first branch applies.
+  double prev = 0;
+  for (double x = 1; x < 5000; ++x) {
+    const double y = Ylru(n_tuples, t, i, b, x);
+    EXPECT_LE(y - prev, 1.0 + 1e-9);  // at most one fault per access
+    prev = y;
+  }
+}
+
+// Differential validation: the formula must approximate the real LRU cache
+// within a modest relative error for uniform random accesses.
+TEST(YlruDifferentialTest, ApproximatesRealLruCache) {
+  const uint64_t pages = 400;
+  const uint64_t objects = 12800;  // 32 per page
+  for (uint64_t frames : {40ull, 100ull, 200ull}) {
+    disk::DiskGeometry g;
+    disk::DiskArray disks(1, g);
+    vm::PageCache cache(frames, vm::PolicyKind::kLru, &disks);
+    Rng rng(frames);
+    const uint64_t accesses = 20000;
+    for (uint64_t a = 0; a < accesses; ++a) {
+      const uint64_t obj = rng.Uniform(objects);
+      cache.Touch(vm::PageId{1, obj / 32}, 0, obj / 32, false, true);
+    }
+    const double predicted =
+        Ylru(objects, pages, objects, frames, accesses);
+    const double actual = static_cast<double>(cache.stats().faults);
+    EXPECT_NEAR(predicted / actual, 1.0, 0.15)
+        << "frames=" << frames << " predicted=" << predicted
+        << " actual=" << actual;
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin::model
