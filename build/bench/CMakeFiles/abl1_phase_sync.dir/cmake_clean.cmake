@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_phase_sync.dir/abl1_phase_sync.cc.o"
+  "CMakeFiles/abl1_phase_sync.dir/abl1_phase_sync.cc.o.d"
+  "abl1_phase_sync"
+  "abl1_phase_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_phase_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_gbuffer.dir/abl2_gbuffer.cc.o"
+  "CMakeFiles/abl2_gbuffer.dir/abl2_gbuffer.cc.o.d"
+  "abl2_gbuffer"
+  "abl2_gbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_gbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

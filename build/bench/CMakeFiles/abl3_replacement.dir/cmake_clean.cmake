@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_replacement.dir/abl3_replacement.cc.o"
+  "CMakeFiles/abl3_replacement.dir/abl3_replacement.cc.o.d"
+  "abl3_replacement"
+  "abl3_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

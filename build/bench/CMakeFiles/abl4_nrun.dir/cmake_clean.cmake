@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_nrun.dir/abl4_nrun.cc.o"
+  "CMakeFiles/abl4_nrun.dir/abl4_nrun.cc.o.d"
+  "abl4_nrun"
+  "abl4_nrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_nrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

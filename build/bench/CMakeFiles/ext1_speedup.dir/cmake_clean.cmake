@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext1_speedup.dir/ext1_speedup.cc.o"
+  "CMakeFiles/ext1_speedup.dir/ext1_speedup.cc.o.d"
+  "ext1_speedup"
+  "ext1_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext1_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

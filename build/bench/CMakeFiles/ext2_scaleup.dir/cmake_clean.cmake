@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext2_scaleup.dir/ext2_scaleup.cc.o"
+  "CMakeFiles/ext2_scaleup.dir/ext2_scaleup.cc.o.d"
+  "ext2_scaleup"
+  "ext2_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext2_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

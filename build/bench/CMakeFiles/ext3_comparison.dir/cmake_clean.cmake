@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext3_comparison.dir/ext3_comparison.cc.o"
+  "CMakeFiles/ext3_comparison.dir/ext3_comparison.cc.o.d"
+  "ext3_comparison"
+  "ext3_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext3_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext4_skew.dir/ext4_skew.cc.o"
+  "CMakeFiles/ext4_skew.dir/ext4_skew.cc.o.d"
+  "ext4_skew"
+  "ext4_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext4_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext5_hybrid_hash.dir/ext5_hybrid_hash.cc.o"
+  "CMakeFiles/ext5_hybrid_hash.dir/ext5_hybrid_hash.cc.o.d"
+  "ext5_hybrid_hash"
+  "ext5_hybrid_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext5_hybrid_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_disk_transfer.dir/fig1a_disk_transfer.cc.o"
+  "CMakeFiles/fig1a_disk_transfer.dir/fig1a_disk_transfer.cc.o.d"
+  "fig1a_disk_transfer"
+  "fig1a_disk_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_disk_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

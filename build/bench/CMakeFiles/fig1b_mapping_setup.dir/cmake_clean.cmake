@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_mapping_setup.dir/fig1b_mapping_setup.cc.o"
+  "CMakeFiles/fig1b_mapping_setup.dir/fig1b_mapping_setup.cc.o.d"
+  "fig1b_mapping_setup"
+  "fig1b_mapping_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_mapping_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_nested_loops.dir/fig5a_nested_loops.cc.o"
+  "CMakeFiles/fig5a_nested_loops.dir/fig5a_nested_loops.cc.o.d"
+  "fig5a_nested_loops"
+  "fig5a_nested_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_nested_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

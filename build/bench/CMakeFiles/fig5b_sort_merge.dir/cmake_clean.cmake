@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_sort_merge.dir/fig5b_sort_merge.cc.o"
+  "CMakeFiles/fig5b_sort_merge.dir/fig5b_sort_merge.cc.o.d"
+  "fig5b_sort_merge"
+  "fig5b_sort_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_sort_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_grace.dir/fig5c_grace.cc.o"
+  "CMakeFiles/fig5c_grace.dir/fig5c_grace.cc.o.d"
+  "fig5c_grace"
+  "fig5c_grace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_grace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

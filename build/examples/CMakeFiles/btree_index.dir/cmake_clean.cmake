@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_index.dir/btree_index.cpp.o"
+  "CMakeFiles/btree_index.dir/btree_index.cpp.o.d"
+  "btree_index"
+  "btree_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_assembly.dir/cad_assembly.cpp.o"
+  "CMakeFiles/cad_assembly.dir/cad_assembly.cpp.o.d"
+  "cad_assembly"
+  "cad_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

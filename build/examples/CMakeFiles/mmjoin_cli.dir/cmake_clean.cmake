@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmjoin_cli.dir/mmjoin_cli.cpp.o"
+  "CMakeFiles/mmjoin_cli.dir/mmjoin_cli.cpp.o.d"
+  "mmjoin_cli"
+  "mmjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

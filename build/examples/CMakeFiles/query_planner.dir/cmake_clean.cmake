@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_planner.dir/query_planner.cpp.o"
+  "CMakeFiles/query_planner.dir/query_planner.cpp.o.d"
+  "query_planner"
+  "query_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

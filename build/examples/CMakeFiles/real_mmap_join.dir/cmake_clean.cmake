@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_mmap_join.dir/real_mmap_join.cpp.o"
+  "CMakeFiles/real_mmap_join.dir/real_mmap_join.cpp.o.d"
+  "real_mmap_join"
+  "real_mmap_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_mmap_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

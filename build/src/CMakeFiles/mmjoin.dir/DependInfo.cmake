@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/band_measure.cc" "src/CMakeFiles/mmjoin.dir/disk/band_measure.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/disk/band_measure.cc.o.d"
+  "/root/repo/src/disk/disk_array.cc" "src/CMakeFiles/mmjoin.dir/disk/disk_array.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/disk/disk_array.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/CMakeFiles/mmjoin.dir/disk/disk_model.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/disk/disk_model.cc.o.d"
+  "/root/repo/src/heap/heapsort.cc" "src/CMakeFiles/mmjoin.dir/heap/heapsort.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/heap/heapsort.cc.o.d"
+  "/root/repo/src/heap/merge_heap.cc" "src/CMakeFiles/mmjoin.dir/heap/merge_heap.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/heap/merge_heap.cc.o.d"
+  "/root/repo/src/join/grace.cc" "src/CMakeFiles/mmjoin.dir/join/grace.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/join/grace.cc.o.d"
+  "/root/repo/src/join/hybrid_hash.cc" "src/CMakeFiles/mmjoin.dir/join/hybrid_hash.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/join/hybrid_hash.cc.o.d"
+  "/root/repo/src/join/join_common.cc" "src/CMakeFiles/mmjoin.dir/join/join_common.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/join/join_common.cc.o.d"
+  "/root/repo/src/join/nested_loops.cc" "src/CMakeFiles/mmjoin.dir/join/nested_loops.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/join/nested_loops.cc.o.d"
+  "/root/repo/src/join/oracle.cc" "src/CMakeFiles/mmjoin.dir/join/oracle.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/join/oracle.cc.o.d"
+  "/root/repo/src/join/sort_merge.cc" "src/CMakeFiles/mmjoin.dir/join/sort_merge.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/join/sort_merge.cc.o.d"
+  "/root/repo/src/mmap/btree.cc" "src/CMakeFiles/mmjoin.dir/mmap/btree.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/mmap/btree.cc.o.d"
+  "/root/repo/src/mmap/mm_relation.cc" "src/CMakeFiles/mmjoin.dir/mmap/mm_relation.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/mmap/mm_relation.cc.o.d"
+  "/root/repo/src/mmap/mmap_join.cc" "src/CMakeFiles/mmjoin.dir/mmap/mmap_join.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/mmap/mmap_join.cc.o.d"
+  "/root/repo/src/mmap/segment.cc" "src/CMakeFiles/mmjoin.dir/mmap/segment.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/mmap/segment.cc.o.d"
+  "/root/repo/src/mmap/segment_manager.cc" "src/CMakeFiles/mmjoin.dir/mmap/segment_manager.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/mmap/segment_manager.cc.o.d"
+  "/root/repo/src/model/dtt_curve.cc" "src/CMakeFiles/mmjoin.dir/model/dtt_curve.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/model/dtt_curve.cc.o.d"
+  "/root/repo/src/model/grace_model.cc" "src/CMakeFiles/mmjoin.dir/model/grace_model.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/model/grace_model.cc.o.d"
+  "/root/repo/src/model/nested_loops_model.cc" "src/CMakeFiles/mmjoin.dir/model/nested_loops_model.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/model/nested_loops_model.cc.o.d"
+  "/root/repo/src/model/sort_merge_model.cc" "src/CMakeFiles/mmjoin.dir/model/sort_merge_model.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/model/sort_merge_model.cc.o.d"
+  "/root/repo/src/model/urn.cc" "src/CMakeFiles/mmjoin.dir/model/urn.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/model/urn.cc.o.d"
+  "/root/repo/src/model/ylru.cc" "src/CMakeFiles/mmjoin.dir/model/ylru.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/model/ylru.cc.o.d"
+  "/root/repo/src/rel/generator.cc" "src/CMakeFiles/mmjoin.dir/rel/generator.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/rel/generator.cc.o.d"
+  "/root/repo/src/sim/machine_config.cc" "src/CMakeFiles/mmjoin.dir/sim/machine_config.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/sim/machine_config.cc.o.d"
+  "/root/repo/src/sim/shared_buffer.cc" "src/CMakeFiles/mmjoin.dir/sim/shared_buffer.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/sim/shared_buffer.cc.o.d"
+  "/root/repo/src/sim/sim_env.cc" "src/CMakeFiles/mmjoin.dir/sim/sim_env.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/sim/sim_env.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mmjoin.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/mmjoin.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mmjoin.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/util/status.cc.o.d"
+  "/root/repo/src/vm/page_cache.cc" "src/CMakeFiles/mmjoin.dir/vm/page_cache.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/vm/page_cache.cc.o.d"
+  "/root/repo/src/vm/replacement.cc" "src/CMakeFiles/mmjoin.dir/vm/replacement.cc.o" "gcc" "src/CMakeFiles/mmjoin.dir/vm/replacement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

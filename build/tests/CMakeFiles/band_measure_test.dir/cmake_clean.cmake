@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band_measure_test.dir/band_measure_test.cc.o"
+  "CMakeFiles/band_measure_test.dir/band_measure_test.cc.o.d"
+  "band_measure_test"
+  "band_measure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band_measure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

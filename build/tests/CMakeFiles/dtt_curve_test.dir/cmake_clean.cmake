@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtt_curve_test.dir/dtt_curve_test.cc.o"
+  "CMakeFiles/dtt_curve_test.dir/dtt_curve_test.cc.o.d"
+  "dtt_curve_test"
+  "dtt_curve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtt_curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

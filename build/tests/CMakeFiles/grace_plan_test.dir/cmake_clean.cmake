@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grace_plan_test.dir/grace_plan_test.cc.o"
+  "CMakeFiles/grace_plan_test.dir/grace_plan_test.cc.o.d"
+  "grace_plan_test"
+  "grace_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grace_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapsort_test.dir/heapsort_test.cc.o"
+  "CMakeFiles/heapsort_test.dir/heapsort_test.cc.o.d"
+  "heapsort_test"
+  "heapsort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

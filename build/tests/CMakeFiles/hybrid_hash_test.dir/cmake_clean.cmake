@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_hash_test.dir/hybrid_hash_test.cc.o"
+  "CMakeFiles/hybrid_hash_test.dir/hybrid_hash_test.cc.o.d"
+  "hybrid_hash_test"
+  "hybrid_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

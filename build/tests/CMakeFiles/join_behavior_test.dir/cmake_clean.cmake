@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_behavior_test.dir/join_behavior_test.cc.o"
+  "CMakeFiles/join_behavior_test.dir/join_behavior_test.cc.o.d"
+  "join_behavior_test"
+  "join_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

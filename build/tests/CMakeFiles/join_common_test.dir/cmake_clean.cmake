@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_common_test.dir/join_common_test.cc.o"
+  "CMakeFiles/join_common_test.dir/join_common_test.cc.o.d"
+  "join_common_test"
+  "join_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

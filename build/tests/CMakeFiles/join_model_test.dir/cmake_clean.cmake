@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_model_test.dir/join_model_test.cc.o"
+  "CMakeFiles/join_model_test.dir/join_model_test.cc.o.d"
+  "join_model_test"
+  "join_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_passes_test.dir/join_passes_test.cc.o"
+  "CMakeFiles/join_passes_test.dir/join_passes_test.cc.o.d"
+  "join_passes_test"
+  "join_passes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_passes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

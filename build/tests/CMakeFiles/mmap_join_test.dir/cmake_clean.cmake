@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_join_test.dir/mmap_join_test.cc.o"
+  "CMakeFiles/mmap_join_test.dir/mmap_join_test.cc.o.d"
+  "mmap_join_test"
+  "mmap_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_join_integration_test.dir/policy_join_integration_test.cc.o"
+  "CMakeFiles/policy_join_integration_test.dir/policy_join_integration_test.cc.o.d"
+  "policy_join_integration_test"
+  "policy_join_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_join_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

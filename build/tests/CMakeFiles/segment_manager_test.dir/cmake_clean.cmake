@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_manager_test.dir/segment_manager_test.cc.o"
+  "CMakeFiles/segment_manager_test.dir/segment_manager_test.cc.o.d"
+  "segment_manager_test"
+  "segment_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

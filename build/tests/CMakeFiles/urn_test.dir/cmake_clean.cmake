@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urn_test.dir/urn_test.cc.o"
+  "CMakeFiles/urn_test.dir/urn_test.cc.o.d"
+  "urn_test"
+  "urn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

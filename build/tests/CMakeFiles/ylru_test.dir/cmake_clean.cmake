@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ylru_test.dir/ylru_test.cc.o"
+  "CMakeFiles/ylru_test.dir/ylru_test.cc.o.d"
+  "ylru_test"
+  "ylru_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ylru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
