@@ -29,10 +29,12 @@ int main() {
       params.phase_sync = sync == 1;
       auto r = join::RunNestedLoops(&env, *w, params);
       if (!r.ok() || !r->verified) return 1;
+      bench::RecordRun(*r);
       t[sync] = r->elapsed_ms / 1000.0;
     }
     std::printf("%.1f\t%.2f\t%.2f\t%.2f\n", theta, t[0], t[1],
                 100.0 * (t[1] - t[0]) / t[0]);
   }
+  bench::WriteMetricsJson("abl1_phase_sync");
   return 0;
 }

@@ -25,6 +25,7 @@ int main() {
     params.g_bytes = g;
     auto r = join::RunNestedLoops(&env, *w, params);
     if (!r.ok() || !r->verified) return 1;
+    bench::RecordRun(*r);
     double cs_ms = 0;
     for (const auto& s : r->rproc_stats) {
       cs_ms += static_cast<double>(s.context_switches) * mc.cs_ms;
@@ -34,5 +35,6 @@ int main() {
                 static_cast<unsigned long long>(g / entry),
                 r->elapsed_ms / 1000.0, cs_ms / r->rproc_stats.size());
   }
+  bench::WriteMetricsJson("abl2_gbuffer");
   return 0;
 }

@@ -30,6 +30,7 @@ int main() {
       params.policy = policy;
       auto r = join::RunGrace(&env, *w, params);
       if (!r.ok() || !r->verified) return 1;
+      bench::RecordRun(*r);
       t[idx] = r->elapsed_ms / 1000.0;
       faults[idx] = r->faults;
       ++idx;
@@ -39,5 +40,6 @@ int main() {
                 static_cast<unsigned long long>(faults[1]),
                 static_cast<unsigned long long>(faults[2]));
   }
+  bench::WriteMetricsJson("abl3_replacement");
   return 0;
 }

@@ -36,6 +36,7 @@ int main() {
       params.nrun_last = params.nrun_abl;
       auto r = join::RunSortMerge(&env, *w, params);
       if (!r.ok() || !r->verified) return 1;
+      bench::RecordRun(*r);
       std::printf("%.3f\t%s\t%llu\t%llu\t%.2f\t%llu\n", x, rule.name,
                   static_cast<unsigned long long>(params.nrun_abl),
                   static_cast<unsigned long long>(r->npass),
@@ -43,5 +44,6 @@ int main() {
                   static_cast<unsigned long long>(r->faults));
     }
   }
+  bench::WriteMetricsJson("abl4_nrun");
   return 0;
 }

@@ -1,6 +1,7 @@
 // Shared helpers for the figure-regeneration benches: paper-scale workload
-// construction, model-vs-experiment sweeps, and TSV output in the shape of
-// the paper's plots.
+// construction, model-vs-experiment sweeps, TSV output in the shape of the
+// paper's plots, and the machine-readable `<bench>.metrics.json` dump every
+// bench writes alongside its table (see Metrics()/WriteMetricsJson below).
 #ifndef MMJOIN_BENCH_BENCH_COMMON_H_
 #define MMJOIN_BENCH_BENCH_COMMON_H_
 
@@ -14,10 +15,25 @@
 #include "join/nested_loops.h"
 #include "join/sort_merge.h"
 #include "model/join_model.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "rel/generator.h"
 #include "sim/sim_env.h"
 
 namespace mmjoin::bench {
+
+/// The bench-wide metrics sink. Join runs recorded here (RunSweep does it
+/// automatically; direct-run benches call RecordRun) are dumped by
+/// WriteMetricsJson as `<bench>.metrics.json` in the working directory.
+inline obs::MetricsRegistry& Metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+/// Accumulates one join run into Metrics().
+inline void RecordRun(const join::JoinRunResult& result) {
+  result.ExportMetrics(&Metrics());
+}
 
 inline StatusOr<join::JoinRunResult> RunAlgorithm(
     join::Algorithm a, sim::SimEnv* env, const rel::Workload& w,
@@ -87,6 +103,7 @@ inline std::vector<SweepPoint> RunSweep(const SweepConfig& cfg) {
       std::fprintf(stderr, "join: %s\n", result.status().ToString().c_str());
       continue;
     }
+    RecordRun(*result);
     pt.experiment_s = result->elapsed_ms / 1000.0;
     pt.verified = result->verified;
     pt.faults = result->faults;
@@ -127,6 +144,41 @@ inline void PrintPassBreakdown(const SweepConfig& cfg, double frac) {
                 pass.elapsed_ms / 1000.0,
                 static_cast<unsigned long long>(pass.faults));
   }
+}
+
+/// Writes `<bench_name>.metrics.json` in the working directory: the sweep
+/// points (if any) plus the full Metrics() registry dump. The registry's
+/// `join.faults` counter equals the sum of the printed table's faults column
+/// as long as every run that reaches the table went through RecordRun (and
+/// nothing else — PrintPassBreakdown deliberately runs outside the sink).
+inline void WriteMetricsJson(const std::string& bench_name,
+                             const std::vector<SweepPoint>& points = {}) {
+  std::string json = "{\"bench\":\"" + obs::JsonEscape(bench_name) + "\",";
+  json += "\"points\":[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    if (i) json += ',';
+    json += "{\"x\":" + obs::JsonNumber(p.x);
+    json += ",\"model_s\":" + obs::JsonNumber(p.model_s);
+    json += ",\"experiment_s\":" + obs::JsonNumber(p.experiment_s);
+    json += ",\"faults\":" + obs::JsonNumber(static_cast<double>(p.faults));
+    json += ",\"npass\":" + obs::JsonNumber(static_cast<double>(p.npass));
+    json +=
+        ",\"k_buckets\":" + obs::JsonNumber(static_cast<double>(p.k_buckets));
+    json += ",\"verified\":";
+    json += p.verified ? "true" : "false";
+    json += '}';
+  }
+  json += "],\"metrics\":" + Metrics().ToJson() + "}";
+  const std::string path = bench_name + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "metrics: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("# metrics: wrote %s\n", path.c_str());
 }
 
 /// Prints the sweep in the paper's plot shape (TSV).

@@ -36,11 +36,13 @@ int main() {
         std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
         return 1;
       }
+      bench::RecordRun(*r);
       times[idx++] = r->elapsed_ms / 1000.0;
       verified = verified && r->verified;
     }
     std::printf("%u\t%.2f\t%.2f\t%.2f\t%s\n", d, times[0], times[1],
                 times[2], verified ? "yes" : "NO");
   }
+  bench::WriteMetricsJson("ext1_speedup");
   return 0;
 }

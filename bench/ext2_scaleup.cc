@@ -37,11 +37,13 @@ int main() {
         std::fprintf(stderr, "run failed/unverified\n");
         return 1;
       }
+      bench::RecordRun(*r);
       times[idx++] = r->elapsed_ms / 1000.0;
     }
     std::printf("%u\t%llu\t%.2f\t%.2f\t%.2f\n", d,
                 static_cast<unsigned long long>(rc.r_objects), times[0],
                 times[1], times[2]);
   }
+  bench::WriteMetricsJson("ext2_scaleup");
   return 0;
 }

@@ -32,6 +32,7 @@ int main() {
         std::fprintf(stderr, "run failed/unverified at x=%.2f\n", x);
         return 1;
       }
+      bench::RecordRun(*r);
       times[idx++] = r->elapsed_ms / 1000.0;
     }
     const char* names[] = {"nested-loops", "sort-merge", "grace"};
@@ -42,5 +43,6 @@ int main() {
     std::printf("%.2f\t%.2f\t%.2f\t%.2f\t%s\n", x, times[0], times[1],
                 times[2], names[best]);
   }
+  bench::WriteMetricsJson("ext3_comparison");
   return 0;
 }

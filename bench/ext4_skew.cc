@@ -36,10 +36,12 @@ int main() {
         std::fprintf(stderr, "run failed/unverified at theta=%.1f\n", theta);
         return 1;
       }
+      bench::RecordRun(*r);
       times[idx++] = r->elapsed_ms / 1000.0;
     }
     std::printf("%.1f\t%.3f\t%.2f\t%.2f\t%.2f\n", theta, skew, times[0],
                 times[1], times[2]);
   }
+  bench::WriteMetricsJson("ext4_skew");
   return 0;
 }

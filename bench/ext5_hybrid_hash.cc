@@ -33,6 +33,7 @@ int main() {
         std::fprintf(stderr, "run failed at x=%.2f\n", x);
         return 1;
       }
+      bench::RecordRun(*r);
       t[idx++] = r->elapsed_ms / 1000.0;
       k_buckets = r->k_buckets;
     }
@@ -49,5 +50,6 @@ int main() {
     std::printf("%.2f\t%.2f\t%.2f\t%.1f\t%.2f\t%.2f\t%u\n", x, t[0], t[1],
                 100.0 * (t[0] - t[1]) / t[0], gm, hm, k_buckets);
   }
+  bench::WriteMetricsJson("ext5_hybrid_hash");
   return 0;
 }

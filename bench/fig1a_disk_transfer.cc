@@ -5,6 +5,7 @@
 // write-back is deferred and scheduled shortest-seek-first.
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "disk/band_measure.h"
 
 int main() {
@@ -24,6 +25,12 @@ int main() {
     std::printf("%llu\t%.2f\t%.2f\n",
                 static_cast<unsigned long long>(reads[i].band_blocks),
                 reads[i].ms_per_block, writes[i].ms_per_block);
+    bench::Metrics().counter("dtt.bands").Inc();
+    bench::Metrics().histogram("dtt.read_ms_per_block")
+        .Record(reads[i].ms_per_block);
+    bench::Metrics().histogram("dtt.write_ms_per_block")
+        .Record(writes[i].ms_per_block);
   }
+  bench::WriteMetricsJson("fig1a_disk_transfer");
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "mmap/segment_manager.h"
 #include "sim/machine_config.h"
 
@@ -71,7 +72,12 @@ int main() {
     std::printf("%llu\t%.3f\t%.3f\t%.3f\n",
                 static_cast<unsigned long long>(blocks), new_ms / reps,
                 open_ms / reps, del_ms / reps);
+    bench::Metrics().counter("mmap.sizes_measured").Inc();
+    bench::Metrics().histogram("mmap.new_map_ms").Record(new_ms / reps);
+    bench::Metrics().histogram("mmap.open_map_ms").Record(open_ms / reps);
+    bench::Metrics().histogram("mmap.delete_map_ms").Record(del_ms / reps);
   }
   ::rmdir(dir.c_str());
+  bench::WriteMetricsJson("fig1b_mapping_setup");
   return 0;
 }

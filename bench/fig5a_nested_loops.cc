@@ -13,6 +13,7 @@ int main() {
   const auto points = bench::RunSweep(cfg);
   bench::PrintSweep("Parallel pointer-based nested loops, model vs experiment",
                     "Fig 5a", points);
+  bench::WriteMetricsJson("fig5a_nested_loops", points);
   bench::PrintPassBreakdown(cfg, 0.2);
   return 0;
 }

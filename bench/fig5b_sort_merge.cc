@@ -20,6 +20,7 @@ int main() {
     std::printf("%.4f\t%llu\n", p.x,
                 static_cast<unsigned long long>(p.npass));
   }
+  bench::WriteMetricsJson("fig5b_sort_merge", points);
   bench::PrintPassBreakdown(cfg, 0.02);
   return 0;
 }

@@ -20,6 +20,7 @@ int main() {
   for (const auto& p : points) {
     std::printf("%.4f\t%u\n", p.x, p.k_buckets);
   }
+  bench::WriteMetricsJson("fig5c_grace", points);
   bench::PrintPassBreakdown(cfg, 0.03);
   return 0;
 }

@@ -23,6 +23,9 @@
 #include "model/join_model.h"      // analytical cost models
 #include "model/urn.h"             // Johnson-Kotz urn occupancy
 #include "model/ylru.h"            // Mackert-Lohman LRU model
+#include "obs/json.h"              // minimal JSON parse/escape helpers
+#include "obs/metrics.h"           // named counters/histograms + JSON dump
+#include "obs/trace.h"             // Chrome trace-event recorder
 #include "rel/generator.h"         // workload generation
 #include "rel/relation.h"          // relation layout and pointers
 #include "sim/machine_config.h"    // environment parameters

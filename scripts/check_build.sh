@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+# This is the exact check CI (and ROADMAP.md) gates on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

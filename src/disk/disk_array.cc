@@ -90,4 +90,19 @@ void DiskArray::ResetStats() {
   for (auto& d : disks_) d->ResetStats();
 }
 
+void DiskArray::ExportMetrics(obs::MetricsRegistry* registry,
+                              const std::string& prefix) const {
+  for (uint32_t i = 0; i < num_disks(); ++i) {
+    const DiskStats& s = disks_[i]->stats();
+    const std::string p = prefix + "." + std::to_string(i);
+    registry->counter(p + ".reads").Inc(s.reads);
+    registry->counter(p + ".writes").Inc(s.writes);
+    registry->counter(p + ".flushed_writes").Inc(s.flushed_writes);
+    registry->counter(p + ".seek_blocks").Inc(s.seek_blocks);
+    registry->histogram(p + ".read_ms").Record(s.read_ms);
+    registry->histogram(p + ".write_ms").Record(s.write_ms);
+    registry->histogram(p + ".busy_ms").Record(s.busy_ms);
+  }
+}
+
 }  // namespace mmjoin::disk

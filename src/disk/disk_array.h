@@ -11,7 +11,10 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "disk/disk_model.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace mmjoin::disk {
@@ -50,6 +53,12 @@ class DiskArray {
   double TotalBusyMs() const;
 
   void ResetStats();
+
+  /// Exports every drive's DiskStats as `<prefix>.<disk>.<field>` into
+  /// `registry` (e.g. "disk.0.reads", "disk.0.seek_blocks",
+  /// "disk.0.busy_ms") — the registry form of the per-drive tallies.
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
 
  private:
   std::vector<std::unique_ptr<SimulatedDisk>> disks_;

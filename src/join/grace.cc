@@ -143,12 +143,14 @@ StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,
   ex.MarkPass("pass0");
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
+  obs::TraceRecorder* trace = env->trace();
   for (uint32_t t = 1; t < d; ++t) {
     for (uint32_t i = 0; i < d; ++i) {
       sim::Process& rproc = ex.rproc(i);
       const uint32_t j = PhaseOffset(i, t, d);
       const uint64_t n = ex.RpSubCount(i, j);
       const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = rproc.clock_ms();
       for (uint64_t k = 0; k < n; ++k) {
         rel::RObject obj;
         const void* src =
@@ -157,6 +159,13 @@ StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,
         hash_into_rs(i, obj);
       }
       rproc.DropSegment(rs_segs[j], /*discard=*/false);
+      if (trace) {
+        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
+                        "phase " + std::to_string(t), "phase", phase_start_ms,
+                        rproc.clock_ms() - phase_start_ms,
+                        {obs::Arg("partner", uint64_t{j}),
+                         obs::Arg("objects", n)});
+      }
     }
     if (sync) ex.SyncClocks();
   }
@@ -179,6 +188,7 @@ StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,
       for (auto& chain : table) chain.clear();
       const uint64_t base = bucket_offset[i][b];
       const uint64_t count = bucket_count[i][b];
+      const double bucket_start_ms = rproc.clock_ms();
       for (uint64_t k = 0; k < count; ++k) {
         rel::RObject obj;
         const void* src = rproc.Read(rs_segs[i], base + k * r, r);
@@ -197,6 +207,12 @@ StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,
         }
       }
       ex.FlushSRequests(i);
+      if (trace) {
+        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
+                        "bucket " + std::to_string(b), "bucket",
+                        bucket_start_ms, rproc.clock_ms() - bucket_start_ms,
+                        {obs::Arg("objects", count)});
+      }
     }
     rproc.DropSegment(rs_segs[i], /*discard=*/true);
     MMJOIN_RETURN_NOT_OK(env->DeleteSegment(rs_segs[i]));

@@ -42,6 +42,16 @@ JoinExecution::JoinExecution(sim::SimEnv* env, const rel::Workload& workload,
   out_count_.assign(d_, 0);
   out_digest_.assign(d_, 0);
   rp_segs_.assign(d_, sim::kInvalidSeg);
+  last_mark_clock_.assign(d_, 0);
+  // Trace-track convention (DESIGN.md §Observability): pid = disk index,
+  // tid 1 = Rproc_i, tid 2 = Sproc_i.
+  if (env_->trace()) {
+    for (uint32_t i = 0; i < d_; ++i) {
+      env_->trace()->SetProcessName(i, "disk " + std::to_string(i));
+      rprocs_[i]->BindTraceTrack(i, 1, "Rproc " + std::to_string(i));
+      sprocs_[i]->BindTraceTrack(i, 2, "Sproc " + std::to_string(i));
+    }
+  }
 }
 
 JoinExecution::~JoinExecution() {
@@ -104,6 +114,7 @@ void JoinExecution::ServiceSBatch(uint32_t i, uint64_t n) {
   assert(n <= pending_[i].size());
   auto& queue = pending_[i];
   sim::Process& payer = *rprocs_[i];
+  const double batch_start_ms = payer.clock_ms();
   for (uint64_t k = 0; k < n; ++k) {
     const PendingS& req = queue[k];
     const rel::SPtr sp = rel::SPtr::Unpack(req.sptr);
@@ -117,6 +128,12 @@ void JoinExecution::ServiceSBatch(uint32_t i, uint64_t n) {
     ++out_count_[i];
   }
   queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(n));
+  if (obs::TraceRecorder* trace = env_->trace()) {
+    trace->Complete(payer.trace_pid(), payer.trace_tid(), "gbuffer-fetch",
+                    "gbuffer", batch_start_ms,
+                    payer.clock_ms() - batch_start_ms,
+                    {obs::Arg("batch", n)});
+  }
 }
 
 void JoinExecution::RequestS(uint32_t i, uint64_t r_id,
@@ -135,9 +152,19 @@ void JoinExecution::FlushSRequests(uint32_t i) {
 void JoinExecution::MarkPass(const std::string& label) {
   double max_ms = 0;
   uint64_t faults = 0;
+  obs::TraceRecorder* trace = env_->trace();
   for (uint32_t i = 0; i < d_; ++i) {
-    max_ms = std::max(max_ms, rprocs_[i]->clock_ms());
+    const double clock = rprocs_[i]->clock_ms();
+    max_ms = std::max(max_ms, clock);
     faults += rprocs_[i]->stats().faults + sprocs_[i]->stats().faults;
+    if (trace) {
+      // One top-level span per Rproc covering its share of this pass; the
+      // pass boundary per process is its own clock, not the global max.
+      trace->Complete(rprocs_[i]->trace_pid(), rprocs_[i]->trace_tid(),
+                      label, "pass", last_mark_clock_[i],
+                      clock - last_mark_clock_[i]);
+    }
+    last_mark_clock_[i] = clock;
   }
   passes_.push_back(PassMark{label, max_ms - last_mark_ms_,
                              faults - last_mark_faults_});
@@ -176,6 +203,23 @@ JoinRunResult JoinExecution::Finish() {
   r.verified = r.output_count == workload_->expected_output_count &&
                r.output_checksum == workload_->expected_checksum;
   return r;
+}
+
+void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
+  registry->counter("join.runs").Inc();
+  registry->counter("join.faults").Inc(faults);
+  registry->counter("join.write_backs").Inc(write_backs);
+  registry->counter("join.output_objects").Inc(output_count);
+  if (!verified) registry->counter("join.unverified_runs").Inc();
+  registry->histogram("join.elapsed_ms").Record(elapsed_ms);
+  registry->histogram("join.setup_ms").Record(setup_ms);
+  for (const auto& stats : rproc_stats) {
+    stats.ExportMetrics(registry, "rproc");
+  }
+  for (const auto& pass : passes) {
+    registry->histogram("pass." + pass.label + ".ms").Record(pass.elapsed_ms);
+    registry->counter("pass." + pass.label + ".faults").Inc(pass.faults);
+  }
 }
 
 }  // namespace mmjoin::join

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rel/relation.h"
 #include "sim/shared_buffer.h"
 #include "sim/sim_env.h"
@@ -26,25 +27,33 @@ const char* AlgorithmName(Algorithm a);
 
 /// Tunable parameters of a join execution. Fields left at 0 (or nullopt)
 /// are derived automatically per the paper's parameter-choice sections.
+/// Every field's paper provenance (section / equation) is cross-referenced
+/// in docs/PARAMETERS.md.
 struct JoinParams {
-  uint64_t m_rproc_bytes = 4ull << 20;  ///< M_Rproc_i: private memory
-  uint64_t m_sproc_bytes = 4ull << 20;  ///< M_Sproc_i: S-side memory
-  uint64_t g_bytes = 0;                 ///< G buffer size; 0 = one page
+  uint64_t m_rproc_bytes = 4ull << 20;  ///< M_Rproc_i: private memory, bytes
+  uint64_t m_sproc_bytes = 4ull << 20;  ///< M_Sproc_i: S-side memory, bytes
+  /// G: shared request-buffer size in bytes; 0 = one VM page (B), the
+  /// paper's choice. See sim::GBuffer for the exchange accounting.
+  uint64_t g_bytes = 0;
   /// Synchronize processes after every pass/phase. Default: off for nested
-  /// loops (section 5.1), on for sort-merge and Grace (sections 6.3/7.3).
+  /// loops (section 5.1 reports a ≤0.5% effect), on for sort-merge and
+  /// Grace, whose later passes assume the partitioning is complete.
   std::optional<bool> phase_sync;
-  vm::PolicyKind policy = vm::PolicyKind::kLru;
+  vm::PolicyKind policy = vm::PolicyKind::kLru;  ///< page replacement policy
 
   // --- sort-merge (section 6.2); 0 = choose automatically ---
-  uint64_t irun = 0;       ///< objects per initial sorted run
-  uint64_t nrun_abl = 0;   ///< merge fan-in, all passes but the last
-  uint64_t nrun_last = 0;  ///< merge fan-in bound on the last pass
+  uint64_t irun = 0;       ///< IRUN: objects per initial sorted run
+  uint64_t nrun_abl = 0;   ///< NRUNABL: merge fan-in, all passes but the last
+  uint64_t nrun_last = 0;  ///< NRUNLAST: merge fan-in bound on the last pass
   uint32_t heap_ptr_bytes = 8;  ///< hp: bytes per pointer-heap element
 
   // --- Grace (section 7.2); 0 = choose automatically ---
   uint32_t k_buckets = 0;  ///< K: coarse hash buckets per RS_i
   uint32_t tsize = 0;      ///< TSIZE: in-memory hash table chains
-  double fuzz = 1.15;      ///< hash-table overhead allowance for auto-K
+  /// Allowance multiplier for hash-table overhead when deriving K
+  /// automatically: a bucket of |RS_i|/K objects must fit in
+  /// M_Rproc / fuzz bytes.
+  double fuzz = 1.15;
 };
 
 /// Elapsed time of one pass (or phase group) of an execution, measured as
@@ -69,12 +78,17 @@ struct JoinRunResult {
   bool verified = false;  ///< output matched the workload's expected join
 
   double setup_ms = 0;  ///< mapping setup portion (per Rproc)
-  uint64_t faults = 0;
-  uint64_t write_backs = 0;
+  uint64_t faults = 0;       ///< page faults, summed over all processes
+  uint64_t write_backs = 0;  ///< dirty write-backs, summed over all processes
 
   // Echoes of the derived algorithm parameters, for reporting.
   uint64_t irun = 0, nrun_abl = 0, nrun_last = 0, npass = 0, lrun = 0;
   uint32_t k_buckets = 0, tsize = 0;
+
+  /// Exports the run into `registry` under the "join." / "pass." / "rproc."
+  /// prefixes (see DESIGN.md §Observability for the exact names). Called by
+  /// the benches to produce their `*.metrics.json` dumps.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
 };
 
 /// The staggered-phase partner: in phase t (1-based), Rproc_i works against
@@ -174,6 +188,8 @@ class JoinExecution {
   std::vector<PassMark> passes_;
   double last_mark_ms_ = 0;
   uint64_t last_mark_faults_ = 0;
+  /// Per-Rproc clock at the previous MarkPass, for per-process pass spans.
+  std::vector<double> last_mark_clock_;
 };
 
 }  // namespace mmjoin::join

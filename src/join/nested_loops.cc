@@ -48,12 +48,14 @@ StatusOr<JoinRunResult> RunNestedLoops(sim::SimEnv* env,
   ex.MarkPass("pass0");
 
   // ---- Pass 1: D-1 staggered phases over the RP_{i,j}. ----
+  obs::TraceRecorder* trace = env->trace();
   for (uint32_t t = 1; t < d; ++t) {
     for (uint32_t i = 0; i < d; ++i) {
       sim::Process& rproc = ex.rproc(i);
       const uint32_t j = PhaseOffset(i, t, d);
       const uint64_t n = ex.RpSubCount(i, j);
       const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = rproc.clock_ms();
       for (uint64_t k = 0; k < n; ++k) {
         rel::RObject obj;
         const void* src = rproc.Read(
@@ -62,6 +64,13 @@ StatusOr<JoinRunResult> RunNestedLoops(sim::SimEnv* env,
         ex.RequestS(i, obj.id, obj.sptr);
       }
       ex.FlushSRequests(i);
+      if (trace) {
+        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
+                        "phase " + std::to_string(t), "phase", phase_start_ms,
+                        rproc.clock_ms() - phase_start_ms,
+                        {obs::Arg("partner", uint64_t{j}),
+                         obs::Arg("objects", n)});
+      }
     }
     if (sync) ex.SyncClocks();
   }

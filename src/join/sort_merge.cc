@@ -128,12 +128,14 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
   ex.MarkPass("pass0");
 
   // ---- Pass 1: staggered phases move RP_{i,j} into RS_j. ----
+  obs::TraceRecorder* trace = env->trace();
   for (uint32_t t = 1; t < d; ++t) {
     for (uint32_t i = 0; i < d; ++i) {
       sim::Process& rproc = ex.rproc(i);
       const uint32_t j = PhaseOffset(i, t, d);
       const uint64_t n = ex.RpSubCount(i, j);
       const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = rproc.clock_ms();
       for (uint64_t k = 0; k < n; ++k) {
         rel::RObject obj;
         const void* src =
@@ -143,6 +145,13 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
       }
       // Hand the written RS_j pages back to their owner's disk image.
       rproc.DropSegment(rs_segs[j], /*discard=*/false);
+      if (trace) {
+        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
+                        "phase " + std::to_string(t), "phase", phase_start_ms,
+                        rproc.clock_ms() - phase_start_ms,
+                        {obs::Arg("partner", uint64_t{j}),
+                         obs::Arg("objects", n)});
+      }
     }
     if (sync) ex.SyncClocks();
   }
@@ -172,6 +181,7 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
 
     // Sort each run: read in, heapsort an array of pointers, permute the
     // objects in place, write back.
+    const double sort_start_ms = rproc.clock_ms();
     std::vector<rel::RObject> buffer;
     for (uint64_t start = 0; start < n; start += plan.irun) {
       const uint64_t len = std::min<uint64_t>(plan.irun, n - start);
@@ -203,6 +213,12 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
     uint64_t run_len = plan.irun;
     uint64_t runs = std::max<uint64_t>(1, CeilDiv(n, plan.irun));
     uint64_t pass_count = 0;
+
+    if (trace) {
+      trace->Complete(rproc.trace_pid(), rproc.trace_tid(), "sort-runs",
+                      "heap", sort_start_ms, rproc.clock_ms() - sort_start_ms,
+                      {obs::Arg("runs", runs), obs::Arg("irun", plan.irun)});
+    }
 
     auto merge_group = [&](uint64_t first_run, uint64_t n_runs,
                            uint64_t out_start, bool last_pass) {
@@ -251,6 +267,7 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
     };
 
     while (runs > plan.nrun_last) {
+      const double merge_start_ms = rproc.clock_ms();
       const uint64_t groups = CeilDiv(runs, plan.nrun_abl);
       uint64_t out = 0;
       for (uint64_t g = 0; g < groups; ++g) {
@@ -275,13 +292,27 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
       dst_seg[i] = fresh;
       run_len *= plan.nrun_abl;
       runs = CeilDiv(runs, plan.nrun_abl);
+      if (trace) {
+        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
+                        "merge-pass " + std::to_string(pass_count), "heap",
+                        merge_start_ms, rproc.clock_ms() - merge_start_ms,
+                        {obs::Arg("fan_in", plan.nrun_abl),
+                         obs::Arg("runs_left", runs)});
+      }
     }
 
     // ---- Final pass: merge the remaining runs while scanning S_i. ----
+    const double final_start_ms = rproc.clock_ms();
     merge_group(0, runs, 0, /*last_pass=*/true);
     ex.FlushSRequests(i);
     ++pass_count;
     npass_per[i] = pass_count;
+    if (trace) {
+      trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
+                      "final-merge-join", "heap", final_start_ms,
+                      rproc.clock_ms() - final_start_ms,
+                      {obs::Arg("runs", runs)});
+    }
   }
 
   ex.MarkPass("sort+merge+join");

@@ -1,0 +1,54 @@
+// Minimal JSON support for the observability layer: string escaping for the
+// writers (trace/metrics emit JSON by hand — no external dependency) and a
+// small strict parser used by tests and examples to round-trip what the
+// writers produce. The parser builds a full DOM; it is not meant to be fast,
+// only correct, and rejects anything outside RFC 8259 (no comments, no
+// trailing commas, no NaN/Inf literals).
+#ifndef MMJOIN_OBS_JSON_H_
+#define MMJOIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmjoin::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes are not
+/// added by this function).
+std::string JsonEscape(std::string_view s);
+
+/// Renders a double the way the trace writers do: fixed notation with
+/// enough precision for microsecond timestamps, integers without a
+/// fractional part.
+std::string JsonNumber(double v);
+
+/// A parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                              ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    ///< kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+StatusOr<JsonValue> JsonParse(std::string_view text);
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_JSON_H_

@@ -1,0 +1,102 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace mmjoin::obs {
+
+void Histogram::Record(double v) {
+  if (v < 0) v = 0;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  int b = 0;
+  if (v > 1.0) {
+    b = static_cast<int>(std::ceil(std::log2(v)));
+    if (b < 0) b = 0;
+    if (b >= kNumBuckets) b = kNumBuckets - 1;
+  }
+  ++buckets_[b];
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::Buckets() const {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b]) out.emplace_back(std::ldexp(1.0, b), buckets_[b]);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+  for (auto& b : buckets_) b = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{";
+    out += "\"count\":" + std::to_string(h->count());
+    out += ",\"sum\":" + JsonNumber(h->sum());
+    out += ",\"min\":" + JsonNumber(h->min());
+    out += ",\"max\":" + JsonNumber(h->max());
+    out += ",\"mean\":" + JsonNumber(h->mean());
+    out += ",\"buckets\":[";
+    bool first_b = true;
+    for (const auto& [ub, n] : h->Buckets()) {
+      if (!first_b) out += ",";
+      first_b = false;
+      out += "[" + JsonNumber(ub) + "," + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return Status::IOError("cannot open " + path);
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace mmjoin::obs

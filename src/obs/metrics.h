@@ -1,0 +1,99 @@
+// Named counters and histograms for machine-readable run metrics.
+//
+// MetricsRegistry is the single reporting currency of the simulator: the
+// per-layer statistics structs (vm::CacheStats, disk::DiskStats,
+// sim::ProcessStats, join::JoinRunResult) export into a registry, and the
+// benches dump the registry as `<bench>.metrics.json` next to their printed
+// tables (see bench/bench_common.h).
+//
+// Naming convention (documented in DESIGN.md §Observability): dot-separated
+// lowercase paths, `<layer>.<object>.<quantity>`, units as a suffix when
+// not a plain count — e.g. `vm.faults`, `disk.0.seek_blocks`,
+// `join.elapsed_ms`, `pass.pass0.ms`.
+#ifndef MMJOIN_OBS_METRICS_H_
+#define MMJOIN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mmjoin::obs {
+
+/// A monotonically increasing integer count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A distribution of non-negative samples: count/sum/min/max plus
+/// power-of-two buckets (bucket k counts samples in (2^(k-1), 2^k];
+/// bucket 0 counts samples <= 1).
+class Histogram {
+ public:
+  void Record(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+
+  /// Non-empty buckets as (upper_bound, count) pairs, ascending.
+  std::vector<std::pair<double, uint64_t>> Buckets() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 64;
+
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// A namespace of counters and histograms, created on first use. References
+/// returned by counter()/histogram() stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every metric (between runs); names stay registered.
+  void ResetAll();
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  /// {"counters":{name:value,...},"histograms":{name:{count,sum,min,max,
+  /// mean,buckets:[[ub,count],...]},...}} with names sorted.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mmjoin::obs
+
+#endif  // MMJOIN_OBS_METRICS_H_

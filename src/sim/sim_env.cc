@@ -56,38 +56,61 @@ Process::Process(SimEnv* env, std::string name, uint64_t mem_bytes,
 }
 
 void Process::TouchRange(SegId seg, uint64_t offset, uint64_t len, bool write,
-                         ProcessStats* payer) {
+                         Process* payer) {
   assert(env_->IsLive(seg));
   SimSegment& s = env_->segment(seg);
   assert(offset + len <= s.bytes());
   const uint32_t page_size = env_->config().page_size;
   const uint64_t first = offset / page_size;
   const uint64_t last = len == 0 ? first : (offset + len - 1) / page_size;
+  obs::TraceRecorder* trace = env_->trace();
   for (uint64_t p = first; p <= last; ++p) {
     const vm::PageId id{seg, p};
     const bool need_read = s.page_materialized(p);
     const vm::TouchResult r =
         cache_.Touch(id, s.disk(), s.BlockOf(p), write, need_read);
-    payer->clock_ms += r.ms;
-    payer->io_ms += r.ms;
-    if (r.faulted) ++payer->faults;
-    if (r.wrote_back) ++payer->write_backs;
+    ProcessStats& charged = payer->stats_;
+    charged.clock_ms += r.ms;
+    charged.io_ms += r.ms;
+    if (r.faulted) ++charged.faults;
+    if (r.wrote_back) ++charged.write_backs;
+    if (trace) {
+      // Events land on the payer's track (where the simulated time goes);
+      // `cache` names the resident set that actually faulted, which differs
+      // from the payer when Sproc services an Rproc's S-object request.
+      if (r.faulted) {
+        trace->Instant(payer->trace_pid_, payer->trace_tid_, "fault", "vm",
+                       charged.clock_ms,
+                       {obs::Arg("segment", std::string_view(s.name())),
+                        obs::Arg("page", p),
+                        obs::Arg("disk", uint64_t{s.disk()}),
+                        obs::Arg("block", s.BlockOf(p)),
+                        obs::Arg("seek_blocks", r.seek_blocks),
+                        obs::Arg("ms", r.ms),
+                        obs::Arg("cache", std::string_view(name_))});
+      }
+      if (r.wrote_back) {
+        trace->Instant(payer->trace_pid_, payer->trace_tid_, "write-back",
+                       "vm", charged.clock_ms,
+                       {obs::Arg("cache", std::string_view(name_))});
+      }
+    }
   }
 }
 
 const void* Process::Read(SegId seg, uint64_t offset, uint64_t len) {
-  TouchRange(seg, offset, len, /*write=*/false, &stats_);
+  TouchRange(seg, offset, len, /*write=*/false, this);
   return env_->segment(seg).raw() + offset;
 }
 
 void* Process::Write(SegId seg, uint64_t offset, uint64_t len) {
-  TouchRange(seg, offset, len, /*write=*/true, &stats_);
+  TouchRange(seg, offset, len, /*write=*/true, this);
   return env_->segment(seg).raw() + offset;
 }
 
 const void* Process::ReadFor(Process* payer, SegId seg, uint64_t offset,
                              uint64_t len) {
-  TouchRange(seg, offset, len, /*write=*/false, &payer->stats_);
+  TouchRange(seg, offset, len, /*write=*/false, payer);
   return env_->segment(seg).raw() + offset;
 }
 
@@ -109,15 +132,61 @@ void Process::ChargeContextSwitches(uint64_t n) {
 }
 
 void Process::FlushCache() {
+  const double start_ms = stats_.clock_ms;
   const double ms = cache_.FlushAll();
   stats_.clock_ms += ms;
   stats_.io_ms += ms;
+  if (obs::TraceRecorder* trace = env_->trace(); trace && ms > 0) {
+    trace->Complete(trace_pid_, trace_tid_, "flush-cache", "vm", start_ms, ms);
+  }
 }
 
 void Process::DropSegment(SegId seg, bool discard) {
+  const double start_ms = stats_.clock_ms;
   const double ms = cache_.EvictSegment(seg, discard);
   stats_.clock_ms += ms;
   stats_.io_ms += ms;
+  if (obs::TraceRecorder* trace = env_->trace(); trace && ms > 0) {
+    trace->Complete(trace_pid_, trace_tid_, "drop-segment", "vm", start_ms, ms,
+                    {obs::Arg("segment",
+                              std::string_view(env_->IsLive(seg)
+                                                   ? env_->segment(seg).name()
+                                                   : "?")),
+                     obs::Arg("discard", discard ? uint64_t{1} : uint64_t{0})});
+  }
+}
+
+void Process::set_clock_ms(double ms) {
+  if (ms > stats_.clock_ms) {
+    const double start_ms = stats_.clock_ms;
+    stats_.wait_ms += ms - start_ms;
+    if (obs::TraceRecorder* trace = env_->trace()) {
+      trace->Complete(trace_pid_, trace_tid_, "barrier-wait", "sync",
+                      start_ms, ms - start_ms);
+    }
+  }
+  stats_.clock_ms = ms;
+}
+
+void Process::BindTraceTrack(uint32_t pid, uint32_t tid,
+                             const std::string& label) {
+  trace_pid_ = pid;
+  trace_tid_ = tid;
+  if (obs::TraceRecorder* trace = env_->trace()) {
+    trace->SetThreadName(pid, tid, label.empty() ? name_ : label);
+  }
+}
+
+void ProcessStats::ExportMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) const {
+  registry->histogram(prefix + ".clock_ms").Record(clock_ms);
+  registry->histogram(prefix + ".io_ms").Record(io_ms);
+  registry->histogram(prefix + ".cpu_ms").Record(cpu_ms);
+  registry->histogram(prefix + ".setup_ms").Record(setup_ms);
+  registry->histogram(prefix + ".barrier_wait_ms").Record(wait_ms);
+  registry->counter(prefix + ".faults").Inc(faults);
+  registry->counter(prefix + ".write_backs").Inc(write_backs);
+  registry->counter(prefix + ".context_switches").Inc(context_switches);
 }
 
 }  // namespace mmjoin::sim

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "disk/disk_array.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/machine_config.h"
 #include "util/status.h"
 #include "vm/page_cache.h"
@@ -90,10 +92,18 @@ class SimEnv {
     return id < segments_.size() && segments_[id] != nullptr;
   }
 
+  /// Attaches a trace recorder (simulated-time spans/events; see obs/trace.h).
+  /// Null (the default) disables tracing; every emission site is guarded by
+  /// this one pointer check, so the disabled path costs nothing and tracing
+  /// never charges simulated time either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() { return trace_; }
+
  private:
   MachineConfig config_;
   disk::DiskArray disks_;
   std::vector<std::unique_ptr<SimSegment>> segments_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 /// Aggregated accounting for one simulated process.
@@ -106,6 +116,11 @@ struct ProcessStats {
   uint64_t faults = 0;
   uint64_t write_backs = 0;
   uint64_t context_switches = 0;
+
+  /// Exports every field as `<prefix>.<field>` into `registry` (time
+  /// categories as `*_ms` histograms, event counts as counters).
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
 };
 
 /// One simulated process (an Rproc or Sproc): a private clock plus a
@@ -149,24 +164,32 @@ class Process {
 
   double clock_ms() const { return stats_.clock_ms; }
   /// Forces the clock (phase-synchronization barriers). A forward move is
-  /// accounted as barrier wait; a backward move rewrites history and leaves
-  /// the categories untouched (used only by tests).
-  void set_clock_ms(double ms) {
-    if (ms > stats_.clock_ms) stats_.wait_ms += ms - stats_.clock_ms;
-    stats_.clock_ms = ms;
-  }
+  /// accounted as barrier wait (and traced as a "barrier-wait" span); a
+  /// backward move rewrites history and leaves the categories untouched
+  /// (used only by tests).
+  void set_clock_ms(double ms);
 
   const ProcessStats& stats() const { return stats_; }
   vm::PageCache& cache() { return cache_; }
 
+  /// Assigns this process a trace track. By convention pid is the disk
+  /// index the process's partition lives on and tid distinguishes the
+  /// processes of that disk (1 = Rproc, 2 = Sproc); `label`, if non-empty,
+  /// names the track in the viewer. No-op when the env has no recorder.
+  void BindTraceTrack(uint32_t pid, uint32_t tid, const std::string& label);
+  uint32_t trace_pid() const { return trace_pid_; }
+  uint32_t trace_tid() const { return trace_tid_; }
+
  private:
   void TouchRange(SegId seg, uint64_t offset, uint64_t len, bool write,
-                  ProcessStats* payer);
+                  Process* payer);
 
   SimEnv* env_;
   std::string name_;
   vm::PageCache cache_;
   ProcessStats stats_;
+  uint32_t trace_pid_ = 0;
+  uint32_t trace_tid_ = 0;
 };
 
 }  // namespace mmjoin::sim

@@ -67,7 +67,10 @@ TouchResult PageCache::Touch(const PageId& id, uint32_t disk, uint64_t block,
   if (need_disk_read) {
     result.faulted = true;
     ++stats_.faults;
+    const uint64_t arm_before = disks_->disk(disk).arm();
     result.ms += disks_->disk(disk).ReadBlock(block);
+    result.seek_blocks =
+        block > arm_before ? block - arm_before : arm_before - block;
   } else {
     ++stats_.zero_fills;
   }
@@ -87,6 +90,16 @@ TouchResult PageCache::Touch(const PageId& id, uint32_t disk, uint64_t block,
 
 bool PageCache::IsResident(const PageId& id) const {
   return map_.find(id) != map_.end();
+}
+
+void PageCache::ExportMetrics(obs::MetricsRegistry* registry,
+                              const std::string& prefix) const {
+  registry->counter(prefix + ".touches").Inc(stats_.touches);
+  registry->counter(prefix + ".hits").Inc(stats_.hits);
+  registry->counter(prefix + ".faults").Inc(stats_.faults);
+  registry->counter(prefix + ".zero_fills").Inc(stats_.zero_fills);
+  registry->counter(prefix + ".write_backs").Inc(stats_.write_backs);
+  registry->histogram(prefix + ".io_ms").Record(stats_.io_ms);
 }
 
 double PageCache::FlushAll() {

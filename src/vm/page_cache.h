@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "disk/disk_array.h"
+#include "obs/metrics.h"
 #include "vm/replacement.h"
 
 namespace mmjoin::vm {
@@ -45,6 +46,9 @@ struct TouchResult {
   bool faulted = false;     ///< a disk read was performed
   bool wrote_back = false;  ///< a dirty victim was written back
   double ms = 0;            ///< elapsed simulated time charged to the caller
+  /// Arm travel of the fault's read, in blocks (0 on hit / zero-fill) — the
+  /// per-access analogue of the paper's band size, exported to traces.
+  uint64_t seek_blocks = 0;
 };
 
 /// Cumulative cache statistics.
@@ -96,6 +100,12 @@ class PageCache {
   size_t resident() const { return map_.size(); }
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
+
+  /// Exports the cumulative stats as `<prefix>.<field>` counters (plus the
+  /// `<prefix>.io_ms` histogram) into `registry` — the registry form of the
+  /// CacheStats tallies, named per the DESIGN.md metrics convention.
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
 
  private:
   struct Frame {

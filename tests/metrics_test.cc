@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+
+namespace mmjoin::obs {
+namespace {
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, Moments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.Record(2.0);
+  h.Record(6.0);
+  h.Record(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 6.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  Histogram h;
+  h.Record(0.5);   // bucket 0: <= 1
+  h.Record(1.0);   // bucket 0
+  h.Record(2.0);   // (1, 2]
+  h.Record(3.0);   // (2, 4]
+  h.Record(4.0);   // (2, 4]
+  h.Record(100.0); // (64, 128]
+
+  const auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(buckets[0].first, 1.0);
+  EXPECT_EQ(buckets[0].second, 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].first, 2.0);
+  EXPECT_EQ(buckets[1].second, 1u);
+  EXPECT_DOUBLE_EQ(buckets[2].first, 4.0);
+  EXPECT_EQ(buckets[2].second, 2u);
+  EXPECT_DOUBLE_EQ(buckets[3].first, 128.0);
+  EXPECT_EQ(buckets[3].second, 1u);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  ASSERT_EQ(h.Buckets().size(), 1u);
+  EXPECT_DOUBLE_EQ(h.Buckets()[0].first, 1.0);
+}
+
+TEST(HistogramTest, Reset) {
+  Histogram h;
+  h.Record(7.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_TRUE(h.Buckets().empty());
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("vm.faults");
+  a.Inc(3);
+  EXPECT_EQ(registry.counter("vm.faults").value(), 3u);
+  EXPECT_EQ(&registry.counter("vm.faults"), &a);
+  EXPECT_EQ(registry.counter_count(), 1u);
+
+  Histogram& h = registry.histogram("join.elapsed_ms");
+  h.Record(10.0);
+  EXPECT_EQ(&registry.histogram("join.elapsed_ms"), &h);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, CountersAndHistogramsAreSeparateNamespaces) {
+  MetricsRegistry registry;
+  registry.counter("x").Inc();
+  registry.histogram("x").Record(1.0);
+  EXPECT_EQ(registry.counter_count(), 1u);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsNames) {
+  MetricsRegistry registry;
+  registry.counter("a").Inc(5);
+  registry.histogram("b").Record(2.0);
+  registry.ResetAll();
+  EXPECT_EQ(registry.counter_count(), 1u);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+  EXPECT_EQ(registry.counter("a").value(), 0u);
+  EXPECT_EQ(registry.histogram("b").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonParses) {
+  MetricsRegistry registry;
+  registry.counter("disk.0.reads").Inc(17);
+  registry.histogram("disk.0.read_ms").Record(1.5);
+  registry.histogram("disk.0.read_ms").Record(3.0);
+
+  auto doc = JsonParse(registry.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("disk.0.reads")->number, 17.0);
+
+  const JsonValue* histograms = doc->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* h = histograms->Find("disk.0.read_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->Find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(h->Find("sum")->number, 4.5);
+  EXPECT_DOUBLE_EQ(h->Find("min")->number, 1.5);
+  EXPECT_DOUBLE_EQ(h->Find("max")->number, 3.0);
+  const JsonValue* buckets = h->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->items.size(), 2u);  // (1,2] and (2,4]
+  EXPECT_DOUBLE_EQ(buckets->items[0].items[0].number, 2.0);
+  EXPECT_DOUBLE_EQ(buckets->items[0].items[1].number, 1.0);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryToJson) {
+  MetricsRegistry registry;
+  auto doc = JsonParse(registry.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->Find("counters")->is_object());
+  EXPECT_TRUE(doc->Find("histograms")->is_object());
+}
+
+}  // namespace
+}  // namespace mmjoin::obs

@@ -1,0 +1,125 @@
+// End-to-end checks of the observability layer against the simulator: the
+// trace accounts for every fault the run reports, metrics export matches
+// the result struct, and attaching a recorder does not perturb the
+// simulated numbers (traced and untraced runs are bit-identical).
+#include <cstdint>
+
+#include "gtest/gtest.h"
+#include "join/nested_loops.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rel/generator.h"
+#include "sim/sim_env.h"
+
+namespace mmjoin {
+namespace {
+
+rel::RelationConfig SmallRelation() {
+  rel::RelationConfig rc;
+  rc.r_objects = 4096;
+  rc.s_objects = 4096;
+  return rc;
+}
+
+join::JoinParams SmallParams(const rel::RelationConfig& rc) {
+  join::JoinParams params;
+  params.m_rproc_bytes =
+      static_cast<uint64_t>(0.1 * rc.r_objects * sizeof(rel::RObject));
+  params.m_sproc_bytes = params.m_rproc_bytes;
+  return params;
+}
+
+join::JoinRunResult RunNestedLoopsSmall(obs::TraceRecorder* trace) {
+  const sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+  const rel::RelationConfig rc = SmallRelation();
+  sim::SimEnv env(mc);
+  if (trace) env.set_trace(trace);
+  auto workload = rel::BuildWorkload(&env, rc);
+  EXPECT_TRUE(workload.ok());
+  auto result = join::RunNestedLoops(&env, *workload, SmallParams(rc));
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->verified);
+  return *result;
+}
+
+TEST(ObsIntegrationTest, TraceFaultCountMatchesRunResult) {
+  obs::TraceRecorder trace;
+  const join::JoinRunResult result = RunNestedLoopsSmall(&trace);
+  ASSERT_GT(result.faults, 0u);
+  EXPECT_EQ(trace.CountEvents("fault"), result.faults);
+  EXPECT_EQ(trace.open_spans(), 0u);
+}
+
+TEST(ObsIntegrationTest, ExportedJsonFaultCountMatchesRunResult) {
+  obs::TraceRecorder trace;
+  const join::JoinRunResult result = RunNestedLoopsSmall(&trace);
+
+  auto doc = obs::JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  uint64_t faults = 0;
+  uint64_t thread_names = 0;
+  for (const obs::JsonValue& e : events->items) {
+    const obs::JsonValue* name = e.Find("name");
+    if (!name || !name->is_string()) continue;
+    if (name->str == "fault") ++faults;
+    if (name->str == "thread_name") ++thread_names;
+  }
+  EXPECT_EQ(faults, result.faults);
+  // One Rproc and one Sproc track per disk (D = 4 by default).
+  EXPECT_EQ(thread_names, 8u);
+}
+
+TEST(ObsIntegrationTest, TracingDoesNotPerturbTheRun) {
+  const join::JoinRunResult untraced = RunNestedLoopsSmall(nullptr);
+  obs::TraceRecorder trace;
+  const join::JoinRunResult traced = RunNestedLoopsSmall(&trace);
+
+  // Bit-identical, not approximately equal.
+  EXPECT_EQ(traced.elapsed_ms, untraced.elapsed_ms);
+  EXPECT_EQ(traced.faults, untraced.faults);
+  EXPECT_EQ(traced.write_backs, untraced.write_backs);
+  EXPECT_EQ(traced.output_checksum, untraced.output_checksum);
+  ASSERT_EQ(traced.passes.size(), untraced.passes.size());
+  for (size_t i = 0; i < traced.passes.size(); ++i) {
+    EXPECT_EQ(traced.passes[i].elapsed_ms, untraced.passes[i].elapsed_ms);
+    EXPECT_EQ(traced.passes[i].faults, untraced.passes[i].faults);
+  }
+  EXPECT_GT(trace.size(), 0u);
+}
+
+TEST(ObsIntegrationTest, ExportMetricsMatchesRunResult) {
+  const join::JoinRunResult result = RunNestedLoopsSmall(nullptr);
+  obs::MetricsRegistry registry;
+  result.ExportMetrics(&registry);
+
+  EXPECT_EQ(registry.counter("join.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("join.faults").value(), result.faults);
+  EXPECT_EQ(registry.counter("join.write_backs").value(), result.write_backs);
+  EXPECT_EQ(registry.counter("join.output_objects").value(),
+            result.output_count);
+  EXPECT_EQ(registry.counter("join.unverified_runs").value(), 0u);
+  EXPECT_EQ(registry.histogram("join.elapsed_ms").count(), 1u);
+  EXPECT_DOUBLE_EQ(registry.histogram("join.elapsed_ms").sum(),
+                   result.elapsed_ms);
+
+  // Per-pass metrics exist for every pass mark.
+  for (const auto& pass : result.passes) {
+    EXPECT_EQ(registry.histogram("pass." + pass.label + ".ms").count(), 1u)
+        << pass.label;
+    EXPECT_EQ(registry.counter("pass." + pass.label + ".faults").value(),
+              pass.faults)
+        << pass.label;
+  }
+
+  // Rproc process stats roll up to the result's fault total minus the
+  // Sproc-side faults; at minimum the counter must exist and be bounded.
+  EXPECT_LE(registry.counter("rproc.faults").value(), result.faults);
+}
+
+}  // namespace
+}  // namespace mmjoin

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+
+namespace mmjoin::obs {
+namespace {
+
+// Finds the traceEvents array in a parsed export.
+const JsonValue* Events(const JsonValue& doc) {
+  const JsonValue* events = doc.Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events && events->is_array());
+  return events;
+}
+
+TEST(TraceRecorderTest, CompleteEventScalesToMicroseconds) {
+  TraceRecorder trace;
+  trace.Complete(0, 1, "pass0", "pass", /*start_ms=*/1.5, /*dur_ms=*/2.25);
+  ASSERT_EQ(trace.size(), 1u);
+
+  auto doc = JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = Events(*doc);
+  ASSERT_EQ(events->items.size(), 1u);
+  const JsonValue& e = events->items[0];
+  EXPECT_EQ(e.Find("ph")->str, "X");
+  EXPECT_DOUBLE_EQ(e.Find("ts")->number, 1500.0);
+  EXPECT_DOUBLE_EQ(e.Find("dur")->number, 2250.0);
+  EXPECT_EQ(e.Find("name")->str, "pass0");
+  EXPECT_EQ(e.Find("cat")->str, "pass");
+}
+
+TEST(TraceRecorderTest, InstantEventHasThreadScope) {
+  TraceRecorder trace;
+  trace.Instant(2, 1, "fault", "vm", 10.0,
+                {Arg("page", uint64_t{7}), Arg("cache", "Sproc 2")});
+  auto doc = JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& e = Events(*doc)->items[0];
+  EXPECT_EQ(e.Find("ph")->str, "i");
+  EXPECT_EQ(e.Find("s")->str, "t");
+  EXPECT_DOUBLE_EQ(e.Find("pid")->number, 2.0);
+  EXPECT_DOUBLE_EQ(e.Find("tid")->number, 1.0);
+  const JsonValue* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->Find("page")->number, 7.0);
+  EXPECT_EQ(args->Find("cache")->str, "Sproc 2");
+}
+
+TEST(TraceRecorderTest, SpanNestingTracksOpenCount) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.open_spans(), 0u);
+  trace.BeginSpan(0, 1, "outer", "test", 0.0);
+  trace.BeginSpan(0, 1, "inner", "test", 1.0);
+  trace.BeginSpan(1, 2, "other-track", "test", 2.0);
+  EXPECT_EQ(trace.open_spans(), 3u);
+  trace.EndSpan(0, 1, 3.0);
+  EXPECT_EQ(trace.open_spans(), 2u);
+  trace.EndSpan(0, 1, 4.0);
+  trace.EndSpan(1, 2, 5.0);
+  EXPECT_EQ(trace.open_spans(), 0u);
+  // B/B/B/E/E/E — six events in all.
+  EXPECT_EQ(trace.size(), 6u);
+}
+
+TEST(TraceRecorderTest, UnmatchedEndSpanIsIgnored) {
+  TraceRecorder trace;
+  trace.EndSpan(0, 1, 1.0);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.open_spans(), 0u);
+}
+
+TEST(TraceRecorderTest, CountEventsExcludesMetadata) {
+  TraceRecorder trace;
+  trace.SetProcessName(0, "disk 0");
+  trace.SetThreadName(0, 1, "Rproc 0");
+  trace.Instant(0, 1, "fault", "vm", 1.0);
+  trace.Instant(0, 1, "fault", "vm", 2.0);
+  trace.Complete(0, 1, "fault", "vm", 3.0, 1.0);  // name collision on 'X'
+  EXPECT_EQ(trace.CountEvents("fault"), 3u);
+  EXPECT_EQ(trace.CountEvents("process_name"), 0u);
+  EXPECT_EQ(trace.CountEvents("thread_name"), 0u);
+  EXPECT_EQ(trace.CountEvents("no-such-event"), 0u);
+}
+
+TEST(TraceRecorderTest, MetadataEventsNameTracks) {
+  TraceRecorder trace;
+  trace.SetProcessName(3, "disk 3");
+  trace.SetThreadName(3, 2, "Sproc 3");
+  auto doc = JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = Events(*doc);
+  ASSERT_EQ(events->items.size(), 2u);
+  const JsonValue& p = events->items[0];
+  EXPECT_EQ(p.Find("ph")->str, "M");
+  EXPECT_EQ(p.Find("name")->str, "process_name");
+  EXPECT_EQ(p.Find("args")->Find("name")->str, "disk 3");
+  const JsonValue& t = events->items[1];
+  EXPECT_EQ(t.Find("name")->str, "thread_name");
+  EXPECT_DOUBLE_EQ(t.Find("tid")->number, 2.0);
+  EXPECT_EQ(t.Find("args")->Find("name")->str, "Sproc 3");
+}
+
+TEST(TraceRecorderTest, JsonRoundTripWithEscapedStrings) {
+  TraceRecorder trace;
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07";
+  trace.Instant(0, 1, nasty, "cat\"egory", 0.5,
+                {Arg("detail", std::string_view(nasty))});
+  auto doc = JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& e = Events(*doc)->items[0];
+  EXPECT_EQ(e.Find("name")->str, nasty);
+  EXPECT_EQ(e.Find("cat")->str, "cat\"egory");
+  EXPECT_EQ(e.Find("args")->Find("detail")->str, nasty);
+}
+
+TEST(TraceRecorderTest, ExportHasDisplayTimeUnit) {
+  TraceRecorder trace;
+  auto doc = JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* unit = doc->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+  EXPECT_EQ(Events(*doc)->items.size(), 0u);
+}
+
+TEST(TraceRecorderTest, CounterEventCarriesSeries) {
+  TraceRecorder trace;
+  trace.Counter(1, "resident", 4.0, {Arg("pages", uint64_t{128})});
+  auto doc = JsonParse(trace.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& e = Events(*doc)->items[0];
+  EXPECT_EQ(e.Find("ph")->str, "C");
+  EXPECT_DOUBLE_EQ(e.Find("args")->Find("pages")->number, 128.0);
+}
+
+TEST(TraceRecorderTest, ClearEmptiesRecorder) {
+  TraceRecorder trace;
+  trace.Instant(0, 1, "fault", "vm", 1.0);
+  trace.BeginSpan(0, 1, "open", "test", 2.0);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.open_spans(), 0u);
+}
+
+TEST(TraceRecorderTest, WriteFileRoundTrips) {
+  TraceRecorder trace;
+  trace.Complete(0, 1, "pass0", "pass", 0.0, 1.0);
+  const std::string path = ::testing::TempDir() + "/trace_test_out.json";
+  ASSERT_TRUE(trace.WriteFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, trace.ToJson());
+  EXPECT_TRUE(JsonParse(content).ok());
+}
+
+}  // namespace
+}  // namespace mmjoin::obs
