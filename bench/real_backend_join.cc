@@ -1,0 +1,98 @@
+// Real-backend join bench: the four unified drivers running on
+// exec::RealBackend — worker threads over genuine mmap(2) segments, wall
+// clock — serial vs parallel, with the same `<bench>.metrics.json` dump
+// the simulated benches write (MmJoinResult::ExportMetrics feeds the
+// shared bench registry).
+//
+//   ./build/bench/real_backend_join [objects] [partitions] [directory]
+//
+// Defaults: 262144 objects per relation (32 MiB each), 4 partitions, a
+// throwaway directory under /tmp. The serial run is the single-worker
+// baseline; the parallel run uses min(D, hardware_concurrency) workers.
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "mmap/mm_relation.h"
+#include "mmap/mmap_join.h"
+#include "mmap/segment_manager.h"
+
+namespace {
+
+using namespace mmjoin;
+
+struct Entry {
+  const char* name;
+  StatusOr<mm::MmJoinResult> (*run)(const mm::MmWorkload&,
+                                    const mm::MmJoinOptions&);
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rel::RelationConfig relation;
+  relation.r_objects = relation.s_objects =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1ull << 18);
+  relation.num_partitions =
+      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10))
+               : 4;
+
+  std::string dir = argc > 3
+                        ? argv[3]
+                        : "/tmp/mmjoin_bench_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  mm::SegmentManager mgr(dir);
+  (void)mm::DeleteMmWorkload(&mgr, "bench", relation.num_partitions);
+  auto workload = mm::BuildMmWorkload(&mgr, "bench", relation);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("# real-backend joins: |R|=|S|=%llu x %zu B, D=%u\n",
+              static_cast<unsigned long long>(relation.r_objects),
+              sizeof(rel::RObject), relation.num_partitions);
+  std::printf("algorithm\tserial_ms\tparallel_ms\tspeedup\tthreads\t"
+              "faults\tverified\n");
+
+  const Entry entries[] = {
+      {"nested-loops", mm::MmNestedLoops},
+      {"sort-merge", mm::MmSortMerge},
+      {"grace", mm::MmGrace},
+      {"hybrid-hash", mm::MmHybridHash},
+  };
+  for (const Entry& e : entries) {
+    mm::MmJoinOptions serial;
+    serial.parallel = false;
+    auto ser = e.run(*workload, serial);
+    auto par = e.run(*workload, mm::MmJoinOptions{});
+    if (!ser.ok() || !par.ok()) {
+      std::fprintf(stderr, "%s: %s\n", e.name,
+                   (ser.ok() ? par : ser).status().ToString().c_str());
+      return 1;
+    }
+    // Both runs land in the shared registry, same as RecordRun for the
+    // simulated benches.
+    ser->ExportMetrics(&bench::Metrics());
+    par->ExportMetrics(&bench::Metrics());
+    std::printf("%s\t%.2f\t%.2f\t%.2f\t%u\t%llu\t%s\n", e.name, ser->wall_ms,
+                par->wall_ms,
+                par->wall_ms > 0 ? ser->wall_ms / par->wall_ms : 0.0,
+                par->threads_used,
+                static_cast<unsigned long long>(par->run.faults),
+                (ser->verified && par->verified) ? "yes" : "NO");
+  }
+
+  bench::WriteMetricsJson("real_backend_join");
+
+  workload->r_segs.clear();
+  workload->s_segs.clear();
+  (void)mm::DeleteMmWorkload(&mgr, "bench", relation.num_partitions);
+  if (argc <= 3) ::rmdir(dir.c_str());
+  return 0;
+}

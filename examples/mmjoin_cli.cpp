@@ -8,17 +8,26 @@
 //
 // Flags (all optional):
 //   --algorithm=nl|sm|grace|hh|all  which join to run          [all]
+//   --backend=sim|real            costed simulator or real mmap [sim]
 //   --r=N --s=N                   relation sizes in objects    [102400]
 //   --disks=D                     partitions/disks             [4]
 //   --theta=T                     Zipf skew of S-pointers      [0.0]
 //   --mem-frac=X                  M_Rproc as fraction of |R|r  [0.05]
 //   --mem-bytes=N                 M_Rproc in bytes (overrides)
-//   --g=N                         G buffer bytes               [page]
-//   --policy=lru|clock|fifo       replacement policy           [lru]
-//   --sync=auto|on|off            phase synchronization        [auto]
+//   --g=N                         G buffer bytes (sim only)    [page]
+//   --policy=lru|clock|fifo       replacement policy (sim)     [lru]
+//   --sync=auto|on|off            phase synchronization (sim)  [auto]
 //   --seed=N                      workload seed
+//   --dir=PATH                    segment directory (real)     [tmp]
+//   --threads=N                   worker-thread cap (real)     [cores]
 //   --model                       also print the model's prediction
 //   --passes                      print the per-pass breakdown
+//
+// Both backends run the identical driver templates (exec/join_drivers.h);
+// --backend only selects what "time" and "memory" mean.
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,12 +42,15 @@ using namespace mmjoin;
 
 struct Flags {
   std::string algorithm = "all";
+  std::string backend = "sim";
   rel::RelationConfig relation;
   double mem_frac = 0.05;
   uint64_t mem_bytes = 0;
   uint64_t g_bytes = 0;
   std::string policy = "lru";
   std::string sync = "auto";
+  std::string dir;
+  uint32_t threads = 0;
   bool show_model = false;
   bool show_passes = false;
 };
@@ -55,6 +67,13 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     std::string v;
     if (ParseFlag(argv[i], "--algorithm", &v)) {
       flags->algorithm = v;
+    } else if (ParseFlag(argv[i], "--backend", &v)) {
+      flags->backend = v;
+    } else if (ParseFlag(argv[i], "--dir", &v)) {
+      flags->dir = v;
+    } else if (ParseFlag(argv[i], "--threads", &v)) {
+      flags->threads =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (ParseFlag(argv[i], "--r", &v)) {
       flags->relation.r_objects = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--s", &v)) {
@@ -143,6 +162,72 @@ int RunOne(join::Algorithm a, const Flags& flags,
   return 0;
 }
 
+int RunOneReal(join::Algorithm a, const Flags& flags,
+               const mm::MmWorkload& workload,
+               const join::JoinParams& params) {
+  mm::MmJoinOptions options;
+  options.m_rproc_bytes = params.m_rproc_bytes;
+  options.k_buckets = params.k_buckets;
+  options.tsize = params.tsize;
+  options.max_threads = flags.threads;
+  StatusOr<mm::MmJoinResult> result = [&] {
+    switch (a) {
+      case join::Algorithm::kNestedLoops:
+        return mm::MmNestedLoops(workload, options);
+      case join::Algorithm::kSortMerge:
+        return mm::MmSortMerge(workload, options);
+      case join::Algorithm::kHybridHash:
+        return mm::MmHybridHash(workload, options);
+      default:
+        return mm::MmGrace(workload, options);
+    }
+  }();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", join::AlgorithmName(a),
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-14s wall %10.2f ms   threads %2u   faults %8llu   "
+              "verified %s\n",
+              join::AlgorithmName(a), result->wall_ms, result->threads_used,
+              static_cast<unsigned long long>(result->run.faults),
+              result->verified ? "yes" : "NO");
+  if (flags.show_passes) {
+    for (const auto& pass : result->run.passes) {
+      std::printf("  pass %-16s %10.2f ms   faults %8llu\n",
+                  pass.label.c_str(), pass.elapsed_ms,
+                  static_cast<unsigned long long>(pass.faults));
+    }
+  }
+  return 0;
+}
+
+int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
+            const join::JoinParams& params) {
+  std::string dir = flags.dir.empty()
+                        ? "/tmp/mmjoin_cli_" + std::to_string(::getpid())
+                        : flags.dir;
+  ::mkdir(dir.c_str(), 0755);
+  mm::SegmentManager mgr(dir);
+  (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
+  auto workload = mm::BuildMmWorkload(&mgr, "cli", flags.relation);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (auto a : algorithms) {
+    rc = RunOneReal(a, flags, *workload, params);
+    if (rc != 0) break;
+  }
+  workload->r_segs.clear();
+  workload->s_segs.clear();
+  (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
+  if (flags.dir.empty()) ::rmdir(dir.c_str());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +287,14 @@ int main(int argc, char** argv) {
                   join::Algorithm::kGrace, join::Algorithm::kHybridHash};
   } else {
     std::fprintf(stderr, "bad --algorithm\n");
+    return 2;
+  }
+
+  if (flags.backend == "real") {
+    return RunReal(algorithms, flags, params);
+  }
+  if (flags.backend != "sim") {
+    std::fprintf(stderr, "bad --backend\n");
     return 2;
   }
 

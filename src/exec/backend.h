@@ -1,0 +1,153 @@
+// The execution-backend seam: one algorithm description, two runtimes.
+//
+// The paper's central claim is that a single description of each parallel
+// pointer-based join (partition R by its S-pointer target, then nested
+// loops / sort-merge / Grace / hybrid-hash over the partitions) runs
+// unchanged in a memory-mapped environment. This header makes that claim
+// structural: the four drivers in exec/join_drivers.h are written once,
+// as templates over a Backend, and instantiated over
+//
+//   * join::JoinExecution — the deterministic costed simulator (sim::SimEnv
+//     processes, virtual clocks, G-buffered S fetches, paging model), and
+//   * exec::RealBackend   — a real runtime over mmap(2) segments with one
+//     worker thread per partition (bounded by the hardware), wall-clock
+//     timing and genuine implicit I/O.
+//
+// A Backend owns the partition "processes" and everything whose meaning
+// differs between the two worlds: byte access (page-cache touch vs direct
+// mapped pointer), cost charging (virtual clock vs no-op), the S-object
+// fetch protocol (G-buffer exchange vs immediate dereference), barriers
+// (clock sync vs thread join), and span/metric emission (simulated vs wall
+// time). The drivers own everything that *is* the algorithm: pass
+// structure, staggered phase schedule, RP/RS layout, sorting, hashing and
+// bucket logic.
+#ifndef MMJOIN_EXEC_BACKEND_H_
+#define MMJOIN_EXEC_BACKEND_H_
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "rel/relation.h"
+#include "sim/machine_config.h"
+#include "util/status.h"
+
+namespace mmjoin::exec {
+
+/// Compile-time interface of an execution backend. `Seg` is the backend's
+/// segment handle (sim::SegId for the simulator, a mapping handle for the
+/// real runtime); partition index `i` names the worker/process the
+/// operation is performed (and accounted) on.
+template <typename B>
+concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
+                           typename B::Seg seg, uint64_t off, uint64_t len,
+                           const rel::RObject& obj, double ms,
+                           const std::string& label,
+                           std::vector<obs::TraceArg> args,
+                           void (*fn)(uint32_t)) {
+  typename B::Seg;
+
+  // ---- shape & parameters ------------------------------------------------
+  { cb.D() } -> std::convertible_to<uint32_t>;
+  { cb.mc() } -> std::convertible_to<const sim::MachineConfig&>;
+
+  // ---- workload view -----------------------------------------------------
+  { cb.r_seg(i) } -> std::convertible_to<typename B::Seg>;
+  { cb.s_seg(i) } -> std::convertible_to<typename B::Seg>;
+  { cb.r_count(i) } -> std::convertible_to<uint64_t>;
+  { cb.s_count(i) } -> std::convertible_to<uint64_t>;
+  /// |R_{i,j}|: R_i objects whose pointer targets S_j.
+  { cb.SubCount(i, j) } -> std::convertible_to<uint64_t>;
+  /// Uncharged metadata scan of R_i (planning only, never the join path).
+  { cb.RawR(i) } -> std::convertible_to<const rel::RObject*>;
+
+  // ---- segments ----------------------------------------------------------
+  { b.CreateSegment(label, i, len) } -> std::same_as<StatusOr<typename B::Seg>>;
+  { b.DeleteSegment(seg) } -> std::same_as<Status>;
+  { b.SegPages(seg) } -> std::convertible_to<uint64_t>;
+
+  // ---- the RP temporaries (pass-0/1 sub-partitioning) --------------------
+  { b.CreateRpSegments() } -> std::same_as<Status>;
+  { cb.rp_seg(i) } -> std::convertible_to<typename B::Seg>;
+  { cb.RpSubOffset(i, j) } -> std::convertible_to<uint64_t>;
+  { cb.RpSubCount(i, j) } -> std::convertible_to<uint64_t>;
+  { cb.RpPages(i) } -> std::convertible_to<uint64_t>;
+  { b.AppendToRp(i, j, obj) };
+
+  // ---- per-partition process operations ----------------------------------
+  { b.Read(i, seg, off, len) } -> std::convertible_to<const void*>;
+  { b.Write(i, seg, off, len) } -> std::convertible_to<void*>;
+  { b.ChargeCpu(i, ms) };
+  { b.ChargeSetup(i, ms) };
+  { b.DropSegment(i, seg, true) };
+  { b.RequestS(i, off, len) };  // (r_id, packed sptr)
+  { b.FlushSRequests(i) };
+
+  // ---- execution structure -----------------------------------------------
+  // Runs fn(i) for every partition: serially in workload order on the
+  // simulator (determinism), on bounded worker threads for real runs.
+  // Returns only when every partition finished — a real barrier.
+  { b.ForEachPartition(fn) };
+  { b.SyncClocks() };
+  { b.ChargeSetupAll(ms) };
+  { b.MarkPass(label) };
+
+  // ---- observability -----------------------------------------------------
+  { cb.tracing() } -> std::convertible_to<bool>;
+  { b.clock_ms(i) } -> std::convertible_to<double>;
+  { b.Span(i, label, label, ms, args) };
+};
+
+/// Exact layout of the RP_i temporaries shared by both backends: RP_i holds
+/// one contiguous sub-partition RP_{i,j} per remote target j (j != i),
+/// sized from the workload's |R_{i,j}| counts, with a bump cursor per
+/// sub-partition. Pure bookkeeping — byte movement and cost charging stay
+/// with the backend.
+class RpLayout {
+ public:
+  /// `counts[i][j]` = |R_{i,j}|. Own-partition objects (j == i) never
+  /// enter RP, so their slot has zero width.
+  void Init(const std::vector<std::vector<uint64_t>>& counts) {
+    const uint32_t d = static_cast<uint32_t>(counts.size());
+    sub_offset_.assign(d, std::vector<uint64_t>(d + 1, 0));
+    cursor_.assign(d, std::vector<uint64_t>(d, 0));
+    counts_ = &counts;
+    for (uint32_t i = 0; i < d; ++i) {
+      uint64_t total = 0;
+      for (uint32_t j = 0; j < d; ++j) {
+        sub_offset_[i][j] = total * sizeof(rel::RObject);
+        if (j != i) total += counts[i][j];
+      }
+      sub_offset_[i][d] = total * sizeof(rel::RObject);
+    }
+  }
+
+  /// Byte offset of sub-partition RP_{i,j} within RP_i.
+  uint64_t SubOffset(uint32_t i, uint32_t j) const {
+    return sub_offset_[i][j];
+  }
+  /// Objects in RP_{i,j} (j != i).
+  uint64_t SubCount(uint32_t i, uint32_t j) const { return (*counts_)[i][j]; }
+  /// Total bytes of RP_i (>= one object so empty RPs still map).
+  uint64_t TotalBytes(uint32_t i) const {
+    const uint64_t d = sub_offset_[i].size() - 1;
+    return std::max<uint64_t>(sub_offset_[i][d], sizeof(rel::RObject));
+  }
+  /// Claims the next slot of RP_{i,j}; returns its byte offset within RP_i.
+  uint64_t NextSlot(uint32_t i, uint32_t j) {
+    const uint64_t slot = cursor_[i][j]++;
+    return sub_offset_[i][j] + slot * sizeof(rel::RObject);
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> sub_offset_;  // [i][j] bytes, [i][d] end
+  std::vector<std::vector<uint64_t>> cursor_;      // [i][j] objects claimed
+  const std::vector<std::vector<uint64_t>>* counts_ = nullptr;
+};
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_BACKEND_H_

@@ -1,0 +1,797 @@
+// The four parallel pointer-based join drivers, written ONCE against the
+// exec::Backend concept (see exec/backend.h) and instantiated over both the
+// deterministic costed simulator (join::JoinExecution) and the real mmap
+// runtime (exec::RealBackend).
+//
+// Each driver is a direct transcription of the paper's algorithm:
+//
+//   NestedLoops (§5): pass 0 dereferences own-partition pointers
+//     immediately and sub-partitions the rest into RP_{i,j}; pass 1 runs
+//     D-1 staggered phases so no two workers hammer one S partition.
+//   SortMerge (§6): passes 0/1 repartition R into RS_i (everything
+//     pointing into S_i); each RS_i is then run-sorted, k-way merged, and
+//     joined against a single sequential sweep of S_i.
+//   Grace (§7): passes 0/1 hash R into K monotone coarse buckets of RS_i;
+//     each bucket builds a TSIZE-chain table and joins with S_i read
+//     sequentially overall.
+//   HybridHash (EXT-5): Grace, except each worker keeps its own bucket-0
+//     objects in a resident in-memory table, skipping one disk round trip.
+//
+// Cost charging (ChargeCpu/ChargeSetup), byte access, the S fetch protocol
+// and barriers are all backend-provided; on the real backend the charges
+// are no-ops and the work itself is the cost.
+#ifndef MMJOIN_EXEC_JOIN_DRIVERS_H_
+#define MMJOIN_EXEC_JOIN_DRIVERS_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/backend.h"
+#include "heap/heapsort.h"
+#include "heap/merge_heap.h"
+#include "join/grace.h"
+#include "join/join_common.h"
+#include "join/sort_merge.h"
+
+namespace mmjoin::exec {
+
+namespace internal {
+
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Charges counted heap primitives at the machine's per-primitive costs.
+template <Backend B>
+void ChargeHeapCost(B& ex, uint32_t i, const HeapCost& cost) {
+  const sim::MachineConfig& mc = ex.mc();
+  ex.ChargeCpu(i, static_cast<double>(cost.compares) * mc.compare_ms +
+                      static_cast<double>(cost.swaps) * mc.swap_ms +
+                      static_cast<double>(cost.transfers) * mc.transfer_ms);
+}
+
+/// |RS_i| = sum_j |R_{j,i}|: everything pointing into S_i.
+template <Backend B>
+std::vector<uint64_t> RsObjects(const B& ex) {
+  const uint32_t d = ex.D();
+  std::vector<uint64_t> rs(d, 0);
+  for (uint32_t i = 0; i < d; ++i) {
+    for (uint32_t j = 0; j < d; ++j) rs[i] += ex.SubCount(j, i);
+  }
+  return rs;
+}
+
+/// Reads one R object through partition i's process.
+template <Backend B>
+rel::RObject ReadR(B& ex, uint32_t i, typename B::Seg seg, uint64_t offset) {
+  rel::RObject obj;
+  const void* src = ex.Read(i, seg, offset, sizeof(obj));
+  std::memcpy(&obj, src, sizeof(obj));
+  return obj;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Nested loops (§5)
+// ---------------------------------------------------------------------------
+
+template <Backend B>
+StatusOr<join::JoinRunResult> NestedLoops(B& ex,
+                                          const join::JoinParams& params) {
+  const uint32_t d = ex.D();
+  const sim::MachineConfig& mc = ex.mc();
+  const bool sync = params.phase_sync.value_or(false);
+
+  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
+
+  // Setup: openMap(P_Ri) + openMap(P_Si) + newMap(P_RPi), serialized over D.
+  for (uint32_t i = 0; i < d; ++i) {
+    const double per_proc = mc.OpenMapMs(ex.SegPages(ex.r_seg(i))) +
+                            mc.OpenMapMs(ex.SegPages(ex.s_seg(i))) +
+                            mc.NewMapMs(ex.RpPages(i));
+    ex.ChargeSetupAll(per_proc / d);  // ChargeSetupAll re-multiplies by D
+  }
+  ex.MarkPass("setup");
+
+  // ---- Pass 0: partition R_i; join the R_{i,i} objects immediately. ----
+  ex.ForEachPartition([&](uint32_t i) {
+    const typename B::Seg r_seg = ex.r_seg(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::RObject obj =
+          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+      ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to its partition
+      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+      if (sp.partition == i) {
+        ex.RequestS(i, obj.id, obj.sptr);
+      } else {
+        ex.AppendToRp(i, sp.partition, obj);
+      }
+    }
+    ex.FlushSRequests(i);
+  });
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass0");
+
+  // ---- Pass 1: D-1 staggered phases over the RP_{i,j}. ----
+  for (uint32_t t = 1; t < d; ++t) {
+    ex.ForEachPartition([&](uint32_t i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      const uint64_t n = ex.RpSubCount(i, j);
+      const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = ex.clock_ms(i);
+      for (uint64_t k = 0; k < n; ++k) {
+        const rel::RObject obj = internal::ReadR(
+            ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
+        ex.RequestS(i, obj.id, obj.sptr);
+      }
+      ex.FlushSRequests(i);
+      if (ex.tracing()) {
+        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
+                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
+      }
+    });
+    if (sync) ex.SyncClocks();
+  }
+  ex.MarkPass("pass1");
+
+  // The RP temporaries are scratch: deleteMap discards their dirty pages.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ex.rp_seg(i)));
+  }
+
+  return ex.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge (§6)
+// ---------------------------------------------------------------------------
+
+template <Backend B>
+StatusOr<join::JoinRunResult> SortMerge(B& ex,
+                                        const join::JoinParams& params) {
+  using Seg = typename B::Seg;
+  const uint32_t d = ex.D();
+  const sim::MachineConfig& mc = ex.mc();
+  const bool sync = params.phase_sync.value_or(true);
+  const uint64_t r = sizeof(rel::RObject);
+
+  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
+
+  const std::vector<uint64_t> rs_objects = internal::RsObjects(ex);
+
+  // RS_i and Merge_i live on disk i after R_i, S_i, RP_i.
+  std::vector<Seg> rs_segs(d), merge_segs(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t bytes = std::max<uint64_t>(rs_objects[i], 1) * r;
+    MMJOIN_ASSIGN_OR_RETURN(
+        rs_segs[i], ex.CreateSegment("RS" + std::to_string(i), i, bytes));
+    MMJOIN_ASSIGN_OR_RETURN(
+        merge_segs[i],
+        ex.CreateSegment("Merge" + std::to_string(i), i, bytes));
+  }
+
+  // Setup: openMap(R_i) + openMap(S_i) + newMap(RS_i) + newMap(RP_i)
+  //        + newMap(Merge_i), serialized over D.
+  for (uint32_t i = 0; i < d; ++i) {
+    const double per_proc = mc.OpenMapMs(ex.SegPages(ex.r_seg(i))) +
+                            mc.OpenMapMs(ex.SegPages(ex.s_seg(i))) +
+                            mc.NewMapMs(ex.SegPages(rs_segs[i])) +
+                            mc.NewMapMs(ex.RpPages(i)) +
+                            mc.NewMapMs(ex.SegPages(merge_segs[i]));
+    ex.ChargeSetupAll(per_proc / d);
+  }
+  ex.MarkPass("setup");
+
+  // Writers append to RS_target through disjoint per-target cursors: within
+  // a pass/phase exactly one worker writes a given target (own partition in
+  // pass 0, the staggered partner in each phase of pass 1).
+  std::vector<uint64_t> rs_cursor(d, 0);
+  auto append_rs = [&](uint32_t writer, uint32_t target,
+                       const rel::RObject& obj) {
+    const uint64_t slot = rs_cursor[target]++;
+    assert(slot < rs_objects[target]);
+    void* dst = ex.Write(writer, rs_segs[target], slot * r, r);
+    std::memcpy(dst, &obj, r);
+    ex.ChargeCpu(writer, static_cast<double>(r) * mc.mt_pp_ms);
+  };
+
+  // ---- Pass 0: partition R_i into RS_i (own pointers) and RP_{i,j}. ----
+  ex.ForEachPartition([&](uint32_t i) {
+    const typename B::Seg r_seg = ex.r_seg(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::RObject obj =
+          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+      ex.ChargeCpu(i, mc.map_ms);
+      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+      if (sp.partition == i) {
+        append_rs(i, i, obj);
+      } else {
+        ex.AppendToRp(i, sp.partition, obj);
+      }
+    }
+  });
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass0");
+
+  // ---- Pass 1: staggered phases move RP_{i,j} into RS_j. ----
+  for (uint32_t t = 1; t < d; ++t) {
+    ex.ForEachPartition([&](uint32_t i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      const uint64_t n = ex.RpSubCount(i, j);
+      const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = ex.clock_ms(i);
+      for (uint64_t k = 0; k < n; ++k) {
+        const rel::RObject obj =
+            internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+        append_rs(i, j, obj);
+      }
+      // Hand the written RS_j pages back to their owner's disk image.
+      ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+      if (ex.tracing()) {
+        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
+                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
+      }
+    });
+    if (sync) ex.SyncClocks();
+  }
+
+  // RP temporaries are finished.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ex.rp_seg(i)));
+  }
+  ex.MarkPass("pass1");
+
+  // ---- Pass 2: heapsort runs of IRUN objects, merge, final merge-join. ----
+  uint64_t max_rs = 0;
+  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
+  const join::SortMergePlan overall =
+      join::PlanSortMerge(params.m_rproc_bytes, mc.page_size, max_rs, params);
+
+  std::vector<Seg> src_seg = rs_segs;
+  std::vector<Seg> dst_seg = merge_segs;
+  std::vector<uint64_t> npass_per(d, 0);
+  std::vector<Status> partition_status(d);
+
+  auto sort_merge_join = [&](uint32_t i) -> Status {
+    const uint64_t n = rs_objects[i];
+    const join::SortMergePlan plan =
+        join::PlanSortMerge(params.m_rproc_bytes, mc.page_size, n, params);
+
+    // Sort each run: read in, heapsort an array of pointers, permute the
+    // objects in place, write back.
+    const double sort_start_ms = ex.clock_ms(i);
+    std::vector<rel::RObject> buffer;
+    for (uint64_t start = 0; start < n; start += plan.irun) {
+      const uint64_t len = std::min<uint64_t>(plan.irun, n - start);
+      buffer.resize(len);
+      for (uint64_t k = 0; k < len; ++k) {
+        const void* src = ex.Read(i, src_seg[i], (start + k) * r, r);
+        std::memcpy(&buffer[k], src, r);
+      }
+      std::vector<uint64_t> idx(len);
+      for (uint64_t k = 0; k < len; ++k) idx[k] = k;
+      HeapCost cost;
+      HeapSort(
+          &idx,
+          [&buffer](uint64_t a, uint64_t b) {
+            return buffer[a].sptr < buffer[b].sptr;
+          },
+          &cost);
+      internal::ChargeHeapCost(ex, i, cost);
+      // Move the objects into sorted order (one MTpp move per object).
+      for (uint64_t k = 0; k < len; ++k) {
+        void* dst = ex.Write(i, src_seg[i], (start + k) * r, r);
+        std::memcpy(dst, &buffer[idx[k]], r);
+      }
+      ex.ChargeCpu(i, static_cast<double>(len * r) * mc.mt_pp_ms);
+    }
+
+    uint64_t run_len = plan.irun;
+    uint64_t runs = std::max<uint64_t>(1, internal::CeilDiv(n, plan.irun));
+    uint64_t pass_count = 0;
+
+    if (ex.tracing()) {
+      ex.Span(i, "sort-runs", "heap", sort_start_ms,
+              {obs::Arg("runs", runs), obs::Arg("irun", plan.irun)});
+    }
+
+    auto merge_group = [&](uint64_t first_run, uint64_t n_runs,
+                           uint64_t out_start, bool last_pass) {
+      // Cursors are object indices into the source segment.
+      std::vector<uint64_t> cur(n_runs), end(n_runs);
+      MergeHeap heap(n_runs);
+      for (uint64_t g = 0; g < n_runs; ++g) {
+        cur[g] = (first_run + g) * run_len;
+        end[g] = std::min(n, cur[g] + run_len);
+        if (cur[g] < end[g]) {
+          const auto* obj = static_cast<const rel::RObject*>(
+              ex.Read(i, src_seg[i], cur[g] * r, r));
+          heap.Insert(MergeEntry{obj->sptr, static_cast<uint32_t>(g)});
+        }
+      }
+      uint64_t out = out_start;
+      while (!heap.empty()) {
+        const uint32_t g = heap.Min().run;
+        // Re-touch the popped object's page: with scarce memory it may have
+        // been evicted since its key entered the heap (the premature-
+        // replacement anomaly of section 6.2).
+        rel::RObject obj;
+        const void* src = ex.Read(i, src_seg[i], cur[g] * r, r);
+        std::memcpy(&obj, src, r);
+        ++cur[g];
+        if (cur[g] < end[g]) {
+          const auto* next = static_cast<const rel::RObject*>(
+              ex.Read(i, src_seg[i], cur[g] * r, r));
+          heap.DeleteInsert(MergeEntry{next->sptr, g});
+        } else {
+          heap.DeleteMin();
+        }
+        if (last_pass) {
+          // Join instead of writing: the merged stream is in S-pointer
+          // order, so S_i is read sequentially through the fetch protocol.
+          ex.RequestS(i, obj.id, obj.sptr);
+        } else {
+          void* dst = ex.Write(i, dst_seg[i], out * r, r);
+          std::memcpy(dst, &obj, r);
+          ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+        }
+        ++out;
+      }
+      internal::ChargeHeapCost(ex, i, heap.cost());
+      return out;
+    };
+
+    while (runs > plan.nrun_last) {
+      const double merge_start_ms = ex.clock_ms(i);
+      const uint64_t groups = internal::CeilDiv(runs, plan.nrun_abl);
+      uint64_t out = 0;
+      for (uint64_t g = 0; g < groups; ++g) {
+        const uint64_t first_run = g * plan.nrun_abl;
+        const uint64_t n_runs =
+            std::min<uint64_t>(plan.nrun_abl, runs - first_run);
+        out = merge_group(first_run, n_runs, out, /*last_pass=*/false);
+      }
+      ++pass_count;
+      // Swap source and destination areas: the old source is destroyed and
+      // a fresh area created (deleteMap + newMap per the paper).
+      ex.DropSegment(i, src_seg[i], /*discard=*/true);
+      const uint64_t pages = ex.SegPages(src_seg[i]);
+      MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(src_seg[i]));
+      ex.ChargeSetup(i, mc.DeleteMapMs(pages) + mc.NewMapMs(pages));
+      MMJOIN_ASSIGN_OR_RETURN(
+          Seg fresh,
+          ex.CreateSegment(
+              "Swap" + std::to_string(i) + "p" + std::to_string(pass_count),
+              i, std::max<uint64_t>(n, 1) * r));
+      src_seg[i] = dst_seg[i];  // the merged output becomes the next source
+      dst_seg[i] = fresh;
+      run_len *= plan.nrun_abl;
+      runs = internal::CeilDiv(runs, plan.nrun_abl);
+      if (ex.tracing()) {
+        ex.Span(i, "merge-pass " + std::to_string(pass_count), "heap",
+                merge_start_ms,
+                {obs::Arg("fan_in", plan.nrun_abl),
+                 obs::Arg("runs_left", runs)});
+      }
+    }
+
+    // ---- Final pass: merge the remaining runs while scanning S_i. ----
+    const double final_start_ms = ex.clock_ms(i);
+    merge_group(0, runs, 0, /*last_pass=*/true);
+    ex.FlushSRequests(i);
+    ++pass_count;
+    npass_per[i] = pass_count;
+    if (ex.tracing()) {
+      ex.Span(i, "final-merge-join", "heap", final_start_ms,
+              {obs::Arg("runs", runs)});
+    }
+    return Status::OK();
+  };
+
+  ex.ForEachPartition(
+      [&](uint32_t i) { partition_status[i] = sort_merge_join(i); });
+  for (const Status& st : partition_status) MMJOIN_RETURN_NOT_OK(st);
+  ex.MarkPass("sort+merge+join");
+
+  // Drop remaining temporaries.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, src_seg[i], /*discard=*/true);
+    ex.DropSegment(i, dst_seg[i], /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(src_seg[i]));
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(dst_seg[i]));
+  }
+
+  join::JoinRunResult result = ex.Finish();
+  result.irun = overall.irun;
+  result.nrun_abl = overall.nrun_abl;
+  result.nrun_last = overall.nrun_last;
+  result.lrun = overall.lrun;
+  result.npass = *std::max_element(npass_per.begin(), npass_per.end());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Grace (§7)
+// ---------------------------------------------------------------------------
+
+template <Backend B>
+StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
+  using Seg = typename B::Seg;
+  const uint32_t d = ex.D();
+  const sim::MachineConfig& mc = ex.mc();
+  const bool sync = params.phase_sync.value_or(true);
+  const uint64_t r = sizeof(rel::RObject);
+
+  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
+
+  // |RS_i| and the exact per-bucket populations (computed from workload
+  // metadata so bucket regions can be laid out contiguously).
+  const std::vector<uint64_t> rs_objects = internal::RsObjects(ex);
+  uint64_t max_rs = 0;
+  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
+  const join::GracePlan plan =
+      join::PlanGrace(params.m_rproc_bytes, max_rs, params);
+  const uint32_t k_buckets = plan.k_buckets;
+
+  // Count bucket populations by scanning the raw R partitions (metadata
+  // precomputation, not charged — the counts depend only on the workload
+  // and the bucket function).
+  std::vector<std::vector<uint64_t>> bucket_count(
+      d, std::vector<uint64_t>(k_buckets, 0));
+  for (uint32_t i = 0; i < d; ++i) {
+    const rel::RObject* objs = ex.RawR(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
+      const uint32_t b = join::GraceBucketOf(
+          sp.index, ex.s_count(sp.partition), k_buckets);
+      ++bucket_count[sp.partition][b];
+    }
+  }
+
+  // RS_i with K contiguous bucket regions.
+  std::vector<Seg> rs_segs(d);
+  std::vector<std::vector<uint64_t>> bucket_offset(
+      d, std::vector<uint64_t>(k_buckets + 1, 0));
+  std::vector<std::vector<uint64_t>> bucket_cursor(
+      d, std::vector<uint64_t>(k_buckets, 0));
+  for (uint32_t i = 0; i < d; ++i) {
+    uint64_t total = 0;
+    for (uint32_t b = 0; b < k_buckets; ++b) {
+      bucket_offset[i][b] = total * r;
+      total += bucket_count[i][b];
+    }
+    bucket_offset[i][k_buckets] = total * r;
+    assert(total == rs_objects[i]);
+    MMJOIN_ASSIGN_OR_RETURN(
+        rs_segs[i], ex.CreateSegment("RS" + std::to_string(i), i,
+                                     std::max<uint64_t>(total, 1) * r));
+  }
+
+  // Setup: openMap(R_i) + openMap(S_i) + newMap(RS_i + RP_i) + openMap(RS_i)
+  // (the re-attachment for the bucket-processing pass), serialized over D.
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t rs_pages = ex.SegPages(rs_segs[i]);
+    const double per_proc = mc.OpenMapMs(ex.SegPages(ex.r_seg(i))) +
+                            mc.OpenMapMs(ex.SegPages(ex.s_seg(i))) +
+                            mc.NewMapMs(rs_pages + ex.RpPages(i)) +
+                            mc.OpenMapMs(rs_pages);
+    ex.ChargeSetupAll(per_proc / d);
+  }
+  ex.MarkPass("setup");
+
+  // One writer per target within any pass/phase (own partition in pass 0,
+  // the staggered partner in pass 1), so the per-target cursors need no
+  // synchronization — the backend barrier between phases publishes them.
+  auto hash_into_rs = [&](uint32_t writer, const rel::RObject& obj) {
+    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+    const uint32_t target = sp.partition;
+    ex.ChargeCpu(writer, mc.hash_ms);
+    const uint32_t b =
+        join::GraceBucketOf(sp.index, ex.s_count(target), k_buckets);
+    const uint64_t slot = bucket_cursor[target][b]++;
+    assert(slot < bucket_count[target][b]);
+    void* dst =
+        ex.Write(writer, rs_segs[target], bucket_offset[target][b] + slot * r,
+                 r);
+    std::memcpy(dst, &obj, r);
+    ex.ChargeCpu(writer, static_cast<double>(r) * mc.mt_pp_ms);
+  };
+
+  // ---- Pass 0: partition R_i; own-partition objects hash into RS_i. ----
+  ex.ForEachPartition([&](uint32_t i) {
+    const typename B::Seg r_seg = ex.r_seg(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::RObject obj =
+          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+      ex.ChargeCpu(i, mc.map_ms);
+      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+      if (sp.partition == i) {
+        hash_into_rs(i, obj);
+      } else {
+        ex.AppendToRp(i, sp.partition, obj);
+      }
+    }
+  });
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass0");
+
+  // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
+  for (uint32_t t = 1; t < d; ++t) {
+    ex.ForEachPartition([&](uint32_t i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      const uint64_t n = ex.RpSubCount(i, j);
+      const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = ex.clock_ms(i);
+      for (uint64_t k = 0; k < n; ++k) {
+        const rel::RObject obj =
+            internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+        hash_into_rs(i, obj);
+      }
+      ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+      if (ex.tracing()) {
+        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
+                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
+      }
+    });
+    if (sync) ex.SyncClocks();
+  }
+
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ex.rp_seg(i)));
+  }
+  ex.MarkPass("pass1");
+
+  // ---- Passes 1+j: per bucket, build the TSIZE-chain table and join. ----
+  struct ChainEntry {
+    uint64_t r_id;
+    uint64_t sptr;
+  };
+  std::vector<Status> partition_status(d);
+  ex.ForEachPartition([&](uint32_t i) {
+    std::vector<std::vector<ChainEntry>> table(plan.tsize);
+    for (uint32_t b = 0; b < k_buckets; ++b) {
+      for (auto& chain : table) chain.clear();
+      const uint64_t base = bucket_offset[i][b];
+      const uint64_t count = bucket_count[i][b];
+      const double bucket_start_ms = ex.clock_ms(i);
+      for (uint64_t k = 0; k < count; ++k) {
+        rel::RObject obj;
+        const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
+        std::memcpy(&obj, src, r);
+        ex.ChargeCpu(i, mc.hash_ms);
+        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+        // Identical references collide into the same chain.
+        table[sp.index % plan.tsize].push_back(ChainEntry{obj.id, obj.sptr});
+      }
+      // Process the table in order; each chain's S objects fit in memory,
+      // so every S object is read once per bucket.
+      for (const auto& chain : table) {
+        for (const ChainEntry& e : chain) {
+          ex.RequestS(i, e.r_id, e.sptr);
+        }
+      }
+      ex.FlushSRequests(i);
+      if (ex.tracing()) {
+        ex.Span(i, "bucket " + std::to_string(b), "bucket", bucket_start_ms,
+                {obs::Arg("objects", count)});
+      }
+    }
+    ex.DropSegment(i, rs_segs[i], /*discard=*/true);
+    partition_status[i] = ex.DeleteSegment(rs_segs[i]);
+  });
+  for (const Status& st : partition_status) MMJOIN_RETURN_NOT_OK(st);
+  ex.MarkPass("bucket-join");
+
+  join::JoinRunResult result = ex.Finish();
+  result.k_buckets = k_buckets;
+  result.tsize = plan.tsize;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid hash (EXT-5)
+// ---------------------------------------------------------------------------
+
+template <Backend B>
+StatusOr<join::JoinRunResult> HybridHash(B& ex,
+                                         const join::JoinParams& params) {
+  using Seg = typename B::Seg;
+  const uint32_t d = ex.D();
+  const sim::MachineConfig& mc = ex.mc();
+  const bool sync = params.phase_sync.value_or(true);
+  const uint64_t r = sizeof(rel::RObject);
+
+  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
+
+  const std::vector<uint64_t> rs_objects = internal::RsObjects(ex);
+  uint64_t max_rs = 0;
+  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
+  const join::GracePlan plan =
+      join::PlanGrace(params.m_rproc_bytes, max_rs, params);
+  const uint32_t k_buckets = plan.k_buckets;
+
+  // Spill-bucket populations. Bucket 0 of RS_i receives only the *remote*
+  // contributions (R_{j,i}, j != i); the owner's bucket-0 objects stay in
+  // memory. Buckets >= 1 receive everything, as in Grace.
+  std::vector<std::vector<uint64_t>> bucket_count(
+      d, std::vector<uint64_t>(k_buckets, 0));
+  std::vector<uint64_t> resident_count(d, 0);
+  for (uint32_t i = 0; i < d; ++i) {
+    const rel::RObject* objs = ex.RawR(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
+      const uint32_t b = join::GraceBucketOf(
+          sp.index, ex.s_count(sp.partition), k_buckets);
+      if (b == 0 && sp.partition == i) {
+        ++resident_count[i];
+      } else {
+        ++bucket_count[sp.partition][b];
+      }
+    }
+  }
+
+  std::vector<Seg> rs_segs(d);
+  std::vector<std::vector<uint64_t>> bucket_offset(
+      d, std::vector<uint64_t>(k_buckets + 1, 0));
+  std::vector<std::vector<uint64_t>> bucket_cursor(
+      d, std::vector<uint64_t>(k_buckets, 0));
+  for (uint32_t i = 0; i < d; ++i) {
+    uint64_t total = 0;
+    for (uint32_t b = 0; b < k_buckets; ++b) {
+      bucket_offset[i][b] = total * r;
+      total += bucket_count[i][b];
+    }
+    bucket_offset[i][k_buckets] = total * r;
+    MMJOIN_ASSIGN_OR_RETURN(
+        rs_segs[i], ex.CreateSegment("RS" + std::to_string(i), i,
+                                     std::max<uint64_t>(total, 1) * r));
+  }
+
+  // Setup charges mirror Grace.
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t rs_pages = ex.SegPages(rs_segs[i]);
+    const double per_proc = mc.OpenMapMs(ex.SegPages(ex.r_seg(i))) +
+                            mc.OpenMapMs(ex.SegPages(ex.s_seg(i))) +
+                            mc.NewMapMs(rs_pages + ex.RpPages(i)) +
+                            mc.OpenMapMs(rs_pages);
+    ex.ChargeSetupAll(per_proc / d);
+  }
+  ex.MarkPass("setup");
+
+  // The resident tables: per process, (r_id, sptr) entries of its own
+  // bucket-0 objects. Table memory is part of M_Rproc (the Grace K rule
+  // already budgets one bucket plus overhead).
+  struct Entry {
+    uint64_t r_id;
+    uint64_t sptr;
+  };
+  std::vector<std::vector<Entry>> resident(d);
+  for (uint32_t i = 0; i < d; ++i) resident[i].reserve(resident_count[i]);
+
+  auto spill = [&](uint32_t writer, const rel::RObject& obj, uint32_t b) {
+    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+    const uint32_t target = sp.partition;
+    const uint64_t slot = bucket_cursor[target][b]++;
+    assert(slot < bucket_count[target][b]);
+    void* dst =
+        ex.Write(writer, rs_segs[target], bucket_offset[target][b] + slot * r,
+                 r);
+    std::memcpy(dst, &obj, r);
+    ex.ChargeCpu(writer, static_cast<double>(r) * mc.mt_pp_ms);
+  };
+
+  // ---- Pass 0: partition R_i; own bucket-0 objects stay in memory. ----
+  ex.ForEachPartition([&](uint32_t i) {
+    const typename B::Seg r_seg = ex.r_seg(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::RObject obj =
+          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+      ex.ChargeCpu(i, mc.map_ms);
+      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+      if (sp.partition == i) {
+        ex.ChargeCpu(i, mc.hash_ms);
+        const uint32_t b =
+            join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
+        if (b == 0) {
+          // Resident: one private move into the table, no disk traffic.
+          resident[i].push_back(Entry{obj.id, obj.sptr});
+          ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+        } else {
+          spill(i, obj, b);
+        }
+      } else {
+        ex.AppendToRp(i, sp.partition, obj);
+      }
+    }
+  });
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass0");
+
+  // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j (all spill). ----
+  for (uint32_t t = 1; t < d; ++t) {
+    ex.ForEachPartition([&](uint32_t i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      const uint64_t n = ex.RpSubCount(i, j);
+      const uint64_t base = ex.RpSubOffset(i, j);
+      const double phase_start_ms = ex.clock_ms(i);
+      for (uint64_t k = 0; k < n; ++k) {
+        const rel::RObject obj =
+            internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+        ex.ChargeCpu(i, mc.hash_ms);
+        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+        spill(i, obj,
+              join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
+                                  k_buckets));
+      }
+      ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+      if (ex.tracing()) {
+        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
+                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
+      }
+    });
+    if (sync) ex.SyncClocks();
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ex.rp_seg(i)));
+  }
+  ex.MarkPass("pass1");
+
+  // ---- Join: resident table first, then the spilled buckets. ----
+  std::vector<Status> partition_status(d);
+  ex.ForEachPartition([&](uint32_t i) {
+    // Resident bucket 0: already in memory, join directly (S_i bucket-0
+    // range is read here, sequentially by chain order).
+    std::vector<std::vector<Entry>> table(plan.tsize);
+    for (const Entry& e : resident[i]) {
+      table[rel::SPtr::Unpack(e.sptr).index % plan.tsize].push_back(e);
+    }
+    for (const auto& chain : table) {
+      for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
+    }
+    ex.FlushSRequests(i);
+
+    // Spilled buckets, Grace-style.
+    for (uint32_t b = 0; b < k_buckets; ++b) {
+      if (bucket_count[i][b] == 0) continue;
+      for (auto& chain : table) chain.clear();
+      const uint64_t base = bucket_offset[i][b];
+      for (uint64_t k = 0; k < bucket_count[i][b]; ++k) {
+        rel::RObject obj;
+        const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
+        std::memcpy(&obj, src, r);
+        ex.ChargeCpu(i, mc.hash_ms);
+        table[rel::SPtr::Unpack(obj.sptr).index % plan.tsize].push_back(
+            Entry{obj.id, obj.sptr});
+      }
+      for (const auto& chain : table) {
+        for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
+      }
+      ex.FlushSRequests(i);
+    }
+    ex.DropSegment(i, rs_segs[i], /*discard=*/true);
+    partition_status[i] = ex.DeleteSegment(rs_segs[i]);
+  });
+  for (const Status& st : partition_status) MMJOIN_RETURN_NOT_OK(st);
+  ex.MarkPass("bucket-join");
+
+  join::JoinRunResult result = ex.Finish();
+  result.k_buckets = k_buckets;
+  result.tsize = plan.tsize;
+  return result;
+}
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_JOIN_DRIVERS_H_

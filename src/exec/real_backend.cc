@@ -1,0 +1,190 @@
+#include "exec/real_backend.h"
+
+#include <sys/mman.h>
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace mmjoin::exec {
+
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint32_t ResolveWorkers(uint32_t d, const RealBackendOptions& options) {
+  if (!options.parallel) return 1;
+  uint32_t bound = options.max_threads;
+  if (bound == 0) bound = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(d, bound);
+}
+
+}  // namespace
+
+RealBackend::RealBackend(const mm::MmWorkload& workload,
+                         const join::JoinParams& params,
+                         const RealBackendOptions& options)
+    : workload_(&workload),
+      mc_(sim::MachineConfig::SequentSymmetry1996()),
+      d_(static_cast<uint32_t>(workload.r_segs.size())),
+      workers_(ResolveWorkers(static_cast<uint32_t>(workload.r_segs.size()),
+                              options)),
+      trace_(options.trace) {
+  (void)params;  // plan shaping reads params through the drivers
+  start_epoch_ms_ = SteadyNowMs();
+  start_faults_ = CurrentFaults();
+  rp_segs_.assign(d_, nullptr);
+  out_count_.assign(d_, 0);
+  out_digest_.assign(d_, 0);
+  for (uint32_t i = 0; i < d_; ++i) {
+    auto r = std::make_unique<RealSeg>();
+    r->name = "R" + std::to_string(i);
+    r->base = const_cast<uint8_t*>(reinterpret_cast<const uint8_t*>(
+        workload.RObjects(i)));
+    r->bytes = workload.r_count[i] * sizeof(rel::RObject);
+    r_view_.push_back(std::move(r));
+
+    auto s = std::make_unique<RealSeg>();
+    s->name = "S" + std::to_string(i);
+    s->base = const_cast<uint8_t*>(reinterpret_cast<const uint8_t*>(
+        workload.SObjects(i)));
+    s->bytes = workload.s_count[i] * sizeof(rel::SObject);
+    s_view_.push_back(std::move(s));
+
+    s_objs_.push_back(workload.SObjects(i));
+  }
+  if (trace_) {
+    // Track convention mirrors the simulator's: pid = partition index,
+    // tid 1 = its worker's activity; one extra "driver" process carries the
+    // whole-run pass spans.
+    for (uint32_t i = 0; i < d_; ++i) {
+      trace_->SetProcessName(i, "partition " + std::to_string(i));
+      trace_->SetThreadName(i, 1, "worker");
+    }
+    trace_->SetProcessName(d_, "driver");
+    trace_->SetThreadName(d_, 1, "passes");
+  }
+}
+
+RealBackend::~RealBackend() {
+  for (auto& seg : owned_) {
+    if (seg->live && seg->owned && seg->base) {
+      ::munmap(seg->base, seg->map_bytes);
+      seg->live = false;
+    }
+  }
+}
+
+uint64_t RealBackend::CurrentFaults() const {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_minflt) +
+         static_cast<uint64_t>(ru.ru_majflt);
+}
+
+StatusOr<RealBackend::Seg> RealBackend::CreateSegment(const std::string& name,
+                                                      uint32_t disk,
+                                                      uint64_t bytes) {
+  const uint64_t page = mc_.page_size;
+  const uint64_t map_bytes =
+      std::max<uint64_t>(1, (bytes + page - 1) / page) * page;
+  void* base = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    return Status::IOError("mmap failed for segment " + name);
+  }
+  auto seg = std::make_unique<RealSeg>();
+  seg->name = name + "@d" + std::to_string(disk);
+  seg->base = static_cast<uint8_t*>(base);
+  seg->bytes = bytes;
+  seg->map_bytes = map_bytes;
+  seg->owned = true;
+  Seg handle = seg.get();
+  {
+    std::lock_guard<std::mutex> lock(segs_mu_);
+    owned_.push_back(std::move(seg));
+  }
+  return handle;
+}
+
+Status RealBackend::DeleteSegment(Seg seg) {
+  if (seg == nullptr || !seg->owned) {
+    return Status::InvalidArgument("cannot delete a workload segment");
+  }
+  std::lock_guard<std::mutex> lock(segs_mu_);
+  if (!seg->live) return Status::InvalidArgument("segment already deleted");
+  ::munmap(seg->base, seg->map_bytes);
+  seg->base = nullptr;
+  seg->live = false;
+  return Status::OK();
+}
+
+void RealBackend::DropSegment(uint32_t /*i*/, Seg seg, bool discard) {
+  // discard=true is deleteMap semantics: the drivers only use it on data
+  // that is dead (always immediately before DeleteSegment), so handing the
+  // pages back early is safe. discard=false is a write-back hint — a no-op
+  // for anonymous memory.
+  if (discard && seg->owned && seg->live) {
+    ::madvise(seg->base, seg->map_bytes, MADV_DONTNEED);
+  }
+}
+
+Status RealBackend::CreateRpSegments() {
+  rp_layout_.Init(workload_->counts);
+  for (uint32_t i = 0; i < d_; ++i) {
+    MMJOIN_ASSIGN_OR_RETURN(
+        rp_segs_[i],
+        CreateSegment("RP" + std::to_string(i), i, rp_layout_.TotalBytes(i)));
+  }
+  return Status::OK();
+}
+
+double RealBackend::clock_ms(uint32_t /*i*/) const {
+  return SteadyNowMs() - start_epoch_ms_;
+}
+
+void RealBackend::Span(uint32_t i, const std::string& name,
+                       const std::string& cat, double start_ms,
+                       std::vector<obs::TraceArg> args) {
+  if (!trace_) return;
+  const double now = clock_ms(i);
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_->Complete(i, 1, name, cat, start_ms, now - start_ms,
+                   std::move(args));
+}
+
+void RealBackend::MarkPass(const std::string& label) {
+  const double now = clock_ms(0);
+  const uint64_t faults = CurrentFaults();
+  passes_.push_back(
+      join::PassMark{label, now - last_mark_ms_, faults - last_mark_faults_});
+  if (trace_) {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_->Complete(d_, 1, label, "pass", last_mark_ms_,
+                     now - last_mark_ms_);
+  }
+  last_mark_ms_ = now;
+  last_mark_faults_ = faults;
+}
+
+join::JoinRunResult RealBackend::Finish() {
+  join::JoinRunResult r;
+  r.elapsed_ms = clock_ms(0);
+  r.rproc_ms.assign(d_, r.elapsed_ms);
+  r.passes = passes_;
+  for (uint32_t i = 0; i < d_; ++i) {
+    r.output_count += out_count_[i];
+    r.output_checksum += out_digest_[i];
+  }
+  r.faults = CurrentFaults() - start_faults_;
+  r.verified = r.output_count == workload_->expected_output_count &&
+               r.output_checksum == workload_->expected_checksum;
+  r.threads_used = workers_;
+  return r;
+}
+
+}  // namespace mmjoin::exec

@@ -1,0 +1,228 @@
+// The real-mmap execution backend: the same exec::Backend surface as the
+// simulator, but partitions run on bounded worker threads against genuine
+// mmap(2) memory and wall-clock time.
+//
+// Mapping of the backend operations onto reality:
+//
+//   Read/Write        direct pointers into the mapped bytes — touching them
+//                     IS the I/O (the kernel pages on demand)
+//   Charge*           no-ops: real work costs real time, nothing to model
+//   RequestS/Flush    immediate S-pointer dereference into per-partition
+//                     output tallies (no G buffer — threads share memory)
+//   ForEachPartition  worker threads, at most min(D, max_threads or
+//                     hardware_concurrency); worker w runs partitions
+//                     w, w+W, w+2W, ... and the spawn/join is a hard
+//                     barrier, giving later steps happens-before over all
+//                     earlier cross-partition writes
+//   SyncClocks        no-op (the thread join above is the barrier)
+//   CreateSegment     anonymous private mmap(2) for temporaries; the
+//                     workload's R_i/S_i arrive as non-owned views into
+//                     their file-backed segments
+//   clock_ms/Span     wall-clock milliseconds since construction; trace
+//                     emission is mutex-guarded (obs::TraceRecorder itself
+//                     is single-threaded), tracks: pid = partition,
+//                     tid 1 = worker, pid = D = the driver track
+//   MarkPass          wall-time pass boundaries with getrusage(2) fault
+//                     deltas, so real runs report the same PassMark shape
+//                     the simulator does
+//
+// Thread-safety relies on the drivers' ownership discipline (one writer
+// per target within any pass/phase — see exec/join_drivers.h); the backend
+// adds mutexes only around the segment registry and the trace recorder.
+#ifndef MMJOIN_EXEC_REAL_BACKEND_H_
+#define MMJOIN_EXEC_REAL_BACKEND_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/backend.h"
+#include "join/join_common.h"
+#include "mmap/mm_relation.h"
+#include "obs/trace.h"
+#include "rel/relation.h"
+#include "sim/machine_config.h"
+#include "util/status.h"
+
+namespace mmjoin::exec {
+
+/// One mapped area known to the RealBackend: either an owned anonymous
+/// mapping (a temporary the backend created) or a non-owned view into the
+/// workload's file-backed segments. Heap-allocated with a stable address —
+/// the `RealSeg*` itself is the backend's segment handle.
+struct RealSeg {
+  std::string name;
+  uint8_t* base = nullptr;
+  uint64_t bytes = 0;      ///< logical size
+  uint64_t map_bytes = 0;  ///< page-rounded mapping size (owned only)
+  bool owned = false;      ///< true: anonymous mmap to munmap on delete
+  bool live = true;
+};
+
+/// Execution tunables of the real backend.
+struct RealBackendOptions {
+  bool parallel = true;      ///< false: one worker regardless of D
+  /// Worker-thread bound; 0 = std::thread::hardware_concurrency(). The
+  /// worker count is always min(D, bound): when D exceeds it, workers
+  /// batch partitions in a strided schedule.
+  uint32_t max_threads = 0;
+  obs::TraceRecorder* trace = nullptr;  ///< optional wall-clock trace
+};
+
+/// The real runtime. Models exec::Backend (static_assert at the bottom),
+/// so the unified drivers in exec/join_drivers.h run on it unchanged.
+class RealBackend {
+ public:
+  using Seg = RealSeg*;
+
+  RealBackend(const mm::MmWorkload& workload, const join::JoinParams& params,
+              const RealBackendOptions& options);
+  ~RealBackend();
+
+  RealBackend(const RealBackend&) = delete;
+  RealBackend& operator=(const RealBackend&) = delete;
+
+  // ---- shape & parameters -------------------------------------------------
+  uint32_t D() const { return d_; }
+  /// Machine constants are used only to shape plans (IRUN/K derivation,
+  /// page-size rounding); charges against them are no-ops here. Using the
+  /// same constants as the simulator keeps the derived plans identical.
+  const sim::MachineConfig& mc() const { return mc_; }
+  uint32_t workers() const { return workers_; }
+
+  // ---- workload view ------------------------------------------------------
+  Seg r_seg(uint32_t i) const { return r_view_[i].get(); }
+  Seg s_seg(uint32_t i) const { return s_view_[i].get(); }
+  uint64_t r_count(uint32_t i) const { return workload_->r_count[i]; }
+  uint64_t s_count(uint32_t i) const { return workload_->s_count[i]; }
+  uint64_t SubCount(uint32_t i, uint32_t j) const {
+    return workload_->counts[i][j];
+  }
+  const rel::RObject* RawR(uint32_t i) const {
+    return workload_->RObjects(i);
+  }
+
+  // ---- segments -----------------------------------------------------------
+  /// Anonymous private mapping of `bytes` (page-rounded). `disk` is carried
+  /// in the name only — placement is the kernel's business here.
+  StatusOr<Seg> CreateSegment(const std::string& name, uint32_t disk,
+                              uint64_t bytes);
+  Status DeleteSegment(Seg seg);
+  uint64_t SegPages(Seg seg) const {
+    return (seg->bytes + mc_.page_size - 1) / mc_.page_size;
+  }
+
+  // ---- RP temporaries -----------------------------------------------------
+  Status CreateRpSegments();
+  Seg rp_seg(uint32_t i) const { return rp_segs_[i]; }
+  uint64_t RpSubOffset(uint32_t i, uint32_t j) const {
+    return rp_layout_.SubOffset(i, j);
+  }
+  uint64_t RpSubCount(uint32_t i, uint32_t j) const {
+    return rp_layout_.SubCount(i, j);
+  }
+  uint64_t RpPages(uint32_t i) const { return SegPages(rp_segs_[i]); }
+  void AppendToRp(uint32_t i, uint32_t j, const rel::RObject& obj) {
+    // Only worker i appends to RP_i, so the layout cursor needs no lock.
+    const uint64_t off = rp_layout_.NextSlot(i, j);
+    std::memcpy(rp_segs_[i]->base + off, &obj, sizeof(obj));
+  }
+
+  // ---- per-partition operations -------------------------------------------
+  const void* Read(uint32_t /*i*/, Seg seg, uint64_t offset,
+                   uint64_t /*len*/) const {
+    return seg->base + offset;
+  }
+  void* Write(uint32_t /*i*/, Seg seg, uint64_t offset, uint64_t /*len*/) {
+    return seg->base + offset;
+  }
+  void ChargeCpu(uint32_t /*i*/, double /*ms*/) {}
+  void ChargeSetup(uint32_t /*i*/, double /*ms*/) {}
+  void DropSegment(uint32_t i, Seg seg, bool discard);
+
+  /// Immediate dereference: threads share the address space, so there is
+  /// no G buffer — the pointer is chased the moment it is requested.
+  void RequestS(uint32_t i, uint64_t r_id, uint64_t packed_sptr) {
+    const rel::SPtr sp = rel::SPtr::Unpack(packed_sptr);
+    const rel::SObject& s = s_objs_[sp.partition][sp.index];
+    out_digest_[i] += rel::OutputDigest(r_id, s.key);
+    ++out_count_[i];
+  }
+  void FlushSRequests(uint32_t /*i*/) {}
+
+  // ---- execution structure ------------------------------------------------
+  /// Runs fn(i) for every partition on min(D, workers()) threads; worker w
+  /// takes the strided batch w, w+W, .... Returns after joining every
+  /// worker — a barrier that publishes all cross-partition writes.
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) {
+    const uint32_t w = workers_;
+    if (w <= 1 || d_ <= 1) {
+      for (uint32_t i = 0; i < d_; ++i) fn(i);
+      return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(w);
+    for (uint32_t t = 0; t < w; ++t) {
+      threads.emplace_back([this, &fn, t, w] {
+        for (uint32_t i = t; i < d_; i += w) fn(i);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  void SyncClocks() {}  // ForEachPartition's join is the real barrier
+  void ChargeSetupAll(double /*per_proc_ms*/) {}
+  void MarkPass(const std::string& label);
+
+  // ---- observability ------------------------------------------------------
+  bool tracing() const { return trace_ != nullptr; }
+  /// Wall-clock milliseconds since backend construction (same epoch for
+  /// every partition — real threads share one clock).
+  double clock_ms(uint32_t i) const;
+  void Span(uint32_t i, const std::string& name, const std::string& cat,
+            double start_ms, std::vector<obs::TraceArg> args = {});
+
+  /// Assembles the run result: wall-clock total, pass marks, output tallies
+  /// verified against the workload's expected join, rusage fault deltas.
+  join::JoinRunResult Finish();
+
+ private:
+  uint64_t CurrentFaults() const;
+
+  const mm::MmWorkload* workload_;
+  sim::MachineConfig mc_;
+  uint32_t d_;
+  uint32_t workers_;
+  obs::TraceRecorder* trace_;
+  std::mutex trace_mu_;
+
+  double start_epoch_ms_ = 0;  ///< steady_clock at construction
+  uint64_t start_faults_ = 0;
+
+  std::vector<std::unique_ptr<RealSeg>> r_view_, s_view_;
+  std::vector<const rel::SObject*> s_objs_;
+
+  std::mutex segs_mu_;
+  std::vector<std::unique_ptr<RealSeg>> owned_;
+
+  RpLayout rp_layout_;
+  std::vector<Seg> rp_segs_;
+
+  std::vector<uint64_t> out_count_, out_digest_;
+
+  std::vector<join::PassMark> passes_;
+  double last_mark_ms_ = 0;
+  uint64_t last_mark_faults_ = 0;
+};
+
+static_assert(Backend<RealBackend>,
+              "RealBackend must satisfy the execution-backend concept");
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_REAL_BACKEND_H_

@@ -1,9 +1,8 @@
 #include "join/grace.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstring>
-#include <vector>
+
+#include "exec/join_drivers.h"
 
 namespace mmjoin::join {
 
@@ -41,189 +40,7 @@ StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,
                                  const rel::Workload& workload,
                                  const JoinParams& params) {
   JoinExecution ex(env, workload, params);
-  const uint32_t d = ex.D();
-  const auto& mc = env->config();
-  const bool sync = ex.phase_sync(/*algorithm_default=*/true);
-  const uint64_t r = sizeof(rel::RObject);
-
-  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
-
-  // |RS_i| and the exact per-bucket populations (computed from workload
-  // metadata so bucket regions can be laid out contiguously).
-  std::vector<uint64_t> rs_objects(d, 0);
-  for (uint32_t i = 0; i < d; ++i) {
-    for (uint32_t j = 0; j < d; ++j) rs_objects[i] += workload.counts[j][i];
-  }
-  uint64_t max_rs = 0;
-  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
-  const GracePlan plan = PlanGrace(params.m_rproc_bytes, max_rs, params);
-  const uint32_t k_buckets = plan.k_buckets;
-
-  // Count bucket populations by scanning the raw R partitions (metadata
-  // precomputation, not charged — the counts depend only on the workload
-  // and the bucket function).
-  std::vector<std::vector<uint64_t>> bucket_count(
-      d, std::vector<uint64_t>(k_buckets, 0));
-  for (uint32_t i = 0; i < d; ++i) {
-    const auto* objs = reinterpret_cast<const rel::RObject*>(
-        env->segment(workload.r_segs[i]).raw());
-    for (uint64_t k = 0; k < workload.r_count[i]; ++k) {
-      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
-      const uint32_t b =
-          GraceBucketOf(sp.index, workload.s_count[sp.partition], k_buckets);
-      ++bucket_count[sp.partition][b];
-    }
-  }
-
-  // RS_i with K contiguous bucket regions.
-  std::vector<sim::SegId> rs_segs(d);
-  std::vector<std::vector<uint64_t>> bucket_offset(
-      d, std::vector<uint64_t>(k_buckets + 1, 0));
-  std::vector<std::vector<uint64_t>> bucket_cursor(
-      d, std::vector<uint64_t>(k_buckets, 0));
-  for (uint32_t i = 0; i < d; ++i) {
-    uint64_t total = 0;
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      bucket_offset[i][b] = total * r;
-      total += bucket_count[i][b];
-    }
-    bucket_offset[i][k_buckets] = total * r;
-    assert(total == rs_objects[i]);
-    MMJOIN_ASSIGN_OR_RETURN(
-        rs_segs[i],
-        env->CreateSegment("RS" + std::to_string(i), i,
-                           std::max<uint64_t>(total, 1) * r,
-                           /*materialized=*/false));
-  }
-
-  // Setup: openMap(R_i) + openMap(S_i) + newMap(RS_i + RP_i) + openMap(RS_i)
-  // (the re-attachment for the bucket-processing pass), serialized over D.
-  for (uint32_t i = 0; i < d; ++i) {
-    const uint64_t rs_pages = env->segment(rs_segs[i]).pages();
-    const double per_proc =
-        mc.OpenMapMs(env->segment(workload.r_segs[i]).pages()) +
-        mc.OpenMapMs(env->segment(workload.s_segs[i]).pages()) +
-        mc.NewMapMs(rs_pages + ex.RpPages(i)) + mc.OpenMapMs(rs_pages);
-    ex.ChargeSetupAll(per_proc / d);
-  }
-  ex.MarkPass("setup");
-
-  auto hash_into_rs = [&](uint32_t writer, const rel::RObject& obj) {
-    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-    const uint32_t target = sp.partition;
-    ex.rproc(writer).ChargeCpu(mc.hash_ms);
-    const uint32_t b =
-        GraceBucketOf(sp.index, workload.s_count[target], k_buckets);
-    const uint64_t slot = bucket_cursor[target][b]++;
-    assert(slot < bucket_count[target][b]);
-    void* dst = ex.rproc(writer).Write(
-        rs_segs[target], bucket_offset[target][b] + slot * r, r);
-    std::memcpy(dst, &obj, r);
-    ex.rproc(writer).ChargeCpu(static_cast<double>(r) * mc.mt_pp_ms);
-  };
-
-  // ---- Pass 0: partition R_i; own-partition objects hash into RS_i. ----
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    for (uint64_t k = 0; k < workload.r_count[i]; ++k) {
-      rel::RObject obj;
-      const void* src = rproc.Read(workload.r_segs[i],
-                                   rel::Workload::ROffset(k), sizeof(obj));
-      std::memcpy(&obj, src, sizeof(obj));
-      rproc.ChargeCpu(mc.map_ms);
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        hash_into_rs(i, obj);
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-  }
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
-
-  // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
-  obs::TraceRecorder* trace = env->trace();
-  for (uint32_t t = 1; t < d; ++t) {
-    for (uint32_t i = 0; i < d; ++i) {
-      sim::Process& rproc = ex.rproc(i);
-      const uint32_t j = PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = rproc.clock_ms();
-      for (uint64_t k = 0; k < n; ++k) {
-        rel::RObject obj;
-        const void* src =
-            rproc.Read(ex.rp_seg(i), base + k * sizeof(obj), sizeof(obj));
-        std::memcpy(&obj, src, sizeof(obj));
-        hash_into_rs(i, obj);
-      }
-      rproc.DropSegment(rs_segs[j], /*discard=*/false);
-      if (trace) {
-        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
-                        "phase " + std::to_string(t), "phase", phase_start_ms,
-                        rproc.clock_ms() - phase_start_ms,
-                        {obs::Arg("partner", uint64_t{j}),
-                         obs::Arg("objects", n)});
-      }
-    }
-    if (sync) ex.SyncClocks();
-  }
-
-  for (uint32_t i = 0; i < d; ++i) {
-    ex.rproc(i).DropSegment(ex.rp_seg(i), /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(ex.rp_seg(i)));
-  }
-  ex.MarkPass("pass1");
-
-  // ---- Passes 1+j: per bucket, build the TSIZE-chain table and join. ----
-  struct ChainEntry {
-    uint64_t r_id;
-    uint64_t sptr;
-  };
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    std::vector<std::vector<ChainEntry>> table(plan.tsize);
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      for (auto& chain : table) chain.clear();
-      const uint64_t base = bucket_offset[i][b];
-      const uint64_t count = bucket_count[i][b];
-      const double bucket_start_ms = rproc.clock_ms();
-      for (uint64_t k = 0; k < count; ++k) {
-        rel::RObject obj;
-        const void* src = rproc.Read(rs_segs[i], base + k * r, r);
-        std::memcpy(&obj, src, r);
-        rproc.ChargeCpu(mc.hash_ms);
-        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-        // Identical references collide into the same chain.
-        table[sp.index % plan.tsize].push_back(
-            ChainEntry{obj.id, obj.sptr});
-      }
-      // Process the table in order; each chain's S objects fit in memory,
-      // so every S object is read once per bucket.
-      for (auto& chain : table) {
-        for (const ChainEntry& e : chain) {
-          ex.RequestS(i, e.r_id, e.sptr);
-        }
-      }
-      ex.FlushSRequests(i);
-      if (trace) {
-        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
-                        "bucket " + std::to_string(b), "bucket",
-                        bucket_start_ms, rproc.clock_ms() - bucket_start_ms,
-                        {obs::Arg("objects", count)});
-      }
-    }
-    rproc.DropSegment(rs_segs[i], /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(rs_segs[i]));
-  }
-
-  ex.MarkPass("bucket-join");
-
-  JoinRunResult result = ex.Finish();
-  result.k_buckets = k_buckets;
-  result.tsize = plan.tsize;
-  return result;
+  return exec::Grace(ex, params);
 }
 
 }  // namespace mmjoin::join

@@ -1,11 +1,6 @@
 #include "join/hybrid_hash.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cstring>
-#include <vector>
-
-#include "join/grace.h"
+#include "exec/join_drivers.h"
 
 namespace mmjoin::join {
 
@@ -13,192 +8,7 @@ StatusOr<JoinRunResult> RunHybridHash(sim::SimEnv* env,
                                       const rel::Workload& workload,
                                       const JoinParams& params) {
   JoinExecution ex(env, workload, params);
-  const uint32_t d = ex.D();
-  const auto& mc = env->config();
-  const bool sync = ex.phase_sync(/*algorithm_default=*/true);
-  const uint64_t r = sizeof(rel::RObject);
-
-  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
-
-  std::vector<uint64_t> rs_objects(d, 0);
-  for (uint32_t i = 0; i < d; ++i) {
-    for (uint32_t j = 0; j < d; ++j) rs_objects[i] += workload.counts[j][i];
-  }
-  uint64_t max_rs = 0;
-  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
-  const GracePlan plan = PlanGrace(params.m_rproc_bytes, max_rs, params);
-  const uint32_t k_buckets = plan.k_buckets;
-
-  // Spill-bucket populations. Bucket 0 of RS_i receives only the *remote*
-  // contributions (R_{j,i}, j != i); the owner's bucket-0 objects stay in
-  // memory. Buckets >= 1 receive everything, as in Grace.
-  std::vector<std::vector<uint64_t>> bucket_count(
-      d, std::vector<uint64_t>(k_buckets, 0));
-  std::vector<uint64_t> resident_count(d, 0);
-  for (uint32_t i = 0; i < d; ++i) {
-    const auto* objs = reinterpret_cast<const rel::RObject*>(
-        env->segment(workload.r_segs[i]).raw());
-    for (uint64_t k = 0; k < workload.r_count[i]; ++k) {
-      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
-      const uint32_t b =
-          GraceBucketOf(sp.index, workload.s_count[sp.partition], k_buckets);
-      if (b == 0 && sp.partition == i) {
-        ++resident_count[i];
-      } else {
-        ++bucket_count[sp.partition][b];
-      }
-    }
-  }
-
-  std::vector<sim::SegId> rs_segs(d);
-  std::vector<std::vector<uint64_t>> bucket_offset(
-      d, std::vector<uint64_t>(k_buckets + 1, 0));
-  std::vector<std::vector<uint64_t>> bucket_cursor(
-      d, std::vector<uint64_t>(k_buckets, 0));
-  for (uint32_t i = 0; i < d; ++i) {
-    uint64_t total = 0;
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      bucket_offset[i][b] = total * r;
-      total += bucket_count[i][b];
-    }
-    bucket_offset[i][k_buckets] = total * r;
-    MMJOIN_ASSIGN_OR_RETURN(
-        rs_segs[i],
-        env->CreateSegment("RS" + std::to_string(i), i,
-                           std::max<uint64_t>(total, 1) * r,
-                           /*materialized=*/false));
-  }
-
-  // Setup charges mirror Grace.
-  for (uint32_t i = 0; i < d; ++i) {
-    const uint64_t rs_pages = env->segment(rs_segs[i]).pages();
-    const double per_proc =
-        mc.OpenMapMs(env->segment(workload.r_segs[i]).pages()) +
-        mc.OpenMapMs(env->segment(workload.s_segs[i]).pages()) +
-        mc.NewMapMs(rs_pages + ex.RpPages(i)) + mc.OpenMapMs(rs_pages);
-    ex.ChargeSetupAll(per_proc / d);
-  }
-  ex.MarkPass("setup");
-
-  // The resident tables: per process, (r_id, sptr) entries of its own
-  // bucket-0 objects. Table memory is part of M_Rproc (the Grace K rule
-  // already budgets one bucket plus overhead).
-  struct Entry {
-    uint64_t r_id;
-    uint64_t sptr;
-  };
-  std::vector<std::vector<Entry>> resident(d);
-  for (uint32_t i = 0; i < d; ++i) resident[i].reserve(resident_count[i]);
-
-  auto spill = [&](uint32_t writer, const rel::RObject& obj, uint32_t b) {
-    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-    const uint32_t target = sp.partition;
-    const uint64_t slot = bucket_cursor[target][b]++;
-    assert(slot < bucket_count[target][b]);
-    void* dst = ex.rproc(writer).Write(
-        rs_segs[target], bucket_offset[target][b] + slot * r, r);
-    std::memcpy(dst, &obj, r);
-    ex.rproc(writer).ChargeCpu(static_cast<double>(r) * mc.mt_pp_ms);
-  };
-
-  // ---- Pass 0: partition R_i; own bucket-0 objects stay in memory. ----
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    for (uint64_t k = 0; k < workload.r_count[i]; ++k) {
-      rel::RObject obj;
-      const void* src = rproc.Read(workload.r_segs[i],
-                                   rel::Workload::ROffset(k), sizeof(obj));
-      std::memcpy(&obj, src, sizeof(obj));
-      rproc.ChargeCpu(mc.map_ms);
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        rproc.ChargeCpu(mc.hash_ms);
-        const uint32_t b =
-            GraceBucketOf(sp.index, workload.s_count[i], k_buckets);
-        if (b == 0) {
-          // Resident: one private move into the table, no disk traffic.
-          resident[i].push_back(Entry{obj.id, obj.sptr});
-          rproc.ChargeCpu(static_cast<double>(r) * mc.mt_pp_ms);
-        } else {
-          spill(i, obj, b);
-        }
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-  }
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
-
-  // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j (all spill). ----
-  for (uint32_t t = 1; t < d; ++t) {
-    for (uint32_t i = 0; i < d; ++i) {
-      sim::Process& rproc = ex.rproc(i);
-      const uint32_t j = PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      for (uint64_t k = 0; k < n; ++k) {
-        rel::RObject obj;
-        const void* src =
-            rproc.Read(ex.rp_seg(i), base + k * sizeof(obj), sizeof(obj));
-        std::memcpy(&obj, src, sizeof(obj));
-        rproc.ChargeCpu(mc.hash_ms);
-        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-        spill(i, obj,
-              GraceBucketOf(sp.index, workload.s_count[sp.partition],
-                            k_buckets));
-      }
-      rproc.DropSegment(rs_segs[j], /*discard=*/false);
-    }
-    if (sync) ex.SyncClocks();
-  }
-  for (uint32_t i = 0; i < d; ++i) {
-    ex.rproc(i).DropSegment(ex.rp_seg(i), /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(ex.rp_seg(i)));
-  }
-  ex.MarkPass("pass1");
-
-  // ---- Join: resident table first, then the spilled buckets. ----
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    // Resident bucket 0: already in memory, join directly (S_i bucket-0
-    // range is read here, sequentially by chain order).
-    std::vector<std::vector<Entry>> table(plan.tsize);
-    for (const Entry& e : resident[i]) {
-      table[rel::SPtr::Unpack(e.sptr).index % plan.tsize].push_back(e);
-    }
-    for (const auto& chain : table) {
-      for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
-    }
-    ex.FlushSRequests(i);
-
-    // Spilled buckets, Grace-style.
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      if (bucket_count[i][b] == 0) continue;
-      for (auto& chain : table) chain.clear();
-      const uint64_t base = bucket_offset[i][b];
-      for (uint64_t k = 0; k < bucket_count[i][b]; ++k) {
-        rel::RObject obj;
-        const void* src = rproc.Read(rs_segs[i], base + k * r, r);
-        std::memcpy(&obj, src, r);
-        rproc.ChargeCpu(mc.hash_ms);
-        table[rel::SPtr::Unpack(obj.sptr).index % plan.tsize].push_back(
-            Entry{obj.id, obj.sptr});
-      }
-      for (const auto& chain : table) {
-        for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
-      }
-      ex.FlushSRequests(i);
-    }
-    rproc.DropSegment(rs_segs[i], /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(rs_segs[i]));
-  }
-  ex.MarkPass("bucket-join");
-
-  JoinRunResult result = ex.Finish();
-  result.k_buckets = k_buckets;
-  result.tsize = plan.tsize;
-  return result;
+  return exec::HybridHash(ex, params);
 }
 
 }  // namespace mmjoin::join

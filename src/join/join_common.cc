@@ -66,33 +66,26 @@ JoinExecution::~JoinExecution() {
 }
 
 Status JoinExecution::CreateRpSegments() {
-  rp_sub_offset_.assign(d_, std::vector<uint64_t>(d_ + 1, 0));
-  rp_cursor_.assign(d_, std::vector<uint64_t>(d_, 0));
+  rp_layout_.Init(workload_->counts);
   for (uint32_t i = 0; i < d_; ++i) {
-    uint64_t total = 0;
-    for (uint32_t j = 0; j < d_; ++j) {
-      rp_sub_offset_[i][j] = total * sizeof(rel::RObject);
-      if (j != i) total += workload_->counts[i][j];
-    }
-    rp_sub_offset_[i][d_] = total * sizeof(rel::RObject);
-    // An RP can be empty (D = 1, or pathological skew); allocate one object
-    // so the segment machinery has something to map.
-    const uint64_t bytes =
-        std::max<uint64_t>(total, 1) * sizeof(rel::RObject);
+    // An RP can be empty (D = 1, or pathological skew); RpLayout keeps one
+    // object of width so the segment machinery has something to map.
     MMJOIN_ASSIGN_OR_RETURN(
-        rp_segs_[i], env_->CreateSegment("RP" + std::to_string(i), i, bytes,
-                                         /*materialized=*/false));
+        rp_segs_[i],
+        env_->CreateSegment("RP" + std::to_string(i), i,
+                            rp_layout_.TotalBytes(i),
+                            /*materialized=*/false));
   }
   return Status::OK();
 }
 
 uint64_t JoinExecution::RpSubOffset(uint32_t i, uint32_t j) const {
-  return rp_sub_offset_[i][j];
+  return rp_layout_.SubOffset(i, j);
 }
 
 uint64_t JoinExecution::RpSubCount(uint32_t i, uint32_t j) const {
   assert(j != i);
-  return workload_->counts[i][j];
+  return rp_layout_.SubCount(i, j);
 }
 
 uint64_t JoinExecution::RpPages(uint32_t i) const {
@@ -102,9 +95,8 @@ uint64_t JoinExecution::RpPages(uint32_t i) const {
 void JoinExecution::AppendToRp(uint32_t i, uint32_t j,
                                const rel::RObject& obj) {
   assert(j != i);
-  const uint64_t slot = rp_cursor_[i][j]++;
-  assert(slot < workload_->counts[i][j]);
-  const uint64_t off = rp_sub_offset_[i][j] + slot * sizeof(rel::RObject);
+  const uint64_t off = rp_layout_.NextSlot(i, j);
+  assert(off + sizeof(rel::RObject) <= rp_layout_.SubOffset(i, j + 1));
   void* dst = rprocs_[i]->Write(rp_segs_[i], off, sizeof(rel::RObject));
   std::memcpy(dst, &obj, sizeof(rel::RObject));
   rprocs_[i]->ChargeCpu(sizeof(rel::RObject) * env_->config().mt_pp_ms);
@@ -200,6 +192,7 @@ JoinRunResult JoinExecution::Finish() {
   }
   r.setup_ms = setup_ms_;
   r.passes = passes_;
+  r.threads_used = d_;  // one virtual process per partition
   r.verified = r.output_count == workload_->expected_output_count &&
                r.output_checksum == workload_->expected_checksum;
   return r;

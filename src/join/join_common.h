@@ -9,8 +9,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/backend.h"
 #include "obs/metrics.h"
 #include "rel/relation.h"
 #include "sim/shared_buffer.h"
@@ -80,6 +82,9 @@ struct JoinRunResult {
   double setup_ms = 0;  ///< mapping setup portion (per Rproc)
   uint64_t faults = 0;       ///< page faults, summed over all processes
   uint64_t write_backs = 0;  ///< dirty write-backs, summed over all processes
+  /// Workers that executed the partitions: D on the simulator (one virtual
+  /// process per partition), the bounded thread count on the real backend.
+  uint32_t threads_used = 0;
 
   // Echoes of the derived algorithm parameters, for reporting.
   uint64_t irun = 0, nrun_abl = 0, nrun_last = 0, npass = 0, lrun = 0;
@@ -101,9 +106,15 @@ inline uint32_t PhaseOffset(uint32_t i, uint32_t t, uint32_t d) {
 
 /// Common execution state: the Rproc_i/Sproc_i process pairs, the RP_i
 /// temporary areas with their exact sub-partition layout, and per-Rproc
-/// join-output tallies. The three algorithm drivers build on this.
+/// join-output tallies. This is the *simulated* execution backend: it
+/// models the exec::Backend concept (exec/backend.h), so the unified
+/// drivers in exec/join_drivers.h run on it directly, with every partition
+/// executed serially in workload order against virtual clocks.
 class JoinExecution {
  public:
+  /// Backend segment handle (exec::Backend requirement).
+  using Seg = sim::SegId;
+
   JoinExecution(sim::SimEnv* env, const rel::Workload& workload,
                 const JoinParams& params);
   ~JoinExecution();
@@ -112,9 +123,72 @@ class JoinExecution {
   sim::SimEnv* env() { return env_; }
   const rel::Workload& workload() const { return *workload_; }
   const JoinParams& params() const { return params_; }
+  const sim::MachineConfig& mc() const { return env_->config(); }
 
   sim::Process& rproc(uint32_t i) { return *rprocs_[i]; }
   sim::Process& sproc(uint32_t i) { return *sprocs_[i]; }
+
+  // ---- Backend workload view ----------------------------------------------
+  sim::SegId r_seg(uint32_t i) const { return workload_->r_segs[i]; }
+  sim::SegId s_seg(uint32_t i) const { return workload_->s_segs[i]; }
+  uint64_t r_count(uint32_t i) const { return workload_->r_count[i]; }
+  uint64_t s_count(uint32_t i) const { return workload_->s_count[i]; }
+  /// |R_{i,j}|: R_i objects whose pointer targets S_j.
+  uint64_t SubCount(uint32_t i, uint32_t j) const {
+    return workload_->counts[i][j];
+  }
+  /// Uncharged metadata scan of R_i (planning only, never the join path).
+  const rel::RObject* RawR(uint32_t i) const {
+    return reinterpret_cast<const rel::RObject*>(
+        env_->segment(workload_->r_segs[i]).raw());
+  }
+
+  // ---- Backend segment operations -----------------------------------------
+  /// Creates a newMap-style (zero-fill) temporary of `bytes` on disk `i`.
+  StatusOr<sim::SegId> CreateSegment(const std::string& name, uint32_t i,
+                                     uint64_t bytes) {
+    return env_->CreateSegment(name, i, bytes, /*materialized=*/false);
+  }
+  Status DeleteSegment(sim::SegId seg) { return env_->DeleteSegment(seg); }
+  uint64_t SegPages(sim::SegId seg) const {
+    return env_->segment(seg).pages();
+  }
+
+  // ---- Backend per-partition process operations ---------------------------
+  const void* Read(uint32_t i, sim::SegId seg, uint64_t offset,
+                   uint64_t len) {
+    return rprocs_[i]->Read(seg, offset, len);
+  }
+  void* Write(uint32_t i, sim::SegId seg, uint64_t offset, uint64_t len) {
+    return rprocs_[i]->Write(seg, offset, len);
+  }
+  void ChargeCpu(uint32_t i, double ms) { rprocs_[i]->ChargeCpu(ms); }
+  void ChargeSetup(uint32_t i, double ms) { rprocs_[i]->ChargeSetup(ms); }
+  void DropSegment(uint32_t i, sim::SegId seg, bool discard) {
+    rprocs_[i]->DropSegment(seg, discard);
+  }
+
+  // ---- Backend execution structure ----------------------------------------
+  /// Runs fn(i) for every partition, serially in workload order: the
+  /// simulated processes interleave through virtual clocks, not real
+  /// concurrency, and serial order keeps cache/G-buffer state deterministic.
+  template <typename Fn>
+  void ForEachPartition(Fn&& fn) {
+    for (uint32_t i = 0; i < d_; ++i) fn(i);
+  }
+
+  // ---- Backend observability ----------------------------------------------
+  bool tracing() const { return env_->trace() != nullptr; }
+  double clock_ms(uint32_t i) const { return rprocs_[i]->clock_ms(); }
+  /// Emits a complete span [start_ms, now) on Rproc_i's trace track.
+  void Span(uint32_t i, const std::string& name, const std::string& cat,
+            double start_ms, std::vector<obs::TraceArg> args = {}) {
+    if (obs::TraceRecorder* trace = env_->trace()) {
+      trace->Complete(rprocs_[i]->trace_pid(), rprocs_[i]->trace_tid(), name,
+                      cat, start_ms, rprocs_[i]->clock_ms() - start_ms,
+                      std::move(args));
+    }
+  }
 
   /// Creates the RP_i temporaries (exactly sized from the workload's
   /// sub-partition counts) on each disk.
@@ -171,8 +245,8 @@ class JoinExecution {
   std::vector<std::unique_ptr<sim::Process>> sprocs_;
 
   std::vector<sim::SegId> rp_segs_;
-  std::vector<std::vector<uint64_t>> rp_sub_offset_;  // [i][j] bytes
-  std::vector<std::vector<uint64_t>> rp_cursor_;      // [i][j] objects
+  exec::RpLayout rp_layout_;  // exact RP_{i,j} layout, shared with the
+                              // real backend (exec/backend.h)
 
   struct PendingS {
     uint64_t r_id;

@@ -1,89 +1,18 @@
 #include "join/nested_loops.h"
 
-#include <cstring>
+#include "exec/join_drivers.h"
 
 namespace mmjoin::join {
+
+// The simulated execution backend must satisfy the concept the unified
+// drivers are written against.
+static_assert(exec::Backend<JoinExecution>);
 
 StatusOr<JoinRunResult> RunNestedLoops(sim::SimEnv* env,
                                        const rel::Workload& workload,
                                        const JoinParams& params) {
   JoinExecution ex(env, workload, params);
-  const uint32_t d = ex.D();
-  const auto& mc = env->config();
-  const bool sync = ex.phase_sync(/*algorithm_default=*/false);
-
-  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
-
-  // Setup: openMap(P_Ri) + openMap(P_Si) + newMap(P_RPi), serialized over D.
-  for (uint32_t i = 0; i < d; ++i) {
-    const double per_proc =
-        mc.OpenMapMs(env->segment(workload.r_segs[i]).pages()) +
-        mc.OpenMapMs(env->segment(workload.s_segs[i]).pages()) +
-        mc.NewMapMs(ex.RpPages(i));
-    ex.ChargeSetupAll(per_proc / d);  // ChargeSetupAll re-multiplies by D
-  }
-  ex.MarkPass("setup");
-
-  // ---- Pass 0: partition R_i; join the R_{i,i} objects immediately. ----
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    const sim::SegId r_seg = workload.r_segs[i];
-    const uint64_t n = workload.r_count[i];
-    for (uint64_t k = 0; k < n; ++k) {
-      rel::RObject obj;
-      const void* src =
-          rproc.Read(r_seg, rel::Workload::ROffset(k), sizeof(obj));
-      std::memcpy(&obj, src, sizeof(obj));
-      rproc.ChargeCpu(mc.map_ms);  // map the join attribute to its partition
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        ex.RequestS(i, obj.id, obj.sptr);
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-    ex.FlushSRequests(i);
-  }
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
-
-  // ---- Pass 1: D-1 staggered phases over the RP_{i,j}. ----
-  obs::TraceRecorder* trace = env->trace();
-  for (uint32_t t = 1; t < d; ++t) {
-    for (uint32_t i = 0; i < d; ++i) {
-      sim::Process& rproc = ex.rproc(i);
-      const uint32_t j = PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = rproc.clock_ms();
-      for (uint64_t k = 0; k < n; ++k) {
-        rel::RObject obj;
-        const void* src = rproc.Read(
-            ex.rp_seg(i), base + k * sizeof(obj), sizeof(obj));
-        std::memcpy(&obj, src, sizeof(obj));
-        ex.RequestS(i, obj.id, obj.sptr);
-      }
-      ex.FlushSRequests(i);
-      if (trace) {
-        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
-                        "phase " + std::to_string(t), "phase", phase_start_ms,
-                        rproc.clock_ms() - phase_start_ms,
-                        {obs::Arg("partner", uint64_t{j}),
-                         obs::Arg("objects", n)});
-      }
-    }
-    if (sync) ex.SyncClocks();
-  }
-
-  ex.MarkPass("pass1");
-
-  // The RP temporaries are scratch: deleteMap discards their dirty pages.
-  for (uint32_t i = 0; i < d; ++i) {
-    ex.rproc(i).DropSegment(ex.rp_seg(i), /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(ex.rp_seg(i)));
-  }
-
-  return ex.Finish();
+  return exec::NestedLoops(ex, params);
 }
 
 }  // namespace mmjoin::join

@@ -1,26 +1,14 @@
 #include "join/sort_merge.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstring>
-#include <vector>
 
-#include "heap/heapsort.h"
-#include "heap/merge_heap.h"
+#include "exec/join_drivers.h"
 
 namespace mmjoin::join {
 
 namespace {
 
 uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
-
-/// Charges counted heap primitives at the machine's per-primitive costs.
-void ChargeHeapCost(sim::Process* proc, const sim::MachineConfig& mc,
-                    const HeapCost& cost) {
-  proc->ChargeCpu(static_cast<double>(cost.compares) * mc.compare_ms +
-                  static_cast<double>(cost.swaps) * mc.swap_ms +
-                  static_cast<double>(cost.transfers) * mc.transfer_ms);
-}
 
 }  // namespace
 
@@ -57,281 +45,7 @@ StatusOr<JoinRunResult> RunSortMerge(sim::SimEnv* env,
                                      const rel::Workload& workload,
                                      const JoinParams& params) {
   JoinExecution ex(env, workload, params);
-  const uint32_t d = ex.D();
-  const auto& mc = env->config();
-  const bool sync = ex.phase_sync(/*algorithm_default=*/true);
-  const uint64_t r = sizeof(rel::RObject);
-
-  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
-
-  // |RS_i| = sum_j |R_{j,i}|: everything pointing into S_i.
-  std::vector<uint64_t> rs_objects(d, 0);
-  for (uint32_t i = 0; i < d; ++i) {
-    for (uint32_t j = 0; j < d; ++j) rs_objects[i] += workload.counts[j][i];
-  }
-
-  // RS_i and Merge_i live on disk i after R_i, S_i, RP_i.
-  std::vector<sim::SegId> rs_segs(d), merge_segs(d);
-  for (uint32_t i = 0; i < d; ++i) {
-    const uint64_t bytes = std::max<uint64_t>(rs_objects[i], 1) * r;
-    MMJOIN_ASSIGN_OR_RETURN(
-        rs_segs[i], env->CreateSegment("RS" + std::to_string(i), i, bytes,
-                                       /*materialized=*/false));
-    MMJOIN_ASSIGN_OR_RETURN(
-        merge_segs[i],
-        env->CreateSegment("Merge" + std::to_string(i), i, bytes,
-                           /*materialized=*/false));
-  }
-
-  // Setup: openMap(R_i) + openMap(S_i) + newMap(RS_i) + newMap(RP_i)
-  //        + newMap(Merge_i), serialized over D.
-  for (uint32_t i = 0; i < d; ++i) {
-    const double per_proc =
-        mc.OpenMapMs(env->segment(workload.r_segs[i]).pages()) +
-        mc.OpenMapMs(env->segment(workload.s_segs[i]).pages()) +
-        mc.NewMapMs(env->segment(rs_segs[i]).pages()) +
-        mc.NewMapMs(ex.RpPages(i)) +
-        mc.NewMapMs(env->segment(merge_segs[i]).pages());
-    ex.ChargeSetupAll(per_proc / d);
-  }
-  ex.MarkPass("setup");
-
-  std::vector<uint64_t> rs_cursor(d, 0);
-  auto append_rs = [&](uint32_t writer, uint32_t target,
-                       const rel::RObject& obj) {
-    const uint64_t slot = rs_cursor[target]++;
-    assert(slot < rs_objects[target]);
-    void* dst =
-        ex.rproc(writer).Write(rs_segs[target], slot * r, r);
-    std::memcpy(dst, &obj, r);
-    ex.rproc(writer).ChargeCpu(static_cast<double>(r) * mc.mt_pp_ms);
-  };
-
-  // ---- Pass 0: partition R_i into RS_i (own pointers) and RP_{i,j}. ----
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    for (uint64_t k = 0; k < workload.r_count[i]; ++k) {
-      rel::RObject obj;
-      const void* src = rproc.Read(workload.r_segs[i],
-                                   rel::Workload::ROffset(k), sizeof(obj));
-      std::memcpy(&obj, src, sizeof(obj));
-      rproc.ChargeCpu(mc.map_ms);
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        append_rs(i, i, obj);
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-  }
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
-
-  // ---- Pass 1: staggered phases move RP_{i,j} into RS_j. ----
-  obs::TraceRecorder* trace = env->trace();
-  for (uint32_t t = 1; t < d; ++t) {
-    for (uint32_t i = 0; i < d; ++i) {
-      sim::Process& rproc = ex.rproc(i);
-      const uint32_t j = PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = rproc.clock_ms();
-      for (uint64_t k = 0; k < n; ++k) {
-        rel::RObject obj;
-        const void* src =
-            rproc.Read(ex.rp_seg(i), base + k * sizeof(obj), sizeof(obj));
-        std::memcpy(&obj, src, sizeof(obj));
-        append_rs(i, j, obj);
-      }
-      // Hand the written RS_j pages back to their owner's disk image.
-      rproc.DropSegment(rs_segs[j], /*discard=*/false);
-      if (trace) {
-        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
-                        "phase " + std::to_string(t), "phase", phase_start_ms,
-                        rproc.clock_ms() - phase_start_ms,
-                        {obs::Arg("partner", uint64_t{j}),
-                         obs::Arg("objects", n)});
-      }
-    }
-    if (sync) ex.SyncClocks();
-  }
-
-  // RP temporaries are finished.
-  for (uint32_t i = 0; i < d; ++i) {
-    ex.rproc(i).DropSegment(ex.rp_seg(i), /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(ex.rp_seg(i)));
-  }
-  ex.MarkPass("pass1");
-
-  // ---- Pass 2: heapsort runs of IRUN objects in place. ----
-  uint64_t max_rs = 0;
-  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
-  const SortMergePlan overall = PlanSortMerge(
-      params.m_rproc_bytes, mc.page_size, max_rs, params);
-
-  std::vector<sim::SegId> src_seg = rs_segs;
-  std::vector<sim::SegId> dst_seg = merge_segs;
-  std::vector<uint64_t> npass_per(d, 0);
-
-  for (uint32_t i = 0; i < d; ++i) {
-    sim::Process& rproc = ex.rproc(i);
-    const uint64_t n = rs_objects[i];
-    const SortMergePlan plan =
-        PlanSortMerge(params.m_rproc_bytes, mc.page_size, n, params);
-
-    // Sort each run: read in, heapsort an array of pointers, permute the
-    // objects in place, write back.
-    const double sort_start_ms = rproc.clock_ms();
-    std::vector<rel::RObject> buffer;
-    for (uint64_t start = 0; start < n; start += plan.irun) {
-      const uint64_t len = std::min<uint64_t>(plan.irun, n - start);
-      buffer.resize(len);
-      for (uint64_t k = 0; k < len; ++k) {
-        const void* src =
-            rproc.Read(src_seg[i], (start + k) * r, r);
-        std::memcpy(&buffer[k], src, r);
-      }
-      std::vector<uint64_t> idx(len);
-      for (uint64_t k = 0; k < len; ++k) idx[k] = k;
-      HeapCost cost;
-      HeapSort(
-          &idx,
-          [&buffer](uint64_t a, uint64_t b) {
-            return buffer[a].sptr < buffer[b].sptr;
-          },
-          &cost);
-      ChargeHeapCost(&rproc, mc, cost);
-      // Move the objects into sorted order (one MTpp move per object).
-      for (uint64_t k = 0; k < len; ++k) {
-        void* dst = rproc.Write(src_seg[i], (start + k) * r, r);
-        std::memcpy(dst, &buffer[idx[k]], r);
-      }
-      rproc.ChargeCpu(static_cast<double>(len * r) * mc.mt_pp_ms);
-    }
-
-    // ---- Merge passes (all but the last write full records back). ----
-    uint64_t run_len = plan.irun;
-    uint64_t runs = std::max<uint64_t>(1, CeilDiv(n, plan.irun));
-    uint64_t pass_count = 0;
-
-    if (trace) {
-      trace->Complete(rproc.trace_pid(), rproc.trace_tid(), "sort-runs",
-                      "heap", sort_start_ms, rproc.clock_ms() - sort_start_ms,
-                      {obs::Arg("runs", runs), obs::Arg("irun", plan.irun)});
-    }
-
-    auto merge_group = [&](uint64_t first_run, uint64_t n_runs,
-                           uint64_t out_start, bool last_pass) {
-      // Cursors are object indices into the source segment.
-      std::vector<uint64_t> cur(n_runs), end(n_runs);
-      MergeHeap heap(n_runs);
-      for (uint64_t g = 0; g < n_runs; ++g) {
-        cur[g] = (first_run + g) * run_len;
-        end[g] = std::min(n, cur[g] + run_len);
-        if (cur[g] < end[g]) {
-          const auto* obj = static_cast<const rel::RObject*>(
-              rproc.Read(src_seg[i], cur[g] * r, r));
-          heap.Insert(MergeEntry{obj->sptr, static_cast<uint32_t>(g)});
-        }
-      }
-      uint64_t out = out_start;
-      while (!heap.empty()) {
-        const uint32_t g = heap.Min().run;
-        // Re-touch the popped object's page: with scarce memory it may have
-        // been evicted since its key entered the heap (the premature-
-        // replacement anomaly of section 6.2).
-        rel::RObject obj;
-        const void* src = rproc.Read(src_seg[i], cur[g] * r, r);
-        std::memcpy(&obj, src, r);
-        ++cur[g];
-        if (cur[g] < end[g]) {
-          const auto* next = static_cast<const rel::RObject*>(
-              rproc.Read(src_seg[i], cur[g] * r, r));
-          heap.DeleteInsert(MergeEntry{next->sptr, g});
-        } else {
-          heap.DeleteMin();
-        }
-        if (last_pass) {
-          // Join instead of writing: the merged stream is in S-pointer
-          // order, so S_i is read sequentially through the G buffer.
-          ex.RequestS(i, obj.id, obj.sptr);
-        } else {
-          void* dst = rproc.Write(dst_seg[i], out * r, r);
-          std::memcpy(dst, &obj, r);
-          rproc.ChargeCpu(static_cast<double>(r) * mc.mt_pp_ms);
-        }
-        ++out;
-      }
-      ChargeHeapCost(&rproc, mc, heap.cost());
-      return out;
-    };
-
-    while (runs > plan.nrun_last) {
-      const double merge_start_ms = rproc.clock_ms();
-      const uint64_t groups = CeilDiv(runs, plan.nrun_abl);
-      uint64_t out = 0;
-      for (uint64_t g = 0; g < groups; ++g) {
-        const uint64_t first_run = g * plan.nrun_abl;
-        const uint64_t n_runs =
-            std::min<uint64_t>(plan.nrun_abl, runs - first_run);
-        out = merge_group(first_run, n_runs, out, /*last_pass=*/false);
-      }
-      ++pass_count;
-      // Swap source and destination areas: the old source is destroyed and
-      // a fresh area created (deleteMap + newMap per the paper).
-      rproc.DropSegment(src_seg[i], /*discard=*/true);
-      const uint64_t pages = env->segment(src_seg[i]).pages();
-      MMJOIN_RETURN_NOT_OK(env->DeleteSegment(src_seg[i]));
-      rproc.ChargeSetup(mc.DeleteMapMs(pages) + mc.NewMapMs(pages));
-      MMJOIN_ASSIGN_OR_RETURN(
-          sim::SegId fresh,
-          env->CreateSegment(
-              "Swap" + std::to_string(i) + "p" + std::to_string(pass_count),
-              i, std::max<uint64_t>(n, 1) * r, /*materialized=*/false));
-      src_seg[i] = dst_seg[i];  // the merged output becomes the next source
-      dst_seg[i] = fresh;
-      run_len *= plan.nrun_abl;
-      runs = CeilDiv(runs, plan.nrun_abl);
-      if (trace) {
-        trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
-                        "merge-pass " + std::to_string(pass_count), "heap",
-                        merge_start_ms, rproc.clock_ms() - merge_start_ms,
-                        {obs::Arg("fan_in", plan.nrun_abl),
-                         obs::Arg("runs_left", runs)});
-      }
-    }
-
-    // ---- Final pass: merge the remaining runs while scanning S_i. ----
-    const double final_start_ms = rproc.clock_ms();
-    merge_group(0, runs, 0, /*last_pass=*/true);
-    ex.FlushSRequests(i);
-    ++pass_count;
-    npass_per[i] = pass_count;
-    if (trace) {
-      trace->Complete(rproc.trace_pid(), rproc.trace_tid(),
-                      "final-merge-join", "heap", final_start_ms,
-                      rproc.clock_ms() - final_start_ms,
-                      {obs::Arg("runs", runs)});
-    }
-  }
-
-  ex.MarkPass("sort+merge+join");
-
-  // Drop remaining temporaries.
-  for (uint32_t i = 0; i < d; ++i) {
-    ex.rproc(i).DropSegment(src_seg[i], /*discard=*/true);
-    ex.rproc(i).DropSegment(dst_seg[i], /*discard=*/true);
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(src_seg[i]));
-    MMJOIN_RETURN_NOT_OK(env->DeleteSegment(dst_seg[i]));
-  }
-
-  JoinRunResult result = ex.Finish();
-  result.irun = overall.irun;
-  result.nrun_abl = overall.nrun_abl;
-  result.nrun_last = overall.nrun_last;
-  result.lrun = overall.lrun;
-  result.npass = *std::max_element(npass_per.begin(), npass_per.end());
-  return result;
+  return exec::SortMerge(ex, params);
 }
 
 }  // namespace mmjoin::join

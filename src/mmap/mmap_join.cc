@@ -1,185 +1,78 @@
 #include "mmap/mmap_join.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cstring>
-#include <functional>
-#include <thread>
+#include <utility>
 
-#include "join/grace.h"  // GraceBucketOf: the shared monotone coarse hash
-#include "join/join_common.h"  // PhaseOffset
+#include "exec/join_drivers.h"
+#include "exec/real_backend.h"
 
 namespace mmjoin::mm {
 
 namespace {
 
-/// A pending reference: who asked, and where it points.
-struct Ref {
-  uint64_t r_id;
-  uint64_t sptr;
-};
-
-double NowMs() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// Runs fn(i) for every partition, on one thread each when parallel.
-void ForEachPartition(uint32_t d, bool parallel,
-                      const std::function<void(uint32_t)>& fn) {
-  if (!parallel || d == 1) {
-    for (uint32_t i = 0; i < d; ++i) fn(i);
-    return;
+join::JoinParams ToJoinParams(const MmJoinOptions& options) {
+  join::JoinParams params;
+  if (options.m_rproc_bytes) {
+    params.m_rproc_bytes = options.m_rproc_bytes;
+    params.m_sproc_bytes = options.m_rproc_bytes;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(d);
-  for (uint32_t i = 0; i < d; ++i) threads.emplace_back(fn, i);
-  for (auto& t : threads) t.join();
+  params.k_buckets = options.k_buckets;
+  params.tsize = options.tsize;
+  return params;
 }
 
-/// Dereferences one S-pointer against the mapped S partitions and folds
-/// the joined tuple into the caller's tallies.
-inline void Join(const MmWorkload& w, const Ref& ref, uint64_t* count,
-                 uint64_t* digest) {
-  const rel::SPtr sp = rel::SPtr::Unpack(ref.sptr);
-  const rel::SObject& s = w.SObjects(sp.partition)[sp.index];
-  *digest += rel::OutputDigest(ref.r_id, s.key);
-  ++*count;
+exec::RealBackendOptions ToBackendOptions(const MmJoinOptions& options) {
+  exec::RealBackendOptions bo;
+  bo.parallel = options.parallel;
+  bo.max_threads = options.max_threads;
+  bo.trace = options.trace;
+  return bo;
 }
 
-MmJoinResult Finish(const MmWorkload& w, double t0, uint32_t threads,
-                    const std::vector<uint64_t>& counts,
-                    const std::vector<uint64_t>& digests) {
+MmJoinResult ToResult(join::JoinRunResult run) {
   MmJoinResult r;
-  r.wall_ms = NowMs() - t0;
-  r.threads_used = threads;
-  for (uint64_t c : counts) r.output_count += c;
-  for (uint64_t x : digests) r.output_checksum += x;
-  r.verified = r.output_count == w.expected_output_count &&
-               r.output_checksum == w.expected_checksum;
+  r.wall_ms = run.elapsed_ms;
+  r.output_count = run.output_count;
+  r.output_checksum = run.output_checksum;
+  r.verified = run.verified;
+  r.threads_used = run.threads_used;
+  r.run = std::move(run);
   return r;
 }
 
-/// Pass 0/1 of sort-merge and Grace: repartition every R object into
-/// RS_target. Writers use disjoint preallocated slices of RS_j (the offset
-/// is the prefix sum of counts[*][j]), so no synchronization is needed —
-/// the mmap analogue of the staggered phases eliminating contention.
-std::vector<std::vector<Ref>> Repartition(const MmWorkload& w,
-                                          bool parallel) {
-  const uint32_t d = w.config.num_partitions;
-  std::vector<std::vector<Ref>> rs(d);
-  std::vector<std::vector<uint64_t>> offset(d,
-                                            std::vector<uint64_t>(d, 0));
-  for (uint32_t j = 0; j < d; ++j) {
-    uint64_t total = 0;
-    for (uint32_t i = 0; i < d; ++i) {
-      offset[i][j] = total;
-      total += w.counts[i][j];
-    }
-    rs[j].resize(total);
+template <StatusOr<join::JoinRunResult> (*Driver)(exec::RealBackend&,
+                                                  const join::JoinParams&)>
+StatusOr<MmJoinResult> Run(const MmWorkload& workload,
+                           const MmJoinOptions& options) {
+  const uint32_t d = workload.config.num_partitions;
+  if (workload.r_segs.size() != d || workload.s_segs.size() != d) {
+    return Status::InvalidArgument("bad workload");
   }
-  ForEachPartition(d, parallel, [&](uint32_t i) {
-    std::vector<uint64_t> cursor(d, 0);
-    const rel::RObject* objs = w.RObjects(i);
-    for (uint64_t k = 0; k < w.r_count[i]; ++k) {
-      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
-      rs[sp.partition][offset[i][sp.partition] + cursor[sp.partition]++] =
-          Ref{objs[k].id, objs[k].sptr};
-    }
-  });
-  return rs;
+  const join::JoinParams params = ToJoinParams(options);
+  exec::RealBackend backend(workload, params, ToBackendOptions(options));
+  MMJOIN_ASSIGN_OR_RETURN(join::JoinRunResult run, Driver(backend, params));
+  return ToResult(std::move(run));
 }
 
 }  // namespace
 
-StatusOr<MmJoinResult> MmNestedLoops(const MmWorkload& w,
+StatusOr<MmJoinResult> MmNestedLoops(const MmWorkload& workload,
                                      const MmJoinOptions& options) {
-  const uint32_t d = w.config.num_partitions;
-  if (w.r_segs.size() != d) return Status::InvalidArgument("bad workload");
-  const double t0 = NowMs();
-  std::vector<uint64_t> counts(d, 0), digests(d, 0);
-
-  ForEachPartition(d, options.parallel, [&](uint32_t i) {
-    // Pass 0: own-partition pointers join immediately; the rest are
-    // grouped per target partition (the RP_{i,j} sub-partitions).
-    std::vector<std::vector<Ref>> rp(d);
-    const rel::RObject* objs = w.RObjects(i);
-    for (uint64_t k = 0; k < w.r_count[i]; ++k) {
-      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
-      if (sp.partition == i) {
-        Join(w, Ref{objs[k].id, objs[k].sptr}, &counts[i], &digests[i]);
-      } else {
-        rp[sp.partition].push_back(Ref{objs[k].id, objs[k].sptr});
-      }
-    }
-    // Pass 1: staggered phases — in phase t this worker dereferences only
-    // partition offset(i, t), so no two workers hammer one partition.
-    for (uint32_t t = 1; t < d; ++t) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      for (const Ref& ref : rp[j]) Join(w, ref, &counts[i], &digests[i]);
-    }
-  });
-  return Finish(w, t0, options.parallel ? d : 1, counts, digests);
+  return Run<&exec::NestedLoops<exec::RealBackend>>(workload, options);
 }
 
-StatusOr<MmJoinResult> MmSortMerge(const MmWorkload& w,
+StatusOr<MmJoinResult> MmSortMerge(const MmWorkload& workload,
                                    const MmJoinOptions& options) {
-  const uint32_t d = w.config.num_partitions;
-  if (w.r_segs.size() != d) return Status::InvalidArgument("bad workload");
-  const double t0 = NowMs();
-  std::vector<uint64_t> counts(d, 0), digests(d, 0);
-
-  std::vector<std::vector<Ref>> rs = Repartition(w, options.parallel);
-  ForEachPartition(d, options.parallel, [&](uint32_t i) {
-    // Sort RS_i by the S-pointer: S_i is then swept sequentially once.
-    std::sort(rs[i].begin(), rs[i].end(),
-              [](const Ref& a, const Ref& b) { return a.sptr < b.sptr; });
-    for (const Ref& ref : rs[i]) Join(w, ref, &counts[i], &digests[i]);
-  });
-  return Finish(w, t0, options.parallel ? d : 1, counts, digests);
+  return Run<&exec::SortMerge<exec::RealBackend>>(workload, options);
 }
 
-StatusOr<MmJoinResult> MmGrace(const MmWorkload& w,
+StatusOr<MmJoinResult> MmGrace(const MmWorkload& workload,
                                const MmJoinOptions& options) {
-  const uint32_t d = w.config.num_partitions;
-  if (w.r_segs.size() != d) return Status::InvalidArgument("bad workload");
-  const double t0 = NowMs();
-  std::vector<uint64_t> counts(d, 0), digests(d, 0);
+  return Run<&exec::Grace<exec::RealBackend>>(workload, options);
+}
 
-  const uint32_t k_buckets = options.k_buckets ? options.k_buckets : 64;
-  std::vector<std::vector<Ref>> rs = Repartition(w, options.parallel);
-
-  ForEachPartition(d, options.parallel, [&](uint32_t i) {
-    // Split RS_i into K monotone buckets (bucket b's pointers all precede
-    // bucket b+1's), then join bucket by bucket through a chained table.
-    std::vector<std::vector<Ref>> buckets(k_buckets);
-    const uint64_t s_count = w.s_count[i];
-    for (const Ref& ref : rs[i]) {
-      const rel::SPtr sp = rel::SPtr::Unpack(ref.sptr);
-      buckets[join::GraceBucketOf(sp.index, s_count, k_buckets)].push_back(
-          ref);
-    }
-    uint32_t tsize = options.tsize;
-    if (tsize == 0) {
-      const uint64_t per_bucket =
-          std::max<uint64_t>(1, rs[i].size() / k_buckets);
-      tsize = 64;
-      while (tsize < per_bucket / 4) tsize <<= 1;
-    }
-    std::vector<std::vector<Ref>> table(tsize);
-    for (const auto& bucket : buckets) {
-      for (auto& chain : table) chain.clear();
-      for (const Ref& ref : bucket) {
-        const rel::SPtr sp = rel::SPtr::Unpack(ref.sptr);
-        table[sp.index % tsize].push_back(ref);
-      }
-      for (const auto& chain : table) {
-        for (const Ref& ref : chain) Join(w, ref, &counts[i], &digests[i]);
-      }
-    }
-  });
-  return Finish(w, t0, options.parallel ? d : 1, counts, digests);
+StatusOr<MmJoinResult> MmHybridHash(const MmWorkload& workload,
+                                    const MmJoinOptions& options) {
+  return Run<&exec::HybridHash<exec::RealBackend>>(workload, options);
 }
 
 }  // namespace mmjoin::mm

@@ -1,38 +1,62 @@
 // Parallel pointer-based joins over REAL memory-mapped relations.
 //
-// These are the production counterparts of the simulated drivers in
-// src/join/: one worker thread per partition (the paper's Rproc_i), the
-// same pass structure — partition R by the S-pointer's target, then join
-// with each S partition using the access pattern that names the algorithm
-// — but running against mmap(2) segments with genuine implicit I/O and
-// measured wall-clock time. Temporaries (the RP/RS areas) live in
-// anonymous memory; on a machine where they exceed RAM they would be
-// segment-backed exactly like the simulated drivers model.
+// These are thin entry points over the unified execution stack: each call
+// instantiates exec::RealBackend (bounded worker threads, mmap(2) segments,
+// wall-clock timing — see exec/real_backend.h) and runs the SAME driver
+// the simulator runs (exec/join_drivers.h). There is no second copy of any
+// algorithm: pass structure, staggered phases, RP/RS layout, sorting and
+// bucket logic are shared with src/join/ by construction, which is what
+// makes the cross-backend equivalence tests a one-harness check.
 #ifndef MMJOIN_MMAP_MMAP_JOIN_H_
 #define MMJOIN_MMAP_MMAP_JOIN_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "join/join_common.h"
 #include "mmap/mm_relation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace mmjoin::mm {
 
 /// Tunables for the real joins. Zeros mean "derive a sensible default".
+/// Field-by-field documentation lives in docs/PARAMETERS.md.
 struct MmJoinOptions {
-  bool parallel = true;    ///< one thread per partition vs single-threaded
-  uint32_t k_buckets = 0;  ///< Grace buckets (0: ~64 per partition)
-  uint32_t tsize = 0;      ///< Grace chain count (0: power of two, ~4/chain)
+  bool parallel = true;  ///< false: run every partition on one thread
+  /// Worker-thread bound; 0 = std::thread::hardware_concurrency(). The
+  /// effective count is min(D, bound) — when D exceeds it, workers batch
+  /// partitions in a strided schedule instead of spawning D threads.
+  uint32_t max_threads = 0;
+  /// Private memory per partition used to SHAPE plans (sort-merge IRUN /
+  /// NRUN, Grace K); 0 = the JoinParams default (4 MiB). It does not limit
+  /// real memory use — the kernel pages as it pleases.
+  uint64_t m_rproc_bytes = 0;
+  uint32_t k_buckets = 0;  ///< Grace/hybrid K (0: derive from memory)
+  uint32_t tsize = 0;      ///< Grace/hybrid chain count (0: ~4 per chain)
+  /// Optional wall-clock trace recorder (Chrome trace-event JSON, same
+  /// format as simulated runs; Perfetto-loadable via WriteFile).
+  obs::TraceRecorder* trace = nullptr;
 };
 
-/// Outcome of a real join run.
+/// Outcome of a real join run. The flat fields mirror the historical
+/// surface; `run` carries the full unified result (pass marks, rusage
+/// fault deltas, derived-plan echoes) shared with the simulator.
 struct MmJoinResult {
   double wall_ms = 0;
   uint64_t output_count = 0;
   uint64_t output_checksum = 0;
   bool verified = false;  ///< matched the workload's expected join
   uint32_t threads_used = 0;
+  join::JoinRunResult run;  ///< full result in the cross-backend shape
+
+  /// Exports the run into `registry` under the same "join." / "pass."
+  /// names the simulated benches use, so real runs emit identical
+  /// `*.metrics.json` files.
+  void ExportMetrics(obs::MetricsRegistry* registry) const {
+    run.ExportMetrics(registry);
+  }
 };
 
 /// Nested loops: immediate pointer dereference per R object, staggered
@@ -49,6 +73,11 @@ StatusOr<MmJoinResult> MmSortMerge(const MmWorkload& workload,
 /// table, sequential-overall S access.
 StatusOr<MmJoinResult> MmGrace(const MmWorkload& workload,
                                const MmJoinOptions& options = {});
+
+/// Hybrid hash: Grace with bucket 0 of each partition's own contribution
+/// kept resident in memory, skipping one disk round trip.
+StatusOr<MmJoinResult> MmHybridHash(const MmWorkload& workload,
+                                    const MmJoinOptions& options = {});
 
 }  // namespace mmjoin::mm
 

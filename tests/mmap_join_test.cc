@@ -7,9 +7,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <string>
+#include <thread>
 
 #include "mmap/mm_relation.h"
+#include "obs/trace.h"
 #include "rel/generator.h"
 #include "sim/sim_env.h"
 
@@ -46,8 +49,70 @@ TEST_F(MmapJoinTest, NestedLoopsJoinsCorrectly) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->verified);
   EXPECT_EQ(r->output_count, 8192u);
-  EXPECT_EQ(r->threads_used, 4u);
+  // Workers are bounded by the hardware: min(D, hardware_concurrency).
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(r->threads_used, std::min(4u, hw));
   EXPECT_GT(r->wall_ms, 0.0);
+}
+
+TEST_F(MmapJoinTest, MaxThreadsBoundsWorkersAndBatchesPartitions) {
+  // D = 4 partitions on 2 workers: each worker runs a strided batch of two
+  // partitions, exercising the batching path deterministically regardless
+  // of the host's core count.
+  const MmWorkload w = Build(8192, 4);
+  MmJoinOptions opt;
+  opt.max_threads = 2;
+  for (auto fn : {MmNestedLoops, MmSortMerge, MmGrace, MmHybridHash}) {
+    auto r = fn(w, opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->verified);
+    EXPECT_EQ(r->threads_used, 2u);
+  }
+}
+
+TEST_F(MmapJoinTest, HybridHashJoinsCorrectly) {
+  const MmWorkload w = Build(8192, 4, 0.5);
+  auto r = MmHybridHash(w);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->verified);
+  EXPECT_EQ(r->output_count, 8192u);
+}
+
+TEST_F(MmapJoinTest, RealRunReportsPassMarksAndExportsMetrics) {
+  const MmWorkload w = Build(8192, 4);
+  auto r = MmGrace(w);
+  ASSERT_TRUE(r.ok());
+  // The unified drivers mark the same pass boundaries on both backends.
+  ASSERT_GE(r->run.passes.size(), 4u);
+  EXPECT_EQ(r->run.passes.front().label, "setup");
+
+  obs::MetricsRegistry registry;
+  r->ExportMetrics(&registry);
+  EXPECT_EQ(registry.counter("join.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("join.output_objects").value(),
+            r->output_count);
+  EXPECT_EQ(registry.histogram("join.elapsed_ms").count(), 1u);
+  for (const auto& pass : r->run.passes) {
+    EXPECT_EQ(registry.histogram("pass." + pass.label + ".ms").count(), 1u)
+        << pass.label;
+  }
+}
+
+TEST_F(MmapJoinTest, RealRunEmitsLoadableTrace) {
+  const MmWorkload w = Build(4096, 2);
+  obs::TraceRecorder trace;
+  MmJoinOptions opt;
+  opt.trace = &trace;
+  auto r = MmNestedLoops(w, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->verified);
+  EXPECT_GT(trace.size(), 0u);
+  EXPECT_EQ(trace.open_spans(), 0u);
+  // Pass spans land on the driver track; the JSON is Chrome/Perfetto shaped.
+  EXPECT_GE(trace.CountEvents("pass0"), 1u);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
 }
 
 TEST_F(MmapJoinTest, SortMergeJoinsCorrectly) {
@@ -68,7 +133,7 @@ TEST_F(MmapJoinTest, SerialAndParallelAgree) {
   const MmWorkload w = Build(16384, 4);
   MmJoinOptions serial;
   serial.parallel = false;
-  for (auto fn : {MmNestedLoops, MmSortMerge, MmGrace}) {
+  for (auto fn : {MmNestedLoops, MmSortMerge, MmGrace, MmHybridHash}) {
     auto par = fn(w, MmJoinOptions{});
     auto ser = fn(w, serial);
     ASSERT_TRUE(par.ok() && ser.ok());
@@ -81,7 +146,7 @@ TEST_F(MmapJoinTest, SerialAndParallelAgree) {
 
 TEST_F(MmapJoinTest, SinglePartitionWorks) {
   const MmWorkload w = Build(2048, 1);
-  for (auto fn : {MmNestedLoops, MmSortMerge, MmGrace}) {
+  for (auto fn : {MmNestedLoops, MmSortMerge, MmGrace, MmHybridHash}) {
     auto r = fn(w, MmJoinOptions{});
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(r->verified);
@@ -178,10 +243,13 @@ TEST_F(MmapJoinTest, AllAlgorithmsAgreeOnChecksum) {
   auto nl = MmNestedLoops(w);
   auto sm = MmSortMerge(w);
   auto gr = MmGrace(w);
-  ASSERT_TRUE(nl.ok() && sm.ok() && gr.ok());
+  auto hh = MmHybridHash(w);
+  ASSERT_TRUE(nl.ok() && sm.ok() && gr.ok() && hh.ok());
   EXPECT_EQ(nl->output_checksum, sm->output_checksum);
   EXPECT_EQ(sm->output_checksum, gr->output_checksum);
-  EXPECT_TRUE(nl->verified && sm->verified && gr->verified);
+  EXPECT_EQ(gr->output_checksum, hh->output_checksum);
+  EXPECT_TRUE(nl->verified && sm->verified && gr->verified &&
+              hh->verified);
 }
 
 }  // namespace
