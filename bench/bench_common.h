@@ -6,6 +6,7 @@
 #define MMJOIN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,6 +72,35 @@ struct SweepConfig {
   std::vector<double> memory_fractions;  ///< x-axis: M_Rproc / (|R| * r)
   join::JoinParams params;               ///< memory fields are overwritten
 };
+
+/// Optional CLI reshaping shared by the figure benches:
+///
+///   <bench> [objects]
+///
+/// With no argument the bench runs at paper scale. An explicit object
+/// count (CI's bench-smoke job passes a few thousand) shrinks the
+/// relations AND thins the memory-fraction sweep to at most four points —
+/// the smoke run checks that the pipeline executes and verifies, not the
+/// figures' resolution.
+inline void ApplyCliShape(SweepConfig* cfg, int argc, char** argv) {
+  if (argc <= 1) return;
+  const uint64_t objects = std::strtoull(argv[1], nullptr, 10);
+  if (objects == 0) return;
+  cfg->relation.r_objects = objects;
+  cfg->relation.s_objects = objects;
+  if (cfg->memory_fractions.size() > 4) {
+    std::vector<double> thinned;
+    const size_t n = cfg->memory_fractions.size();
+    const size_t step = (n + 3) / 4;
+    for (size_t i = 0; i < n; i += step) {
+      thinned.push_back(cfg->memory_fractions[i]);
+    }
+    if (thinned.back() != cfg->memory_fractions.back()) {
+      thinned.push_back(cfg->memory_fractions.back());
+    }
+    cfg->memory_fractions = std::move(thinned);
+  }
+}
 
 /// Runs one model-vs-experiment sweep over memory fractions.
 inline std::vector<SweepPoint> RunSweep(const SweepConfig& cfg) {

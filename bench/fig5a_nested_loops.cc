@@ -1,15 +1,17 @@
 // Fig. 5(a): parallel pointer-based nested loops — model vs experiment.
 // Time per Rproc for the paper's validation workload (|R| = |S| = 102400
 // objects of 128 bytes, D = 4) as the per-process memory M_Rproc sweeps
-// 0.1 .. 0.7 of |R|*r.
+// 0.1 .. 0.7 of |R|*r. An optional `[objects]` argument shrinks the run
+// for CI smoke checks (see bench::ApplyCliShape).
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmjoin;
   bench::SweepConfig cfg;
   cfg.algorithm = join::Algorithm::kNestedLoops;
   cfg.memory_fractions = {0.1, 0.15, 0.2, 0.25, 0.3, 0.35,
                           0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7};
+  bench::ApplyCliShape(&cfg, argc, argv);
   const auto points = bench::RunSweep(cfg);
   bench::PrintSweep("Parallel pointer-based nested loops, model vs experiment",
                     "Fig 5a", points);

@@ -4,13 +4,14 @@
 // the npass column makes those visible.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmjoin;
   bench::SweepConfig cfg;
   cfg.algorithm = join::Algorithm::kSortMerge;
   for (double x = 0.004; x <= 0.0501; x += 0.002) {
     cfg.memory_fractions.push_back(x);
   }
+  bench::ApplyCliShape(&cfg, argc, argv);
   const auto points = bench::RunSweep(cfg);
   bench::PrintSweep("Parallel pointer-based sort-merge, model vs experiment",
                     "Fig 5b", points);

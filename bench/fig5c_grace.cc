@@ -5,13 +5,14 @@
 // that extra I/O.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mmjoin;
   bench::SweepConfig cfg;
   cfg.algorithm = join::Algorithm::kGrace;
   for (double x = 0.006; x <= 0.0801; x += (x < 0.02 ? 0.002 : 0.005)) {
     cfg.memory_fractions.push_back(x);
   }
+  bench::ApplyCliShape(&cfg, argc, argv);
   const auto points = bench::RunSweep(cfg);
   bench::PrintSweep("Parallel pointer-based Grace, model vs experiment",
                     "Fig 5c", points);

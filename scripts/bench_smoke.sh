@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Bench smoke: a Release build of the figure benches plus the real-backend
+# join bench at SMALL scale, each under a hard timeout, with every
+# `*.metrics.json` dump validated by the strict JSON parser and merged
+# into one BENCH_ci.json artifact (tools/metrics_validate). This is a
+# does-the-pipeline-run-and-verify gate, not a performance measurement —
+# CI runners are too noisy for timing assertions.
+#
+#   scripts/bench_smoke.sh [build_dir] [objects]
+#
+# Defaults: build-bench, 8192 objects per relation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OBJECTS="${2:-8192}"
+PER_BENCH_TIMEOUT="${BENCH_SMOKE_TIMEOUT:-300}"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target \
+  fig5a_nested_loops fig5b_sort_merge fig5c_grace real_backend_join \
+  metrics_validate
+
+OUT_DIR="$BUILD_DIR/bench-smoke"
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+cd "$OUT_DIR"
+
+run() {
+  echo "== $* (timeout ${PER_BENCH_TIMEOUT}s)"
+  timeout "$PER_BENCH_TIMEOUT" "$@"
+}
+
+run "../bench/fig5a_nested_loops" "$OBJECTS"
+run "../bench/fig5b_sort_merge" "$OBJECTS"
+run "../bench/fig5c_grace" "$OBJECTS"
+# Twice the objects for the real backend (it is wall-clock fast), D=8,
+# Zipf theta 1.1: the static-vs-stealing table runs on a genuinely skewed
+# workload and the same_join column asserts schedule-independence.
+run "../bench/real_backend_join" "$((OBJECTS * 2))" 8 1.1
+
+# Every dump must parse (strict RFC 8259) and carry the bench shape;
+# the merged artifact is what CI uploads.
+../tools/metrics_validate --merge BENCH_ci.json ./*.metrics.json
+echo "bench-smoke: OK ($OUT_DIR/BENCH_ci.json)"

@@ -47,7 +47,9 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
                            const rel::RObject& obj, double ms,
                            const std::string& label,
                            std::vector<obs::TraceArg> args,
-                           void (*fn)(uint32_t)) {
+                           const std::vector<uint64_t>& counts,
+                           void (*fn)(uint32_t),
+                           void (*range_fn)(uint32_t, uint64_t, uint64_t)) {
   typename B::Seg;
 
   // ---- shape & parameters ------------------------------------------------
@@ -89,8 +91,17 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
   // ---- execution structure -----------------------------------------------
   // Runs fn(i) for every partition: serially in workload order on the
   // simulator (determinism), on bounded worker threads for real runs.
-  // Returns only when every partition finished — a real barrier.
+  // Returns only when every partition finished — a real barrier. The
+  // costed overload passes per-partition work estimates (tuples) so a
+  // dynamic schedule can seed its queues longest-first.
   { b.ForEachPartition(fn) };
+  { b.ForEachPartition(counts, fn) };
+  // Tuple-range flavor: range_fn(i, begin, end) over morsel-sized ranges
+  // covering [0, counts[i]). The final argument declares the ranges
+  // independent (no shared output target, may run concurrently) or chained
+  // (in order, one owner at a time). The simulator always runs one full-
+  // range call per partition, serially — bit-identical to ForEachPartition.
+  { b.ForEachPartitionTuples(counts, range_fn, true) };
   { b.SyncClocks() };
   { b.ChargeSetupAll(ms) };
   { b.MarkPass(label) };

@@ -62,6 +62,27 @@ std::vector<uint64_t> RsObjects(const B& ex) {
   return rs;
 }
 
+/// |R_i| per partition — the tuple counts of every pass-0 scan.
+template <Backend B>
+std::vector<uint64_t> RCounts(const B& ex) {
+  const uint32_t d = ex.D();
+  std::vector<uint64_t> counts(d);
+  for (uint32_t i = 0; i < d; ++i) counts[i] = ex.r_count(i);
+  return counts;
+}
+
+/// |RP_{i, offset(i,t)}| per partition — the tuple counts of phase t of
+/// pass 1 (each partition works against its staggered partner).
+template <Backend B>
+std::vector<uint64_t> PhaseCounts(const B& ex, uint32_t t) {
+  const uint32_t d = ex.D();
+  std::vector<uint64_t> counts(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    counts[i] = ex.RpSubCount(i, join::PhaseOffset(i, t, d));
+  }
+  return counts;
+}
+
 /// Reads one R object through partition i's process.
 template <Backend B>
 rel::RObject ReadR(B& ex, uint32_t i, typename B::Seg seg, uint64_t offset) {
@@ -96,43 +117,54 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
   ex.MarkPass("setup");
 
   // ---- Pass 0: partition R_i; join the R_{i,i} objects immediately. ----
-  ex.ForEachPartition([&](uint32_t i) {
-    const typename B::Seg r_seg = ex.r_seg(i);
-    const uint64_t n = ex.r_count(i);
-    for (uint64_t k = 0; k < n; ++k) {
-      const rel::RObject obj =
-          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-      ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to its partition
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        ex.RequestS(i, obj.id, obj.sptr);
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-    ex.FlushSRequests(i);
-  });
+  // Morsels of a partition share RP_i's bump cursors, so they stay chained
+  // (in order, one owner at a time).
+  ex.ForEachPartitionTuples(
+      internal::RCounts(ex),
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        const typename B::Seg r_seg = ex.r_seg(i);
+        for (uint64_t k = begin; k < end; ++k) {
+          const rel::RObject obj =
+              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+          ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to its target
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          if (sp.partition == i) {
+            ex.RequestS(i, obj.id, obj.sptr);
+          } else {
+            ex.AppendToRp(i, sp.partition, obj);
+          }
+        }
+        ex.FlushSRequests(i);
+      },
+      /*independent=*/false);
   if (sync) ex.SyncClocks();
   ex.MarkPass("pass0");
 
   // ---- Pass 1: D-1 staggered phases over the RP_{i,j}. ----
+  // A phase only probes: ReadR + RequestS touch no shared output target
+  // (the real backend tallies per worker), so morsels are independent and
+  // one hot partner — a Zipf-skewed RP_{i,j} — spreads across every worker
+  // instead of serializing the phase.
   for (uint32_t t = 1; t < d; ++t) {
-    ex.ForEachPartition([&](uint32_t i) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = ex.clock_ms(i);
-      for (uint64_t k = 0; k < n; ++k) {
-        const rel::RObject obj = internal::ReadR(
-            ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
-        ex.RequestS(i, obj.id, obj.sptr);
-      }
-      ex.FlushSRequests(i);
-      if (ex.tracing()) {
-        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
-                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
-      }
-    });
+    ex.ForEachPartitionTuples(
+        internal::PhaseCounts(ex, t),
+        [&](uint32_t i, uint64_t begin, uint64_t end) {
+          const uint32_t j = join::PhaseOffset(i, t, d);
+          const uint64_t base = ex.RpSubOffset(i, j);
+          const double phase_start_ms = ex.clock_ms(i);
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj = internal::ReadR(
+                ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
+            ex.RequestS(i, obj.id, obj.sptr);
+          }
+          ex.FlushSRequests(i);
+          if (ex.tracing()) {
+            ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
+                    {obs::Arg("partner", uint64_t{j}),
+                     obs::Arg("objects", end - begin)});
+          }
+        },
+        /*independent=*/true);
     if (sync) ex.SyncClocks();
   }
   ex.MarkPass("pass1");
@@ -200,43 +232,56 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
   };
 
   // ---- Pass 0: partition R_i into RS_i (own pointers) and RP_{i,j}. ----
-  ex.ForEachPartition([&](uint32_t i) {
-    const typename B::Seg r_seg = ex.r_seg(i);
-    const uint64_t n = ex.r_count(i);
-    for (uint64_t k = 0; k < n; ++k) {
-      const rel::RObject obj =
-          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-      ex.ChargeCpu(i, mc.map_ms);
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        append_rs(i, i, obj);
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-  });
+  // Morsels share the RS/RP cursors of their partition — chained.
+  ex.ForEachPartitionTuples(
+      internal::RCounts(ex),
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        const typename B::Seg r_seg = ex.r_seg(i);
+        for (uint64_t k = begin; k < end; ++k) {
+          const rel::RObject obj =
+              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+          ex.ChargeCpu(i, mc.map_ms);
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          if (sp.partition == i) {
+            append_rs(i, i, obj);
+          } else {
+            ex.AppendToRp(i, sp.partition, obj);
+          }
+        }
+      },
+      /*independent=*/false);
   if (sync) ex.SyncClocks();
   ex.MarkPass("pass0");
 
   // ---- Pass 1: staggered phases move RP_{i,j} into RS_j. ----
+  // Chained: every morsel of partition i appends to the same RS_j cursor.
+  // The per-partition epilogue runs on the final morsel (end == count; an
+  // empty partition still gets one [0,0) morsel).
   for (uint32_t t = 1; t < d; ++t) {
-    ex.ForEachPartition([&](uint32_t i) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = ex.clock_ms(i);
-      for (uint64_t k = 0; k < n; ++k) {
-        const rel::RObject obj =
-            internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-        append_rs(i, j, obj);
-      }
-      // Hand the written RS_j pages back to their owner's disk image.
-      ex.DropSegment(i, rs_segs[j], /*discard=*/false);
-      if (ex.tracing()) {
-        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
-                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
-      }
-    });
+    const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
+    ex.ForEachPartitionTuples(
+        phase_counts,
+        [&](uint32_t i, uint64_t begin, uint64_t end) {
+          const uint32_t j = join::PhaseOffset(i, t, d);
+          const uint64_t base = ex.RpSubOffset(i, j);
+          const double phase_start_ms = ex.clock_ms(i);
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            append_rs(i, j, obj);
+          }
+          if (end == phase_counts[i]) {
+            // Hand the written RS_j pages back to their owner's disk image.
+            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+            if (ex.tracing()) {
+              ex.Span(i, "phase " + std::to_string(t), "phase",
+                      phase_start_ms,
+                      {obs::Arg("partner", uint64_t{j}),
+                       obs::Arg("objects", end - begin)});
+            }
+          }
+        },
+        /*independent=*/false);
     if (sync) ex.SyncClocks();
   }
 
@@ -394,8 +439,10 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
     return Status::OK();
   };
 
+  // Monolithic per-partition work: the costed overload lets a dynamic
+  // schedule seed its queues largest-RS-first.
   ex.ForEachPartition(
-      [&](uint32_t i) { partition_status[i] = sort_merge_join(i); });
+      rs_objects, [&](uint32_t i) { partition_status[i] = sort_merge_join(i); });
   for (const Status& st : partition_status) MMJOIN_RETURN_NOT_OK(st);
   ex.MarkPass("sort+merge+join");
 
@@ -505,42 +552,53 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
   };
 
   // ---- Pass 0: partition R_i; own-partition objects hash into RS_i. ----
-  ex.ForEachPartition([&](uint32_t i) {
-    const typename B::Seg r_seg = ex.r_seg(i);
-    const uint64_t n = ex.r_count(i);
-    for (uint64_t k = 0; k < n; ++k) {
-      const rel::RObject obj =
-          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-      ex.ChargeCpu(i, mc.map_ms);
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        hash_into_rs(i, obj);
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-  });
+  // Chained: morsels share the partition's bucket and RP cursors.
+  ex.ForEachPartitionTuples(
+      internal::RCounts(ex),
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        const typename B::Seg r_seg = ex.r_seg(i);
+        for (uint64_t k = begin; k < end; ++k) {
+          const rel::RObject obj =
+              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+          ex.ChargeCpu(i, mc.map_ms);
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          if (sp.partition == i) {
+            hash_into_rs(i, obj);
+          } else {
+            ex.AppendToRp(i, sp.partition, obj);
+          }
+        }
+      },
+      /*independent=*/false);
   if (sync) ex.SyncClocks();
   ex.MarkPass("pass0");
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
+  // Chained (shared bucket cursors); the epilogue runs on the final morsel.
   for (uint32_t t = 1; t < d; ++t) {
-    ex.ForEachPartition([&](uint32_t i) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = ex.clock_ms(i);
-      for (uint64_t k = 0; k < n; ++k) {
-        const rel::RObject obj =
-            internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-        hash_into_rs(i, obj);
-      }
-      ex.DropSegment(i, rs_segs[j], /*discard=*/false);
-      if (ex.tracing()) {
-        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
-                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
-      }
-    });
+    const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
+    ex.ForEachPartitionTuples(
+        phase_counts,
+        [&](uint32_t i, uint64_t begin, uint64_t end) {
+          const uint32_t j = join::PhaseOffset(i, t, d);
+          const uint64_t base = ex.RpSubOffset(i, j);
+          const double phase_start_ms = ex.clock_ms(i);
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            hash_into_rs(i, obj);
+          }
+          if (end == phase_counts[i]) {
+            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+            if (ex.tracing()) {
+              ex.Span(i, "phase " + std::to_string(t), "phase",
+                      phase_start_ms,
+                      {obs::Arg("partner", uint64_t{j}),
+                       obs::Arg("objects", end - begin)});
+            }
+          }
+        },
+        /*independent=*/false);
     if (sync) ex.SyncClocks();
   }
 
@@ -556,7 +614,7 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
     uint64_t sptr;
   };
   std::vector<Status> partition_status(d);
-  ex.ForEachPartition([&](uint32_t i) {
+  ex.ForEachPartition(rs_objects, [&](uint32_t i) {
     std::vector<std::vector<ChainEntry>> table(plan.tsize);
     for (uint32_t b = 0; b < k_buckets; ++b) {
       for (auto& chain : table) chain.clear();
@@ -691,55 +749,65 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
   };
 
   // ---- Pass 0: partition R_i; own bucket-0 objects stay in memory. ----
-  ex.ForEachPartition([&](uint32_t i) {
-    const typename B::Seg r_seg = ex.r_seg(i);
-    const uint64_t n = ex.r_count(i);
-    for (uint64_t k = 0; k < n; ++k) {
-      const rel::RObject obj =
-          internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-      ex.ChargeCpu(i, mc.map_ms);
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        ex.ChargeCpu(i, mc.hash_ms);
-        const uint32_t b =
-            join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
-        if (b == 0) {
-          // Resident: one private move into the table, no disk traffic.
-          resident[i].push_back(Entry{obj.id, obj.sptr});
-          ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
-        } else {
-          spill(i, obj, b);
+  // Chained: morsels share the resident table and spill/RP cursors.
+  ex.ForEachPartitionTuples(
+      internal::RCounts(ex),
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        const typename B::Seg r_seg = ex.r_seg(i);
+        for (uint64_t k = begin; k < end; ++k) {
+          const rel::RObject obj =
+              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+          ex.ChargeCpu(i, mc.map_ms);
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          if (sp.partition == i) {
+            ex.ChargeCpu(i, mc.hash_ms);
+            const uint32_t b =
+                join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
+            if (b == 0) {
+              // Resident: one private move into the table, no disk traffic.
+              resident[i].push_back(Entry{obj.id, obj.sptr});
+              ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+            } else {
+              spill(i, obj, b);
+            }
+          } else {
+            ex.AppendToRp(i, sp.partition, obj);
+          }
         }
-      } else {
-        ex.AppendToRp(i, sp.partition, obj);
-      }
-    }
-  });
+      },
+      /*independent=*/false);
   if (sync) ex.SyncClocks();
   ex.MarkPass("pass0");
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j (all spill). ----
   for (uint32_t t = 1; t < d; ++t) {
-    ex.ForEachPartition([&](uint32_t i) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      const uint64_t n = ex.RpSubCount(i, j);
-      const uint64_t base = ex.RpSubOffset(i, j);
-      const double phase_start_ms = ex.clock_ms(i);
-      for (uint64_t k = 0; k < n; ++k) {
-        const rel::RObject obj =
-            internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-        ex.ChargeCpu(i, mc.hash_ms);
-        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-        spill(i, obj,
-              join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
-                                  k_buckets));
-      }
-      ex.DropSegment(i, rs_segs[j], /*discard=*/false);
-      if (ex.tracing()) {
-        ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
-                {obs::Arg("partner", uint64_t{j}), obs::Arg("objects", n)});
-      }
-    });
+    const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
+    ex.ForEachPartitionTuples(
+        phase_counts,
+        [&](uint32_t i, uint64_t begin, uint64_t end) {
+          const uint32_t j = join::PhaseOffset(i, t, d);
+          const uint64_t base = ex.RpSubOffset(i, j);
+          const double phase_start_ms = ex.clock_ms(i);
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            ex.ChargeCpu(i, mc.hash_ms);
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            spill(i, obj,
+                  join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
+                                      k_buckets));
+          }
+          if (end == phase_counts[i]) {
+            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+            if (ex.tracing()) {
+              ex.Span(i, "phase " + std::to_string(t), "phase",
+                      phase_start_ms,
+                      {obs::Arg("partner", uint64_t{j}),
+                       obs::Arg("objects", end - begin)});
+            }
+          }
+        },
+        /*independent=*/false);
     if (sync) ex.SyncClocks();
   }
   for (uint32_t i = 0; i < d; ++i) {
@@ -750,7 +818,7 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
 
   // ---- Join: resident table first, then the spilled buckets. ----
   std::vector<Status> partition_status(d);
-  ex.ForEachPartition([&](uint32_t i) {
+  ex.ForEachPartition(rs_objects, [&](uint32_t i) {
     // Resident bucket 0: already in memory, join directly (S_i bucket-0
     // range is read here, sequentially by chain order).
     std::vector<std::vector<Entry>> table(plan.tsize);

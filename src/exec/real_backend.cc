@@ -8,6 +8,10 @@
 
 namespace mmjoin::exec {
 
+namespace real_internal {
+thread_local uint32_t worker_slot = 0;
+}  // namespace real_internal
+
 namespace {
 
 double SteadyNowMs() {
@@ -23,6 +27,18 @@ uint32_t ResolveWorkers(uint32_t d, const RealBackendOptions& options) {
   return std::min(d, bound);
 }
 
+SchedulerOptions ResolveScheduler(uint32_t workers,
+                                  const RealBackendOptions& options) {
+  SchedulerOptions so;
+  so.workers = workers;
+  so.morsel_tuples =
+      options.morsel_tuples ? options.morsel_tuples : kDefaultMorselTuples;
+  so.skew_split_factor = options.skew_split_factor > 0
+                             ? options.skew_split_factor
+                             : kDefaultSkewSplitFactor;
+  return so;
+}
+
 }  // namespace
 
 RealBackend::RealBackend(const mm::MmWorkload& workload,
@@ -33,13 +49,16 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
       d_(static_cast<uint32_t>(workload.r_segs.size())),
       workers_(ResolveWorkers(static_cast<uint32_t>(workload.r_segs.size()),
                               options)),
+      schedule_(options.schedule),
+      sched_options_(ResolveScheduler(workers_, options)),
       trace_(options.trace) {
   (void)params;  // plan shaping reads params through the drivers
   start_epoch_ms_ = SteadyNowMs();
   start_faults_ = CurrentFaults();
   rp_segs_.assign(d_, nullptr);
-  out_count_.assign(d_, 0);
-  out_digest_.assign(d_, 0);
+  out_count_.assign(std::max(1u, workers_), 0);
+  out_digest_.assign(std::max(1u, workers_), 0);
+  sched_totals_.assign(std::max(1u, workers_), WorkerRunStats{});
   for (uint32_t i = 0; i < d_; ++i) {
     auto r = std::make_unique<RealSeg>();
     r->name = "R" + std::to_string(i);
@@ -60,13 +79,20 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
   if (trace_) {
     // Track convention mirrors the simulator's: pid = partition index,
     // tid 1 = its worker's activity; one extra "driver" process carries the
-    // whole-run pass spans.
+    // whole-run pass spans, and with the stealing schedule pid = D+1 hosts
+    // the scheduler's per-worker tracks (morsels, steals, tail-idle).
     for (uint32_t i = 0; i < d_; ++i) {
       trace_->SetProcessName(i, "partition " + std::to_string(i));
       trace_->SetThreadName(i, 1, "worker");
     }
     trace_->SetProcessName(d_, "driver");
     trace_->SetThreadName(d_, 1, "passes");
+    if (schedule_ == Schedule::kStealing) {
+      trace_->SetProcessName(d_ + 1, "scheduler");
+      for (uint32_t t = 0; t < workers_; ++t) {
+        trace_->SetThreadName(d_ + 1, t + 1, "worker " + std::to_string(t));
+      }
+    }
   }
 }
 
@@ -157,6 +183,59 @@ void RealBackend::Span(uint32_t i, const std::string& name,
                    std::move(args));
 }
 
+void RealBackend::RunChains(
+    std::vector<MorselChain> chains,
+    const std::function<void(uint32_t, const Morsel&)>& body) {
+  WorkStealingScheduler sched(sched_options_,
+                              [this] { return clock_ms(0); });
+
+  WorkStealingScheduler::ChainFn on_chain;
+  if (trace_) {
+    on_chain = [this](uint32_t w, const MorselChain& c, bool stolen) {
+      if (!stolen) return;
+      const double now = clock_ms(0);
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_->Instant(d_ + 1, w + 1, "steal p" + std::to_string(c.partition),
+                      "sched", now,
+                      {obs::Arg("partition", uint64_t{c.partition}),
+                       obs::Arg("cost", c.cost)});
+    };
+  }
+
+  sched.Run(
+      std::move(chains),
+      [&](uint32_t w, const Morsel& m) {
+        real_internal::worker_slot = w;
+        const double start = trace_ ? clock_ms(0) : 0;
+        body(w, m);
+        if (trace_) {
+          const double now = clock_ms(0);
+          std::lock_guard<std::mutex> lock(trace_mu_);
+          trace_->Complete(d_ + 1, w + 1,
+                           "morsel p" + std::to_string(m.partition), "sched",
+                           start, now - start,
+                           {obs::Arg("begin", m.begin), obs::Arg("end", m.end)});
+        }
+      },
+      on_chain);
+
+  // Accumulate the pass's telemetry into the run totals; tail-idle spans go
+  // on the worker tracks so skew is visible in the trace.
+  const std::vector<WorkerRunStats>& stats = sched.worker_stats();
+  for (uint32_t w = 0; w < stats.size() && w < sched_totals_.size(); ++w) {
+    sched_totals_[w].chains += stats[w].chains;
+    sched_totals_[w].morsels += stats[w].morsels;
+    sched_totals_[w].steals += stats[w].steals;
+    sched_totals_[w].steal_failures += stats[w].steal_failures;
+    sched_totals_[w].idle_ms += stats[w].idle_ms;
+    if (trace_ && stats[w].idle_ms > 0.01) {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_->Complete(d_ + 1, w + 1, "idle", "sched", stats[w].done_ms,
+                       stats[w].idle_ms);
+    }
+  }
+}
+
 void RealBackend::MarkPass(const std::string& label) {
   const double now = clock_ms(0);
   const uint64_t faults = CurrentFaults();
@@ -176,9 +255,15 @@ join::JoinRunResult RealBackend::Finish() {
   r.elapsed_ms = clock_ms(0);
   r.rproc_ms.assign(d_, r.elapsed_ms);
   r.passes = passes_;
-  for (uint32_t i = 0; i < d_; ++i) {
-    r.output_count += out_count_[i];
-    r.output_checksum += out_digest_[i];
+  for (size_t w = 0; w < out_count_.size(); ++w) {
+    r.output_count += out_count_[w];
+    r.output_checksum += out_digest_[w];
+  }
+  for (const WorkerRunStats& st : sched_totals_) {
+    r.sched_morsels += st.morsels;
+    r.sched_steals += st.steals;
+    r.sched_steal_failures += st.steal_failures;
+    r.sched_idle_ms += st.idle_ms;
   }
   r.faults = CurrentFaults() - start_faults_;
   r.verified = r.output_count == workload_->expected_output_count &&

@@ -7,11 +7,15 @@
 //   Read/Write        direct pointers into the mapped bytes — touching them
 //                     IS the I/O (the kernel pages on demand)
 //   Charge*           no-ops: real work costs real time, nothing to model
-//   RequestS/Flush    immediate S-pointer dereference into per-partition
+//   RequestS/Flush    immediate S-pointer dereference into per-worker
 //                     output tallies (no G buffer — threads share memory)
-//   ForEachPartition  worker threads, at most min(D, max_threads or
-//                     hardware_concurrency); worker w runs partitions
-//                     w, w+W, w+2W, ... and the spawn/join is a hard
+//   ForEachPartition* worker threads, at most min(D, max_threads or
+//                     hardware_concurrency). Two schedules (see
+//                     exec/scheduler.h): `static` runs worker w over the
+//                     strided batch w, w+W, ...; `stealing` (the default)
+//                     splits partition passes into morsel chains on
+//                     per-worker deques with work stealing and skew-aware
+//                     over-splitting. Either way the spawn/join is a hard
 //                     barrier, giving later steps happens-before over all
 //                     earlier cross-partition writes
 //   SyncClocks        no-op (the thread join above is the barrier)
@@ -21,19 +25,24 @@
 //   clock_ms/Span     wall-clock milliseconds since construction; trace
 //                     emission is mutex-guarded (obs::TraceRecorder itself
 //                     is single-threaded), tracks: pid = partition,
-//                     tid 1 = worker, pid = D = the driver track
+//                     tid 1 = worker, pid = D = the driver track, and with
+//                     schedule=stealing pid = D+1 = the scheduler's worker
+//                     tracks (morsel spans, steal instants, tail-idle)
 //   MarkPass          wall-time pass boundaries with getrusage(2) fault
 //                     deltas, so real runs report the same PassMark shape
 //                     the simulator does
 //
 // Thread-safety relies on the drivers' ownership discipline (one writer
-// per target within any pass/phase — see exec/join_drivers.h); the backend
-// adds mutexes only around the segment registry and the trace recorder.
+// per target within any pass/phase — see exec/join_drivers.h) and the
+// scheduler's chain rule (morsels that share a target run in order under
+// one owner); the backend adds mutexes only around the segment registry
+// and the trace recorder.
 #ifndef MMJOIN_EXEC_REAL_BACKEND_H_
 #define MMJOIN_EXEC_REAL_BACKEND_H_
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +51,7 @@
 #include <vector>
 
 #include "exec/backend.h"
+#include "exec/scheduler.h"
 #include "join/join_common.h"
 #include "mmap/mm_relation.h"
 #include "obs/trace.h"
@@ -50,6 +60,13 @@
 #include "util/status.h"
 
 namespace mmjoin::exec {
+
+namespace real_internal {
+/// Worker slot of the current thread inside a ForEachPartition* region
+/// (0 outside one). Indexes the per-worker output tallies so independent
+/// morsels of one partition never contend on a shared accumulator.
+extern thread_local uint32_t worker_slot;
+}  // namespace real_internal
 
 /// One mapped area known to the RealBackend: either an owned anonymous
 /// mapping (a temporary the backend created) or a non-owned view into the
@@ -69,8 +86,13 @@ struct RealBackendOptions {
   bool parallel = true;      ///< false: one worker regardless of D
   /// Worker-thread bound; 0 = std::thread::hardware_concurrency(). The
   /// worker count is always min(D, bound): when D exceeds it, workers
-  /// batch partitions in a strided schedule.
+  /// batch partitions (strided under `static`, stolen chains under
+  /// `stealing`).
   uint32_t max_threads = 0;
+  /// Partition-to-worker mapping; see exec/scheduler.h.
+  Schedule schedule = Schedule::kStealing;
+  uint64_t morsel_tuples = 0;     ///< tuples per morsel; 0 = default (16 Ki)
+  double skew_split_factor = 0;   ///< hot-partition threshold/factor; 0 = 4
   obs::TraceRecorder* trace = nullptr;  ///< optional wall-clock trace
 };
 
@@ -94,6 +116,7 @@ class RealBackend {
   /// same constants as the simulator keeps the derived plans identical.
   const sim::MachineConfig& mc() const { return mc_; }
   uint32_t workers() const { return workers_; }
+  Schedule schedule() const { return schedule_; }
 
   // ---- workload view ------------------------------------------------------
   Seg r_seg(uint32_t i) const { return r_view_[i].get(); }
@@ -128,7 +151,8 @@ class RealBackend {
   }
   uint64_t RpPages(uint32_t i) const { return SegPages(rp_segs_[i]); }
   void AppendToRp(uint32_t i, uint32_t j, const rel::RObject& obj) {
-    // Only worker i appends to RP_i, so the layout cursor needs no lock.
+    // Partition i's pass chain has one owner at a time, so the layout
+    // cursor needs no lock.
     const uint64_t off = rp_layout_.NextSlot(i, j);
     std::memcpy(rp_segs_[i]->base + off, &obj, sizeof(obj));
   }
@@ -146,36 +170,71 @@ class RealBackend {
   void DropSegment(uint32_t i, Seg seg, bool discard);
 
   /// Immediate dereference: threads share the address space, so there is
-  /// no G buffer — the pointer is chased the moment it is requested.
-  void RequestS(uint32_t i, uint64_t r_id, uint64_t packed_sptr) {
+  /// no G buffer — the pointer is chased the moment it is requested. The
+  /// tally is indexed by the executing *worker*, not the partition, so
+  /// independent morsels of one partition never share an accumulator; the
+  /// final sums are order-independent, keeping output count/checksum
+  /// bit-deterministic across schedules and worker counts.
+  void RequestS(uint32_t /*i*/, uint64_t r_id, uint64_t packed_sptr) {
     const rel::SPtr sp = rel::SPtr::Unpack(packed_sptr);
     const rel::SObject& s = s_objs_[sp.partition][sp.index];
-    out_digest_[i] += rel::OutputDigest(r_id, s.key);
-    ++out_count_[i];
+    const uint32_t slot = real_internal::worker_slot;
+    out_digest_[slot] += rel::OutputDigest(r_id, s.key);
+    ++out_count_[slot];
   }
   void FlushSRequests(uint32_t /*i*/) {}
 
   // ---- execution structure ------------------------------------------------
-  /// Runs fn(i) for every partition on min(D, workers()) threads; worker w
-  /// takes the strided batch w, w+W, .... Returns after joining every
-  /// worker — a barrier that publishes all cross-partition writes.
+  /// Runs fn(i) for every partition on min(D, workers()) threads and joins
+  /// them all before returning — a barrier that publishes all cross-
+  /// partition writes. Unit cost estimates; see the costed overload.
   template <typename Fn>
   void ForEachPartition(Fn&& fn) {
-    const uint32_t w = workers_;
-    if (w <= 1 || d_ <= 1) {
-      for (uint32_t i = 0; i < d_; ++i) fn(i);
+    ForEachPartition(std::vector<uint64_t>(), std::forward<Fn>(fn));
+  }
+
+  /// Costed flavor: `costs[i]` estimates partition i's work (tuples) so the
+  /// stealing schedule can seed deques longest-first. The partition body
+  /// stays monolithic — one single-morsel chain per partition. An empty
+  /// costs vector means unit costs.
+  template <typename Fn>
+  void ForEachPartition(const std::vector<uint64_t>& costs, Fn&& fn) {
+    if (schedule_ == Schedule::kStatic || workers_ <= 1 || d_ <= 1) {
+      StridedRun([&](uint32_t i) { fn(i); });
       return;
     }
-    std::vector<std::thread> threads;
-    threads.reserve(w);
-    for (uint32_t t = 0; t < w; ++t) {
-      threads.emplace_back([this, &fn, t, w] {
-        for (uint32_t i = t; i < d_; i += w) fn(i);
-      });
+    std::vector<MorselChain> chains;
+    chains.reserve(d_);
+    for (uint32_t i = 0; i < d_; ++i) {
+      const uint64_t cost =
+          std::max<uint64_t>(1, i < costs.size() ? costs[i] : 1);
+      chains.push_back(MorselChain{i, cost, {Morsel{i, 0, cost}}});
     }
-    for (auto& th : threads) th.join();
+    RunChains(std::move(chains),
+              [&](uint32_t, const Morsel& m) { fn(m.partition); });
   }
-  void SyncClocks() {}  // ForEachPartition's join is the real barrier
+
+  /// Tuple-range flavor: runs body(i, begin, end) over morsel-sized ranges
+  /// covering [0, counts[i]) for every partition. With independent=false
+  /// the ranges of a partition share an output target: they form one chain,
+  /// executed in order by one owner at a time (a zero-count partition still
+  /// gets one body(i, 0, 0) call so epilogues run). independent=true
+  /// declares the ranges free of shared targets — each becomes its own
+  /// chain and a hot partition can spread across every worker.
+  template <typename Body>
+  void ForEachPartitionTuples(const std::vector<uint64_t>& counts,
+                              Body&& body, bool independent) {
+    if (schedule_ == Schedule::kStatic || workers_ <= 1 || d_ <= 1) {
+      StridedRun([&](uint32_t i) { body(i, 0, counts[i]); });
+      return;
+    }
+    RunChains(BuildChains(counts, sched_options_, independent),
+              [&](uint32_t, const Morsel& m) {
+                body(m.partition, m.begin, m.end);
+              });
+  }
+
+  void SyncClocks() {}  // the workers' join is the real barrier
   void ChargeSetupAll(double /*per_proc_ms*/) {}
   void MarkPass(const std::string& label);
 
@@ -188,16 +247,45 @@ class RealBackend {
             double start_ms, std::vector<obs::TraceArg> args = {});
 
   /// Assembles the run result: wall-clock total, pass marks, output tallies
-  /// verified against the workload's expected join, rusage fault deltas.
+  /// verified against the workload's expected join, rusage fault deltas,
+  /// scheduler telemetry (morsels/steals/idle).
   join::JoinRunResult Finish();
 
  private:
   uint64_t CurrentFaults() const;
 
+  /// The static schedule (and the serial fallback): worker w runs the
+  /// strided batch w, w+W, ...; spawn/join is the pass barrier.
+  template <typename Fn>
+  void StridedRun(Fn&& fn) {
+    const uint32_t w = workers_;
+    if (w <= 1 || d_ <= 1) {
+      real_internal::worker_slot = 0;
+      for (uint32_t i = 0; i < d_; ++i) fn(i);
+      return;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(w);
+    for (uint32_t t = 0; t < w; ++t) {
+      threads.emplace_back([this, &fn, t, w] {
+        real_internal::worker_slot = t;
+        for (uint32_t i = t; i < d_; i += w) fn(i);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  /// Executes the chains through the work-stealing pool, wiring the worker
+  /// slot, per-worker trace tracks, and telemetry accumulation.
+  void RunChains(std::vector<MorselChain> chains,
+                 const std::function<void(uint32_t, const Morsel&)>& body);
+
   const mm::MmWorkload* workload_;
   sim::MachineConfig mc_;
   uint32_t d_;
   uint32_t workers_;
+  Schedule schedule_;
+  SchedulerOptions sched_options_;
   obs::TraceRecorder* trace_;
   std::mutex trace_mu_;
 
@@ -213,7 +301,12 @@ class RealBackend {
   RpLayout rp_layout_;
   std::vector<Seg> rp_segs_;
 
+  /// Output tallies per worker slot (not per partition): summed at Finish,
+  /// commutatively, so steal order cannot change the result.
   std::vector<uint64_t> out_count_, out_digest_;
+
+  /// Scheduler telemetry accumulated across every RunChains barrier.
+  std::vector<WorkerRunStats> sched_totals_;
 
   std::vector<join::PassMark> passes_;
   double last_mark_ms_ = 0;

@@ -1,0 +1,180 @@
+#include "exec/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+namespace mmjoin::exec {
+
+namespace {
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Deterministic chain order for LPT seeding: largest first, ties broken by
+/// (partition, begin) so construction never depends on container order.
+bool ChainBefore(const MorselChain& a, const MorselChain& b) {
+  if (a.cost != b.cost) return a.cost > b.cost;
+  if (a.partition != b.partition) return a.partition < b.partition;
+  return a.morsels.front().begin < b.morsels.front().begin;
+}
+
+}  // namespace
+
+const char* ScheduleName(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic:
+      return "static";
+    case Schedule::kStealing:
+      return "stealing";
+  }
+  return "?";
+}
+
+std::vector<MorselChain> BuildChains(const std::vector<uint64_t>& counts,
+                                     const SchedulerOptions& options,
+                                     bool independent) {
+  const uint64_t d = counts.size();
+  const uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), uint64_t{0});
+  const uint64_t mean = std::max<uint64_t>(1, d ? total / d : 0);
+  const double threshold =
+      std::max(1.0, options.skew_split_factor) * static_cast<double>(mean);
+  const uint64_t base_morsel = std::max<uint64_t>(1, options.morsel_tuples);
+  const uint64_t split_factor = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options.skew_split_factor));
+  const uint64_t workers = std::max<uint32_t>(1, options.workers);
+
+  std::vector<MorselChain> chains;
+  chains.reserve(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t n = counts[i];
+    uint64_t morsel = base_morsel;
+    if (static_cast<double>(n) > threshold) {
+      // Hot partition: over-split so it decomposes into at least
+      // workers * skew_split_factor units.
+      morsel = std::min(morsel,
+                        std::max<uint64_t>(1, CeilDiv(n, workers * split_factor)));
+    }
+    std::vector<Morsel> morsels;
+    if (n == 0) {
+      // Epilogues (flushes, drops) still need one body invocation.
+      morsels.push_back(Morsel{i, 0, 0});
+    } else {
+      morsels.reserve(static_cast<size_t>(CeilDiv(n, morsel)));
+      for (uint64_t b = 0; b < n; b += morsel) {
+        morsels.push_back(Morsel{i, b, std::min(n, b + morsel)});
+      }
+    }
+    if (independent) {
+      for (const Morsel& m : morsels) {
+        chains.push_back(
+            MorselChain{i, std::max<uint64_t>(1, m.end - m.begin), {m}});
+      }
+    } else {
+      chains.push_back(MorselChain{i, std::max<uint64_t>(1, n),
+                                   std::move(morsels)});
+    }
+  }
+  return chains;
+}
+
+WorkStealingScheduler::WorkStealingScheduler(const SchedulerOptions& options,
+                                             ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {}
+
+void WorkStealingScheduler::Run(std::vector<MorselChain> chains,
+                                const MorselFn& body, const ChainFn& on_chain) {
+  const uint32_t w = std::max<uint32_t>(1, options_.workers);
+  stats_.assign(w, WorkerRunStats{});
+
+  std::sort(chains.begin(), chains.end(), ChainBefore);
+
+  if (w == 1 || chains.size() <= 1) {
+    // Inline on the calling thread; still one chain at a time, in order.
+    WorkerRunStats& st = stats_[0];
+    for (const MorselChain& c : chains) {
+      if (on_chain) on_chain(0, c, /*stolen=*/false);
+      ++st.chains;
+      for (const Morsel& m : c.morsels) {
+        body(0, m);
+        ++st.morsels;
+      }
+    }
+    st.done_ms = clock_();
+    return;
+  }
+
+  // LPT seeding: deal each chain (largest first) to the least-loaded deque.
+  std::vector<std::deque<MorselChain*>> deques(w);
+  std::vector<uint64_t> pending(w, 0);
+  for (MorselChain& c : chains) {
+    uint32_t target = 0;
+    for (uint32_t v = 1; v < w; ++v) {
+      if (pending[v] < pending[target]) target = v;
+    }
+    deques[target].push_back(&c);
+    pending[target] += c.cost;
+  }
+
+  // One coarse lock over all deques: pops are O(1) and morsels are big, so
+  // contention is noise, and a single lock keeps the steal path (scan for
+  // the busiest victim + pop) trivially race-free under TSan.
+  std::mutex mu;
+
+  auto worker = [&](uint32_t self) {
+    WorkerRunStats& st = stats_[self];
+    for (;;) {
+      MorselChain* c = nullptr;
+      bool stolen = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!deques[self].empty()) {
+          c = deques[self].front();
+          deques[self].pop_front();
+          pending[self] -= c->cost;
+        } else {
+          // Steal from the busiest victim (largest pending cost; lowest
+          // index on ties), from the opposite end of its deque.
+          uint32_t victim = w;
+          for (uint32_t v = 0; v < w; ++v) {
+            if (v == self || deques[v].empty()) continue;
+            if (victim == w || pending[v] > pending[victim]) victim = v;
+          }
+          if (victim != w) {
+            c = deques[victim].back();
+            deques[victim].pop_back();
+            pending[victim] -= c->cost;
+            stolen = true;
+            ++st.steals;
+          } else {
+            ++st.steal_failures;
+          }
+        }
+      }
+      if (c == nullptr) break;  // every deque empty: no work can appear
+      if (on_chain) on_chain(self, *c, stolen);
+      ++st.chains;
+      for (const Morsel& m : c->morsels) {
+        body(self, m);
+        ++st.morsels;
+      }
+    }
+    st.done_ms = clock_();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(w);
+  for (uint32_t t = 0; t < w; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+
+  const double join_ms = clock_();
+  for (WorkerRunStats& st : stats_) {
+    st.idle_ms = std::max(0.0, join_ms - st.done_ms);
+  }
+}
+
+}  // namespace mmjoin::exec

@@ -1,0 +1,133 @@
+// Morsel-driven work-stealing scheduling for the real-mmap backend.
+//
+// A partition-pass is decomposed into bounded-size *morsels* (tuple ranges)
+// grouped into *chains*. A chain is the unit of scheduling: its morsels run
+// in order, by exactly one worker at a time, which is what preserves the
+// drivers' one-writer-per-target discipline — morsels of a partition-pass
+// that share an output target (RP/RS bump cursors, per-partition driver
+// state) always belong to one chain. Morsels whose bodies touch no shared
+// target (pure probe loops such as nested-loops pass 1) may instead be
+// emitted as independent single-morsel chains, letting one hot Zipf
+// partition spread across every worker instead of serializing the pass.
+//
+// Scheduling: chains are dealt longest-first onto per-worker deques
+// (classic LPT seeding); a worker pops its own deque from the front and,
+// when empty, steals from the back of the deque of the *busiest* victim
+// (largest pending estimated cost). The chain set is fixed up front —
+// chains never spawn chains — so a worker whose own deque is empty and
+// whose steal attempt finds every deque empty can exit: no further work
+// can appear. Run() joins every worker before returning, giving callers
+// the same barrier semantics as a plain spawn/join loop.
+//
+// Determinism: chain construction is a pure function of (counts, options),
+// morsels within a chain run in order, and the join-output tallies the
+// bodies feed are commutative sums — so output count and checksum are
+// bit-identical regardless of worker count or steal interleaving. Only
+// wall-clock timing and the steal/idle telemetry vary between runs.
+#ifndef MMJOIN_EXEC_SCHEDULER_H_
+#define MMJOIN_EXEC_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mmjoin::exec {
+
+/// How the real backend maps partition work onto its workers.
+enum class Schedule : uint8_t {
+  kStatic,    ///< strided batches: worker w runs partitions w, w+W, ...
+  kStealing,  ///< morsel chains on per-worker deques with work stealing
+};
+
+const char* ScheduleName(Schedule s);
+
+/// Default morsel granularity: 16 Ki tuples (2 MiB of 128-byte objects) —
+/// coarse enough that deque traffic is noise, fine enough that a hot
+/// partition decomposes into many units.
+inline constexpr uint64_t kDefaultMorselTuples = uint64_t{1} << 14;
+
+/// Default skew threshold/factor: a partition whose tuple count exceeds
+/// skew_split_factor times the mean is considered hot and over-split.
+inline constexpr double kDefaultSkewSplitFactor = 4.0;
+
+/// Tunables of chain construction and the worker pool.
+struct SchedulerOptions {
+  uint32_t workers = 1;
+  uint64_t morsel_tuples = kDefaultMorselTuples;
+  double skew_split_factor = kDefaultSkewSplitFactor;
+};
+
+/// One tuple range [begin, end) of one partition's pass work.
+struct Morsel {
+  uint32_t partition = 0;
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// An ordered sequence of morsels executed by one worker at a time.
+struct MorselChain {
+  uint32_t partition = 0;
+  uint64_t cost = 0;  ///< estimated work (tuples; >= 1 so LPT can order)
+  std::vector<Morsel> morsels;
+};
+
+/// Per-worker telemetry of one Run(): written by the owning worker thread
+/// during the run, read by the caller after the join.
+struct WorkerRunStats {
+  uint64_t chains = 0;
+  uint64_t morsels = 0;
+  uint64_t steals = 0;          ///< chains taken from another deque
+  uint64_t steal_failures = 0;  ///< steal attempts that found every deque empty
+  double done_ms = 0;  ///< clock when this worker ran out of work
+  double idle_ms = 0;  ///< tail idle: time between done_ms and the join
+};
+
+/// Splits per-partition tuple counts into morsel chains. Pure and
+/// deterministic: depends only on (counts, options, independent).
+///
+/// - Every partition is covered by morsels [0, counts[i]) in order; a
+///   zero-count partition still gets one empty morsel [0, 0) so per-
+///   partition epilogues (flushes, segment drops) run exactly once.
+/// - A partition whose count exceeds skew_split_factor * mean(counts) is
+///   *over-split*: its morsel size shrinks so the partition yields at
+///   least workers * skew_split_factor morsels (bounded below by 1 tuple).
+/// - independent=false: one chain per partition (morsels share an output
+///   target and stay chained to one owner).
+///   independent=true: every morsel becomes its own single-morsel chain
+///   (the body declared the ranges free of shared targets).
+std::vector<MorselChain> BuildChains(const std::vector<uint64_t>& counts,
+                                     const SchedulerOptions& options,
+                                     bool independent);
+
+/// The worker pool. Each Run() spawns `options.workers` threads, executes
+/// every chain exactly once, and joins them all before returning (with one
+/// worker or an empty chain set it runs inline on the calling thread).
+class WorkStealingScheduler {
+ public:
+  /// body(worker, morsel): execute one morsel on the given worker slot.
+  using MorselFn = std::function<void(uint32_t, const Morsel&)>;
+  /// Called when a worker starts a chain; `stolen` marks a cross-deque take.
+  using ChainFn = std::function<void(uint32_t, const MorselChain&, bool)>;
+  /// Monotonic milliseconds, used for done/idle accounting. Must be
+  /// thread-safe.
+  using ClockFn = std::function<double()>;
+
+  WorkStealingScheduler(const SchedulerOptions& options, ClockFn clock);
+
+  /// Runs every chain exactly once; returns after all workers joined.
+  /// `on_chain` may be null.
+  void Run(std::vector<MorselChain> chains, const MorselFn& body,
+           const ChainFn& on_chain = nullptr);
+
+  /// Telemetry of the most recent Run(), one entry per worker.
+  const std::vector<WorkerRunStats>& worker_stats() const { return stats_; }
+
+ private:
+  SchedulerOptions options_;
+  ClockFn clock_;
+  std::vector<WorkerRunStats> stats_;
+};
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_SCHEDULER_H_

@@ -213,6 +213,13 @@ void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->histogram("pass." + pass.label + ".ms").Record(pass.elapsed_ms);
     registry->counter("pass." + pass.label + ".faults").Inc(pass.faults);
   }
+  if (sched_morsels > 0) {
+    // Real-backend stealing schedule only; absent from simulated dumps.
+    registry->counter("join.sched.morsels").Inc(sched_morsels);
+    registry->counter("join.sched.steals").Inc(sched_steals);
+    registry->counter("join.sched.steal_failures").Inc(sched_steal_failures);
+    registry->histogram("join.sched.idle_ms").Record(sched_idle_ms);
+  }
 }
 
 }  // namespace mmjoin::join

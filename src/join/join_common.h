@@ -90,6 +90,14 @@ struct JoinRunResult {
   uint64_t irun = 0, nrun_abl = 0, nrun_last = 0, npass = 0, lrun = 0;
   uint32_t k_buckets = 0, tsize = 0;
 
+  // Scheduler telemetry (real backend with schedule=stealing; all zero on
+  // the simulator and under the static schedule). Summed over workers and
+  // passes; per-worker detail lives on the trace's scheduler tracks.
+  uint64_t sched_morsels = 0;         ///< morsels executed
+  uint64_t sched_steals = 0;          ///< chains taken from another deque
+  uint64_t sched_steal_failures = 0;  ///< steal attempts that found nothing
+  double sched_idle_ms = 0;           ///< tail idle summed over workers
+
   /// Exports the run into `registry` under the "join." / "pass." / "rproc."
   /// prefixes (see DESIGN.md §Observability for the exact names). Called by
   /// the benches to produce their `*.metrics.json` dumps.
@@ -175,6 +183,20 @@ class JoinExecution {
   template <typename Fn>
   void ForEachPartition(Fn&& fn) {
     for (uint32_t i = 0; i < d_; ++i) fn(i);
+  }
+  /// Costed flavor: the estimates steer only dynamic schedules, which the
+  /// simulator does not have — identical to ForEachPartition here.
+  template <typename Fn>
+  void ForEachPartition(const std::vector<uint64_t>& /*costs*/, Fn&& fn) {
+    for (uint32_t i = 0; i < d_; ++i) fn(i);
+  }
+  /// Tuple-range flavor: one full-range call per partition, serially —
+  /// bit-identical to ForEachPartition (morsel splitting is a real-backend
+  /// concern; see exec/scheduler.h).
+  template <typename Body>
+  void ForEachPartitionTuples(const std::vector<uint64_t>& counts,
+                              Body&& body, bool /*independent*/) {
+    for (uint32_t i = 0; i < d_; ++i) body(i, 0, counts[i]);
   }
 
   // ---- Backend observability ----------------------------------------------

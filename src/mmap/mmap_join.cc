@@ -24,6 +24,9 @@ exec::RealBackendOptions ToBackendOptions(const MmJoinOptions& options) {
   exec::RealBackendOptions bo;
   bo.parallel = options.parallel;
   bo.max_threads = options.max_threads;
+  bo.schedule = options.schedule;
+  bo.morsel_tuples = options.morsel_tuples;
+  bo.skew_split_factor = options.skew_split_factor;
   bo.trace = options.trace;
   return bo;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "join/join_common.h"
 #include "mmap/mm_relation.h"
 #include "obs/metrics.h"
@@ -29,6 +30,14 @@ struct MmJoinOptions {
   /// effective count is min(D, bound) — when D exceeds it, workers batch
   /// partitions in a strided schedule instead of spawning D threads.
   uint32_t max_threads = 0;
+  /// Partition-to-worker mapping: `kStatic` is the strided schedule
+  /// (worker w runs partitions w, w+W, ...); `kStealing` (default) splits
+  /// passes into morsel chains on per-worker deques with work stealing and
+  /// skew-aware over-splitting. Output count/checksum are identical either
+  /// way — only wall-clock and scheduler telemetry differ.
+  exec::Schedule schedule = exec::Schedule::kStealing;
+  uint64_t morsel_tuples = 0;    ///< tuples per morsel; 0 = default (16 Ki)
+  double skew_split_factor = 0;  ///< hot-partition threshold/factor; 0 = 4
   /// Private memory per partition used to SHAPE plans (sort-merge IRUN /
   /// NRUN, Grace K); 0 = the JoinParams default (4 MiB). It does not limit
   /// real memory use — the kernel pages as it pleases.

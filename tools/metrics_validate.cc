@@ -1,0 +1,114 @@
+// Validates `*.metrics.json` dumps with the observability layer's strict
+// JSON parser (obs::JsonParse, RFC 8259 — the same parser the tests use to
+// round-trip what the writers produce), optionally merging the validated
+// documents into one artifact:
+//
+//   metrics_validate [--merge OUT.json] FILE...
+//
+// Every FILE must parse as a complete JSON document AND carry the bench
+// dump shape (an object with a "bench" string and a "metrics" object);
+// the first violation fails the run with a nonzero exit, which is what
+// lets CI's bench-smoke job treat "the benches emitted garbage" as a
+// build break. With --merge, the validated documents are embedded
+// verbatim (they are known-good JSON) into
+//
+//   {"benches":[{"file":"<name>","doc":<document>}, ...]}
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string merge_path;
+  std::vector<std::string> files;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--merge") == 0) {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "metrics_validate: --merge needs a path\n");
+        return 2;
+      }
+      merge_path = argv[++a];
+    } else {
+      files.push_back(argv[a]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: metrics_validate [--merge OUT.json] FILE...\n");
+    return 2;
+  }
+
+  std::string merged = "{\"benches\":[";
+  bool first = true;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "metrics_validate: cannot read %s\n",
+                   path.c_str());
+      return 1;
+    }
+    auto doc = mmjoin::obs::JsonParse(text);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "metrics_validate: %s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    const mmjoin::obs::JsonValue* bench = doc->Find("bench");
+    const mmjoin::obs::JsonValue* metrics = doc->Find("metrics");
+    if (!doc->is_object() || !bench || !bench->is_string() || !metrics ||
+        !metrics->is_object()) {
+      std::fprintf(stderr,
+                   "metrics_validate: %s: not a bench metrics dump "
+                   "(need object with \"bench\" string and \"metrics\" "
+                   "object)\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("ok\t%s\tbench=%s\n", path.c_str(), bench->str.c_str());
+    if (!merge_path.empty()) {
+      if (!first) merged += ',';
+      first = false;
+      merged += "{\"file\":\"" + mmjoin::obs::JsonEscape(path) +
+                "\",\"doc\":" + text + "}";
+    }
+  }
+
+  if (!merge_path.empty()) {
+    merged += "]}";
+    // The merge must itself survive the strict parser — embedding is only
+    // verbatim-safe if the inputs really were complete documents.
+    auto check = mmjoin::obs::JsonParse(merged);
+    if (!check.ok()) {
+      std::fprintf(stderr, "metrics_validate: merged artifact invalid: %s\n",
+                   check.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(merge_path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "metrics_validate: cannot open %s\n",
+                   merge_path.c_str());
+      return 1;
+    }
+    std::fwrite(merged.data(), 1, merged.size(), f);
+    std::fclose(f);
+    std::printf("merged\t%s\t%zu files\n", merge_path.c_str(), files.size());
+  }
+  return 0;
+}
