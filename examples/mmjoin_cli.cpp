@@ -20,6 +20,10 @@
 //   --seed=N                      workload seed
 //   --dir=PATH                    segment directory (real)     [tmp]
 //   --threads=N                   worker-thread cap (real)     [cores]
+//   --kernel=scalar|prefetch      dereference kernel (real)    [prefetch]
+//   --prefetch-distance=N         in-flight S derefs (real)    [32]
+//   --paging=none|advise|populate mmap paging policy (real)    [advise]
+//   --huge-pages                  MADV_HUGEPAGE on temps (real)
 //   --model                       also print the model's prediction
 //   --passes                      print the per-pass breakdown
 //
@@ -51,6 +55,10 @@ struct Flags {
   std::string sync = "auto";
   std::string dir;
   uint32_t threads = 0;
+  std::string kernel = "prefetch";
+  uint32_t prefetch_distance = 0;
+  std::string paging = "advise";
+  bool huge_pages = false;
   bool show_model = false;
   bool show_passes = false;
 };
@@ -74,6 +82,15 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(argv[i], "--threads", &v)) {
       flags->threads =
           static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--kernel", &v)) {
+      flags->kernel = v;
+    } else if (ParseFlag(argv[i], "--prefetch-distance", &v)) {
+      flags->prefetch_distance =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--paging", &v)) {
+      flags->paging = v;
+    } else if (std::strcmp(argv[i], "--huge-pages") == 0) {
+      flags->huge_pages = true;
     } else if (ParseFlag(argv[i], "--r", &v)) {
       flags->relation.r_objects = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--s", &v)) {
@@ -162,10 +179,35 @@ int RunOne(join::Algorithm a, const Flags& flags,
   return 0;
 }
 
+/// Resolves the real-backend kernel/paging flags; false on a bad value.
+bool ResolveRealOptions(const Flags& flags, mm::MmJoinOptions* options) {
+  if (flags.kernel == "scalar") {
+    options->kernel = exec::DerefKernel::kScalar;
+  } else if (flags.kernel == "prefetch") {
+    options->kernel = exec::DerefKernel::kPrefetch;
+  } else {
+    std::fprintf(stderr, "bad --kernel\n");
+    return false;
+  }
+  if (flags.paging == "none") {
+    options->paging = exec::PagingMode::kNone;
+  } else if (flags.paging == "advise") {
+    options->paging = exec::PagingMode::kAdvise;
+  } else if (flags.paging == "populate") {
+    options->paging = exec::PagingMode::kPopulate;
+  } else {
+    std::fprintf(stderr, "bad --paging\n");
+    return false;
+  }
+  options->prefetch_distance = flags.prefetch_distance;
+  options->huge_pages = flags.huge_pages;
+  return true;
+}
+
 int RunOneReal(join::Algorithm a, const Flags& flags,
-               const mm::MmWorkload& workload,
-               const join::JoinParams& params) {
-  mm::MmJoinOptions options;
+               const mm::MmWorkload& workload, const join::JoinParams& params,
+               const mm::MmJoinOptions& real_options) {
+  mm::MmJoinOptions options = real_options;
   options.m_rproc_bytes = params.m_rproc_bytes;
   options.k_buckets = params.k_buckets;
   options.tsize = params.tsize;
@@ -192,6 +234,12 @@ int RunOneReal(join::Algorithm a, const Flags& flags,
               join::AlgorithmName(a), result->wall_ms, result->threads_used,
               static_cast<unsigned long long>(result->run.faults),
               result->verified ? "yes" : "NO");
+  if (!result->paging_status.ok()) {
+    std::fprintf(stderr, "  paging: %llu advice failure(s), first: %s\n",
+                 static_cast<unsigned long long>(
+                     result->run.paging_advise_errors),
+                 result->paging_status.ToString().c_str());
+  }
   if (flags.show_passes) {
     for (const auto& pass : result->run.passes) {
       std::printf("  pass %-16s %10.2f ms   faults %8llu\n",
@@ -204,6 +252,16 @@ int RunOneReal(join::Algorithm a, const Flags& flags,
 
 int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
             const join::JoinParams& params) {
+  mm::MmJoinOptions real_options;
+  if (!ResolveRealOptions(flags, &real_options)) return 2;
+  std::printf("real backend: kernel=%s prefetch-distance=%u paging=%s "
+              "huge-pages=%s\n\n",
+              exec::KernelName(real_options.kernel),
+              real_options.prefetch_distance
+                  ? real_options.prefetch_distance
+                  : exec::kDefaultPrefetchDistance,
+              exec::PagingModeName(real_options.paging),
+              real_options.huge_pages ? "on" : "off");
   std::string dir = flags.dir.empty()
                         ? "/tmp/mmjoin_cli_" + std::to_string(::getpid())
                         : flags.dir;
@@ -218,7 +276,7 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
   }
   int rc = 0;
   for (auto a : algorithms) {
-    rc = RunOneReal(a, flags, *workload, params);
+    rc = RunOneReal(a, flags, *workload, params, real_options);
     if (rc != 0) break;
   }
   workload->r_segs.clear();

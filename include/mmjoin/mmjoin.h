@@ -9,6 +9,7 @@
 #include "disk/disk_array.h"       // simulated multi-disk substrate
 #include "exec/backend.h"          // execution-backend concept + RP layout
 #include "exec/join_drivers.h"     // the four drivers, written once
+#include "exec/kernels.h"          // batched prefetch dereference kernels
 #include "exec/real_backend.h"     // real-mmap backend (threads, wall time)
 #include "heap/heapsort.h"         // Floyd build + heapsort (Munro)
 #include "heap/merge_heap.h"       // delete-insert k-way merge heap

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Kernel/paging acceptance bench: a Release build of the real-backend join
+# bench at LARGE scale, repeated best-of-N per kernel x paging combination,
+# with the speedup gate armed — the run fails unless kernel=prefetch +
+# paging=advise beats kernel=scalar + paging=none by MIN_SPEEDUP on at
+# least two of the four algorithms (uniform or Zipf workload, whichever is
+# better per algorithm). The identity check (every combination produces
+# the identical verified count/checksum) is unconditional inside the bench.
+#
+#   scripts/bench_kernels.sh [build_dir] [objects] [out_json]
+#
+# Defaults: build-bench, 262144 objects per relation — the bench's own
+# default large scale (32 MiB per side, well past any LLC, so every probe
+# is a memory access). Larger N is fine too, but the probe pass becomes a
+# smaller share of total wall clock as partitioning/sorting grow, so the
+# end-to-end speedup the gate measures shrinks with N even though the
+# kernel's per-probe win does not. Output artifact: BENCH_kernels.json at
+# the repo root. Knobs via env: MMJOIN_KERNEL_REPS
+# (default 3, best-of), MIN_SPEEDUP (default 1.25), BENCH_KERNELS_TIMEOUT
+# (seconds, default 1800).
+#
+# This is the run that produces the committed BENCH_kernels.json artifact;
+# CI's bench-smoke stays small-scale and does NOT arm the speedup gate
+# (shared runners are too noisy for timing assertions — see
+# scripts/bench_smoke.sh, which gates only on large wall-clock regressions
+# against the committed baseline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OBJECTS="${2:-262144}"
+OUT_JSON="${3:-BENCH_kernels.json}"
+REPS="${MMJOIN_KERNEL_REPS:-3}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.25}"
+TIMEOUT_S="${BENCH_KERNELS_TIMEOUT:-1800}"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target real_backend_join metrics_validate
+
+OUT_DIR="$BUILD_DIR/bench-kernels"
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+echo "== real_backend_join $OBJECTS objects, D=8, theta=1.1," \
+     "reps=$REPS, gate >=${MIN_SPEEDUP}x on >=2/4 algorithms"
+(
+  cd "$OUT_DIR"
+  MMJOIN_KERNEL_REPS="$REPS" MMJOIN_KERNEL_ASSERT="$MIN_SPEEDUP" \
+    timeout "$TIMEOUT_S" ../bench/real_backend_join "$OBJECTS" 8 1.1 \
+    | tee bench_kernels.log
+  ../tools/metrics_validate --merge BENCH_kernels.json ./*.metrics.json
+)
+cp "$OUT_DIR/BENCH_kernels.json" "$OUT_JSON"
+echo "bench-kernels: OK ($OUT_JSON)"

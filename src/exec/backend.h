@@ -30,12 +30,18 @@
 #include <string>
 #include <vector>
 
+#include "exec/kernels.h"
+#include "mmap/segment.h"
 #include "obs/trace.h"
 #include "rel/relation.h"
 #include "sim/machine_config.h"
 #include "util/status.h"
 
 namespace mmjoin::exec {
+
+/// Paging intents are shared with the mmap layer (mmap/segment.h) — the
+/// simulator ignores them, the real backend maps them onto madvise(2).
+using AccessIntent = mm::AccessIntent;
 
 /// Compile-time interface of an execution backend. `Seg` is the backend's
 /// segment handle (sim::SegId for the simulator, a mapping handle for the
@@ -49,7 +55,8 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
                            std::vector<obs::TraceArg> args,
                            const std::vector<uint64_t>& counts,
                            void (*fn)(uint32_t),
-                           void (*range_fn)(uint32_t, uint64_t, uint64_t)) {
+                           void (*range_fn)(uint32_t, uint64_t, uint64_t),
+                           const SRef* refs, AccessIntent intent) {
   typename B::Seg;
 
   // ---- shape & parameters ------------------------------------------------
@@ -87,6 +94,29 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
   { b.DropSegment(i, seg, true) };
   { b.RequestS(i, off, len) };  // (r_id, packed sptr)
   { b.FlushSRequests(i) };
+
+  // ---- batched dereference kernels (exec/kernels.h) ----------------------
+  // BatchedProbe() says whether the probe sites should take the batched
+  // path: always false on the simulator (its costed fetch protocol and
+  // page-cache touch order are the semantics, so the original scalar loops
+  // must run), and false on the real backend when kernel=scalar — which is
+  // what keeps the A/B baseline genuinely unchanged. RequestSBatch is the
+  // staged equivalent of a RequestS loop over `refs`; ProbeRun is the same
+  // over a contiguous run of RObjects at `off` inside `seg`, reading only
+  // each object's (id, sptr) prefix. Both are order-free: output tallies
+  // are commutative sums, so kernels may reorder dereferences.
+  { cb.BatchedProbe() } -> std::convertible_to<bool>;
+  { b.RequestSBatch(i, refs, len) };
+  { b.ProbeRun(i, seg, off, len) };
+
+  // ---- paging policy ------------------------------------------------------
+  // Declarative hints about the imminent access pattern of a (range of a)
+  // segment. No-ops on the simulator (its paging model already knows the
+  // access pattern) and under paging=none; otherwise the real backend maps
+  // them onto madvise(2) per DESIGN.md §7.2. Never affects results — only
+  // which pages are resident when.
+  { b.AdviseSegment(i, seg, intent) };
+  { b.AdviseRange(i, seg, off, len, intent) };
 
   // ---- execution structure -----------------------------------------------
   // Runs fn(i) for every partition: serially in workload order on the

@@ -92,6 +92,21 @@ rel::RObject ReadR(B& ex, uint32_t i, typename B::Seg seg, uint64_t offset) {
   return obj;
 }
 
+/// Reads one R object in place (no copy) — batched-probe paths only, where
+/// the backend is real and Read returns a stable mapped pointer. Touching
+/// just (id, sptr) costs one cache line of the 128-byte object instead of
+/// the two a full copy pulls.
+template <Backend B>
+const rel::RObject* ReadRPtr(B& ex, uint32_t i, typename B::Seg seg,
+                             uint64_t offset) {
+  return static_cast<const rel::RObject*>(
+      ex.Read(i, seg, offset, sizeof(rel::RObject)));
+}
+
+/// S-ref scratch capacity of the batched probe paths: large enough that the
+/// prefetch pipeline's fill/drain is amortized, small enough to stay in L2.
+inline constexpr uint64_t kProbeScratch = 8192;
+
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
@@ -114,6 +129,15 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
                             mc.NewMapMs(ex.RpPages(i));
     ex.ChargeSetupAll(per_proc / d);  // ChargeSetupAll re-multiplies by D
   }
+  // Declare the pass-0/1 access pattern (no-op on the simulator and under
+  // paging=none): R is scanned once sequentially, S is probed in pointer
+  // order, and the RP temporaries are about to be filled — pre-faulting
+  // them turns pass 0's first-touch faults into one bulk populate.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.AdviseSegment(i, ex.r_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, ex.s_seg(i), AccessIntent::kRandom);
+    ex.AdviseSegment(i, ex.rp_seg(i), AccessIntent::kPopulateWrite);
+  }
   ex.MarkPass("setup");
 
   // ---- Pass 0: partition R_i; join the R_{i,i} objects immediately. ----
@@ -123,15 +147,39 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
         const typename B::Seg r_seg = ex.r_seg(i);
-        for (uint64_t k = begin; k < end; ++k) {
-          const rel::RObject obj =
-              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-          ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to its target
-          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-          if (sp.partition == i) {
-            ex.RequestS(i, obj.id, obj.sptr);
-          } else {
-            ex.AppendToRp(i, sp.partition, obj);
+        if (ex.BatchedProbe()) {
+          // Batched probe path (real backend, kernel=prefetch): route
+          // objects straight from the mapped scan — remote ones copy once
+          // into RP, own-partition refs stage into a scratch that flushes
+          // through the prefetch kernel.
+          std::vector<SRef> own;
+          own.reserve(std::min(end - begin, internal::kProbeScratch));
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject* obj = internal::ReadRPtr(
+                ex, i, r_seg, rel::Workload::ROffset(k));
+            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+            if (sp.partition == i) {
+              own.push_back(SRef{obj->id, obj->sptr});
+              if (own.size() == internal::kProbeScratch) {
+                ex.RequestSBatch(i, own.data(), own.size());
+                own.clear();
+              }
+            } else {
+              ex.AppendToRp(i, sp.partition, *obj);
+            }
+          }
+          if (!own.empty()) ex.RequestSBatch(i, own.data(), own.size());
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+            ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to target
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            if (sp.partition == i) {
+              ex.RequestS(i, obj.id, obj.sptr);
+            } else {
+              ex.AppendToRp(i, sp.partition, obj);
+            }
           }
         }
         ex.FlushSRequests(i);
@@ -146,16 +194,34 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
   // one hot partner — a Zipf-skewed RP_{i,j} — spreads across every worker
   // instead of serializing the phase.
   for (uint32_t t = 1; t < d; ++t) {
+    // Band hints around each phase: the partner band is about to be read
+    // (kWillNeed), and once the phase barrier has passed, band t is dead —
+    // hand its pages back (kDontNeed) so the RP footprint shrinks as pass 1
+    // progresses. The retirement must sit outside the morsel bodies:
+    // independent morsels of one band may still be running concurrently.
+    for (uint32_t i = 0; i < d; ++i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      ex.AdviseRange(i, ex.rp_seg(i), ex.RpSubOffset(i, j),
+                     ex.RpSubCount(i, j) * sizeof(rel::RObject),
+                     AccessIntent::kWillNeed);
+    }
     ex.ForEachPartitionTuples(
         internal::PhaseCounts(ex, t),
         [&](uint32_t i, uint64_t begin, uint64_t end) {
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj = internal::ReadR(
-                ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
-            ex.RequestS(i, obj.id, obj.sptr);
+          if (ex.BatchedProbe()) {
+            // A phase only probes: hand the contiguous band slice to the
+            // prefetch kernel in one run.
+            ex.ProbeRun(i, ex.rp_seg(i),
+                        base + begin * sizeof(rel::RObject), end - begin);
+          } else {
+            for (uint64_t k = begin; k < end; ++k) {
+              const rel::RObject obj = internal::ReadR(
+                  ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
+              ex.RequestS(i, obj.id, obj.sptr);
+            }
           }
           ex.FlushSRequests(i);
           if (ex.tracing()) {
@@ -166,6 +232,12 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
         },
         /*independent=*/true);
     if (sync) ex.SyncClocks();
+    for (uint32_t i = 0; i < d; ++i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      ex.AdviseRange(i, ex.rp_seg(i), ex.RpSubOffset(i, j),
+                     ex.RpSubCount(i, j) * sizeof(rel::RObject),
+                     AccessIntent::kDontNeed);
+    }
   }
   ex.MarkPass("pass1");
 
@@ -216,6 +288,15 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
                             mc.NewMapMs(ex.SegPages(merge_segs[i]));
     ex.ChargeSetupAll(per_proc / d);
   }
+  // R scans once sequentially; S_i is swept sequentially by the final
+  // merge-join; the RS/Merge/RP temporaries are about to be filled.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.AdviseSegment(i, ex.r_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, ex.s_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, rs_segs[i], AccessIntent::kPopulateWrite);
+    ex.AdviseSegment(i, merge_segs[i], AccessIntent::kPopulateWrite);
+    ex.AdviseSegment(i, ex.rp_seg(i), AccessIntent::kPopulateWrite);
+  }
   ex.MarkPass("setup");
 
   // Writers append to RS_target through disjoint per-target cursors: within
@@ -237,15 +318,30 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
         const typename B::Seg r_seg = ex.r_seg(i);
-        for (uint64_t k = begin; k < end; ++k) {
-          const rel::RObject obj =
-              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-          ex.ChargeCpu(i, mc.map_ms);
-          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-          if (sp.partition == i) {
-            append_rs(i, i, obj);
-          } else {
-            ex.AppendToRp(i, sp.partition, obj);
+        if (ex.BatchedProbe()) {
+          // Single-copy routing: move each object mapped-to-mapped instead
+          // of staging it on the stack first.
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject* obj = internal::ReadRPtr(
+                ex, i, r_seg, rel::Workload::ROffset(k));
+            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+            if (sp.partition == i) {
+              append_rs(i, i, *obj);
+            } else {
+              ex.AppendToRp(i, sp.partition, *obj);
+            }
+          }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+            ex.ChargeCpu(i, mc.map_ms);
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            if (sp.partition == i) {
+              append_rs(i, i, obj);
+            } else {
+              ex.AppendToRp(i, sp.partition, obj);
+            }
           }
         }
       },
@@ -265,10 +361,18 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-            append_rs(i, j, obj);
+          if (ex.BatchedProbe()) {
+            for (uint64_t k = begin; k < end; ++k) {
+              append_rs(i, j,
+                        *internal::ReadRPtr(ex, i, ex.rp_seg(i),
+                                            base + k * r));
+            }
+          } else {
+            for (uint64_t k = begin; k < end; ++k) {
+              const rel::RObject obj =
+                  internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+              append_rs(i, j, obj);
+            }
           }
           if (end == phase_counts[i]) {
             // Hand the written RS_j pages back to their owner's disk image.
@@ -348,6 +452,12 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
 
     auto merge_group = [&](uint64_t first_run, uint64_t n_runs,
                            uint64_t out_start, bool last_pass) {
+      // Merge-side fetch staging (batched path, final pass only): the
+      // merged stream arrives one object at a time off the heap, so refs
+      // collect into a scratch that flushes through the prefetch kernel.
+      const bool batched_fetch = last_pass && ex.BatchedProbe();
+      std::vector<SRef> fetch;
+      if (batched_fetch) fetch.reserve(internal::kProbeScratch);
       // Cursors are object indices into the source segment.
       std::vector<uint64_t> cur(n_runs), end(n_runs);
       MergeHeap heap(n_runs);
@@ -380,7 +490,15 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
         if (last_pass) {
           // Join instead of writing: the merged stream is in S-pointer
           // order, so S_i is read sequentially through the fetch protocol.
-          ex.RequestS(i, obj.id, obj.sptr);
+          if (batched_fetch) {
+            fetch.push_back(SRef{obj.id, obj.sptr});
+            if (fetch.size() == internal::kProbeScratch) {
+              ex.RequestSBatch(i, fetch.data(), fetch.size());
+              fetch.clear();
+            }
+          } else {
+            ex.RequestS(i, obj.id, obj.sptr);
+          }
         } else {
           void* dst = ex.Write(i, dst_seg[i], out * r, r);
           std::memcpy(dst, &obj, r);
@@ -388,6 +506,7 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
         }
         ++out;
       }
+      if (!fetch.empty()) ex.RequestSBatch(i, fetch.data(), fetch.size());
       internal::ChargeHeapCost(ex, i, heap.cost());
       return out;
     };
@@ -414,6 +533,7 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
           ex.CreateSegment(
               "Swap" + std::to_string(i) + "p" + std::to_string(pass_count),
               i, std::max<uint64_t>(n, 1) * r));
+      ex.AdviseSegment(i, fresh, AccessIntent::kPopulateWrite);
       src_seg[i] = dst_seg[i];  // the merged output becomes the next source
       dst_seg[i] = fresh;
       run_len *= plan.nrun_abl;
@@ -531,6 +651,14 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
                             mc.OpenMapMs(rs_pages);
     ex.ChargeSetupAll(per_proc / d);
   }
+  // R scans once sequentially; S_i is probed by hash-clustered chains
+  // (probe-heavy); the RS/RP temporaries are about to be filled.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.AdviseSegment(i, ex.r_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, ex.s_seg(i), AccessIntent::kRandom);
+    ex.AdviseSegment(i, rs_segs[i], AccessIntent::kPopulateWrite);
+    ex.AdviseSegment(i, ex.rp_seg(i), AccessIntent::kPopulateWrite);
+  }
   ex.MarkPass("setup");
 
   // One writer per target within any pass/phase (own partition in pass 0,
@@ -557,15 +685,29 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
         const typename B::Seg r_seg = ex.r_seg(i);
-        for (uint64_t k = begin; k < end; ++k) {
-          const rel::RObject obj =
-              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-          ex.ChargeCpu(i, mc.map_ms);
-          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-          if (sp.partition == i) {
-            hash_into_rs(i, obj);
-          } else {
-            ex.AppendToRp(i, sp.partition, obj);
+        if (ex.BatchedProbe()) {
+          // Single-copy routing off the mapped scan.
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject* obj = internal::ReadRPtr(
+                ex, i, r_seg, rel::Workload::ROffset(k));
+            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+            if (sp.partition == i) {
+              hash_into_rs(i, *obj);
+            } else {
+              ex.AppendToRp(i, sp.partition, *obj);
+            }
+          }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+            ex.ChargeCpu(i, mc.map_ms);
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            if (sp.partition == i) {
+              hash_into_rs(i, obj);
+            } else {
+              ex.AppendToRp(i, sp.partition, obj);
+            }
           }
         }
       },
@@ -583,10 +725,17 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-            hash_into_rs(i, obj);
+          if (ex.BatchedProbe()) {
+            for (uint64_t k = begin; k < end; ++k) {
+              hash_into_rs(i, *internal::ReadRPtr(ex, i, ex.rp_seg(i),
+                                                  base + k * r));
+            }
+          } else {
+            for (uint64_t k = begin; k < end; ++k) {
+              const rel::RObject obj =
+                  internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+              hash_into_rs(i, obj);
+            }
           }
           if (end == phase_counts[i]) {
             ex.DropSegment(i, rs_segs[j], /*discard=*/false);
@@ -609,35 +758,54 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
   ex.MarkPass("pass1");
 
   // ---- Passes 1+j: per bucket, build the TSIZE-chain table and join. ----
-  struct ChainEntry {
-    uint64_t r_id;
-    uint64_t sptr;
-  };
+  using ChainEntry = SRef;
   std::vector<Status> partition_status(d);
   ex.ForEachPartition(rs_objects, [&](uint32_t i) {
-    std::vector<std::vector<ChainEntry>> table(plan.tsize);
+    // The chain table serves the scalar path only: chains give the
+    // one-at-a-time probe loop (and the paper's Sproc) bucket-local S
+    // locality. The batched path probes the RS band in place — the
+    // pipeline's look-ahead subsumes the grouping, so the table build
+    // (one hash + one push per tuple) disappears from the real run.
+    std::vector<std::vector<ChainEntry>> table(
+        ex.BatchedProbe() ? 0 : plan.tsize);
     for (uint32_t b = 0; b < k_buckets; ++b) {
       for (auto& chain : table) chain.clear();
       const uint64_t base = bucket_offset[i][b];
       const uint64_t count = bucket_count[i][b];
       const double bucket_start_ms = ex.clock_ms(i);
-      for (uint64_t k = 0; k < count; ++k) {
-        rel::RObject obj;
-        const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
-        std::memcpy(&obj, src, r);
-        ex.ChargeCpu(i, mc.hash_ms);
-        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-        // Identical references collide into the same chain.
-        table[sp.index % plan.tsize].push_back(ChainEntry{obj.id, obj.sptr});
+      // The bucket after this one is the next band to stream in; the band
+      // just processed is dead — retire it below so RS_i shrinks as the
+      // bucket loop advances instead of all at once at DeleteSegment.
+      if (b + 1 < k_buckets) {
+        ex.AdviseRange(i, rs_segs[i], bucket_offset[i][b + 1],
+                       bucket_count[i][b + 1] * r, AccessIntent::kWillNeed);
       }
-      // Process the table in order; each chain's S objects fit in memory,
-      // so every S object is read once per bucket.
-      for (const auto& chain : table) {
-        for (const ChainEntry& e : chain) {
-          ex.RequestS(i, e.r_id, e.sptr);
+      if (ex.BatchedProbe()) {
+        // The bucket's entries are contiguous RObjects in RS_i: one
+        // ProbeRun stages their 16-byte (id, sptr) prefixes through the
+        // prefetch pipeline — no table, no copies.
+        ex.ProbeRun(i, rs_segs[i], base, count);
+      } else {
+        for (uint64_t k = 0; k < count; ++k) {
+          rel::RObject obj;
+          const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
+          std::memcpy(&obj, src, r);
+          ex.ChargeCpu(i, mc.hash_ms);
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          // Identical references collide into the same chain.
+          table[sp.index % plan.tsize].push_back(
+              ChainEntry{obj.id, obj.sptr});
+        }
+        // Process the table in order; each chain's S objects fit in memory,
+        // so every S object is read once per bucket.
+        for (const auto& chain : table) {
+          for (const ChainEntry& e : chain) {
+            ex.RequestS(i, e.r_id, e.sptr);
+          }
         }
       }
       ex.FlushSRequests(i);
+      ex.AdviseRange(i, rs_segs[i], base, count * r, AccessIntent::kDontNeed);
       if (ex.tracing()) {
         ex.Span(i, "bucket " + std::to_string(b), "bucket", bucket_start_ms,
                 {obs::Arg("objects", count)});
@@ -724,15 +892,20 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
                             mc.OpenMapMs(rs_pages);
     ex.ChargeSetupAll(per_proc / d);
   }
+  // Paging intents mirror Grace, too.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.AdviseSegment(i, ex.r_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, ex.s_seg(i), AccessIntent::kRandom);
+    ex.AdviseSegment(i, rs_segs[i], AccessIntent::kPopulateWrite);
+    ex.AdviseSegment(i, ex.rp_seg(i), AccessIntent::kPopulateWrite);
+  }
   ex.MarkPass("setup");
 
   // The resident tables: per process, (r_id, sptr) entries of its own
   // bucket-0 objects. Table memory is part of M_Rproc (the Grace K rule
-  // already budgets one bucket plus overhead).
-  struct Entry {
-    uint64_t r_id;
-    uint64_t sptr;
-  };
+  // already budgets one bucket plus overhead). An entry is exactly an
+  // S-ref, so the batched path can flatten chains into kernel batches.
+  using Entry = SRef;
   std::vector<std::vector<Entry>> resident(d);
   for (uint32_t i = 0; i < d; ++i) resident[i].reserve(resident_count[i]);
 
@@ -754,24 +927,45 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
         const typename B::Seg r_seg = ex.r_seg(i);
-        for (uint64_t k = begin; k < end; ++k) {
-          const rel::RObject obj =
-              internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-          ex.ChargeCpu(i, mc.map_ms);
-          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-          if (sp.partition == i) {
-            ex.ChargeCpu(i, mc.hash_ms);
-            const uint32_t b =
-                join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
-            if (b == 0) {
-              // Resident: one private move into the table, no disk traffic.
-              resident[i].push_back(Entry{obj.id, obj.sptr});
-              ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+        if (ex.BatchedProbe()) {
+          // Single-copy routing off the mapped scan.
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject* obj = internal::ReadRPtr(
+                ex, i, r_seg, rel::Workload::ROffset(k));
+            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+            if (sp.partition == i) {
+              const uint32_t b =
+                  join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
+              if (b == 0) {
+                resident[i].push_back(Entry{obj->id, obj->sptr});
+              } else {
+                spill(i, *obj, b);
+              }
             } else {
-              spill(i, obj, b);
+              ex.AppendToRp(i, sp.partition, *obj);
             }
-          } else {
-            ex.AppendToRp(i, sp.partition, obj);
+          }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+            ex.ChargeCpu(i, mc.map_ms);
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            if (sp.partition == i) {
+              ex.ChargeCpu(i, mc.hash_ms);
+              const uint32_t b =
+                  join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
+              if (b == 0) {
+                // Resident: one private move into the table, no disk
+                // traffic.
+                resident[i].push_back(Entry{obj.id, obj.sptr});
+                ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+              } else {
+                spill(i, obj, b);
+              }
+            } else {
+              ex.AppendToRp(i, sp.partition, obj);
+            }
           }
         }
       },
@@ -788,14 +982,25 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-            ex.ChargeCpu(i, mc.hash_ms);
-            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-            spill(i, obj,
-                  join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
-                                      k_buckets));
+          if (ex.BatchedProbe()) {
+            for (uint64_t k = begin; k < end; ++k) {
+              const rel::RObject* obj =
+                  internal::ReadRPtr(ex, i, ex.rp_seg(i), base + k * r);
+              const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+              spill(i, *obj,
+                    join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
+                                        k_buckets));
+            }
+          } else {
+            for (uint64_t k = begin; k < end; ++k) {
+              const rel::RObject obj =
+                  internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+              ex.ChargeCpu(i, mc.hash_ms);
+              const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+              spill(i, obj,
+                    join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
+                                        k_buckets));
+            }
           }
           if (end == phase_counts[i]) {
             ex.DropSegment(i, rs_segs[j], /*discard=*/false);
@@ -820,33 +1025,54 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
   std::vector<Status> partition_status(d);
   ex.ForEachPartition(rs_objects, [&](uint32_t i) {
     // Resident bucket 0: already in memory, join directly (S_i bucket-0
-    // range is read here, sequentially by chain order).
-    std::vector<std::vector<Entry>> table(plan.tsize);
-    for (const Entry& e : resident[i]) {
-      table[rel::SPtr::Unpack(e.sptr).index % plan.tsize].push_back(e);
-    }
-    for (const auto& chain : table) {
-      for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
-    }
-    ex.FlushSRequests(i);
-
-    // Spilled buckets, Grace-style.
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      if (bucket_count[i][b] == 0) continue;
-      for (auto& chain : table) chain.clear();
-      const uint64_t base = bucket_offset[i][b];
-      for (uint64_t k = 0; k < bucket_count[i][b]; ++k) {
-        rel::RObject obj;
-        const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
-        std::memcpy(&obj, src, r);
-        ex.ChargeCpu(i, mc.hash_ms);
-        table[rel::SPtr::Unpack(obj.sptr).index % plan.tsize].push_back(
-            Entry{obj.id, obj.sptr});
+    // range is read here, sequentially by chain order). As in Grace, the
+    // chain table serves the scalar path only — the batched path probes
+    // the resident entries / the RS band in place, the pipeline's
+    // look-ahead subsuming the grouping the chains provide.
+    std::vector<std::vector<Entry>> table(
+        ex.BatchedProbe() ? 0 : plan.tsize);
+    if (ex.BatchedProbe()) {
+      // The resident entries are already one contiguous SRef array.
+      ex.RequestSBatch(i, resident[i].data(), resident[i].size());
+      ex.FlushSRequests(i);
+    } else {
+      for (const Entry& e : resident[i]) {
+        table[rel::SPtr::Unpack(e.sptr).index % plan.tsize].push_back(e);
       }
       for (const auto& chain : table) {
         for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
       }
       ex.FlushSRequests(i);
+    }
+
+    // Spilled buckets, Grace-style (with the same streaming band hints).
+    for (uint32_t b = 0; b < k_buckets; ++b) {
+      if (bucket_count[i][b] == 0) continue;
+      for (auto& chain : table) chain.clear();
+      const uint64_t base = bucket_offset[i][b];
+      const uint64_t count = bucket_count[i][b];
+      if (b + 1 < k_buckets) {
+        ex.AdviseRange(i, rs_segs[i], bucket_offset[i][b + 1],
+                       bucket_count[i][b + 1] * r, AccessIntent::kWillNeed);
+      }
+      if (ex.BatchedProbe()) {
+        ex.ProbeRun(i, rs_segs[i], base, count);
+        ex.FlushSRequests(i);
+      } else {
+        for (uint64_t k = 0; k < count; ++k) {
+          rel::RObject obj;
+          const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
+          std::memcpy(&obj, src, r);
+          ex.ChargeCpu(i, mc.hash_ms);
+          table[rel::SPtr::Unpack(obj.sptr).index % plan.tsize].push_back(
+              Entry{obj.id, obj.sptr});
+        }
+        for (const auto& chain : table) {
+          for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
+        }
+        ex.FlushSRequests(i);
+      }
+      ex.AdviseRange(i, rs_segs[i], base, count * r, AccessIntent::kDontNeed);
     }
     ex.DropSegment(i, rs_segs[i], /*discard=*/true);
     partition_status[i] = ex.DeleteSegment(rs_segs[i]);

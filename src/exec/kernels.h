@@ -1,0 +1,110 @@
+// Cache-conscious dereference kernels for the real backend.
+//
+// The paper's thesis makes probe-loop cost equal to (cache misses + page
+// faults), not instructions: in a memory-mapped single-level store the
+// "I/O" of a pointer join happens implicitly when the probe loop touches
+// the S object. That turns the three probe sites of the drivers — the
+// nested-loops pass-1 probe, the Grace/hybrid bucket-chain probe, and the
+// sort-merge merge-side fetch — into pure memory-latency benchmarks, and
+// memory-latency benchmarks are exactly what software prefetching and
+// cache-line-conscious staging fix.
+//
+// Two primitives, both batched:
+//
+//   ProbeRefs     dereference an array of (r_id, packed sptr) references.
+//                 A software pipeline issues __builtin_prefetch for the
+//                 S object `distance` iterations ahead, so by the time the
+//                 payload is touched the line is (ideally) in flight or
+//                 resident — the group-prefetch/AMAC idea specialized to
+//                 the paper's fixed-size objects.
+//   ProbeObjects  same, over a contiguous run of full 128-byte RObjects
+//                 (an RP band or a sorted RS range). Only the first
+//                 16 bytes (id, sptr) of each object are read — one cache
+//                 line instead of the two a full-object copy touches —
+//                 halving the R-side memory traffic of a probe pass.
+//
+// Both accumulate into a KernelTally: count/digest are the join output
+// (bit-identical to the scalar loop — addition is commutative and the
+// digest per match does not depend on probe order), requests/prefetches/
+// batches feed the join.kernel.* metrics.
+//
+// The scalar reference loops (ProbeRefsScalar/ProbeObjectsScalar) are kept
+// callable so tests can A/B the kernels directly; the backend-level A/B
+// switch is RealBackendOptions::kernel.
+#ifndef MMJOIN_EXEC_KERNELS_H_
+#define MMJOIN_EXEC_KERNELS_H_
+
+#include <cstdint>
+
+#include "rel/relation.h"
+
+namespace mmjoin::exec {
+
+/// Which dereference kernel the real backend's probe sites run.
+enum class DerefKernel : uint8_t {
+  kScalar,    ///< the naked one-at-a-time pointer chase (the A/B baseline)
+  kPrefetch,  ///< batched software-prefetch pipeline (this layer)
+};
+
+/// How aggressively the real backend advises the kernel about paging.
+enum class PagingMode : uint8_t {
+  kNone,      ///< no hints: the kernel sees naked faults (the A/B baseline)
+  kAdvise,    ///< madvise intents: SEQUENTIAL/RANDOM per pass, WILLNEED
+              ///< ahead of a band, DONTNEED on retirement, POPULATE_WRITE
+              ///< pre-fault of anonymous temporaries about to be filled
+  kPopulate,  ///< kAdvise plus MAP_POPULATE at temporary-creation time
+};
+
+const char* KernelName(DerefKernel kernel);
+const char* PagingModeName(PagingMode paging);
+
+/// Prefetch distance (in-flight S dereferences) when none is configured.
+/// Chosen empirically: deep enough to cover DRAM latency at ~45 ns/probe,
+/// shallow enough that the staged refs stay in L1.
+inline constexpr uint32_t kDefaultPrefetchDistance = 32;
+/// Upper bound on the configurable distance (size of the staging window).
+inline constexpr uint32_t kMaxPrefetchDistance = 256;
+
+/// One staged S dereference: which R object asked, and for what. Layout-
+/// compatible with the drivers' chain-table entries, so a bucket chain can
+/// be probed without repacking.
+struct SRef {
+  uint64_t r_id = 0;
+  uint64_t sptr = 0;  ///< rel::SPtr::Pack form
+};
+static_assert(sizeof(SRef) == 16, "SRef must stay two words");
+
+/// Output + telemetry accumulator of the kernels. count/digest are the join
+/// result contribution; the rest feeds join.kernel.* metrics.
+struct KernelTally {
+  uint64_t count = 0;       ///< join output objects emitted
+  uint64_t digest = 0;      ///< sum of rel::OutputDigest over the matches
+  uint64_t requests = 0;    ///< S dereferences performed through a kernel
+  uint64_t prefetches = 0;  ///< __builtin_prefetch issued
+  uint64_t batches = 0;     ///< kernel invocations (ProbeRefs/ProbeObjects)
+};
+
+/// Dereferences refs[0..n) against the S partitions (`parts[p]` = base of
+/// partition p's SObject array) with a `distance`-deep prefetch pipeline.
+void ProbeRefs(const SRef* refs, uint64_t n,
+               const rel::SObject* const* parts, uint32_t distance,
+               KernelTally* tally);
+
+/// Scalar reference loop for ProbeRefs (no prefetch, no staging).
+void ProbeRefsScalar(const SRef* refs, uint64_t n,
+                     const rel::SObject* const* parts, KernelTally* tally);
+
+/// Dereferences the S pointers of a contiguous run of `n` RObjects with the
+/// prefetch pipeline, reading only the 16-byte (id, sptr) prefix of each.
+void ProbeObjects(const rel::RObject* objs, uint64_t n,
+                  const rel::SObject* const* parts, uint32_t distance,
+                  KernelTally* tally);
+
+/// Scalar reference loop for ProbeObjects (whole-object copy + immediate
+/// dereference — the shape of the drivers' historical probe loop).
+void ProbeObjectsScalar(const rel::RObject* objs, uint64_t n,
+                        const rel::SObject* const* parts, KernelTally* tally);
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_KERNELS_H_

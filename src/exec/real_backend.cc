@@ -4,7 +4,10 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 
 namespace mmjoin::exec {
 
@@ -51,6 +54,12 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
                               options)),
       schedule_(options.schedule),
       sched_options_(ResolveScheduler(workers_, options)),
+      kernel_(options.kernel),
+      prefetch_distance_(options.prefetch_distance
+                             ? options.prefetch_distance
+                             : kDefaultPrefetchDistance),
+      paging_(options.paging),
+      huge_pages_(options.huge_pages),
       trace_(options.trace) {
   (void)params;  // plan shaping reads params through the drivers
   start_epoch_ms_ = SteadyNowMs();
@@ -58,6 +67,7 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
   rp_segs_.assign(d_, nullptr);
   out_count_.assign(std::max(1u, workers_), 0);
   out_digest_.assign(std::max(1u, workers_), 0);
+  tallies_.assign(std::max(1u, workers_), KernelTally{});
   sched_totals_.assign(std::max(1u, workers_), WorkerRunStats{});
   for (uint32_t i = 0; i < d_; ++i) {
     auto r = std::make_unique<RealSeg>();
@@ -99,7 +109,9 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
 RealBackend::~RealBackend() {
   for (auto& seg : owned_) {
     if (seg->live && seg->owned && seg->base) {
-      ::munmap(seg->base, seg->map_bytes);
+      if (::munmap(seg->base, seg->map_bytes) != 0) {
+        std::perror("mmjoin: munmap in RealBackend destructor");
+      }
       seg->live = false;
     }
   }
@@ -118,10 +130,29 @@ StatusOr<RealBackend::Seg> RealBackend::CreateSegment(const std::string& name,
   const uint64_t page = mc_.page_size;
   const uint64_t map_bytes =
       std::max<uint64_t>(1, (bytes + page - 1) / page) * page;
-  void* base = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+  // paging=populate pre-faults at map time; paging=advise instead leaves
+  // pre-faulting to the drivers' POPULATE_WRITE intents so only temporaries
+  // that are about to be filled pay for their pages up front.
+  if (paging_ == PagingMode::kPopulate) flags |= MAP_POPULATE;
+  void* base = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE, flags, -1,
+                      0);
   if (base == MAP_FAILED) {
     return Status::IOError("mmap failed for segment " + name);
+  }
+  if (huge_pages_) {
+    // Effective only under THP mode `madvise`; failure (e.g. THP compiled
+    // out) is telemetry, never an error on the join path.
+    uint64_t advised = 0;
+    const Status st = mm::AdviseMappedRange(base, map_bytes, 0, map_bytes,
+                                            AccessIntent::kHugePage, &advised);
+    advise_calls_.fetch_add(1, std::memory_order_relaxed);
+    advise_bytes_.fetch_add(advised, std::memory_order_relaxed);
+    if (!st.ok()) {
+      advise_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(paging_mu_);
+      if (paging_status_.ok()) paging_status_ = st;
+    }
   }
   auto seg = std::make_unique<RealSeg>();
   seg->name = name + "@d" + std::to_string(disk);
@@ -143,9 +174,14 @@ Status RealBackend::DeleteSegment(Seg seg) {
   }
   std::lock_guard<std::mutex> lock(segs_mu_);
   if (!seg->live) return Status::InvalidArgument("segment already deleted");
-  ::munmap(seg->base, seg->map_bytes);
+  uint8_t* base = seg->base;
+  const uint64_t map_bytes = seg->map_bytes;
   seg->base = nullptr;
   seg->live = false;
+  if (::munmap(base, map_bytes) != 0) {
+    return Status::IOError("munmap failed for segment " + seg->name + ": " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
@@ -155,7 +191,49 @@ void RealBackend::DropSegment(uint32_t /*i*/, Seg seg, bool discard) {
   // pages back early is safe. discard=false is a write-back hint — a no-op
   // for anonymous memory.
   if (discard && seg->owned && seg->live) {
-    ::madvise(seg->base, seg->map_bytes, MADV_DONTNEED);
+    if (::madvise(seg->base, seg->map_bytes, MADV_DONTNEED) != 0) {
+      // The drop is an optimization; failing to hand pages back early only
+      // costs memory. Record it like any other advice failure.
+      advise_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(paging_mu_);
+      if (paging_status_.ok()) {
+        paging_status_ = Status::IOError("madvise(DONTNEED) failed for " +
+                                         seg->name + ": " +
+                                         std::strerror(errno));
+      }
+    }
+  }
+}
+
+void RealBackend::AdviseRange(uint32_t i, Seg seg, uint64_t offset,
+                              uint64_t length, AccessIntent intent) {
+  if (paging_ == PagingMode::kNone || seg == nullptr || !seg->live ||
+      seg->base == nullptr || length == 0) {
+    return;
+  }
+  // Owned temporaries advise their page-rounded mapping; workload views
+  // advise their logical extent — they point into the middle of the page-
+  // granular file mapping, and AdviseMappedRange's outward page rounding
+  // stays inside it.
+  const uint64_t extent = seg->owned ? seg->map_bytes : seg->bytes;
+  if (offset >= extent) return;
+  uint64_t advised = 0;
+  const Status st = mm::AdviseMappedRange(
+      seg->base, extent, offset, std::min(length, extent - offset), intent,
+      &advised);
+  advise_calls_.fetch_add(1, std::memory_order_relaxed);
+  advise_bytes_.fetch_add(advised, std::memory_order_relaxed);
+  if (!st.ok()) {
+    advise_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(paging_mu_);
+    if (paging_status_.ok()) paging_status_ = st;
+  }
+  if (trace_) {
+    const double now = clock_ms(i);
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace_->Instant(i, 1,
+                    std::string("advise ") + mm::AccessIntentName(intent),
+                    "paging", now, {obs::Arg("bytes", advised)});
   }
 }
 
@@ -259,6 +337,19 @@ join::JoinRunResult RealBackend::Finish() {
     r.output_count += out_count_[w];
     r.output_checksum += out_digest_[w];
   }
+  for (const KernelTally& t : tallies_) {
+    // Batched probes tally into the kernel accumulators instead of
+    // out_count_/out_digest_; both are commutative sums over the same
+    // output stream, so folding them here keeps one total.
+    r.output_count += t.count;
+    r.output_checksum += t.digest;
+    r.kernel_batches += t.batches;
+    r.kernel_requests += t.requests;
+    r.kernel_prefetches += t.prefetches;
+  }
+  r.paging_advise_calls = advise_calls_.load(std::memory_order_relaxed);
+  r.paging_advise_bytes = advise_bytes_.load(std::memory_order_relaxed);
+  r.paging_advise_errors = advise_errors_.load(std::memory_order_relaxed);
   for (const WorkerRunStats& st : sched_totals_) {
     r.sched_morsels += st.morsels;
     r.sched_steals += st.steals;

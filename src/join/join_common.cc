@@ -220,6 +220,19 @@ void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->counter("join.sched.steal_failures").Inc(sched_steal_failures);
     registry->histogram("join.sched.idle_ms").Record(sched_idle_ms);
   }
+  if (kernel_batches > 0) {
+    // Real-backend batched kernels only; absent from simulated dumps and
+    // from kernel=scalar runs.
+    registry->counter("join.kernel.batches").Inc(kernel_batches);
+    registry->counter("join.kernel.requests").Inc(kernel_requests);
+    registry->counter("join.kernel.prefetches").Inc(kernel_prefetches);
+  }
+  if (paging_advise_calls > 0) {
+    // Real-backend paging policy only; absent under paging=none.
+    registry->counter("join.paging.advise_calls").Inc(paging_advise_calls);
+    registry->counter("join.paging.advise_bytes").Inc(paging_advise_bytes);
+    registry->counter("join.paging.advise_errors").Inc(paging_advise_errors);
+  }
 }
 
 }  // namespace mmjoin::join

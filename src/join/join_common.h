@@ -98,6 +98,16 @@ struct JoinRunResult {
   uint64_t sched_steal_failures = 0;  ///< steal attempts that found nothing
   double sched_idle_ms = 0;           ///< tail idle summed over workers
 
+  // Dereference-kernel and paging-policy telemetry (real backend with
+  // kernel=prefetch / paging!=none; all zero on the simulator and under
+  // the scalar/none baseline). See exec/kernels.h and DESIGN.md §7.2.
+  uint64_t kernel_batches = 0;     ///< batched kernel invocations
+  uint64_t kernel_requests = 0;    ///< S dereferences through a kernel
+  uint64_t kernel_prefetches = 0;  ///< software prefetches issued
+  uint64_t paging_advise_calls = 0;   ///< madvise intents applied
+  uint64_t paging_advise_bytes = 0;   ///< page-rounded bytes advised
+  uint64_t paging_advise_errors = 0;  ///< madvise failures (also Status)
+
   /// Exports the run into `registry` under the "join." / "pass." / "rproc."
   /// prefixes (see DESIGN.md §Observability for the exact names). Called by
   /// the benches to produce their `*.metrics.json` dumps.
@@ -231,6 +241,30 @@ class JoinExecution {
   void RequestS(uint32_t i, uint64_t r_id, uint64_t packed_sptr);
   /// Drains Rproc_i's pending S requests (end of a scan or phase).
   void FlushSRequests(uint32_t i);
+
+  // ---- Backend batched kernels / paging policy ----------------------------
+  // The simulator never takes the batched path: the G-buffered fetch
+  // protocol and the page-cache touch order ARE its semantics, so
+  // BatchedProbe() is constant false and the drivers run their original
+  // scalar loops. The operations still exist (and devolve to those scalar
+  // loops) so the drivers compile against one concept.
+  bool BatchedProbe() const { return false; }
+  void RequestSBatch(uint32_t i, const exec::SRef* refs, uint64_t n) {
+    for (uint64_t k = 0; k < n; ++k) RequestS(i, refs[k].r_id, refs[k].sptr);
+  }
+  void ProbeRun(uint32_t i, Seg seg, uint64_t offset, uint64_t n) {
+    for (uint64_t k = 0; k < n; ++k) {
+      const void* src =
+          Read(i, seg, offset + k * sizeof(rel::RObject), sizeof(rel::RObject));
+      const auto* obj = static_cast<const rel::RObject*>(src);
+      RequestS(i, obj->id, obj->sptr);
+    }
+  }
+  /// Paging intents are meaningless to the simulated page cache (its
+  /// replacement policy is the model under study): no-ops.
+  void AdviseSegment(uint32_t /*i*/, Seg /*seg*/, exec::AccessIntent /*in*/) {}
+  void AdviseRange(uint32_t /*i*/, Seg /*seg*/, uint64_t /*off*/,
+                   uint64_t /*len*/, exec::AccessIntent /*in*/) {}
 
   /// Barrier: sets every Rproc clock to the current maximum.
   void SyncClocks();

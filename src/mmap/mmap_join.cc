@@ -27,6 +27,10 @@ exec::RealBackendOptions ToBackendOptions(const MmJoinOptions& options) {
   bo.schedule = options.schedule;
   bo.morsel_tuples = options.morsel_tuples;
   bo.skew_split_factor = options.skew_split_factor;
+  bo.kernel = options.kernel;
+  bo.prefetch_distance = options.prefetch_distance;
+  bo.paging = options.paging;
+  bo.huge_pages = options.huge_pages;
   bo.trace = options.trace;
   return bo;
 }
@@ -53,7 +57,9 @@ StatusOr<MmJoinResult> Run(const MmWorkload& workload,
   const join::JoinParams params = ToJoinParams(options);
   exec::RealBackend backend(workload, params, ToBackendOptions(options));
   MMJOIN_ASSIGN_OR_RETURN(join::JoinRunResult run, Driver(backend, params));
-  return ToResult(std::move(run));
+  MmJoinResult result = ToResult(std::move(run));
+  result.paging_status = backend.DeferredError();
+  return result;
 }
 
 }  // namespace

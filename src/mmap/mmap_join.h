@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/kernels.h"
 #include "exec/scheduler.h"
 #include "join/join_common.h"
 #include "mmap/mm_relation.h"
@@ -44,6 +45,22 @@ struct MmJoinOptions {
   uint64_t m_rproc_bytes = 0;
   uint32_t k_buckets = 0;  ///< Grace/hybrid K (0: derive from memory)
   uint32_t tsize = 0;      ///< Grace/hybrid chain count (0: ~4 per chain)
+  /// Dereference kernel for the probe sites: `kPrefetch` (default) batches
+  /// S-pointer dereferences through software-prefetched pipelines
+  /// (exec/kernels.h); `kScalar` keeps the original per-tuple loops — the
+  /// A/B baseline. Output count/checksum are identical either way.
+  exec::DerefKernel kernel = exec::DerefKernel::kPrefetch;
+  /// In-flight S dereferences per pipeline for kernel=prefetch; 0 = 32.
+  uint32_t prefetch_distance = 0;
+  /// mmap paging policy: `kNone` issues no hints; `kAdvise` (default) maps
+  /// the drivers' declared access intents onto madvise(2) — SEQUENTIAL
+  /// scans, RANDOM probes, POPULATE_WRITE pre-faulting of temporaries,
+  /// WILLNEED/DONTNEED band streaming; `kPopulate` additionally maps
+  /// temporaries with MAP_POPULATE. Hints never affect results.
+  exec::PagingMode paging = exec::PagingMode::kAdvise;
+  /// Request MADV_HUGEPAGE on temporaries (effective only when the system
+  /// THP mode is `madvise`); independent of `paging`.
+  bool huge_pages = false;
   /// Optional wall-clock trace recorder (Chrome trace-event JSON, same
   /// format as simulated runs; Perfetto-loadable via WriteFile).
   obs::TraceRecorder* trace = nullptr;
@@ -58,6 +75,11 @@ struct MmJoinResult {
   uint64_t output_checksum = 0;
   bool verified = false;  ///< matched the workload's expected join
   uint32_t threads_used = 0;
+  /// First paging-advice failure of the run (OK when none). Hints are
+  /// best-effort and never fail the join — callers decide whether a failed
+  /// madvise(2) is worth reporting. The count is in
+  /// run.paging_advise_errors.
+  Status paging_status = Status::OK();
   join::JoinRunResult run;  ///< full result in the cross-backend shape
 
   /// Exports the run into `registry` under the same "join." / "pass."

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -27,9 +28,107 @@ Status Errno(const std::string& what) {
 
 }  // namespace
 
+const char* AccessIntentName(AccessIntent intent) {
+  switch (intent) {
+    case AccessIntent::kSequential:
+      return "sequential";
+    case AccessIntent::kRandom:
+      return "random";
+    case AccessIntent::kWillNeed:
+      return "willneed";
+    case AccessIntent::kDontNeed:
+      return "dontneed";
+    case AccessIntent::kPopulateWrite:
+      return "populate-write";
+    case AccessIntent::kHugePage:
+      return "hugepage";
+  }
+  return "?";
+}
+
+// MADV_POPULATE_WRITE is linux 5.14+; compile against older headers too and
+// let the runtime EINVAL fallback below handle older kernels.
+#ifndef MADV_POPULATE_WRITE
+#define MADV_POPULATE_WRITE 23
+#endif
+
+Status AdviseMappedRange(void* map_base, uint64_t map_bytes, uint64_t offset,
+                         uint64_t length, AccessIntent intent,
+                         uint64_t* advised_bytes) {
+  if (advised_bytes != nullptr) *advised_bytes = 0;
+  if (map_base == nullptr) {
+    return Status::InvalidArgument("advise on an unmapped segment");
+  }
+  if (offset > map_bytes || length > map_bytes - offset) {
+    return Status::InvalidArgument(
+        "advise range [" + std::to_string(offset) + ", +" +
+        std::to_string(length) + ") exceeds mapping of " +
+        std::to_string(map_bytes) + " bytes");
+  }
+  if (length == 0) return Status::OK();
+
+  int advice = 0;
+  switch (intent) {
+    case AccessIntent::kSequential:
+      advice = MADV_SEQUENTIAL;
+      break;
+    case AccessIntent::kRandom:
+      advice = MADV_RANDOM;
+      break;
+    case AccessIntent::kWillNeed:
+      advice = MADV_WILLNEED;
+      break;
+    case AccessIntent::kDontNeed:
+      advice = MADV_DONTNEED;
+      break;
+    case AccessIntent::kPopulateWrite:
+      advice = MADV_POPULATE_WRITE;
+      break;
+    case AccessIntent::kHugePage:
+#ifdef MADV_HUGEPAGE
+      advice = MADV_HUGEPAGE;
+      break;
+#else
+      return Status::OK();  // THP not known to this libc: best-effort no-op
+#endif
+  }
+
+  // madvise requires a page-aligned start. Hints widen outward — a mapping
+  // always covers whole pages, so widening stays inside it and advising a
+  // few extra bytes is harmless. kDontNeed is the exception: on anonymous
+  // memory it DISCARDS pages, so a partial boundary page shared with a
+  // neighboring still-live range must be left alone — narrow inward, and a
+  // sub-page range degenerates to an (advised = 0) no-op.
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  const uintptr_t raw_begin = reinterpret_cast<uintptr_t>(map_base) + offset;
+  const uintptr_t raw_end = raw_begin + length;
+  uintptr_t begin, end;
+  if (intent == AccessIntent::kDontNeed) {
+    begin = (raw_begin + page - 1) & ~(page - 1);
+    end = raw_end & ~(page - 1);
+    if (begin >= end) return Status::OK();
+  } else {
+    begin = raw_begin & ~(page - 1);
+    end = (raw_end + page - 1) & ~(page - 1);
+  }
+  if (::madvise(reinterpret_cast<void*>(begin), end - begin, advice) != 0) {
+    if (intent == AccessIntent::kPopulateWrite && errno == EINVAL) {
+      // Kernel predates MADV_POPULATE_WRITE: pre-faulting is an
+      // optimization, not a correctness requirement — report "nothing
+      // advised" rather than an error.
+      return Status::OK();
+    }
+    return Errno(std::string("madvise(") + AccessIntentName(intent) + ")");
+  }
+  if (advised_bytes != nullptr) *advised_bytes = end - begin;
+  return Status::OK();
+}
+
 Segment::~Segment() {
-  if (base_ != nullptr) {
-    ::munmap(base_, size_);
+  // Destructors cannot propagate a Status; Close() remains the checked
+  // path and the destructor is the last-resort unmap.
+  if (base_ != nullptr && ::munmap(base_, size_) != 0) {
+    std::perror("mmjoin: munmap in Segment destructor");
   }
 }
 
@@ -41,7 +140,9 @@ Segment::Segment(Segment&& o) noexcept
 
 Segment& Segment::operator=(Segment&& o) noexcept {
   if (this != &o) {
-    if (base_ != nullptr) ::munmap(base_, size_);
+    if (base_ != nullptr && ::munmap(base_, size_) != 0) {
+      std::perror("mmjoin: munmap in Segment move-assignment");
+    }
     base_ = o.base_;
     size_ = o.size_;
     path_ = std::move(o.path_);
@@ -158,6 +259,16 @@ Status Segment::Sync() {
   assert(mapped());
   if (::msync(base_, size_, MS_SYNC) != 0) return Errno("msync " + path_);
   return Status::OK();
+}
+
+Status Segment::Advise(AccessIntent intent, uint64_t* advised_bytes) {
+  return AdviseMappedRange(base_, size_, 0, size_, intent, advised_bytes);
+}
+
+Status Segment::AdviseRange(uint64_t offset, uint64_t length,
+                            AccessIntent intent, uint64_t* advised_bytes) {
+  return AdviseMappedRange(base_, size_, offset, length, intent,
+                           advised_bytes);
 }
 
 Status Segment::Close() {

@@ -56,6 +56,55 @@ struct MapTimings {
   double delete_map_s = 0;
 };
 
+/// Declarative paging intents for a mapped range — the vocabulary of the
+/// paging-policy layer (DESIGN.md §7.2). Each maps onto one madvise(2)
+/// request code; the intent names say what the *access pattern* is about
+/// to be, so call sites read as policy rather than syscall plumbing:
+///
+///   kSequential    the range is about to be scanned front to back
+///                  (kernel doubles readahead, drops pages behind)
+///   kRandom        the range is about to be probed at random offsets
+///                  (kernel disables readahead — stray pages waste memory)
+///   kWillNeed      the range will be needed soon: start readahead now
+///   kDontNeed      the range is dead: reclaim its pages immediately
+///   kPopulateWrite the range is about to be WRITTEN in full: pre-fault
+///                  every page now (MADV_POPULATE_WRITE), taking the
+///                  zero-fill cost in one bulk operation instead of one
+///                  minor fault per first-touched page. Degrades to a
+///                  no-op on kernels without support (< 5.14).
+///   kHugePage      back the range with transparent huge pages if the
+///                  system allows (MADV_HUGEPAGE) — fewer TLB entries for
+///                  large randomly-probed ranges
+enum class AccessIntent {
+  kSequential,
+  kRandom,
+  kWillNeed,
+  kDontNeed,
+  kPopulateWrite,
+  kHugePage,
+};
+
+const char* AccessIntentName(AccessIntent intent);
+
+/// Applies `intent` to [offset, offset+length) of a mapping that starts at
+/// `map_base` (any address inside a mapping). Hint intents align the range
+/// outward to page boundaries, which stays inside the mapping because
+/// mappings are page-granular; kDontNeed DISCARDS pages, so it aligns
+/// inward instead — a boundary page shared with a still-live neighbor is
+/// never dropped, and a sub-page range is an (advised = 0) no-op.
+/// `map_bytes` is the logical extent used for bounds checking. On success
+/// `*advised_bytes` (if non-null) receives the page-rounded number of
+/// bytes the kernel was advised about.
+///
+/// Errors propagate: a null/unmapped base or an out-of-range request is
+/// InvalidArgument; a failing madvise(2) is IOError carrying errno — with
+/// the single exception of kPopulateWrite on a kernel that predates
+/// MADV_POPULATE_WRITE (EINVAL), which reports OK with *advised_bytes = 0
+/// so callers can treat pre-faulting as best-effort.
+Status AdviseMappedRange(void* map_base, uint64_t map_bytes, uint64_t offset,
+                         uint64_t length, AccessIntent intent,
+                         uint64_t* advised_bytes = nullptr);
+
 /// On-disk segment header (lives at offset 0 of every segment file).
 struct SegmentHeader {
   static constexpr uint64_t kMagic = 0x6d6d6a6f696e3031ULL;  // "mmjoin01"
@@ -122,6 +171,13 @@ class Segment {
 
   /// msync(2) the whole segment to its backing file.
   Status Sync();
+
+  /// Applies a paging intent to the whole segment (see AdviseMappedRange).
+  Status Advise(AccessIntent intent, uint64_t* advised_bytes = nullptr);
+
+  /// Applies a paging intent to [offset, offset+length) of the segment.
+  Status AdviseRange(uint64_t offset, uint64_t length, AccessIntent intent,
+                     uint64_t* advised_bytes = nullptr);
 
   /// Unmaps without deleting the backing file.
   Status Close();

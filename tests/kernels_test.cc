@@ -1,0 +1,292 @@
+// The cache-conscious dereference kernels and the paging-policy layer:
+// batched kernels are bit-identical to their scalar references, every
+// kernel x paging x schedule x workers combination of the four real joins
+// produces the identical verified count/checksum, and segment advice
+// reports errors without ever affecting results.
+#include "exec/kernels.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mmap/mm_relation.h"
+#include "mmap/mmap_join.h"
+#include "mmap/segment.h"
+#include "rel/relation.h"
+
+namespace mmjoin::exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel unit tests: pipelined == scalar, bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Synthetic S partitions plus a ref stream covering them with repeats.
+struct KernelFixture {
+  std::vector<std::vector<rel::SObject>> parts;
+  std::vector<const rel::SObject*> part_ptrs;
+  std::vector<SRef> refs;
+  std::vector<rel::RObject> objs;
+
+  explicit KernelFixture(uint64_t n_refs, uint32_t n_parts = 3,
+                         uint64_t part_objects = 257) {
+    parts.resize(n_parts);
+    for (uint32_t p = 0; p < n_parts; ++p) {
+      parts[p].resize(part_objects);
+      for (uint64_t k = 0; k < part_objects; ++k) {
+        parts[p][k].id = k;
+        parts[p][k].key = rel::SKeyFor(p, k);
+      }
+      part_ptrs.push_back(parts[p].data());
+    }
+    for (uint64_t k = 0; k < n_refs; ++k) {
+      // Deterministic scatter with repeats — the kernels must not assume
+      // distinct targets.
+      const uint32_t p = static_cast<uint32_t>(rel::Mix64(k) % n_parts);
+      const uint64_t idx = rel::Mix64(k * 31 + 7) % part_objects;
+      const uint64_t sptr = rel::SPtr{p, idx}.Pack();
+      refs.push_back(SRef{k, sptr});
+      rel::RObject obj;
+      obj.id = k;
+      obj.sptr = sptr;
+      objs.push_back(obj);
+    }
+  }
+};
+
+TEST(KernelsTest, ProbeRefsMatchesScalarAcrossDistances) {
+  const KernelFixture f(10000);
+  KernelTally scalar;
+  ProbeRefsScalar(f.refs.data(), f.refs.size(), f.part_ptrs.data(), &scalar);
+  EXPECT_EQ(scalar.count, f.refs.size());
+  // 0 resolves to the default; oversized distances clamp.
+  for (uint32_t distance : {0u, 1u, 7u, 32u, 256u, 100000u}) {
+    KernelTally pipelined;
+    ProbeRefs(f.refs.data(), f.refs.size(), f.part_ptrs.data(), distance,
+              &pipelined);
+    EXPECT_EQ(pipelined.count, scalar.count) << "distance=" << distance;
+    EXPECT_EQ(pipelined.digest, scalar.digest) << "distance=" << distance;
+    EXPECT_EQ(pipelined.requests, f.refs.size());
+    EXPECT_EQ(pipelined.batches, 1u);
+  }
+}
+
+TEST(KernelsTest, ProbeObjectsMatchesScalarAcrossDistances) {
+  const KernelFixture f(10000);
+  KernelTally scalar;
+  ProbeObjectsScalar(f.objs.data(), f.objs.size(), f.part_ptrs.data(),
+                     &scalar);
+  EXPECT_EQ(scalar.count, f.objs.size());
+  for (uint32_t distance : {0u, 1u, 7u, 32u, 256u, 100000u}) {
+    KernelTally pipelined;
+    ProbeObjects(f.objs.data(), f.objs.size(), f.part_ptrs.data(), distance,
+                 &pipelined);
+    EXPECT_EQ(pipelined.count, scalar.count) << "distance=" << distance;
+    EXPECT_EQ(pipelined.digest, scalar.digest) << "distance=" << distance;
+  }
+}
+
+TEST(KernelsTest, EmptyAndShorterThanDistanceBatches) {
+  const KernelFixture f(5);
+  KernelTally t;
+  ProbeRefs(f.refs.data(), 0, f.part_ptrs.data(), 32, &t);
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_EQ(t.digest, 0u);
+  EXPECT_EQ(t.batches, 1u);
+  // n < distance: the whole batch drains through the epilogue.
+  KernelTally scalar, pipelined;
+  ProbeRefsScalar(f.refs.data(), f.refs.size(), f.part_ptrs.data(), &scalar);
+  ProbeRefs(f.refs.data(), f.refs.size(), f.part_ptrs.data(), 32, &pipelined);
+  EXPECT_EQ(pipelined.count, scalar.count);
+  EXPECT_EQ(pipelined.digest, scalar.digest);
+  KernelTally o;
+  ProbeObjects(f.objs.data(), 0, f.part_ptrs.data(), 32, &o);
+  EXPECT_EQ(o.count, 0u);
+}
+
+TEST(KernelsTest, TalliesAccumulateAcrossBatches) {
+  const KernelFixture f(1000);
+  KernelTally t;
+  ProbeRefs(f.refs.data(), 400, f.part_ptrs.data(), 16, &t);
+  ProbeRefs(f.refs.data() + 400, 600, f.part_ptrs.data(), 16, &t);
+  KernelTally whole;
+  ProbeRefsScalar(f.refs.data(), 1000, f.part_ptrs.data(), &whole);
+  EXPECT_EQ(t.count, whole.count);
+  EXPECT_EQ(t.digest, whole.digest);
+  EXPECT_EQ(t.requests, 1000u);
+  EXPECT_EQ(t.batches, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Identity across the real joins: every kernel x paging x schedule x
+// workers combination must produce the same verified count/checksum.
+// ---------------------------------------------------------------------------
+
+class KernelJoinIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "kernels_" + std::to_string(::getpid()) +
+           "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    mgr_ = std::make_unique<mm::SegmentManager>(dir_);
+  }
+
+  mm::MmWorkload Build(double theta) {
+    rel::RelationConfig rc;
+    rc.r_objects = rc.s_objects = 8192;
+    rc.num_partitions = 8;
+    rc.zipf_theta = theta;
+    auto w = mm::BuildMmWorkload(mgr_.get(), "w" + std::to_string(builds_++),
+                                 rc);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return std::move(w).value();
+  }
+
+  std::string dir_;
+  std::unique_ptr<mm::SegmentManager> mgr_;
+  int builds_ = 0;
+};
+
+using MmJoinFn = StatusOr<mm::MmJoinResult> (*)(const mm::MmWorkload&,
+                                                const mm::MmJoinOptions&);
+constexpr MmJoinFn kJoins[] = {mm::MmNestedLoops, mm::MmSortMerge,
+                               mm::MmGrace, mm::MmHybridHash};
+
+TEST_F(KernelJoinIdentityTest, KernelScheduleWorkerMatrix) {
+  for (double theta : {0.0, 1.1}) {
+    const mm::MmWorkload w = Build(theta);
+    for (MmJoinFn join : kJoins) {
+      for (DerefKernel kernel : {DerefKernel::kScalar, DerefKernel::kPrefetch}) {
+        for (Schedule schedule : {Schedule::kStatic, Schedule::kStealing}) {
+          for (uint32_t workers : {1u, 2u, 8u}) {
+            mm::MmJoinOptions opt;
+            opt.kernel = kernel;
+            opt.schedule = schedule;
+            opt.max_threads = workers;
+            opt.paging = PagingMode::kAdvise;
+            auto r = join(w, opt);
+            ASSERT_TRUE(r.ok()) << r.status().ToString();
+            // verified == matched the workload's expected count/checksum,
+            // so every combination passing pins the identity.
+            EXPECT_TRUE(r->verified)
+                << "theta=" << theta << " kernel=" << KernelName(kernel)
+                << " schedule=" << static_cast<int>(schedule)
+                << " workers=" << workers;
+            EXPECT_EQ(r->output_count, w.expected_output_count);
+            EXPECT_EQ(r->output_checksum, w.expected_checksum);
+            if (kernel == DerefKernel::kPrefetch) {
+              EXPECT_GT(r->run.kernel_batches, 0u);
+              EXPECT_GT(r->run.kernel_requests, 0u);
+            } else {
+              EXPECT_EQ(r->run.kernel_batches, 0u);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelJoinIdentityTest, PagingModeSweep) {
+  const mm::MmWorkload w = Build(1.1);
+  for (MmJoinFn join : kJoins) {
+    for (PagingMode paging :
+         {PagingMode::kNone, PagingMode::kAdvise, PagingMode::kPopulate}) {
+      mm::MmJoinOptions opt;
+      opt.paging = paging;
+      auto r = join(w, opt);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r->verified) << "paging=" << PagingModeName(paging);
+      EXPECT_EQ(r->output_count, w.expected_output_count);
+      EXPECT_EQ(r->output_checksum, w.expected_checksum);
+      if (paging == PagingMode::kNone) {
+        EXPECT_EQ(r->run.paging_advise_calls, 0u);
+      } else if (paging == PagingMode::kAdvise) {
+        EXPECT_GT(r->run.paging_advise_calls, 0u);
+        EXPECT_TRUE(r->paging_status.ok())
+            << r->paging_status.ToString();
+      }
+    }
+  }
+}
+
+TEST_F(KernelJoinIdentityTest, PrefetchDistanceDoesNotChangeResults) {
+  const mm::MmWorkload w = Build(0.0);
+  for (uint32_t distance : {1u, 4u, 256u}) {
+    mm::MmJoinOptions opt;
+    opt.prefetch_distance = distance;
+    auto r = mm::MmNestedLoops(w, opt);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->verified) << "distance=" << distance;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment-advice error paths.
+// ---------------------------------------------------------------------------
+
+TEST(SegmentAdviseTest, UnmappedBaseIsInvalidArgument) {
+  const Status st =
+      mm::AdviseMappedRange(nullptr, 4096, 0, 4096, AccessIntent::kRandom);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SegmentAdviseTest, OutOfRangeIsInvalidArgument) {
+  alignas(4096) static char buf[4096];
+  EXPECT_EQ(mm::AdviseMappedRange(buf, 4096, 4096, 1,
+                                  AccessIntent::kSequential)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mm::AdviseMappedRange(buf, 4096, 0, 8192,
+                                  AccessIntent::kSequential)
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Zero length is trivially fine.
+  uint64_t advised = 42;
+  EXPECT_TRUE(mm::AdviseMappedRange(buf, 4096, 100, 0,
+                                    AccessIntent::kSequential, &advised)
+                  .ok());
+  EXPECT_EQ(advised, 0u);
+}
+
+class SegmentAdviseFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "advise_" + std::to_string(::getpid()) +
+           "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+  }
+  std::string dir_;
+};
+
+TEST_F(SegmentAdviseFileTest, AdviseOnRealSegmentReportsBytes) {
+  auto seg = mm::Segment::Create(dir_ + "/s", 1 << 20);
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  uint64_t advised = 0;
+  ASSERT_TRUE(seg->Advise(AccessIntent::kSequential, &advised).ok());
+  EXPECT_GE(advised, uint64_t{1} << 20);
+  advised = 0;
+  ASSERT_TRUE(
+      seg->AdviseRange(8192, 4096, AccessIntent::kWillNeed, &advised).ok());
+  EXPECT_GT(advised, 0u);
+  // A sub-page kDontNeed narrows inward to nothing rather than discarding a
+  // boundary page a neighbor may still need.
+  advised = 42;
+  ASSERT_TRUE(
+      seg->AdviseRange(100, 64, AccessIntent::kDontNeed, &advised).ok());
+  EXPECT_EQ(advised, 0u);
+  ASSERT_TRUE(seg->Close().ok());
+  // Advice on a closed (unmapped) segment is an error, not a crash.
+  EXPECT_EQ(seg->Advise(AccessIntent::kRandom).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(mm::Segment::Delete(dir_ + "/s").ok());
+}
+
+}  // namespace
+}  // namespace mmjoin::exec

@@ -3,7 +3,9 @@
 // round-trip what the writers produce), optionally merging the validated
 // documents into one artifact:
 //
-//   metrics_validate [--merge OUT.json] FILE...
+//   metrics_validate [--merge OUT.json]
+//                    [--baseline BASE.json --tolerance PCT [--bench NAME]]
+//                    FILE...
 //
 // Every FILE must parse as a complete JSON document AND carry the bench
 // dump shape (an object with a "bench" string and a "metrics" object);
@@ -13,7 +15,19 @@
 // verbatim (they are known-good JSON) into
 //
 //   {"benches":[{"file":"<name>","doc":<document>}, ...]}
+//
+// With --baseline, each validated dump is additionally diffed against the
+// dump of the SAME bench name inside the baseline merged artifact (the
+// BENCH_ci.json shape above): the run fails if the current
+// `join.elapsed_ms` histogram minimum — the fastest join the bench
+// recorded, the most noise-robust wall-clock statistic it emits — exceeds
+// the baseline's minimum by more than --tolerance percent. A bench absent
+// from the baseline (or carrying no join.elapsed_ms) warns and passes, so
+// adding a new bench never requires regenerating the baseline in the same
+// change. --bench restricts the diff to one bench name (CI gates
+// real_backend_join only; the figure benches are simulated-time).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -33,27 +47,90 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+/// join.elapsed_ms histogram minimum of one bench dump, or false if the
+/// dump carries no such histogram.
+bool ElapsedMin(const mmjoin::obs::JsonValue& dump, double* out) {
+  const mmjoin::obs::JsonValue* metrics = dump.Find("metrics");
+  if (!metrics || !metrics->is_object()) return false;
+  const mmjoin::obs::JsonValue* hists = metrics->Find("histograms");
+  if (!hists || !hists->is_object()) return false;
+  const mmjoin::obs::JsonValue* h = hists->Find("join.elapsed_ms");
+  if (!h || !h->is_object()) return false;
+  const mmjoin::obs::JsonValue* min = h->Find("min");
+  if (!min || !min->is_number()) return false;
+  *out = min->number;
+  return true;
+}
+
+/// Finds the dump for `bench_name` inside a merged BENCH_ci.json artifact.
+const mmjoin::obs::JsonValue* FindBaselineDump(
+    const mmjoin::obs::JsonValue& baseline, const std::string& bench_name) {
+  const mmjoin::obs::JsonValue* benches = baseline.Find("benches");
+  if (!benches || !benches->is_array()) return nullptr;
+  for (const mmjoin::obs::JsonValue& entry : benches->items) {
+    const mmjoin::obs::JsonValue* doc = entry.Find("doc");
+    if (!doc || !doc->is_object()) continue;
+    const mmjoin::obs::JsonValue* name = doc->Find("bench");
+    if (name && name->is_string() && name->str == bench_name) return doc;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string merge_path;
+  std::string baseline_path;
+  std::string bench_filter;
+  double tolerance_pct = 25.0;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--merge") == 0) {
+    auto need_value = [&](const char* flag) -> const char* {
       if (a + 1 >= argc) {
-        std::fprintf(stderr, "metrics_validate: --merge needs a path\n");
-        return 2;
+        std::fprintf(stderr, "metrics_validate: %s needs a value\n", flag);
+        std::exit(2);
       }
-      merge_path = argv[++a];
+      return argv[++a];
+    };
+    if (std::strcmp(argv[a], "--merge") == 0) {
+      merge_path = need_value("--merge");
+    } else if (std::strcmp(argv[a], "--baseline") == 0) {
+      baseline_path = need_value("--baseline");
+    } else if (std::strcmp(argv[a], "--tolerance") == 0) {
+      tolerance_pct = std::strtod(need_value("--tolerance"), nullptr);
+    } else if (std::strcmp(argv[a], "--bench") == 0) {
+      bench_filter = need_value("--bench");
     } else {
       files.push_back(argv[a]);
     }
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: metrics_validate [--merge OUT.json] FILE...\n");
+                 "usage: metrics_validate [--merge OUT.json] "
+                 "[--baseline BASE.json --tolerance PCT [--bench NAME]] "
+                 "FILE...\n");
     return 2;
   }
+
+  mmjoin::obs::JsonValue baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, &text)) {
+      std::fprintf(stderr, "metrics_validate: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    auto doc = mmjoin::obs::JsonParse(text);
+    if (!doc.ok() || !doc->is_object()) {
+      std::fprintf(stderr, "metrics_validate: baseline %s: %s\n",
+                   baseline_path.c_str(),
+                   doc.ok() ? "not an object"
+                            : doc.status().ToString().c_str());
+      return 1;
+    }
+    baseline = std::move(doc).value();
+  }
+  int regressions = 0;
 
   std::string merged = "{\"benches\":[";
   bool first = true;
@@ -82,6 +159,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("ok\t%s\tbench=%s\n", path.c_str(), bench->str.c_str());
+
+    if (!baseline_path.empty() &&
+        (bench_filter.empty() || bench_filter == bench->str)) {
+      const mmjoin::obs::JsonValue* base_dump =
+          FindBaselineDump(baseline, bench->str);
+      double cur_ms = 0, base_ms = 0;
+      if (base_dump == nullptr) {
+        std::printf("diff\t%s\tno baseline entry — skipped\n",
+                    bench->str.c_str());
+      } else if (!ElapsedMin(*doc, &cur_ms) ||
+                 !ElapsedMin(*base_dump, &base_ms) || base_ms <= 0) {
+        std::printf("diff\t%s\tno join.elapsed_ms to compare — skipped\n",
+                    bench->str.c_str());
+      } else {
+        const double delta_pct = (cur_ms - base_ms) / base_ms * 100.0;
+        const bool regressed = delta_pct > tolerance_pct;
+        std::printf("diff\t%s\tjoin.elapsed_ms min %.2f -> %.2f ms "
+                    "(%+.1f%%, tolerance %.0f%%)\t%s\n",
+                    bench->str.c_str(), base_ms, cur_ms, delta_pct,
+                    tolerance_pct, regressed ? "REGRESSED" : "ok");
+        if (regressed) ++regressions;
+      }
+    }
+
     if (!merge_path.empty()) {
       if (!first) merged += ',';
       first = false;
@@ -109,6 +210,12 @@ int main(int argc, char** argv) {
     std::fwrite(merged.data(), 1, merged.size(), f);
     std::fclose(f);
     std::printf("merged\t%s\t%zu files\n", merge_path.c_str(), files.size());
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "metrics_validate: %d bench(es) regressed beyond %.0f%%\n",
+                 regressions, tolerance_pct);
+    return 1;
   }
   return 0;
 }
