@@ -22,13 +22,30 @@
 //      MMJOIN_KERNEL_REPS=<n> to run each combination n times and keep
 //      the best, and MMJOIN_KERNEL_ASSERT=<min_speedup> to fail unless
 //      prefetch+advise beats scalar+none by that factor on at least two
-//      of the four algorithms (used by scripts/bench_kernels.sh, not CI).
+//      of the four algorithms (used by scripts/bench_kernels.sh, not CI),
+//      and
+//   4. scatter x numa (direct baseline against buffered / streamed
+//      write-combining scatter and the NUMA placement modes) scored on
+//      *partition-pass* wall-clock (the sum of the pass0/pass1 marks —
+//      the only phases the scatter path touches) with the
+//      join.scatter.* / join.numa.* telemetry. Identity vs direct is
+//      asserted unconditionally; MMJOIN_SCATTER_REPS=<n> takes the best
+//      of n with the reps interleaved across combos (machine-load drift
+//      on a shared box then hits every combo equally), and
+//      MMJOIN_SCATTER_ASSERT=<min_speedup> fails unless the best of
+//      {buffered, stream} beats direct by that factor on the partition
+//      passes of sort-merge, grace AND hybrid-hash.
+//      MMJOIN_SCATTER_TUPLES / MMJOIN_SCATTER_KBUCKETS pin the staging
+//      capacity and Grace/hybrid bucket count for every combo of the
+//      table, and MMJOIN_SCATTER_ONLY=1 skips tables 1-3 (all used by
+//      scripts/bench_scatter.sh, not CI).
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -213,6 +230,137 @@ int KernelsTable(const char* label, const mm::MmWorkload& workload, int reps,
   return 0;
 }
 
+struct ScatterCombo {
+  const char* name;
+  exec::ScatterMode scatter;
+  exec::NumaMode numa;
+};
+
+constexpr ScatterCombo kScatterCombos[] = {
+    {"direct+none", exec::ScatterMode::kDirect, exec::NumaMode::kNone},
+    {"buffered+none", exec::ScatterMode::kBuffered, exec::NumaMode::kNone},
+    {"stream+none", exec::ScatterMode::kStream, exec::NumaMode::kNone},
+    {"buffered+interleave", exec::ScatterMode::kBuffered,
+     exec::NumaMode::kInterleave},
+    {"stream+local", exec::ScatterMode::kStream, exec::NumaMode::kLocal},
+};
+
+/// Partition-pass wall-clock: the sum of the pass0/pass1 marks. The
+/// scatter path only touches the partition passes, so scoring the whole
+/// join would dilute the effect with probe/sort time it cannot change.
+double PartitionPassMs(const mm::MmJoinResult& r) {
+  double ms = 0;
+  for (const auto& pass : r.run.passes) {
+    if (pass.label == "pass0" || pass.label == "pass1") ms += pass.elapsed_ms;
+  }
+  return ms;
+}
+
+/// Scatter-table shape overrides (used by scripts/bench_scatter.sh to pin
+/// the gate shape): staging capacity and the Grace/hybrid bucket count.
+/// 0 = the library default / derived value. Applied to EVERY combo of the
+/// table, the direct baseline included, so comparisons stay like-for-like.
+uint32_t ScatterTuplesKnob() {
+  const char* env = std::getenv("MMJOIN_SCATTER_TUPLES");
+  return env ? static_cast<uint32_t>(std::strtoul(env, nullptr, 10)) : 0;
+}
+uint32_t ScatterKBucketsKnob() {
+  const char* env = std::getenv("MMJOIN_SCATTER_KBUCKETS");
+  return env ? static_cast<uint32_t>(std::strtoul(env, nullptr, 10)) : 0;
+}
+
+/// Prints one scatter x numa table and folds each algorithm's best
+/// buffered/stream (numa=none) partition-pass speedup into
+/// `best_speedup[4]` (max across tables, like the kernel gate).
+///
+/// Reps are interleaved — rep-outer, combo-inner — so machine-load drift
+/// on a shared box hits every combo of a rep equally instead of biasing
+/// whichever combo happened to run during a lull; each combo keeps its
+/// best rep by partition-pass wall-clock.
+int ScatterTable(const char* label, const mm::MmWorkload& workload, int reps,
+                 double* best_speedup) {
+  constexpr size_t kNumCombos =
+      sizeof(kScatterCombos) / sizeof(kScatterCombos[0]);
+  const uint32_t sc_tuples = ScatterTuplesKnob();
+  const uint32_t sc_kb = ScatterKBucketsKnob();
+  std::printf("# %s workload, scatter x numa (best of %d, interleaved), "
+              "partition-pass speedup vs direct+none, scatter_tuples=%u "
+              "k_buckets=%u (0=default)\n",
+              label, reps, sc_tuples, sc_kb);
+  std::printf("algorithm\tcombo\twall_ms\tpartition_ms\tspeedup\tflushes\t"
+              "partial\ttuples\tnuma_nodes\tmbind\tsame_join\n");
+  for (size_t a = 0; a < 4; ++a) {
+    const Entry& e = kEntries[a];
+    std::optional<mm::MmJoinResult> best[kNumCombos];
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t c = 0; c < kNumCombos; ++c) {
+        mm::MmJoinOptions opt;
+        opt.scatter = kScatterCombos[c].scatter;
+        opt.numa = kScatterCombos[c].numa;
+        opt.scatter_tuples = sc_tuples;
+        opt.k_buckets = sc_kb;
+        auto r = e.run(workload, opt);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s %s: %s\n", e.name, kScatterCombos[c].name,
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        if (!best[c] || PartitionPassMs(*r) < PartitionPassMs(*best[c])) {
+          best[c] = std::move(*r);
+        }
+      }
+    }
+    double baseline_pp_ms = 0;
+    uint64_t base_count = 0, base_checksum = 0;
+    double combo_best = 0;
+    for (size_t c = 0; c < kNumCombos; ++c) {
+      const ScatterCombo& combo = kScatterCombos[c];
+      mm::MmJoinResult& r = *best[c];
+      r.ExportMetrics(&bench::Metrics());
+      if (!r.numa_status.ok()) {
+        std::fprintf(stderr, "%s %s: numa placement failed: %s\n", e.name,
+                     combo.name, r.numa_status.ToString().c_str());
+      }
+      const double pp_ms = PartitionPassMs(r);
+      const bool is_baseline = combo.scatter == exec::ScatterMode::kDirect &&
+                               combo.numa == exec::NumaMode::kNone;
+      if (is_baseline) {
+        baseline_pp_ms = pp_ms;
+        base_count = r.output_count;
+        base_checksum = r.output_checksum;
+      }
+      // The identity is unconditional: every combination must verify AND
+      // match the direct baseline bit for bit.
+      const bool same = r.verified && r.output_count == base_count &&
+                        r.output_checksum == base_checksum;
+      const double speedup = pp_ms > 0 ? baseline_pp_ms / pp_ms : 0.0;
+      if (combo.numa == exec::NumaMode::kNone &&
+          combo.scatter != exec::ScatterMode::kDirect &&
+          speedup > combo_best) {
+        combo_best = speedup;
+      }
+      std::printf("%s\t%s\t%.2f\t%.2f\t%.2f\t%llu\t%llu\t%llu\t%u\t%llu\t%s\n",
+                  e.name, combo.name, r.wall_ms, pp_ms, speedup,
+                  static_cast<unsigned long long>(r.run.scatter_flushes),
+                  static_cast<unsigned long long>(
+                      r.run.scatter_partial_flushes),
+                  static_cast<unsigned long long>(r.run.scatter_tuples),
+                  r.run.numa_nodes,
+                  static_cast<unsigned long long>(r.run.numa_mbind_calls),
+                  same ? "yes" : "NO");
+      if (!same) {
+        std::fprintf(stderr,
+                     "%s %s: scatter/numa combination changed the join "
+                     "output — this is a bug\n",
+                     e.name, combo.name);
+        return 1;
+      }
+    }
+    if (combo_best > best_speedup[a]) best_speedup[a] = combo_best;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -252,6 +400,23 @@ int main(int argc, char** argv) {
   const double min_speedup = assert_env ? std::strtod(assert_env, nullptr) : 0;
   double best_speedup[4] = {0, 0, 0, 0};
 
+  // Scatter-table knobs, mirroring the kernel table's.
+  const char* sc_reps_env = std::getenv("MMJOIN_SCATTER_REPS");
+  const int sc_reps =
+      sc_reps_env
+          ? std::max(1, static_cast<int>(std::strtol(sc_reps_env, nullptr,
+                                                     10)))
+          : 1;
+  const char* sc_assert_env = std::getenv("MMJOIN_SCATTER_ASSERT");
+  const double sc_min_speedup =
+      sc_assert_env ? std::strtod(sc_assert_env, nullptr) : 0;
+  double best_sc_speedup[4] = {0, 0, 0, 0};
+  // MMJOIN_SCATTER_ONLY=1 skips the serial/schedule/kernel tables so the
+  // gated scatter run (large workload, many reps) doesn't pay for
+  // measurements it never reads.
+  const char* sc_only_env = std::getenv("MMJOIN_SCATTER_ONLY");
+  const bool sc_only = sc_only_env && sc_only_env[0] == '1';
+
   int rc = 0;
   // Uniform workload: the historical serial-vs-parallel table plus the
   // schedule comparison (stealing should be a wash here — no skew to fix).
@@ -263,9 +428,16 @@ int main(int argc, char** argv) {
                    workload.status().ToString().c_str());
       return 1;
     }
-    rc = SerialVsParallel(*workload);
-    if (rc == 0) rc = StaticVsStealing("uniform", *workload, sched_workers);
-    if (rc == 0) rc = KernelsTable("uniform", *workload, reps, best_speedup);
+    if (!sc_only) rc = SerialVsParallel(*workload);
+    if (rc == 0 && !sc_only) {
+      rc = StaticVsStealing("uniform", *workload, sched_workers);
+    }
+    if (rc == 0 && !sc_only) {
+      rc = KernelsTable("uniform", *workload, reps, best_speedup);
+    }
+    if (rc == 0) {
+      rc = ScatterTable("uniform", *workload, sc_reps, best_sc_speedup);
+    }
     workload->r_segs.clear();
     workload->s_segs.clear();
     (void)mm::DeleteMmWorkload(&mgr, "bench", relation.num_partitions);
@@ -283,8 +455,13 @@ int main(int argc, char** argv) {
                    workload.status().ToString().c_str());
       return 1;
     }
-    rc = StaticVsStealing("zipf", *workload, sched_workers);
-    if (rc == 0) rc = KernelsTable("zipf", *workload, reps, best_speedup);
+    if (!sc_only) rc = StaticVsStealing("zipf", *workload, sched_workers);
+    if (rc == 0 && !sc_only) {
+      rc = KernelsTable("zipf", *workload, reps, best_speedup);
+    }
+    if (rc == 0) {
+      rc = ScatterTable("zipf", *workload, sc_reps, best_sc_speedup);
+    }
     workload->r_segs.clear();
     workload->s_segs.clear();
     (void)mm::DeleteMmWorkload(&mgr, "zipf", skewed.num_partitions);
@@ -307,6 +484,29 @@ int main(int argc, char** argv) {
     } else {
       std::printf("# kernel gate passed: %d/4 algorithms >= %.2fx\n", passing,
                   min_speedup);
+    }
+  }
+
+  if (rc == 0 && sc_min_speedup > 0) {
+    // The gate covers the three partition-heavy algorithms; nested-loops'
+    // partition pass is probe-dominated (its own tuples never scatter) so
+    // its speedup is reported but not gated.
+    int passing = 0;
+    for (size_t a = 1; a < 4; ++a) {
+      std::printf("# scatter gate: %s best buffered/stream partition-pass "
+                  "speedup %.2fx (need %.2fx)\n",
+                  kEntries[a].name, best_sc_speedup[a], sc_min_speedup);
+      if (best_sc_speedup[a] >= sc_min_speedup) ++passing;
+    }
+    if (passing < 3) {
+      std::fprintf(stderr,
+                   "scatter gate FAILED: %d/3 partition-heavy algorithms "
+                   "reached %.2fx (need all 3)\n",
+                   passing, sc_min_speedup);
+      rc = 1;
+    } else {
+      std::printf("# scatter gate passed: 3/3 algorithms >= %.2fx\n",
+                  sc_min_speedup);
     }
   }
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Scatter/NUMA acceptance bench: a Release build of the real-backend join
+# bench at LARGE scale, scatter table only, with the partition-pass speedup
+# gate armed — the run fails unless the best of scatter=buffered|stream
+# (numa=none) beats scatter=direct by MIN_SPEEDUP on the partition-pass
+# wall-clock of sort-merge, Grace AND hybrid-hash (uniform or Zipf
+# workload, whichever is better per algorithm; nested-loops is reported
+# but not gated — its partition pass is probe-dominated). The identity
+# check (every scatter x numa combination produces the identical verified
+# count/checksum) is unconditional inside the bench, and reps are
+# interleaved across combos so shared-box load drift cancels.
+#
+#   scripts/bench_scatter.sh [build_dir] [objects] [out_json]
+#
+# Defaults: build-bench, 4194304 objects per relation (512 MiB per side),
+# D=128 partitions, k_buckets=256, scatter_tuples=32 — the shape where the
+# write-combining win is measurable. Software write combining pays off in
+# proportion to how many destination streams a pass keeps open and how
+# many tuples each (morsel, destination) pair stages: at the bench's
+# historical 262144 x D=8 shape a partition pass has only 7 open
+# destinations and the staging layer is pure overhead, while at
+# 4M x D=128 (+256 hash buckets in the Grace/hybrid repartition) the
+# direct path's per-tuple random stores thrash write-allocate traffic
+# that the buffered non-temporal flushes avoid. Output artifact:
+# BENCH_scatter.json at the repo root. Knobs via env: MMJOIN_SCATTER_REPS
+# (default 4, interleaved best-of), MIN_SPEEDUP (default 1.15),
+# MMJOIN_SCATTER_TUPLES (default 32), MMJOIN_SCATTER_KBUCKETS (default
+# 256), BENCH_SCATTER_TIMEOUT (seconds, default 3600), PARTITIONS
+# (default 128).
+#
+# This is the run that produces the committed BENCH_scatter.json artifact;
+# CI's bench-smoke stays small-scale and does NOT arm the speedup gate
+# (shared runners are too noisy for timing assertions).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OBJECTS="${2:-4194304}"
+OUT_JSON="${3:-BENCH_scatter.json}"
+PARTITIONS="${PARTITIONS:-128}"
+REPS="${MMJOIN_SCATTER_REPS:-4}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.15}"
+SC_TUPLES="${MMJOIN_SCATTER_TUPLES:-32}"
+SC_KBUCKETS="${MMJOIN_SCATTER_KBUCKETS:-256}"
+TIMEOUT_S="${BENCH_SCATTER_TIMEOUT:-3600}"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target real_backend_join metrics_validate
+
+OUT_DIR="$BUILD_DIR/bench-scatter"
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+echo "== real_backend_join $OBJECTS objects, D=$PARTITIONS, theta=1.1," \
+     "k_buckets=$SC_KBUCKETS, scatter_tuples=$SC_TUPLES, reps=$REPS," \
+     "gate >=${MIN_SPEEDUP}x on sort-merge+grace+hybrid partition passes"
+(
+  cd "$OUT_DIR"
+  MMJOIN_SCATTER_ONLY=1 MMJOIN_SCATTER_REPS="$REPS" \
+    MMJOIN_SCATTER_ASSERT="$MIN_SPEEDUP" \
+    MMJOIN_SCATTER_TUPLES="$SC_TUPLES" \
+    MMJOIN_SCATTER_KBUCKETS="$SC_KBUCKETS" \
+    timeout "$TIMEOUT_S" ../bench/real_backend_join "$OBJECTS" "$PARTITIONS" \
+    1.1 \
+    | tee bench_scatter.log
+  ../tools/metrics_validate --merge BENCH_scatter.json ./*.metrics.json
+)
+cp "$OUT_DIR/BENCH_scatter.json" "$OUT_JSON"
+echo "bench-scatter: OK ($OUT_JSON)"

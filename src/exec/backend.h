@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exec/kernels.h"
+#include "exec/scatter.h"
 #include "mmap/segment.h"
 #include "obs/trace.h"
 #include "rel/relation.h"
@@ -56,7 +57,8 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
                            const std::vector<uint64_t>& counts,
                            void (*fn)(uint32_t),
                            void (*range_fn)(uint32_t, uint64_t, uint64_t),
-                           const SRef* refs, AccessIntent intent) {
+                           const SRef* refs, AccessIntent intent,
+                           ScatterSink sink, const rel::RObject* run) {
   typename B::Seg;
 
   // ---- shape & parameters ------------------------------------------------
@@ -85,6 +87,32 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
   { cb.RpSubCount(i, j) } -> std::convertible_to<uint64_t>;
   { cb.RpPages(i) } -> std::convertible_to<uint64_t>;
   { b.AppendToRp(i, j, obj) };
+  /// Run form: append `run[0..len)` to RP_{i,j} in one cursor claim + bulk
+  /// copy. len=1 is exactly AppendToRp.
+  { b.AppendRpRun(i, j, run, len) };
+
+  // ---- write-combining scatter (exec/scatter.h) --------------------------
+  // A partition pass wraps each morsel body in BeginScatter(i, n_dests,
+  // expected_per_dest, sink) ... ScatterTo(i, dest, obj)* ...
+  // FlushScatter(i). The sink owns the actual append (cursor claim, byte
+  // movement, cost charging); the backend decides whether tuples reach it
+  // immediately (simulator, and the real backend under scatter=direct —
+  // bit-identical to the historical per-tuple appends) or staged in
+  // per-worker write-combining buffers flushed as bulk runs
+  // (scatter=buffered|stream). expected_per_dest is the morsel's expected
+  // tuples per destination — a density hint, not a bound: the real backend
+  // skips staging when a destination cannot even fill one slab, where the
+  // staging copy would be pure overhead. StreamScatter() tells the sinks'
+  // copy loops to use non-temporal stores; false on the simulator and for
+  // every real mode but kStream.
+  // ScatterRunTo is the contiguous-run form for fixed-destination morsels:
+  // per-tuple on the simulator and under scatter=direct (identical to a
+  // ScatterTo loop), one bulk sink call under buffered/stream.
+  { b.BeginScatter(i, j, len, sink) };
+  { b.ScatterTo(i, j, obj) };
+  { b.ScatterRunTo(i, j, run, len) };
+  { b.FlushScatter(i) };
+  { cb.StreamScatter() } -> std::convertible_to<bool>;
 
   // ---- per-partition process operations ----------------------------------
   { b.Read(i, seg, off, len) } -> std::convertible_to<const void*>;
@@ -180,6 +208,14 @@ class RpLayout {
   /// Claims the next slot of RP_{i,j}; returns its byte offset within RP_i.
   uint64_t NextSlot(uint32_t i, uint32_t j) {
     const uint64_t slot = cursor_[i][j]++;
+    return sub_offset_[i][j] + slot * sizeof(rel::RObject);
+  }
+  /// Claims `n` consecutive slots of RP_{i,j}; returns the byte offset of
+  /// the first. Used by the scatter flush path to land a whole staged run
+  /// with one cursor bump.
+  uint64_t NextSlotRun(uint32_t i, uint32_t j, uint64_t n) {
+    const uint64_t slot = cursor_[i][j];
+    cursor_[i][j] += n;
     return sub_offset_[i][j] + slot * sizeof(rel::RObject);
   }
 

@@ -107,6 +107,43 @@ const rel::RObject* ReadRPtr(B& ex, uint32_t i, typename B::Seg seg,
 /// prefetch pipeline's fill/drain is amortized, small enough to stay in L2.
 inline constexpr uint64_t kProbeScratch = 8192;
 
+/// The shared pass-0 scan body of all four drivers: reads R_i tuples
+/// [begin, end) — in place on the batched path, by copy (plus the map_ms
+/// charge) on the scalar path — routes each own-partition object to
+/// `own(obj, sp)` and scatters every foreign one to destination
+/// sp.partition. The caller brackets the morsel with
+/// BeginScatter(i, n_dests, sink)/FlushScatter(i), with a sink that maps
+/// destinations < D onto RP_{i,dest} (drivers with bucketed own-partition
+/// output extend the keyspace with D + bucket destinations).
+template <Backend B, typename OwnFn>
+void StageOrScatter(B& ex, uint32_t i, uint64_t begin, uint64_t end,
+                    OwnFn&& own) {
+  const typename B::Seg r_seg = ex.r_seg(i);
+  if (ex.BatchedProbe()) {
+    for (uint64_t k = begin; k < end; ++k) {
+      const rel::RObject* obj =
+          ReadRPtr(ex, i, r_seg, rel::Workload::ROffset(k));
+      const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+      if (sp.partition == i) {
+        own(*obj, sp);
+      } else {
+        ex.ScatterTo(i, sp.partition, *obj);
+      }
+    }
+  } else {
+    for (uint64_t k = begin; k < end; ++k) {
+      const rel::RObject obj = ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+      ex.ChargeCpu(i, ex.mc().map_ms);  // map the join attribute to target
+      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+      if (sp.partition == i) {
+        own(obj, sp);
+      } else {
+        ex.ScatterTo(i, sp.partition, obj);
+      }
+    }
+  }
+}
+
 }  // namespace internal
 
 // ---------------------------------------------------------------------------
@@ -146,42 +183,31 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
   ex.ForEachPartitionTuples(
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
-        const typename B::Seg r_seg = ex.r_seg(i);
+        // Foreign objects scatter into RP_{i,dest}; own-partition refs
+        // stage into a scratch that flushes through the prefetch kernel
+        // (batched path) or probe S directly (scalar path).
+        std::vector<SRef> own;
         if (ex.BatchedProbe()) {
-          // Batched probe path (real backend, kernel=prefetch): route
-          // objects straight from the mapped scan — remote ones copy once
-          // into RP, own-partition refs stage into a scratch that flushes
-          // through the prefetch kernel.
-          std::vector<SRef> own;
           own.reserve(std::min(end - begin, internal::kProbeScratch));
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject* obj = internal::ReadRPtr(
-                ex, i, r_seg, rel::Workload::ROffset(k));
-            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-            if (sp.partition == i) {
-              own.push_back(SRef{obj->id, obj->sptr});
-              if (own.size() == internal::kProbeScratch) {
-                ex.RequestSBatch(i, own.data(), own.size());
-                own.clear();
-              }
-            } else {
-              ex.AppendToRp(i, sp.partition, *obj);
-            }
-          }
-          if (!own.empty()) ex.RequestSBatch(i, own.data(), own.size());
-        } else {
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-            ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to target
-            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-            if (sp.partition == i) {
-              ex.RequestS(i, obj.id, obj.sptr);
-            } else {
-              ex.AppendToRp(i, sp.partition, obj);
-            }
-          }
         }
+        ex.BeginScatter(
+            i, d, (end - begin) / d,
+            [&ex, i](uint32_t dest, const rel::RObject* run,
+                     uint64_t n) { ex.AppendRpRun(i, dest, run, n); });
+        internal::StageOrScatter(
+            ex, i, begin, end, [&](const rel::RObject& obj, rel::SPtr) {
+              if (ex.BatchedProbe()) {
+                own.push_back(SRef{obj.id, obj.sptr});
+                if (own.size() == internal::kProbeScratch) {
+                  ex.RequestSBatch(i, own.data(), own.size());
+                  own.clear();
+                }
+              } else {
+                ex.RequestS(i, obj.id, obj.sptr);
+              }
+            });
+        if (!own.empty()) ex.RequestSBatch(i, own.data(), own.size());
+        ex.FlushScatter(i);
         ex.FlushSRequests(i);
       },
       /*independent=*/false);
@@ -303,47 +329,37 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
   // a pass/phase exactly one worker writes a given target (own partition in
   // pass 0, the staggered partner in each phase of pass 1).
   std::vector<uint64_t> rs_cursor(d, 0);
-  auto append_rs = [&](uint32_t writer, uint32_t target,
-                       const rel::RObject& obj) {
-    const uint64_t slot = rs_cursor[target]++;
-    assert(slot < rs_objects[target]);
-    void* dst = ex.Write(writer, rs_segs[target], slot * r, r);
-    std::memcpy(dst, &obj, r);
-    ex.ChargeCpu(writer, static_cast<double>(r) * mc.mt_pp_ms);
+  auto append_rs_run = [&](uint32_t writer, uint32_t target,
+                           const rel::RObject* run, uint64_t n) {
+    const uint64_t slot = rs_cursor[target];
+    rs_cursor[target] += n;
+    assert(slot + n <= rs_objects[target]);
+    void* dst = ex.Write(writer, rs_segs[target], slot * r, n * r);
+    CopyTuples(dst, run, n, ex.StreamScatter());
+    ex.ChargeCpu(writer, static_cast<double>(n * r) * mc.mt_pp_ms);
   };
 
   // ---- Pass 0: partition R_i into RS_i (own pointers) and RP_{i,j}. ----
-  // Morsels share the RS/RP cursors of their partition — chained.
+  // Morsels share the RS/RP cursors of their partition — chained. Every
+  // object routes through the scatter buffer: destination i lands in RS_i,
+  // any other destination in RP_{i,dest}.
   ex.ForEachPartitionTuples(
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
-        const typename B::Seg r_seg = ex.r_seg(i);
-        if (ex.BatchedProbe()) {
-          // Single-copy routing: move each object mapped-to-mapped instead
-          // of staging it on the stack first.
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject* obj = internal::ReadRPtr(
-                ex, i, r_seg, rel::Workload::ROffset(k));
-            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-            if (sp.partition == i) {
-              append_rs(i, i, *obj);
-            } else {
-              ex.AppendToRp(i, sp.partition, *obj);
-            }
-          }
-        } else {
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-            ex.ChargeCpu(i, mc.map_ms);
-            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-            if (sp.partition == i) {
-              append_rs(i, i, obj);
-            } else {
-              ex.AppendToRp(i, sp.partition, obj);
-            }
-          }
-        }
+        ex.BeginScatter(i, d, (end - begin) / d,
+                        [&, i](uint32_t dest, const rel::RObject* run,
+                               uint64_t n) {
+                          if (dest == i) {
+                            append_rs_run(i, i, run, n);
+                          } else {
+                            ex.AppendRpRun(i, dest, run, n);
+                          }
+                        });
+        internal::StageOrScatter(ex, i, begin, end,
+                                 [&](const rel::RObject& obj, rel::SPtr) {
+                                   ex.ScatterTo(i, i, obj);
+                                 });
+        ex.FlushScatter(i);
       },
       /*independent=*/false);
   if (sync) ex.SyncClocks();
@@ -361,19 +377,26 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
+          ex.BeginScatter(i, d, end - begin,
+                          [&, i](uint32_t dest, const rel::RObject* run,
+                                 uint64_t n) { append_rs_run(i, dest, run, n); });
           if (ex.BatchedProbe()) {
-            for (uint64_t k = begin; k < end; ++k) {
-              append_rs(i, j,
-                        *internal::ReadRPtr(ex, i, ex.rp_seg(i),
-                                            base + k * r));
+            // The morsel's whole range is one contiguous RP_{i,j} run bound
+            // for the fixed partner j — scatter it as a run, not per tuple.
+            if (end > begin) {
+              const auto* run = static_cast<const rel::RObject*>(
+                  ex.Read(i, ex.rp_seg(i), base + begin * r,
+                          (end - begin) * r));
+              ex.ScatterRunTo(i, j, run, end - begin);
             }
           } else {
             for (uint64_t k = begin; k < end; ++k) {
               const rel::RObject obj =
                   internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-              append_rs(i, j, obj);
+              ex.ScatterTo(i, j, obj);
             }
           }
+          ex.FlushScatter(i);
           if (end == phase_counts[i]) {
             // Hand the written RS_j pages back to their owner's disk image.
             ex.DropSegment(i, rs_segs[j], /*discard=*/false);
@@ -664,52 +687,43 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
   // One writer per target within any pass/phase (own partition in pass 0,
   // the staggered partner in pass 1), so the per-target cursors need no
   // synchronization — the backend barrier between phases publishes them.
-  auto hash_into_rs = [&](uint32_t writer, const rel::RObject& obj) {
-    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-    const uint32_t target = sp.partition;
-    ex.ChargeCpu(writer, mc.hash_ms);
-    const uint32_t b =
-        join::GraceBucketOf(sp.index, ex.s_count(target), k_buckets);
-    const uint64_t slot = bucket_cursor[target][b]++;
-    assert(slot < bucket_count[target][b]);
-    void* dst =
-        ex.Write(writer, rs_segs[target], bucket_offset[target][b] + slot * r,
-                 r);
-    std::memcpy(dst, &obj, r);
-    ex.ChargeCpu(writer, static_cast<double>(r) * mc.mt_pp_ms);
+  auto bucket_append_run = [&](uint32_t writer, uint32_t target, uint32_t b,
+                               const rel::RObject* run, uint64_t n) {
+    const uint64_t slot = bucket_cursor[target][b];
+    bucket_cursor[target][b] += n;
+    assert(slot + n <= bucket_count[target][b]);
+    void* dst = ex.Write(writer, rs_segs[target],
+                         bucket_offset[target][b] + slot * r, n * r);
+    CopyTuples(dst, run, n, ex.StreamScatter());
+    ex.ChargeCpu(writer, static_cast<double>(n * r) * mc.mt_pp_ms);
   };
 
   // ---- Pass 0: partition R_i; own-partition objects hash into RS_i. ----
-  // Chained: morsels share the partition's bucket and RP cursors.
+  // Chained: morsels share the partition's bucket and RP cursors. The
+  // scatter keyspace is D partition destinations (→ RP_{i,dest}) followed
+  // by K own-bucket destinations (→ RS_i bucket dest - D).
   ex.ForEachPartitionTuples(
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
-        const typename B::Seg r_seg = ex.r_seg(i);
-        if (ex.BatchedProbe()) {
-          // Single-copy routing off the mapped scan.
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject* obj = internal::ReadRPtr(
-                ex, i, r_seg, rel::Workload::ROffset(k));
-            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-            if (sp.partition == i) {
-              hash_into_rs(i, *obj);
-            } else {
-              ex.AppendToRp(i, sp.partition, *obj);
-            }
-          }
-        } else {
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-            ex.ChargeCpu(i, mc.map_ms);
-            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-            if (sp.partition == i) {
-              hash_into_rs(i, obj);
-            } else {
-              ex.AppendToRp(i, sp.partition, obj);
-            }
-          }
-        }
+        // Density hint from the dominant traffic: the D - 1 foreign
+        // partition destinations carry (D - 1)/D of the morsel; the own
+        // tuples spread over K buckets are a 1/D sliver either way.
+        ex.BeginScatter(i, d + k_buckets, (end - begin) / d,
+                        [&, i](uint32_t dest, const rel::RObject* run,
+                               uint64_t n) {
+                          if (dest < d) {
+                            ex.AppendRpRun(i, dest, run, n);
+                          } else {
+                            bucket_append_run(i, i, dest - d, run, n);
+                          }
+                        });
+        const join::GraceBucketMap bmap(ex.s_count(i), k_buckets);
+        internal::StageOrScatter(
+            ex, i, begin, end, [&](const rel::RObject& obj, rel::SPtr sp) {
+              ex.ChargeCpu(i, mc.hash_ms);
+              ex.ScatterTo(i, d + bmap.Of(sp.index), obj);
+            });
+        ex.FlushScatter(i);
       },
       /*independent=*/false);
   if (sync) ex.SyncClocks();
@@ -717,6 +731,8 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
   // Chained (shared bucket cursors); the epilogue runs on the final morsel.
+  // Every object in RP_{i,j} targets partition j, so the scatter keyspace
+  // is just the K buckets of RS_j.
   for (uint32_t t = 1; t < d; ++t) {
     const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
     ex.ForEachPartitionTuples(
@@ -725,18 +741,30 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
+          ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
+                          [&, i, j](uint32_t dest, const rel::RObject* run,
+                                    uint64_t n) {
+                            bucket_append_run(i, j, dest, run, n);
+                          });
+          const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
+          auto hash_to_bucket = [&](const rel::RObject& obj) {
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            ex.ChargeCpu(i, mc.hash_ms);
+            ex.ScatterTo(i, bmap.Of(sp.index), obj);
+          };
           if (ex.BatchedProbe()) {
             for (uint64_t k = begin; k < end; ++k) {
-              hash_into_rs(i, *internal::ReadRPtr(ex, i, ex.rp_seg(i),
-                                                  base + k * r));
+              hash_to_bucket(*internal::ReadRPtr(ex, i, ex.rp_seg(i),
+                                                 base + k * r));
             }
           } else {
             for (uint64_t k = begin; k < end; ++k) {
               const rel::RObject obj =
                   internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-              hash_into_rs(i, obj);
+              hash_to_bucket(obj);
             }
           }
+          ex.FlushScatter(i);
           if (end == phase_counts[i]) {
             ex.DropSegment(i, rs_segs[j], /*discard=*/false);
             if (ex.tracing()) {
@@ -909,71 +937,59 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
   std::vector<std::vector<Entry>> resident(d);
   for (uint32_t i = 0; i < d; ++i) resident[i].reserve(resident_count[i]);
 
-  auto spill = [&](uint32_t writer, const rel::RObject& obj, uint32_t b) {
-    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-    const uint32_t target = sp.partition;
-    const uint64_t slot = bucket_cursor[target][b]++;
-    assert(slot < bucket_count[target][b]);
-    void* dst =
-        ex.Write(writer, rs_segs[target], bucket_offset[target][b] + slot * r,
-                 r);
-    std::memcpy(dst, &obj, r);
-    ex.ChargeCpu(writer, static_cast<double>(r) * mc.mt_pp_ms);
+  auto spill_run = [&](uint32_t writer, uint32_t target, uint32_t b,
+                       const rel::RObject* run, uint64_t n) {
+    const uint64_t slot = bucket_cursor[target][b];
+    bucket_cursor[target][b] += n;
+    assert(slot + n <= bucket_count[target][b]);
+    void* dst = ex.Write(writer, rs_segs[target],
+                         bucket_offset[target][b] + slot * r, n * r);
+    CopyTuples(dst, run, n, ex.StreamScatter());
+    ex.ChargeCpu(writer, static_cast<double>(n * r) * mc.mt_pp_ms);
   };
 
   // ---- Pass 0: partition R_i; own bucket-0 objects stay in memory. ----
-  // Chained: morsels share the resident table and spill/RP cursors.
+  // Chained: morsels share the resident table and spill/RP cursors. The
+  // scatter keyspace is D partition destinations (→ RP_{i,dest}) followed
+  // by K own-bucket destinations (→ RS_i spill bucket dest - D); resident
+  // bucket-0 entries bypass the scatter path into the in-memory table.
   ex.ForEachPartitionTuples(
       internal::RCounts(ex),
       [&](uint32_t i, uint64_t begin, uint64_t end) {
-        const typename B::Seg r_seg = ex.r_seg(i);
-        if (ex.BatchedProbe()) {
-          // Single-copy routing off the mapped scan.
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject* obj = internal::ReadRPtr(
-                ex, i, r_seg, rel::Workload::ROffset(k));
-            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-            if (sp.partition == i) {
-              const uint32_t b =
-                  join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
-              if (b == 0) {
-                resident[i].push_back(Entry{obj->id, obj->sptr});
-              } else {
-                spill(i, *obj, b);
-              }
-            } else {
-              ex.AppendToRp(i, sp.partition, *obj);
-            }
-          }
-        } else {
-          for (uint64_t k = begin; k < end; ++k) {
-            const rel::RObject obj =
-                internal::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-            ex.ChargeCpu(i, mc.map_ms);
-            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-            if (sp.partition == i) {
-              ex.ChargeCpu(i, mc.hash_ms);
-              const uint32_t b =
-                  join::GraceBucketOf(sp.index, ex.s_count(i), k_buckets);
+        ex.BeginScatter(i, d + k_buckets, (end - begin) / d,
+                        [&, i](uint32_t dest, const rel::RObject* run,
+                               uint64_t n) {
+                          if (dest < d) {
+                            ex.AppendRpRun(i, dest, run, n);
+                          } else {
+                            spill_run(i, i, dest - d, run, n);
+                          }
+                        });
+        const join::GraceBucketMap bmap(ex.s_count(i), k_buckets);
+        internal::StageOrScatter(
+            ex, i, begin, end, [&](const rel::RObject& obj, rel::SPtr sp) {
+              if (!ex.BatchedProbe()) ex.ChargeCpu(i, mc.hash_ms);
+              const uint32_t b = bmap.Of(sp.index);
               if (b == 0) {
                 // Resident: one private move into the table, no disk
                 // traffic.
                 resident[i].push_back(Entry{obj.id, obj.sptr});
-                ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+                if (!ex.BatchedProbe()) {
+                  ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+                }
               } else {
-                spill(i, obj, b);
+                ex.ScatterTo(i, d + b, obj);
               }
-            } else {
-              ex.AppendToRp(i, sp.partition, obj);
-            }
-          }
-        }
+            });
+        ex.FlushScatter(i);
       },
       /*independent=*/false);
   if (sync) ex.SyncClocks();
   ex.MarkPass("pass0");
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j (all spill). ----
+  // Every object in RP_{i,j} targets partition j, so the scatter keyspace
+  // is just the K buckets of RS_j.
   for (uint32_t t = 1; t < d; ++t) {
     const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
     ex.ForEachPartitionTuples(
@@ -982,14 +998,20 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
           const uint32_t j = join::PhaseOffset(i, t, d);
           const uint64_t base = ex.RpSubOffset(i, j);
           const double phase_start_ms = ex.clock_ms(i);
+          ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
+                          [&, i, j](uint32_t dest, const rel::RObject* run,
+                                    uint64_t n) {
+                            spill_run(i, j, dest, run, n);
+                          });
+          // Every object in RP_{i,j} points into S_j, so the bucket
+          // divisor |S_j| is morsel-constant.
+          const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
           if (ex.BatchedProbe()) {
             for (uint64_t k = begin; k < end; ++k) {
               const rel::RObject* obj =
                   internal::ReadRPtr(ex, i, ex.rp_seg(i), base + k * r);
               const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-              spill(i, *obj,
-                    join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
-                                        k_buckets));
+              ex.ScatterTo(i, bmap.Of(sp.index), *obj);
             }
           } else {
             for (uint64_t k = begin; k < end; ++k) {
@@ -997,11 +1019,10 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
                   internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
               ex.ChargeCpu(i, mc.hash_ms);
               const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-              spill(i, obj,
-                    join::GraceBucketOf(sp.index, ex.s_count(sp.partition),
-                                        k_buckets));
+              ex.ScatterTo(i, bmap.Of(sp.index), obj);
             }
           }
+          ex.FlushScatter(i);
           if (end == phase_counts[i]) {
             ex.DropSegment(i, rs_segs[j], /*discard=*/false);
             if (ex.tracing()) {

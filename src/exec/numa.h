@@ -1,0 +1,49 @@
+// NUMA-aware placement for the real backend's anonymous segments.
+//
+// The backend's temporaries (RP bands, RS/merge scratch) are anonymous
+// mmap regions whose pages are placed by the kernel's first-touch policy:
+// whichever thread faults a page first gets it on its local node. With
+// the default kNone we keep that behavior. kInterleave spreads each
+// segment round-robin across all nodes via mbind(MPOL_INTERLEAVE) before
+// the first touch — the right default for bands that every worker reads
+// in a later pass. kLocal leans into first-touch instead: each RP band's
+// pages are pre-faulted by the worker that owns its partition, so the
+// partition's pass-1 reader finds them node-local.
+//
+// No libnuma: the one policy call we need is the raw mbind(2) syscall,
+// issued via syscall(2) with a locally defined MPOL_INTERLEAVE. On
+// single-node hosts (or kernels without mbind) everything degrades to
+// counted no-ops — options never fail, they just report zero effect in
+// join.numa.* (scatter_test pins this fallback behavior).
+#ifndef MMJOIN_EXEC_NUMA_H_
+#define MMJOIN_EXEC_NUMA_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace mmjoin::exec {
+
+/// Placement policy for the real backend's anonymous temporaries.
+enum class NumaMode : uint8_t {
+  kNone,        ///< kernel default (first-touch wherever the fault lands)
+  kInterleave,  ///< mbind(MPOL_INTERLEAVE) across all nodes before touch
+  kLocal,       ///< pre-fault each RP band on its owning worker
+};
+
+const char* NumaModeName(NumaMode mode);
+
+/// Number of online NUMA nodes (>= 1); 1 on non-NUMA hosts or when the
+/// sysfs topology is unreadable.
+uint32_t DetectNumaNodes();
+
+/// Applies MPOL_INTERLEAVE over all `nodes` to [base, base+bytes). Sets
+/// *applied=false (and returns OK) when there is nothing to do: a single
+/// node, or a platform without the mbind syscall. A real mbind failure
+/// returns the errno as a Status.
+Status BindInterleaved(void* base, uint64_t bytes, uint32_t nodes,
+                       bool* applied);
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_NUMA_H_

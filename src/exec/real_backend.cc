@@ -42,6 +42,12 @@ SchedulerOptions ResolveScheduler(uint32_t workers,
   return so;
 }
 
+uint32_t ResolveScatterTuples(const RealBackendOptions& options) {
+  const uint32_t n =
+      options.scatter_tuples ? options.scatter_tuples : kDefaultScatterTuples;
+  return std::min(n, kMaxScatterTuples);
+}
+
 }  // namespace
 
 RealBackend::RealBackend(const mm::MmWorkload& workload,
@@ -60,14 +66,19 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
                              : kDefaultPrefetchDistance),
       paging_(options.paging),
       huge_pages_(options.huge_pages),
+      scatter_(options.scatter),
+      scatter_tuples_(ResolveScatterTuples(options)),
+      numa_(options.numa),
       trace_(options.trace) {
   (void)params;  // plan shaping reads params through the drivers
   start_epoch_ms_ = SteadyNowMs();
-  start_faults_ = CurrentFaults();
+  main_start_faults_ = ThreadFaults();
+  if (numa_ != NumaMode::kNone) numa_nodes_ = DetectNumaNodes();
   rp_segs_.assign(d_, nullptr);
   out_count_.assign(std::max(1u, workers_), 0);
   out_digest_.assign(std::max(1u, workers_), 0);
   tallies_.assign(std::max(1u, workers_), KernelTally{});
+  scatter_bufs_.resize(std::max(1u, workers_));
   sched_totals_.assign(std::max(1u, workers_), WorkerRunStats{});
   for (uint32_t i = 0; i < d_; ++i) {
     auto r = std::make_unique<RealSeg>();
@@ -117,13 +128,6 @@ RealBackend::~RealBackend() {
   }
 }
 
-uint64_t RealBackend::CurrentFaults() const {
-  struct rusage ru;
-  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
-  return static_cast<uint64_t>(ru.ru_minflt) +
-         static_cast<uint64_t>(ru.ru_majflt);
-}
-
 StatusOr<RealBackend::Seg> RealBackend::CreateSegment(const std::string& name,
                                                       uint32_t disk,
                                                       uint64_t bytes) {
@@ -139,6 +143,22 @@ StatusOr<RealBackend::Seg> RealBackend::CreateSegment(const std::string& name,
                       0);
   if (base == MAP_FAILED) {
     return Status::IOError("mmap failed for segment " + name);
+  }
+  if (numa_ == NumaMode::kInterleave) {
+    // Must happen before the first touch (including MAP_POPULATE above —
+    // mbind on an already-populated range would need MPOL_MF_MOVE): with
+    // MAP_POPULATE the pages land per the pre-set policy only on kernels
+    // honoring it at fault time, so interleave composes best with
+    // paging=none|advise. Single-node hosts: applied=false, a counted
+    // no-op, never an error.
+    bool applied = false;
+    const Status st = BindInterleaved(base, map_bytes, numa_nodes_, &applied);
+    if (applied) mbind_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (!st.ok()) {
+      mbind_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(paging_mu_);
+      if (numa_status_.ok()) numa_status_ = st;
+    }
   }
   if (huge_pages_) {
     // Effective only under THP mode `madvise`; failure (e.g. THP compiled
@@ -211,6 +231,14 @@ void RealBackend::AdviseRange(uint32_t i, Seg seg, uint64_t offset,
       seg->base == nullptr || length == 0) {
     return;
   }
+  if (numa_ == NumaMode::kLocal && seg->owned &&
+      intent == AccessIntent::kPopulateWrite) {
+    // Bulk pre-faulting an owned temporary would place all its pages on
+    // the advising thread's node; numa=local wants first touch to stay
+    // with each range's writer (and RP bands are pre-faulted by their
+    // owners in CreateRpSegments), so the populate hint is skipped.
+    return;
+  }
   // Owned temporaries advise their page-rounded mapping; workload views
   // advise their logical extent — they point into the middle of the page-
   // granular file mapping, and AdviseMappedRange's outward page rounding
@@ -244,6 +272,29 @@ Status RealBackend::CreateRpSegments() {
         rp_segs_[i],
         CreateSegment("RP" + std::to_string(i), i, rp_layout_.TotalBytes(i)));
   }
+  if (numa_ == NumaMode::kLocal) {
+    // First-touch placement: partition i's worker writes one byte per page
+    // of RP_i before any pass fills it, so the band's pages land on the
+    // node of the worker that will produce (and later consume) them. The
+    // pages are untouched zero-fill at this point, so writing zero is
+    // invisible to the join. On a single-node host this is just a
+    // pre-fault — counted, harmless.
+    const uint64_t page = mc_.page_size;
+    ForEachPartition([&](uint32_t i) {
+      const double start = tracing() ? clock_ms(i) : 0;
+      RealSeg* seg = rp_segs_[i];
+      uint64_t pages = 0;
+      for (uint64_t off = 0; off < seg->map_bytes; off += page) {
+        seg->base[off] = 0;
+        ++pages;
+      }
+      first_touch_pages_.fetch_add(pages, std::memory_order_relaxed);
+      if (tracing()) {
+        Span(i, "numa-first-touch", "numa", start,
+             {obs::Arg("pages", pages)});
+      }
+    });
+  }
   return Status::OK();
 }
 
@@ -259,6 +310,36 @@ void RealBackend::Span(uint32_t i, const std::string& name,
   std::lock_guard<std::mutex> lock(trace_mu_);
   trace_->Complete(i, 1, name, cat, start_ms, now - start_ms,
                    std::move(args));
+}
+
+void RealBackend::StridedRun(const std::function<void(uint32_t)>& fn) {
+  const uint32_t w = workers_;
+  if (w <= 1 || d_ <= 1) {
+    real_internal::worker_slot = 0;
+    for (uint32_t i = 0; i < d_; ++i) {
+      fn(i);
+      // Morsel-epilogue safety net: a driver that returned without
+      // flushing still drains its staged tuples deterministically, here at
+      // the same boundary the drivers flush at. No-op when inactive.
+      scatter_bufs_[0].Flush();
+    }
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(w);
+  for (uint32_t t = 0; t < w; ++t) {
+    threads.emplace_back([this, &fn, t, w] {
+      const uint64_t faults_at_start = ThreadFaults();
+      real_internal::worker_slot = t;
+      for (uint32_t i = t; i < d_; i += w) {
+        fn(i);
+        scatter_bufs_[t].Flush();
+      }
+      worker_faults_.fetch_add(ThreadFaults() - faults_at_start,
+                               std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
 }
 
 void RealBackend::RunChains(
@@ -286,6 +367,9 @@ void RealBackend::RunChains(
         real_internal::worker_slot = w;
         const double start = trace_ ? clock_ms(0) : 0;
         body(w, m);
+        // Morsel-epilogue safety net (see StridedRun); no-op when the
+        // driver already flushed.
+        scatter_bufs_[w].Flush();
         if (trace_) {
           const double now = clock_ms(0);
           std::lock_guard<std::mutex> lock(trace_mu_);
@@ -301,6 +385,10 @@ void RealBackend::RunChains(
   // on the worker tracks so skew is visible in the trace.
   const std::vector<WorkerRunStats>& stats = sched.worker_stats();
   for (uint32_t w = 0; w < stats.size() && w < sched_totals_.size(); ++w) {
+    // Spawned scheduler threads report their own RUSAGE_THREAD deltas
+    // (zero on the inline path, whose faults the main thread's counter
+    // already covers).
+    worker_faults_.fetch_add(stats[w].faults, std::memory_order_relaxed);
     sched_totals_[w].chains += stats[w].chains;
     sched_totals_[w].morsels += stats[w].morsels;
     sched_totals_[w].steals += stats[w].steals;
@@ -316,20 +404,41 @@ void RealBackend::RunChains(
 
 void RealBackend::MarkPass(const std::string& label) {
   const double now = clock_ms(0);
-  const uint64_t faults = CurrentFaults();
-  passes_.push_back(
-      join::PassMark{label, now - last_mark_ms_, faults - last_mark_faults_});
+  // push_back before reading the fault counter, so any heap fault the
+  // push itself takes lands inside this pass's delta — that keeps
+  // sum(passes[i].faults) exactly equal to the run total (Finish pins the
+  // invariant; scatter_test regresses it).
+  passes_.push_back(join::PassMark{label, now - last_mark_ms_, 0});
+  const uint64_t faults = FaultsSinceStart();
+  passes_.back().faults = faults - last_mark_faults_;
   if (trace_) {
     std::lock_guard<std::mutex> lock(trace_mu_);
-    trace_->Complete(d_, 1, label, "pass", last_mark_ms_,
-                     now - last_mark_ms_);
+    std::vector<obs::TraceArg> args;
+    const uint64_t flushes = TotalScatterFlushes();
+    if (flushes > last_mark_scatter_flushes_) {
+      args.push_back(obs::Arg("scatter_flushes",
+                              flushes - last_mark_scatter_flushes_));
+    }
+    last_mark_scatter_flushes_ = flushes;
+    trace_->Complete(d_, 1, label, "pass", last_mark_ms_, now - last_mark_ms_,
+                     std::move(args));
   }
   last_mark_ms_ = now;
   last_mark_faults_ = faults;
 }
 
 join::JoinRunResult RealBackend::Finish() {
+  // Read the fault total before anything below allocates, then attribute
+  // the (tiny) tail since the driver's last MarkPass — segment deletes,
+  // trace drains — to the final pass: that keeps `faults` honest AND
+  // exactly equal to the sum of the per-pass deltas.
+  const uint64_t total_faults = FaultsSinceStart();
+  if (!passes_.empty()) {
+    passes_.back().faults += total_faults - last_mark_faults_;
+    last_mark_faults_ = total_faults;
+  }
   join::JoinRunResult r;
+  r.faults = total_faults;
   r.elapsed_ms = clock_ms(0);
   r.rproc_ms.assign(d_, r.elapsed_ms);
   r.passes = passes_;
@@ -350,13 +459,24 @@ join::JoinRunResult RealBackend::Finish() {
   r.paging_advise_calls = advise_calls_.load(std::memory_order_relaxed);
   r.paging_advise_bytes = advise_bytes_.load(std::memory_order_relaxed);
   r.paging_advise_errors = advise_errors_.load(std::memory_order_relaxed);
+  for (const ScatterBuffer& sb : scatter_bufs_) {
+    r.scatter_flushes += sb.stats().flushes;
+    r.scatter_partial_flushes += sb.stats().partial_flushes;
+    r.scatter_tuples += sb.stats().tuples;
+  }
+  if (numa_ != NumaMode::kNone) {
+    r.numa_nodes = numa_nodes_;
+    r.numa_mbind_calls = mbind_calls_.load(std::memory_order_relaxed);
+    r.numa_mbind_errors = mbind_errors_.load(std::memory_order_relaxed);
+    r.numa_first_touch_pages =
+        first_touch_pages_.load(std::memory_order_relaxed);
+  }
   for (const WorkerRunStats& st : sched_totals_) {
     r.sched_morsels += st.morsels;
     r.sched_steals += st.steals;
     r.sched_steal_failures += st.steal_failures;
     r.sched_idle_ms += st.idle_ms;
   }
-  r.faults = CurrentFaults() - start_faults_;
   r.verified = r.output_count == workload_->expected_output_count &&
                r.output_checksum == workload_->expected_checksum;
   r.threads_used = workers_;

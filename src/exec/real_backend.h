@@ -28,9 +28,19 @@
 //                     tid 1 = worker, pid = D = the driver track, and with
 //                     schedule=stealing pid = D+1 = the scheduler's worker
 //                     tracks (morsel spans, steal instants, tail-idle)
-//   MarkPass          wall-time pass boundaries with getrusage(2) fault
-//                     deltas, so real runs report the same PassMark shape
-//                     the simulator does
+//   MarkPass          wall-time pass boundaries with page-fault deltas
+//                     summed from per-thread RUSAGE_THREAD counters (the
+//                     process-wide RUSAGE_SELF double-counts when passes
+//                     overlap), so real runs report the same PassMark
+//                     shape the simulator does
+//   Scatter*          per-worker write-combining buffers (exec/scatter.h)
+//                     staging partition-pass appends, flushed as bulk runs
+//                     (optionally with non-temporal stores); scatter=direct
+//                     forwards every tuple immediately — the A/B baseline
+//   NUMA placement    numa=interleave mbinds owned temporaries round-robin
+//                     across nodes before first touch; numa=local
+//                     pre-faults each RP band on its owning worker
+//                     (exec/numa.h; counted no-ops on single-node hosts)
 //
 // Thread-safety relies on the drivers' ownership discipline (one writer
 // per target within any pass/phase — see exec/join_drivers.h) and the
@@ -53,6 +63,8 @@
 
 #include "exec/backend.h"
 #include "exec/kernels.h"
+#include "exec/numa.h"
+#include "exec/scatter.h"
 #include "exec/scheduler.h"
 #include "join/join_common.h"
 #include "mmap/mm_relation.h"
@@ -108,6 +120,17 @@ struct RealBackendOptions {
   /// Request MADV_HUGEPAGE on owned temporaries (effective only when the
   /// system THP mode is `madvise`); independent of `paging`.
   bool huge_pages = false;
+  /// How partition passes move tuples to their destination bands
+  /// (exec/scatter.h). kDirect keeps the per-tuple appends byte-for-byte —
+  /// the A/B baseline; kBuffered/kStream stage in per-worker
+  /// write-combining buffers (bit-identical output either way).
+  ScatterMode scatter = ScatterMode::kBuffered;
+  /// Staging tuples per destination for scatter=buffered|stream; 0 =
+  /// default (16). Clamped to [1, kMaxScatterTuples].
+  uint32_t scatter_tuples = 0;
+  /// NUMA placement of owned temporaries (exec/numa.h); degrades to
+  /// counted no-ops on single-node hosts.
+  NumaMode numa = NumaMode::kNone;
   obs::TraceRecorder* trace = nullptr;  ///< optional wall-clock trace
 };
 
@@ -166,11 +189,48 @@ class RealBackend {
   }
   uint64_t RpPages(uint32_t i) const { return SegPages(rp_segs_[i]); }
   void AppendToRp(uint32_t i, uint32_t j, const rel::RObject& obj) {
-    // Partition i's pass chain has one owner at a time, so the layout
-    // cursor needs no lock.
-    const uint64_t off = rp_layout_.NextSlot(i, j);
-    std::memcpy(rp_segs_[i]->base + off, &obj, sizeof(obj));
+    AppendRpRun(i, j, &obj, 1);
   }
+  /// Appends a run of objects to RP_{i,j} in one cursor claim + bulk copy
+  /// (non-temporal under scatter=stream). Partition i's pass chain has one
+  /// owner at a time, so the layout cursor needs no lock.
+  void AppendRpRun(uint32_t i, uint32_t j, const rel::RObject* run,
+                   uint64_t n) {
+    const uint64_t off = rp_layout_.NextSlotRun(i, j, n);
+    CopyTuples(rp_segs_[i]->base + off, run, n, StreamScatter());
+  }
+
+  // ---- write-combining scatter --------------------------------------------
+  // The buffer is per worker *slot*, not per partition: a morsel body runs
+  // on exactly one worker, and chained morsels (the only kind that
+  // scatter) have one owner at a time, so slot-indexing is race-free and
+  // lets the staging slabs stay hot in one core's cache.
+  // Staging pays only when a destination can expect to fill at least one
+  // slab over the morsel. Below that — the Grace/hybrid pass-1 bucket
+  // scatter at large K spreads a |RP_{i,j}|-tuple morsel so thin that
+  // every slab drains partial — the staging copy is pure overhead, so the
+  // buffer is armed in pass-through mode instead: per-tuple forwarding,
+  // still with non-temporal copies in the sinks under scatter=stream.
+  void BeginScatter(uint32_t /*i*/, uint32_t n_dests,
+                    uint64_t expected_per_dest, ScatterSink sink) {
+    const bool stage = scatter_ != ScatterMode::kDirect &&
+                       expected_per_dest >= scatter_tuples_;
+    scatter_bufs_[real_internal::worker_slot].Begin(
+        n_dests, stage ? scatter_tuples_ : 0, std::move(sink));
+  }
+  void ScatterTo(uint32_t /*i*/, uint32_t dest, const rel::RObject& obj) {
+    scatter_bufs_[real_internal::worker_slot].Add(dest, obj);
+  }
+  void ScatterRunTo(uint32_t /*i*/, uint32_t dest, const rel::RObject* run,
+                    uint64_t n) {
+    scatter_bufs_[real_internal::worker_slot].AddRun(dest, run, n);
+  }
+  void FlushScatter(uint32_t /*i*/) {
+    scatter_bufs_[real_internal::worker_slot].Flush();
+  }
+  /// True exactly under scatter=stream: sinks copy staged runs with
+  /// non-temporal stores instead of memcpy.
+  bool StreamScatter() const { return scatter_ == ScatterMode::kStream; }
 
   // ---- per-partition operations -------------------------------------------
   const void* Read(uint32_t /*i*/, Seg seg, uint64_t offset,
@@ -234,6 +294,12 @@ class RealBackend {
   Status DeferredError() const {
     std::lock_guard<std::mutex> lock(paging_mu_);
     return paging_status_;
+  }
+  /// First NUMA-placement failure of the run (OK when none, including the
+  /// single-node degradation — that is a no-op, not an error).
+  Status NumaDeferredError() const {
+    std::lock_guard<std::mutex> lock(paging_mu_);
+    return numa_status_;
   }
 
   // ---- execution structure ------------------------------------------------
@@ -304,28 +370,20 @@ class RealBackend {
   join::JoinRunResult Finish();
 
  private:
-  uint64_t CurrentFaults() const;
+  /// Faults since construction as seen from the *main* thread: the sum of
+  /// every finished worker thread's RUSAGE_THREAD delta plus the main
+  /// thread's own. Only meaningful between passes (after the spawn/join
+  /// barrier) and only on the thread that constructed the backend.
+  uint64_t FaultsSinceStart() const {
+    return worker_faults_.load(std::memory_order_relaxed) + ThreadFaults() -
+           main_start_faults_;
+  }
 
   /// The static schedule (and the serial fallback): worker w runs the
-  /// strided batch w, w+W, ...; spawn/join is the pass barrier.
-  template <typename Fn>
-  void StridedRun(Fn&& fn) {
-    const uint32_t w = workers_;
-    if (w <= 1 || d_ <= 1) {
-      real_internal::worker_slot = 0;
-      for (uint32_t i = 0; i < d_; ++i) fn(i);
-      return;
-    }
-    std::vector<std::thread> threads;
-    threads.reserve(w);
-    for (uint32_t t = 0; t < w; ++t) {
-      threads.emplace_back([this, &fn, t, w] {
-        real_internal::worker_slot = t;
-        for (uint32_t i = t; i < d_; i += w) fn(i);
-      });
-    }
-    for (auto& th : threads) th.join();
-  }
+  /// strided batch w, w+W, ...; spawn/join is the pass barrier. Non-
+  /// template (type-erased body) so the definition can live in the .cc
+  /// next to the per-thread fault accounting it feeds.
+  void StridedRun(const std::function<void(uint32_t)>& fn);
 
   /// Executes the chains through the work-stealing pool, wiring the worker
   /// slot, per-worker trace tracks, and telemetry accumulation.
@@ -342,11 +400,19 @@ class RealBackend {
   uint32_t prefetch_distance_;
   PagingMode paging_;
   bool huge_pages_;
+  ScatterMode scatter_;
+  uint32_t scatter_tuples_;
+  NumaMode numa_;
+  uint32_t numa_nodes_ = 1;
   obs::TraceRecorder* trace_;
   std::mutex trace_mu_;
 
   double start_epoch_ms_ = 0;  ///< steady_clock at construction
-  uint64_t start_faults_ = 0;
+  /// The constructing thread's RUSAGE_THREAD fault count at construction.
+  uint64_t main_start_faults_ = 0;
+  /// Fault deltas of every *finished* worker thread (strided and stolen),
+  /// accumulated at each pass's join barrier.
+  std::atomic<uint64_t> worker_faults_{0};
 
   std::vector<std::unique_ptr<RealSeg>> r_view_, s_view_;
   std::vector<const rel::SObject*> s_objs_;
@@ -363,11 +429,18 @@ class RealBackend {
   /// Batched-kernel tallies, also per worker slot and commutative — the
   /// kernels are free to reorder dereferences within a batch.
   std::vector<KernelTally> tallies_;
+  /// Write-combining staging, one buffer per worker slot; stats summed
+  /// (commutatively) at Finish.
+  std::vector<ScatterBuffer> scatter_bufs_;
 
   /// Paging-policy telemetry; advice is issued from worker threads.
   std::atomic<uint64_t> advise_calls_{0}, advise_bytes_{0}, advise_errors_{0};
+  /// NUMA-placement telemetry; first-touch runs on worker threads.
+  std::atomic<uint64_t> mbind_calls_{0}, mbind_errors_{0},
+      first_touch_pages_{0};
   mutable std::mutex paging_mu_;
   Status paging_status_;  ///< first advice failure (guarded by paging_mu_)
+  Status numa_status_;    ///< first placement failure (guarded by paging_mu_)
 
   /// Scheduler telemetry accumulated across every RunChains barrier.
   std::vector<WorkerRunStats> sched_totals_;
@@ -375,6 +448,15 @@ class RealBackend {
   std::vector<join::PassMark> passes_;
   double last_mark_ms_ = 0;
   uint64_t last_mark_faults_ = 0;
+  uint64_t last_mark_scatter_flushes_ = 0;
+
+  /// Full-buffer flushes so far, summed over workers (trace args only —
+  /// read between passes, after the join barrier).
+  uint64_t TotalScatterFlushes() const {
+    uint64_t total = 0;
+    for (const ScatterBuffer& sb : scatter_bufs_) total += sb.stats().flushes;
+    return total;
+  }
 };
 
 static_assert(Backend<RealBackend>,

@@ -1,0 +1,198 @@
+// Software write-combining scatter buffers for the real backend's
+// partition passes.
+//
+// PR 4 made the *probe* side of the four joins cache-conscious; the
+// *partition* side — pass 0 of every driver plus the staggered pass-1
+// repartition — still scattered tuples one at a time through shared
+// per-destination bump cursors, so every appended tuple was a random
+// cache-line + TLB miss into one of D (or D + K) remote destination
+// bands. The radix-join / MPSM literature's fix is software write
+// combining: stage scatters in small cache-resident per-worker,
+// per-destination buffers and flush a full buffer to the shared band in
+// one bulk copy — optionally with non-temporal stores, so the flushed
+// lines bypass the cache instead of costing a read-for-ownership each.
+//
+// Three pieces:
+//
+//   ScatterSink    the destination callback a driver installs per morsel:
+//                  "append this run of tuples to destination `dest`". The
+//                  sink owns cursor claiming, byte movement and (simulated)
+//                  cost charging, so buffering changes only WHEN runs
+//                  arrive, never what a run does.
+//   ScatterBuffer  the per-worker staging area: one `capacity`-tuple slab
+//                  per destination, flushed through the sink when full and
+//                  drained in ascending destination order by the morsel
+//                  epilogue Flush(). capacity = 0 is pass-through (direct)
+//                  mode: Add() forwards each tuple immediately — the A/B
+//                  baseline, byte-identical to the historical appends.
+//   CopyTuples     the bulk move, with the optional non-temporal store
+//                  path (SSE2) that keeps flushed bands out of the cache.
+//
+// Determinism: a destination's staged tuples keep scan order, chained
+// morsels run under one owner at a time, and every morsel ends in a
+// deterministic epilogue flush — so each destination band receives the
+// exact byte sequence the direct path writes, cursors advance identically,
+// and output count/checksum are bit-identical across scatter modes (see
+// DESIGN.md §7.3 for the full argument; scatter_test sweeps the matrix).
+#ifndef MMJOIN_EXEC_SCATTER_H_
+#define MMJOIN_EXEC_SCATTER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace mmjoin::exec {
+
+/// How the real backend's partition passes move tuples to their
+/// destination bands.
+enum class ScatterMode : uint8_t {
+  kDirect,    ///< immediate per-tuple appends (the A/B baseline)
+  kBuffered,  ///< per-worker, per-destination staging, bulk memcpy flush
+  kStream,    ///< kBuffered with non-temporal stores on the flush path
+};
+
+const char* ScatterModeName(ScatterMode mode);
+
+/// Staging capacity (tuples per destination) when none is configured:
+/// 16 x 128-byte objects = 2 KiB per destination — small enough that a
+/// worker's whole buffer set stays cache-resident at any realistic D + K,
+/// large enough that a flush amortizes the destination's line/TLB miss
+/// across many tuples.
+inline constexpr uint32_t kDefaultScatterTuples = 16;
+/// Upper bound on the configurable staging capacity (32 KiB/destination).
+inline constexpr uint32_t kMaxScatterTuples = 256;
+
+/// Destination callback: append `run[0..n)` to destination `dest`. The
+/// drivers install one per morsel; dest is a driver-defined keyspace
+/// (target partitions, hash buckets, or both — see exec/join_drivers.h).
+using ScatterSink =
+    std::function<void(uint32_t dest, const rel::RObject* run, uint64_t n)>;
+
+/// Telemetry of one buffer (summed over workers into join.scatter.*).
+struct ScatterStats {
+  uint64_t flushes = 0;          ///< full-buffer drains to a destination
+  uint64_t partial_flushes = 0;  ///< epilogue drains of partly full slabs
+  uint64_t tuples = 0;           ///< tuples routed through staging
+};
+
+/// Copies `n` RObjects to `dst`. With stream=true (and SSE2 and an
+/// aligned destination) the copy uses non-temporal stores: partition
+/// bands are written once and read in a later pass, so there is no reuse
+/// for the cache to exploit — streaming the lines out avoids both the
+/// read-for-ownership and the eviction of live probe state.
+void CopyTuples(void* dst, const rel::RObject* src, uint64_t n, bool stream);
+
+/// Publishes any outstanding non-temporal stores (sfence; no-op without
+/// SSE2). CopyTuples deliberately does not fence per call — serializing
+/// the write-combining buffers every flush costs more than streaming
+/// saves. ScatterBuffer::Flush() fences once per morsel instead, which is
+/// always before another thread (or a later pass) can read the bands.
+void ScatterFence();
+
+/// The per-worker write-combining buffer. Not thread-safe: each worker
+/// slot owns exactly one, and a morsel body runs on exactly one worker.
+class ScatterBuffer {
+ public:
+  /// Arms the buffer for one morsel: `n_dests` destinations of `capacity`
+  /// staged tuples each, draining through `sink`. capacity = 0 selects
+  /// pass-through (direct) mode. Storage is retained across morsels and
+  /// only grows.
+  void Begin(uint32_t n_dests, uint32_t capacity, ScatterSink sink) {
+    assert(!active_ && "missing FlushScatter before the next BeginScatter");
+    n_dests_ = n_dests;
+    capacity_ = capacity;
+    sink_ = std::move(sink);
+    if (capacity_ > 0) {
+      const size_t need = static_cast<size_t>(n_dests_) * capacity_;
+      if (storage_.size() < need) storage_.resize(need);
+      if (fill_.size() < n_dests_) fill_.resize(n_dests_, 0);
+    }
+    active_ = true;
+  }
+
+  bool active() const { return active_; }
+
+  /// Routes one tuple: stages it (flushing the destination's slab through
+  /// the sink when it fills) or, in pass-through mode, forwards it as a
+  /// run of one.
+  void Add(uint32_t dest, const rel::RObject& obj) {
+    assert(active_);
+    if (capacity_ == 0) {
+      sink_(dest, &obj, 1);
+      return;
+    }
+    assert(dest < n_dests_);
+    rel::RObject* slab = &storage_[static_cast<size_t>(dest) * capacity_];
+    slab[fill_[dest]++] = obj;
+    ++stats_.tuples;
+    if (fill_[dest] == capacity_) {
+      sink_(dest, slab, capacity_);
+      fill_[dest] = 0;
+      ++stats_.flushes;
+    }
+  }
+
+  /// Routes a contiguous run of tuples all bound for one destination
+  /// (sort-merge pass 1: a morsel's whole RP_{i,j} range moves to partner
+  /// j). Pass-through mode forwards per tuple — exactly the historical
+  /// append pattern — while buffered/stream first drain the destination's
+  /// staged slab (staged tuples precede the run in scan order) and then
+  /// hand the run to the sink in ONE bulk call: no staging copy at all,
+  /// and under scatter=stream one long non-temporal burst.
+  void AddRun(uint32_t dest, const rel::RObject* run, uint64_t n) {
+    assert(active_);
+    if (n == 0) return;
+    if (capacity_ == 0) {
+      for (uint64_t t = 0; t < n; ++t) sink_(dest, run + t, 1);
+      return;
+    }
+    assert(dest < n_dests_);
+    if (fill_[dest] > 0) {
+      sink_(dest, &storage_[static_cast<size_t>(dest) * capacity_],
+            fill_[dest]);
+      fill_[dest] = 0;
+      ++stats_.partial_flushes;
+    }
+    sink_(dest, run, n);
+    stats_.tuples += n;
+    ++stats_.flushes;
+  }
+
+  /// Morsel epilogue: drains every partly full slab in ascending
+  /// destination order, fences outstanding non-temporal stores, then
+  /// disarms the buffer. Deterministic — the drain order is a pure
+  /// function of the staged state, which itself is a pure function of the
+  /// morsel's tuple sequence.
+  void Flush() {
+    if (!active_) return;
+    for (uint32_t dest = 0; dest < n_dests_ && capacity_ > 0; ++dest) {
+      if (fill_[dest] == 0) continue;
+      sink_(dest, &storage_[static_cast<size_t>(dest) * capacity_],
+            fill_[dest]);
+      fill_[dest] = 0;
+      ++stats_.partial_flushes;
+    }
+    ScatterFence();
+    sink_ = nullptr;
+    active_ = false;
+  }
+
+  const ScatterStats& stats() const { return stats_; }
+
+ private:
+  std::vector<rel::RObject> storage_;  ///< n_dests slabs of capacity tuples
+  std::vector<uint32_t> fill_;         ///< staged tuples per destination
+  ScatterSink sink_;
+  uint32_t n_dests_ = 0;
+  uint32_t capacity_ = 0;
+  bool active_ = false;
+  ScatterStats stats_;
+};
+
+}  // namespace mmjoin::exec
+
+#endif  // MMJOIN_EXEC_SCATTER_H_

@@ -1,5 +1,7 @@
 #include "exec/scheduler.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -23,6 +25,17 @@ bool ChainBefore(const MorselChain& a, const MorselChain& b) {
 }
 
 }  // namespace
+
+uint64_t ThreadFaults() {
+  struct rusage ru;
+#ifdef RUSAGE_THREAD
+  if (getrusage(RUSAGE_THREAD, &ru) != 0) return 0;
+#else
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#endif
+  return static_cast<uint64_t>(ru.ru_minflt) +
+         static_cast<uint64_t>(ru.ru_majflt);
+}
 
 const char* ScheduleName(Schedule s) {
   switch (s) {
@@ -168,7 +181,13 @@ void WorkStealingScheduler::Run(std::vector<MorselChain> chains,
 
   std::vector<std::thread> threads;
   threads.reserve(w);
-  for (uint32_t t = 0; t < w; ++t) threads.emplace_back(worker, t);
+  for (uint32_t t = 0; t < w; ++t) {
+    threads.emplace_back([&worker, t, this] {
+      const uint64_t faults_at_start = ThreadFaults();
+      worker(t);
+      stats_[t].faults = ThreadFaults() - faults_at_start;
+    });
+  }
   for (auto& th : threads) th.join();
 
   const double join_ms = clock_();

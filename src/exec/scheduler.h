@@ -78,9 +78,21 @@ struct WorkerRunStats {
   uint64_t morsels = 0;
   uint64_t steals = 0;          ///< chains taken from another deque
   uint64_t steal_failures = 0;  ///< steal attempts that found every deque empty
+  /// Page faults (minor + major) this worker's *spawned thread* incurred,
+  /// from RUSAGE_THREAD deltas. Stays 0 on the inline (calling-thread)
+  /// path — those faults are already covered by the caller's own thread
+  /// counter, and recording them here too would double-count.
+  uint64_t faults = 0;
   double done_ms = 0;  ///< clock when this worker ran out of work
   double idle_ms = 0;  ///< tail idle: time between done_ms and the join
 };
+
+/// Page faults (minor + major) of the calling thread, via
+/// getrusage(RUSAGE_THREAD) — the per-thread counter whose deltas sum
+/// exactly across concurrent threads, unlike the process-wide RUSAGE_SELF
+/// (which made concurrent passes double-count). Falls back to RUSAGE_SELF
+/// where RUSAGE_THREAD does not exist.
+uint64_t ThreadFaults();
 
 /// Splits per-partition tuple counts into morsel chains. Pure and
 /// deterministic: depends only on (counts, options, independent).

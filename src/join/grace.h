@@ -11,6 +11,8 @@
 #ifndef MMJOIN_JOIN_GRACE_H_
 #define MMJOIN_JOIN_GRACE_H_
 
+#include <cassert>
+
 #include "join/join_common.h"
 
 namespace mmjoin::join {
@@ -34,6 +36,37 @@ inline uint32_t GraceBucketOf(uint64_t index, uint64_t s_count, uint32_t k) {
   if (b >= k) b = k - 1;
   return static_cast<uint32_t>(b);
 }
+
+/// Morsel-constant form of GraceBucketOf. A partition pass knows its
+/// divisor (|S_j| of the one target partition) for a whole morsel, so the
+/// per-tuple coarse hash can be a reciprocal multiply instead of a 64-bit
+/// divide. Exact, not approximate: for any dividend below 2^53 (index * k
+/// is far below that for any addressable relation) the double product is
+/// within one of the true quotient, and the two correction steps pin it —
+/// every value equals GraceBucketOf(index, s_count, k) bit-for-bit.
+class GraceBucketMap {
+ public:
+  GraceBucketMap(uint64_t s_count, uint32_t k)
+      : s_(s_count),
+        k_(k),
+        inv_(s_count ? 1.0 / static_cast<double>(s_count) : 0.0) {}
+
+  uint32_t Of(uint64_t index) const {
+    if (s_ == 0) return 0;
+    const uint64_t n = index * k_;
+    uint64_t q = static_cast<uint64_t>(static_cast<double>(n) * inv_);
+    q -= q * s_ > n;
+    q += (q + 1) * s_ <= n;
+    const uint32_t b = q >= k_ ? k_ - 1 : static_cast<uint32_t>(q);
+    assert(b == GraceBucketOf(index, s_, k_));
+    return b;
+  }
+
+ private:
+  uint64_t s_;
+  uint32_t k_;
+  double inv_;
+};
 
 /// Runs the parallel pointer-based Grace join on `workload`.
 StatusOr<JoinRunResult> RunGrace(sim::SimEnv* env,

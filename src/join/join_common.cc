@@ -39,6 +39,7 @@ JoinExecution::JoinExecution(sim::SimEnv* env, const rel::Workload& workload,
     gbufs_.push_back(std::make_unique<sim::GBuffer>(g_bytes_, entry_bytes));
   }
   pending_.resize(d_);
+  scatter_sink_.resize(d_);
   out_count_.assign(d_, 0);
   out_digest_.assign(d_, 0);
   rp_segs_.assign(d_, sim::kInvalidSeg);
@@ -232,6 +233,23 @@ void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->counter("join.paging.advise_calls").Inc(paging_advise_calls);
     registry->counter("join.paging.advise_bytes").Inc(paging_advise_bytes);
     registry->counter("join.paging.advise_errors").Inc(paging_advise_errors);
+  }
+  if (scatter_tuples > 0) {
+    // Real-backend write-combining scatter only; absent from simulated
+    // dumps and from scatter=direct runs.
+    registry->counter("join.scatter.flushes").Inc(scatter_flushes);
+    registry->counter("join.scatter.partial_flushes")
+        .Inc(scatter_partial_flushes);
+    registry->counter("join.scatter.tuples").Inc(scatter_tuples);
+  }
+  if (numa_nodes > 0) {
+    // Real-backend NUMA placement only; absent under numa=none. On a
+    // single-node host only join.numa.nodes (= 1) appears.
+    registry->counter("join.numa.nodes").Inc(numa_nodes);
+    registry->counter("join.numa.mbind_calls").Inc(numa_mbind_calls);
+    registry->counter("join.numa.mbind_errors").Inc(numa_mbind_errors);
+    registry->counter("join.numa.first_touch_pages")
+        .Inc(numa_first_touch_pages);
   }
 }
 

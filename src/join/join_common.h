@@ -108,6 +108,21 @@ struct JoinRunResult {
   uint64_t paging_advise_bytes = 0;   ///< page-rounded bytes advised
   uint64_t paging_advise_errors = 0;  ///< madvise failures (also Status)
 
+  // Write-combining scatter telemetry (real backend with
+  // scatter=buffered|stream; all zero on the simulator and under
+  // scatter=direct). Summed over workers. See exec/scatter.h.
+  uint64_t scatter_flushes = 0;          ///< full-buffer drains
+  uint64_t scatter_partial_flushes = 0;  ///< epilogue drains of partial slabs
+  uint64_t scatter_tuples = 0;           ///< tuples routed through staging
+
+  // NUMA placement telemetry (real backend with numa!=none; all zero
+  // otherwise). On single-node hosts the mode degrades to counted no-ops:
+  // numa_nodes reports 1 and the action counters stay zero.
+  uint32_t numa_nodes = 0;             ///< detected NUMA nodes
+  uint64_t numa_mbind_calls = 0;       ///< segments interleaved via mbind
+  uint64_t numa_mbind_errors = 0;      ///< mbind failures (also Status)
+  uint64_t numa_first_touch_pages = 0; ///< RP pages pre-faulted by owners
+
   /// Exports the run into `registry` under the "join." / "pass." / "rproc."
   /// prefixes (see DESIGN.md §Observability for the exact names). Called by
   /// the benches to produce their `*.metrics.json` dumps.
@@ -235,6 +250,33 @@ class JoinExecution {
 
   /// Appends an R object to RP_{i,j}, charging the private->private move.
   void AppendToRp(uint32_t i, uint32_t j, const rel::RObject& obj);
+  /// Run form of AppendToRp — a per-object loop here, so the simulated
+  /// charge/touch sequence is identical however the caller batches.
+  void AppendRpRun(uint32_t i, uint32_t j, const rel::RObject* run,
+                   uint64_t n) {
+    for (uint64_t k = 0; k < n; ++k) AppendToRp(i, j, run[k]);
+  }
+
+  // ---- Backend write-combining scatter ------------------------------------
+  // Pass-through: the simulator's costed per-tuple touch order IS its
+  // semantics, so ScatterTo forwards each tuple to the sink immediately —
+  // bit-identical (same Write/charge sequence) to the pre-scatter drivers.
+  void BeginScatter(uint32_t i, uint32_t /*n_dests*/,
+                    uint64_t /*expected_per_dest*/, exec::ScatterSink sink) {
+    scatter_sink_[i] = std::move(sink);
+  }
+  void ScatterTo(uint32_t i, uint32_t dest, const rel::RObject& obj) {
+    scatter_sink_[i](dest, &obj, 1);
+  }
+  /// Run form — a per-object loop here, so the simulated charge/touch
+  /// sequence is identical however the caller batches.
+  void ScatterRunTo(uint32_t i, uint32_t dest, const rel::RObject* run,
+                    uint64_t n) {
+    for (uint64_t k = 0; k < n; ++k) scatter_sink_[i](dest, run + k, 1);
+  }
+  void FlushScatter(uint32_t i) { scatter_sink_[i] = nullptr; }
+  /// Non-temporal stores are a real-memory concern; never on the simulator.
+  bool StreamScatter() const { return false; }
 
   /// Requests the S object behind `sptr` on behalf of Rproc_i through the
   /// G buffer; drained requests touch Sproc's cache and emit join output.
@@ -310,6 +352,8 @@ class JoinExecution {
   };
   std::vector<std::unique_ptr<sim::GBuffer>> gbufs_;
   std::vector<std::vector<PendingS>> pending_;
+  /// Per-partition scatter sink of the currently open morsel (pass-through).
+  std::vector<exec::ScatterSink> scatter_sink_;
 
   std::vector<uint64_t> out_count_;
   std::vector<uint64_t> out_digest_;

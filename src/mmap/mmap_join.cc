@@ -31,6 +31,9 @@ exec::RealBackendOptions ToBackendOptions(const MmJoinOptions& options) {
   bo.prefetch_distance = options.prefetch_distance;
   bo.paging = options.paging;
   bo.huge_pages = options.huge_pages;
+  bo.scatter = options.scatter;
+  bo.scatter_tuples = options.scatter_tuples;
+  bo.numa = options.numa;
   bo.trace = options.trace;
   return bo;
 }
@@ -59,6 +62,7 @@ StatusOr<MmJoinResult> Run(const MmWorkload& workload,
   MMJOIN_ASSIGN_OR_RETURN(join::JoinRunResult run, Driver(backend, params));
   MmJoinResult result = ToResult(std::move(run));
   result.paging_status = backend.DeferredError();
+  result.numa_status = backend.NumaDeferredError();
   return result;
 }
 

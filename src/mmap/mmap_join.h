@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "exec/kernels.h"
+#include "exec/numa.h"
+#include "exec/scatter.h"
 #include "exec/scheduler.h"
 #include "join/join_common.h"
 #include "mmap/mm_relation.h"
@@ -61,6 +63,21 @@ struct MmJoinOptions {
   /// Request MADV_HUGEPAGE on temporaries (effective only when the system
   /// THP mode is `madvise`); independent of `paging`.
   bool huge_pages = false;
+  /// Partition-pass scatter policy: `kDirect` writes each routed tuple
+  /// straight to its RP/RS destination (the A/B baseline); `kBuffered`
+  /// (default) stages tuples in per-worker, per-destination write-combining
+  /// slabs flushed as bulk copies; `kStream` additionally flushes with
+  /// non-temporal stores where alignment allows. Per-destination output is
+  /// byte-identical in all three modes (exec/scatter.h).
+  exec::ScatterMode scatter = exec::ScatterMode::kBuffered;
+  /// Tuples staged per destination before a flush; 0 = default (16, i.e.
+  /// 2 KiB of 128-byte objects per destination). Capped at 256.
+  uint32_t scatter_tuples = 0;
+  /// NUMA placement of the RP/RS temporaries: `kNone` (default) leaves
+  /// placement to the kernel; `kInterleave` mbind(2)s new segments across
+  /// all nodes; `kLocal` first-touches each worker's RP band from its
+  /// owning worker. Both degrade to counted no-ops on single-node hosts.
+  exec::NumaMode numa = exec::NumaMode::kNone;
   /// Optional wall-clock trace recorder (Chrome trace-event JSON, same
   /// format as simulated runs; Perfetto-loadable via WriteFile).
   obs::TraceRecorder* trace = nullptr;
@@ -80,6 +97,10 @@ struct MmJoinResult {
   /// madvise(2) is worth reporting. The count is in
   /// run.paging_advise_errors.
   Status paging_status = Status::OK();
+  /// First NUMA-placement failure of the run (OK when none, including the
+  /// single-node degradations). Placement is best-effort and never fails
+  /// the join; the count is in run.numa_mbind_errors.
+  Status numa_status = Status::OK();
   join::JoinRunResult run;  ///< full result in the cross-backend shape
 
   /// Exports the run into `registry` under the same "join." / "pass."

@@ -158,7 +158,25 @@ int main(int argc, char** argv) {
                    path.c_str());
       return 1;
     }
-    std::printf("ok\t%s\tbench=%s\n", path.c_str(), bench->str.c_str());
+    // Scatter column: staged-tuple traffic when the dump carries the
+    // write-combining telemetry, "-" for benches that never scatter.
+    const mmjoin::obs::JsonValue* counters = metrics->Find("counters");
+    const mmjoin::obs::JsonValue* sc_flushes =
+        counters && counters->is_object()
+            ? counters->Find("join.scatter.flushes")
+            : nullptr;
+    const mmjoin::obs::JsonValue* sc_tuples =
+        counters && counters->is_object()
+            ? counters->Find("join.scatter.tuples")
+            : nullptr;
+    if (sc_flushes && sc_flushes->is_number() && sc_tuples &&
+        sc_tuples->is_number()) {
+      std::printf("ok\t%s\tbench=%s\tscatter=%.0f/%.0f\n", path.c_str(),
+                  bench->str.c_str(), sc_flushes->number, sc_tuples->number);
+    } else {
+      std::printf("ok\t%s\tbench=%s\tscatter=-\n", path.c_str(),
+                  bench->str.c_str());
+    }
 
     if (!baseline_path.empty() &&
         (bench_filter.empty() || bench_filter == bench->str)) {
