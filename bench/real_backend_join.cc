@@ -54,10 +54,20 @@
 #include "mmap/mm_relation.h"
 #include "mmap/mmap_join.h"
 #include "mmap/segment_manager.h"
+#include "util/cli.h"
 
 namespace {
 
 using namespace mmjoin;
+
+constexpr char kUsage[] =
+    "usage: real_backend_join [objects] [partitions] [theta] [dir]\n"
+    "  objects     objects per relation            [262144]\n"
+    "  partitions  partitions/disks                [8]\n"
+    "  theta       Zipf skew of the second table   [1.1]\n"
+    "  dir         segment directory               [/tmp/mmjoin_bench_*]\n"
+    "Env knobs: MMJOIN_KERNEL_REPS/ASSERT, MMJOIN_SCATTER_REPS/ASSERT/\n"
+    "TUPLES/KBUCKETS/ONLY (see the file header).\n";
 
 struct Entry {
   const char* name;
@@ -364,6 +374,15 @@ int ScatterTable(const char* label, const mm::MmWorkload& workload, int reps,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Positional-only tool: a flag-looking argument is a typo'd invocation
+  // (e.g. "--objects=1000" silently strtoull'ing to 0), not data — reject
+  // it hard so scripts fail loudly.
+  for (int a = 1; a < argc; ++a) {
+    if (cli::IsFlagLike(argv[a])) {
+      cli::UnknownFlag("real_backend_join", argv[a], kUsage);
+    }
+  }
+  if (argc > 5) cli::UnknownFlag("real_backend_join", argv[5], kUsage);
   rel::RelationConfig relation;
   relation.r_objects = relation.s_objects =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1ull << 18);

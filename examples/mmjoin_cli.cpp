@@ -45,10 +45,42 @@
 #include <vector>
 
 #include "mmjoin/mmjoin.h"
+#include "util/cli.h"
 
 namespace {
 
 using namespace mmjoin;
+
+constexpr char kUsage[] =
+    "usage: mmjoin_cli [flags]\n"
+    "  --algorithm=nl|sm|grace|hh|all  which join to run          [all]\n"
+    "  --backend=sim|real            costed simulator or real mmap [sim]\n"
+    "  --r=N --s=N                   relation sizes in objects    [102400]\n"
+    "  --disks=D                     partitions/disks             [4]\n"
+    "  --theta=T                     Zipf skew of S-pointers      [0.0]\n"
+    "  --mem-frac=X                  M_Rproc as fraction of |R|   [0.05]\n"
+    "  --mem-bytes=N                 M_Rproc in bytes (overrides)\n"
+    "  --g=N                         G buffer bytes (sim only)    [page]\n"
+    "  --policy=lru|clock|fifo       replacement policy (sim)     [lru]\n"
+    "  --sync=auto|on|off            phase synchronization (sim)  [auto]\n"
+    "  --seed=N                      workload seed\n"
+    "  --dir=PATH                    segment directory (real)     [tmp]\n"
+    "  --threads=N                   worker-thread cap (real)     [cores]\n"
+    "  --schedule=static|stealing    partition scheduling (real)  "
+    "[stealing]\n"
+    "  --morsel-tuples=N             tuples per morsel (real)     [16384]\n"
+    "  --skew-split=K                hot-partition split (real)   [4]\n"
+    "  --kernel=scalar|prefetch      dereference kernel (real)    "
+    "[prefetch]\n"
+    "  --prefetch-distance=N         in-flight S derefs (real)    [32]\n"
+    "  --paging=none|advise|populate mmap paging policy (real)    [advise]\n"
+    "  --huge-pages                  MADV_HUGEPAGE on temps (real)\n"
+    "  --scatter=direct|buffered|stream  partition scatter (real) "
+    "[buffered]\n"
+    "  --scatter-tuples=N            staged tuples per dest (real) [16]\n"
+    "  --numa=none|interleave|local  temp placement (real)        [none]\n"
+    "  --model                       also print the model's prediction\n"
+    "  --passes                      print the per-pass breakdown\n";
 
 struct Flags {
   std::string algorithm = "all";
@@ -82,7 +114,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
-bool ParseFlags(int argc, char** argv, Flags* flags) {
+void ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
     std::string v;
     if (ParseFlag(argv[i], "--algorithm", &v)) {
@@ -142,12 +174,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (std::strcmp(argv[i], "--passes") == 0) {
       flags->show_passes = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s (see header for usage)\n",
-                   argv[i]);
-      return false;
+      cli::UnknownFlag("mmjoin_cli", argv[i], kUsage);
     }
   }
-  return true;
 }
 
 int RunOne(join::Algorithm a, const Flags& flags,
@@ -358,7 +387,7 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
 
 int main(int argc, char** argv) {
   Flags flags;
-  if (!ParseFlags(argc, argv, &flags)) return 2;
+  ParseFlags(argc, argv, &flags);
 
   sim::MachineConfig machine = sim::MachineConfig::SequentSymmetry1996();
   machine.num_disks = flags.relation.num_partitions;

@@ -1,0 +1,210 @@
+// mmjoin_client: command-line client for a running mmjoind.
+//
+//   mmjoin_client [--socket=PATH] register NAME R_OBJECTS S_OBJECTS
+//       PARTITIONS [THETA] [SEED]
+//   mmjoin_client [--socket=PATH] query NAME nested-loops|sort-merge|
+//       grace|hybrid-hash [--priority=low|normal|high] [--trace]
+//   mmjoin_client [--socket=PATH] list | stats | ping | shutdown
+//   mmjoin_client [--socket=PATH] unregister NAME
+//
+// One request per invocation; the response prints human-readable. Exit
+// status: 0 on a success response, 1 on an error response or transport
+// failure, 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mmjoin/mmjoin.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace mmjoin;
+
+constexpr char kUsage[] =
+    "usage: mmjoin_client [--socket=PATH] COMMAND [args]\n"
+    "  register NAME R S PARTITIONS [THETA] [SEED]  build + keep resident\n"
+    "  query NAME ALGORITHM [--priority=low|normal|high] [--trace]\n"
+    "      ALGORITHM: nested-loops | sort-merge | grace | hybrid-hash\n"
+    "  unregister NAME    drop a relation\n"
+    "  list               registered relations\n"
+    "  stats              aggregate service counters\n"
+    "  ping               liveness probe\n"
+    "  shutdown           ask the daemon to drain and exit\n"
+    "  --socket=PATH      daemon socket      [/tmp/mmjoind.sock]\n";
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int PrintResponse(const svc::Response& resp) {
+  switch (resp.op) {
+    case svc::ResponseOp::kError:
+      std::fprintf(stderr, "error (%s): %s\n",
+                   svc::ErrorCodeName(resp.error), resp.message.c_str());
+      if (resp.retry_after_ms > 0) {
+        std::fprintf(stderr, "retry after %llu ms\n",
+                     static_cast<unsigned long long>(resp.retry_after_ms));
+      }
+      return 1;
+    case svc::ResponseOp::kWelcome:
+      std::printf("welcome, protocol v%u\n", resp.version);
+      return 0;
+    case svc::ResponseOp::kPong:
+      std::printf("pong\n");
+      return 0;
+    case svc::ResponseOp::kDraining:
+      std::printf("draining\n");
+      return 0;
+    case svc::ResponseOp::kRegistered:
+      std::printf("registered %s (%llu resident bytes)\n", resp.name.c_str(),
+                  static_cast<unsigned long long>(resp.resident_bytes));
+      return 0;
+    case svc::ResponseOp::kUnregistered:
+      std::printf("unregistered %s\n", resp.name.c_str());
+      return 0;
+    case svc::ResponseOp::kResult:
+      std::printf("result: count=%llu checksum=0x%016llx verified=%s "
+                  "exec=%.2fms queue=%.2fms threads=%u\n",
+                  static_cast<unsigned long long>(resp.count),
+                  static_cast<unsigned long long>(resp.checksum),
+                  resp.verified ? "yes" : "NO", resp.exec_ms, resp.queue_ms,
+                  resp.threads);
+      return resp.verified ? 0 : 1;
+    case svc::ResponseOp::kRelations:
+      for (const svc::RelationInfo& r : resp.relations) {
+        std::printf("%-16s |R|=%llu |S|=%llu D=%u theta=%.2f seed=%llu "
+                    "resident=%llu pins=%u\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.r_objects),
+                    static_cast<unsigned long long>(r.s_objects),
+                    r.partitions, r.zipf_theta,
+                    static_cast<unsigned long long>(r.seed),
+                    static_cast<unsigned long long>(r.resident_bytes),
+                    r.pins);
+      }
+      if (resp.relations.empty()) std::printf("(no relations)\n");
+      return 0;
+    case svc::ResponseOp::kStats:
+      for (const svc::StatEntry& e : resp.stats) {
+        std::printf("%-28s %llu\n", e.name.c_str(),
+                    static_cast<unsigned long long>(e.value));
+      }
+      return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/mmjoind.sock";
+  svc::Request req;
+  std::vector<std::string> positional;
+  for (int a = 1; a < argc; ++a) {
+    std::string v;
+    if (ParseFlag(argv[a], "--socket", &v)) {
+      socket_path = v;
+    } else if (ParseFlag(argv[a], "--priority", &v)) {
+      if (v == "low") {
+        req.priority = exec::QueryPriority::kLow;
+      } else if (v == "normal") {
+        req.priority = exec::QueryPriority::kNormal;
+      } else if (v == "high") {
+        req.priority = exec::QueryPriority::kHigh;
+      } else {
+        cli::BadFlagValue("mmjoin_client", argv[a], kUsage);
+      }
+    } else if (std::strcmp(argv[a], "--trace") == 0) {
+      req.trace = true;
+    } else if (cli::IsFlagLike(argv[a])) {
+      cli::UnknownFlag("mmjoin_client", argv[a], kUsage);
+    } else {
+      positional.push_back(argv[a]);
+    }
+  }
+  if (positional.empty()) cli::UnknownFlag("mmjoin_client", "", kUsage);
+  const std::string& command = positional[0];
+  auto need = [&](size_t n) {
+    if (positional.size() != 1 + n) {
+      cli::UnknownFlag("mmjoin_client", command, kUsage);
+    }
+  };
+  if (command == "register") {
+    if (positional.size() < 5 || positional.size() > 7) {
+      cli::UnknownFlag("mmjoin_client", command, kUsage);
+    }
+    req.op = svc::RequestOp::kRegister;
+    req.name = positional[1];
+    req.r_objects = std::strtoull(positional[2].c_str(), nullptr, 10);
+    req.s_objects = std::strtoull(positional[3].c_str(), nullptr, 10);
+    req.partitions =
+        static_cast<uint32_t>(std::strtoul(positional[4].c_str(), nullptr,
+                                           10));
+    if (positional.size() > 5) {
+      req.zipf_theta = std::strtod(positional[5].c_str(), nullptr);
+    }
+    if (positional.size() > 6) {
+      req.seed = std::strtoull(positional[6].c_str(), nullptr, 10);
+    }
+    if (req.r_objects == 0 || req.s_objects == 0 || req.partitions == 0) {
+      cli::BadFlagValue("mmjoin_client", "register sizes", kUsage);
+    }
+  } else if (command == "query") {
+    if (positional.size() != 3) {
+      cli::UnknownFlag("mmjoin_client", command, kUsage);
+    }
+    req.op = svc::RequestOp::kQuery;
+    req.name = positional[1];
+    const std::string& algo = positional[2];
+    if (algo == "nested-loops") {
+      req.algorithm = join::Algorithm::kNestedLoops;
+    } else if (algo == "sort-merge") {
+      req.algorithm = join::Algorithm::kSortMerge;
+    } else if (algo == "grace") {
+      req.algorithm = join::Algorithm::kGrace;
+    } else if (algo == "hybrid-hash") {
+      req.algorithm = join::Algorithm::kHybridHash;
+    } else {
+      cli::BadFlagValue("mmjoin_client", algo, kUsage);
+    }
+  } else if (command == "unregister") {
+    need(1);
+    req.op = svc::RequestOp::kUnregister;
+    req.name = positional[1];
+  } else if (command == "list") {
+    need(0);
+    req.op = svc::RequestOp::kList;
+  } else if (command == "stats") {
+    need(0);
+    req.op = svc::RequestOp::kStats;
+  } else if (command == "ping") {
+    need(0);
+    req.op = svc::RequestOp::kPing;
+  } else if (command == "shutdown") {
+    need(0);
+    req.op = svc::RequestOp::kShutdown;
+  } else {
+    cli::UnknownFlag("mmjoin_client", command, kUsage);
+  }
+
+  svc::Client client;
+  Status st = client.Connect(socket_path);
+  if (st.ok()) st = client.Handshake();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mmjoin_client: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto resp = client.Call(req);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "mmjoin_client: %s\n",
+                 resp.status().ToString().c_str());
+    return 1;
+  }
+  return PrintResponse(*resp);
+}

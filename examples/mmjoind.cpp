@@ -1,0 +1,126 @@
+// mmjoind: the long-lived join daemon. Registers named relations once
+// (resident mapped segments), serves concurrent join queries over a
+// unix-domain socket on ONE shared morsel-scheduler pool, and drains
+// gracefully on SIGTERM/SIGINT or a client `shutdown` request.
+//
+//   ./build/examples/mmjoind --socket=/tmp/mmjoind.sock --workers=4
+//       --dir=/tmp/mmjoind-segments --artifacts=/tmp/mmjoind-artifacts
+//
+// docs/OPERATIONS.md walks through running it end to end;
+// docs/PROTOCOL.md specifies the wire protocol; docs/PARAMETERS.md has
+// the knob table.
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mmjoin/mmjoin.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace mmjoin;
+
+constexpr char kUsage[] =
+    "usage: mmjoind [flags]\n"
+    "  --socket=PATH        unix socket to listen on   [/tmp/mmjoind.sock]\n"
+    "  --dir=PATH           segment root directory     [/tmp/mmjoind_<pid>]\n"
+    "  --workers=N          shared-pool worker threads [4]\n"
+    "  --max-inflight=N     queries executing at once  [4]\n"
+    "  --mem-budget=BYTES   admission memory budget, 0=unlimited  [0]\n"
+    "  --queue-limit=N      admission queue depth      [16]\n"
+    "  --drain-timeout=SEC  wait for in-flight work on shutdown   [30]\n"
+    "  --artifacts=DIR      per-query metrics/trace files         [off]\n";
+
+std::atomic<bool> g_signal{false};
+
+void OnSignal(int) { g_signal.store(true, std::memory_order_release); }
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServerOptions options;
+  std::string dir;
+  for (int a = 1; a < argc; ++a) {
+    std::string v;
+    if (ParseFlag(argv[a], "--socket", &v)) {
+      options.socket_path = v;
+    } else if (ParseFlag(argv[a], "--dir", &v)) {
+      dir = v;
+    } else if (ParseFlag(argv[a], "--workers", &v)) {
+      options.workers =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      if (options.workers == 0) cli::BadFlagValue("mmjoind", argv[a], kUsage);
+    } else if (ParseFlag(argv[a], "--max-inflight", &v)) {
+      options.admission.max_inflight =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+      if (options.admission.max_inflight == 0) {
+        cli::BadFlagValue("mmjoind", argv[a], kUsage);
+      }
+    } else if (ParseFlag(argv[a], "--mem-budget", &v)) {
+      options.admission.mem_budget_bytes =
+          std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[a], "--queue-limit", &v)) {
+      options.admission.queue_limit =
+          static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[a], "--drain-timeout", &v)) {
+      options.drain_timeout_s = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[a], "--artifacts", &v)) {
+      options.artifacts_dir = v;
+    } else {
+      cli::UnknownFlag("mmjoind", argv[a], kUsage);
+    }
+  }
+  if (dir.empty()) dir = "/tmp/mmjoind_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  if (!options.artifacts_dir.empty()) {
+    ::mkdir(options.artifacts_dir.c_str(), 0755);
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  mm::SegmentManager manager(dir);
+  svc::Server server(&manager, options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "mmjoind: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("mmjoind: listening on %s (workers=%u max-inflight=%u "
+              "mem-budget=%llu queue-limit=%u)\n",
+              server.options().socket_path.c_str(), server.options().workers,
+              server.options().admission.max_inflight,
+              static_cast<unsigned long long>(
+                  server.options().admission.mem_budget_bytes),
+              server.options().admission.queue_limit);
+  std::fflush(stdout);
+
+  while (!g_signal.load(std::memory_order_acquire) &&
+         !server.WaitShutdown(0.2)) {
+  }
+
+  std::printf("mmjoind: draining (timeout %.0fs)...\n",
+              server.options().drain_timeout_s);
+  std::fflush(stdout);
+  const bool drained = server.Drain();
+  server.Stop();
+  std::printf("mmjoind: %s\n",
+              drained ? "drained, bye" : "drain timed out, exiting anyway");
+  return drained ? 0 : 1;
+}

@@ -32,6 +32,12 @@
 #include "obs/trace.h"             // Chrome trace-event recorder
 #include "rel/generator.h"         // workload generation
 #include "rel/relation.h"          // relation layout and pointers
+#include "service/admission.h"     // bounded in-flight + memory budget
+#include "service/catalog.h"       // resident named-relation store
+#include "service/client.h"        // blocking protocol client
+#include "service/protocol.h"      // mmjoind wire protocol
+#include "service/query.h"         // one query end to end
+#include "service/server.h"        // the mmjoind daemon core
 #include "sim/machine_config.h"    // environment parameters
 #include "sim/sim_env.h"           // simulated single-level store
 #include "vm/page_cache.h"         // paged resident-set simulation

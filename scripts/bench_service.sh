@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Service-path acceptance bench: a Release build of bench/service_load at
+# full scale with the concurrency assertion ARMED — the run fails unless
+# the shared pool provably executed MMJOIN_SERVICE_ASSERT (default 4)
+# queries at the same time (svc.inflight_peak), and every one of the
+# thousands of concurrent results was byte-identical to the serial
+# baseline (that check is unconditional inside the bench). Produces the
+# committed BENCH_service.json artifact: qps, p50/p99 open-loop latency,
+# and the full metrics dump.
+#
+# Regression gate: when a committed BENCH_service.json already exists at
+# the repo root, the fresh run's `join.elapsed_ms` histogram minimum (the
+# fastest query the service executed end to end) must not exceed the
+# committed one's by more than TOLERANCE percent — the same
+# tools/metrics_validate diff the smoke job applies to
+# real_backend_join. Refresh the artifact by copying the new one over the
+# old when a deliberate change moves the floor.
+#
+#   scripts/bench_service.sh [build_dir] [objects] [seconds] [clients]
+#
+# Defaults: build-bench, 65536 objects/side, 20 s, 8 clients. Env:
+# MMJOIN_SERVICE_ASSERT (min concurrent, default 4), TOLERANCE (percent,
+# default 50), BENCH_SERVICE_TIMEOUT (seconds, default 600).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OBJECTS="${2:-65536}"
+SECONDS_ARG="${3:-20}"
+CLIENTS="${4:-8}"
+ASSERT="${MMJOIN_SERVICE_ASSERT:-4}"
+TOLERANCE="${TOLERANCE:-50}"
+TIMEOUT_S="${BENCH_SERVICE_TIMEOUT:-600}"
+COMMITTED="$(pwd)/BENCH_service.json"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target service_load metrics_validate
+
+OUT_DIR="$BUILD_DIR/bench-service"
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+echo "== service_load $OBJECTS objects, ${SECONDS_ARG}s, $CLIENTS clients," \
+     "assert peak >= $ASSERT"
+(
+  cd "$OUT_DIR"
+  MMJOIN_SERVICE_ASSERT="$ASSERT" \
+    timeout "$TIMEOUT_S" ../bench/service_load \
+    "$OBJECTS" "$SECONDS_ARG" "$CLIENTS" | tee bench_service.log
+  if [ -f "$COMMITTED" ]; then
+    ../tools/metrics_validate --merge BENCH_service.json \
+      --baseline "$COMMITTED" --tolerance "$TOLERANCE" \
+      --bench service_load ./*.metrics.json
+  else
+    echo "bench-service: no committed BENCH_service.json — skipping diff"
+    ../tools/metrics_validate --merge BENCH_service.json ./*.metrics.json
+  fi
+)
+cp "$OUT_DIR/BENCH_service.json" BENCH_service.json
+echo "bench-service: OK (BENCH_service.json)"

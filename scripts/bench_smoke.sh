@@ -31,7 +31,7 @@ BASELINE="$(pwd)/BENCH_baseline.json"
 cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target \
   fig5a_nested_loops fig5b_sort_merge fig5c_grace real_backend_join \
-  metrics_validate
+  service_load metrics_validate
 
 OUT_DIR="$BUILD_DIR/bench-smoke"
 rm -rf "$OUT_DIR"
@@ -50,6 +50,14 @@ run "../bench/fig5c_grace" "$OBJECTS"
 # Zipf theta 1.1: the static-vs-stealing table runs on a genuinely skewed
 # workload and the same_join column asserts schedule-independence.
 run env MMJOIN_KERNEL_REPS=3 "../bench/real_backend_join" "$((OBJECTS * 2))" 8 1.1
+# 10 seconds of open-loop multi-query load through the mmjoind service
+# stack (in-process server, real unix socket, 4 clients on the shared
+# 4-worker pool). The identity check — every concurrent result
+# byte-identical to the serial baseline — is unconditional inside the
+# bench; the peak-concurrency assertion stays OFF here (smoke-scale
+# queries are too fast to queue reliably) and is armed by
+# scripts/bench_service.sh instead.
+run "../bench/service_load" "$((OBJECTS / 2))" 10 4
 
 # Every dump must parse (strict RFC 8259) and carry the bench shape; the
 # merged artifact is what CI uploads. With a committed baseline present,

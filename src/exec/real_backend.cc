@@ -24,6 +24,10 @@ double SteadyNowMs() {
 }
 
 uint32_t ResolveWorkers(uint32_t d, const RealBackendOptions& options) {
+  // An external pool fixes the worker-slot space: every morsel body runs
+  // with worker in [0, pool->workers()), so the per-slot arrays must match
+  // the pool regardless of D or the caller's thread bound.
+  if (options.pool != nullptr) return options.pool->workers();
   if (!options.parallel) return 1;
   uint32_t bound = options.max_threads;
   if (bound == 0) bound = std::max(1u, std::thread::hardware_concurrency());
@@ -69,6 +73,8 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
       scatter_(options.scatter),
       scatter_tuples_(ResolveScatterTuples(options)),
       numa_(options.numa),
+      pool_(options.pool),
+      priority_(options.priority),
       trace_(options.trace) {
   (void)params;  // plan shaping reads params through the drivers
   start_epoch_ms_ = SteadyNowMs();
@@ -108,7 +114,7 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
     }
     trace_->SetProcessName(d_, "driver");
     trace_->SetThreadName(d_, 1, "passes");
-    if (schedule_ == Schedule::kStealing) {
+    if (schedule_ == Schedule::kStealing || pool_ != nullptr) {
       trace_->SetProcessName(d_ + 1, "scheduler");
       for (uint32_t t = 0; t < workers_; ++t) {
         trace_->SetThreadName(d_ + 1, t + 1, "worker " + std::to_string(t));
@@ -345,9 +351,6 @@ void RealBackend::StridedRun(const std::function<void(uint32_t)>& fn) {
 void RealBackend::RunChains(
     std::vector<MorselChain> chains,
     const std::function<void(uint32_t, const Morsel&)>& body) {
-  WorkStealingScheduler sched(sched_options_,
-                              [this] { return clock_ms(0); });
-
   WorkStealingScheduler::ChainFn on_chain;
   if (trace_) {
     on_chain = [this](uint32_t w, const MorselChain& c, bool stolen) {
@@ -361,29 +364,44 @@ void RealBackend::RunChains(
     };
   }
 
-  sched.Run(
-      std::move(chains),
-      [&](uint32_t w, const Morsel& m) {
-        real_internal::worker_slot = w;
-        const double start = trace_ ? clock_ms(0) : 0;
-        body(w, m);
-        // Morsel-epilogue safety net (see StridedRun); no-op when the
-        // driver already flushed.
-        scatter_bufs_[w].Flush();
-        if (trace_) {
-          const double now = clock_ms(0);
-          std::lock_guard<std::mutex> lock(trace_mu_);
-          trace_->Complete(d_ + 1, w + 1,
-                           "morsel p" + std::to_string(m.partition), "sched",
-                           start, now - start,
-                           {obs::Arg("begin", m.begin), obs::Arg("end", m.end)});
-        }
-      },
-      on_chain);
+  // The same wrapped body on both paths: the worker slot is (re)pinned per
+  // morsel — on a shared pool the same OS thread interleaves morsels of
+  // many backends, each indexing its own per-slot arrays — and the scatter
+  // epilogue drains staged tuples a driver returned without flushing.
+  const auto run_morsel = [&](uint32_t w, const Morsel& m) {
+    real_internal::worker_slot = w;
+    const double start = trace_ ? clock_ms(0) : 0;
+    body(w, m);
+    scatter_bufs_[w].Flush();
+    if (trace_) {
+      const double now = clock_ms(0);
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_->Complete(d_ + 1, w + 1,
+                       "morsel p" + std::to_string(m.partition), "sched",
+                       start, now - start,
+                       {obs::Arg("begin", m.begin), obs::Arg("end", m.end)});
+    }
+  };
+
+  std::vector<WorkerRunStats> pool_stats;
+  const std::vector<WorkerRunStats>* stats_src = nullptr;
+  if (pool_ != nullptr) {
+    pool_->RunChainSet(std::move(chains), run_morsel, on_chain, priority_,
+                       &pool_stats);
+    stats_src = &pool_stats;
+  } else {
+    WorkStealingScheduler sched(sched_options_,
+                                [this] { return clock_ms(0); });
+    sched.Run(std::move(chains), run_morsel, on_chain);
+    stats_src = &sched.worker_stats();
+    // sched is about to die; copy before leaving the scope.
+    pool_stats = *stats_src;
+    stats_src = &pool_stats;
+  }
 
   // Accumulate the pass's telemetry into the run totals; tail-idle spans go
   // on the worker tracks so skew is visible in the trace.
-  const std::vector<WorkerRunStats>& stats = sched.worker_stats();
+  const std::vector<WorkerRunStats>& stats = *stats_src;
   for (uint32_t w = 0; w < stats.size() && w < sched_totals_.size(); ++w) {
     // Spawned scheduler threads report their own RUSAGE_THREAD deltas
     // (zero on the inline path, whose faults the main thread's counter

@@ -132,6 +132,16 @@ struct RealBackendOptions {
   /// counted no-ops on single-node hosts.
   NumaMode numa = NumaMode::kNone;
   obs::TraceRecorder* trace = nullptr;  ///< optional wall-clock trace
+  /// External shared worker pool (multi-query service mode). When set the
+  /// backend spawns no threads of its own: every partition pass is
+  /// submitted to the pool as a chain set and interleaves, at morsel
+  /// granularity, with chain sets submitted by concurrent queries. The
+  /// worker count becomes pool->workers() (parallel/max_threads/schedule
+  /// are ignored — the pool's shape wins), and `priority` sets the
+  /// submission's weighted-round-robin class. The pool must outlive the
+  /// backend. nullptr = classic one-run ownership.
+  SharedWorkerPool* pool = nullptr;
+  QueryPriority priority = QueryPriority::kNormal;
 };
 
 /// The real runtime. Models exec::Backend (static_assert at the bottom),
@@ -317,7 +327,8 @@ class RealBackend {
   /// costs vector means unit costs.
   template <typename Fn>
   void ForEachPartition(const std::vector<uint64_t>& costs, Fn&& fn) {
-    if (schedule_ == Schedule::kStatic || workers_ <= 1 || d_ <= 1) {
+    if (pool_ == nullptr &&
+        (schedule_ == Schedule::kStatic || workers_ <= 1 || d_ <= 1)) {
       StridedRun([&](uint32_t i) { fn(i); });
       return;
     }
@@ -342,7 +353,8 @@ class RealBackend {
   template <typename Body>
   void ForEachPartitionTuples(const std::vector<uint64_t>& counts,
                               Body&& body, bool independent) {
-    if (schedule_ == Schedule::kStatic || workers_ <= 1 || d_ <= 1) {
+    if (pool_ == nullptr &&
+        (schedule_ == Schedule::kStatic || workers_ <= 1 || d_ <= 1)) {
       StridedRun([&](uint32_t i) { body(i, 0, counts[i]); });
       return;
     }
@@ -385,8 +397,9 @@ class RealBackend {
   /// next to the per-thread fault accounting it feeds.
   void StridedRun(const std::function<void(uint32_t)>& fn);
 
-  /// Executes the chains through the work-stealing pool, wiring the worker
-  /// slot, per-worker trace tracks, and telemetry accumulation.
+  /// Executes the chains through the work-stealing pool (or, in service
+  /// mode, submits them to the external SharedWorkerPool), wiring the
+  /// worker slot, per-worker trace tracks, and telemetry accumulation.
   void RunChains(std::vector<MorselChain> chains,
                  const std::function<void(uint32_t, const Morsel&)>& body);
 
@@ -404,6 +417,8 @@ class RealBackend {
   uint32_t scatter_tuples_;
   NumaMode numa_;
   uint32_t numa_nodes_ = 1;
+  SharedWorkerPool* pool_;  ///< external pool (service mode), or nullptr
+  QueryPriority priority_;  ///< WRR class of this backend's submissions
   obs::TraceRecorder* trace_;
   std::mutex trace_mu_;
 

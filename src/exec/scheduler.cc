@@ -9,6 +9,7 @@
 #include <numeric>
 #include <thread>
 #include <utility>
+#include <vector>
 
 namespace mmjoin::exec {
 
@@ -194,6 +195,169 @@ void WorkStealingScheduler::Run(std::vector<MorselChain> chains,
   for (WorkerRunStats& st : stats_) {
     st.idle_ms = std::max(0.0, join_ms - st.done_ms);
   }
+}
+
+const char* PriorityName(QueryPriority p) {
+  switch (p) {
+    case QueryPriority::kLow:
+      return "low";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+SharedWorkerPool::SharedWorkerPool(uint32_t workers)
+    : workers_(std::max<uint32_t>(1, workers)) {
+  threads_.reserve(workers_);
+  for (uint32_t t = 0; t < workers_; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+SharedWorkerPool::~SharedWorkerPool() { Shutdown(); }
+
+void SharedWorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& th : threads_) th.join();
+  threads_.clear();
+}
+
+uint32_t SharedWorkerPool::active_sets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(active_.size());
+}
+
+uint64_t SharedWorkerPool::total_sets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_sets_;
+}
+
+SharedWorkerPool::Submission* SharedWorkerPool::PickSubmission() {
+  const size_t n = active_.size();
+  if (n == 0) return nullptr;
+  // Weighted round robin over the active submissions: the cursor
+  // submission keeps receiving morsel picks until its turn budget
+  // (= its priority weight) is spent, then the cursor advances to the
+  // next submission with a runnable chain. turn_left_ belongs to the
+  // pool, not the submission, so submissions entering and leaving never
+  // carry stale budgets.
+  for (size_t scanned = 0; scanned < n; ++scanned) {
+    const size_t idx = (cursor_ + scanned) % n;
+    Submission* sub = active_[idx];
+    if (sub->runnable.empty()) continue;
+    if (scanned != 0) {
+      cursor_ = idx;
+      turn_left_ = sub->weight;
+    }
+    if (turn_left_ == 0) turn_left_ = sub->weight;  // fresh turn
+    --turn_left_;
+    if (turn_left_ == 0) cursor_ = (idx + 1) % n;
+    return sub;
+  }
+  return nullptr;
+}
+
+void SharedWorkerPool::WorkerLoop(uint32_t self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Submission* sub = PickSubmission();
+    if (sub == nullptr) {
+      if (stop_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    const size_t ci = sub->runnable.front();
+    sub->runnable.pop_front();
+    ChainState& cs = sub->state[ci];
+    const MorselChain& chain = sub->chains[ci];
+    const Morsel& m = chain.morsels[cs.next_morsel];
+    const bool fresh = !cs.started;
+    const bool handoff = cs.started && cs.last_worker != self;
+    cs.started = true;
+    WorkerRunStats& st = sub->stats[self];
+    if (fresh) ++st.chains;
+    if (handoff) ++st.steals;
+    const MorselFn* body = sub->body;
+    const ChainFn* on_chain = sub->on_chain;
+    lock.unlock();
+
+    const uint64_t faults_before = ThreadFaults();
+    if (on_chain != nullptr && *on_chain && (fresh || handoff)) {
+      (*on_chain)(self, chain, handoff);
+    }
+    (*body)(self, m);
+    const uint64_t fault_delta = ThreadFaults() - faults_before;
+
+    lock.lock();
+    // All submission state is updated BEFORE the completion decrement:
+    // once morsels_left hits 0 the submitter wakes, reclaims the
+    // Submission (it lives on RunChainSet's stack) and `sub` dangles.
+    st.faults += fault_delta;
+    ++st.morsels;
+    ++cs.next_morsel;
+    cs.last_worker = self;
+    if (cs.next_morsel < chain.morsels.size()) {
+      // The chain re-enters its runnable queue: one morsel at a time is
+      // exactly what lets another query's morsel slot in between — and
+      // the re-queue under mu_ is what hands the next owner
+      // happens-before over this morsel's writes.
+      sub->runnable.push_back(ci);
+      work_cv_.notify_one();
+    }
+    if (--sub->morsels_left == 0) {
+      sub->done = true;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void SharedWorkerPool::RunChainSet(std::vector<MorselChain> chains,
+                                   const MorselFn& body,
+                                   const ChainFn& on_chain,
+                                   QueryPriority priority,
+                                   std::vector<WorkerRunStats>* stats) {
+  if (stats != nullptr) stats->assign(workers_, WorkerRunStats{});
+  if (chains.empty()) return;
+  // LPT order: the longest chains sit at the front of the runnable queue,
+  // so the pool's earliest picks go to the work most likely to straggle.
+  std::sort(chains.begin(), chains.end(), ChainBefore);
+
+  Submission sub;
+  sub.chains = std::move(chains);
+  sub.state.resize(sub.chains.size());
+  for (size_t i = 0; i < sub.chains.size(); ++i) {
+    sub.runnable.push_back(i);
+    sub.morsels_left += sub.chains[i].morsels.size();
+  }
+  sub.weight = PriorityWeight(priority);
+  sub.body = &body;
+  sub.on_chain = &on_chain;
+  sub.stats.assign(workers_, WorkerRunStats{});
+
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(!stop_ && "RunChainSet on a shut-down pool");
+  active_.push_back(&sub);
+  ++total_sets_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&sub] { return sub.done; });
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i] != &sub) continue;
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    if (cursor_ > i) --cursor_;
+    if (!active_.empty()) cursor_ %= active_.size();
+    else cursor_ = 0;
+    break;
+  }
+  lock.unlock();
+  if (stats != nullptr) *stats = std::move(sub.stats);
 }
 
 }  // namespace mmjoin::exec

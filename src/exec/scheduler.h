@@ -24,11 +24,28 @@
 // bodies feed are commutative sums — so output count and checksum are
 // bit-identical regardless of worker count or steal interleaving. Only
 // wall-clock timing and the steal/idle telemetry vary between runs.
+// Shared pool (multi-query): SharedWorkerPool owns a persistent set of
+// worker threads onto which any number of callers concurrently submit
+// chain *sets* (one set per backend pass). Workers pick ONE morsel at a
+// time, cycling over the active sets in weighted round-robin order
+// (QueryPriority weights), so N in-flight queries interleave at morsel
+// granularity on W threads instead of oversubscribing N*W threads. A
+// chain is held by at most one worker while one of its morsels runs and
+// re-enters its set's runnable queue afterwards (under the pool mutex,
+// which gives the next morsel's owner happens-before over the previous
+// one), preserving the one-owner-in-order chain rule — and therefore the
+// drivers' determinism argument — across suspensions and worker handoffs.
+// RunChainSet blocks the submitting thread until its set completes,
+// keeping the same pass-barrier semantics as Run().
 #ifndef MMJOIN_EXEC_SCHEDULER_H_
 #define MMJOIN_EXEC_SCHEDULER_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace mmjoin::exec {
@@ -138,6 +155,102 @@ class WorkStealingScheduler {
   SchedulerOptions options_;
   ClockFn clock_;
   std::vector<WorkerRunStats> stats_;
+};
+
+/// Priority class of a chain-set submission on a SharedWorkerPool. The
+/// classes are weights, not tiers: a `kHigh` query receives 4 morsel
+/// picks for every 1 a `kLow` query receives, but every active query
+/// keeps making progress — no class can starve another.
+enum class QueryPriority : uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+const char* PriorityName(QueryPriority p);
+
+/// Morsel picks a submission receives per weighted-round-robin turn:
+/// 1 / 2 / 4 for low / normal / high.
+inline uint32_t PriorityWeight(QueryPriority p) {
+  return uint32_t{1} << static_cast<uint8_t>(p);
+}
+
+/// A persistent worker pool shared by concurrent queries. Construction
+/// spawns the workers; destruction (or Shutdown) drains nothing — callers
+/// must not destroy the pool while a RunChainSet is in flight.
+class SharedWorkerPool {
+ public:
+  using MorselFn = WorkStealingScheduler::MorselFn;
+  using ChainFn = WorkStealingScheduler::ChainFn;
+
+  explicit SharedWorkerPool(uint32_t workers);
+  ~SharedWorkerPool();
+
+  SharedWorkerPool(const SharedWorkerPool&) = delete;
+  SharedWorkerPool& operator=(const SharedWorkerPool&) = delete;
+
+  uint32_t workers() const { return workers_; }
+
+  /// Executes every chain of the set exactly once on the pool's workers,
+  /// interleaved at morsel granularity with concurrently submitted sets,
+  /// and returns only when the whole set has completed (the same barrier
+  /// semantics as WorkStealingScheduler::Run). `body(worker, morsel)`
+  /// runs on pool worker threads with worker in [0, workers()); `on_chain`
+  /// (may be null) fires when a worker picks up a chain it was not the
+  /// previous owner of — `stolen` marks a mid-chain handoff. `stats`, if
+  /// non-null, is resized to workers() and receives THIS submission's
+  /// per-worker telemetry (morsels, chains, handoffs as steals, per-morsel
+  /// RUSAGE_THREAD fault deltas).
+  void RunChainSet(std::vector<MorselChain> chains, const MorselFn& body,
+                   const ChainFn& on_chain, QueryPriority priority,
+                   std::vector<WorkerRunStats>* stats);
+
+  /// Joins the workers. Idempotent; implied by the destructor. Callers
+  /// must have no RunChainSet in flight.
+  void Shutdown();
+
+  /// Chain sets currently submitted and not yet complete.
+  uint32_t active_sets() const;
+  /// Chain sets ever submitted (telemetry).
+  uint64_t total_sets() const;
+
+ private:
+  struct ChainState {
+    size_t next_morsel = 0;    ///< progress; morsels run in order
+    uint32_t last_worker = 0;  ///< previous owner, for handoff telemetry
+    bool started = false;
+  };
+
+  /// One RunChainSet in flight: its chains, the runnable queue (chain
+  /// indices not currently held by a worker), and its priority weight.
+  /// Lives on the submitting thread's stack; guarded by mu_.
+  struct Submission {
+    std::vector<MorselChain> chains;
+    std::vector<ChainState> state;
+    std::deque<size_t> runnable;
+    uint64_t morsels_left = 0;  ///< includes morsels currently executing
+    uint32_t weight = 1;
+    const MorselFn* body = nullptr;
+    const ChainFn* on_chain = nullptr;
+    std::vector<WorkerRunStats> stats;
+    bool done = false;
+  };
+
+  void WorkerLoop(uint32_t self);
+  /// Picks the next (submission, chain) pair in weighted-round-robin
+  /// order, or nullptr when no submission has a runnable chain. mu_ held.
+  Submission* PickSubmission();
+
+  uint32_t workers_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for runnable chains
+  std::condition_variable done_cv_;  ///< submitters wait for completion
+  std::vector<Submission*> active_;  ///< submission list, WRR order
+  size_t cursor_ = 0;                ///< WRR position within active_
+  uint32_t turn_left_ = 0;  ///< morsel picks left in the cursor's turn
+  uint64_t total_sets_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace mmjoin::exec

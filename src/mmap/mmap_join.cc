@@ -35,6 +35,8 @@ exec::RealBackendOptions ToBackendOptions(const MmJoinOptions& options) {
   bo.scatter_tuples = options.scatter_tuples;
   bo.numa = options.numa;
   bo.trace = options.trace;
+  bo.pool = options.pool;
+  bo.priority = options.priority;
   return bo;
 }
 

@@ -81,6 +81,14 @@ struct MmJoinOptions {
   /// Optional wall-clock trace recorder (Chrome trace-event JSON, same
   /// format as simulated runs; Perfetto-loadable via WriteFile).
   obs::TraceRecorder* trace = nullptr;
+  /// External shared worker pool (the mmjoind service mode). When set, the
+  /// join spawns no threads: its partition passes are submitted to the pool
+  /// as chain sets and interleave at morsel granularity with concurrent
+  /// queries. parallel/max_threads/schedule are ignored (the pool's shape
+  /// wins) and `priority` picks the weighted-round-robin class. The pool
+  /// must outlive the call. nullptr = classic one-run ownership.
+  exec::SharedWorkerPool* pool = nullptr;
+  exec::QueryPriority priority = exec::QueryPriority::kNormal;
 };
 
 /// Outcome of a real join run. The flat fields mirror the historical

@@ -1,0 +1,131 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mmjoin::svc {
+
+namespace {
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  Release();
+  controller_ = other.controller_;
+  bytes_ = other.bytes_;
+  other.controller_ = nullptr;
+  other.bytes_ = 0;
+  return *this;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  AdmissionController* c = controller_;
+  controller_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(c->mu_);
+    --c->inflight_;
+    c->inflight_bytes_ -= bytes_;
+  }
+  c->cv_.notify_all();
+}
+
+StatusOr<AdmissionController::Ticket> AdmissionController::Admit(
+    uint64_t estimated_bytes, double* queue_ms, uint64_t* retry_after_ms) {
+  const double t0 = NowMs();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) return Status::InvalidArgument("draining");
+  if (!AdmissibleLocked(estimated_bytes) || queued_ > 0) {
+    // Must wait. Queue-or-reject: beyond the queue limit the caller gets
+    // an immediate overloaded + retry hint instead of an unbounded stall.
+    if (queued_ >= options_.queue_limit) {
+      if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterLocked();
+      return Status::ResourceExhausted("admission queue full (" +
+                                       std::to_string(queued_) + " waiting)");
+    }
+    const uint64_t turn = next_turn_++;
+    ++queued_;
+    cv_.wait(lock, [&] {
+      return draining_ ||
+             (turn == serving_turn_ && AdmissibleLocked(estimated_bytes));
+    });
+    --queued_;
+    ++serving_turn_;  // hand the head position to the next waiter
+    if (draining_) {
+      cv_.notify_all();  // successors must also observe the drain
+      return Status::InvalidArgument("draining");
+    }
+  } else {
+    // Fast path skipped the queue entirely; keep the FIFO numbering
+    // consistent for anyone who arrives while we run.
+    ++next_turn_;
+    ++serving_turn_;
+  }
+  ++inflight_;
+  peak_inflight_ = std::max(peak_inflight_, inflight_);
+  inflight_bytes_ += estimated_bytes;
+  if (queue_ms != nullptr) *queue_ms = NowMs() - t0;
+  cv_.notify_all();  // the new head may already be admissible
+  return Ticket(this, estimated_bytes);
+}
+
+uint64_t AdmissionController::RetryAfterLocked() const {
+  // Expected wait ≈ (queue depth + 1) runs of the average query, spread
+  // over the in-flight slots. Before any completion the EWMA is empty —
+  // fall back to a flat 50 ms.
+  const double per_run = exec_ewma_ms_ > 0 ? exec_ewma_ms_ : 50.0;
+  const double slots = std::max(1u, options_.max_inflight);
+  const double est = per_run * (queued_ + 1) / slots;
+  return static_cast<uint64_t>(std::max(10.0, est));
+}
+
+void AdmissionController::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+bool AdmissionController::AwaitIdle(double timeout_s) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                      [&] { return inflight_ == 0 && queued_ == 0; });
+}
+
+void AdmissionController::RecordExecMs(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  exec_ewma_ms_ = exec_ewma_ms_ > 0 ? 0.7 * exec_ewma_ms_ + 0.3 * ms : ms;
+}
+
+uint32_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+uint32_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+uint64_t AdmissionController::inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bytes_;
+}
+
+uint32_t AdmissionController::peak_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_inflight_;
+}
+
+}  // namespace mmjoin::svc

@@ -1,0 +1,117 @@
+// Admission control for concurrent join queries: a bounded in-flight count
+// plus a global memory budget, with a bounded FIFO wait queue in front.
+//
+// A query is *admissible* when a slot is free and its estimated bytes fit
+// the remaining budget (an over-budget singleton is still admitted once it
+// is alone — the budget bounds concurrency pressure, it is not a hard
+// rejection of big queries, and admitting it only when in-flight is zero
+// cannot deadlock). An inadmissible query WAITS, FIFO, up to the queue
+// limit; beyond the limit it is rejected immediately with `overloaded` and
+// a retry_after hint derived from the observed execution-time EWMA times
+// the queue depth — the client's best single number for "when is a retry
+// likely to be admitted". BeginDrain wakes every waiter with `draining`
+// and rejects all future admissions; queries already in flight finish
+// normally (graceful drain).
+#ifndef MMJOIN_SERVICE_ADMISSION_H_
+#define MMJOIN_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace mmjoin::svc {
+
+struct AdmissionOptions {
+  /// Queries executing concurrently; more wait in the queue.
+  uint32_t max_inflight = 4;
+  /// Sum of admitted queries' byte estimates; 0 = unlimited.
+  uint64_t mem_budget_bytes = 0;
+  /// Waiters beyond this are rejected with `overloaded` instead of queued.
+  uint32_t queue_limit = 16;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options)
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission slot: releasing returns the slot and bytes to the
+  /// budget and wakes the queue head.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    explicit operator bool() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* c, uint64_t bytes)
+        : controller_(c), bytes_(bytes) {}
+
+    AdmissionController* controller_ = nullptr;
+    uint64_t bytes_ = 0;
+  };
+
+  /// Blocks (FIFO) until admitted, rejected, or drained. On success
+  /// `*queue_ms` holds the time spent waiting. Failure statuses:
+  ///   - ResourceExhausted: queue full (protocol `overloaded`);
+  ///     `*retry_after_ms` carries the retry hint
+  ///   - InvalidArgument "draining": BeginDrain happened (protocol
+  ///     `draining`); no new work is ever admitted afterwards
+  StatusOr<Ticket> Admit(uint64_t estimated_bytes, double* queue_ms,
+                         uint64_t* retry_after_ms);
+
+  /// Stops all future admission and wakes queued waiters with `draining`.
+  void BeginDrain();
+  bool draining() const;
+
+  /// Blocks until nothing is in flight or queued (or `timeout_s` passes);
+  /// true when fully drained.
+  bool AwaitIdle(double timeout_s);
+
+  /// Feeds the execution-time EWMA behind the retry_after hint.
+  void RecordExecMs(double ms);
+
+  uint32_t inflight() const;
+  uint32_t queued() const;
+  uint64_t inflight_bytes() const;
+  /// High-water mark of inflight() over the controller's lifetime — the
+  /// load benches use it to prove queries genuinely overlapped.
+  uint32_t peak_inflight() const;
+
+ private:
+  bool AdmissibleLocked(uint64_t bytes) const {
+    if (inflight_ >= options_.max_inflight) return false;
+    if (inflight_ == 0) return true;  // a lone query always fits
+    return options_.mem_budget_bytes == 0 ||
+           inflight_bytes_ + bytes <= options_.mem_budget_bytes;
+  }
+  uint64_t RetryAfterLocked() const;
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;    ///< waiters; also AwaitIdle
+  uint32_t inflight_ = 0;
+  uint32_t peak_inflight_ = 0;
+  uint64_t inflight_bytes_ = 0;
+  uint32_t queued_ = 0;
+  uint64_t next_turn_ = 0;   ///< FIFO: next ticket number to hand out
+  uint64_t serving_turn_ = 0;  ///< FIFO: lowest ticket allowed to admit
+  bool draining_ = false;
+  double exec_ewma_ms_ = 0;  ///< 0 until the first completion
+};
+
+}  // namespace mmjoin::svc
+
+#endif  // MMJOIN_SERVICE_ADMISSION_H_

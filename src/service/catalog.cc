@@ -1,0 +1,138 @@
+#include "service/catalog.h"
+
+#include <cassert>
+
+#include "rel/relation.h"
+
+namespace mmjoin::svc {
+
+RelationCatalog::~RelationCatalog() {
+  // Daemon teardown: every connection thread has been joined, so no pins
+  // can be live. Segments unmap via MmWorkload destruction; the files are
+  // deleted so a restarted daemon starts from a clean root.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    assert(slot->pins == 0 && "catalog destroyed with live pins");
+    const uint32_t d = slot->entry.config.num_partitions;
+    slot->entry.workload = mm::MmWorkload{};  // unmap before file delete
+    (void)mm::DeleteMmWorkload(manager_, name, d);
+  }
+  slots_.clear();
+}
+
+Status RelationCatalog::Register(const std::string& name,
+                                 const rel::RelationConfig& config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.count(name)) {
+      return Status::AlreadyExists("relation \"" + name +
+                                   "\" already registered");
+    }
+  }
+  // Build OUTSIDE the catalog lock: generating and mapping a large pair is
+  // the slow path, and queries against other relations must not stall
+  // behind it. The name cannot race a concurrent Register of the same name
+  // into double-building — BuildMmWorkload fails AlreadyExists on the
+  // segment files of whichever call loses.
+  MMJOIN_ASSIGN_OR_RETURN(mm::MmWorkload workload,
+                          mm::BuildMmWorkload(manager_, name, config));
+  auto slot = std::make_unique<Slot>();
+  slot->entry.name = name;
+  slot->entry.config = config;
+  uint64_t r_bytes = 0, s_bytes = 0;
+  for (uint64_t c : workload.r_count) r_bytes += c * sizeof(rel::RObject);
+  for (uint64_t c : workload.s_count) s_bytes += c * sizeof(rel::SObject);
+  slot->entry.resident_bytes = r_bytes + s_bytes;
+  slot->entry.query_bytes_estimate = r_bytes + s_bytes + 2 * r_bytes;
+  slot->entry.workload = std::move(workload);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = slots_.emplace(name, std::move(slot));
+  if (!inserted) {
+    // Lost a register/register race after the build; the winner's segments
+    // are the live ones and ours were never created (BuildMmWorkload would
+    // have failed) — this arm is unreachable in practice, kept for safety.
+    return Status::AlreadyExists("relation \"" + name +
+                                 "\" already registered");
+  }
+  return Status::OK();
+}
+
+Status RelationCatalog::Unregister(const std::string& name) {
+  std::unique_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(name);
+    if (it == slots_.end()) {
+      return Status::NotFound("relation \"" + name + "\" not registered");
+    }
+    if (it->second->pins > 0) {
+      return Status::ResourceExhausted(
+          "relation \"" + name + "\" is held by " +
+          std::to_string(it->second->pins) + " running quer" +
+          (it->second->pins == 1 ? "y" : "ies"));
+    }
+    slot = std::move(it->second);
+    slots_.erase(it);
+  }
+  const uint32_t d = slot->entry.config.num_partitions;
+  slot->entry.workload = mm::MmWorkload{};  // unmap before file delete
+  return mm::DeleteMmWorkload(manager_, name, d);
+}
+
+StatusOr<RelationCatalog::Pin> RelationCatalog::Acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("relation \"" + name + "\" not registered");
+  }
+  ++it->second->pins;
+  return Pin(this, &it->second->entry);
+}
+
+void RelationCatalog::Pin::Release() {
+  if (catalog_ != nullptr) catalog_->Unpin(entry_);
+  catalog_ = nullptr;
+  entry_ = nullptr;
+}
+
+void RelationCatalog::Unpin(const CatalogEntry* entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(entry->name);
+  assert(it != slots_.end() && it->second->pins > 0);
+  if (it != slots_.end() && it->second->pins > 0) --it->second->pins;
+}
+
+std::vector<RelationInfo> RelationCatalog::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RelationInfo> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    RelationInfo info;
+    info.name = name;
+    info.r_objects = slot->entry.config.r_objects;
+    info.s_objects = slot->entry.config.s_objects;
+    info.partitions = slot->entry.config.num_partitions;
+    info.zipf_theta = slot->entry.config.zipf_theta;
+    info.seed = slot->entry.config.seed;
+    info.resident_bytes = slot->entry.resident_bytes;
+    info.pins = slot->pins;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+uint64_t RelationCatalog::TotalResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, slot] : slots_) {
+    total += slot->entry.resident_bytes;
+  }
+  return total;
+}
+
+}  // namespace mmjoin::svc

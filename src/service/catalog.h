@@ -1,0 +1,116 @@
+// RelationCatalog: the daemon's resident workload store. A relation pair
+// is registered ONCE — built into named file-backed segments through the
+// SegmentManager and kept mapped for the daemon's lifetime — and then
+// served to any number of concurrent queries, which is the whole point of
+// the service: registration pays the build + map cost, queries pay only
+// the join.
+//
+// Lifetime discipline: a query holds its relation through an RAII Pin
+// (acquired under the catalog mutex, released on destruction), and
+// Unregister refuses (busy) while any pin is live — so segments are never
+// unmapped under a running join. List() reports the pin counts, which is
+// also how operators see what is in use.
+#ifndef MMJOIN_SERVICE_CATALOG_H_
+#define MMJOIN_SERVICE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mmap/mm_relation.h"
+#include "mmap/segment_manager.h"
+#include "rel/relation.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace mmjoin::svc {
+
+/// One resident relation pair.
+struct CatalogEntry {
+  std::string name;
+  rel::RelationConfig config;
+  mm::MmWorkload workload;     ///< mapped segments, resident until unregister
+  uint64_t resident_bytes = 0; ///< R + S object bytes kept mapped
+  /// Admission estimate of one query against this relation: the resident
+  /// working set plus two R-sized temporaries (RP and RS bands — every
+  /// algorithm's repartition output is bounded by |R| twice over).
+  uint64_t query_bytes_estimate = 0;
+};
+
+class RelationCatalog {
+ public:
+  explicit RelationCatalog(mm::SegmentManager* manager) : manager_(manager) {}
+  ~RelationCatalog();
+
+  RelationCatalog(const RelationCatalog&) = delete;
+  RelationCatalog& operator=(const RelationCatalog&) = delete;
+
+  /// Builds `<name>_r<i>` / `<name>_s<i>` segments and keeps them mapped.
+  /// AlreadyExists if the name is registered.
+  Status Register(const std::string& name, const rel::RelationConfig& config);
+
+  /// Drops the relation and deletes its segment files. NotFound if absent;
+  /// ResourceExhausted while queries hold pins (the server maps that to
+  /// the protocol's `busy`).
+  Status Unregister(const std::string& name);
+
+  /// RAII hold on a registered relation; keeps Unregister at bay.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept {
+      Release();
+      catalog_ = std::exchange(other.catalog_, nullptr);
+      entry_ = std::exchange(other.entry_, nullptr);
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    /// Valid while the pin is held — the entry cannot be unregistered.
+    const CatalogEntry& entry() const { return *entry_; }
+
+    void Release();
+
+   private:
+    friend class RelationCatalog;
+    Pin(RelationCatalog* catalog, const CatalogEntry* entry)
+        : catalog_(catalog), entry_(entry) {}
+
+    RelationCatalog* catalog_ = nullptr;
+    const CatalogEntry* entry_ = nullptr;
+  };
+
+  /// Pins `name` for a query. NotFound if absent.
+  StatusOr<Pin> Acquire(const std::string& name);
+
+  /// Metadata snapshot of every registered relation, name-ordered.
+  std::vector<RelationInfo> List() const;
+
+  uint64_t TotalResidentBytes() const;
+
+ private:
+  struct Slot {
+    CatalogEntry entry;
+    uint32_t pins = 0;
+  };
+
+  void Unpin(const CatalogEntry* entry);
+
+  mm::SegmentManager* manager_;
+  mutable std::mutex mu_;
+  /// unique_ptr slots: entry addresses stay stable across map rebalancing,
+  /// which is what lets Pin hold a bare pointer.
+  std::map<std::string, std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace mmjoin::svc
+
+#endif  // MMJOIN_SERVICE_CATALOG_H_

@@ -1,0 +1,92 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mmjoin::svc {
+
+Status Client::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IOError("connect " + socket_path + ": " +
+                                      std::strerror(errno));
+    Close();
+    return st;
+  }
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<Response> Client::Call(const Request& req) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  Request numbered = req;
+  if (numbered.id == 0) numbered.id = next_id_++;
+  const std::string line = SerializeRequest(numbered) + "\n";
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Responses come back in request order on this connection; the first
+  // full line is ours.
+  char chunk[4096];
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string resp_line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return ParseResponse(resp_line);
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Client::Handshake() {
+  Request hello;
+  hello.op = RequestOp::kHello;
+  hello.version = kProtocolVersion;
+  MMJOIN_ASSIGN_OR_RETURN(Response resp, Call(hello));
+  if (resp.op == ResponseOp::kError) {
+    return Status::InvalidArgument("handshake rejected: " + resp.message);
+  }
+  if (resp.op != ResponseOp::kWelcome || resp.version != kProtocolVersion) {
+    return Status::InvalidArgument("unexpected handshake response");
+  }
+  return Status::OK();
+}
+
+}  // namespace mmjoin::svc

@@ -1,0 +1,63 @@
+// Blocking client for the mmjoind wire protocol: connect to the daemon's
+// unix socket, send one JSON request line, read one JSON response line.
+// Used by the mmjoin_client CLI, bench/service_load, and the service
+// tests — one implementation of the framing so every consumer exercises
+// the same transport code the daemon is tested against.
+//
+// A Client is NOT thread-safe: one connection, requests strictly in
+// order. Concurrency is expressed with one Client per thread (each gets
+// its own connection), which is exactly how the load bench models
+// concurrent query streams.
+#ifndef MMJOIN_SERVICE_CLIENT_H_
+#define MMJOIN_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace mmjoin::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      next_id_ = other.next_id_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Status Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `req` and blocks for its response (IOError on a broken
+  /// connection; protocol-level failures arrive as kError responses, not
+  /// as error statuses).
+  StatusOr<Response> Call(const Request& req);
+
+  /// Connect-time handshake: hello/welcome, verifying the version.
+  Status Handshake();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last response line
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace mmjoin::svc
+
+#endif  // MMJOIN_SERVICE_CLIENT_H_

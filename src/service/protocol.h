@@ -1,0 +1,180 @@
+// Wire protocol of the mmjoind join service: newline-delimited JSON over a
+// unix-domain stream socket. One request line in, one response line out, in
+// order, per connection. The full field-level specification lives in
+// docs/PROTOCOL.md; this header is the single source of truth for the op
+// and error-code vocabularies (scripts/check_protocol_docs.sh greps the
+// kRequestOps/kResponseOps/kErrorCodes tables below against the spec, so a
+// message added here without documentation fails the build's check test).
+//
+// Versioning rule: the `hello` request carries the client's protocol
+// version; the server answers `welcome` with its own version when it can
+// serve that client and an `unsupported_version` error otherwise. All
+// other requests are interpreted under the negotiated (current) version.
+//
+// JSON conventions: requests and responses are single-line RFC 8259
+// objects parsed with the strict obs parser. 64-bit checksums are carried
+// as "0x..." hex *strings* — a JSON number is a double and cannot hold an
+// arbitrary uint64_t exactly. Unknown fields are rejected (strict), so
+// typos fail loudly instead of being silently ignored.
+#ifndef MMJOIN_SERVICE_PROTOCOL_H_
+#define MMJOIN_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/scheduler.h"
+#include "join/join_common.h"
+#include "rel/relation.h"
+#include "util/status.h"
+
+namespace mmjoin::svc {
+
+/// Protocol version this build speaks (see the versioning rule above).
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Client -> server operations.
+enum class RequestOp : uint8_t {
+  kHello,       ///< version negotiation; first message of a session
+  kRegister,    ///< build + map a named relation pair, keep it resident
+  kList,        ///< enumerate registered relations
+  kQuery,       ///< run one join against a registered relation
+  kStats,       ///< aggregate service counters
+  kUnregister,  ///< drop a registered relation (fails busy while queried)
+  kShutdown,    ///< ask the daemon to drain and exit
+  kPing,        ///< liveness probe
+};
+
+/// Server -> client operations.
+enum class ResponseOp : uint8_t {
+  kWelcome,       ///< answers hello
+  kRegistered,    ///< answers register
+  kRelations,     ///< answers list
+  kResult,        ///< answers query (success)
+  kStats,         ///< answers stats
+  kUnregistered,  ///< answers unregister
+  kDraining,      ///< answers shutdown: drain begun
+  kPong,          ///< answers ping
+  kError,         ///< answers anything that failed
+};
+
+/// Error codes carried by kError responses.
+enum class ErrorCode : uint8_t {
+  kBadRequest,          ///< malformed JSON, unknown op/field, bad value
+  kUnsupportedVersion,  ///< hello.version not servable
+  kNotFound,            ///< relation name not registered
+  kAlreadyExists,       ///< register of an existing name
+  kBusy,                ///< unregister while queries hold the relation
+  kOverloaded,          ///< admission queue full; retry_after_ms is set
+  kDraining,            ///< daemon is shutting down; no new work
+  kInternal,            ///< unexpected server-side failure
+};
+
+/// The wire vocabularies, one entry per enum value, in enum order. These
+/// arrays are what the protocol-docs coverage check greps for — every
+/// string here must appear in docs/PROTOCOL.md.
+inline constexpr const char* kRequestOps[] = {
+    "hello", "register", "list", "query",
+    "stats", "unregister", "shutdown", "ping",
+};
+inline constexpr const char* kResponseOps[] = {
+    "welcome", "registered", "relations", "result", "stats",
+    "unregistered", "draining", "pong", "error",
+};
+inline constexpr const char* kErrorCodes[] = {
+    "bad_request", "unsupported_version", "not_found", "already_exists",
+    "busy", "overloaded", "draining", "internal",
+};
+
+const char* RequestOpName(RequestOp op);
+const char* ResponseOpName(ResponseOp op);
+const char* ErrorCodeName(ErrorCode code);
+bool ParseRequestOp(std::string_view name, RequestOp* out);
+bool ParseResponseOp(std::string_view name, ResponseOp* out);
+bool ParseErrorCode(std::string_view name, ErrorCode* out);
+
+/// One client request. `op` selects which fields are meaningful; `id` is a
+/// client-chosen correlation id echoed verbatim in the response.
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  uint64_t id = 0;
+  uint32_t version = kProtocolVersion;  ///< hello only
+
+  std::string name;  ///< register / query / unregister: relation name
+
+  // register: the workload shape (rel::RelationConfig fields).
+  uint64_t r_objects = 0;
+  uint64_t s_objects = 0;
+  uint32_t partitions = 0;
+  double zipf_theta = 0;
+  uint64_t seed = 0;
+
+  // query:
+  join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+  exec::QueryPriority priority = exec::QueryPriority::kNormal;
+  bool trace = false;  ///< also write a per-query wall-clock trace
+};
+
+/// Metadata of one registered relation (the `relations` response).
+struct RelationInfo {
+  std::string name;
+  uint64_t r_objects = 0;
+  uint64_t s_objects = 0;
+  uint32_t partitions = 0;
+  double zipf_theta = 0;
+  uint64_t seed = 0;
+  uint64_t resident_bytes = 0;
+  uint32_t pins = 0;  ///< queries currently holding the relation
+};
+
+/// One aggregate counter in a `stats` response.
+struct StatEntry {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// One server response. `op` selects which fields are meaningful.
+struct Response {
+  ResponseOp op = ResponseOp::kPong;
+  uint64_t id = 0;
+  uint32_t version = kProtocolVersion;  ///< welcome only
+
+  // error:
+  ErrorCode error = ErrorCode::kInternal;
+  std::string message;
+  uint64_t retry_after_ms = 0;  ///< overloaded only; 0 = unset
+
+  // registered / unregistered:
+  std::string name;
+  uint64_t resident_bytes = 0;
+
+  // result:
+  uint64_t count = 0;
+  uint64_t checksum = 0;  ///< serialized as a "0x..." hex string
+  bool verified = false;
+  double exec_ms = 0;
+  double queue_ms = 0;
+  uint32_t threads = 0;
+  join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+
+  // relations:
+  std::vector<RelationInfo> relations;
+
+  // stats:
+  std::vector<StatEntry> stats;
+};
+
+/// Serializes to a single JSON line WITHOUT the trailing newline (the
+/// transport appends it).
+std::string SerializeRequest(const Request& req);
+std::string SerializeResponse(const Response& resp);
+
+/// Strict parses: unknown ops, unknown fields, and wrong field types are
+/// InvalidArgument. Input is one line without the newline.
+StatusOr<Request> ParseRequest(std::string_view line);
+StatusOr<Response> ParseResponse(std::string_view line);
+
+}  // namespace mmjoin::svc
+
+#endif  // MMJOIN_SERVICE_PROTOCOL_H_

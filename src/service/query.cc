@@ -1,0 +1,88 @@
+#include "service/query.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "mmap/mmap_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mmjoin::svc {
+
+namespace {
+
+StatusOr<mm::MmJoinResult> Dispatch(join::Algorithm algorithm,
+                                    const mm::MmWorkload& workload,
+                                    const mm::MmJoinOptions& options) {
+  switch (algorithm) {
+    case join::Algorithm::kNestedLoops:
+      return mm::MmNestedLoops(workload, options);
+    case join::Algorithm::kSortMerge:
+      return mm::MmSortMerge(workload, options);
+    case join::Algorithm::kGrace:
+      return mm::MmGrace(workload, options);
+    case join::Algorithm::kHybridHash:
+      return mm::MmHybridHash(workload, options);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+}  // namespace
+
+Status QueryEngine::Run(const Request& req, uint64_t query_id,
+                        QueryOutcome* outcome) {
+  *outcome = QueryOutcome{};
+  // Pin before admission: the byte estimate comes from the catalog entry,
+  // and holding the pin through the queue wait keeps an unregister from
+  // yanking the segments between admission and execution.
+  MMJOIN_ASSIGN_OR_RETURN(RelationCatalog::Pin pin,
+                          catalog_->Acquire(req.name));
+  auto admitted = admission_->Admit(pin.entry().query_bytes_estimate,
+                                    &outcome->queue_ms,
+                                    &outcome->retry_after_ms);
+  if (!admitted.ok()) return admitted.status();
+
+  obs::TraceRecorder trace;
+  mm::MmJoinOptions options;
+  options.pool = pool_;
+  options.priority = req.priority;
+  if (req.trace && !artifacts_dir_.empty()) options.trace = &trace;
+
+  auto result = Dispatch(req.algorithm, pin.entry().workload, options);
+  if (!result.ok()) return result.status();
+
+  outcome->count = result->output_count;
+  outcome->checksum = result->output_checksum;
+  outcome->verified = result->verified;
+  outcome->exec_ms = result->wall_ms;
+  outcome->threads = result->threads_used;
+  admission_->RecordExecMs(result->wall_ms);
+
+  if (!artifacts_dir_.empty()) {
+    // Per-query artifacts are best-effort observability: a full disk must
+    // not fail a join that already produced its answer.
+    const std::string base =
+        artifacts_dir_ + "/query-" + std::to_string(query_id);
+    obs::MetricsRegistry registry;
+    result->ExportMetrics(&registry);
+    registry.counter("svc.query.id").Inc(query_id);
+    registry.histogram("svc.queue_ms").Record(outcome->queue_ms);
+    const Status ms = registry.WriteFile(base + ".metrics.json");
+    if (!ms.ok()) {
+      std::fprintf(stderr, "mmjoind: query %llu metrics: %s\n",
+                   static_cast<unsigned long long>(query_id),
+                   ms.ToString().c_str());
+    }
+    if (options.trace != nullptr) {
+      const Status ts = trace.WriteFile(base + ".trace.json");
+      if (!ts.ok()) {
+        std::fprintf(stderr, "mmjoind: query %llu trace: %s\n",
+                     static_cast<unsigned long long>(query_id),
+                     ts.ToString().c_str());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mmjoin::svc

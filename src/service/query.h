@@ -1,0 +1,65 @@
+// QueryEngine: one join query, end to end — pin the relation, pass
+// admission, run the shared-pool join, export per-query observability.
+//
+// Every query gets its OWN MetricsRegistry (the same "join."/"pass." names
+// the benches emit) and, on request, its own wall-clock trace; when the
+// daemon was started with an artifacts directory they are written as
+//   <dir>/query-<id>.metrics.json      (always)
+//   <dir>/query-<id>.trace.json        (trace=true queries)
+// so operators can pull any single query's breakdown without the daemon
+// having mixed it into an aggregate. The aggregate service counters
+// (svc.*) live in the server, not here.
+#ifndef MMJOIN_SERVICE_QUERY_H_
+#define MMJOIN_SERVICE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "exec/scheduler.h"
+#include "join/join_common.h"
+#include "service/admission.h"
+#include "service/catalog.h"
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace mmjoin::svc {
+
+/// Outcome of one query, ready for a `result` response.
+struct QueryOutcome {
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+  bool verified = false;
+  double exec_ms = 0;   ///< join wall-clock (excludes queueing)
+  double queue_ms = 0;  ///< admission wait
+  uint32_t threads = 0;
+  uint64_t retry_after_ms = 0;  ///< set only on overloaded rejections
+};
+
+class QueryEngine {
+ public:
+  /// `artifacts_dir` empty disables per-query files. All pointers must
+  /// outlive the engine.
+  QueryEngine(RelationCatalog* catalog, exec::SharedWorkerPool* pool,
+              AdmissionController* admission, std::string artifacts_dir)
+      : catalog_(catalog),
+        pool_(pool),
+        admission_(admission),
+        artifacts_dir_(std::move(artifacts_dir)) {}
+
+  /// Runs `req` (op must be kQuery) as daemon-wide query number
+  /// `query_id`. Error statuses map onto protocol errors: NotFound (no
+  /// such relation), ResourceExhausted (overloaded — outcome.retry_after_ms
+  /// is set), InvalidArgument "draining" (drain in progress), anything
+  /// else = internal. On error the outcome still carries queue_ms.
+  Status Run(const Request& req, uint64_t query_id, QueryOutcome* outcome);
+
+ private:
+  RelationCatalog* catalog_;
+  exec::SharedWorkerPool* pool_;
+  AdmissionController* admission_;
+  std::string artifacts_dir_;
+};
+
+}  // namespace mmjoin::svc
+
+#endif  // MMJOIN_SERVICE_QUERY_H_

@@ -1,0 +1,331 @@
+#include "service/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace mmjoin::svc {
+
+namespace {
+
+/// Sends the whole buffer; MSG_NOSIGNAL so a vanished client surfaces as
+/// EPIPE instead of killing the daemon.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(mm::SegmentManager* manager, ServerOptions options)
+    : options_(std::move(options)),
+      pool_(options_.workers),
+      admission_(options_.admission),
+      catalog_(manager),
+      engine_(&catalog_, &pool_, &admission_, options_.artifacts_dir) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  // A previous daemon that died uncleanly leaves its socket file behind;
+  // replacing it is the operational norm (a LIVE daemon on the same path
+  // would have the file open, and its clients reconnect to us anyway).
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::IOError("bind " + options_.socket_path + ": " +
+                                      std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll with a timeout instead of blocking in accept(2): Stop() only
+    // has to flip the flag, no listener-fd shutdown portability games.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_threads_.emplace_back([this, fd] { Connection(fd); });
+  }
+}
+
+void Server::Connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) break;
+    if (pr == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // client closed (or error)
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (line.empty()) continue;
+      Response resp;
+      auto req = ParseRequest(line);
+      if (!req.ok()) {
+        resp.op = ResponseOp::kError;
+        resp.error = ErrorCode::kBadRequest;
+        resp.message = req.status().message();
+      } else {
+        resp = HandleRequest(*req);
+      }
+      if (!SendAll(fd, SerializeResponse(resp) + "\n")) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+Response Server::HandleRequest(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  switch (req.op) {
+    case RequestOp::kHello:
+      if (req.version != kProtocolVersion) {
+        resp.op = ResponseOp::kError;
+        resp.error = ErrorCode::kUnsupportedVersion;
+        resp.message = "server speaks protocol version " +
+                       std::to_string(kProtocolVersion) + ", client sent " +
+                       std::to_string(req.version);
+      } else {
+        resp.op = ResponseOp::kWelcome;
+        resp.version = kProtocolVersion;
+      }
+      return resp;
+    case RequestOp::kPing:
+      resp.op = ResponseOp::kPong;
+      return resp;
+    case RequestOp::kList:
+      resp.op = ResponseOp::kRelations;
+      resp.relations = catalog_.List();
+      return resp;
+    case RequestOp::kStats:
+      resp.op = ResponseOp::kStats;
+      resp.stats = StatsSnapshot();
+      return resp;
+    case RequestOp::kRegister: {
+      if (admission_.draining()) {
+        resp.op = ResponseOp::kError;
+        resp.error = ErrorCode::kDraining;
+        resp.message = "daemon is draining";
+        return resp;
+      }
+      rel::RelationConfig config;
+      config.r_objects = req.r_objects;
+      config.s_objects = req.s_objects;
+      config.num_partitions = req.partitions;
+      config.zipf_theta = req.zipf_theta;
+      config.seed = req.seed;
+      const Status st = catalog_.Register(req.name, config);
+      if (st.ok()) {
+        resp.op = ResponseOp::kRegistered;
+        resp.name = req.name;
+        for (const RelationInfo& r : catalog_.List()) {
+          if (r.name == req.name) resp.resident_bytes = r.resident_bytes;
+        }
+      } else {
+        resp.op = ResponseOp::kError;
+        resp.error = st.code() == StatusCode::kAlreadyExists
+                         ? ErrorCode::kAlreadyExists
+                         : st.code() == StatusCode::kInvalidArgument
+                               ? ErrorCode::kBadRequest
+                               : ErrorCode::kInternal;
+        resp.message = st.message();
+      }
+      return resp;
+    }
+    case RequestOp::kUnregister: {
+      const Status st = catalog_.Unregister(req.name);
+      if (st.ok()) {
+        resp.op = ResponseOp::kUnregistered;
+        resp.name = req.name;
+      } else {
+        resp.op = ResponseOp::kError;
+        resp.error = st.code() == StatusCode::kNotFound
+                         ? ErrorCode::kNotFound
+                         : st.code() == StatusCode::kResourceExhausted
+                               ? ErrorCode::kBusy
+                               : ErrorCode::kInternal;
+        resp.message = st.message();
+      }
+      return resp;
+    }
+    case RequestOp::kQuery:
+      return HandleQuery(req);
+    case RequestOp::kShutdown:
+      resp.op = ResponseOp::kDraining;
+      BeginDrain();
+      shutdown_requested_.store(true, std::memory_order_release);
+      shutdown_cv_.notify_all();
+      return resp;
+  }
+  resp.op = ResponseOp::kError;
+  resp.error = ErrorCode::kBadRequest;
+  resp.message = "unhandled op";
+  return resp;
+}
+
+Response Server::HandleQuery(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  const uint64_t qid = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  QueryOutcome outcome;
+  const Status st = engine_.Run(req, qid, &outcome);
+  const bool drained =
+      st.code() == StatusCode::kInvalidArgument && st.message() == "draining";
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (st.ok()) {
+      aggregate_.counter("svc.queries.admitted").Inc();
+      aggregate_.counter("svc.queries.completed").Inc();
+      aggregate_.histogram("svc.queue_ms").Record(outcome.queue_ms);
+      aggregate_.histogram("svc.exec_ms").Record(outcome.exec_ms);
+    } else if (st.code() == StatusCode::kResourceExhausted || drained) {
+      aggregate_.counter("svc.queries.rejected").Inc();
+    } else {
+      // Past admission (or never admissible for a structural reason) and
+      // did not produce a result: not-found relations, internal errors.
+      aggregate_.counter("svc.queries.failed").Inc();
+    }
+  }
+  if (st.ok()) {
+    resp.op = ResponseOp::kResult;
+    resp.name = req.name;
+    resp.algorithm = req.algorithm;
+    resp.count = outcome.count;
+    resp.checksum = outcome.checksum;
+    resp.verified = outcome.verified;
+    resp.exec_ms = outcome.exec_ms;
+    resp.queue_ms = outcome.queue_ms;
+    resp.threads = outcome.threads;
+    return resp;
+  }
+  resp.op = ResponseOp::kError;
+  resp.message = st.message();
+  if (drained) {
+    resp.error = ErrorCode::kDraining;
+  } else if (st.code() == StatusCode::kResourceExhausted) {
+    resp.error = ErrorCode::kOverloaded;
+    resp.retry_after_ms = outcome.retry_after_ms;
+  } else if (st.code() == StatusCode::kNotFound) {
+    resp.error = ErrorCode::kNotFound;
+  } else if (st.code() == StatusCode::kInvalidArgument) {
+    resp.error = ErrorCode::kBadRequest;
+  } else {
+    resp.error = ErrorCode::kInternal;
+  }
+  return resp;
+}
+
+void Server::BeginDrain() { admission_.BeginDrain(); }
+
+bool Server::Drain() {
+  BeginDrain();
+  return admission_.AwaitIdle(options_.drain_timeout_s);
+}
+
+void Server::Stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) {
+    // Second call: threads already told to stop; just make sure joins ran.
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  shutdown_cv_.notify_all();
+}
+
+bool Server::WaitShutdown(double timeout_s) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), [&] {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  });
+  return shutdown_requested();
+}
+
+std::vector<StatEntry> Server::StatsSnapshot() const {
+  std::vector<StatEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    for (const auto& [name, counter] : aggregate_.counters()) {
+      out.push_back(StatEntry{name, counter->value()});
+    }
+    for (const auto& [name, hist] : aggregate_.histograms()) {
+      out.push_back(StatEntry{name + ".count", hist->count()});
+      out.push_back(
+          StatEntry{name + ".sum_ms", static_cast<uint64_t>(hist->sum())});
+      out.push_back(
+          StatEntry{name + ".max_ms", static_cast<uint64_t>(hist->max())});
+    }
+  }
+  out.push_back(StatEntry{"svc.inflight", admission_.inflight()});
+  out.push_back(StatEntry{"svc.inflight_peak", admission_.peak_inflight()});
+  out.push_back(StatEntry{"svc.queued", admission_.queued()});
+  out.push_back(
+      StatEntry{"svc.relations", static_cast<uint64_t>(catalog_.List().size())});
+  out.push_back(StatEntry{"svc.pool.workers", pool_.workers()});
+  out.push_back(StatEntry{"svc.pool.sets", pool_.total_sets()});
+  return out;
+}
+
+}  // namespace mmjoin::svc

@@ -1,0 +1,122 @@
+// The mmjoind server: a unix-domain stream socket speaking the
+// newline-delimited JSON protocol of service/protocol.h, one thread per
+// connection, all queries executing on ONE SharedWorkerPool so N in-flight
+// joins interleave at morsel granularity instead of oversubscribing
+// threads.
+//
+// Shutdown/drain contract: BeginDrain() stops admission (queued waiters
+// and new queries get `draining`), in-flight queries run to completion,
+// and Drain() waits for them up to the drain timeout. The daemon calls
+// this on SIGTERM and on a client `shutdown` request; Stop() then closes
+// the listener and joins every connection thread. Connections themselves
+// stay open through the drain so in-flight responses still reach their
+// clients.
+#ifndef MMJOIN_SERVICE_SERVER_H_
+#define MMJOIN_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/scheduler.h"
+#include "mmap/segment_manager.h"
+#include "obs/metrics.h"
+#include "service/admission.h"
+#include "service/catalog.h"
+#include "service/protocol.h"
+#include "service/query.h"
+#include "util/status.h"
+
+namespace mmjoin::svc {
+
+struct ServerOptions {
+  std::string socket_path = "/tmp/mmjoind.sock";
+  /// Shared-pool worker threads executing ALL queries' morsels.
+  uint32_t workers = 4;
+  AdmissionOptions admission;
+  /// Directory for per-query metrics/trace files; empty = disabled.
+  std::string artifacts_dir;
+  /// How long Drain() waits for in-flight queries before giving up.
+  double drain_timeout_s = 30;
+};
+
+class Server {
+ public:
+  /// `manager` backs the catalog's segments and must outlive the server.
+  Server(mm::SegmentManager* manager, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket (replacing a stale file at the path) and starts the
+  /// accept loop.
+  Status Start();
+
+  /// Stops admission; in-flight queries keep running.
+  void BeginDrain();
+  /// BeginDrain + wait for in-flight work, up to the drain timeout.
+  /// True when the service is fully idle.
+  bool Drain();
+  /// Closes the listener and joins every thread. Idempotent; implied by
+  /// the destructor. Call after Drain() for a graceful exit.
+  void Stop();
+
+  /// True once a client issued `shutdown`.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+  /// Blocks until `shutdown` arrives or `timeout_s` passes; returns
+  /// shutdown_requested(). The daemon's main loop alternates this with a
+  /// SIGTERM-flag check.
+  bool WaitShutdown(double timeout_s);
+
+  RelationCatalog* catalog() { return &catalog_; }
+  AdmissionController* admission() { return &admission_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// The aggregate service counters, flattened for a `stats` response:
+  /// svc.queries.{admitted,rejected,completed,failed}, svc.queue_ms.* and
+  /// svc.exec_ms.* (count/sum/max, integer milliseconds), plus the live
+  /// gauges svc.inflight, svc.inflight_peak, svc.queued, svc.relations,
+  /// svc.pool.{workers, sets}.
+  std::vector<StatEntry> StatsSnapshot() const;
+
+ private:
+  void AcceptLoop();
+  void Connection(int fd);
+  /// Dispatches one parsed request; returns the response to write.
+  Response HandleRequest(const Request& req);
+  Response HandleQuery(const Request& req);
+
+  ServerOptions options_;
+  exec::SharedWorkerPool pool_;
+  AdmissionController admission_;
+  RelationCatalog catalog_;
+  QueryEngine engine_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  std::atomic<uint64_t> next_query_id_{1};
+
+  /// MetricsRegistry is not thread-safe; every touch goes through this.
+  mutable std::mutex metrics_mu_;
+  obs::MetricsRegistry aggregate_;
+
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace mmjoin::svc
+
+#endif  // MMJOIN_SERVICE_SERVER_H_

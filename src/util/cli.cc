@@ -1,0 +1,27 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mmjoin::cli {
+
+[[noreturn]] void UnknownFlag(const char* program, const std::string& arg,
+                              const char* usage) {
+  std::fprintf(stderr, "%s: unknown argument '%s'\n\n%s", program,
+               arg.c_str(), usage);
+  std::exit(2);
+}
+
+[[noreturn]] void BadFlagValue(const char* program, const std::string& arg,
+                               const char* usage) {
+  std::fprintf(stderr, "%s: bad value in '%s'\n\n%s", program, arg.c_str(),
+               usage);
+  std::exit(2);
+}
+
+bool IsFlagLike(const char* arg) {
+  return std::strncmp(arg, "--", 2) == 0;
+}
+
+}  // namespace mmjoin::cli
