@@ -1,8 +1,9 @@
 // service_load: open-loop load driver for mmjoind's service path.
 //
 // Starts an in-process svc::Server on a real unix-domain socket, registers
-// one uniform and one Zipf relation, then runs three phases over real
-// client connections:
+// three size classes of relation — small (objects/8, uniform), medium
+// (objects/2, Zipf) and large (objects, Zipf) — then runs three phases
+// over real client connections:
 //
 //   1. serial baseline — every (relation x algorithm) combination once,
 //      alone, recording count/checksum as the identity reference and the
@@ -13,7 +14,10 @@
 //   3. open-loop load — arrivals on a fixed global schedule (open loop:
 //      the schedule never waits for completions, so queueing shows up as
 //      latency, exactly like an outside workload would see it), cycling
-//      combinations and priority classes across `clients` connections.
+//      combinations, size classes, and priority classes across `clients`
+//      connections. The MIX is the point: small queries ride the same
+//      admission queue and worker pool as large ones, and the per-class
+//      p50/p99 table shows what that costs them.
 //
 // EVERY query result is checked against the serial baseline's
 // count/checksum for its combination — byte-identical or the bench exits
@@ -44,6 +48,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,7 +67,8 @@ using Clock = std::chrono::steady_clock;
 
 constexpr char kUsage[] =
     "usage: service_load [objects] [seconds] [clients]\n"
-    "  objects   objects per relation side          [65536]\n"
+    "  objects   large-class objects per side       [65536]\n"
+    "            (medium = objects/2, small = objects/8, floor 1024)\n"
     "  seconds   open-loop load duration            [10]\n"
     "  clients   concurrent client connections      [8]\n"
     "env: MMJOIN_SERVICE_WORKERS, MMJOIN_SERVICE_MAX_INFLIGHT,\n"
@@ -83,10 +89,26 @@ double EnvDouble(const char* name, double fallback) {
 /// One (relation x algorithm) combination plus its serial reference.
 struct Combo {
   std::string relation;
+  size_t size_class = 0;  ///< index into kClasses
   join::Algorithm algorithm;
   uint64_t count = 0;
   uint64_t checksum = 0;
 };
+
+/// The size-class mix: relation names double as class labels. Objects per
+/// side = `objects` scaled by `divisor`; the small class stays uniform
+/// (it models the cheap interactive query), the bigger two are skewed.
+struct SizeClass {
+  const char* name;
+  uint64_t divisor;
+  double theta;
+};
+constexpr SizeClass kClasses[] = {
+    {"small", 8, 0.0},
+    {"medium", 2, 1.1},
+    {"large", 1, 1.1},
+};
+constexpr size_t kNumClasses = std::size(kClasses);
 
 double MsSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0)
@@ -137,7 +159,15 @@ struct LoadSample {
   double latency_ms = 0;  ///< completion - scheduled arrival (open loop)
   double exec_ms = 0;
   double queue_ms = 0;
+  size_t size_class = 0;  ///< index into kClasses
 };
+
+/// p-th percentile of a sorted vector (nearest-rank on the closed index).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t i = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[i];
+}
 
 }  // namespace
 
@@ -195,23 +225,19 @@ int main(int argc, char** argv) {
                  st.ToString().c_str());
     return 1;
   }
-  const struct {
-    const char* name;
-    double theta;
-  } kRelations[] = {{"uni", 0.0}, {"zipf", 1.1}};
-  for (const auto& rel : kRelations) {
+  for (const SizeClass& cls : kClasses) {
     svc::Request req;
     req.op = svc::RequestOp::kRegister;
-    req.name = rel.name;
-    req.r_objects = objects;
-    req.s_objects = objects * 2;
+    req.name = cls.name;
+    req.r_objects = std::max<uint64_t>(objects / cls.divisor, 1024);
+    req.s_objects = req.r_objects * 2;
     req.partitions = 8;
-    req.zipf_theta = rel.theta;
+    req.zipf_theta = cls.theta;
     req.seed = 42;
     auto resp = admin.Call(req);
     if (!resp.ok() || resp->op != svc::ResponseOp::kRegistered) {
       std::fprintf(stderr, "service_load: register %s failed: %s\n",
-                   rel.name,
+                   cls.name,
                    resp.ok() ? resp->message.c_str()
                              : resp.status().ToString().c_str());
       return 1;
@@ -221,11 +247,11 @@ int main(int argc, char** argv) {
   // Phase 1: serial baseline. Two runs per combination — the first warms
   // the mapping, the second is the reference timing.
   std::vector<Combo> combos;
-  for (const auto& rel : kRelations) {
+  for (size_t cls = 0; cls < kNumClasses; ++cls) {
     for (join::Algorithm a :
          {join::Algorithm::kNestedLoops, join::Algorithm::kSortMerge,
           join::Algorithm::kGrace, join::Algorithm::kHybridHash}) {
-      combos.push_back(Combo{rel.name, a, 0, 0});
+      combos.push_back(Combo{kClasses[cls].name, cls, a, 0, 0});
     }
   }
   double serial_exec_sum_ms = 0;
@@ -370,6 +396,7 @@ int main(int argc, char** argv) {
           s.latency_ms = MsSince(t0) - arrival_ms;
           s.exec_ms = resp->exec_ms;
           s.queue_ms = resp->queue_ms;
+          s.size_class = combo.size_class;
           per_client[c].push_back(s);
         }
       });
@@ -402,19 +429,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::vector<double> latencies;
+  std::vector<std::vector<double>> class_latencies(kNumClasses);
   latencies.reserve(samples.size());
   for (const LoadSample& s : samples) {
     latencies.push_back(s.latency_ms);
+    class_latencies[s.size_class].push_back(s.latency_ms);
     bench::Metrics().histogram("join.elapsed_ms").Record(s.exec_ms);
     bench::Metrics().histogram("svc_load.latency_ms").Record(s.latency_ms);
     bench::Metrics().histogram("svc_load.queue_ms").Record(s.queue_ms);
+    bench::Metrics()
+        .histogram(std::string("svc_load.latency_ms.") +
+                   kClasses[s.size_class].name)
+        .Record(s.latency_ms);
   }
   std::sort(latencies.begin(), latencies.end());
-  auto pct = [&](double p) {
-    const size_t i = static_cast<size_t>(p * (latencies.size() - 1));
-    return latencies[i];
-  };
-  const double p50 = pct(0.50), p99 = pct(0.99);
+  for (auto& v : class_latencies) std::sort(v.begin(), v.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
   const double qps = static_cast<double>(samples.size()) / elapsed_s;
   const uint64_t peak = FindStat(stats, "svc.inflight_peak");
 
@@ -428,6 +459,17 @@ int main(int argc, char** argv) {
               samples.size(),
               static_cast<unsigned long long>(rejected.load()),
               static_cast<unsigned long long>(peak));
+  // Per-size-class latency: the mixed-size run's real deliverable — how
+  // much the small queries pay for sharing the pool with the large ones.
+  std::printf("\nclass\tobjects\tcompleted\tp50_ms\tp99_ms\n");
+  for (size_t cls = 0; cls < kNumClasses; ++cls) {
+    const std::vector<double>& v = class_latencies[cls];
+    std::printf("%s\t%llu\t%zu\t%.2f\t%.2f\n", kClasses[cls].name,
+                static_cast<unsigned long long>(
+                    std::max<uint64_t>(objects / kClasses[cls].divisor,
+                                       1024)),
+                v.size(), Percentile(v, 0.50), Percentile(v, 0.99));
+  }
   std::printf("burst: %llu/%u completed identical on %s/%s\n",
               static_cast<unsigned long long>(burst_completed.load()),
               clients * kBurstRounds, heaviest.relation.c_str(),
@@ -441,6 +483,16 @@ int main(int argc, char** argv) {
       .Inc(static_cast<uint64_t>(qps * 1000.0));
   m.counter("svc_load.p50_us").Inc(static_cast<uint64_t>(p50 * 1000.0));
   m.counter("svc_load.p99_us").Inc(static_cast<uint64_t>(p99 * 1000.0));
+  for (size_t cls = 0; cls < kNumClasses; ++cls) {
+    const std::string prefix = std::string("svc_load.") + kClasses[cls].name;
+    m.counter(prefix + ".completed").Inc(class_latencies[cls].size());
+    m.counter(prefix + ".p50_us")
+        .Inc(static_cast<uint64_t>(Percentile(class_latencies[cls], 0.50) *
+                                   1000.0));
+    m.counter(prefix + ".p99_us")
+        .Inc(static_cast<uint64_t>(Percentile(class_latencies[cls], 0.99) *
+                                   1000.0));
+  }
   m.counter("svc_load.peak_inflight").Inc(peak);
   m.counter("svc_load.clients").Inc(clients);
   m.counter("svc_load.workers").Inc(options.workers);

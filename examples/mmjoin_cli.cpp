@@ -80,7 +80,10 @@ constexpr char kUsage[] =
     "  --scatter-tuples=N            staged tuples per dest (real) [16]\n"
     "  --numa=none|interleave|local  temp placement (real)        [none]\n"
     "  --model                       also print the model's prediction\n"
-    "  --passes                      print the per-pass breakdown\n";
+    "  --passes                      print the per-pass breakdown\n"
+    "  --plan=q1|q4|q6               run a built-in query plan instead of\n"
+    "                                a join (same --backend/knobs; see\n"
+    "                                docs/PROTOCOL.md for the plan shapes)\n";
 
 struct Flags {
   std::string algorithm = "all";
@@ -105,6 +108,7 @@ struct Flags {
   std::string numa = "none";
   bool show_model = false;
   bool show_passes = false;
+  std::string plan;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -173,6 +177,8 @@ void ParseFlags(int argc, char** argv, Flags* flags) {
       flags->show_model = true;
     } else if (std::strcmp(argv[i], "--passes") == 0) {
       flags->show_passes = true;
+    } else if (ParseFlag(argv[i], "--plan", &v)) {
+      flags->plan = v;
     } else {
       cli::UnknownFlag("mmjoin_cli", argv[i], kUsage);
     }
@@ -335,6 +341,89 @@ int RunOneReal(join::Algorithm a, const Flags& flags,
   return 0;
 }
 
+void PrintPlanResult(const exec::op::PlanRunResult& r, bool verified,
+                     const char* time_unit, double time_scale) {
+  std::printf("plan           %s %10.2f %s   threads %2u   verified %s\n",
+              time_unit[0] == 'm' ? "wall" : "time", r.elapsed_ms * time_scale,
+              time_unit, r.threads_used, verified ? "yes" : "NO");
+  std::printf("  rows: scanned %llu -> filtered %llu -> joined %llu -> "
+              "output %llu\n",
+              static_cast<unsigned long long>(r.rows_scanned),
+              static_cast<unsigned long long>(r.rows_filtered),
+              static_cast<unsigned long long>(r.rows_joined),
+              static_cast<unsigned long long>(r.output_rows));
+  std::printf("  checksum 0x%016llx   groups %zu\n",
+              static_cast<unsigned long long>(r.checksum), r.groups.size());
+  for (const auto& g : r.groups) {
+    std::printf("  group %llu:", static_cast<unsigned long long>(g.key));
+    for (uint64_t a : g.aggs) {
+      std::printf(" %llu", static_cast<unsigned long long>(a));
+    }
+    std::printf("\n");
+  }
+}
+
+int RunPlanCli(const Flags& flags, const join::JoinParams& params,
+               const sim::MachineConfig& machine) {
+  const exec::op::PlanSpec* spec = exec::op::FindPlan(flags.plan);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "bad --plan '%s'; built-ins:\n", flags.plan.c_str());
+    for (const std::string& line : exec::op::PlanDescriptions()) {
+      std::fprintf(stderr, "  %s\n", line.c_str());
+    }
+    return 2;
+  }
+  std::printf("plan %s: %s\n\n", spec->name.c_str(),
+              spec->description.c_str());
+  if (flags.backend == "sim") {
+    sim::SimEnv env(machine);
+    auto workload = rel::BuildWorkload(&env, flags.relation);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    bool verified = false;
+    auto result = exec::op::RunPlanSim(&env, *workload, params, *spec,
+                                       &verified);
+    if (!result.ok()) {
+      std::fprintf(stderr, "plan: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    PrintPlanResult(*result, verified, "s ", 0.001);
+    return verified ? 0 : 1;
+  }
+  mm::MmJoinOptions options;
+  if (!ResolveRealOptions(flags, &options)) return 2;
+  options.max_threads = flags.threads;
+  std::string dir = flags.dir.empty()
+                        ? "/tmp/mmjoin_cli_" + std::to_string(::getpid())
+                        : flags.dir;
+  ::mkdir(dir.c_str(), 0755);
+  mm::SegmentManager mgr(dir);
+  (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
+  auto workload = mm::BuildMmWorkload(&mgr, "cli", flags.relation);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  auto result = mm::MmRunPlan(*workload, *spec, options);
+  int rc = 0;
+  if (!result.ok()) {
+    std::fprintf(stderr, "plan: %s\n", result.status().ToString().c_str());
+    rc = 1;
+  } else {
+    PrintPlanResult(result->plan, result->verified, "ms", 1.0);
+    if (!result->verified) rc = 1;
+  }
+  workload->r_segs.clear();
+  workload->s_segs.clear();
+  (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
+  if (flags.dir.empty()) ::rmdir(dir.c_str());
+  return rc;
+}
+
 int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
             const join::JoinParams& params) {
   mm::MmJoinOptions real_options;
@@ -445,12 +534,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (flags.backend == "real") {
-    return RunReal(algorithms, flags, params);
-  }
-  if (flags.backend != "sim") {
+  if (flags.backend != "sim" && flags.backend != "real") {
     std::fprintf(stderr, "bad --backend\n");
     return 2;
+  }
+  if (!flags.plan.empty()) {
+    return RunPlanCli(flags, params, machine);
+  }
+  if (flags.backend == "real") {
+    return RunReal(algorithms, flags, params);
   }
 
   for (auto a : algorithms) {

@@ -4,6 +4,8 @@
 //       PARTITIONS [THETA] [SEED]
 //   mmjoin_client [--socket=PATH] query NAME nested-loops|sort-merge|
 //       grace|hybrid-hash [--priority=low|normal|high] [--trace]
+//   mmjoin_client [--socket=PATH] plan NAME q1|q4|q6
+//       [--priority=low|normal|high] [--trace]
 //   mmjoin_client [--socket=PATH] list | stats | ping | shutdown
 //   mmjoin_client [--socket=PATH] unregister NAME
 //
@@ -28,6 +30,8 @@ constexpr char kUsage[] =
     "  register NAME R S PARTITIONS [THETA] [SEED]  build + keep resident\n"
     "  query NAME ALGORITHM [--priority=low|normal|high] [--trace]\n"
     "      ALGORITHM: nested-loops | sort-merge | grace | hybrid-hash\n"
+    "  plan NAME PLAN [--priority=low|normal|high] [--trace]\n"
+    "      PLAN: q1 | q4 | q6 (built-in TPC-H-style plans)\n"
     "  unregister NAME    drop a relation\n"
     "  list               registered relations\n"
     "  stats              aggregate service counters\n"
@@ -75,6 +79,27 @@ int PrintResponse(const svc::Response& resp) {
                   static_cast<unsigned long long>(resp.checksum),
                   resp.verified ? "yes" : "NO", resp.exec_ms, resp.queue_ms,
                   resp.threads);
+      return resp.verified ? 0 : 1;
+    case svc::ResponseOp::kPlanResult:
+      std::printf("plan %s: rows=%llu checksum=0x%016llx verified=%s "
+                  "scanned=%llu filtered=%llu joined=%llu "
+                  "exec=%.2fms queue=%.2fms threads=%u\n",
+                  resp.plan.c_str(),
+                  static_cast<unsigned long long>(resp.count),
+                  static_cast<unsigned long long>(resp.checksum),
+                  resp.verified ? "yes" : "NO",
+                  static_cast<unsigned long long>(resp.rows_scanned),
+                  static_cast<unsigned long long>(resp.rows_filtered),
+                  static_cast<unsigned long long>(resp.rows_joined),
+                  resp.exec_ms, resp.queue_ms, resp.threads);
+      for (const svc::PlanGroupEntry& g : resp.groups) {
+        std::printf("  group 0x%016llx:",
+                    static_cast<unsigned long long>(g.key));
+        for (uint64_t a : g.aggs) {
+          std::printf(" %llu", static_cast<unsigned long long>(a));
+        }
+        std::printf("\n");
+      }
       return resp.verified ? 0 : 1;
     case svc::ResponseOp::kRelations:
       for (const svc::RelationInfo& r : resp.relations) {
@@ -173,6 +198,13 @@ int main(int argc, char** argv) {
     } else {
       cli::BadFlagValue("mmjoin_client", algo, kUsage);
     }
+  } else if (command == "plan") {
+    if (positional.size() != 3) {
+      cli::UnknownFlag("mmjoin_client", command, kUsage);
+    }
+    req.op = svc::RequestOp::kRunPlan;
+    req.name = positional[1];
+    req.plan = positional[2];
   } else if (command == "unregister") {
     need(1);
     req.op = svc::RequestOp::kUnregister;

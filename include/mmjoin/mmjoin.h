@@ -10,6 +10,9 @@
 #include "exec/backend.h"          // execution-backend concept + RP layout
 #include "exec/join_drivers.h"     // the four drivers, written once
 #include "exec/kernels.h"          // batched prefetch dereference kernels
+#include "exec/op/operators.h"     // push-based plan operators
+#include "exec/op/plan.h"          // plan specs, executor, built-in plans
+#include "exec/op/stages.h"        // reusable driver pass stages
 #include "exec/real_backend.h"     // real-mmap backend (threads, wall time)
 #include "heap/heapsort.h"         // Floyd build + heapsort (Munro)
 #include "heap/merge_heap.h"       // delete-insert k-way merge heap

@@ -31,7 +31,7 @@ BASELINE="$(pwd)/BENCH_baseline.json"
 cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target \
   fig5a_nested_loops fig5b_sort_merge fig5c_grace real_backend_join \
-  service_load metrics_validate
+  service_load queries metrics_validate
 
 OUT_DIR="$BUILD_DIR/bench-smoke"
 rm -rf "$OUT_DIR"
@@ -58,6 +58,11 @@ run env MMJOIN_KERNEL_REPS=3 "../bench/real_backend_join" "$((OBJECTS * 2))" 8 1
 # queries are too fast to queue reliably) and is armed by
 # scripts/bench_service.sh instead.
 run "../bench/service_load" "$((OBJECTS / 2))" 10 4
+# Small-N pass over the TPC-H-flavoured plans (push-based operator layer):
+# every plan is oracle-checked and its schedule/kernel variants must be
+# bit-identical inside the bench; the dump rides into BENCH_ci.json like
+# the rest. The timing gate for plans lives in scripts/bench_queries.sh.
+run "../bench/queries" "$OBJECTS" 4 1.1 1
 
 # Every dump must parse (strict RFC 8259) and carry the bench shape; the
 # merged artifact is what CI uploads. With a committed baseline present,

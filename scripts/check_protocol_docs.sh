@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Protocol-docs coverage gate: every wire vocabulary string in
 # src/service/protocol.h (the kRequestOps / kResponseOps / kErrorCodes
-# tables — the single source of truth for the mmjoind protocol) must
-# appear in docs/PROTOCOL.md, and the operator docs must exist at all.
+# tables — the single source of truth for the mmjoind protocol) and every
+# built-in plan name in src/exec/op/plan.h (kPlanNames — the run_plan
+# vocabulary) must appear in docs/PROTOCOL.md, and the operator docs must
+# exist at all.
 # Wired into ctest as `check_protocol_docs` so adding a message without
 # documenting it fails the tier-1 suite, not a reviewer's memory.
 #
@@ -36,12 +38,12 @@ tokens() {
       }
       if ($0 ~ /};/) in_table = 0
     }
-  ' "$HEADER"
+  ' "$2"
 }
 
-missing=0
-for table in kRequestOps kResponseOps kErrorCodes; do
-  found_any=0
+check_table() {
+  local table=$1 header=$2
+  local found_any=0
   while IFS= read -r token; do
     found_any=1
     # The spec marks wire strings as code spans; require the exact token
@@ -51,12 +53,19 @@ for table in kRequestOps kResponseOps kErrorCodes; do
       echo "check_protocol_docs: $table string '$token' not documented in $SPEC"
       missing=1
     fi
-  done < <(tokens "$table")
+  done < <(tokens "$table" "$header")
   if [ "$found_any" -eq 0 ]; then
-    echo "check_protocol_docs: could not extract $table from $HEADER"
+    echo "check_protocol_docs: could not extract $table from $header"
     missing=1
   fi
+}
+
+missing=0
+for table in kRequestOps kResponseOps kErrorCodes; do
+  check_table "$table" "$HEADER"
 done
+# The run_plan op's plan-name vocabulary lives with the operator layer.
+check_table kPlanNames src/exec/op/plan.h
 
 if [ "$missing" -ne 0 ]; then
   exit 1

@@ -164,6 +164,16 @@ concept Backend = requires(B b, const B cb, uint32_t i, uint32_t j,
   { b.ChargeSetupAll(ms) };
   { b.MarkPass(label) };
 
+  // ---- worker identity ----------------------------------------------------
+  // WorkerSlots() bounds the per-worker state space a caller must allocate
+  // (1 on the serial simulator); WorkerSlot() names the executing worker's
+  // slot inside a ForEachPartition* body (0 outside one, and always 0 on
+  // the simulator). Operators that accumulate across morsels key their
+  // state by this slot and merge commutatively after the pass barrier, so
+  // results stay schedule-independent (DESIGN.md §7.5).
+  { cb.WorkerSlots() } -> std::convertible_to<uint32_t>;
+  { cb.WorkerSlot() } -> std::convertible_to<uint32_t>;
+
   // ---- observability -----------------------------------------------------
   { cb.tracing() } -> std::convertible_to<bool>;
   { b.clock_ms(i) } -> std::convertible_to<double>;

@@ -3,6 +3,15 @@
 // deterministic costed simulator (join::JoinExecution) and the real mmap
 // runtime (exec::RealBackend).
 //
+// Since the operator-layer refactor each driver is a thin composition of
+// the reusable pass stages in exec/op/stages.h — Partition,
+// PhasedRepartition, ProbePhases, SortRuns, MergeJoinRuns,
+// BuildProbeBuckets — plus the driver's own setup charges, segment layout
+// and routing policy. The stages are an exact structural lift of the
+// historical monolithic drivers: for each driver the sequence of backend
+// operations is bit-identical to the pre-refactor code, on both backends
+// (asserted by tests/cross_backend_test.cc and tests/operators_test.cc).
+//
 // Each driver is a direct transcription of the paper's algorithm:
 //
 //   NestedLoops (§5): pass 0 dereferences own-partition pointers
@@ -30,121 +39,12 @@
 #include <vector>
 
 #include "exec/backend.h"
-#include "heap/heapsort.h"
-#include "heap/merge_heap.h"
+#include "exec/op/stages.h"
 #include "join/grace.h"
 #include "join/join_common.h"
 #include "join/sort_merge.h"
 
 namespace mmjoin::exec {
-
-namespace internal {
-
-inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
-
-/// Charges counted heap primitives at the machine's per-primitive costs.
-template <Backend B>
-void ChargeHeapCost(B& ex, uint32_t i, const HeapCost& cost) {
-  const sim::MachineConfig& mc = ex.mc();
-  ex.ChargeCpu(i, static_cast<double>(cost.compares) * mc.compare_ms +
-                      static_cast<double>(cost.swaps) * mc.swap_ms +
-                      static_cast<double>(cost.transfers) * mc.transfer_ms);
-}
-
-/// |RS_i| = sum_j |R_{j,i}|: everything pointing into S_i.
-template <Backend B>
-std::vector<uint64_t> RsObjects(const B& ex) {
-  const uint32_t d = ex.D();
-  std::vector<uint64_t> rs(d, 0);
-  for (uint32_t i = 0; i < d; ++i) {
-    for (uint32_t j = 0; j < d; ++j) rs[i] += ex.SubCount(j, i);
-  }
-  return rs;
-}
-
-/// |R_i| per partition — the tuple counts of every pass-0 scan.
-template <Backend B>
-std::vector<uint64_t> RCounts(const B& ex) {
-  const uint32_t d = ex.D();
-  std::vector<uint64_t> counts(d);
-  for (uint32_t i = 0; i < d; ++i) counts[i] = ex.r_count(i);
-  return counts;
-}
-
-/// |RP_{i, offset(i,t)}| per partition — the tuple counts of phase t of
-/// pass 1 (each partition works against its staggered partner).
-template <Backend B>
-std::vector<uint64_t> PhaseCounts(const B& ex, uint32_t t) {
-  const uint32_t d = ex.D();
-  std::vector<uint64_t> counts(d);
-  for (uint32_t i = 0; i < d; ++i) {
-    counts[i] = ex.RpSubCount(i, join::PhaseOffset(i, t, d));
-  }
-  return counts;
-}
-
-/// Reads one R object through partition i's process.
-template <Backend B>
-rel::RObject ReadR(B& ex, uint32_t i, typename B::Seg seg, uint64_t offset) {
-  rel::RObject obj;
-  const void* src = ex.Read(i, seg, offset, sizeof(obj));
-  std::memcpy(&obj, src, sizeof(obj));
-  return obj;
-}
-
-/// Reads one R object in place (no copy) — batched-probe paths only, where
-/// the backend is real and Read returns a stable mapped pointer. Touching
-/// just (id, sptr) costs one cache line of the 128-byte object instead of
-/// the two a full copy pulls.
-template <Backend B>
-const rel::RObject* ReadRPtr(B& ex, uint32_t i, typename B::Seg seg,
-                             uint64_t offset) {
-  return static_cast<const rel::RObject*>(
-      ex.Read(i, seg, offset, sizeof(rel::RObject)));
-}
-
-/// S-ref scratch capacity of the batched probe paths: large enough that the
-/// prefetch pipeline's fill/drain is amortized, small enough to stay in L2.
-inline constexpr uint64_t kProbeScratch = 8192;
-
-/// The shared pass-0 scan body of all four drivers: reads R_i tuples
-/// [begin, end) — in place on the batched path, by copy (plus the map_ms
-/// charge) on the scalar path — routes each own-partition object to
-/// `own(obj, sp)` and scatters every foreign one to destination
-/// sp.partition. The caller brackets the morsel with
-/// BeginScatter(i, n_dests, sink)/FlushScatter(i), with a sink that maps
-/// destinations < D onto RP_{i,dest} (drivers with bucketed own-partition
-/// output extend the keyspace with D + bucket destinations).
-template <Backend B, typename OwnFn>
-void StageOrScatter(B& ex, uint32_t i, uint64_t begin, uint64_t end,
-                    OwnFn&& own) {
-  const typename B::Seg r_seg = ex.r_seg(i);
-  if (ex.BatchedProbe()) {
-    for (uint64_t k = begin; k < end; ++k) {
-      const rel::RObject* obj =
-          ReadRPtr(ex, i, r_seg, rel::Workload::ROffset(k));
-      const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-      if (sp.partition == i) {
-        own(*obj, sp);
-      } else {
-        ex.ScatterTo(i, sp.partition, *obj);
-      }
-    }
-  } else {
-    for (uint64_t k = begin; k < end; ++k) {
-      const rel::RObject obj = ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
-      ex.ChargeCpu(i, ex.mc().map_ms);  // map the join attribute to target
-      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-      if (sp.partition == i) {
-        own(obj, sp);
-      } else {
-        ex.ScatterTo(i, sp.partition, obj);
-      }
-    }
-  }
-}
-
-}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // Nested loops (§5)
@@ -178,94 +78,22 @@ StatusOr<join::JoinRunResult> NestedLoops(B& ex,
   ex.MarkPass("setup");
 
   // ---- Pass 0: partition R_i; join the R_{i,i} objects immediately. ----
-  // Morsels of a partition share RP_i's bump cursors, so they stay chained
-  // (in order, one owner at a time).
-  ex.ForEachPartitionTuples(
-      internal::RCounts(ex),
-      [&](uint32_t i, uint64_t begin, uint64_t end) {
-        // Foreign objects scatter into RP_{i,dest}; own-partition refs
-        // stage into a scratch that flushes through the prefetch kernel
-        // (batched path) or probe S directly (scalar path).
-        std::vector<SRef> own;
-        if (ex.BatchedProbe()) {
-          own.reserve(std::min(end - begin, internal::kProbeScratch));
-        }
-        ex.BeginScatter(
-            i, d, (end - begin) / d,
-            [&ex, i](uint32_t dest, const rel::RObject* run,
-                     uint64_t n) { ex.AppendRpRun(i, dest, run, n); });
-        internal::StageOrScatter(
-            ex, i, begin, end, [&](const rel::RObject& obj, rel::SPtr) {
-              if (ex.BatchedProbe()) {
-                own.push_back(SRef{obj.id, obj.sptr});
-                if (own.size() == internal::kProbeScratch) {
-                  ex.RequestSBatch(i, own.data(), own.size());
-                  own.clear();
-                }
-              } else {
-                ex.RequestS(i, obj.id, obj.sptr);
-              }
-            });
-        if (!own.empty()) ex.RequestSBatch(i, own.data(), own.size());
-        ex.FlushScatter(i);
-        ex.FlushSRequests(i);
+  // Foreign objects scatter into RP_{i,dest}; own-partition refs route
+  // through the ProbeStage (prefetch-kernel staging or direct RequestS).
+  op::Partition(
+      ex, /*extra_dests=*/0,
+      [&ex](uint32_t i) {
+        return [&ex, i](uint32_t dest, const rel::RObject* run, uint64_t n) {
+          ex.AppendRpRun(i, dest, run, n);
+        };
       },
-      /*independent=*/false);
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
+      [&ex](uint32_t i, uint64_t begin, uint64_t end) {
+        return op::ProbeStage<B>(ex, i, end - begin);
+      },
+      sync);
 
-  // ---- Pass 1: D-1 staggered phases over the RP_{i,j}. ----
-  // A phase only probes: ReadR + RequestS touch no shared output target
-  // (the real backend tallies per worker), so morsels are independent and
-  // one hot partner — a Zipf-skewed RP_{i,j} — spreads across every worker
-  // instead of serializing the phase.
-  for (uint32_t t = 1; t < d; ++t) {
-    // Band hints around each phase: the partner band is about to be read
-    // (kWillNeed), and once the phase barrier has passed, band t is dead —
-    // hand its pages back (kDontNeed) so the RP footprint shrinks as pass 1
-    // progresses. The retirement must sit outside the morsel bodies:
-    // independent morsels of one band may still be running concurrently.
-    for (uint32_t i = 0; i < d; ++i) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      ex.AdviseRange(i, ex.rp_seg(i), ex.RpSubOffset(i, j),
-                     ex.RpSubCount(i, j) * sizeof(rel::RObject),
-                     AccessIntent::kWillNeed);
-    }
-    ex.ForEachPartitionTuples(
-        internal::PhaseCounts(ex, t),
-        [&](uint32_t i, uint64_t begin, uint64_t end) {
-          const uint32_t j = join::PhaseOffset(i, t, d);
-          const uint64_t base = ex.RpSubOffset(i, j);
-          const double phase_start_ms = ex.clock_ms(i);
-          if (ex.BatchedProbe()) {
-            // A phase only probes: hand the contiguous band slice to the
-            // prefetch kernel in one run.
-            ex.ProbeRun(i, ex.rp_seg(i),
-                        base + begin * sizeof(rel::RObject), end - begin);
-          } else {
-            for (uint64_t k = begin; k < end; ++k) {
-              const rel::RObject obj = internal::ReadR(
-                  ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
-              ex.RequestS(i, obj.id, obj.sptr);
-            }
-          }
-          ex.FlushSRequests(i);
-          if (ex.tracing()) {
-            ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
-                    {obs::Arg("partner", uint64_t{j}),
-                     obs::Arg("objects", end - begin)});
-          }
-        },
-        /*independent=*/true);
-    if (sync) ex.SyncClocks();
-    for (uint32_t i = 0; i < d; ++i) {
-      const uint32_t j = join::PhaseOffset(i, t, d);
-      ex.AdviseRange(i, ex.rp_seg(i), ex.RpSubOffset(i, j),
-                     ex.RpSubCount(i, j) * sizeof(rel::RObject),
-                     AccessIntent::kDontNeed);
-    }
-  }
-  ex.MarkPass("pass1");
+  // ---- Pass 1: D-1 staggered probe-only phases over the RP_{i,j}. ----
+  op::ProbePhases(ex, sync);
 
   // The RP temporaries are scratch: deleteMap discards their dirty pages.
   for (uint32_t i = 0; i < d; ++i) {
@@ -291,7 +119,7 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
 
   MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
 
-  const std::vector<uint64_t> rs_objects = internal::RsObjects(ex);
+  const std::vector<uint64_t> rs_objects = op::RsObjects(ex);
 
   // RS_i and Merge_i live on disk i after R_i, S_i, RP_i.
   std::vector<Seg> rs_segs(d), merge_segs(d);
@@ -325,92 +153,68 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
   }
   ex.MarkPass("setup");
 
-  // Writers append to RS_target through disjoint per-target cursors: within
-  // a pass/phase exactly one worker writes a given target (own partition in
-  // pass 0, the staggered partner in each phase of pass 1).
-  std::vector<uint64_t> rs_cursor(d, 0);
+  // RS_i is one flat region — a one-bucket BucketLayout. Writers append to
+  // RS_target through disjoint per-target cursors: within a pass/phase
+  // exactly one worker writes a given target (own partition in pass 0, the
+  // staggered partner in each phase of pass 1).
+  std::vector<std::vector<uint64_t>> flat_counts(d, std::vector<uint64_t>(1));
+  for (uint32_t i = 0; i < d; ++i) flat_counts[i][0] = rs_objects[i];
+  op::BucketLayout layout;
+  layout.Init(flat_counts);
   auto append_rs_run = [&](uint32_t writer, uint32_t target,
                            const rel::RObject* run, uint64_t n) {
-    const uint64_t slot = rs_cursor[target];
-    rs_cursor[target] += n;
-    assert(slot + n <= rs_objects[target]);
-    void* dst = ex.Write(writer, rs_segs[target], slot * r, n * r);
-    CopyTuples(dst, run, n, ex.StreamScatter());
-    ex.ChargeCpu(writer, static_cast<double>(n * r) * mc.mt_pp_ms);
+    op::AppendRun(ex, writer, rs_segs[target], layout.Claim(target, 0, n),
+                  run, n);
   };
 
   // ---- Pass 0: partition R_i into RS_i (own pointers) and RP_{i,j}. ----
-  // Morsels share the RS/RP cursors of their partition — chained. Every
-  // object routes through the scatter buffer: destination i lands in RS_i,
-  // any other destination in RP_{i,dest}.
-  ex.ForEachPartitionTuples(
-      internal::RCounts(ex),
-      [&](uint32_t i, uint64_t begin, uint64_t end) {
-        ex.BeginScatter(i, d, (end - begin) / d,
-                        [&, i](uint32_t dest, const rel::RObject* run,
-                               uint64_t n) {
-                          if (dest == i) {
-                            append_rs_run(i, i, run, n);
-                          } else {
-                            ex.AppendRpRun(i, dest, run, n);
-                          }
-                        });
-        internal::StageOrScatter(ex, i, begin, end,
-                                 [&](const rel::RObject& obj, rel::SPtr) {
-                                   ex.ScatterTo(i, i, obj);
-                                 });
-        ex.FlushScatter(i);
+  // Every object routes through the scatter buffer: destination i lands in
+  // RS_i, any other destination in RP_{i,dest}.
+  op::Partition(
+      ex, /*extra_dests=*/0,
+      [&](uint32_t i) {
+        return [&, i](uint32_t dest, const rel::RObject* run, uint64_t n) {
+          if (dest == i) {
+            append_rs_run(i, i, run, n);
+          } else {
+            ex.AppendRpRun(i, dest, run, n);
+          }
+        };
       },
-      /*independent=*/false);
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
+      [&ex](uint32_t i, uint64_t, uint64_t) {
+        return [&ex, i](const rel::RObject& obj, rel::SPtr) {
+          ex.ScatterTo(i, i, obj);
+        };
+      },
+      sync);
 
   // ---- Pass 1: staggered phases move RP_{i,j} into RS_j. ----
-  // Chained: every morsel of partition i appends to the same RS_j cursor.
-  // The per-partition epilogue runs on the final morsel (end == count; an
-  // empty partition still gets one [0,0) morsel).
-  for (uint32_t t = 1; t < d; ++t) {
-    const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
-    ex.ForEachPartitionTuples(
-        phase_counts,
-        [&](uint32_t i, uint64_t begin, uint64_t end) {
-          const uint32_t j = join::PhaseOffset(i, t, d);
-          const uint64_t base = ex.RpSubOffset(i, j);
-          const double phase_start_ms = ex.clock_ms(i);
-          ex.BeginScatter(i, d, end - begin,
-                          [&, i](uint32_t dest, const rel::RObject* run,
-                                 uint64_t n) { append_rs_run(i, dest, run, n); });
-          if (ex.BatchedProbe()) {
-            // The morsel's whole range is one contiguous RP_{i,j} run bound
-            // for the fixed partner j — scatter it as a run, not per tuple.
-            if (end > begin) {
-              const auto* run = static_cast<const rel::RObject*>(
-                  ex.Read(i, ex.rp_seg(i), base + begin * r,
-                          (end - begin) * r));
-              ex.ScatterRunTo(i, j, run, end - begin);
-            }
-          } else {
-            for (uint64_t k = begin; k < end; ++k) {
-              const rel::RObject obj =
-                  internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-              ex.ScatterTo(i, j, obj);
-            }
+  op::PhasedRepartition(
+      ex, rs_segs,
+      [&](uint32_t i, uint32_t /*j*/, uint64_t begin, uint64_t end) {
+        ex.BeginScatter(i, d, end - begin,
+                        [&, i](uint32_t dest, const rel::RObject* run,
+                               uint64_t n) { append_rs_run(i, dest, run, n); });
+      },
+      [&](uint32_t i, uint32_t j, uint64_t base, uint64_t begin,
+          uint64_t end) {
+        if (ex.BatchedProbe()) {
+          // The morsel's whole range is one contiguous RP_{i,j} run bound
+          // for the fixed partner j — scatter it as a run, not per tuple.
+          if (end > begin) {
+            const auto* run = static_cast<const rel::RObject*>(
+                ex.Read(i, ex.rp_seg(i), base + begin * r, (end - begin) * r));
+            ex.ScatterRunTo(i, j, run, end - begin);
           }
-          ex.FlushScatter(i);
-          if (end == phase_counts[i]) {
-            // Hand the written RS_j pages back to their owner's disk image.
-            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
-            if (ex.tracing()) {
-              ex.Span(i, "phase " + std::to_string(t), "phase",
-                      phase_start_ms,
-                      {obs::Arg("partner", uint64_t{j}),
-                       obs::Arg("objects", end - begin)});
-            }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                op::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            ex.ScatterTo(i, j, obj);
           }
-        },
-        /*independent=*/false);
-    if (sync) ex.SyncClocks();
-  }
+        }
+      },
+      sync);
 
   // RP temporaries are finished.
   for (uint32_t i = 0; i < d; ++i) {
@@ -430,162 +234,16 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
   std::vector<uint64_t> npass_per(d, 0);
   std::vector<Status> partition_status(d);
 
-  auto sort_merge_join = [&](uint32_t i) -> Status {
+  // Monolithic per-partition work: the costed overload lets a dynamic
+  // schedule seed its queues largest-RS-first.
+  ex.ForEachPartition(rs_objects, [&](uint32_t i) {
     const uint64_t n = rs_objects[i];
     const join::SortMergePlan plan =
         join::PlanSortMerge(params.m_rproc_bytes, mc.page_size, n, params);
-
-    // Sort each run: read in, heapsort an array of pointers, permute the
-    // objects in place, write back.
-    const double sort_start_ms = ex.clock_ms(i);
-    std::vector<rel::RObject> buffer;
-    for (uint64_t start = 0; start < n; start += plan.irun) {
-      const uint64_t len = std::min<uint64_t>(plan.irun, n - start);
-      buffer.resize(len);
-      for (uint64_t k = 0; k < len; ++k) {
-        const void* src = ex.Read(i, src_seg[i], (start + k) * r, r);
-        std::memcpy(&buffer[k], src, r);
-      }
-      std::vector<uint64_t> idx(len);
-      for (uint64_t k = 0; k < len; ++k) idx[k] = k;
-      HeapCost cost;
-      HeapSort(
-          &idx,
-          [&buffer](uint64_t a, uint64_t b) {
-            return buffer[a].sptr < buffer[b].sptr;
-          },
-          &cost);
-      internal::ChargeHeapCost(ex, i, cost);
-      // Move the objects into sorted order (one MTpp move per object).
-      for (uint64_t k = 0; k < len; ++k) {
-        void* dst = ex.Write(i, src_seg[i], (start + k) * r, r);
-        std::memcpy(dst, &buffer[idx[k]], r);
-      }
-      ex.ChargeCpu(i, static_cast<double>(len * r) * mc.mt_pp_ms);
-    }
-
-    uint64_t run_len = plan.irun;
-    uint64_t runs = std::max<uint64_t>(1, internal::CeilDiv(n, plan.irun));
-    uint64_t pass_count = 0;
-
-    if (ex.tracing()) {
-      ex.Span(i, "sort-runs", "heap", sort_start_ms,
-              {obs::Arg("runs", runs), obs::Arg("irun", plan.irun)});
-    }
-
-    auto merge_group = [&](uint64_t first_run, uint64_t n_runs,
-                           uint64_t out_start, bool last_pass) {
-      // Merge-side fetch staging (batched path, final pass only): the
-      // merged stream arrives one object at a time off the heap, so refs
-      // collect into a scratch that flushes through the prefetch kernel.
-      const bool batched_fetch = last_pass && ex.BatchedProbe();
-      std::vector<SRef> fetch;
-      if (batched_fetch) fetch.reserve(internal::kProbeScratch);
-      // Cursors are object indices into the source segment.
-      std::vector<uint64_t> cur(n_runs), end(n_runs);
-      MergeHeap heap(n_runs);
-      for (uint64_t g = 0; g < n_runs; ++g) {
-        cur[g] = (first_run + g) * run_len;
-        end[g] = std::min(n, cur[g] + run_len);
-        if (cur[g] < end[g]) {
-          const auto* obj = static_cast<const rel::RObject*>(
-              ex.Read(i, src_seg[i], cur[g] * r, r));
-          heap.Insert(MergeEntry{obj->sptr, static_cast<uint32_t>(g)});
-        }
-      }
-      uint64_t out = out_start;
-      while (!heap.empty()) {
-        const uint32_t g = heap.Min().run;
-        // Re-touch the popped object's page: with scarce memory it may have
-        // been evicted since its key entered the heap (the premature-
-        // replacement anomaly of section 6.2).
-        rel::RObject obj;
-        const void* src = ex.Read(i, src_seg[i], cur[g] * r, r);
-        std::memcpy(&obj, src, r);
-        ++cur[g];
-        if (cur[g] < end[g]) {
-          const auto* next = static_cast<const rel::RObject*>(
-              ex.Read(i, src_seg[i], cur[g] * r, r));
-          heap.DeleteInsert(MergeEntry{next->sptr, g});
-        } else {
-          heap.DeleteMin();
-        }
-        if (last_pass) {
-          // Join instead of writing: the merged stream is in S-pointer
-          // order, so S_i is read sequentially through the fetch protocol.
-          if (batched_fetch) {
-            fetch.push_back(SRef{obj.id, obj.sptr});
-            if (fetch.size() == internal::kProbeScratch) {
-              ex.RequestSBatch(i, fetch.data(), fetch.size());
-              fetch.clear();
-            }
-          } else {
-            ex.RequestS(i, obj.id, obj.sptr);
-          }
-        } else {
-          void* dst = ex.Write(i, dst_seg[i], out * r, r);
-          std::memcpy(dst, &obj, r);
-          ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
-        }
-        ++out;
-      }
-      if (!fetch.empty()) ex.RequestSBatch(i, fetch.data(), fetch.size());
-      internal::ChargeHeapCost(ex, i, heap.cost());
-      return out;
-    };
-
-    while (runs > plan.nrun_last) {
-      const double merge_start_ms = ex.clock_ms(i);
-      const uint64_t groups = internal::CeilDiv(runs, plan.nrun_abl);
-      uint64_t out = 0;
-      for (uint64_t g = 0; g < groups; ++g) {
-        const uint64_t first_run = g * plan.nrun_abl;
-        const uint64_t n_runs =
-            std::min<uint64_t>(plan.nrun_abl, runs - first_run);
-        out = merge_group(first_run, n_runs, out, /*last_pass=*/false);
-      }
-      ++pass_count;
-      // Swap source and destination areas: the old source is destroyed and
-      // a fresh area created (deleteMap + newMap per the paper).
-      ex.DropSegment(i, src_seg[i], /*discard=*/true);
-      const uint64_t pages = ex.SegPages(src_seg[i]);
-      MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(src_seg[i]));
-      ex.ChargeSetup(i, mc.DeleteMapMs(pages) + mc.NewMapMs(pages));
-      MMJOIN_ASSIGN_OR_RETURN(
-          Seg fresh,
-          ex.CreateSegment(
-              "Swap" + std::to_string(i) + "p" + std::to_string(pass_count),
-              i, std::max<uint64_t>(n, 1) * r));
-      ex.AdviseSegment(i, fresh, AccessIntent::kPopulateWrite);
-      src_seg[i] = dst_seg[i];  // the merged output becomes the next source
-      dst_seg[i] = fresh;
-      run_len *= plan.nrun_abl;
-      runs = internal::CeilDiv(runs, plan.nrun_abl);
-      if (ex.tracing()) {
-        ex.Span(i, "merge-pass " + std::to_string(pass_count), "heap",
-                merge_start_ms,
-                {obs::Arg("fan_in", plan.nrun_abl),
-                 obs::Arg("runs_left", runs)});
-      }
-    }
-
-    // ---- Final pass: merge the remaining runs while scanning S_i. ----
-    const double final_start_ms = ex.clock_ms(i);
-    merge_group(0, runs, 0, /*last_pass=*/true);
-    ex.FlushSRequests(i);
-    ++pass_count;
-    npass_per[i] = pass_count;
-    if (ex.tracing()) {
-      ex.Span(i, "final-merge-join", "heap", final_start_ms,
-              {obs::Arg("runs", runs)});
-    }
-    return Status::OK();
-  };
-
-  // Monolithic per-partition work: the costed overload lets a dynamic
-  // schedule seed its queues largest-RS-first.
-  ex.ForEachPartition(
-      rs_objects, [&](uint32_t i) { partition_status[i] = sort_merge_join(i); });
+    const uint64_t runs = op::SortRuns(ex, i, src_seg[i], n, plan.irun);
+    partition_status[i] = op::MergeJoinRuns(ex, i, &src_seg[i], &dst_seg[i],
+                                            n, plan, runs, &npass_per[i]);
+  });
   for (const Status& st : partition_status) MMJOIN_RETURN_NOT_OK(st);
   ex.MarkPass("sort+merge+join");
 
@@ -622,42 +280,22 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
 
   // |RS_i| and the exact per-bucket populations (computed from workload
   // metadata so bucket regions can be laid out contiguously).
-  const std::vector<uint64_t> rs_objects = internal::RsObjects(ex);
+  const std::vector<uint64_t> rs_objects = op::RsObjects(ex);
   uint64_t max_rs = 0;
   for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
   const join::GracePlan plan =
       join::PlanGrace(params.m_rproc_bytes, max_rs, params);
   const uint32_t k_buckets = plan.k_buckets;
 
-  // Count bucket populations by scanning the raw R partitions (metadata
-  // precomputation, not charged — the counts depend only on the workload
-  // and the bucket function).
-  std::vector<std::vector<uint64_t>> bucket_count(
-      d, std::vector<uint64_t>(k_buckets, 0));
-  for (uint32_t i = 0; i < d; ++i) {
-    const rel::RObject* objs = ex.RawR(i);
-    const uint64_t n = ex.r_count(i);
-    for (uint64_t k = 0; k < n; ++k) {
-      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
-      const uint32_t b = join::GraceBucketOf(
-          sp.index, ex.s_count(sp.partition), k_buckets);
-      ++bucket_count[sp.partition][b];
-    }
-  }
+  const std::vector<std::vector<uint64_t>> bucket_count =
+      op::CountBuckets(ex, k_buckets, /*resident=*/nullptr);
 
   // RS_i with K contiguous bucket regions.
+  op::BucketLayout layout;
+  layout.Init(bucket_count);
   std::vector<Seg> rs_segs(d);
-  std::vector<std::vector<uint64_t>> bucket_offset(
-      d, std::vector<uint64_t>(k_buckets + 1, 0));
-  std::vector<std::vector<uint64_t>> bucket_cursor(
-      d, std::vector<uint64_t>(k_buckets, 0));
   for (uint32_t i = 0; i < d; ++i) {
-    uint64_t total = 0;
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      bucket_offset[i][b] = total * r;
-      total += bucket_count[i][b];
-    }
-    bucket_offset[i][k_buckets] = total * r;
+    const uint64_t total = layout.Total(i);
     assert(total == rs_objects[i]);
     MMJOIN_ASSIGN_OR_RETURN(
         rs_segs[i], ex.CreateSegment("RS" + std::to_string(i), i,
@@ -684,100 +322,72 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
   }
   ex.MarkPass("setup");
 
-  // One writer per target within any pass/phase (own partition in pass 0,
-  // the staggered partner in pass 1), so the per-target cursors need no
-  // synchronization — the backend barrier between phases publishes them.
   auto bucket_append_run = [&](uint32_t writer, uint32_t target, uint32_t b,
                                const rel::RObject* run, uint64_t n) {
-    const uint64_t slot = bucket_cursor[target][b];
-    bucket_cursor[target][b] += n;
-    assert(slot + n <= bucket_count[target][b]);
-    void* dst = ex.Write(writer, rs_segs[target],
-                         bucket_offset[target][b] + slot * r, n * r);
-    CopyTuples(dst, run, n, ex.StreamScatter());
-    ex.ChargeCpu(writer, static_cast<double>(n * r) * mc.mt_pp_ms);
+    op::AppendRun(ex, writer, rs_segs[target], layout.Claim(target, b, n),
+                  run, n);
   };
 
   // ---- Pass 0: partition R_i; own-partition objects hash into RS_i. ----
-  // Chained: morsels share the partition's bucket and RP cursors. The
-  // scatter keyspace is D partition destinations (→ RP_{i,dest}) followed
-  // by K own-bucket destinations (→ RS_i bucket dest - D).
-  ex.ForEachPartitionTuples(
-      internal::RCounts(ex),
-      [&](uint32_t i, uint64_t begin, uint64_t end) {
-        // Density hint from the dominant traffic: the D - 1 foreign
-        // partition destinations carry (D - 1)/D of the morsel; the own
-        // tuples spread over K buckets are a 1/D sliver either way.
-        ex.BeginScatter(i, d + k_buckets, (end - begin) / d,
-                        [&, i](uint32_t dest, const rel::RObject* run,
-                               uint64_t n) {
-                          if (dest < d) {
-                            ex.AppendRpRun(i, dest, run, n);
-                          } else {
-                            bucket_append_run(i, i, dest - d, run, n);
-                          }
-                        });
-        const join::GraceBucketMap bmap(ex.s_count(i), k_buckets);
-        internal::StageOrScatter(
-            ex, i, begin, end, [&](const rel::RObject& obj, rel::SPtr sp) {
-              ex.ChargeCpu(i, mc.hash_ms);
-              ex.ScatterTo(i, d + bmap.Of(sp.index), obj);
-            });
-        ex.FlushScatter(i);
+  // The scatter keyspace is D partition destinations (→ RP_{i,dest})
+  // followed by K own-bucket destinations (→ RS_i bucket dest - D). The
+  // density hint stays (end - begin) / d — the D - 1 foreign partition
+  // destinations carry (D - 1)/D of the morsel; the own tuples spread over
+  // K buckets are a 1/D sliver either way.
+  op::Partition(
+      ex, /*extra_dests=*/k_buckets,
+      [&](uint32_t i) {
+        return [&, i](uint32_t dest, const rel::RObject* run, uint64_t n) {
+          if (dest < d) {
+            ex.AppendRpRun(i, dest, run, n);
+          } else {
+            bucket_append_run(i, i, dest - d, run, n);
+          }
+        };
       },
-      /*independent=*/false);
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
+      [&](uint32_t i, uint64_t, uint64_t) {
+        return [&ex, &mc, i, d,
+                bmap = join::GraceBucketMap(ex.s_count(i), k_buckets)](
+                   const rel::RObject& obj, rel::SPtr sp) {
+          ex.ChargeCpu(i, mc.hash_ms);
+          ex.ScatterTo(i, d + bmap.Of(sp.index), obj);
+        };
+      },
+      sync);
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
-  // Chained (shared bucket cursors); the epilogue runs on the final morsel.
   // Every object in RP_{i,j} targets partition j, so the scatter keyspace
   // is just the K buckets of RS_j.
-  for (uint32_t t = 1; t < d; ++t) {
-    const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
-    ex.ForEachPartitionTuples(
-        phase_counts,
-        [&](uint32_t i, uint64_t begin, uint64_t end) {
-          const uint32_t j = join::PhaseOffset(i, t, d);
-          const uint64_t base = ex.RpSubOffset(i, j);
-          const double phase_start_ms = ex.clock_ms(i);
-          ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
-                          [&, i, j](uint32_t dest, const rel::RObject* run,
-                                    uint64_t n) {
-                            bucket_append_run(i, j, dest, run, n);
-                          });
-          const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
-          auto hash_to_bucket = [&](const rel::RObject& obj) {
-            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-            ex.ChargeCpu(i, mc.hash_ms);
-            ex.ScatterTo(i, bmap.Of(sp.index), obj);
-          };
-          if (ex.BatchedProbe()) {
-            for (uint64_t k = begin; k < end; ++k) {
-              hash_to_bucket(*internal::ReadRPtr(ex, i, ex.rp_seg(i),
-                                                 base + k * r));
-            }
-          } else {
-            for (uint64_t k = begin; k < end; ++k) {
-              const rel::RObject obj =
-                  internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-              hash_to_bucket(obj);
-            }
+  op::PhasedRepartition(
+      ex, rs_segs,
+      [&](uint32_t i, uint32_t j, uint64_t begin, uint64_t end) {
+        ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
+                        [&, i, j](uint32_t dest, const rel::RObject* run,
+                                  uint64_t n) {
+                          bucket_append_run(i, j, dest, run, n);
+                        });
+      },
+      [&](uint32_t i, uint32_t j, uint64_t base, uint64_t begin,
+          uint64_t end) {
+        const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
+        auto hash_to_bucket = [&](const rel::RObject& obj) {
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          ex.ChargeCpu(i, mc.hash_ms);
+          ex.ScatterTo(i, bmap.Of(sp.index), obj);
+        };
+        if (ex.BatchedProbe()) {
+          for (uint64_t k = begin; k < end; ++k) {
+            hash_to_bucket(*op::ReadRPtr(ex, i, ex.rp_seg(i), base + k * r));
           }
-          ex.FlushScatter(i);
-          if (end == phase_counts[i]) {
-            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
-            if (ex.tracing()) {
-              ex.Span(i, "phase " + std::to_string(t), "phase",
-                      phase_start_ms,
-                      {obs::Arg("partner", uint64_t{j}),
-                       obs::Arg("objects", end - begin)});
-            }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                op::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            hash_to_bucket(obj);
           }
-        },
-        /*independent=*/false);
-    if (sync) ex.SyncClocks();
-  }
+        }
+      },
+      sync);
 
   for (uint32_t i = 0; i < d; ++i) {
     ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
@@ -786,7 +396,6 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
   ex.MarkPass("pass1");
 
   // ---- Passes 1+j: per bucket, build the TSIZE-chain table and join. ----
-  using ChainEntry = SRef;
   std::vector<Status> partition_status(d);
   ex.ForEachPartition(rs_objects, [&](uint32_t i) {
     // The chain table serves the scalar path only: chains give the
@@ -794,51 +403,10 @@ StatusOr<join::JoinRunResult> Grace(B& ex, const join::JoinParams& params) {
     // locality. The batched path probes the RS band in place — the
     // pipeline's look-ahead subsumes the grouping, so the table build
     // (one hash + one push per tuple) disappears from the real run.
-    std::vector<std::vector<ChainEntry>> table(
+    std::vector<std::vector<SRef>> table(
         ex.BatchedProbe() ? 0 : plan.tsize);
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      for (auto& chain : table) chain.clear();
-      const uint64_t base = bucket_offset[i][b];
-      const uint64_t count = bucket_count[i][b];
-      const double bucket_start_ms = ex.clock_ms(i);
-      // The bucket after this one is the next band to stream in; the band
-      // just processed is dead — retire it below so RS_i shrinks as the
-      // bucket loop advances instead of all at once at DeleteSegment.
-      if (b + 1 < k_buckets) {
-        ex.AdviseRange(i, rs_segs[i], bucket_offset[i][b + 1],
-                       bucket_count[i][b + 1] * r, AccessIntent::kWillNeed);
-      }
-      if (ex.BatchedProbe()) {
-        // The bucket's entries are contiguous RObjects in RS_i: one
-        // ProbeRun stages their 16-byte (id, sptr) prefixes through the
-        // prefetch pipeline — no table, no copies.
-        ex.ProbeRun(i, rs_segs[i], base, count);
-      } else {
-        for (uint64_t k = 0; k < count; ++k) {
-          rel::RObject obj;
-          const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
-          std::memcpy(&obj, src, r);
-          ex.ChargeCpu(i, mc.hash_ms);
-          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-          // Identical references collide into the same chain.
-          table[sp.index % plan.tsize].push_back(
-              ChainEntry{obj.id, obj.sptr});
-        }
-        // Process the table in order; each chain's S objects fit in memory,
-        // so every S object is read once per bucket.
-        for (const auto& chain : table) {
-          for (const ChainEntry& e : chain) {
-            ex.RequestS(i, e.r_id, e.sptr);
-          }
-        }
-      }
-      ex.FlushSRequests(i);
-      ex.AdviseRange(i, rs_segs[i], base, count * r, AccessIntent::kDontNeed);
-      if (ex.tracing()) {
-        ex.Span(i, "bucket " + std::to_string(b), "bucket", bucket_start_ms,
-                {obs::Arg("objects", count)});
-      }
-    }
+    op::BuildProbeBuckets(ex, i, rs_segs[i], layout, k_buckets, plan.tsize,
+                          table, /*skip_empty=*/false, /*bucket_spans=*/true);
     ex.DropSegment(i, rs_segs[i], /*discard=*/true);
     partition_status[i] = ex.DeleteSegment(rs_segs[i]);
   });
@@ -866,7 +434,7 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
 
   MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
 
-  const std::vector<uint64_t> rs_objects = internal::RsObjects(ex);
+  const std::vector<uint64_t> rs_objects = op::RsObjects(ex);
   uint64_t max_rs = 0;
   for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
   const join::GracePlan plan =
@@ -876,39 +444,18 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
   // Spill-bucket populations. Bucket 0 of RS_i receives only the *remote*
   // contributions (R_{j,i}, j != i); the owner's bucket-0 objects stay in
   // memory. Buckets >= 1 receive everything, as in Grace.
-  std::vector<std::vector<uint64_t>> bucket_count(
-      d, std::vector<uint64_t>(k_buckets, 0));
-  std::vector<uint64_t> resident_count(d, 0);
-  for (uint32_t i = 0; i < d; ++i) {
-    const rel::RObject* objs = ex.RawR(i);
-    const uint64_t n = ex.r_count(i);
-    for (uint64_t k = 0; k < n; ++k) {
-      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
-      const uint32_t b = join::GraceBucketOf(
-          sp.index, ex.s_count(sp.partition), k_buckets);
-      if (b == 0 && sp.partition == i) {
-        ++resident_count[i];
-      } else {
-        ++bucket_count[sp.partition][b];
-      }
-    }
-  }
+  std::vector<uint64_t> resident_count;
+  const std::vector<std::vector<uint64_t>> bucket_count =
+      op::CountBuckets(ex, k_buckets, &resident_count);
 
+  op::BucketLayout layout;
+  layout.Init(bucket_count);
   std::vector<Seg> rs_segs(d);
-  std::vector<std::vector<uint64_t>> bucket_offset(
-      d, std::vector<uint64_t>(k_buckets + 1, 0));
-  std::vector<std::vector<uint64_t>> bucket_cursor(
-      d, std::vector<uint64_t>(k_buckets, 0));
   for (uint32_t i = 0; i < d; ++i) {
-    uint64_t total = 0;
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      bucket_offset[i][b] = total * r;
-      total += bucket_count[i][b];
-    }
-    bucket_offset[i][k_buckets] = total * r;
     MMJOIN_ASSIGN_OR_RETURN(
         rs_segs[i], ex.CreateSegment("RS" + std::to_string(i), i,
-                                     std::max<uint64_t>(total, 1) * r));
+                                     std::max<uint64_t>(layout.Total(i), 1) *
+                                         r));
   }
 
   // Setup charges mirror Grace.
@@ -933,109 +480,86 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
   // bucket-0 objects. Table memory is part of M_Rproc (the Grace K rule
   // already budgets one bucket plus overhead). An entry is exactly an
   // S-ref, so the batched path can flatten chains into kernel batches.
-  using Entry = SRef;
-  std::vector<std::vector<Entry>> resident(d);
+  std::vector<std::vector<SRef>> resident(d);
   for (uint32_t i = 0; i < d; ++i) resident[i].reserve(resident_count[i]);
 
   auto spill_run = [&](uint32_t writer, uint32_t target, uint32_t b,
                        const rel::RObject* run, uint64_t n) {
-    const uint64_t slot = bucket_cursor[target][b];
-    bucket_cursor[target][b] += n;
-    assert(slot + n <= bucket_count[target][b]);
-    void* dst = ex.Write(writer, rs_segs[target],
-                         bucket_offset[target][b] + slot * r, n * r);
-    CopyTuples(dst, run, n, ex.StreamScatter());
-    ex.ChargeCpu(writer, static_cast<double>(n * r) * mc.mt_pp_ms);
+    op::AppendRun(ex, writer, rs_segs[target], layout.Claim(target, b, n),
+                  run, n);
   };
 
   // ---- Pass 0: partition R_i; own bucket-0 objects stay in memory. ----
-  // Chained: morsels share the resident table and spill/RP cursors. The
-  // scatter keyspace is D partition destinations (→ RP_{i,dest}) followed
-  // by K own-bucket destinations (→ RS_i spill bucket dest - D); resident
-  // bucket-0 entries bypass the scatter path into the in-memory table.
-  ex.ForEachPartitionTuples(
-      internal::RCounts(ex),
-      [&](uint32_t i, uint64_t begin, uint64_t end) {
-        ex.BeginScatter(i, d + k_buckets, (end - begin) / d,
-                        [&, i](uint32_t dest, const rel::RObject* run,
-                               uint64_t n) {
-                          if (dest < d) {
-                            ex.AppendRpRun(i, dest, run, n);
-                          } else {
-                            spill_run(i, i, dest - d, run, n);
-                          }
-                        });
-        const join::GraceBucketMap bmap(ex.s_count(i), k_buckets);
-        internal::StageOrScatter(
-            ex, i, begin, end, [&](const rel::RObject& obj, rel::SPtr sp) {
-              if (!ex.BatchedProbe()) ex.ChargeCpu(i, mc.hash_ms);
-              const uint32_t b = bmap.Of(sp.index);
-              if (b == 0) {
-                // Resident: one private move into the table, no disk
-                // traffic.
-                resident[i].push_back(Entry{obj.id, obj.sptr});
-                if (!ex.BatchedProbe()) {
-                  ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
-                }
-              } else {
-                ex.ScatterTo(i, d + b, obj);
-              }
-            });
-        ex.FlushScatter(i);
+  // The scatter keyspace is D partition destinations (→ RP_{i,dest})
+  // followed by K own-bucket destinations (→ RS_i spill bucket dest - D);
+  // resident bucket-0 entries bypass the scatter path into the in-memory
+  // table.
+  op::Partition(
+      ex, /*extra_dests=*/k_buckets,
+      [&](uint32_t i) {
+        return [&, i](uint32_t dest, const rel::RObject* run, uint64_t n) {
+          if (dest < d) {
+            ex.AppendRpRun(i, dest, run, n);
+          } else {
+            spill_run(i, i, dest - d, run, n);
+          }
+        };
       },
-      /*independent=*/false);
-  if (sync) ex.SyncClocks();
-  ex.MarkPass("pass0");
+      [&](uint32_t i, uint64_t, uint64_t) {
+        return [&ex, &mc, &resident, i, d, r,
+                bmap = join::GraceBucketMap(ex.s_count(i), k_buckets)](
+                   const rel::RObject& obj, rel::SPtr sp) {
+          if (!ex.BatchedProbe()) ex.ChargeCpu(i, mc.hash_ms);
+          const uint32_t b = bmap.Of(sp.index);
+          if (b == 0) {
+            // Resident: one private move into the table, no disk traffic.
+            resident[i].push_back(SRef{obj.id, obj.sptr});
+            if (!ex.BatchedProbe()) {
+              ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+            }
+          } else {
+            ex.ScatterTo(i, d + b, obj);
+          }
+        };
+      },
+      sync);
 
   // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j (all spill). ----
   // Every object in RP_{i,j} targets partition j, so the scatter keyspace
   // is just the K buckets of RS_j.
-  for (uint32_t t = 1; t < d; ++t) {
-    const std::vector<uint64_t> phase_counts = internal::PhaseCounts(ex, t);
-    ex.ForEachPartitionTuples(
-        phase_counts,
-        [&](uint32_t i, uint64_t begin, uint64_t end) {
-          const uint32_t j = join::PhaseOffset(i, t, d);
-          const uint64_t base = ex.RpSubOffset(i, j);
-          const double phase_start_ms = ex.clock_ms(i);
-          ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
-                          [&, i, j](uint32_t dest, const rel::RObject* run,
-                                    uint64_t n) {
-                            spill_run(i, j, dest, run, n);
-                          });
-          // Every object in RP_{i,j} points into S_j, so the bucket
-          // divisor |S_j| is morsel-constant.
-          const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
-          if (ex.BatchedProbe()) {
-            for (uint64_t k = begin; k < end; ++k) {
-              const rel::RObject* obj =
-                  internal::ReadRPtr(ex, i, ex.rp_seg(i), base + k * r);
-              const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
-              ex.ScatterTo(i, bmap.Of(sp.index), *obj);
-            }
-          } else {
-            for (uint64_t k = begin; k < end; ++k) {
-              const rel::RObject obj =
-                  internal::ReadR(ex, i, ex.rp_seg(i), base + k * r);
-              ex.ChargeCpu(i, mc.hash_ms);
-              const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
-              ex.ScatterTo(i, bmap.Of(sp.index), obj);
-            }
+  op::PhasedRepartition(
+      ex, rs_segs,
+      [&](uint32_t i, uint32_t j, uint64_t begin, uint64_t end) {
+        ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
+                        [&, i, j](uint32_t dest, const rel::RObject* run,
+                                  uint64_t n) {
+                          spill_run(i, j, dest, run, n);
+                        });
+      },
+      [&](uint32_t i, uint32_t j, uint64_t base, uint64_t begin,
+          uint64_t end) {
+        // Every object in RP_{i,j} points into S_j, so the bucket divisor
+        // |S_j| is morsel-constant.
+        const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
+        if (ex.BatchedProbe()) {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject* obj =
+                op::ReadRPtr(ex, i, ex.rp_seg(i), base + k * r);
+            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+            ex.ScatterTo(i, bmap.Of(sp.index), *obj);
           }
-          ex.FlushScatter(i);
-          if (end == phase_counts[i]) {
-            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
-            if (ex.tracing()) {
-              ex.Span(i, "phase " + std::to_string(t), "phase",
-                      phase_start_ms,
-                      {obs::Arg("partner", uint64_t{j}),
-                       obs::Arg("objects", end - begin)});
-            }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                op::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            ex.ChargeCpu(i, mc.hash_ms);
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            ex.ScatterTo(i, bmap.Of(sp.index), obj);
           }
-        },
-        /*independent=*/false);
-    if (sync) ex.SyncClocks();
-  }
+        }
+      },
+      sync);
+
   for (uint32_t i = 0; i < d; ++i) {
     ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
     MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ex.rp_seg(i)));
@@ -1050,51 +574,25 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
     // chain table serves the scalar path only — the batched path probes
     // the resident entries / the RS band in place, the pipeline's
     // look-ahead subsuming the grouping the chains provide.
-    std::vector<std::vector<Entry>> table(
+    std::vector<std::vector<SRef>> table(
         ex.BatchedProbe() ? 0 : plan.tsize);
     if (ex.BatchedProbe()) {
       // The resident entries are already one contiguous SRef array.
       ex.RequestSBatch(i, resident[i].data(), resident[i].size());
       ex.FlushSRequests(i);
     } else {
-      for (const Entry& e : resident[i]) {
+      for (const SRef& e : resident[i]) {
         table[rel::SPtr::Unpack(e.sptr).index % plan.tsize].push_back(e);
       }
-      for (const auto& chain : table) {
-        for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
-      }
+      op::ProbeChainTable(ex, i, table);
       ex.FlushSRequests(i);
     }
 
-    // Spilled buckets, Grace-style (with the same streaming band hints).
-    for (uint32_t b = 0; b < k_buckets; ++b) {
-      if (bucket_count[i][b] == 0) continue;
-      for (auto& chain : table) chain.clear();
-      const uint64_t base = bucket_offset[i][b];
-      const uint64_t count = bucket_count[i][b];
-      if (b + 1 < k_buckets) {
-        ex.AdviseRange(i, rs_segs[i], bucket_offset[i][b + 1],
-                       bucket_count[i][b + 1] * r, AccessIntent::kWillNeed);
-      }
-      if (ex.BatchedProbe()) {
-        ex.ProbeRun(i, rs_segs[i], base, count);
-        ex.FlushSRequests(i);
-      } else {
-        for (uint64_t k = 0; k < count; ++k) {
-          rel::RObject obj;
-          const void* src = ex.Read(i, rs_segs[i], base + k * r, r);
-          std::memcpy(&obj, src, r);
-          ex.ChargeCpu(i, mc.hash_ms);
-          table[rel::SPtr::Unpack(obj.sptr).index % plan.tsize].push_back(
-              Entry{obj.id, obj.sptr});
-        }
-        for (const auto& chain : table) {
-          for (const Entry& e : chain) ex.RequestS(i, e.r_id, e.sptr);
-        }
-        ex.FlushSRequests(i);
-      }
-      ex.AdviseRange(i, rs_segs[i], base, count * r, AccessIntent::kDontNeed);
-    }
+    // Spilled buckets, Grace-style (with the same streaming band hints),
+    // except empty spill buckets are skipped and no per-bucket spans are
+    // emitted — the hybrid join loop's historical shape.
+    op::BuildProbeBuckets(ex, i, rs_segs[i], layout, k_buckets, plan.tsize,
+                          table, /*skip_empty=*/true, /*bucket_spans=*/false);
     ex.DropSegment(i, rs_segs[i], /*discard=*/true);
     partition_status[i] = ex.DeleteSegment(rs_segs[i]);
   });

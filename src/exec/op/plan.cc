@@ -1,0 +1,209 @@
+#include "exec/op/plan.h"
+
+#include <array>
+
+#include "join/join_common.h"
+#include "sim/sim_env.h"
+
+namespace mmjoin::exec::op {
+namespace {
+
+// The built-in TPC-H-flavoured plans over the pseudo-columns of the
+// pointer-linked relations (operators.h). Shapes mirror the PIMDAL /
+// ROADMAP item-3 targets:
+//   q1  Q1-flavoured  scan -> filter(date) -> group(flag): count, sums
+//   q4  Q4-flavoured  scan -> filter(date window) -> probe S ->
+//                     group(s_priority): count
+//   q6  Q6-flavoured  scan -> filter(date, qty, discount) -> global
+//                     sum(price*discount) revenue
+const std::array<PlanSpec, 3>& BuiltinPlans() {
+  static const std::array<PlanSpec, 3> kPlans = {
+      PlanSpec{
+          "q1",
+          "scan -> filter(date < 2400) -> group by flag: "
+          "count, sum(qty), sum(price)",
+          {Predicate{Column::kDate, 0, 2400}},
+          /*probe_s=*/false,
+          Column::kFlag,
+          {AggSpec{AggOp::kCount},
+           AggSpec{AggOp::kSum, Column::kQty},
+           AggSpec{AggOp::kSum, Column::kPrice}},
+      },
+      PlanSpec{
+          "q4",
+          "scan -> filter(date in [600, 1200)) -> probe S -> "
+          "group by s_priority: count",
+          {Predicate{Column::kDate, 600, 1200}},
+          /*probe_s=*/true,
+          Column::kSPriority,
+          {AggSpec{AggOp::kCount}},
+      },
+      PlanSpec{
+          "q6",
+          "scan -> filter(date in [500, 1500), qty < 25, discount in "
+          "[3, 6)) -> sum(price*discount), count",
+          {Predicate{Column::kDate, 500, 1500},
+           Predicate{Column::kQty, 1, 25},
+           Predicate{Column::kDiscount, 3, 6}},
+          /*probe_s=*/false,
+          std::nullopt,
+          {AggSpec{AggOp::kSumProduct, Column::kPrice, Column::kDiscount},
+           AggSpec{AggOp::kCount}},
+      },
+  };
+  return kPlans;
+}
+
+}  // namespace
+
+const PlanSpec* FindPlan(std::string_view name) {
+  for (const PlanSpec& p : BuiltinPlans()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PlanDescriptions() {
+  std::vector<std::string> out;
+  for (const PlanSpec& p : BuiltinPlans()) {
+    out.push_back(p.name + " — " + p.description);
+  }
+  return out;
+}
+
+Status ValidatePlan(const PlanSpec& spec) {
+  auto needs_s = [&](Column c) { return !spec.probe_s && ColumnNeedsS(c); };
+  for (const Predicate& p : spec.filters) {
+    if (needs_s(p.col)) {
+      return Status::InvalidArgument("plan filters on S column '" +
+                                     std::string(ColumnName(p.col)) +
+                                     "' without probe_s");
+    }
+  }
+  if (spec.group_by && needs_s(*spec.group_by)) {
+    return Status::InvalidArgument("plan groups by S column '" +
+                                   std::string(ColumnName(*spec.group_by)) +
+                                   "' without probe_s");
+  }
+  for (const AggSpec& a : spec.aggs) {
+    if (a.op != AggOp::kCount && needs_s(a.col)) {
+      return Status::InvalidArgument("plan aggregates S column '" +
+                                     std::string(ColumnName(a.col)) +
+                                     "' without probe_s");
+    }
+    if (a.op == AggOp::kSumProduct && needs_s(a.col2)) {
+      return Status::InvalidArgument("plan aggregates S column '" +
+                                     std::string(ColumnName(a.col2)) +
+                                     "' without probe_s");
+    }
+  }
+  if (spec.group_by && spec.aggs.empty()) {
+    return Status::InvalidArgument("plan groups without aggregates");
+  }
+  return Status::OK();
+}
+
+StatusOr<PlanRunResult> ReferencePlan(const RelationView& view,
+                                      const PlanSpec& spec) {
+  if (Status s = ValidatePlan(spec); !s.ok()) return s;
+  PlanRunResult out;
+
+  // Serial re-statement of the operator semantics: filter conjuncts,
+  // pointer dereference, grouped accumulation — one row at a time.
+  struct Accs {
+    std::vector<uint64_t> v;
+  };
+  std::map<uint64_t, Accs> groups;
+  uint64_t collect_count = 0, collect_digest = 0;
+
+  for (size_t i = 0; i < view.r.size(); ++i) {
+    for (uint64_t k = 0; k < view.r_count[i]; ++k) {
+      const rel::RObject& obj = view.r[i][k];
+      ++out.rows_scanned;
+      uint64_t s_key = 0;
+      bool keep = true;
+      for (const Predicate& p : spec.filters) {
+        const uint64_t v = ColumnValue(p.col, obj.id, s_key);
+        if (v < p.lo || v >= p.hi) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      ++out.rows_filtered;
+      if (spec.probe_s) {
+        const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+        s_key = view.s[sp.partition][sp.index].key;
+        ++out.rows_joined;
+      }
+      ++out.output_rows;
+      if (spec.aggs.empty()) {
+        ++collect_count;
+        collect_digest += rel::OutputDigest(obj.id, s_key);
+        continue;
+      }
+      const uint64_t key =
+          spec.group_by ? ColumnValue(*spec.group_by, obj.id, s_key) : 0;
+      auto [it, fresh] = groups.try_emplace(key);
+      if (fresh) {
+        for (const AggSpec& a : spec.aggs) {
+          it->second.v.push_back(a.op == AggOp::kMin ? ~uint64_t{0} : 0);
+        }
+      }
+      for (size_t a = 0; a < spec.aggs.size(); ++a) {
+        const AggSpec& sa = spec.aggs[a];
+        uint64_t& acc = it->second.v[a];
+        switch (sa.op) {
+          case AggOp::kCount: acc += 1; break;
+          case AggOp::kSum: acc += ColumnValue(sa.col, obj.id, s_key); break;
+          case AggOp::kMin:
+            acc = std::min(acc, ColumnValue(sa.col, obj.id, s_key));
+            break;
+          case AggOp::kMax:
+            acc = std::max(acc, ColumnValue(sa.col, obj.id, s_key));
+            break;
+          case AggOp::kSumProduct:
+            acc += ColumnValue(sa.col, obj.id, s_key) *
+                   ColumnValue(sa.col2, obj.id, s_key);
+            break;
+        }
+      }
+    }
+  }
+
+  if (spec.filters.empty()) out.rows_filtered = out.rows_scanned;
+  if (spec.aggs.empty()) {
+    out.output_rows = collect_count;
+    out.checksum = collect_digest;
+  } else {
+    for (auto& [key, accs] : groups) {
+      out.groups.push_back(GroupRow{key, std::move(accs.v)});
+    }
+    out.checksum = GroupsChecksum(out.groups);
+  }
+  return out;
+}
+
+StatusOr<PlanRunResult> RunPlanSim(sim::SimEnv* env,
+                                   const rel::Workload& workload,
+                                   const join::JoinParams& params,
+                                   const PlanSpec& spec, bool* verified) {
+  join::JoinExecution ex(env, workload, params);
+  MMJOIN_ASSIGN_OR_RETURN(PlanRunResult run, RunPlan(ex, spec));
+
+  RelationView view;
+  const uint32_t d = static_cast<uint32_t>(workload.r_segs.size());
+  for (uint32_t i = 0; i < d; ++i) {
+    view.r.push_back(reinterpret_cast<const rel::RObject*>(
+        env->segment(workload.r_segs[i]).raw()));
+    view.r_count.push_back(workload.r_count[i]);
+    view.s.push_back(reinterpret_cast<const rel::SObject*>(
+        env->segment(workload.s_segs[i]).raw()));
+    view.s_count.push_back(workload.s_count[i]);
+  }
+  MMJOIN_ASSIGN_OR_RETURN(PlanRunResult ref, ReferencePlan(view, spec));
+  if (verified != nullptr) *verified = PlanResultsMatch(run, ref);
+  return run;
+}
+
+}  // namespace mmjoin::exec::op

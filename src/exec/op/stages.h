@@ -1,0 +1,665 @@
+// Reusable pass stages of the four join drivers, lifted out of
+// exec/join_drivers.h so the drivers become thin compositions and new
+// plan shapes (exec/op/operators.h) can reuse the same machinery.
+//
+// A stage is a template over the exec::Backend concept that owns one pass
+// shape — the morsel bracketing, scatter-sink arming, staggered phase
+// schedule, epilogue placement and span emission — while the caller
+// supplies the per-driver routing policy as callables. The stages are an
+// exact structural lift: for any given driver composition the sequence of
+// backend operations (reads, writes, charges, scatter calls, barriers,
+// pass marks) is bit-identical to the pre-refactor monolithic drivers, on
+// both the simulated and the real backend. Cross-backend and operator
+// identity tests (tests/cross_backend_test.cc, tests/operators_test.cc)
+// assert exactly that.
+//
+// Stage vocabulary (ISSUE/ROADMAP item 3):
+//   Partition        pass-0 scan of R_i: stage own-partition objects,
+//                    scatter foreign ones to RP_{i,dest}
+//   PhasedRepartition D-1 staggered phases moving RP_{i,j} into RS_j
+//   ProbePhases      D-1 staggered probe-only phases (nested loops)
+//   ProbeStage       own-partition S-fetch staging (scalar or batched)
+//   SortRuns         heapsort IRUN-object runs of RS_i in place
+//   MergeJoinRuns    k-way merge passes + final merge-join sweep of S_i
+//   BuildChainTable  TSIZE-chain in-memory hash table build (Build)
+//   ProbeChainTable  drain the chains through the S-fetch protocol (Probe)
+//   BuildProbeBuckets per-bucket build+probe loop over RS_i bands
+//   BucketLayout     contiguous bucket regions + one-writer bump cursors
+#ifndef MMJOIN_EXEC_OP_STAGES_H_
+#define MMJOIN_EXEC_OP_STAGES_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/backend.h"
+#include "heap/heapsort.h"
+#include "heap/merge_heap.h"
+#include "join/grace.h"
+#include "join/join_common.h"
+#include "join/sort_merge.h"
+
+namespace mmjoin::exec::op {
+
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Charges counted heap primitives at the machine's per-primitive costs.
+template <Backend B>
+void ChargeHeapCost(B& ex, uint32_t i, const HeapCost& cost) {
+  const sim::MachineConfig& mc = ex.mc();
+  ex.ChargeCpu(i, static_cast<double>(cost.compares) * mc.compare_ms +
+                      static_cast<double>(cost.swaps) * mc.swap_ms +
+                      static_cast<double>(cost.transfers) * mc.transfer_ms);
+}
+
+/// |RS_i| = sum_j |R_{j,i}|: everything pointing into S_i.
+template <Backend B>
+std::vector<uint64_t> RsObjects(const B& ex) {
+  const uint32_t d = ex.D();
+  std::vector<uint64_t> rs(d, 0);
+  for (uint32_t i = 0; i < d; ++i) {
+    for (uint32_t j = 0; j < d; ++j) rs[i] += ex.SubCount(j, i);
+  }
+  return rs;
+}
+
+/// |R_i| per partition — the tuple counts of every pass-0 scan.
+template <Backend B>
+std::vector<uint64_t> RCounts(const B& ex) {
+  const uint32_t d = ex.D();
+  std::vector<uint64_t> counts(d);
+  for (uint32_t i = 0; i < d; ++i) counts[i] = ex.r_count(i);
+  return counts;
+}
+
+/// |RP_{i, offset(i,t)}| per partition — the tuple counts of phase t of
+/// pass 1 (each partition works against its staggered partner).
+template <Backend B>
+std::vector<uint64_t> PhaseCounts(const B& ex, uint32_t t) {
+  const uint32_t d = ex.D();
+  std::vector<uint64_t> counts(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    counts[i] = ex.RpSubCount(i, join::PhaseOffset(i, t, d));
+  }
+  return counts;
+}
+
+/// Reads one R object through partition i's process.
+template <Backend B>
+rel::RObject ReadR(B& ex, uint32_t i, typename B::Seg seg, uint64_t offset) {
+  rel::RObject obj;
+  const void* src = ex.Read(i, seg, offset, sizeof(obj));
+  std::memcpy(&obj, src, sizeof(obj));
+  return obj;
+}
+
+/// Reads one R object in place (no copy) — batched-probe paths only, where
+/// the backend is real and Read returns a stable mapped pointer. Touching
+/// just (id, sptr) costs one cache line of the 128-byte object instead of
+/// the two a full copy pulls.
+template <Backend B>
+const rel::RObject* ReadRPtr(B& ex, uint32_t i, typename B::Seg seg,
+                             uint64_t offset) {
+  return static_cast<const rel::RObject*>(
+      ex.Read(i, seg, offset, sizeof(rel::RObject)));
+}
+
+/// S-ref scratch capacity of the batched probe paths: large enough that the
+/// prefetch pipeline's fill/drain is amortized, small enough to stay in L2.
+inline constexpr uint64_t kProbeScratch = 8192;
+
+/// The shared pass-0 scan body of all four drivers: reads R_i tuples
+/// [begin, end) — in place on the batched path, by copy (plus the map_ms
+/// charge) on the scalar path — routes each own-partition object to
+/// `own(obj, sp)` and scatters every foreign one to destination
+/// sp.partition. The caller brackets the morsel with
+/// BeginScatter(i, n_dests, sink)/FlushScatter(i), with a sink that maps
+/// destinations < D onto RP_{i,dest} (drivers with bucketed own-partition
+/// output extend the keyspace with D + bucket destinations).
+template <Backend B, typename OwnFn>
+void StageOrScatter(B& ex, uint32_t i, uint64_t begin, uint64_t end,
+                    OwnFn&& own) {
+  const typename B::Seg r_seg = ex.r_seg(i);
+  if (ex.BatchedProbe()) {
+    for (uint64_t k = begin; k < end; ++k) {
+      const rel::RObject* obj =
+          ReadRPtr(ex, i, r_seg, rel::Workload::ROffset(k));
+      const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+      if (sp.partition == i) {
+        own(*obj, sp);
+      } else {
+        ex.ScatterTo(i, sp.partition, *obj);
+      }
+    }
+  } else {
+    for (uint64_t k = begin; k < end; ++k) {
+      const rel::RObject obj = ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+      ex.ChargeCpu(i, ex.mc().map_ms);  // map the join attribute to target
+      const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+      if (sp.partition == i) {
+        own(obj, sp);
+      } else {
+        ex.ScatterTo(i, sp.partition, obj);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Append / layout primitives
+// ---------------------------------------------------------------------------
+
+/// One bulk append into a laid-out region: byte movement (non-temporal
+/// under scatter=stream) plus the per-byte move charge. The caller owns
+/// cursor bookkeeping — one writer per target within any pass/phase.
+template <Backend B>
+void AppendRun(B& ex, uint32_t writer, typename B::Seg seg, uint64_t byte_off,
+               const rel::RObject* run, uint64_t n) {
+  void* dst = ex.Write(writer, seg, byte_off, n * sizeof(rel::RObject));
+  CopyTuples(dst, run, n, ex.StreamScatter());
+  ex.ChargeCpu(writer, static_cast<double>(n * sizeof(rel::RObject)) *
+                           ex.mc().mt_pp_ms);
+}
+
+/// Contiguous bucket regions of each RS_i plus one bump cursor per region
+/// (K = 1 degenerates to the sort-merge flat RS_i layout). Pure
+/// bookkeeping: byte movement and cost charging stay with AppendRun. The
+/// cursors need no synchronization — within any pass/phase exactly one
+/// worker writes a given target, and the backend barrier between phases
+/// publishes them.
+class BucketLayout {
+ public:
+  /// `counts[i][b]` = objects bound for bucket b of RS_i.
+  void Init(const std::vector<std::vector<uint64_t>>& counts) {
+    const size_t d = counts.size();
+    const size_t k = d ? counts[0].size() : 0;
+    offset_.assign(d, std::vector<uint64_t>(k + 1, 0));
+    cursor_.assign(d, std::vector<uint64_t>(k, 0));
+    counts_ = &counts;
+    for (size_t i = 0; i < d; ++i) {
+      uint64_t total = 0;
+      for (size_t b = 0; b < k; ++b) {
+        offset_[i][b] = total * sizeof(rel::RObject);
+        total += counts[i][b];
+      }
+      offset_[i][k] = total * sizeof(rel::RObject);
+    }
+  }
+
+  /// Byte offset of bucket b within RS_i.
+  uint64_t Offset(uint32_t i, uint32_t b) const { return offset_[i][b]; }
+  /// Objects bound for bucket b of RS_i.
+  uint64_t Count(uint32_t i, uint32_t b) const { return (*counts_)[i][b]; }
+  /// Total objects across RS_i's buckets.
+  uint64_t Total(uint32_t i) const {
+    const size_t k = offset_[i].size() - 1;
+    return offset_[i][k] / sizeof(rel::RObject);
+  }
+  /// Claims `n` consecutive slots of bucket b; returns the byte offset of
+  /// the first within RS_i.
+  uint64_t Claim(uint32_t i, uint32_t b, uint64_t n) {
+    const uint64_t slot = cursor_[i][b];
+    cursor_[i][b] += n;
+    assert(slot + n <= (*counts_)[i][b]);
+    return offset_[i][b] + slot * sizeof(rel::RObject);
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> offset_;  // [i][b] bytes, [i][k] end
+  std::vector<std::vector<uint64_t>> cursor_;  // [i][b] objects claimed
+  const std::vector<std::vector<uint64_t>>* counts_ = nullptr;
+};
+
+/// Exact per-bucket populations of the Grace/hybrid RS layout, counted
+/// from the raw R partitions (metadata precomputation, not charged — the
+/// counts depend only on the workload and the bucket function). With
+/// `resident` non-null (hybrid hash), own-partition bucket-0 objects are
+/// diverted to resident[i] instead of bucket_count[i][0].
+template <Backend B>
+std::vector<std::vector<uint64_t>> CountBuckets(
+    const B& ex, uint32_t k_buckets, std::vector<uint64_t>* resident) {
+  const uint32_t d = ex.D();
+  std::vector<std::vector<uint64_t>> bucket_count(
+      d, std::vector<uint64_t>(k_buckets, 0));
+  if (resident != nullptr) resident->assign(d, 0);
+  for (uint32_t i = 0; i < d; ++i) {
+    const rel::RObject* objs = ex.RawR(i);
+    const uint64_t n = ex.r_count(i);
+    for (uint64_t k = 0; k < n; ++k) {
+      const rel::SPtr sp = rel::SPtr::Unpack(objs[k].sptr);
+      const uint32_t b = join::GraceBucketOf(
+          sp.index, ex.s_count(sp.partition), k_buckets);
+      if (resident != nullptr && b == 0 && sp.partition == i) {
+        ++(*resident)[i];
+      } else {
+        ++bucket_count[sp.partition][b];
+      }
+    }
+  }
+  return bucket_count;
+}
+
+// ---------------------------------------------------------------------------
+// Partition (pass 0)
+// ---------------------------------------------------------------------------
+
+/// Own-partition S-fetch staging used by the nested-loops Partition stage:
+/// refs stage into a scratch that flushes through the prefetch kernel
+/// (batched path) or probe S directly (scalar path). Finish() drains the
+/// scratch before the scatter flush; Epilogue() flushes the S protocol
+/// after it — matching the historical pass-0 morsel ordering exactly.
+template <Backend B>
+class ProbeStage {
+ public:
+  ProbeStage(B& ex, uint32_t i, uint64_t expect) : ex_(ex), i_(i) {
+    if (ex_.BatchedProbe()) {
+      own_.reserve(std::min(expect, kProbeScratch));
+    }
+  }
+  void operator()(const rel::RObject& obj, rel::SPtr) {
+    if (ex_.BatchedProbe()) {
+      own_.push_back(SRef{obj.id, obj.sptr});
+      if (own_.size() == kProbeScratch) {
+        ex_.RequestSBatch(i_, own_.data(), own_.size());
+        own_.clear();
+      }
+    } else {
+      ex_.RequestS(i_, obj.id, obj.sptr);
+    }
+  }
+  void Finish() {
+    if (!own_.empty()) ex_.RequestSBatch(i_, own_.data(), own_.size());
+  }
+  void Epilogue() { ex_.FlushSRequests(i_); }
+
+ private:
+  B& ex_;
+  uint32_t i_;
+  std::vector<SRef> own_;
+};
+
+/// Pass 0 of every driver: morsel-scan R_i (chained — morsels share the
+/// partition's output cursors), scatter foreign objects through a
+/// D + extra_dests keyspace, route own-partition objects through the
+/// per-morsel handler `make_own(i, begin, end)` returns. The handler may
+/// expose Finish() (drained before FlushScatter) and Epilogue() (after),
+/// which is how the nested-loops probe staging keeps its historical
+/// RequestSBatch / FlushScatter / FlushSRequests order.
+template <Backend B, typename SinkFactory, typename OwnFactory>
+void Partition(B& ex, uint32_t extra_dests, SinkFactory&& make_sink,
+               OwnFactory&& make_own, bool sync) {
+  const uint32_t d = ex.D();
+  ex.ForEachPartitionTuples(
+      RCounts(ex),
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        ex.BeginScatter(i, d + extra_dests, (end - begin) / d, make_sink(i));
+        auto own = make_own(i, begin, end);
+        StageOrScatter(ex, i, begin, end,
+                       [&](const rel::RObject& obj, rel::SPtr sp) {
+                         own(obj, sp);
+                       });
+        if constexpr (requires { own.Finish(); }) own.Finish();
+        ex.FlushScatter(i);
+        if constexpr (requires { own.Epilogue(); }) own.Epilogue();
+      },
+      /*independent=*/false);
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass0");
+}
+
+// ---------------------------------------------------------------------------
+// PhasedRepartition (pass 1 of sort-merge / Grace / hybrid hash)
+// ---------------------------------------------------------------------------
+
+/// D-1 staggered phases moving each RP_{i,j} into RS_j (j = the phase-t
+/// partner of i). Chained morsels share RS_j's cursors; the per-partition
+/// epilogue — publishing RS_j's pages back to their owner's disk image and
+/// the phase span — runs on the final morsel (end == count; an empty
+/// partition still gets one [0,0) morsel). `begin_scatter(i, j, begin,
+/// end)` arms the phase's sink; `route(i, j, base, begin, end)` moves the
+/// morsel's tuples through it.
+template <Backend B, typename BeginFn, typename RouteFn>
+void PhasedRepartition(B& ex, const std::vector<typename B::Seg>& rs_segs,
+                       BeginFn&& begin_scatter, RouteFn&& route, bool sync) {
+  const uint32_t d = ex.D();
+  for (uint32_t t = 1; t < d; ++t) {
+    const std::vector<uint64_t> phase_counts = PhaseCounts(ex, t);
+    ex.ForEachPartitionTuples(
+        phase_counts,
+        [&](uint32_t i, uint64_t begin, uint64_t end) {
+          const uint32_t j = join::PhaseOffset(i, t, d);
+          const uint64_t base = ex.RpSubOffset(i, j);
+          const double phase_start_ms = ex.clock_ms(i);
+          begin_scatter(i, j, begin, end);
+          route(i, j, base, begin, end);
+          ex.FlushScatter(i);
+          if (end == phase_counts[i]) {
+            // Hand the written RS_j pages back to their owner's disk image.
+            ex.DropSegment(i, rs_segs[j], /*discard=*/false);
+            if (ex.tracing()) {
+              ex.Span(i, "phase " + std::to_string(t), "phase",
+                      phase_start_ms,
+                      {obs::Arg("partner", uint64_t{j}),
+                       obs::Arg("objects", end - begin)});
+            }
+          }
+        },
+        /*independent=*/false);
+    if (sync) ex.SyncClocks();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProbePhases (pass 1 of nested loops)
+// ---------------------------------------------------------------------------
+
+/// D-1 staggered probe-only phases over the RP_{i,j}: ReadR + RequestS
+/// touch no shared output target (the real backend tallies per worker), so
+/// morsels are independent and one hot partner — a Zipf-skewed RP_{i,j} —
+/// spreads across every worker instead of serializing the phase. Band
+/// hints bracket each phase: the partner band is about to be read
+/// (kWillNeed), and once the phase barrier has passed, band t is dead —
+/// hand its pages back (kDontNeed) so the RP footprint shrinks as the pass
+/// progresses. The retirement must sit outside the morsel bodies:
+/// independent morsels of one band may still be running concurrently.
+template <Backend B>
+void ProbePhases(B& ex, bool sync) {
+  const uint32_t d = ex.D();
+  for (uint32_t t = 1; t < d; ++t) {
+    for (uint32_t i = 0; i < d; ++i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      ex.AdviseRange(i, ex.rp_seg(i), ex.RpSubOffset(i, j),
+                     ex.RpSubCount(i, j) * sizeof(rel::RObject),
+                     AccessIntent::kWillNeed);
+    }
+    ex.ForEachPartitionTuples(
+        PhaseCounts(ex, t),
+        [&](uint32_t i, uint64_t begin, uint64_t end) {
+          const uint32_t j = join::PhaseOffset(i, t, d);
+          const uint64_t base = ex.RpSubOffset(i, j);
+          const double phase_start_ms = ex.clock_ms(i);
+          if (ex.BatchedProbe()) {
+            // A phase only probes: hand the contiguous band slice to the
+            // prefetch kernel in one run.
+            ex.ProbeRun(i, ex.rp_seg(i),
+                        base + begin * sizeof(rel::RObject), end - begin);
+          } else {
+            for (uint64_t k = begin; k < end; ++k) {
+              const rel::RObject obj = ReadR(
+                  ex, i, ex.rp_seg(i), base + k * sizeof(rel::RObject));
+              ex.RequestS(i, obj.id, obj.sptr);
+            }
+          }
+          ex.FlushSRequests(i);
+          if (ex.tracing()) {
+            ex.Span(i, "phase " + std::to_string(t), "phase", phase_start_ms,
+                    {obs::Arg("partner", uint64_t{j}),
+                     obs::Arg("objects", end - begin)});
+          }
+        },
+        /*independent=*/true);
+    if (sync) ex.SyncClocks();
+    for (uint32_t i = 0; i < d; ++i) {
+      const uint32_t j = join::PhaseOffset(i, t, d);
+      ex.AdviseRange(i, ex.rp_seg(i), ex.RpSubOffset(i, j),
+                     ex.RpSubCount(i, j) * sizeof(rel::RObject),
+                     AccessIntent::kDontNeed);
+    }
+  }
+  ex.MarkPass("pass1");
+}
+
+// ---------------------------------------------------------------------------
+// Sort + MergeJoin (sort-merge pass 2)
+// ---------------------------------------------------------------------------
+
+/// Sorts RS_i into IRUN-object runs in place: read each run in, heapsort
+/// an array of pointers, permute the objects (one MTpp move per object),
+/// write back. Returns the run count.
+template <Backend B>
+uint64_t SortRuns(B& ex, uint32_t i, typename B::Seg seg, uint64_t n,
+                  uint64_t irun) {
+  const uint64_t r = sizeof(rel::RObject);
+  const double sort_start_ms = ex.clock_ms(i);
+  std::vector<rel::RObject> buffer;
+  for (uint64_t start = 0; start < n; start += irun) {
+    const uint64_t len = std::min<uint64_t>(irun, n - start);
+    buffer.resize(len);
+    for (uint64_t k = 0; k < len; ++k) {
+      const void* src = ex.Read(i, seg, (start + k) * r, r);
+      std::memcpy(&buffer[k], src, r);
+    }
+    std::vector<uint64_t> idx(len);
+    for (uint64_t k = 0; k < len; ++k) idx[k] = k;
+    HeapCost cost;
+    HeapSort(
+        &idx,
+        [&buffer](uint64_t a, uint64_t b) {
+          return buffer[a].sptr < buffer[b].sptr;
+        },
+        &cost);
+    ChargeHeapCost(ex, i, cost);
+    // Move the objects into sorted order (one MTpp move per object).
+    for (uint64_t k = 0; k < len; ++k) {
+      void* dst = ex.Write(i, seg, (start + k) * r, r);
+      std::memcpy(dst, &buffer[idx[k]], r);
+    }
+    ex.ChargeCpu(i, static_cast<double>(len * r) * ex.mc().mt_pp_ms);
+  }
+  const uint64_t runs = std::max<uint64_t>(1, CeilDiv(n, irun));
+  if (ex.tracing()) {
+    ex.Span(i, "sort-runs", "heap", sort_start_ms,
+            {obs::Arg("runs", runs), obs::Arg("irun", irun)});
+  }
+  return runs;
+}
+
+/// K-way merges partition i's sorted runs with deleteMap/newMap area swaps
+/// until at most NRUN_LAST remain, then merge-joins the final pass against
+/// a single sequential sweep of S_i through the S-fetch protocol. `src`
+/// and `dst` are in/out: area swaps retarget them. Returns the merge pass
+/// count (final join pass included) in *npass.
+template <Backend B>
+Status MergeJoinRuns(B& ex, uint32_t i, typename B::Seg* src,
+                     typename B::Seg* dst, uint64_t n,
+                     const join::SortMergePlan& plan, uint64_t runs_in,
+                     uint64_t* npass) {
+  const sim::MachineConfig& mc = ex.mc();
+  const uint64_t r = sizeof(rel::RObject);
+  uint64_t run_len = plan.irun;
+  uint64_t runs = runs_in;
+  uint64_t pass_count = 0;
+
+  auto merge_group = [&](uint64_t first_run, uint64_t n_runs,
+                         uint64_t out_start, bool last_pass) {
+    // Merge-side fetch staging (batched path, final pass only): the
+    // merged stream arrives one object at a time off the heap, so refs
+    // collect into a scratch that flushes through the prefetch kernel.
+    const bool batched_fetch = last_pass && ex.BatchedProbe();
+    std::vector<SRef> fetch;
+    if (batched_fetch) fetch.reserve(kProbeScratch);
+    // Cursors are object indices into the source segment.
+    std::vector<uint64_t> cur(n_runs), end(n_runs);
+    MergeHeap heap(n_runs);
+    for (uint64_t g = 0; g < n_runs; ++g) {
+      cur[g] = (first_run + g) * run_len;
+      end[g] = std::min(n, cur[g] + run_len);
+      if (cur[g] < end[g]) {
+        const auto* obj = static_cast<const rel::RObject*>(
+            ex.Read(i, *src, cur[g] * r, r));
+        heap.Insert(MergeEntry{obj->sptr, static_cast<uint32_t>(g)});
+      }
+    }
+    uint64_t out = out_start;
+    while (!heap.empty()) {
+      const uint32_t g = heap.Min().run;
+      // Re-touch the popped object's page: with scarce memory it may have
+      // been evicted since its key entered the heap (the premature-
+      // replacement anomaly of section 6.2).
+      rel::RObject obj;
+      const void* src_ptr = ex.Read(i, *src, cur[g] * r, r);
+      std::memcpy(&obj, src_ptr, r);
+      ++cur[g];
+      if (cur[g] < end[g]) {
+        const auto* next = static_cast<const rel::RObject*>(
+            ex.Read(i, *src, cur[g] * r, r));
+        heap.DeleteInsert(MergeEntry{next->sptr, g});
+      } else {
+        heap.DeleteMin();
+      }
+      if (last_pass) {
+        // Join instead of writing: the merged stream is in S-pointer
+        // order, so S_i is read sequentially through the fetch protocol.
+        if (batched_fetch) {
+          fetch.push_back(SRef{obj.id, obj.sptr});
+          if (fetch.size() == kProbeScratch) {
+            ex.RequestSBatch(i, fetch.data(), fetch.size());
+            fetch.clear();
+          }
+        } else {
+          ex.RequestS(i, obj.id, obj.sptr);
+        }
+      } else {
+        void* dst_ptr = ex.Write(i, *dst, out * r, r);
+        std::memcpy(dst_ptr, &obj, r);
+        ex.ChargeCpu(i, static_cast<double>(r) * mc.mt_pp_ms);
+      }
+      ++out;
+    }
+    if (!fetch.empty()) ex.RequestSBatch(i, fetch.data(), fetch.size());
+    ChargeHeapCost(ex, i, heap.cost());
+    return out;
+  };
+
+  while (runs > plan.nrun_last) {
+    const double merge_start_ms = ex.clock_ms(i);
+    const uint64_t groups = CeilDiv(runs, plan.nrun_abl);
+    uint64_t out = 0;
+    for (uint64_t g = 0; g < groups; ++g) {
+      const uint64_t first_run = g * plan.nrun_abl;
+      const uint64_t n_runs =
+          std::min<uint64_t>(plan.nrun_abl, runs - first_run);
+      out = merge_group(first_run, n_runs, out, /*last_pass=*/false);
+    }
+    ++pass_count;
+    // Swap source and destination areas: the old source is destroyed and
+    // a fresh area created (deleteMap + newMap per the paper).
+    ex.DropSegment(i, *src, /*discard=*/true);
+    const uint64_t pages = ex.SegPages(*src);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(*src));
+    ex.ChargeSetup(i, mc.DeleteMapMs(pages) + mc.NewMapMs(pages));
+    MMJOIN_ASSIGN_OR_RETURN(
+        typename B::Seg fresh,
+        ex.CreateSegment(
+            "Swap" + std::to_string(i) + "p" + std::to_string(pass_count),
+            i, std::max<uint64_t>(n, 1) * r));
+    ex.AdviseSegment(i, fresh, AccessIntent::kPopulateWrite);
+    *src = *dst;  // the merged output becomes the next source
+    *dst = fresh;
+    run_len *= plan.nrun_abl;
+    runs = CeilDiv(runs, plan.nrun_abl);
+    if (ex.tracing()) {
+      ex.Span(i, "merge-pass " + std::to_string(pass_count), "heap",
+              merge_start_ms,
+              {obs::Arg("fan_in", plan.nrun_abl),
+               obs::Arg("runs_left", runs)});
+    }
+  }
+
+  // ---- Final pass: merge the remaining runs while scanning S_i. ----
+  const double final_start_ms = ex.clock_ms(i);
+  merge_group(0, runs, 0, /*last_pass=*/true);
+  ex.FlushSRequests(i);
+  ++pass_count;
+  *npass = pass_count;
+  if (ex.tracing()) {
+    ex.Span(i, "final-merge-join", "heap", final_start_ms,
+            {obs::Arg("runs", runs)});
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Build + Probe (Grace / hybrid-hash bucket processing)
+// ---------------------------------------------------------------------------
+
+/// Build: reads a contiguous band of RObjects and hashes their (id, sptr)
+/// refs into TSIZE chains — the paper's in-memory hash-table build.
+/// Identical references collide into the same chain.
+template <Backend B>
+void BuildChainTable(B& ex, uint32_t i, typename B::Seg seg, uint64_t base,
+                     uint64_t count, uint64_t tsize,
+                     std::vector<std::vector<SRef>>& table) {
+  const uint64_t r = sizeof(rel::RObject);
+  for (uint64_t k = 0; k < count; ++k) {
+    rel::RObject obj;
+    const void* src = ex.Read(i, seg, base + k * r, r);
+    std::memcpy(&obj, src, r);
+    ex.ChargeCpu(i, ex.mc().hash_ms);
+    const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+    table[sp.index % tsize].push_back(SRef{obj.id, obj.sptr});
+  }
+}
+
+/// Probe: processes the table in order; each chain's S objects fit in
+/// memory, so every S object is read once per bucket.
+template <Backend B>
+void ProbeChainTable(B& ex, uint32_t i,
+                     const std::vector<std::vector<SRef>>& table) {
+  for (const auto& chain : table) {
+    for (const SRef& e : chain) {
+      ex.RequestS(i, e.r_id, e.sptr);
+    }
+  }
+}
+
+/// The per-bucket build+probe loop over RS_i's K contiguous bands, with
+/// streaming band hints: the bucket after this one is the next band to
+/// stream in (kWillNeed); the band just processed is dead (kDontNeed), so
+/// RS_i shrinks as the loop advances instead of all at once at
+/// DeleteSegment. The chain table serves the scalar path only — the
+/// batched path probes the RS band in place, the prefetch pipeline's
+/// look-ahead subsuming the grouping the chains provide. `skip_empty` and
+/// `bucket_spans` preserve the drivers' historical differences: hybrid
+/// hash skips empty spill buckets and emits no per-bucket spans; Grace
+/// does the opposite.
+template <Backend B>
+void BuildProbeBuckets(B& ex, uint32_t i, typename B::Seg rs_seg,
+                       const BucketLayout& layout, uint32_t k_buckets,
+                       uint64_t tsize, std::vector<std::vector<SRef>>& table,
+                       bool skip_empty, bool bucket_spans) {
+  const uint64_t r = sizeof(rel::RObject);
+  for (uint32_t b = 0; b < k_buckets; ++b) {
+    if (skip_empty && layout.Count(i, b) == 0) continue;
+    for (auto& chain : table) chain.clear();
+    const uint64_t base = layout.Offset(i, b);
+    const uint64_t count = layout.Count(i, b);
+    const double bucket_start_ms = ex.clock_ms(i);
+    if (b + 1 < k_buckets) {
+      ex.AdviseRange(i, rs_seg, layout.Offset(i, b + 1),
+                     layout.Count(i, b + 1) * r, AccessIntent::kWillNeed);
+    }
+    if (ex.BatchedProbe()) {
+      // The bucket's entries are contiguous RObjects in RS_i: one
+      // ProbeRun stages their 16-byte (id, sptr) prefixes through the
+      // prefetch pipeline — no table, no copies.
+      ex.ProbeRun(i, rs_seg, base, count);
+    } else {
+      BuildChainTable(ex, i, rs_seg, base, count, tsize, table);
+      ProbeChainTable(ex, i, table);
+    }
+    ex.FlushSRequests(i);
+    ex.AdviseRange(i, rs_seg, base, count * r, AccessIntent::kDontNeed);
+    if (bucket_spans && ex.tracing()) {
+      ex.Span(i, "bucket " + std::to_string(b), "bucket", bucket_start_ms,
+              {obs::Arg("objects", count)});
+    }
+  }
+}
+
+}  // namespace mmjoin::exec::op
+
+#endif  // MMJOIN_EXEC_OP_STAGES_H_

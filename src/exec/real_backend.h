@@ -368,6 +368,12 @@ class RealBackend {
   void ChargeSetupAll(double /*per_proc_ms*/) {}
   void MarkPass(const std::string& label);
 
+  /// Worker-identity surface (exec::Backend): WorkerSlots() bounds the
+  /// per-worker state space; WorkerSlot() is the executing worker's slot
+  /// inside a ForEachPartition* body (thread-local, 0 outside a region).
+  uint32_t WorkerSlots() const { return std::max(1u, workers_); }
+  uint32_t WorkerSlot() const { return real_internal::worker_slot; }
+
   // ---- observability ------------------------------------------------------
   bool tracing() const { return trace_ != nullptr; }
   /// Wall-clock milliseconds since backend construction (same epoch for

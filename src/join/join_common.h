@@ -308,6 +308,11 @@ class JoinExecution {
   void AdviseRange(uint32_t /*i*/, Seg /*seg*/, uint64_t /*off*/,
                    uint64_t /*len*/, exec::AccessIntent /*in*/) {}
 
+  /// Serial backend: a single worker slot, and every morsel body runs in
+  /// it (exec::Backend worker-identity surface).
+  uint32_t WorkerSlots() const { return 1; }
+  uint32_t WorkerSlot() const { return 0; }
+
   /// Barrier: sets every Rproc clock to the current maximum.
   void SyncClocks();
 

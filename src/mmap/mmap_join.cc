@@ -90,4 +90,46 @@ StatusOr<MmJoinResult> MmHybridHash(const MmWorkload& workload,
   return Run<&exec::HybridHash<exec::RealBackend>>(workload, options);
 }
 
+void MmPlanResult::ExportMetrics(obs::MetricsRegistry* registry) const {
+  registry->counter("plan.runs").Inc();
+  registry->counter("plan.rows_scanned").Inc(plan.rows_scanned);
+  registry->counter("plan.rows_filtered").Inc(plan.rows_filtered);
+  registry->counter("plan.rows_joined").Inc(plan.rows_joined);
+  registry->counter("plan.output_rows").Inc(plan.output_rows);
+  registry->counter("plan.groups").Inc(plan.groups.size());
+  if (!verified) registry->counter("plan.unverified_runs").Inc();
+  registry->histogram("plan.elapsed_ms").Record(plan.elapsed_ms);
+}
+
+StatusOr<MmPlanResult> MmRunPlan(const MmWorkload& workload,
+                                 const exec::op::PlanSpec& spec,
+                                 const MmJoinOptions& options) {
+  const uint32_t d = workload.config.num_partitions;
+  if (workload.r_segs.size() != d || workload.s_segs.size() != d) {
+    return Status::InvalidArgument("bad workload");
+  }
+  const join::JoinParams params = ToJoinParams(options);
+  exec::RealBackend backend(workload, params, ToBackendOptions(options));
+  MMJOIN_ASSIGN_OR_RETURN(exec::op::PlanRunResult run,
+                          exec::op::RunPlan(backend, spec));
+
+  // Oracle check: the serial reference evaluation over the same mapped
+  // objects must agree on every row count, group, and the checksum.
+  exec::op::RelationView view;
+  for (uint32_t i = 0; i < d; ++i) {
+    view.r.push_back(workload.RObjects(i));
+    view.r_count.push_back(workload.r_count[i]);
+    view.s.push_back(workload.SObjects(i));
+    view.s_count.push_back(workload.s_count[i]);
+  }
+  MMJOIN_ASSIGN_OR_RETURN(exec::op::PlanRunResult ref,
+                          exec::op::ReferencePlan(view, spec));
+
+  MmPlanResult result;
+  result.verified = exec::op::PlanResultsMatch(run, ref);
+  result.plan = std::move(run);
+  result.paging_status = backend.DeferredError();
+  return result;
+}
+
 }  // namespace mmjoin::mm

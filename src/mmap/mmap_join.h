@@ -15,6 +15,7 @@
 
 #include "exec/kernels.h"
 #include "exec/numa.h"
+#include "exec/op/plan.h"
 #include "exec/scatter.h"
 #include "exec/scheduler.h"
 #include "join/join_common.h"
@@ -138,6 +139,26 @@ StatusOr<MmJoinResult> MmGrace(const MmWorkload& workload,
 /// kept resident in memory, skipping one disk round trip.
 StatusOr<MmJoinResult> MmHybridHash(const MmWorkload& workload,
                                     const MmJoinOptions& options = {});
+
+/// Outcome of a real plan run (exec/op/plan.h): the parallel result plus a
+/// `verified` flag from re-evaluating the plan with the serial reference
+/// evaluator over the same mapped relations — groups, counts, and checksum
+/// must match bit-for-bit.
+struct MmPlanResult {
+  exec::op::PlanRunResult plan;
+  bool verified = false;
+  Status paging_status = Status::OK();
+
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+};
+
+/// Runs a query plan (σ(R) [⋈ S] → Γ) over mapped relations through the
+/// push-based operator layer, with the same backend knobs as the joins.
+/// Options that only shape multi-pass joins (k_buckets, tsize,
+/// m_rproc_bytes) are ignored — a plan is one morsel pass.
+StatusOr<MmPlanResult> MmRunPlan(const MmWorkload& workload,
+                                 const exec::op::PlanSpec& spec,
+                                 const MmJoinOptions& options = {});
 
 }  // namespace mmjoin::mm
 

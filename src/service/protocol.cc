@@ -135,6 +135,14 @@ std::string SerializeRequest(const Request& req) {
       s += "\",\"trace\":";
       s += req.trace ? "true" : "false";
       break;
+    case RequestOp::kRunPlan:
+      s += ",\"name\":\"" + JsonEscape(req.name) + "\"";
+      s += ",\"plan\":\"" + JsonEscape(req.plan) + "\"";
+      s += ",\"priority\":\"";
+      s += kPriorityNames[static_cast<uint8_t>(req.priority)];
+      s += "\",\"trace\":";
+      s += req.trace ? "true" : "false";
+      break;
     case RequestOp::kUnregister:
       s += ",\"name\":\"" + JsonEscape(req.name) + "\"";
       break;
@@ -201,6 +209,21 @@ StatusOr<Request> ParseRequest(std::string_view line) {
           ok = GetBool(value, &req.trace);
         }
         break;
+      case RequestOp::kRunPlan:
+        if (key == "name" && value.is_string()) {
+          req.name = value.str;
+          ok = true;
+        } else if (key == "plan" && value.is_string()) {
+          req.plan = value.str;
+          ok = true;
+        } else if (key == "priority" && value.is_string()) {
+          int i;
+          ok = ParseName(kPriorityNames, value.str, &i);
+          if (ok) req.priority = static_cast<exec::QueryPriority>(i);
+        } else if (key == "trace") {
+          ok = GetBool(value, &req.trace);
+        }
+        break;
       case RequestOp::kUnregister:
         if (key == "name" && value.is_string()) {
           req.name = value.str;
@@ -256,6 +279,39 @@ std::string SerializeResponse(const Response& resp) {
       s += ",\"queue_ms\":" + JsonNumber(resp.queue_ms);
       s += ",\"threads\":" + JsonNumber(resp.threads);
       break;
+    case ResponseOp::kPlanResult: {
+      s += ",\"name\":\"" + JsonEscape(resp.name) + "\"";
+      s += ",\"plan\":\"" + JsonEscape(resp.plan) + "\"";
+      s += ",\"count\":" + JsonNumber(static_cast<double>(resp.count));
+      s += ",\"checksum\":\"" + HexU64(resp.checksum) + "\"";
+      s += ",\"verified\":";
+      s += resp.verified ? "true" : "false";
+      s += ",\"rows_scanned\":" +
+           JsonNumber(static_cast<double>(resp.rows_scanned));
+      s += ",\"rows_filtered\":" +
+           JsonNumber(static_cast<double>(resp.rows_filtered));
+      s += ",\"rows_joined\":" +
+           JsonNumber(static_cast<double>(resp.rows_joined));
+      s += ",\"groups\":[";
+      bool first = true;
+      for (const PlanGroupEntry& g : resp.groups) {
+        if (!first) s += ',';
+        first = false;
+        s += "{\"key\":\"" + HexU64(g.key) + "\",\"aggs\":[";
+        bool afirst = true;
+        for (uint64_t a : g.aggs) {
+          if (!afirst) s += ',';
+          afirst = false;
+          s += JsonNumber(static_cast<double>(a));
+        }
+        s += "]}";
+      }
+      s += "]";
+      s += ",\"exec_ms\":" + JsonNumber(resp.exec_ms);
+      s += ",\"queue_ms\":" + JsonNumber(resp.queue_ms);
+      s += ",\"threads\":" + JsonNumber(resp.threads);
+      break;
+    }
     case ResponseOp::kRelations: {
       s += ",\"relations\":[";
       bool first = true;
@@ -349,6 +405,56 @@ StatusOr<Response> ParseResponse(std::string_view line) {
           ok = ParseHexU64(value.str, &resp.checksum);
         } else if (key == "verified") {
           ok = GetBool(value, &resp.verified);
+        } else if (key == "exec_ms" && value.is_number()) {
+          resp.exec_ms = value.number;
+          ok = true;
+        } else if (key == "queue_ms" && value.is_number()) {
+          resp.queue_ms = value.number;
+          ok = true;
+        } else if (key == "threads") {
+          ok = GetU32(value, &resp.threads);
+        }
+        break;
+      case ResponseOp::kPlanResult:
+        if (key == "name" && value.is_string()) {
+          resp.name = value.str;
+          ok = true;
+        } else if (key == "plan" && value.is_string()) {
+          resp.plan = value.str;
+          ok = true;
+        } else if (key == "count") {
+          ok = GetU64(value, &resp.count);
+        } else if (key == "checksum" && value.is_string()) {
+          ok = ParseHexU64(value.str, &resp.checksum);
+        } else if (key == "verified") {
+          ok = GetBool(value, &resp.verified);
+        } else if (key == "rows_scanned") {
+          ok = GetU64(value, &resp.rows_scanned);
+        } else if (key == "rows_filtered") {
+          ok = GetU64(value, &resp.rows_filtered);
+        } else if (key == "rows_joined") {
+          ok = GetU64(value, &resp.rows_joined);
+        } else if (key == "groups" && value.is_array()) {
+          ok = true;
+          for (const JsonValue& item : value.items) {
+            if (!item.is_object()) return Bad("group entry not an object");
+            PlanGroupEntry group;
+            for (const auto& [k, v] : item.members) {
+              bool fok = false;
+              if (k == "key" && v.is_string()) {
+                fok = ParseHexU64(v.str, &group.key);
+              } else if (k == "aggs" && v.is_array()) {
+                fok = true;
+                for (const JsonValue& a : v.items) {
+                  uint64_t acc;
+                  if (!GetU64(a, &acc)) return Bad("bad group accumulator");
+                  group.aggs.push_back(acc);
+                }
+              }
+              if (!fok) return Bad("bad group field \"" + k + "\"");
+            }
+            resp.groups.push_back(std::move(group));
+          }
         } else if (key == "exec_ms" && value.is_number()) {
           resp.exec_ms = value.number;
           ok = true;

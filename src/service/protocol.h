@@ -40,6 +40,7 @@ enum class RequestOp : uint8_t {
   kRegister,    ///< build + map a named relation pair, keep it resident
   kList,        ///< enumerate registered relations
   kQuery,       ///< run one join against a registered relation
+  kRunPlan,     ///< run a named built-in query plan (exec/op/plan.h)
   kStats,       ///< aggregate service counters
   kUnregister,  ///< drop a registered relation (fails busy while queried)
   kShutdown,    ///< ask the daemon to drain and exit
@@ -52,6 +53,7 @@ enum class ResponseOp : uint8_t {
   kRegistered,    ///< answers register
   kRelations,     ///< answers list
   kResult,        ///< answers query (success)
+  kPlanResult,    ///< answers run_plan (success)
   kStats,         ///< answers stats
   kUnregistered,  ///< answers unregister
   kDraining,      ///< answers shutdown: drain begun
@@ -75,11 +77,11 @@ enum class ErrorCode : uint8_t {
 /// arrays are what the protocol-docs coverage check greps for — every
 /// string here must appear in docs/PROTOCOL.md.
 inline constexpr const char* kRequestOps[] = {
-    "hello", "register", "list", "query",
+    "hello", "register", "list", "query", "run_plan",
     "stats", "unregister", "shutdown", "ping",
 };
 inline constexpr const char* kResponseOps[] = {
-    "welcome", "registered", "relations", "result", "stats",
+    "welcome", "registered", "relations", "result", "plan_result", "stats",
     "unregistered", "draining", "pong", "error",
 };
 inline constexpr const char* kErrorCodes[] = {
@@ -114,6 +116,10 @@ struct Request {
   join::Algorithm algorithm = join::Algorithm::kNestedLoops;
   exec::QueryPriority priority = exec::QueryPriority::kNormal;
   bool trace = false;  ///< also write a per-query wall-clock trace
+
+  // run_plan: which built-in plan (exec::op::kPlanNames; `name` is the
+  // relation, `priority`/`trace` apply as for query).
+  std::string plan;
 };
 
 /// Metadata of one registered relation (the `relations` response).
@@ -132,6 +138,15 @@ struct RelationInfo {
 struct StatEntry {
   std::string name;
   uint64_t value = 0;
+};
+
+/// One output group of a `plan_result` response. The key is carried as a
+/// "0x..." hex string on the wire (it can be a full 64-bit column value);
+/// accumulators ride as JSON numbers — exact to 2^53, far beyond any
+/// count/sum the service-scale relations produce.
+struct PlanGroupEntry {
+  uint64_t key = 0;
+  std::vector<uint64_t> aggs;
 };
 
 /// One server response. `op` selects which fields are meaningful.
@@ -163,6 +178,14 @@ struct Response {
 
   // stats:
   std::vector<StatEntry> stats;
+
+  // plan_result (also uses count = output rows, checksum, verified,
+  // exec_ms, queue_ms, threads):
+  std::string plan;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_filtered = 0;
+  uint64_t rows_joined = 0;
+  std::vector<PlanGroupEntry> groups;
 };
 
 /// Serializes to a single JSON line WITHOUT the trailing newline (the

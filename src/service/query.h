@@ -24,7 +24,9 @@
 
 namespace mmjoin::svc {
 
-/// Outcome of one query, ready for a `result` response.
+/// Outcome of one query, ready for a `result` response. RunPlan
+/// additionally fills the plan fields for a `plan_result` response
+/// (count = output rows).
 struct QueryOutcome {
   uint64_t count = 0;
   uint64_t checksum = 0;
@@ -33,6 +35,12 @@ struct QueryOutcome {
   double queue_ms = 0;  ///< admission wait
   uint32_t threads = 0;
   uint64_t retry_after_ms = 0;  ///< set only on overloaded rejections
+
+  // run_plan only:
+  uint64_t rows_scanned = 0;
+  uint64_t rows_filtered = 0;
+  uint64_t rows_joined = 0;
+  std::vector<PlanGroupEntry> groups;
 };
 
 class QueryEngine {
@@ -52,6 +60,11 @@ class QueryEngine {
   /// is set), InvalidArgument "draining" (drain in progress), anything
   /// else = internal. On error the outcome still carries queue_ms.
   Status Run(const Request& req, uint64_t query_id, QueryOutcome* outcome);
+
+  /// Runs `req` (op must be kRunPlan): resolves the named built-in plan
+  /// (InvalidArgument if unknown), then the same pin/admission/artifact
+  /// flow as Run with the plan executor in place of a join driver.
+  Status RunPlan(const Request& req, uint64_t query_id, QueryOutcome* outcome);
 
  private:
   RelationCatalog* catalog_;

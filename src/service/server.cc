@@ -202,6 +202,8 @@ Response Server::HandleRequest(const Request& req) {
     }
     case RequestOp::kQuery:
       return HandleQuery(req);
+    case RequestOp::kRunPlan:
+      return HandleRunPlan(req);
     case RequestOp::kShutdown:
       resp.op = ResponseOp::kDraining;
       BeginDrain();
@@ -245,6 +247,63 @@ Response Server::HandleQuery(const Request& req) {
     resp.count = outcome.count;
     resp.checksum = outcome.checksum;
     resp.verified = outcome.verified;
+    resp.exec_ms = outcome.exec_ms;
+    resp.queue_ms = outcome.queue_ms;
+    resp.threads = outcome.threads;
+    return resp;
+  }
+  resp.op = ResponseOp::kError;
+  resp.message = st.message();
+  if (drained) {
+    resp.error = ErrorCode::kDraining;
+  } else if (st.code() == StatusCode::kResourceExhausted) {
+    resp.error = ErrorCode::kOverloaded;
+    resp.retry_after_ms = outcome.retry_after_ms;
+  } else if (st.code() == StatusCode::kNotFound) {
+    resp.error = ErrorCode::kNotFound;
+  } else if (st.code() == StatusCode::kInvalidArgument) {
+    resp.error = ErrorCode::kBadRequest;
+  } else {
+    resp.error = ErrorCode::kInternal;
+  }
+  return resp;
+}
+
+Response Server::HandleRunPlan(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  const uint64_t qid = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  QueryOutcome outcome;
+  const Status st = engine_.RunPlan(req, qid, &outcome);
+  const bool drained =
+      st.code() == StatusCode::kInvalidArgument && st.message() == "draining";
+  {
+    // Plans share the query counters (same admission path) and add their
+    // own completion count.
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (st.ok()) {
+      aggregate_.counter("svc.queries.admitted").Inc();
+      aggregate_.counter("svc.queries.completed").Inc();
+      aggregate_.counter("svc.plans.completed").Inc();
+      aggregate_.histogram("svc.queue_ms").Record(outcome.queue_ms);
+      aggregate_.histogram("svc.exec_ms").Record(outcome.exec_ms);
+    } else if (st.code() == StatusCode::kResourceExhausted || drained) {
+      aggregate_.counter("svc.queries.rejected").Inc();
+    } else {
+      aggregate_.counter("svc.queries.failed").Inc();
+    }
+  }
+  if (st.ok()) {
+    resp.op = ResponseOp::kPlanResult;
+    resp.name = req.name;
+    resp.plan = req.plan;
+    resp.count = outcome.count;
+    resp.checksum = outcome.checksum;
+    resp.verified = outcome.verified;
+    resp.rows_scanned = outcome.rows_scanned;
+    resp.rows_filtered = outcome.rows_filtered;
+    resp.rows_joined = outcome.rows_joined;
+    resp.groups = std::move(outcome.groups);
     resp.exec_ms = outcome.exec_ms;
     resp.queue_ms = outcome.queue_ms;
     resp.threads = outcome.threads;

@@ -93,6 +93,7 @@ class Server {
   /// Dispatches one parsed request; returns the response to write.
   Response HandleRequest(const Request& req);
   Response HandleQuery(const Request& req);
+  Response HandleRunPlan(const Request& req);
 
   ServerOptions options_;
   exec::SharedWorkerPool pool_;

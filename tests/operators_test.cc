@@ -1,0 +1,466 @@
+// Operator-layer tests (exec/op/): per-stage behavior of the push-based
+// plan operators, the plan validator and registry, and the identity
+// matrix the refactor is accountable to — every refactored join driver
+// and every built-in plan must produce bit-identical counts/checksums on
+// the simulated and real backends under both schedules.
+//
+// The per-stage tests drive operators through full plan runs with custom
+// PlanSpecs rather than poking Push() directly: the executor IS the
+// contract (per-slot state sized by Open, serial merge at Close), and a
+// custom spec reaches every edge — empty input, 0/1/many groups, 0%/100%
+// filter selectivity — on both backends with the serial reference
+// evaluator as oracle.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "join/grace.h"
+#include "join/hybrid_hash.h"
+#include "join/join_common.h"
+#include "join/nested_loops.h"
+#include "join/sort_merge.h"
+#include "mmap/mm_relation.h"
+#include "mmap/mmap_join.h"
+#include "mmap/segment_manager.h"
+#include "rel/generator.h"
+#include "sim/sim_env.h"
+
+namespace mmjoin {
+namespace {
+
+using exec::op::AggOp;
+using exec::op::AggSpec;
+using exec::op::Column;
+using exec::op::ColumnValue;
+using exec::op::GroupsChecksum;
+using exec::op::PlanRunResult;
+using exec::op::PlanSpec;
+using exec::op::Predicate;
+
+rel::RelationConfig Shape(uint64_t n, uint32_t d, double theta,
+                          uint64_t seed) {
+  rel::RelationConfig rc;
+  rc.r_objects = rc.s_objects = n;
+  rc.num_partitions = d;
+  rc.zipf_theta = theta;
+  rc.seed = seed;
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Pure pieces: pseudo-columns, validation, registry, checksum convention
+// ---------------------------------------------------------------------------
+
+TEST(ColumnsTest, PseudoColumnRangesAndDeterminism) {
+  for (uint64_t r_id = 0; r_id < 5000; ++r_id) {
+    const uint64_t qty = ColumnValue(Column::kQty, r_id, 0);
+    const uint64_t price = ColumnValue(Column::kPrice, r_id, 0);
+    const uint64_t disc = ColumnValue(Column::kDiscount, r_id, 0);
+    const uint64_t date = ColumnValue(Column::kDate, r_id, 0);
+    const uint64_t flag = ColumnValue(Column::kFlag, r_id, 0);
+    EXPECT_GE(qty, 1u);
+    EXPECT_LE(qty, 50u);
+    EXPECT_GE(price, 10000u);
+    EXPECT_LE(price, 99999u);
+    EXPECT_LE(disc, 10u);
+    EXPECT_LE(date, 2465u);
+    EXPECT_LE(flag, 2u);
+    // Same row, same value — the columns are pure functions of identity.
+    EXPECT_EQ(qty, ColumnValue(Column::kQty, r_id, 0));
+  }
+  EXPECT_EQ(ColumnValue(Column::kRId, 77, 0), 77u);
+  EXPECT_EQ(ColumnValue(Column::kSKey, 0, 1234), 1234u);
+  EXPECT_EQ(ColumnValue(Column::kSPriority, 0, 1234), 1234u % 5);
+}
+
+TEST(ColumnsTest, SColumnsAreFlagged) {
+  EXPECT_TRUE(exec::op::ColumnNeedsS(Column::kSKey));
+  EXPECT_TRUE(exec::op::ColumnNeedsS(Column::kSPriority));
+  EXPECT_FALSE(exec::op::ColumnNeedsS(Column::kQty));
+  EXPECT_FALSE(exec::op::ColumnNeedsS(Column::kRId));
+}
+
+TEST(PlanSpecTest, ValidateRejectsSColumnsWithoutProbe) {
+  PlanSpec spec;
+  spec.name = "bad";
+  spec.filters.push_back(Predicate{Column::kSPriority, 0, 3});
+  EXPECT_FALSE(exec::op::ValidatePlan(spec).ok());
+  spec.probe_s = true;
+  spec.aggs.push_back(AggSpec{AggOp::kCount, Column::kRId, Column::kRId});
+  EXPECT_TRUE(exec::op::ValidatePlan(spec).ok());
+}
+
+TEST(PlanSpecTest, ValidateRejectsGroupingWithoutAggregates) {
+  PlanSpec spec;
+  spec.name = "bad";
+  spec.group_by = Column::kFlag;
+  EXPECT_FALSE(exec::op::ValidatePlan(spec).ok());
+  spec.aggs.push_back(AggSpec{AggOp::kCount, Column::kRId, Column::kRId});
+  EXPECT_TRUE(exec::op::ValidatePlan(spec).ok());
+}
+
+TEST(PlanSpecTest, BuiltinRegistryIsComplete) {
+  for (const char* name : exec::op::kPlanNames) {
+    const PlanSpec* spec = exec::op::FindPlan(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_TRUE(exec::op::ValidatePlan(*spec).ok()) << name;
+  }
+  EXPECT_EQ(exec::op::FindPlan("nope"), nullptr);
+  EXPECT_EQ(exec::op::PlanDescriptions().size(),
+            std::size(exec::op::kPlanNames));
+}
+
+TEST(PlanSpecTest, GroupsChecksumIsOrderAndContentSensitive) {
+  std::vector<exec::op::GroupRow> a{{1, {10, 20}}, {2, {30, 40}}};
+  std::vector<exec::op::GroupRow> mutated = a;
+  mutated[1].aggs[0] = 31;
+  EXPECT_EQ(GroupsChecksum({}), 0u);
+  EXPECT_NE(GroupsChecksum(a), GroupsChecksum(mutated));
+  EXPECT_EQ(GroupsChecksum(a), GroupsChecksum(a));
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage behavior through full plan runs (sim + real, reference oracle)
+// ---------------------------------------------------------------------------
+
+class OperatorStageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = ::testing::TempDir() + "opstage_" + std::to_string(::getpid()) +
+           "_" + test_name;
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    mgr_ = std::make_unique<mm::SegmentManager>(dir_);
+  }
+
+  // Runs `spec` on the costed simulator; asserts the oracle check passed.
+  PlanRunResult RunSim(const rel::RelationConfig& rc, const PlanSpec& spec) {
+    sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+    mc.num_disks = rc.num_partitions;
+    sim::SimEnv env(mc);
+    auto workload = rel::BuildWorkload(&env, rc);
+    EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+    bool verified = false;
+    auto result =
+        exec::op::RunPlanSim(&env, *workload, join::JoinParams{}, spec,
+                             &verified);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(verified) << spec.name;
+    return *result;
+  }
+
+  // Runs `spec` on the real backend; asserts the oracle check passed.
+  PlanRunResult RunReal(const rel::RelationConfig& rc, const PlanSpec& spec,
+                        const std::string& prefix,
+                        const mm::MmJoinOptions& options = {}) {
+    auto workload = mm::BuildMmWorkload(mgr_.get(), prefix, rc);
+    EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+    auto result = mm::MmRunPlan(*workload, spec, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->verified) << spec.name;
+    return result->plan;
+  }
+
+  std::string dir_;
+  std::unique_ptr<mm::SegmentManager> mgr_;
+};
+
+TEST_F(OperatorStageTest, FilterSelectivityEdges) {
+  const rel::RelationConfig rc = Shape(6000, 3, 0.0, 11);
+
+  // 100%: the full-range predicate keeps every row.
+  PlanSpec all;
+  all.name = "all";
+  all.filters.push_back(Predicate{Column::kDate, 0, ~uint64_t{0}});
+  PlanRunResult r = RunReal(rc, all, "all");
+  EXPECT_EQ(r.rows_scanned, rc.r_objects);
+  EXPECT_EQ(r.rows_filtered, rc.r_objects);
+  EXPECT_EQ(r.output_rows, rc.r_objects);
+
+  // 0%: an empty half-open interval keeps nothing; the sink sees no rows.
+  PlanSpec none;
+  none.name = "none";
+  none.filters.push_back(Predicate{Column::kDate, 5, 5});
+  r = RunReal(rc, none, "none");
+  EXPECT_EQ(r.rows_scanned, rc.r_objects);
+  EXPECT_EQ(r.rows_filtered, 0u);
+  EXPECT_EQ(r.output_rows, 0u);
+  EXPECT_EQ(r.checksum, 0u);
+
+  // Conjunction: two predicates never pass more rows than either alone.
+  PlanSpec conj;
+  conj.name = "conj";
+  conj.filters.push_back(Predicate{Column::kDate, 0, 1233});
+  conj.filters.push_back(Predicate{Column::kQty, 1, 26});
+  r = RunReal(rc, conj, "conj");
+  EXPECT_GT(r.rows_filtered, 0u);
+  EXPECT_LT(r.rows_filtered, rc.r_objects);
+  EXPECT_EQ(r.output_rows, r.rows_filtered);
+}
+
+TEST_F(OperatorStageTest, GroupByCardinalities) {
+  const rel::RelationConfig rc = Shape(5000, 2, 0.0, 23);
+
+  // Zero groups: empty input produces empty output, not a zeroed group.
+  PlanSpec zero;
+  zero.name = "zero";
+  zero.filters.push_back(Predicate{Column::kDate, 0, 0});
+  zero.group_by = Column::kFlag;
+  zero.aggs.push_back(AggSpec{AggOp::kCount, Column::kRId, Column::kRId});
+  PlanRunResult r = RunReal(rc, zero, "zero");
+  EXPECT_EQ(r.groups.size(), 0u);
+  EXPECT_EQ(r.output_rows, 0u);
+  EXPECT_EQ(r.checksum, 0u);
+
+  // One group: a global aggregate (no group column) lands in key 0; the
+  // counts/sums/extrema cover every accumulator kind at once.
+  PlanSpec global;
+  global.name = "global";
+  global.aggs.push_back(AggSpec{AggOp::kCount, Column::kRId, Column::kRId});
+  global.aggs.push_back(AggSpec{AggOp::kSum, Column::kQty, Column::kRId});
+  global.aggs.push_back(AggSpec{AggOp::kMin, Column::kQty, Column::kRId});
+  global.aggs.push_back(AggSpec{AggOp::kMax, Column::kQty, Column::kRId});
+  r = RunReal(rc, global, "global");
+  ASSERT_EQ(r.groups.size(), 1u);
+  EXPECT_EQ(r.groups[0].key, 0u);
+  EXPECT_EQ(r.groups[0].aggs[0], rc.r_objects);
+  // sum/min/max of qty must be consistent: n*min <= sum <= n*max.
+  EXPECT_GE(r.groups[0].aggs[1], rc.r_objects * r.groups[0].aggs[2]);
+  EXPECT_LE(r.groups[0].aggs[1], rc.r_objects * r.groups[0].aggs[3]);
+  EXPECT_GE(r.groups[0].aggs[2], 1u);
+  EXPECT_LE(r.groups[0].aggs[3], 50u);
+
+  // Many groups: grouping by flag yields its full 3-value domain, keys
+  // sorted, counts totalling the input.
+  PlanSpec flags;
+  flags.name = "flags";
+  flags.group_by = Column::kFlag;
+  flags.aggs.push_back(AggSpec{AggOp::kCount, Column::kRId, Column::kRId});
+  r = RunReal(rc, flags, "flags");
+  ASSERT_EQ(r.groups.size(), 3u);
+  uint64_t total = 0;
+  for (size_t g = 0; g < r.groups.size(); ++g) {
+    EXPECT_EQ(r.groups[g].key, g);
+    total += r.groups[g].aggs[0];
+  }
+  EXPECT_EQ(total, rc.r_objects);
+}
+
+TEST_F(OperatorStageTest, EmptyInputPlansAcrossSinks) {
+  const rel::RelationConfig rc = Shape(4096, 2, 0.0, 31);
+  // Collect sink and GroupBy sink both see zero rows; both report empty
+  // results, on both backends, and the reference oracle agrees (asserted
+  // inside the Run helpers).
+  for (bool probe : {false, true}) {
+    PlanSpec spec;
+    spec.name = probe ? "empty_probe" : "empty";
+    spec.filters.push_back(Predicate{Column::kQty, 0, 1});  // qty >= 1 always
+    spec.probe_s = probe;
+    PlanRunResult sim = RunSim(rc, spec);
+    PlanRunResult real =
+        RunReal(rc, spec, probe ? "emptyp" : "empty");
+    for (const PlanRunResult* r : {&sim, &real}) {
+      EXPECT_EQ(r->rows_filtered, 0u);
+      EXPECT_EQ(r->rows_joined, 0u);
+      EXPECT_EQ(r->output_rows, 0u);
+      EXPECT_EQ(r->checksum, 0u);
+      EXPECT_TRUE(r->groups.empty());
+    }
+  }
+}
+
+TEST_F(OperatorStageTest, ProbeCollectReproducesTheJoin) {
+  // Scan → ProbeS → Collect with no filter IS the pointer join: it must
+  // reproduce the workload's expected join count and checksum exactly.
+  const rel::RelationConfig rc = Shape(8192, 4, 0.5, 20260808);
+  PlanSpec spec;
+  spec.name = "join";
+  spec.probe_s = true;
+
+  auto workload = mm::BuildMmWorkload(mgr_.get(), "join", rc);
+  ASSERT_TRUE(workload.ok()) << workload.status().ToString();
+  auto result = mm::MmRunPlan(*workload, spec, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->verified);
+  EXPECT_EQ(result->plan.output_rows, workload->expected_output_count);
+  EXPECT_EQ(result->plan.checksum, workload->expected_checksum);
+  EXPECT_EQ(result->plan.rows_joined, rc.r_objects);
+
+  PlanRunResult sim = RunSim(rc, spec);
+  EXPECT_EQ(sim.output_rows, result->plan.output_rows);
+  EXPECT_EQ(sim.checksum, result->plan.checksum);
+}
+
+// ---------------------------------------------------------------------------
+// Identity matrices: the refactor's accountability tests
+// ---------------------------------------------------------------------------
+
+struct AlgoCase {
+  const char* name;
+  join::Algorithm algorithm;
+};
+
+// Every refactored driver: sim and real, static and stealing schedules,
+// one identical count/checksum. This is the 4 joins × 2 backends × 2
+// schedules matrix from the operator-layer refactor.
+class DriverIdentityTest : public ::testing::TestWithParam<AlgoCase> {
+ protected:
+  void SetUp() override {
+    std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : test_name) {
+      if (c == '/') c = '_';
+    }
+    dir_ = ::testing::TempDir() + "oplayer_" + std::to_string(::getpid()) +
+           "_" + test_name;
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    mgr_ = std::make_unique<mm::SegmentManager>(dir_);
+  }
+
+  StatusOr<join::JoinRunResult> RunSim(const rel::RelationConfig& rc) {
+    sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+    mc.num_disks = rc.num_partitions;
+    sim::SimEnv env(mc);
+    auto workload = rel::BuildWorkload(&env, rc);
+    if (!workload.ok()) return workload.status();
+    switch (GetParam().algorithm) {
+      case join::Algorithm::kNestedLoops:
+        return join::RunNestedLoops(&env, *workload, join::JoinParams{});
+      case join::Algorithm::kSortMerge:
+        return join::RunSortMerge(&env, *workload, join::JoinParams{});
+      case join::Algorithm::kGrace:
+        return join::RunGrace(&env, *workload, join::JoinParams{});
+      case join::Algorithm::kHybridHash:
+        return join::RunHybridHash(&env, *workload, join::JoinParams{});
+    }
+    return Status::InvalidArgument("bad algorithm");
+  }
+
+  StatusOr<mm::MmJoinResult> RunReal(const rel::RelationConfig& rc,
+                                     exec::Schedule schedule,
+                                     const std::string& prefix) {
+    auto workload = mm::BuildMmWorkload(mgr_.get(), prefix, rc);
+    if (!workload.ok()) return workload.status();
+    mm::MmJoinOptions options;
+    options.schedule = schedule;
+    switch (GetParam().algorithm) {
+      case join::Algorithm::kNestedLoops:
+        return mm::MmNestedLoops(*workload, options);
+      case join::Algorithm::kSortMerge:
+        return mm::MmSortMerge(*workload, options);
+      case join::Algorithm::kGrace:
+        return mm::MmGrace(*workload, options);
+      case join::Algorithm::kHybridHash:
+        return mm::MmHybridHash(*workload, options);
+    }
+    return Status::InvalidArgument("bad algorithm");
+  }
+
+  std::string dir_;
+  std::unique_ptr<mm::SegmentManager> mgr_;
+};
+
+TEST_P(DriverIdentityTest, BackendsAndSchedulesAgree) {
+  const rel::RelationConfig rc = Shape(6144, 3, 0.4, 991);
+
+  auto sim = RunSim(rc);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  ASSERT_TRUE(sim->verified);
+
+  auto real_static = RunReal(rc, exec::Schedule::kStatic, "st");
+  ASSERT_TRUE(real_static.ok()) << real_static.status().ToString();
+  auto real_stealing = RunReal(rc, exec::Schedule::kStealing, "ws");
+  ASSERT_TRUE(real_stealing.ok()) << real_stealing.status().ToString();
+
+  EXPECT_TRUE(real_static->verified);
+  EXPECT_TRUE(real_stealing->verified);
+  EXPECT_EQ(sim->output_count, real_static->output_count);
+  EXPECT_EQ(sim->output_checksum, real_static->output_checksum);
+  EXPECT_EQ(real_static->output_count, real_stealing->output_count);
+  EXPECT_EQ(real_static->output_checksum, real_stealing->output_checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, DriverIdentityTest,
+    ::testing::Values(AlgoCase{"nested_loops", join::Algorithm::kNestedLoops},
+                      AlgoCase{"sort_merge", join::Algorithm::kSortMerge},
+                      AlgoCase{"grace", join::Algorithm::kGrace},
+                      AlgoCase{"hybrid_hash", join::Algorithm::kHybridHash}),
+    [](const ::testing::TestParamInfo<AlgoCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Every built-in plan: sim, real/static, real/stealing, real/scalar-kernel —
+// one identical result (counts, groups, checksum).
+class PlanIdentityTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : test_name) {
+      if (c == '/') c = '_';
+    }
+    dir_ = ::testing::TempDir() + "plan_" + std::to_string(::getpid()) + "_" +
+           test_name;
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    mgr_ = std::make_unique<mm::SegmentManager>(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<mm::SegmentManager> mgr_;
+};
+
+TEST_P(PlanIdentityTest, BackendsSchedulesAndKernelsAgree) {
+  const rel::RelationConfig rc = Shape(8192, 4, 0.5, 20260808);
+  const exec::op::PlanSpec* spec = exec::op::FindPlan(GetParam());
+  ASSERT_NE(spec, nullptr);
+
+  sim::MachineConfig mc = sim::MachineConfig::SequentSymmetry1996();
+  mc.num_disks = rc.num_partitions;
+  sim::SimEnv env(mc);
+  auto sim_workload = rel::BuildWorkload(&env, rc);
+  ASSERT_TRUE(sim_workload.ok());
+  bool sim_verified = false;
+  auto sim = exec::op::RunPlanSim(&env, *sim_workload, join::JoinParams{},
+                                  *spec, &sim_verified);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_TRUE(sim_verified);
+
+  auto workload = mm::BuildMmWorkload(mgr_.get(), "plan", rc);
+  ASSERT_TRUE(workload.ok());
+  struct Variant {
+    const char* name;
+    exec::Schedule schedule;
+    exec::DerefKernel kernel;
+  };
+  const Variant variants[] = {
+      {"static", exec::Schedule::kStatic, exec::DerefKernel::kPrefetch},
+      {"stealing", exec::Schedule::kStealing, exec::DerefKernel::kPrefetch},
+      {"scalar", exec::Schedule::kStealing, exec::DerefKernel::kScalar},
+  };
+  for (const Variant& v : variants) {
+    mm::MmJoinOptions options;
+    options.schedule = v.schedule;
+    options.kernel = v.kernel;
+    auto real = mm::MmRunPlan(*workload, *spec, options);
+    ASSERT_TRUE(real.ok()) << v.name << ": " << real.status().ToString();
+    EXPECT_TRUE(real->verified) << v.name;
+    EXPECT_TRUE(exec::op::PlanResultsMatch(*sim, real->plan)) << v.name;
+    EXPECT_EQ(sim->checksum, real->plan.checksum) << v.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlans, PlanIdentityTest,
+                         ::testing::ValuesIn(exec::op::kPlanNames),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace mmjoin

@@ -4,7 +4,8 @@
 // documents into one artifact:
 //
 //   metrics_validate [--merge OUT.json]
-//                    [--baseline BASE.json --tolerance PCT [--bench NAME]]
+//                    [--baseline BASE.json --tolerance PCT [--bench NAME]
+//                     [--hist HISTOGRAM]]
 //                    FILE...
 //
 // Every FILE must parse as a complete JSON document AND carry the bench
@@ -26,6 +27,9 @@
 // adding a new bench never requires regenerating the baseline in the same
 // change. --bench restricts the diff to one bench name (CI gates
 // real_backend_join only; the figure benches are simulated-time).
+// --hist picks a different histogram for the diff — the query-plan bench
+// carries plan.elapsed_ms instead of join.elapsed_ms
+// (scripts/bench_queries.sh passes --hist plan.elapsed_ms).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,14 +51,15 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-/// join.elapsed_ms histogram minimum of one bench dump, or false if the
-/// dump carries no such histogram.
-bool ElapsedMin(const mmjoin::obs::JsonValue& dump, double* out) {
+/// `hist` histogram minimum of one bench dump, or false if the dump
+/// carries no such histogram.
+bool ElapsedMin(const mmjoin::obs::JsonValue& dump, const std::string& hist,
+                double* out) {
   const mmjoin::obs::JsonValue* metrics = dump.Find("metrics");
   if (!metrics || !metrics->is_object()) return false;
   const mmjoin::obs::JsonValue* hists = metrics->Find("histograms");
   if (!hists || !hists->is_object()) return false;
-  const mmjoin::obs::JsonValue* h = hists->Find("join.elapsed_ms");
+  const mmjoin::obs::JsonValue* h = hists->Find(hist);
   if (!h || !h->is_object()) return false;
   const mmjoin::obs::JsonValue* min = h->Find("min");
   if (!min || !min->is_number()) return false;
@@ -82,6 +87,7 @@ int main(int argc, char** argv) {
   std::string merge_path;
   std::string baseline_path;
   std::string bench_filter;
+  std::string hist_name = "join.elapsed_ms";
   double tolerance_pct = 25.0;
   std::vector<std::string> files;
   for (int a = 1; a < argc; ++a) {
@@ -100,6 +106,8 @@ int main(int argc, char** argv) {
       tolerance_pct = std::strtod(need_value("--tolerance"), nullptr);
     } else if (std::strcmp(argv[a], "--bench") == 0) {
       bench_filter = need_value("--bench");
+    } else if (std::strcmp(argv[a], "--hist") == 0) {
+      hist_name = need_value("--hist");
     } else {
       files.push_back(argv[a]);
     }
@@ -107,8 +115,8 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: metrics_validate [--merge OUT.json] "
-                 "[--baseline BASE.json --tolerance PCT [--bench NAME]] "
-                 "FILE...\n");
+                 "[--baseline BASE.json --tolerance PCT [--bench NAME] "
+                 "[--hist HISTOGRAM]] FILE...\n");
     return 2;
   }
 
@@ -169,14 +177,33 @@ int main(int argc, char** argv) {
         counters && counters->is_object()
             ? counters->Find("join.scatter.tuples")
             : nullptr;
+    std::string scatter_col = "scatter=-";
     if (sc_flushes && sc_flushes->is_number() && sc_tuples &&
         sc_tuples->is_number()) {
-      std::printf("ok\t%s\tbench=%s\tscatter=%.0f/%.0f\n", path.c_str(),
-                  bench->str.c_str(), sc_flushes->number, sc_tuples->number);
-    } else {
-      std::printf("ok\t%s\tbench=%s\tscatter=-\n", path.c_str(),
-                  bench->str.c_str());
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "scatter=%.0f/%.0f",
+                    sc_flushes->number, sc_tuples->number);
+      scatter_col = buf;
     }
+    // Queries column: plan runs / output rows when the dump carries the
+    // operator-layer telemetry, "-" for benches that never ran a plan.
+    const mmjoin::obs::JsonValue* plan_runs =
+        counters && counters->is_object() ? counters->Find("plan.runs")
+                                          : nullptr;
+    const mmjoin::obs::JsonValue* plan_rows =
+        counters && counters->is_object()
+            ? counters->Find("plan.output_rows")
+            : nullptr;
+    std::string queries_col = "queries=-";
+    if (plan_runs && plan_runs->is_number() && plan_rows &&
+        plan_rows->is_number()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "queries=%.0f/%.0f", plan_runs->number,
+                    plan_rows->number);
+      queries_col = buf;
+    }
+    std::printf("ok\t%s\tbench=%s\t%s\t%s\n", path.c_str(),
+                bench->str.c_str(), scatter_col.c_str(), queries_col.c_str());
 
     if (!baseline_path.empty() &&
         (bench_filter.empty() || bench_filter == bench->str)) {
@@ -186,17 +213,18 @@ int main(int argc, char** argv) {
       if (base_dump == nullptr) {
         std::printf("diff\t%s\tno baseline entry — skipped\n",
                     bench->str.c_str());
-      } else if (!ElapsedMin(*doc, &cur_ms) ||
-                 !ElapsedMin(*base_dump, &base_ms) || base_ms <= 0) {
-        std::printf("diff\t%s\tno join.elapsed_ms to compare — skipped\n",
-                    bench->str.c_str());
+      } else if (!ElapsedMin(*doc, hist_name, &cur_ms) ||
+                 !ElapsedMin(*base_dump, hist_name, &base_ms) ||
+                 base_ms <= 0) {
+        std::printf("diff\t%s\tno %s to compare — skipped\n",
+                    bench->str.c_str(), hist_name.c_str());
       } else {
         const double delta_pct = (cur_ms - base_ms) / base_ms * 100.0;
         const bool regressed = delta_pct > tolerance_pct;
-        std::printf("diff\t%s\tjoin.elapsed_ms min %.2f -> %.2f ms "
+        std::printf("diff\t%s\t%s min %.2f -> %.2f ms "
                     "(%+.1f%%, tolerance %.0f%%)\t%s\n",
-                    bench->str.c_str(), base_ms, cur_ms, delta_pct,
-                    tolerance_pct, regressed ? "REGRESSED" : "ok");
+                    bench->str.c_str(), hist_name.c_str(), base_ms, cur_ms,
+                    delta_pct, tolerance_pct, regressed ? "REGRESSED" : "ok");
         if (regressed) ++regressions;
       }
     }
