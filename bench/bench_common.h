@@ -13,6 +13,7 @@
 
 #include "join/grace.h"
 #include "join/hybrid_hash.h"
+#include "join/index_nl.h"
 #include "join/nested_loops.h"
 #include "join/sort_merge.h"
 #include "model/join_model.h"
@@ -48,6 +49,8 @@ inline StatusOr<join::JoinRunResult> RunAlgorithm(
       return join::RunGrace(env, w, p);
     case join::Algorithm::kHybridHash:
       return join::RunHybridHash(env, w, p);
+    case join::Algorithm::kIndexNestedLoops:
+      return join::RunIndexNestedLoops(env, w, p);
   }
   return Status::InvalidArgument("bad algorithm");
 }

@@ -7,7 +7,7 @@
 //       --disks=4 --theta=0.0 --mem-frac=0.05 --model --passes
 //
 // Flags (all optional):
-//   --algorithm=nl|sm|grace|hh|all  which join to run          [all]
+//   --algorithm=nl|sm|grace|hh|inl|all  which join to run      [all]
 //   --backend=sim|real            costed simulator or real mmap [sim]
 //   --r=N --s=N                   relation sizes in objects    [102400]
 //   --disks=D                     partitions/disks             [4]
@@ -19,6 +19,9 @@
 //   --sync=auto|on|off            phase synchronization (sim)  [auto]
 //   --seed=N                      workload seed
 //   --dir=PATH                    segment directory (real)     [tmp]
+//   --store=DIR                   durable store root (real): persist on
+//                                 first run, warm-reopen thereafter
+//   --msync=none|async|sync       msync policy for --store seals [none]
 //   --threads=N                   worker-thread cap (real)     [cores]
 //   --schedule=static|stealing    partition scheduling (real)  [stealing]
 //   --morsel-tuples=N             tuples per morsel (real)     [16384]
@@ -53,7 +56,7 @@ using namespace mmjoin;
 
 constexpr char kUsage[] =
     "usage: mmjoin_cli [flags]\n"
-    "  --algorithm=nl|sm|grace|hh|all  which join to run          [all]\n"
+    "  --algorithm=nl|sm|grace|hh|inl|all  which join to run      [all]\n"
     "  --backend=sim|real            costed simulator or real mmap [sim]\n"
     "  --r=N --s=N                   relation sizes in objects    [102400]\n"
     "  --disks=D                     partitions/disks             [4]\n"
@@ -83,7 +86,11 @@ constexpr char kUsage[] =
     "  --passes                      print the per-pass breakdown\n"
     "  --plan=q1|q4|q6               run a built-in query plan instead of\n"
     "                                a join (same --backend/knobs; see\n"
-    "                                docs/PROTOCOL.md for the plan shapes)\n";
+    "                                docs/PROTOCOL.md for the plan shapes)\n"
+    "  --store=DIR                   durable store dir (real): reopen the\n"
+    "                                persisted workload if one exists,\n"
+    "                                else build + persist; files are kept\n"
+    "  --msync=none|async|sync       seal policy for --store       [none]\n";
 
 struct Flags {
   std::string algorithm = "all";
@@ -109,6 +116,8 @@ struct Flags {
   bool show_model = false;
   bool show_passes = false;
   std::string plan;
+  std::string store;
+  mm::MsyncPolicy msync = mm::MsyncPolicy::kNone;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -179,6 +188,12 @@ void ParseFlags(int argc, char** argv, Flags* flags) {
       flags->show_passes = true;
     } else if (ParseFlag(argv[i], "--plan", &v)) {
       flags->plan = v;
+    } else if (ParseFlag(argv[i], "--store", &v)) {
+      flags->store = v;
+    } else if (ParseFlag(argv[i], "--msync", &v)) {
+      StatusOr<mm::MsyncPolicy> parsed = mm::ParseMsyncPolicy(v);
+      if (!parsed.ok()) cli::BadFlagValue("mmjoin_cli", argv[i], kUsage);
+      flags->msync = *parsed;
     } else {
       cli::UnknownFlag("mmjoin_cli", argv[i], kUsage);
     }
@@ -203,6 +218,8 @@ int RunOne(join::Algorithm a, const Flags& flags,
         return join::RunSortMerge(&env, *workload, params);
       case join::Algorithm::kHybridHash:
         return join::RunHybridHash(&env, *workload, params);
+      case join::Algorithm::kIndexNestedLoops:
+        return join::RunIndexNestedLoops(&env, *workload, params);
       default:
         return join::RunGrace(&env, *workload, params);
     }
@@ -311,6 +328,8 @@ int RunOneReal(join::Algorithm a, const Flags& flags,
         return mm::MmSortMerge(workload, options);
       case join::Algorithm::kHybridHash:
         return mm::MmHybridHash(workload, options);
+      case join::Algorithm::kIndexNestedLoops:
+        return mm::MmIndexNestedLoops(workload, options);
       default:
         return mm::MmGrace(workload, options);
     }
@@ -448,17 +467,46 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
               real_options.scatter_tuples ? real_options.scatter_tuples
                                           : exec::kDefaultScatterTuples,
               exec::NumaModeName(real_options.numa));
-  std::string dir = flags.dir.empty()
-                        ? "/tmp/mmjoin_cli_" + std::to_string(::getpid())
-                        : flags.dir;
+  const bool durable = !flags.store.empty();
+  std::string dir = durable ? flags.store
+                   : flags.dir.empty()
+                       ? "/tmp/mmjoin_cli_" + std::to_string(::getpid())
+                       : flags.dir;
   ::mkdir(dir.c_str(), 0755);
   mm::SegmentManager mgr(dir);
-  (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
-  auto workload = mm::BuildMmWorkload(&mgr, "cli", flags.relation);
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
-    return 1;
+  StatusOr<mm::MmWorkload> workload = Status::NotFound("unbuilt");
+  if (durable && mm::MmWorkloadStoreExists(mgr, "cli")) {
+    // Warm path: reattach through the sealed openers. A torn store is
+    // refused with a checksum error here — the CI recovery job depends on
+    // that refusal being loud, so it goes to stderr verbatim.
+    workload = mm::OpenMmWorkload(&mgr, "cli");
+    if (!workload.ok()) {
+      std::fprintf(stderr, "store: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("store: reopened %s/cli (|R|=%llu |S|=%llu D=%u)\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(workload->config.r_objects),
+                static_cast<unsigned long long>(workload->config.s_objects),
+                workload->config.num_partitions);
+  } else {
+    (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
+    workload = mm::BuildMmWorkload(&mgr, "cli", flags.relation);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
+    }
+    if (durable) {
+      const Status st =
+          mm::PersistMmWorkload(&mgr, "cli", &*workload, flags.msync);
+      if (!st.ok()) {
+        std::fprintf(stderr, "persist: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("store: persisted %s/cli\n", dir.c_str());
+    }
   }
   int rc = 0;
   for (auto a : algorithms) {
@@ -467,8 +515,10 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
   }
   workload->r_segs.clear();
   workload->s_segs.clear();
-  (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
-  if (flags.dir.empty()) ::rmdir(dir.c_str());
+  if (!durable) {
+    (void)mm::DeleteMmWorkload(&mgr, "cli", flags.relation.num_partitions);
+    if (flags.dir.empty()) ::rmdir(dir.c_str());
+  }
   return rc;
 }
 
@@ -526,9 +576,12 @@ int main(int argc, char** argv) {
     algorithms = {join::Algorithm::kGrace};
   } else if (flags.algorithm == "hh") {
     algorithms = {join::Algorithm::kHybridHash};
+  } else if (flags.algorithm == "inl" || flags.algorithm == "index-nl") {
+    algorithms = {join::Algorithm::kIndexNestedLoops};
   } else if (flags.algorithm == "all") {
     algorithms = {join::Algorithm::kNestedLoops, join::Algorithm::kSortMerge,
-                  join::Algorithm::kGrace, join::Algorithm::kHybridHash};
+                  join::Algorithm::kGrace, join::Algorithm::kHybridHash,
+                  join::Algorithm::kIndexNestedLoops};
   } else {
     std::fprintf(stderr, "bad --algorithm\n");
     return 2;

@@ -29,10 +29,13 @@ constexpr char kUsage[] =
     "usage: mmjoin_client [--socket=PATH] COMMAND [args]\n"
     "  register NAME R S PARTITIONS [THETA] [SEED]  build + keep resident\n"
     "  query NAME ALGORITHM [--priority=low|normal|high] [--trace]\n"
-    "      ALGORITHM: nested-loops | sort-merge | grace | hybrid-hash\n"
+    "      ALGORITHM: nested-loops | sort-merge | grace | hybrid-hash |\n"
+    "                 index-nl\n"
     "  plan NAME PLAN [--priority=low|normal|high] [--trace]\n"
     "      PLAN: q1 | q4 | q6 (built-in TPC-H-style plans)\n"
-    "  unregister NAME    drop a relation\n"
+    "  persist NAME [MSYNC]  seal as a durable store (none|async|sync)\n"
+    "  load NAME          reattach a persisted store (checksums verified)\n"
+    "  unregister NAME    drop a relation (and its store, if durable)\n"
     "  list               registered relations\n"
     "  stats              aggregate service counters\n"
     "  ping               liveness probe\n"
@@ -72,6 +75,14 @@ int PrintResponse(const svc::Response& resp) {
     case svc::ResponseOp::kUnregistered:
       std::printf("unregistered %s\n", resp.name.c_str());
       return 0;
+    case svc::ResponseOp::kPersisted:
+      std::printf("persisted %s (%llu resident bytes)\n", resp.name.c_str(),
+                  static_cast<unsigned long long>(resp.resident_bytes));
+      return 0;
+    case svc::ResponseOp::kLoaded:
+      std::printf("loaded %s (%llu resident bytes)\n", resp.name.c_str(),
+                  static_cast<unsigned long long>(resp.resident_bytes));
+      return 0;
     case svc::ResponseOp::kResult:
       std::printf("result: count=%llu checksum=0x%016llx verified=%s "
                   "exec=%.2fms queue=%.2fms threads=%u\n",
@@ -104,14 +115,14 @@ int PrintResponse(const svc::Response& resp) {
     case svc::ResponseOp::kRelations:
       for (const svc::RelationInfo& r : resp.relations) {
         std::printf("%-16s |R|=%llu |S|=%llu D=%u theta=%.2f seed=%llu "
-                    "resident=%llu pins=%u\n",
+                    "resident=%llu pins=%u%s\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.r_objects),
                     static_cast<unsigned long long>(r.s_objects),
                     r.partitions, r.zipf_theta,
                     static_cast<unsigned long long>(r.seed),
                     static_cast<unsigned long long>(r.resident_bytes),
-                    r.pins);
+                    r.pins, r.durable ? " durable" : "");
       }
       if (resp.relations.empty()) std::printf("(no relations)\n");
       return 0;
@@ -195,6 +206,8 @@ int main(int argc, char** argv) {
       req.algorithm = join::Algorithm::kGrace;
     } else if (algo == "hybrid-hash") {
       req.algorithm = join::Algorithm::kHybridHash;
+    } else if (algo == "index-nl") {
+      req.algorithm = join::Algorithm::kIndexNestedLoops;
     } else {
       cli::BadFlagValue("mmjoin_client", algo, kUsage);
     }
@@ -205,6 +218,17 @@ int main(int argc, char** argv) {
     req.op = svc::RequestOp::kRunPlan;
     req.name = positional[1];
     req.plan = positional[2];
+  } else if (command == "persist") {
+    if (positional.size() < 2 || positional.size() > 3) {
+      cli::UnknownFlag("mmjoin_client", command, kUsage);
+    }
+    req.op = svc::RequestOp::kPersist;
+    req.name = positional[1];
+    if (positional.size() > 2) req.msync = positional[2];
+  } else if (command == "load") {
+    need(1);
+    req.op = svc::RequestOp::kLoad;
+    req.name = positional[1];
   } else if (command == "unregister") {
     need(1);
     req.op = svc::RequestOp::kUnregister;

@@ -35,7 +35,10 @@ constexpr char kUsage[] =
     "  --mem-budget=BYTES   admission memory budget, 0=unlimited  [0]\n"
     "  --queue-limit=N      admission queue depth      [16]\n"
     "  --drain-timeout=SEC  wait for in-flight work on shutdown   [30]\n"
-    "  --artifacts=DIR      per-query metrics/trace files         [off]\n";
+    "  --artifacts=DIR      per-query metrics/trace files         [off]\n"
+    "  --store=DIR          durable store root: warm-load every persisted\n"
+    "                       store found there at startup (implies --dir)\n"
+    "  --msync=POLICY       default persist msync: none|async|sync [none]\n";
 
 std::atomic<bool> g_signal{false};
 
@@ -79,6 +82,13 @@ int main(int argc, char** argv) {
       options.drain_timeout_s = std::strtod(v.c_str(), nullptr);
     } else if (ParseFlag(argv[a], "--artifacts", &v)) {
       options.artifacts_dir = v;
+    } else if (ParseFlag(argv[a], "--store", &v)) {
+      dir = v;
+      options.load_store = true;
+    } else if (ParseFlag(argv[a], "--msync", &v)) {
+      StatusOr<mm::MsyncPolicy> parsed = mm::ParseMsyncPolicy(v);
+      if (!parsed.ok()) cli::BadFlagValue("mmjoind", argv[a], kUsage);
+      options.msync = *parsed;
     } else {
       cli::UnknownFlag("mmjoind", argv[a], kUsage);
     }

@@ -18,6 +18,7 @@
 #include "heap/merge_heap.h"       // delete-insert k-way merge heap
 #include "join/grace.h"            // parallel pointer-based Grace join
 #include "join/hybrid_hash.h"      // pointer-based hybrid-hash (EXT-5)
+#include "join/index_nl.h"         // index nested-loops over B+-tree (EXT-8)
 #include "join/join_common.h"      // parameters / results / execution core
 #include "join/nested_loops.h"     // parallel pointer-based nested loops
 #include "join/oracle.h"           // reference join for verification

@@ -25,6 +25,11 @@
 //     sequentially overall.
 //   HybridHash (EXT-5): Grace, except each worker keeps its own bucket-0
 //     objects in a resident in-memory table, skipping one disk round trip.
+//   IndexNestedLoops (EXT-8): passes 0/1 repartition R exactly like Grace
+//     (monotone buckets), then each RS_i is packed into a per-partition
+//     static B+-tree over the packed S-pointer (sorted SRef leaves +
+//     implicit key levels) and probed per S tuple — S's identity IS the
+//     probe key, so unmatched S objects are never touched.
 //
 // Cost charging (ChargeCpu/ChargeSetup), byte access, the S fetch protocol
 // and barriers are all backend-provided; on the real backend the charges
@@ -33,8 +38,10 @@
 #define MMJOIN_EXEC_JOIN_DRIVERS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -602,6 +609,238 @@ StatusOr<join::JoinRunResult> HybridHash(B& ex,
   join::JoinRunResult result = ex.Finish();
   result.k_buckets = k_buckets;
   result.tsize = plan.tsize;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Index nested-loops (EXT-8)
+// ---------------------------------------------------------------------------
+
+template <Backend B>
+StatusOr<join::JoinRunResult> IndexNestedLoops(B& ex,
+                                               const join::JoinParams& params) {
+  using Seg = typename B::Seg;
+  const uint32_t d = ex.D();
+  const sim::MachineConfig& mc = ex.mc();
+  const bool sync = params.phase_sync.value_or(true);
+  const uint64_t r = sizeof(rel::RObject);
+
+  MMJOIN_RETURN_NOT_OK(ex.CreateRpSegments());
+
+  // Passes 0/1 are Grace's: repartition R into RS_i's monotone buckets so
+  // the per-bucket sorts concatenate into one globally sorted leaf array
+  // (the bulk leaf build stays within the same M_Rproc bucket budget).
+  const std::vector<uint64_t> rs_objects = op::RsObjects(ex);
+  uint64_t max_rs = 0;
+  for (uint32_t i = 0; i < d; ++i) max_rs = std::max(max_rs, rs_objects[i]);
+  const join::GracePlan plan =
+      join::PlanGrace(params.m_rproc_bytes, max_rs, params);
+  const uint32_t k_buckets = plan.k_buckets;
+
+  const std::vector<std::vector<uint64_t>> bucket_count =
+      op::CountBuckets(ex, k_buckets, /*resident=*/nullptr);
+  op::BucketLayout layout;
+  layout.Init(bucket_count);
+
+  std::vector<Seg> rs_segs(d);
+  std::vector<Seg> ix_segs(d);
+  std::vector<op::IndexLayout> ix_layout(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    MMJOIN_ASSIGN_OR_RETURN(
+        rs_segs[i], ex.CreateSegment("RS" + std::to_string(i), i,
+                                     std::max<uint64_t>(rs_objects[i], 1) * r));
+    ix_layout[i].Plan(rs_objects[i]);
+    MMJOIN_ASSIGN_OR_RETURN(
+        ix_segs[i],
+        ex.CreateSegment("IX" + std::to_string(i), i,
+                         std::max<uint64_t>(ix_layout[i].total_bytes(), 1)));
+  }
+
+  // Setup: openMap(R_i) + openMap(S_i) + newMap(RS_i + RP_i + IX_i)
+  // + openMap(IX_i) (the re-attachment for the probe pass), over D.
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t ix_pages = ex.SegPages(ix_segs[i]);
+    const double per_proc = mc.OpenMapMs(ex.SegPages(ex.r_seg(i))) +
+                            mc.OpenMapMs(ex.SegPages(ex.s_seg(i))) +
+                            mc.NewMapMs(ex.SegPages(rs_segs[i]) +
+                                        ex.RpPages(i) + ix_pages) +
+                            mc.OpenMapMs(ix_pages);
+    ex.ChargeSetupAll(per_proc / d);
+  }
+  // R scans once sequentially; the probe sweeps S in ascending pointer
+  // order (only matched objects are touched); temporaries pre-fault.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.AdviseSegment(i, ex.r_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, ex.s_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, rs_segs[i], AccessIntent::kPopulateWrite);
+    ex.AdviseSegment(i, ix_segs[i], AccessIntent::kPopulateWrite);
+    ex.AdviseSegment(i, ex.rp_seg(i), AccessIntent::kPopulateWrite);
+  }
+  ex.MarkPass("setup");
+
+  auto bucket_append_run = [&](uint32_t writer, uint32_t target, uint32_t b,
+                               const rel::RObject* run, uint64_t n) {
+    op::AppendRun(ex, writer, rs_segs[target], layout.Claim(target, b, n),
+                  run, n);
+  };
+
+  // ---- Pass 0: partition R_i; own-partition objects hash into RS_i. ----
+  op::Partition(
+      ex, /*extra_dests=*/k_buckets,
+      [&](uint32_t i) {
+        return [&, i](uint32_t dest, const rel::RObject* run, uint64_t n) {
+          if (dest < d) {
+            ex.AppendRpRun(i, dest, run, n);
+          } else {
+            bucket_append_run(i, i, dest - d, run, n);
+          }
+        };
+      },
+      [&](uint32_t i, uint64_t, uint64_t) {
+        return [&ex, &mc, i, d,
+                bmap = join::GraceBucketMap(ex.s_count(i), k_buckets)](
+                   const rel::RObject& obj, rel::SPtr sp) {
+          ex.ChargeCpu(i, mc.hash_ms);
+          ex.ScatterTo(i, d + bmap.Of(sp.index), obj);
+        };
+      },
+      sync);
+
+  // ---- Pass 1: staggered phases hash RP_{i,j} into RS_j's buckets. ----
+  op::PhasedRepartition(
+      ex, rs_segs,
+      [&](uint32_t i, uint32_t j, uint64_t begin, uint64_t end) {
+        ex.BeginScatter(i, k_buckets, (end - begin) / k_buckets,
+                        [&, i, j](uint32_t dest, const rel::RObject* run,
+                                  uint64_t n) {
+                          bucket_append_run(i, j, dest, run, n);
+                        });
+      },
+      [&](uint32_t i, uint32_t j, uint64_t base, uint64_t begin,
+          uint64_t end) {
+        const join::GraceBucketMap bmap(ex.s_count(j), k_buckets);
+        auto hash_to_bucket = [&](const rel::RObject& obj) {
+          const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+          ex.ChargeCpu(i, mc.hash_ms);
+          ex.ScatterTo(i, bmap.Of(sp.index), obj);
+        };
+        if (ex.BatchedProbe()) {
+          for (uint64_t k = begin; k < end; ++k) {
+            hash_to_bucket(*op::ReadRPtr(ex, i, ex.rp_seg(i), base + k * r));
+          }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                op::ReadR(ex, i, ex.rp_seg(i), base + k * r);
+            hash_to_bucket(obj);
+          }
+        }
+      },
+      sync);
+
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, ex.rp_seg(i), /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ex.rp_seg(i)));
+  }
+  ex.MarkPass("pass1");
+
+  // ---- Index build: pack RS_i's buckets into the sorted leaf array, ----
+  // then derive the key levels. Per-bucket heapsorts keyed by
+  // (sptr, r_id) — a total order, so the leaf content (and with it the
+  // probe behavior) is identical on every backend and schedule. The RS
+  // bands stream with the same hints as the Grace bucket loop.
+  std::vector<Status> partition_status(d);
+  ex.ForEachPartition(rs_objects, [&](uint32_t i) {
+    uint64_t out = 0;
+    for (uint32_t b = 0; b < k_buckets; ++b) {
+      if (b + 1 < k_buckets) {
+        ex.AdviseRange(i, rs_segs[i], layout.Offset(i, b + 1),
+                       layout.Count(i, b + 1) * r, AccessIntent::kWillNeed);
+      }
+      op::SortIndexRun(ex, i, rs_segs[i], layout.Offset(i, b),
+                       layout.Count(i, b), ix_segs[i], out);
+      ex.AdviseRange(i, rs_segs[i], layout.Offset(i, b),
+                     layout.Count(i, b) * r, AccessIntent::kDontNeed);
+      out += layout.Count(i, b);
+    }
+    op::BuildIndexLevels(ex, i, ix_segs[i], ix_layout[i]);
+    ex.DropSegment(i, rs_segs[i], /*discard=*/true);
+    partition_status[i] = ex.DeleteSegment(rs_segs[i]);
+  });
+  for (const Status& st : partition_status) MMJOIN_RETURN_NOT_OK(st);
+  ex.MarkPass("index-build");
+
+  // ---- Probe: one exact-match descent per S tuple. ----
+  // The probe key is the S tuple's own packed pointer — no S read happens
+  // unless the index proves at least one R reference exists, which is the
+  // whole selective-join advantage. Morsels are independent (probes touch
+  // no shared output target), so a skewed partition spreads over workers.
+  std::vector<uint64_t> s_counts(d);
+  for (uint32_t i = 0; i < d; ++i) s_counts[i] = ex.s_count(i);
+  std::atomic<uint64_t> total_matches{0};
+  ex.ForEachPartitionTuples(
+      s_counts,
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        const op::IndexLayout& lay = ix_layout[i];
+        // ~log_f(n) window scans per descent, ~4 compares each.
+        const double probe_cpu_ms =
+            static_cast<double>(4 * (lay.levels().size() + 1)) *
+            mc.compare_ms;
+        uint64_t matched = 0;
+        if (ex.BatchedProbe()) {
+          std::vector<SRef> fetch;
+          fetch.reserve(std::min(end - begin, op::kProbeScratch));
+          for (uint64_t k = begin; k < end; ++k) {
+            const uint64_t target = rel::SPtr{i, k}.Pack();
+            const uint64_t hits =
+                op::ProbeIndex(ex, i, ix_segs[i], lay, target,
+                               [&](const SRef& e) {
+                                 fetch.push_back(e);
+                                 if (fetch.size() == op::kProbeScratch) {
+                                   ex.RequestSBatch(i, fetch.data(),
+                                                    fetch.size());
+                                   fetch.clear();
+                                 }
+                               });
+            if (hits > 0) ++matched;
+          }
+          if (!fetch.empty()) ex.RequestSBatch(i, fetch.data(), fetch.size());
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const uint64_t target = rel::SPtr{i, k}.Pack();
+            ex.ChargeCpu(i, probe_cpu_ms);
+            const uint64_t hits =
+                op::ProbeIndex(ex, i, ix_segs[i], lay, target,
+                               [&](const SRef& e) {
+                                 ex.RequestS(i, e.r_id, e.sptr);
+                               });
+            if (hits > 0) ++matched;
+          }
+        }
+        ex.FlushSRequests(i);
+        total_matches.fetch_add(matched, std::memory_order_relaxed);
+      },
+      /*independent=*/true);
+  if (sync) ex.SyncClocks();
+
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.DropSegment(i, ix_segs[i], /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(ix_segs[i]));
+  }
+  ex.MarkPass("index-probe");
+
+  join::JoinRunResult result = ex.Finish();
+  result.k_buckets = k_buckets;
+  uint64_t entries = 0, levels = 0;
+  for (uint32_t i = 0; i < d; ++i) {
+    entries += rs_objects[i];
+    levels = std::max<uint64_t>(levels, ix_layout[i].levels().size());
+  }
+  result.index_entries = entries;
+  result.index_probes =
+      std::accumulate(s_counts.begin(), s_counts.end(), uint64_t{0});
+  result.index_matches = total_matches.load(std::memory_order_relaxed);
+  result.index_levels = levels;
   return result;
 }
 

@@ -25,6 +25,10 @@
 //   ProbeChainTable  drain the chains through the S-fetch protocol (Probe)
 //   BuildProbeBuckets per-bucket build+probe loop over RS_i bands
 //   BucketLayout     contiguous bucket regions + one-writer bump cursors
+//   IndexLayout      implicit static B+-tree over a sorted SRef leaf array
+//   SortIndexRun     per-bucket leaf packing of the index-NL driver
+//   BuildIndexLevels derive the internal key levels bottom-up
+//   ProbeIndex       exact-match descent + duplicate-run emission
 #ifndef MMJOIN_EXEC_OP_STAGES_H_
 #define MMJOIN_EXEC_OP_STAGES_H_
 
@@ -658,6 +662,191 @@ void BuildProbeBuckets(B& ex, uint32_t i, typename B::Seg rs_seg,
               {obs::Arg("objects", count)});
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Index nested-loops (static per-partition B+-tree over R's join keys)
+// ---------------------------------------------------------------------------
+
+/// Byte layout of one partition's probe index: a flat, globally sorted
+/// SRef leaf array (16 bytes per R reference into S_i) followed by the
+/// internal key levels of an implicit static B+-tree — level l key j is
+/// the first sptr of the j-th fanout-window of the level below, so a
+/// descent needs one ≤-fanout window scan per level instead of a binary
+/// search across the whole leaf array. The fanout matches mm::BTree's
+/// node capacity; the tree is "implicit" because child positions are pure
+/// arithmetic (window j of the level below), so no child offsets are
+/// stored and the whole structure bulk-builds in one bottom-up sweep.
+/// n <= fanout needs no internal levels; n == 0 is an empty index.
+class IndexLayout {
+ public:
+  static constexpr uint64_t kFanout = 16;  // = mm::BTree::kMaxKeys
+
+  struct Level {
+    uint64_t count = 0;     ///< keys in this level
+    uint64_t byte_off = 0;  ///< byte offset of the key array
+  };
+
+  void Plan(uint64_t n) {
+    entries_ = n;
+    levels_.clear();
+    uint64_t below = n;
+    uint64_t off = n * sizeof(SRef);
+    while (below > kFanout) {
+      const uint64_t count = CeilDiv(below, kFanout);
+      levels_.push_back(Level{count, off});
+      off += count * sizeof(uint64_t);
+      below = count;
+    }
+    total_bytes_ = off;
+  }
+
+  uint64_t entries() const { return entries_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  /// Internal levels, bottom-up: levels()[0] indexes leaf windows,
+  /// levels().back() is the root level (<= fanout keys).
+  const std::vector<Level>& levels() const { return levels_; }
+
+ private:
+  uint64_t entries_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<Level> levels_;
+};
+
+/// Packs one monotone bucket band of RS_i into the index's leaf array:
+/// reads each object's 16-byte (id, sptr) prefix, heapsorts by
+/// (sptr, r_id) — a total order, so the leaf content is independent of
+/// arrival order and therefore of backend and schedule — and writes the
+/// run at leaf offset `out` (entries). Monotone buckets concatenate into
+/// a globally sorted leaf array, exactly like the Grace bucket map
+/// guarantees for the partitioning drivers.
+template <Backend B>
+void SortIndexRun(B& ex, uint32_t i, typename B::Seg rs_seg, uint64_t base,
+                  uint64_t count, typename B::Seg ix_seg, uint64_t out) {
+  if (count == 0) return;
+  const uint64_t r = sizeof(rel::RObject);
+  std::vector<SRef> refs(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    const void* src = ex.Read(i, rs_seg, base + k * r, sizeof(SRef));
+    std::memcpy(&refs[k], src, sizeof(SRef));  // RObject starts (id, sptr)
+  }
+  std::vector<uint64_t> idx(count);
+  for (uint64_t k = 0; k < count; ++k) idx[k] = k;
+  HeapCost cost;
+  HeapSort(
+      &idx,
+      [&refs](uint64_t a, uint64_t b) {
+        if (refs[a].sptr != refs[b].sptr) return refs[a].sptr < refs[b].sptr;
+        return refs[a].r_id < refs[b].r_id;
+      },
+      &cost);
+  ChargeHeapCost(ex, i, cost);
+  std::vector<SRef> sorted(count);
+  for (uint64_t k = 0; k < count; ++k) sorted[k] = refs[idx[k]];
+  void* dst = ex.Write(i, ix_seg, out * sizeof(SRef), count * sizeof(SRef));
+  std::memcpy(dst, sorted.data(), count * sizeof(SRef));
+  ex.ChargeCpu(i, static_cast<double>(count * sizeof(SRef)) *
+                      ex.mc().mt_pp_ms);
+}
+
+/// Derives the internal key levels from the packed leaf array, bottom-up:
+/// one read of the first entry of every window below, one write per key.
+template <Backend B>
+void BuildIndexLevels(B& ex, uint32_t i, typename B::Seg ix_seg,
+                      const IndexLayout& layout) {
+  const auto& levels = layout.levels();
+  for (size_t l = 0; l < levels.size(); ++l) {
+    for (uint64_t j = 0; j < levels[l].count; ++j) {
+      uint64_t key = 0;
+      if (l == 0) {
+        const void* src = ex.Read(
+            i, ix_seg, j * IndexLayout::kFanout * sizeof(SRef), sizeof(SRef));
+        SRef first;
+        std::memcpy(&first, src, sizeof(SRef));
+        key = first.sptr;
+      } else {
+        const void* src = ex.Read(
+            i, ix_seg,
+            levels[l - 1].byte_off +
+                j * IndexLayout::kFanout * sizeof(uint64_t),
+            sizeof(uint64_t));
+        std::memcpy(&key, src, sizeof(uint64_t));
+      }
+      void* dst = ex.Write(i, ix_seg,
+                           levels[l].byte_off + j * sizeof(uint64_t),
+                           sizeof(uint64_t));
+      std::memcpy(dst, &key, sizeof(uint64_t));
+    }
+    ex.ChargeCpu(i, static_cast<double>(levels[l].count * sizeof(uint64_t)) *
+                        ex.mc().mt_pp_ms);
+  }
+}
+
+/// Exact-match probe: descends the key levels (window scan per level,
+/// picking the last separator <= target), lower-bounds the leaf window,
+/// then walks BACK across window boundaries while the previous entry
+/// still equals the target — duplicate runs may span windows, and the
+/// separator of the landing window equals the target in exactly that
+/// case. Emits every matching SRef through `emit` in (sptr, r_id) order;
+/// returns the match count.
+template <Backend B, typename EmitFn>
+uint64_t ProbeIndex(B& ex, uint32_t i, typename B::Seg ix_seg,
+                    const IndexLayout& layout, uint64_t target,
+                    EmitFn&& emit) {
+  const uint64_t n = layout.entries();
+  if (n == 0) return 0;
+  const auto& levels = layout.levels();
+  const uint64_t f = IndexLayout::kFanout;
+
+  // Descend: at the root the window is the whole level; below, the window
+  // is the children of the chosen parent key.
+  uint64_t pos = 0;
+  for (size_t l = levels.size(); l-- > 0;) {
+    const uint64_t begin = (l + 1 == levels.size()) ? 0 : pos * f;
+    const uint64_t end = std::min(begin + f, levels[l].count);
+    const void* src =
+        ex.Read(i, ix_seg, levels[l].byte_off + begin * sizeof(uint64_t),
+                (end - begin) * sizeof(uint64_t));
+    const auto* keys = static_cast<const uint64_t*>(src);
+    uint64_t c = 0;
+    for (uint64_t k = 1; k < end - begin; ++k) {
+      if (keys[k] <= target) c = k;
+    }
+    pos = begin + c;
+  }
+
+  // Leaf window lower bound.
+  const uint64_t lo = levels.empty() ? 0 : pos * f;
+  const uint64_t hi = std::min(lo + f, n);
+  const void* src = ex.Read(i, ix_seg, lo * sizeof(SRef),
+                            (hi - lo) * sizeof(SRef));
+  const auto* window = static_cast<const SRef*>(src);
+  uint64_t p = lo;
+  while (p < hi && window[p - lo].sptr < target) ++p;
+  if (p == hi || window[p - lo].sptr != target) return 0;
+
+  // Walk back over a duplicate run that spans into earlier windows.
+  while (p > 0) {
+    const void* prev_src =
+        ex.Read(i, ix_seg, (p - 1) * sizeof(SRef), sizeof(SRef));
+    SRef prev;
+    std::memcpy(&prev, prev_src, sizeof(SRef));
+    if (prev.sptr != target) break;
+    --p;
+  }
+
+  // Emit forward while the key still matches.
+  uint64_t matches = 0;
+  while (p < n) {
+    const void* e_src = ex.Read(i, ix_seg, p * sizeof(SRef), sizeof(SRef));
+    SRef e;
+    std::memcpy(&e, e_src, sizeof(SRef));
+    if (e.sptr != target) break;
+    emit(e);
+    ++matches;
+    ++p;
+  }
+  return matches;
 }
 
 }  // namespace mmjoin::exec::op

@@ -1,0 +1,14 @@
+#include "join/index_nl.h"
+
+#include "exec/join_drivers.h"
+
+namespace mmjoin::join {
+
+StatusOr<JoinRunResult> RunIndexNestedLoops(sim::SimEnv* env,
+                                            const rel::Workload& workload,
+                                            const JoinParams& params) {
+  JoinExecution ex(env, workload, params);
+  return exec::IndexNestedLoops(ex, params);
+}
+
+}  // namespace mmjoin::join

@@ -16,6 +16,8 @@ const char* AlgorithmName(Algorithm a) {
       return "grace";
     case Algorithm::kHybridHash:
       return "hybrid-hash";
+    case Algorithm::kIndexNestedLoops:
+      return "index-nl";
   }
   return "?";
 }
@@ -241,6 +243,14 @@ void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->counter("join.scatter.partial_flushes")
         .Inc(scatter_partial_flushes);
     registry->counter("join.scatter.tuples").Inc(scatter_tuples);
+  }
+  if (index_entries > 0) {
+    // Index nested-loops driver only; absent from the partitioning
+    // drivers' dumps.
+    registry->counter("join.index.entries").Inc(index_entries);
+    registry->counter("join.index.probes").Inc(index_probes);
+    registry->counter("join.index.matches").Inc(index_matches);
+    registry->counter("join.index.levels").Inc(index_levels);
   }
   if (numa_nodes > 0) {
     // Real-backend NUMA placement only; absent under numa=none. On a

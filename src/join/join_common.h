@@ -23,7 +23,13 @@
 namespace mmjoin::join {
 
 /// Which algorithm a driver runs (used by the comparison benches).
-enum class Algorithm { kNestedLoops, kSortMerge, kGrace, kHybridHash };
+enum class Algorithm {
+  kNestedLoops,
+  kSortMerge,
+  kGrace,
+  kHybridHash,
+  kIndexNestedLoops,
+};
 
 const char* AlgorithmName(Algorithm a);
 
@@ -114,6 +120,14 @@ struct JoinRunResult {
   uint64_t scatter_flushes = 0;          ///< full-buffer drains
   uint64_t scatter_partial_flushes = 0;  ///< epilogue drains of partial slabs
   uint64_t scatter_tuples = 0;           ///< tuples routed through staging
+
+  // Index nested-loops telemetry (index-nl driver only; all zero for the
+  // partitioning drivers). The level count is the max over partitions —
+  // the probe path length of the per-partition static B+-tree.
+  uint64_t index_entries = 0;  ///< leaf refs across all partition indexes
+  uint64_t index_probes = 0;   ///< S tuples probed against an index
+  uint64_t index_matches = 0;  ///< probes that found at least one R ref
+  uint64_t index_levels = 0;   ///< deepest internal-level count built
 
   // NUMA placement telemetry (real backend with numa!=none; all zero
   // otherwise). On single-node hosts the mode degrades to counted no-ops:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <new>
+#include <vector>
 
 namespace mmjoin::mm {
 
@@ -70,6 +71,90 @@ StatusOr<BTree> BTree::Attach(Segment* segment) {
   if (tree.meta()->magic != Meta::kMagic) {
     return Status::IOError("not a BTree segment");
   }
+  return tree;
+}
+
+uint64_t BTree::BulkBuildBytes(uint64_t n) {
+  uint64_t level = std::max<uint64_t>(1, (n + kMaxKeys - 1) / kMaxKeys);
+  uint64_t nodes = level;
+  while (level > 1) {
+    level = (level + kMaxKeys) / (kMaxKeys + 1);  // ceil(level / fanout)
+    nodes += level;
+  }
+  // Every allocation is 8-aligned and node/meta sizes are multiples of 8,
+  // so the only slack needed is one alignment step for the meta block.
+  return sizeof(Meta) + nodes * sizeof(Node) + 8;
+}
+
+StatusOr<BTree> BTree::BulkBuild(Segment* segment, const uint64_t* keys,
+                                 const uint64_t* values, uint64_t n) {
+  if (segment == nullptr || !segment->mapped()) {
+    return Status::InvalidArgument("segment not mapped");
+  }
+  for (uint64_t k = 0; k + 1 < n; ++k) {
+    if (keys[k] >= keys[k + 1]) {
+      return Status::InvalidArgument(
+          "bulk build requires strictly increasing keys");
+    }
+  }
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t meta_off,
+                          segment->Allocate(sizeof(Meta)));
+  BTree tree(segment, meta_off);
+  Meta* m = static_cast<Meta*>(segment->Resolve(meta_off));
+  *m = Meta{};
+
+  // Pack the leaf level left to right; an empty input still gets one
+  // (empty) leaf so the tree shape matches Create + zero inserts.
+  std::vector<uint64_t> level_offs;
+  std::vector<uint64_t> level_first;
+  uint64_t prev_leaf = 0;
+  uint64_t k = 0;
+  do {
+    const uint64_t len = std::min<uint64_t>(kMaxKeys, n - k);
+    MMJOIN_ASSIGN_OR_RETURN(uint64_t off, tree.NewNode(/*leaf=*/true));
+    Node* leaf = tree.NodeAt(off);
+    leaf->count = static_cast<uint16_t>(len);
+    for (uint64_t i = 0; i < len; ++i) {
+      leaf->keys[i] = keys[k + i];
+      leaf->children[i] = values[k + i];
+    }
+    if (prev_leaf != 0) tree.NodeAt(prev_leaf)->next = off;
+    prev_leaf = off;
+    level_offs.push_back(off);
+    level_first.push_back(len > 0 ? keys[k] : 0);
+    k += len;
+  } while (k < n);
+
+  // Derive each internal level from the one below: child c's separator is
+  // the first key of its subtree, exactly the bound Validate() checks.
+  uint32_t height = 1;
+  while (level_offs.size() > 1) {
+    std::vector<uint64_t> up_offs;
+    std::vector<uint64_t> up_first;
+    for (size_t c = 0; c < level_offs.size(); c += kMaxKeys + 1) {
+      const size_t len =
+          std::min<size_t>(kMaxKeys + 1, level_offs.size() - c);
+      MMJOIN_ASSIGN_OR_RETURN(uint64_t off, tree.NewNode(/*leaf=*/false));
+      Node* node = tree.NodeAt(off);
+      node->count = static_cast<uint16_t>(len - 1);
+      node->children[0] = level_offs[c];
+      for (size_t i = 1; i < len; ++i) {
+        node->keys[i - 1] = level_first[c + i];
+        node->children[i] = level_offs[c + i];
+      }
+      up_offs.push_back(off);
+      up_first.push_back(level_first[c]);
+    }
+    level_offs = std::move(up_offs);
+    level_first = std::move(up_first);
+    ++height;
+  }
+
+  m = tree.meta();
+  m->root = level_offs[0];
+  m->size = n;
+  m->height = height;
+  segment->set_root(meta_off);
   return tree;
 }
 

@@ -35,6 +35,20 @@ class BTree {
   /// Attaches to the tree previously created in `segment`.
   static StatusOr<BTree> Attach(Segment* segment);
 
+  /// Builds a tree bottom-up from `n` strictly-increasing keys with their
+  /// values: leaves are packed full in one left-to-right pass (no splits,
+  /// no re-copies), then each internal level is derived from the first
+  /// keys of the level below. Orders of magnitude cheaper than n Inserts
+  /// and produces perfectly packed leaves for scan-heavy probing. The
+  /// resulting tree passes Validate() and is recorded as the segment root.
+  static StatusOr<BTree> BulkBuild(Segment* segment, const uint64_t* keys,
+                                   const uint64_t* values, uint64_t n);
+
+  /// Segment bytes BulkBuild(n) needs beyond the segment header — meta,
+  /// every node of every level, plus alignment slack. Size the segment as
+  /// sizeof(SegmentHeader) + BulkBuildBytes(n).
+  static uint64_t BulkBuildBytes(uint64_t n);
+
   /// Inserts or updates a key.
   Status Insert(uint64_t key, uint64_t value);
 

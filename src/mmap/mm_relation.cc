@@ -1,11 +1,44 @@
 #include "mmap/mm_relation.h"
 
+#include <csignal>
+#include <cstdlib>
+
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
+#include "mmap/btree.h"
 #include "util/random.h"
 
 namespace mmjoin::mm {
+
+namespace {
+
+/// Crash-test hook (see the header): kills the process after the N-th
+/// successful seal when MMJOIN_PERSIST_CRASH=N is set. The environment is
+/// re-read on every seal — seals are rare, and the recovery tests setenv()
+/// in a fork()ed child, where a cached first read from the parent would
+/// make the hook unreachable. The counter only advances while the hook is
+/// armed, so a child armed after inheriting a long-lived parent still
+/// crashes exactly N seals in.
+void MaybeCrashAfterSeal() {
+  static int sealed = 0;
+  const char* v = std::getenv("MMJOIN_PERSIST_CRASH");
+  if (v == nullptr) return;
+  const int crash_after = std::atoi(v);
+  if (crash_after <= 0) return;
+  if (++sealed >= crash_after) {
+    std::raise(SIGKILL);
+  }
+}
+
+Status SealCounted(Segment* seg, MsyncPolicy policy) {
+  MMJOIN_RETURN_NOT_OK(seg->Seal(policy));
+  MaybeCrashAfterSeal();
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<MmWorkload> BuildMmWorkload(SegmentManager* manager,
                                      const std::string& prefix,
@@ -101,7 +134,219 @@ Status DeleteMmWorkload(SegmentManager* manager, const std::string& prefix,
       if (!st.ok() && first_error.ok()) first_error = st;
     }
   }
+  // Durable-store extras (manifest, join-key index) when present.
+  for (const char* extra : {"_meta", "_ix"}) {
+    const std::string name = prefix + extra;
+    if (!manager->Exists(name)) continue;
+    const Status st = manager->DeleteSegment(name);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
   return first_error;
+}
+
+Status PersistMmWorkload(SegmentManager* manager, const std::string& prefix,
+                         MmWorkload* workload, MsyncPolicy policy) {
+  if (workload == nullptr || workload->r_segs.empty()) {
+    return Status::InvalidArgument("cannot persist an empty workload");
+  }
+  const uint32_t d = workload->config.num_partitions;
+
+  // Join-key index: one entry per distinct packed S-pointer in R, valued
+  // with the segment offset of its postings run — `[count][r_id...]`,
+  // r_ids ascending — so a probe can reconstruct the exact join output
+  // (MmIndexProbe) instead of just a reference count. Sorted (sptr, r_id)
+  // input doubles as the bulk leaf build's ordering and the postings'
+  // determinism: byte-identical stores for identical workloads.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;  // (sptr, r_id)
+  pairs.reserve(workload->config.r_objects);
+  for (uint32_t i = 0; i < d; ++i) {
+    const rel::RObject* objs = workload->RObjects(i);
+    for (uint64_t k = 0; k < workload->r_count[i]; ++k) {
+      pairs.emplace_back(objs[k].sptr, objs[k].id);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<uint64_t> keys;
+  std::vector<size_t> run_start;  // index into `pairs` of each key's run
+  for (size_t k = 0; k < pairs.size();) {
+    size_t run = k + 1;
+    while (run < pairs.size() && pairs[run].first == pairs[k].first) ++run;
+    keys.push_back(pairs[k].first);
+    run_start.push_back(k);
+    k = run;
+  }
+  run_start.push_back(pairs.size());
+  const std::string ix_name = prefix + "_ix";
+  if (manager->Exists(ix_name)) {
+    MMJOIN_RETURN_NOT_OK(manager->DeleteSegment(ix_name));
+  }
+  const uint64_t postings_bytes =
+      (pairs.size() + keys.size()) * sizeof(uint64_t);
+  MMJOIN_ASSIGN_OR_RETURN(
+      Segment ix_seg,
+      manager->CreateSegment(ix_name, sizeof(SegmentHeader) + 64 +
+                                          postings_bytes +
+                                          BTree::BulkBuildBytes(keys.size())));
+  // Postings land before the tree nodes so their offsets are known when
+  // the leaves are packed (BulkBuild consumes the values up front).
+  std::vector<uint64_t> values(keys.size());
+  if (postings_bytes > 0) {
+    MMJOIN_ASSIGN_OR_RETURN(uint64_t post_off,
+                            ix_seg.Allocate(postings_bytes));
+    auto* post = static_cast<uint64_t*>(ix_seg.Resolve(post_off));
+    uint64_t w = 0;
+    for (size_t k = 0; k < keys.size(); ++k) {
+      values[k] = post_off + w * sizeof(uint64_t);
+      const uint64_t n = run_start[k + 1] - run_start[k];
+      post[w++] = n;
+      for (size_t p = run_start[k]; p < run_start[k + 1]; ++p) {
+        post[w++] = pairs[p].second;
+      }
+    }
+  }
+  MMJOIN_ASSIGN_OR_RETURN(
+      BTree tree,
+      BTree::BulkBuild(&ix_seg, keys.data(), values.data(), keys.size()));
+  MMJOIN_RETURN_NOT_OK(tree.Validate());
+
+  // Manifest segment: fixed fields plus the per-partition count arrays.
+  const std::string meta_name = prefix + "_meta";
+  if (manager->Exists(meta_name)) {
+    MMJOIN_RETURN_NOT_OK(manager->DeleteSegment(meta_name));
+  }
+  const uint64_t meta_bytes = sizeof(SegmentHeader) + 64 +
+                              sizeof(StoreManifest) +
+                              (2 * d + uint64_t{d} * d + 8) * sizeof(uint64_t);
+  MMJOIN_ASSIGN_OR_RETURN(Segment meta_seg,
+                          manager->CreateSegment(meta_name, meta_bytes));
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t man_off,
+                          meta_seg.Allocate(sizeof(StoreManifest)));
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t r_count_off,
+                          meta_seg.Allocate(d * sizeof(uint64_t)));
+  MMJOIN_ASSIGN_OR_RETURN(uint64_t s_count_off,
+                          meta_seg.Allocate(d * sizeof(uint64_t)));
+  MMJOIN_ASSIGN_OR_RETURN(
+      uint64_t counts_off,
+      meta_seg.Allocate(uint64_t{d} * d * sizeof(uint64_t)));
+  auto* man = new (meta_seg.Resolve(man_off)) StoreManifest();
+  man->r_objects = workload->config.r_objects;
+  man->s_objects = workload->config.s_objects;
+  man->num_partitions = d;
+  uint64_t theta_bits = 0;
+  static_assert(sizeof(theta_bits) == sizeof(workload->config.zipf_theta));
+  std::memcpy(&theta_bits, &workload->config.zipf_theta, sizeof(theta_bits));
+  man->zipf_theta_bits = theta_bits;
+  man->seed = workload->config.seed;
+  man->expected_output_count = workload->expected_output_count;
+  man->expected_checksum = workload->expected_checksum;
+  man->r_count_off = r_count_off;
+  man->s_count_off = s_count_off;
+  man->counts_off = counts_off;
+  auto* r_counts = static_cast<uint64_t*>(meta_seg.Resolve(r_count_off));
+  auto* s_counts = static_cast<uint64_t*>(meta_seg.Resolve(s_count_off));
+  auto* counts = static_cast<uint64_t*>(meta_seg.Resolve(counts_off));
+  for (uint32_t i = 0; i < d; ++i) {
+    r_counts[i] = workload->r_count[i];
+    s_counts[i] = workload->s_count[i];
+    for (uint32_t j = 0; j < d; ++j) {
+      counts[uint64_t{i} * d + j] = workload->counts[i][j];
+    }
+  }
+  meta_seg.set_root(man_off);
+
+  // Seal order: data and index first, the manifest LAST — a crash at any
+  // point before the final seal leaves `<prefix>_meta` unsealed, so the
+  // whole store is refused at load time instead of partially trusted.
+  for (uint32_t i = 0; i < d; ++i) {
+    MMJOIN_RETURN_NOT_OK(SealCounted(&workload->s_segs[i], policy));
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    MMJOIN_RETURN_NOT_OK(SealCounted(&workload->r_segs[i], policy));
+  }
+  MMJOIN_RETURN_NOT_OK(SealCounted(&ix_seg, policy));
+  MMJOIN_RETURN_NOT_OK(SealCounted(&meta_seg, policy));
+  return Status::OK();
+}
+
+StatusOr<MmWorkload> OpenMmWorkload(SegmentManager* manager,
+                                    const std::string& prefix) {
+  MMJOIN_ASSIGN_OR_RETURN(Segment meta_seg,
+                          manager->OpenSealedSegment(prefix + "_meta"));
+  if (meta_seg.root() == 0) {
+    return Status::IOError("store manifest missing root: " + prefix);
+  }
+  const auto* man =
+      static_cast<const StoreManifest*>(meta_seg.Resolve(meta_seg.root()));
+  if (man->magic != StoreManifest::kMagic) {
+    return Status::IOError("bad store manifest magic: " + prefix);
+  }
+  const uint32_t d = man->num_partitions;
+  if (d == 0) return Status::IOError("store manifest has no partitions");
+
+  MmWorkload w;
+  w.config.r_objects = man->r_objects;
+  w.config.s_objects = man->s_objects;
+  w.config.num_partitions = d;
+  double theta = 0;
+  std::memcpy(&theta, &man->zipf_theta_bits, sizeof(theta));
+  w.config.zipf_theta = theta;
+  w.config.seed = man->seed;
+  w.expected_output_count = man->expected_output_count;
+  w.expected_checksum = man->expected_checksum;
+  w.r_count.assign(d, 0);
+  w.s_count.assign(d, 0);
+  w.r_base.assign(d, 0);
+  w.s_base.assign(d, 0);
+  w.counts.assign(d, std::vector<uint64_t>(d, 0));
+  const auto* r_counts =
+      static_cast<const uint64_t*>(meta_seg.Resolve(man->r_count_off));
+  const auto* s_counts =
+      static_cast<const uint64_t*>(meta_seg.Resolve(man->s_count_off));
+  const auto* counts =
+      static_cast<const uint64_t*>(meta_seg.Resolve(man->counts_off));
+  for (uint32_t i = 0; i < d; ++i) {
+    w.r_count[i] = r_counts[i];
+    w.s_count[i] = s_counts[i];
+    for (uint32_t j = 0; j < d; ++j) {
+      w.counts[i][j] = counts[uint64_t{i} * d + j];
+    }
+  }
+
+  // Reattach every partition through the sealed path; the object array
+  // base is the segment root the build recorded.
+  for (uint32_t i = 0; i < d; ++i) {
+    MMJOIN_ASSIGN_OR_RETURN(
+        Segment seg,
+        manager->OpenSealedSegment(prefix + "_s" + std::to_string(i)));
+    if (seg.root() == 0) {
+      return Status::IOError("store segment missing object root: " +
+                             seg.path());
+    }
+    w.s_base[i] = seg.root();
+    w.s_segs.push_back(std::move(seg));
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    MMJOIN_ASSIGN_OR_RETURN(
+        Segment seg,
+        manager->OpenSealedSegment(prefix + "_r" + std::to_string(i)));
+    if (seg.root() == 0) {
+      return Status::IOError("store segment missing object root: " +
+                             seg.path());
+    }
+    w.r_base[i] = seg.root();
+    w.r_segs.push_back(std::move(seg));
+  }
+  return w;
+}
+
+StatusOr<Segment> OpenMmWorkloadIndexSegment(SegmentManager* manager,
+                                             const std::string& prefix) {
+  return manager->OpenSealedSegment(prefix + "_ix");
+}
+
+bool MmWorkloadStoreExists(const SegmentManager& manager,
+                           const std::string& prefix) {
+  return manager.Exists(prefix + "_meta");
 }
 
 }  // namespace mmjoin::mm

@@ -56,6 +56,63 @@ StatusOr<MmWorkload> BuildMmWorkload(SegmentManager* manager,
 Status DeleteMmWorkload(SegmentManager* manager, const std::string& prefix,
                         uint32_t num_partitions);
 
+// ---------------------------------------------------------------------------
+// Durable relation store (build once, query many, warm-restart)
+// ---------------------------------------------------------------------------
+
+/// Store manifest, the root object of the `<prefix>_meta` segment: enough
+/// to reconstruct an MmWorkload on reattach without regenerating a single
+/// tuple. Array fields live in the same segment at the recorded offsets.
+struct StoreManifest {
+  static constexpr uint64_t kMagic = 0x6d6d6a73746f7231ULL;  // "mmjstor1"
+  uint64_t magic = kMagic;
+  uint64_t r_objects = 0;
+  uint64_t s_objects = 0;
+  uint32_t num_partitions = 0;
+  uint32_t pad = 0;
+  uint64_t zipf_theta_bits = 0;  ///< bit pattern of the double
+  uint64_t seed = 0;
+  uint64_t expected_output_count = 0;
+  uint64_t expected_checksum = 0;
+  uint64_t r_count_off = 0;  ///< uint64_t[d] in this segment
+  uint64_t s_count_off = 0;  ///< uint64_t[d]
+  uint64_t counts_off = 0;   ///< uint64_t[d*d], row-major counts[i][j]
+};
+
+/// Persists a built workload as a durable store: writes the
+/// `<prefix>_meta` manifest segment, bulk-builds the `<prefix>_ix`
+/// B+-tree over R's join keys (packed S-pointer -> segment offset of a
+/// `[count][r_id...]` postings run, r_ids ascending — enough to replay
+/// the exact join output), then Seal()s every segment — data first, manifest
+/// LAST, so a crash at any point leaves the manifest unsealed and the
+/// whole store refused on load. `policy` is the msync policy each seal
+/// flushes under.
+///
+/// Crash-test hook: with MMJOIN_PERSIST_CRASH=N in the environment the
+/// process raises SIGKILL after the N-th successful seal, leaving a
+/// deterministically torn store for the recovery tests and CI job.
+Status PersistMmWorkload(SegmentManager* manager, const std::string& prefix,
+                         MmWorkload* workload,
+                         MsyncPolicy policy = MsyncPolicy::kNone);
+
+/// Reattaches a persisted store: every segment is opened through the
+/// sealed path (checksums verified), the manifest is validated, and the
+/// workload is reconstructed — same config, counts, oracle expectations
+/// and object arrays as the original BuildMmWorkload, without
+/// regenerating anything.
+StatusOr<MmWorkload> OpenMmWorkload(SegmentManager* manager,
+                                    const std::string& prefix);
+
+/// Opens the store's `<prefix>_ix` join-key index segment (sealed path).
+/// Attach with BTree::Attach(&seg); the segment must outlive the tree.
+StatusOr<Segment> OpenMmWorkloadIndexSegment(SegmentManager* manager,
+                                             const std::string& prefix);
+
+/// True if `<prefix>_meta` exists under the manager — the cheap "is there
+/// a store here?" probe used by warm-restart scans.
+bool MmWorkloadStoreExists(const SegmentManager& manager,
+                           const std::string& prefix);
+
 }  // namespace mmjoin::mm
 
 #endif  // MMJOIN_MMAP_MM_RELATION_H_

@@ -140,6 +140,25 @@ StatusOr<MmJoinResult> MmGrace(const MmWorkload& workload,
 StatusOr<MmJoinResult> MmHybridHash(const MmWorkload& workload,
                                     const MmJoinOptions& options = {});
 
+/// Index nested-loops: Grace-style repartition, then a bulk-built static
+/// B+-tree per partition over R's join keys, probed once per S tuple —
+/// unmatched S objects are never read, the selective-join case.
+StatusOr<MmJoinResult> MmIndexNestedLoops(const MmWorkload& workload,
+                                          const MmJoinOptions& options = {});
+
+/// Warm index probe: joins a PERSISTED store through its `<prefix>_ix`
+/// B+-tree — attach the sealed tree (checksums verified), then one point
+/// lookup per S tuple with the postings run replaying the exact (r_id,
+/// s_key) output. No partition passes and no index build: the bulk build
+/// was paid once at PersistMmWorkload time, which is the store's
+/// build-once/query-many bargain. Serial (the probe sweep is one
+/// sequential S scan); oracle-verified like every driver. The workload
+/// must be the one the store at `prefix` was persisted from.
+StatusOr<MmJoinResult> MmIndexProbe(SegmentManager* manager,
+                                    const std::string& prefix,
+                                    const MmWorkload& workload,
+                                    const MmJoinOptions& options = {});
+
 /// Outcome of a real plan run (exec/op/plan.h): the parallel result plus a
 /// `verified` flag from re-evaluating the plan with the serial reference
 /// evaluator over the same mapped relations — groups, counts, and checksum

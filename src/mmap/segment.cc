@@ -26,7 +26,61 @@ Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
 
+/// SplitMix64 finalizer — the same mixer rel::Mix64 uses, local so the
+/// mmap layer stays dependency-free.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The header checksum covers every field before `header_checksum` itself.
+uint64_t HeaderChecksum(const SegmentHeader& h) {
+  return Checksum64(&h, offsetof(SegmentHeader, header_checksum));
+}
+
 }  // namespace
+
+uint64_t Checksum64(const void* data, uint64_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t acc = 0x6d6d6a6f696e6373ULL;  // "mmjoincs"
+  uint64_t word = 0;
+  while (bytes >= 8) {
+    std::memcpy(&word, p, 8);
+    acc = Mix(acc ^ word);
+    p += 8;
+    bytes -= 8;
+  }
+  if (bytes > 0) {
+    word = 0;
+    std::memcpy(&word, p, bytes);
+    acc = Mix(acc ^ word);
+  }
+  return Mix(acc);
+}
+
+const char* MsyncPolicyName(MsyncPolicy policy) {
+  switch (policy) {
+    case MsyncPolicy::kNone:
+      return "none";
+    case MsyncPolicy::kAsync:
+      return "async";
+    case MsyncPolicy::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+StatusOr<MsyncPolicy> ParseMsyncPolicy(const std::string& name) {
+  if (name == "none") return MsyncPolicy::kNone;
+  if (name == "async") return MsyncPolicy::kAsync;
+  if (name == "sync") return MsyncPolicy::kSync;
+  return Status::InvalidArgument("unknown msync policy: " + name +
+                                 " (want none|async|sync)");
+}
 
 const char* AccessIntentName(AccessIntent intent) {
   switch (intent) {
@@ -246,6 +300,7 @@ StatusOr<uint64_t> Segment::Allocate(uint64_t bytes) {
     return Status::ResourceExhausted("segment full: " + path_);
   }
   h->bump = aligned + bytes;
+  h->clean = 0;
   return aligned;
 }
 
@@ -255,10 +310,57 @@ void* Segment::Resolve(uint64_t offset) const {
   return reinterpret_cast<char*>(base_) + offset;
 }
 
-Status Segment::Sync() {
+Status Segment::Sync() { return Sync(MsyncPolicy::kSync); }
+
+Status Segment::Sync(MsyncPolicy policy) {
   assert(mapped());
-  if (::msync(base_, size_, MS_SYNC) != 0) return Errno("msync " + path_);
+  if (policy == MsyncPolicy::kNone) return Status::OK();
+  const int flags = policy == MsyncPolicy::kSync ? MS_SYNC : MS_ASYNC;
+  if (::msync(base_, size_, flags) != 0) {
+    return Errno(std::string("msync(") + MsyncPolicyName(policy) + ") " +
+                 path_);
+  }
   return Status::OK();
+}
+
+Status Segment::Seal(MsyncPolicy policy) {
+  assert(mapped());
+  SegmentHeader* h = header();
+  if (h->bump < sizeof(SegmentHeader) || h->bump > size_) {
+    return Status::IOError("segment bump out of range, refusing to seal: " +
+                           path_);
+  }
+  h->payload_checksum =
+      Checksum64(reinterpret_cast<const char*>(base_) + sizeof(SegmentHeader),
+                 h->bump - sizeof(SegmentHeader));
+  ++h->generation;
+  h->clean = 1;
+  h->header_checksum = HeaderChecksum(*h);
+  return Sync(policy);
+}
+
+StatusOr<Segment> Segment::OpenSealed(const std::string& path,
+                                      MapTimings* timings) {
+  MMJOIN_ASSIGN_OR_RETURN(Segment seg, Open(path, timings));
+  const SegmentHeader* h = seg.header();
+  if (h->header_checksum != HeaderChecksum(*h)) {
+    return Status::IOError("segment header checksum mismatch (torn write?): " +
+                           path);
+  }
+  if (h->clean != 1) {
+    return Status::IOError(
+        "segment not sealed (checksum missing — crashed mid-write?): " + path);
+  }
+  if (h->bump < sizeof(SegmentHeader) || h->bump > seg.size()) {
+    return Status::IOError("sealed segment bump out of range: " + path);
+  }
+  const uint64_t payload = Checksum64(
+      reinterpret_cast<const char*>(seg.base()) + sizeof(SegmentHeader),
+      h->bump - sizeof(SegmentHeader));
+  if (payload != h->payload_checksum) {
+    return Status::IOError("segment payload checksum mismatch: " + path);
+  }
+  return seg;
 }
 
 Status Segment::Advise(AccessIntent intent, uint64_t* advised_bytes) {

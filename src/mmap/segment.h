@@ -105,14 +105,45 @@ Status AdviseMappedRange(void* map_base, uint64_t map_bytes, uint64_t offset,
                          uint64_t length, AccessIntent intent,
                          uint64_t* advised_bytes = nullptr);
 
+/// How eagerly a durable segment pushes dirty pages to its backing file.
+/// kNone leaves write-back entirely to the kernel (fastest, weakest
+/// durability), kAsync schedules write-back without waiting (MS_ASYNC),
+/// kSync blocks until the pages are on stable storage (MS_SYNC).
+enum class MsyncPolicy {
+  kNone,
+  kAsync,
+  kSync,
+};
+
+const char* MsyncPolicyName(MsyncPolicy policy);
+
+/// Parses "none" / "async" / "sync"; InvalidArgument otherwise.
+StatusOr<MsyncPolicy> ParseMsyncPolicy(const std::string& name);
+
 /// On-disk segment header (lives at offset 0 of every segment file).
+///
+/// The generation/clean/checksum quartet is the durable-store handshake:
+/// Seal() checksums the payload, bumps the generation and marks the
+/// segment clean; any subsequent mutation (Allocate, set_root, explicit
+/// MarkDirty) clears `clean`. OpenSealed() refuses a segment whose header
+/// or payload checksum does not verify or whose `clean` flag is down —
+/// which is exactly the state a crash mid-write leaves behind, so torn
+/// stores are detected at attach time instead of corrupting a join.
 struct SegmentHeader {
-  static constexpr uint64_t kMagic = 0x6d6d6a6f696e3031ULL;  // "mmjoin01"
+  static constexpr uint64_t kMagic = 0x6d6d6a6f696e3032ULL;  // "mmjoin02"
   uint64_t magic = kMagic;
   uint64_t size_bytes = 0;   ///< total mapped size including header
   uint64_t bump = 0;         ///< next free offset (allocator state)
   uint64_t root = 0;         ///< application root object offset (0 = none)
+  uint64_t generation = 0;   ///< successful Seal() count (0 = never sealed)
+  uint64_t clean = 0;        ///< 1 = sealed and unmodified since
+  uint64_t payload_checksum = 0;  ///< Checksum64 over [header end, bump)
+  uint64_t header_checksum = 0;   ///< Checksum64 over the preceding fields
 };
+
+/// 8-byte-stride mixing checksum over an arbitrary byte range (trailing
+/// partial word zero-padded). Not cryptographic — a torn-write detector.
+uint64_t Checksum64(const void* data, uint64_t bytes);
 
 /// One mapped file. Movable, not copyable; unmaps on destruction.
 class Segment {
@@ -132,8 +163,18 @@ class Segment {
                                   MapTimings* timings = nullptr);
 
   /// openMap: maps an existing segment file and validates the header.
+  /// Deliberately lenient about seal state — working segments mutate their
+  /// bump allocator constantly, so Open only checks magic and size.
   static StatusOr<Segment> Open(const std::string& path,
                                 MapTimings* timings = nullptr);
+
+  /// openMap for durable stores: maps an existing segment file and
+  /// additionally requires it to be SEALED — `clean` up, header checksum
+  /// verifying, payload checksum matching a fresh recomputation. A torn
+  /// segment (crash mid-write, bit rot, truncation) is refused with an
+  /// IOError naming the failing checksum.
+  static StatusOr<Segment> OpenSealed(const std::string& path,
+                                      MapTimings* timings = nullptr);
 
   /// deleteMap: destroys a segment file (and its data).
   static Status Delete(const std::string& path,
@@ -163,7 +204,10 @@ class Segment {
   }
 
   /// Sets / reads the application root offset in the header.
-  void set_root(uint64_t offset) { header()->root = offset; }
+  void set_root(uint64_t offset) {
+    header()->root = offset;
+    header()->clean = 0;
+  }
   uint64_t root() const { return header()->root; }
 
   /// Resolves an untyped offset. Asserts the offset is in range.
@@ -171,6 +215,22 @@ class Segment {
 
   /// msync(2) the whole segment to its backing file.
   Status Sync();
+
+  /// msync(2) the whole segment under `policy` (kNone is a no-op).
+  Status Sync(MsyncPolicy policy);
+
+  /// Seals the segment for durable attach: checksums the payload
+  /// ([header end, bump)), bumps the generation, raises `clean`, checksums
+  /// the header, then syncs under `policy`. After a successful Seal the
+  /// file passes OpenSealed until the next mutation.
+  Status Seal(MsyncPolicy policy = MsyncPolicy::kNone);
+
+  /// Explicitly invalidates the seal (payload mutated through raw
+  /// pointers, which the header cannot observe).
+  void MarkDirty() { header()->clean = 0; }
+
+  /// True when the in-memory header says "sealed and unmodified".
+  bool sealed() const { return header()->clean == 1; }
 
   /// Applies a paging intent to the whole segment (see AdviseMappedRange).
   Status Advise(AccessIntent intent, uint64_t* advised_bytes = nullptr);

@@ -34,6 +34,16 @@ StatusOr<Segment> SegmentManager::OpenSegment(const std::string& name) {
   return seg;
 }
 
+StatusOr<Segment> SegmentManager::OpenSealedSegment(const std::string& name) {
+  MapTimings t;
+  auto seg = Segment::OpenSealed(PathFor(name), &t);
+  if (seg.ok()) {
+    samples_.push_back(MapSample{seg->size(), 0, t.open_map_s, 0});
+    sizes_[name] = seg->size();
+  }
+  return seg;
+}
+
 Status SegmentManager::DeleteSegment(const std::string& name) {
   MapTimings t;
   uint64_t bytes = 0;

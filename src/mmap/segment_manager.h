@@ -35,6 +35,11 @@ class SegmentManager {
   /// openMap: opens an existing segment `name`.
   StatusOr<Segment> OpenSegment(const std::string& name);
 
+  /// openMap for durable stores: opens segment `name` and requires it to
+  /// be sealed with verifying checksums (Segment::OpenSealed) — the attach
+  /// path of warm restarts, where a torn file must be refused.
+  StatusOr<Segment> OpenSealedSegment(const std::string& name);
+
   /// deleteMap: destroys segment `name` and its data.
   Status DeleteSegment(const std::string& name);
 
@@ -43,6 +48,9 @@ class SegmentManager {
 
   /// Filesystem path a segment name maps to.
   std::string PathFor(const std::string& name) const;
+
+  /// The root directory all segment files live under.
+  const std::string& root_dir() const { return root_dir_; }
 
   /// All timing samples collected so far (one per primitive invocation,
   /// keyed by segment size).

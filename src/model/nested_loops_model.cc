@@ -92,6 +92,10 @@ CostBreakdown Predict(join::Algorithm algorithm, const ModelInputs& in) {
       return PredictGrace(in);
     case join::Algorithm::kHybridHash:
       return PredictHybridHash(in);
+    case join::Algorithm::kIndexNestedLoops:
+      // The paper models only the four original drivers; the index join is
+      // an extension (EXT-8) with no analytic counterpart.
+      return CostBreakdown{};
   }
   return CostBreakdown{};
 }

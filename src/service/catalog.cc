@@ -1,21 +1,40 @@
 #include "service/catalog.h"
 
+#include <dirent.h>
+
 #include <cassert>
 
 #include "rel/relation.h"
 
 namespace mmjoin::svc {
 
+namespace {
+
+/// Resident + admission byte estimates of a mapped workload (register and
+/// load price entries identically).
+void FillByteEstimates(const mm::MmWorkload& workload, CatalogEntry* entry) {
+  uint64_t r_bytes = 0, s_bytes = 0;
+  for (uint64_t c : workload.r_count) r_bytes += c * sizeof(rel::RObject);
+  for (uint64_t c : workload.s_count) s_bytes += c * sizeof(rel::SObject);
+  entry->resident_bytes = r_bytes + s_bytes;
+  entry->query_bytes_estimate = r_bytes + s_bytes + 2 * r_bytes;
+}
+
+}  // namespace
+
 RelationCatalog::~RelationCatalog() {
   // Daemon teardown: every connection thread has been joined, so no pins
-  // can be live. Segments unmap via MmWorkload destruction; the files are
-  // deleted so a restarted daemon starts from a clean root.
+  // can be live. Segments unmap via MmWorkload destruction. Non-durable
+  // entries' files are deleted so a restarted daemon starts from a clean
+  // root; durable (persisted) entries keep their files — that is the whole
+  // point of the store, the next start's LoadAll() reattaches them.
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, slot] : slots_) {
     assert(slot->pins == 0 && "catalog destroyed with live pins");
     const uint32_t d = slot->entry.config.num_partitions;
+    const bool durable = slot->entry.durable;
     slot->entry.workload = mm::MmWorkload{};  // unmap before file delete
-    (void)mm::DeleteMmWorkload(manager_, name, d);
+    if (!durable) (void)mm::DeleteMmWorkload(manager_, name, d);
   }
   slots_.clear();
 }
@@ -42,11 +61,7 @@ Status RelationCatalog::Register(const std::string& name,
   auto slot = std::make_unique<Slot>();
   slot->entry.name = name;
   slot->entry.config = config;
-  uint64_t r_bytes = 0, s_bytes = 0;
-  for (uint64_t c : workload.r_count) r_bytes += c * sizeof(rel::RObject);
-  for (uint64_t c : workload.s_count) s_bytes += c * sizeof(rel::SObject);
-  slot->entry.resident_bytes = r_bytes + s_bytes;
-  slot->entry.query_bytes_estimate = r_bytes + s_bytes + 2 * r_bytes;
+  FillByteEstimates(workload, &slot->entry);
   slot->entry.workload = std::move(workload);
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -81,6 +96,93 @@ Status RelationCatalog::Unregister(const std::string& name) {
   const uint32_t d = slot->entry.config.num_partitions;
   slot->entry.workload = mm::MmWorkload{};  // unmap before file delete
   return mm::DeleteMmWorkload(manager_, name, d);
+}
+
+Status RelationCatalog::Persist(const std::string& name,
+                                mm::MsyncPolicy policy) {
+  // Hold a pin-equivalent through the persist so the entry cannot be
+  // unregistered under the seal pass; queries stay admissible (persist
+  // only reads the object arrays and writes header/index/manifest bytes
+  // no driver touches).
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(name);
+    if (it == slots_.end()) {
+      return Status::NotFound("relation \"" + name + "\" not registered");
+    }
+    slot = it->second.get();
+    ++slot->pins;
+  }
+  const Status st =
+      mm::PersistMmWorkload(manager_, name, &slot->entry.workload, policy);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --slot->pins;
+    if (st.ok()) slot->entry.durable = true;
+  }
+  return st;
+}
+
+Status RelationCatalog::Load(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.count(name)) {
+      return Status::AlreadyExists("relation \"" + name +
+                                   "\" already registered");
+    }
+  }
+  // Reattach OUTSIDE the lock, like Register builds outside it: opening a
+  // large store re-verifies every payload checksum, and queries against
+  // other relations must not stall behind that.
+  MMJOIN_ASSIGN_OR_RETURN(mm::MmWorkload workload,
+                          mm::OpenMmWorkload(manager_, name));
+  auto slot = std::make_unique<Slot>();
+  slot->entry.name = name;
+  slot->entry.config = workload.config;
+  slot->entry.durable = true;
+  FillByteEstimates(workload, &slot->entry);
+  slot->entry.workload = std::move(workload);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = slots_.emplace(name, std::move(slot));
+  if (!inserted) {
+    return Status::AlreadyExists("relation \"" + name +
+                                 "\" already registered");
+  }
+  return Status::OK();
+}
+
+uint32_t RelationCatalog::LoadAll(
+    std::vector<std::pair<std::string, Status>>* failures) {
+  // Store manifests live at `<prefix>_meta.seg` under the segment root
+  // (SegmentManager names every file `<segment>.seg`).
+  constexpr const char kSuffix[] = "_meta.seg";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  std::vector<std::string> prefixes;
+  if (DIR* dir = ::opendir(manager_->root_dir().c_str())) {
+    while (const dirent* ent = ::readdir(dir)) {
+      const std::string file = ent->d_name;
+      if (file.size() > kSuffixLen &&
+          file.compare(file.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+        prefixes.push_back(file.substr(0, file.size() - kSuffixLen));
+      }
+    }
+    ::closedir(dir);
+  }
+  uint32_t loaded = 0;
+  for (const std::string& prefix : prefixes) {
+    const Status st = Load(prefix);
+    if (st.ok()) {
+      ++loaded;
+    } else if (st.code() != StatusCode::kAlreadyExists &&
+               failures != nullptr) {
+      // Already-registered names are not failures (restart after a manual
+      // load); anything else — above all a torn store — is reported.
+      failures->emplace_back(prefix, st);
+    }
+  }
+  return loaded;
 }
 
 StatusOr<RelationCatalog::Pin> RelationCatalog::Acquire(
@@ -121,6 +223,7 @@ std::vector<RelationInfo> RelationCatalog::List() const {
     info.seed = slot->entry.config.seed;
     info.resident_bytes = slot->entry.resident_bytes;
     info.pins = slot->pins;
+    info.durable = slot->entry.durable;
     out.push_back(std::move(info));
   }
   return out;

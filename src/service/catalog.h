@@ -39,6 +39,10 @@ struct CatalogEntry {
   /// working set plus two R-sized temporaries (RP and RS bands — every
   /// algorithm's repartition output is bounded by |R| twice over).
   uint64_t query_bytes_estimate = 0;
+  /// Sealed on disk (persist, or loaded from a store): the segment files
+  /// are KEPT on daemon shutdown so a restart can warm-load them. An
+  /// explicit Unregister still deletes the files.
+  bool durable = false;
 };
 
 class RelationCatalog {
@@ -57,6 +61,29 @@ class RelationCatalog {
   /// ResourceExhausted while queries hold pins (the server maps that to
   /// the protocol's `busy`).
   Status Unregister(const std::string& name);
+
+  /// Seals a registered relation as a durable on-disk store (see
+  /// mm::PersistMmWorkload): data + join-key index + manifest, checksummed
+  /// headers, manifest sealed last. The entry becomes durable — its files
+  /// survive daemon shutdown for the next start's LoadAll(). The relation
+  /// stays queryable throughout (persist only reads the object arrays).
+  /// NotFound if absent.
+  Status Persist(const std::string& name, mm::MsyncPolicy policy);
+
+  /// Reattaches a persisted store by name through the verifying sealed
+  /// path and registers it as a durable resident relation — the
+  /// warm-restart path that replaces re-registering (and regenerating)
+  /// after a daemon restart. AlreadyExists if the name is registered;
+  /// NotFound if no store exists; DataLoss if a checksum refuses a torn
+  /// segment (the server maps that to `corrupt_store`).
+  Status Load(const std::string& name);
+
+  /// Scans the manager's root directory for persisted stores (`*_meta`
+  /// files) and Load()s every one not already registered. Returns the
+  /// number loaded; a store that fails validation is skipped with its
+  /// name+status appended to `failures` (the daemon logs, never aborts —
+  /// one torn store must not take down the restart).
+  uint32_t LoadAll(std::vector<std::pair<std::string, Status>>* failures);
 
   /// RAII hold on a registered relation; keeps Unregister at bay.
   class Pin {

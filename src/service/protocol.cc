@@ -26,7 +26,7 @@ bool ParseName(const char* const (&names)[N], std::string_view s, int* out) {
 }
 
 constexpr const char* kAlgorithmNames[] = {
-    "nested-loops", "sort-merge", "grace", "hybrid-hash"};
+    "nested-loops", "sort-merge", "grace", "hybrid-hash", "index-nl"};
 constexpr const char* kPriorityNames[] = {"low", "normal", "high"};
 
 std::string HexU64(uint64_t v) {
@@ -144,7 +144,14 @@ std::string SerializeRequest(const Request& req) {
       s += req.trace ? "true" : "false";
       break;
     case RequestOp::kUnregister:
+    case RequestOp::kLoad:
       s += ",\"name\":\"" + JsonEscape(req.name) + "\"";
+      break;
+    case RequestOp::kPersist:
+      s += ",\"name\":\"" + JsonEscape(req.name) + "\"";
+      if (!req.msync.empty()) {
+        s += ",\"msync\":\"" + JsonEscape(req.msync) + "\"";
+      }
       break;
     case RequestOp::kList:
     case RequestOp::kStats:
@@ -225,8 +232,18 @@ StatusOr<Request> ParseRequest(std::string_view line) {
         }
         break;
       case RequestOp::kUnregister:
+      case RequestOp::kLoad:
         if (key == "name" && value.is_string()) {
           req.name = value.str;
+          ok = true;
+        }
+        break;
+      case RequestOp::kPersist:
+        if (key == "name" && value.is_string()) {
+          req.name = value.str;
+          ok = true;
+        } else if (key == "msync" && value.is_string()) {
+          req.msync = value.str;
           ok = true;
         }
         break;
@@ -263,6 +280,8 @@ std::string SerializeResponse(const Response& resp) {
       break;
     case ResponseOp::kRegistered:
     case ResponseOp::kUnregistered:
+    case ResponseOp::kPersisted:
+    case ResponseOp::kLoaded:
       s += ",\"name\":\"" + JsonEscape(resp.name) + "\"";
       s += ",\"resident_bytes\":" +
            JsonNumber(static_cast<double>(resp.resident_bytes));
@@ -327,6 +346,8 @@ std::string SerializeResponse(const Response& resp) {
         s += ",\"resident_bytes\":" +
              JsonNumber(static_cast<double>(r.resident_bytes));
         s += ",\"pins\":" + JsonNumber(r.pins);
+        s += ",\"durable\":";
+        s += r.durable ? "true" : "false";
         s += "}";
       }
       s += "]";
@@ -384,6 +405,8 @@ StatusOr<Response> ParseResponse(std::string_view line) {
         break;
       case ResponseOp::kRegistered:
       case ResponseOp::kUnregistered:
+      case ResponseOp::kPersisted:
+      case ResponseOp::kLoaded:
         if (key == "name" && value.is_string()) {
           resp.name = value.str;
           ok = true;
@@ -491,6 +514,8 @@ StatusOr<Response> ParseResponse(std::string_view line) {
                 fok = GetU64(v, &info.resident_bytes);
               } else if (k == "pins") {
                 fok = GetU32(v, &info.pins);
+              } else if (k == "durable") {
+                fok = GetBool(v, &info.durable);
               }
               if (!fok) return Bad("bad relation field \"" + k + "\"");
             }

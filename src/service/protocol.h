@@ -43,6 +43,8 @@ enum class RequestOp : uint8_t {
   kRunPlan,     ///< run a named built-in query plan (exec/op/plan.h)
   kStats,       ///< aggregate service counters
   kUnregister,  ///< drop a registered relation (fails busy while queried)
+  kPersist,     ///< seal a registered relation as a durable on-disk store
+  kLoad,        ///< reattach a persisted store by name (checksums verified)
   kShutdown,    ///< ask the daemon to drain and exit
   kPing,        ///< liveness probe
 };
@@ -56,6 +58,8 @@ enum class ResponseOp : uint8_t {
   kPlanResult,    ///< answers run_plan (success)
   kStats,         ///< answers stats
   kUnregistered,  ///< answers unregister
+  kPersisted,     ///< answers persist: store sealed on disk
+  kLoaded,        ///< answers load: store reattached and resident
   kDraining,      ///< answers shutdown: drain begun
   kPong,          ///< answers ping
   kError,         ///< answers anything that failed
@@ -70,6 +74,7 @@ enum class ErrorCode : uint8_t {
   kBusy,                ///< unregister while queries hold the relation
   kOverloaded,          ///< admission queue full; retry_after_ms is set
   kDraining,            ///< daemon is shutting down; no new work
+  kCorruptStore,        ///< load refused: checksum/seal validation failed
   kInternal,            ///< unexpected server-side failure
 };
 
@@ -78,15 +83,15 @@ enum class ErrorCode : uint8_t {
 /// string here must appear in docs/PROTOCOL.md.
 inline constexpr const char* kRequestOps[] = {
     "hello", "register", "list", "query", "run_plan",
-    "stats", "unregister", "shutdown", "ping",
+    "stats", "unregister", "persist", "load", "shutdown", "ping",
 };
 inline constexpr const char* kResponseOps[] = {
     "welcome", "registered", "relations", "result", "plan_result", "stats",
-    "unregistered", "draining", "pong", "error",
+    "unregistered", "persisted", "loaded", "draining", "pong", "error",
 };
 inline constexpr const char* kErrorCodes[] = {
     "bad_request", "unsupported_version", "not_found", "already_exists",
-    "busy", "overloaded", "draining", "internal",
+    "busy", "overloaded", "draining", "corrupt_store", "internal",
 };
 
 const char* RequestOpName(RequestOp op);
@@ -120,6 +125,10 @@ struct Request {
   // run_plan: which built-in plan (exec::op::kPlanNames; `name` is the
   // relation, `priority`/`trace` apply as for query).
   std::string plan;
+
+  // persist: msync policy the seals flush under ("none" | "async" |
+  // "sync"); empty = the daemon's default (--msync).
+  std::string msync;
 };
 
 /// Metadata of one registered relation (the `relations` response).
@@ -131,7 +140,8 @@ struct RelationInfo {
   double zipf_theta = 0;
   uint64_t seed = 0;
   uint64_t resident_bytes = 0;
-  uint32_t pins = 0;  ///< queries currently holding the relation
+  uint32_t pins = 0;     ///< queries currently holding the relation
+  bool durable = false;  ///< sealed on disk; survives a daemon restart
 };
 
 /// One aggregate counter in a `stats` response.

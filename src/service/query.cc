@@ -23,6 +23,8 @@ StatusOr<mm::MmJoinResult> Dispatch(join::Algorithm algorithm,
       return mm::MmGrace(workload, options);
     case join::Algorithm::kHybridHash:
       return mm::MmHybridHash(workload, options);
+    case join::Algorithm::kIndexNestedLoops:
+      return mm::MmIndexNestedLoops(workload, options);
   }
   return Status::InvalidArgument("unknown algorithm");
 }

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -42,6 +43,19 @@ Server::Server(mm::SegmentManager* manager, ServerOptions options)
 Server::~Server() { Stop(); }
 
 Status Server::Start() {
+  if (options_.load_store) {
+    // Warm restart before the socket opens: clients that connect see every
+    // surviving store already resident. A torn store is logged and skipped
+    // — it must not take the daemon down (the operator unregisters or
+    // rebuilds it).
+    std::vector<std::pair<std::string, Status>> failures;
+    const uint32_t loaded = catalog_.LoadAll(&failures);
+    std::printf("mmjoind: warm restart loaded %u store(s)\n", loaded);
+    for (const auto& [name, st] : failures) {
+      std::fprintf(stderr, "mmjoind: store \"%s\" refused: %s\n",
+                   name.c_str(), st.ToString().c_str());
+    }
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -196,6 +210,62 @@ Response Server::HandleRequest(const Request& req) {
                          : st.code() == StatusCode::kResourceExhausted
                                ? ErrorCode::kBusy
                                : ErrorCode::kInternal;
+        resp.message = st.message();
+      }
+      return resp;
+    }
+    case RequestOp::kPersist: {
+      mm::MsyncPolicy policy = options_.msync;
+      if (!req.msync.empty()) {
+        StatusOr<mm::MsyncPolicy> parsed = mm::ParseMsyncPolicy(req.msync);
+        if (!parsed.ok()) {
+          resp.op = ResponseOp::kError;
+          resp.error = ErrorCode::kBadRequest;
+          resp.message = "bad msync policy \"" + req.msync + "\"";
+          return resp;
+        }
+        policy = *parsed;
+      }
+      const Status st = catalog_.Persist(req.name, policy);
+      if (st.ok()) {
+        resp.op = ResponseOp::kPersisted;
+        resp.name = req.name;
+        for (const RelationInfo& r : catalog_.List()) {
+          if (r.name == req.name) resp.resident_bytes = r.resident_bytes;
+        }
+      } else {
+        resp.op = ResponseOp::kError;
+        resp.error = st.code() == StatusCode::kNotFound
+                         ? ErrorCode::kNotFound
+                         : ErrorCode::kInternal;
+        resp.message = st.message();
+      }
+      return resp;
+    }
+    case RequestOp::kLoad: {
+      if (admission_.draining()) {
+        resp.op = ResponseOp::kError;
+        resp.error = ErrorCode::kDraining;
+        resp.message = "daemon is draining";
+        return resp;
+      }
+      const Status st = catalog_.Load(req.name);
+      if (st.ok()) {
+        resp.op = ResponseOp::kLoaded;
+        resp.name = req.name;
+        for (const RelationInfo& r : catalog_.List()) {
+          if (r.name == req.name) resp.resident_bytes = r.resident_bytes;
+        }
+      } else {
+        resp.op = ResponseOp::kError;
+        // Checksum/seal refusals surface as IOError from the sealed open
+        // path — the operator-facing "this store is torn" code.
+        resp.error =
+            st.code() == StatusCode::kNotFound ? ErrorCode::kNotFound
+            : st.code() == StatusCode::kAlreadyExists
+                ? ErrorCode::kAlreadyExists
+            : st.code() == StatusCode::kIOError ? ErrorCode::kCorruptStore
+                                                : ErrorCode::kInternal;
         resp.message = st.message();
       }
       return resp;

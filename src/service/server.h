@@ -43,6 +43,13 @@ struct ServerOptions {
   std::string artifacts_dir;
   /// How long Drain() waits for in-flight queries before giving up.
   double drain_timeout_s = 30;
+  /// Default msync policy `persist` requests seal under when the request
+  /// does not carry one (mmjoind --msync).
+  mm::MsyncPolicy msync = mm::MsyncPolicy::kNone;
+  /// Warm restart: scan the segment root for persisted stores at Start()
+  /// and load every valid one before accepting connections (mmjoind
+  /// --store). Torn stores are skipped with a logged checksum error.
+  bool load_store = false;
 };
 
 class Server {

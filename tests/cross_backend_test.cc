@@ -16,6 +16,7 @@
 
 #include "join/grace.h"
 #include "join/hybrid_hash.h"
+#include "join/index_nl.h"
 #include "join/join_common.h"
 #include "join/nested_loops.h"
 #include "join/sort_merge.h"
@@ -75,6 +76,8 @@ class CrossBackendTest : public ::testing::TestWithParam<AlgoCase> {
         return join::RunGrace(&env, *workload, params);
       case join::Algorithm::kHybridHash:
         return join::RunHybridHash(&env, *workload, params);
+      case join::Algorithm::kIndexNestedLoops:
+        return join::RunIndexNestedLoops(&env, *workload, params);
     }
     return Status::InvalidArgument("bad algorithm");
   }
@@ -93,6 +96,8 @@ class CrossBackendTest : public ::testing::TestWithParam<AlgoCase> {
         return mm::MmGrace(*workload, options);
       case join::Algorithm::kHybridHash:
         return mm::MmHybridHash(*workload, options);
+      case join::Algorithm::kIndexNestedLoops:
+        return mm::MmIndexNestedLoops(*workload, options);
     }
     return Status::InvalidArgument("bad algorithm");
   }
@@ -156,7 +161,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AlgoCase{"nested_loops", join::Algorithm::kNestedLoops},
                       AlgoCase{"sort_merge", join::Algorithm::kSortMerge},
                       AlgoCase{"grace", join::Algorithm::kGrace},
-                      AlgoCase{"hybrid_hash", join::Algorithm::kHybridHash}),
+                      AlgoCase{"hybrid_hash", join::Algorithm::kHybridHash},
+                      AlgoCase{"index_nl",
+                               join::Algorithm::kIndexNestedLoops}),
     [](const ::testing::TestParamInfo<AlgoCase>& info) {
       return std::string(info.param.name);
     });

@@ -1,0 +1,322 @@
+// Durable-store round trips and crash recovery.
+//
+// The contract under test (mm_relation.h, segment.h): PersistMmWorkload
+// seals every segment — data and index first, manifest LAST — with a
+// generation + checksum header, and OpenMmWorkload reattaches through the
+// verifying path. A clean store must reopen to the bit-identical join; a
+// torn store (byte flip, or a process SIGKILLed mid-persist via the
+// MMJOIN_PERSIST_CRASH hook) must be *refused* with a checksum error, not
+// partially trusted.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mmap/btree.h"
+#include "mmap/mm_relation.h"
+#include "mmap/mmap_join.h"
+#include "mmap/segment.h"
+#include "mmap/segment_manager.h"
+#include "rel/generator.h"
+
+namespace mmjoin {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : test_name) {
+      if (c == '/') c = '_';
+    }
+    dir_ = ::testing::TempDir() + "persist_" + std::to_string(::getpid()) +
+           "_" + test_name;
+    ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+    mgr_ = std::make_unique<mm::SegmentManager>(dir_);
+  }
+
+  static rel::RelationConfig Shape(uint64_t n, uint32_t d, double theta,
+                                   uint64_t seed) {
+    rel::RelationConfig rc;
+    rc.r_objects = rc.s_objects = n;
+    rc.num_partitions = d;
+    rc.zipf_theta = theta;
+    rc.seed = seed;
+    return rc;
+  }
+
+  /// Builds + persists a store under `prefix`, returning the original
+  /// workload (still mapped) for the "before" join.
+  StatusOr<mm::MmWorkload> BuildStore(const rel::RelationConfig& rc,
+                                      const std::string& prefix,
+                                      mm::MsyncPolicy policy) {
+    auto workload = mm::BuildMmWorkload(mgr_.get(), prefix, rc);
+    if (!workload.ok()) return workload.status();
+    MMJOIN_RETURN_NOT_OK(
+        mm::PersistMmWorkload(mgr_.get(), prefix, &*workload, policy));
+    return workload;
+  }
+
+  /// Flips one byte of the named segment file at `offset` on disk.
+  void FlipByte(const std::string& name, uint64_t offset) {
+    const std::string path = mgr_->PathFor(name);
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(c ^ 0x5a, f);
+    std::fclose(f);
+  }
+
+  std::string dir_;
+  std::unique_ptr<mm::SegmentManager> mgr_;
+};
+
+TEST_F(PersistenceTest, RoundTripIdenticalJoin) {
+  // Matrix: shapes x msync policies. Every cell must reopen from disk to
+  // the same verified join the freshly built workload produced.
+  struct Cell {
+    rel::RelationConfig rc;
+    mm::MsyncPolicy policy;
+    const char* prefix;
+  };
+  const Cell cells[] = {
+      {Shape(4096, 2, 0.0, 11), mm::MsyncPolicy::kNone, "rt_none"},
+      {Shape(6000, 3, 0.7, 22), mm::MsyncPolicy::kAsync, "rt_async"},
+      {Shape(2048, 2, 0.9, 33), mm::MsyncPolicy::kSync, "rt_sync"},
+  };
+  for (const Cell& cell : cells) {
+    SCOPED_TRACE(cell.prefix);
+    auto built = BuildStore(cell.rc, cell.prefix, cell.policy);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+    auto before = mm::MmGrace(*built);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    ASSERT_TRUE(before->verified);
+
+    // Drop every mapping, then reattach purely from disk.
+    built = Status::NotFound("dropped");
+    auto reopened = mm::OpenMmWorkload(mgr_.get(), cell.prefix);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened->config.r_objects, cell.rc.r_objects);
+    EXPECT_EQ(reopened->config.num_partitions, cell.rc.num_partitions);
+
+    auto after = mm::MmGrace(*reopened);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_TRUE(after->verified);
+    EXPECT_EQ(before->output_count, after->output_count);
+    EXPECT_EQ(before->output_checksum, after->output_checksum);
+  }
+}
+
+TEST_F(PersistenceTest, ReopenedStoreRunsEveryDriver) {
+  // The reopened workload is a full MmWorkload: all five drivers run and
+  // verify against the persisted oracle expectations.
+  const rel::RelationConfig rc = Shape(4096, 2, 0.5, 44);
+  auto built = BuildStore(rc, "drv", mm::MsyncPolicy::kNone);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  built = Status::NotFound("dropped");
+
+  auto w = mm::OpenMmWorkload(mgr_.get(), "drv");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  for (auto* fn : {&mm::MmNestedLoops, &mm::MmSortMerge, &mm::MmGrace,
+                   &mm::MmHybridHash, &mm::MmIndexNestedLoops}) {
+    auto result = fn(*w, mm::MmJoinOptions{});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->verified);
+    EXPECT_EQ(result->output_count, w->expected_output_count);
+    EXPECT_EQ(result->output_checksum, w->expected_checksum);
+  }
+  // The warm probe — straight off the store's persisted B+-tree, no
+  // partition passes — must produce the same verified join.
+  auto warm = mm::MmIndexProbe(mgr_.get(), "drv", *w);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm->verified);
+  EXPECT_EQ(warm->output_count, w->expected_output_count);
+  EXPECT_EQ(warm->output_checksum, w->expected_checksum);
+  EXPECT_EQ(warm->run.index_probes, w->config.s_objects);
+  EXPECT_GT(warm->run.index_entries, 0u);
+}
+
+TEST_F(PersistenceTest, JoinKeyIndexAttachesAndCovers) {
+  // The persisted B+-tree maps every distinct packed S-pointer in R to
+  // the offset of its `[count][r_id...]` postings run; the counts sum
+  // back to |R| and every R object appears in its own key's run.
+  const rel::RelationConfig rc = Shape(3000, 3, 0.8, 55);
+  auto built = BuildStore(rc, "ix", mm::MsyncPolicy::kNone);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  auto ix_seg = mm::OpenMmWorkloadIndexSegment(mgr_.get(), "ix");
+  ASSERT_TRUE(ix_seg.ok()) << ix_seg.status().ToString();
+  auto tree = mm::BTree::Attach(&*ix_seg);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  ASSERT_TRUE(tree->Validate().ok());
+
+  uint64_t ref_sum = 0;
+  tree->Scan(0, ~0ULL, [&](uint64_t, uint64_t off) {
+    const auto* post = static_cast<const uint64_t*>(ix_seg->Resolve(off));
+    ref_sum += post[0];
+  });
+  EXPECT_EQ(ref_sum, rc.r_objects);
+
+  // Every R object's pointer must be found, with its own id in the run.
+  for (uint32_t i = 0; i < rc.num_partitions; ++i) {
+    const rel::RObject* r = built->RObjects(i);
+    for (uint64_t k = 0; k < built->r_count[i]; ++k) {
+      auto found = tree->Find(r[k].sptr);
+      ASSERT_TRUE(found.ok()) << "missing sptr at partition " << i;
+      const auto* post =
+          static_cast<const uint64_t*>(ix_seg->Resolve(*found));
+      ASSERT_GE(post[0], 1u);
+      bool present = false;
+      for (uint64_t p = 1; p <= post[0]; ++p) {
+        present |= post[p] == r[k].id;
+      }
+      EXPECT_TRUE(present) << "r_id missing from postings run";
+    }
+  }
+}
+
+TEST_F(PersistenceTest, IndexSurvivesProcessBoundary) {
+  // Attach the persisted tree in a fork()ed child — a genuinely different
+  // process image — and validate it there. Segment-relative VPtrs make
+  // this work with zero relocation.
+  const rel::RelationConfig rc = Shape(2000, 2, 0.3, 66);
+  auto built = BuildStore(rc, "fork", mm::MsyncPolicy::kSync);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  built = Status::NotFound("dropped");
+  mgr_.reset();  // child reopens everything from the directory
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: exit code communicates the failure site (0 = all good).
+    mm::SegmentManager child_mgr(dir_);
+    auto seg = mm::OpenMmWorkloadIndexSegment(&child_mgr, "fork");
+    if (!seg.ok()) ::_exit(2);
+    auto tree = mm::BTree::Attach(&*seg);
+    if (!tree.ok()) ::_exit(3);
+    if (!tree->Validate().ok()) ::_exit(4);
+    if (tree->size() == 0) ::_exit(5);
+    auto w = mm::OpenMmWorkload(&child_mgr, "fork");
+    if (!w.ok()) ::_exit(6);
+    auto join = mm::MmIndexNestedLoops(*w);
+    if (!join.ok() || !join->verified) ::_exit(7);
+    ::_exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+TEST_F(PersistenceTest, HeaderCorruptionRejected) {
+  const rel::RelationConfig rc = Shape(1024, 2, 0.0, 77);
+  auto built = BuildStore(rc, "hdr", mm::MsyncPolicy::kSync);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  built = Status::NotFound("dropped");
+
+  // Flip a byte inside the checksummed header prefix (the generation
+  // field), past the magic so the failure is the checksum, not the magic.
+  FlipByte("hdr_meta", offsetof(mm::SegmentHeader, generation));
+  auto reopened = mm::OpenMmWorkload(mgr_.get(), "hdr");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().ToString().find("checksum"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(PersistenceTest, PayloadCorruptionRejected) {
+  const rel::RelationConfig rc = Shape(1024, 2, 0.0, 88);
+  auto built = BuildStore(rc, "pay", mm::MsyncPolicy::kSync);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  built = Status::NotFound("dropped");
+
+  // Flip a data byte well inside an R segment's object array.
+  FlipByte("pay_r0", sizeof(mm::SegmentHeader) + 4096 + 17);
+  auto reopened = mm::OpenMmWorkload(mgr_.get(), "pay");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().ToString().find("checksum"), std::string::npos)
+      << reopened.status().ToString();
+}
+
+TEST_F(PersistenceTest, UnsealedSegmentRejected) {
+  // A plain (never-sealed) segment must be refused by the sealed path even
+  // though its bytes are fine — clean=0 means "no checksum to trust".
+  auto seg = mgr_->CreateSegment("raw_meta", 1 << 16);
+  ASSERT_TRUE(seg.ok());
+  auto opened = mgr_->OpenSealedSegment("raw_meta");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().ToString().find("checksum"), std::string::npos)
+      << opened.status().ToString();
+}
+
+TEST_F(PersistenceTest, CrashMidPersistLeavesStoreRefused) {
+  // The CI crash-recovery scenario, in-process: a child arms
+  // MMJOIN_PERSIST_CRASH and SIGKILLs itself partway through the seal
+  // sequence. The parent must find the store refused, then rebuild it and
+  // get the identical verified join.
+  const rel::RelationConfig rc = Shape(2048, 2, 0.5, 99);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::setenv("MMJOIN_PERSIST_CRASH", "3", 1);
+    mm::SegmentManager child_mgr(dir_);
+    auto workload = mm::BuildMmWorkload(&child_mgr, "torn", rc);
+    if (!workload.ok()) ::_exit(2);
+    (void)mm::PersistMmWorkload(&child_mgr, "torn", &*workload,
+                                mm::MsyncPolicy::kSync);
+    ::_exit(7);  // the hook should have killed us before this
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus)) << "exit=" << WEXITSTATUS(wstatus);
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // The manifest seals last, so the torn store must be refused...
+  ASSERT_TRUE(mm::MmWorkloadStoreExists(*mgr_, "torn"));
+  auto reopened = mm::OpenMmWorkload(mgr_.get(), "torn");
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().ToString().find("checksum"), std::string::npos)
+      << reopened.status().ToString();
+
+  // ...and a rebuild from scratch yields the identical verified join.
+  ASSERT_TRUE(
+      mm::DeleteMmWorkload(mgr_.get(), "torn", rc.num_partitions).ok());
+  auto rebuilt = BuildStore(rc, "torn", mm::MsyncPolicy::kSync);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  rebuilt = Status::NotFound("dropped");
+  auto w = mm::OpenMmWorkload(mgr_.get(), "torn");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto join = mm::MmIndexNestedLoops(*w);
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  EXPECT_TRUE(join->verified);
+}
+
+TEST_F(PersistenceTest, GenerationAdvancesAcrossSeals) {
+  // Each successful seal bumps the generation — re-persisting the same
+  // store produces a strictly newer header.
+  const rel::RelationConfig rc = Shape(512, 2, 0.0, 123);
+  auto built = BuildStore(rc, "gen", mm::MsyncPolicy::kNone);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  auto seg = mgr_->OpenSealedSegment("gen_meta");
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_GE(seg->header()->generation, 1u);
+  EXPECT_EQ(seg->header()->clean, 1u);
+}
+
+}  // namespace
+}  // namespace mmjoin

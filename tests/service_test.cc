@@ -55,6 +55,17 @@ TEST(ProtocolTest, RequestRoundTripEveryOp) {
   named.id = 10;
   named.name = "orders";
 
+  Request persist;
+  persist.op = RequestOp::kPersist;
+  persist.id = 15;
+  persist.name = "orders";
+  persist.msync = "sync";
+
+  Request load;  // load is the same name+op shape as unregister
+  load.op = RequestOp::kLoad;
+  load.id = 16;
+  load.name = "orders";
+
   auto bare = [](RequestOp op, uint64_t id) {
     Request req;
     req.op = op;
@@ -62,7 +73,7 @@ TEST(ProtocolTest, RequestRoundTripEveryOp) {
     return req;
   };
   for (const Request& req :
-       {hello, reg, query, named, bare(RequestOp::kList, 11),
+       {hello, reg, query, named, persist, load, bare(RequestOp::kList, 11),
         bare(RequestOp::kStats, 12), bare(RequestOp::kShutdown, 13),
         bare(RequestOp::kPing, 14)}) {
     SCOPED_TRACE(RequestOpName(req.op));
@@ -79,6 +90,7 @@ TEST(ProtocolTest, RequestRoundTripEveryOp) {
     EXPECT_EQ(parsed->algorithm, req.algorithm);
     EXPECT_EQ(parsed->priority, req.priority);
     EXPECT_EQ(parsed->trace, req.trace);
+    EXPECT_EQ(parsed->msync, req.msync);
   }
 }
 
@@ -106,6 +118,7 @@ TEST(ProtocolTest, ResponseRoundTripEveryOp) {
   info.seed = 42;
   info.resident_bytes = 3 << 20;
   info.pins = 2;
+  info.durable = true;
   relations.relations.push_back(info);
 
   Response result;
@@ -147,8 +160,21 @@ TEST(ProtocolTest, ResponseRoundTripEveryOp) {
   pong.op = ResponseOp::kPong;
   pong.id = 9;
 
-  for (const Response& resp : {welcome, registered, relations, result, stats,
-                               unregistered, error, draining, pong}) {
+  Response persisted;
+  persisted.op = ResponseOp::kPersisted;
+  persisted.id = 10;
+  persisted.name = "orders";
+  persisted.resident_bytes = 3 << 20;
+
+  Response loaded;
+  loaded.op = ResponseOp::kLoaded;
+  loaded.id = 11;
+  loaded.name = "orders";
+  loaded.resident_bytes = 3 << 20;
+
+  for (const Response& resp :
+       {welcome, registered, relations, result, stats, unregistered, error,
+        draining, pong, persisted, loaded}) {
     SCOPED_TRACE(ResponseOpName(resp.op));
     auto parsed = ParseResponse(SerializeResponse(resp));
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
@@ -170,6 +196,7 @@ TEST(ProtocolTest, ResponseRoundTripEveryOp) {
       EXPECT_EQ(parsed->relations[i].name, resp.relations[i].name);
       EXPECT_EQ(parsed->relations[i].r_objects, resp.relations[i].r_objects);
       EXPECT_EQ(parsed->relations[i].pins, resp.relations[i].pins);
+      EXPECT_EQ(parsed->relations[i].durable, resp.relations[i].durable);
     }
     ASSERT_EQ(parsed->stats.size(), resp.stats.size());
     for (size_t i = 0; i < resp.stats.size(); ++i) {
@@ -301,12 +328,15 @@ class ServiceTest : public ::testing::Test {
     mgr_ = std::make_unique<mm::SegmentManager>(dir_);
   }
 
-  void StartServer(uint32_t workers, uint32_t max_inflight) {
+  void StartServer(uint32_t workers, uint32_t max_inflight,
+                   bool load_store = false) {
+    server_.reset();  // restart: release the old listener first
     ServerOptions opts;
     opts.socket_path = dir_ + "/svc.sock";
     opts.workers = workers;
     opts.admission.max_inflight = max_inflight;
     opts.drain_timeout_s = 30;
+    opts.load_store = load_store;
     server_ = std::make_unique<Server>(mgr_.get(), opts);
     const Status st = server_->Start();
     ASSERT_TRUE(st.ok()) << st.ToString();
@@ -506,6 +536,113 @@ TEST_F(ServiceTest, ShutdownDrainsAndRefusesNewWork) {
   }
 
   EXPECT_TRUE(server_->Drain());
+  server_->Stop();
+}
+
+TEST_F(ServiceTest, PersistLoadWarmRestartOverTheWire) {
+  StartServer(2, 2);
+  Client client = Connect();
+  RegisterRelation(&client, "durable", 2048);
+
+  // Baseline answer before the restart; index-nl exercises the sealed
+  // B+-tree alongside the relation data.
+  const Response before =
+      MustCall(&client, QueryFor("durable", join::Algorithm::kIndexNestedLoops));
+  ASSERT_EQ(before.op, ResponseOp::kResult) << before.message;
+  EXPECT_TRUE(before.verified);
+
+  // Persist of an unknown relation is not_found, not a crash.
+  {
+    Request req;
+    req.op = RequestOp::kPersist;
+    req.name = "nope";
+    const Response resp = MustCall(&client, req);
+    ASSERT_EQ(resp.op, ResponseOp::kError);
+    EXPECT_EQ(resp.error, ErrorCode::kNotFound);
+  }
+  {
+    Request req;
+    req.op = RequestOp::kPersist;
+    req.name = "durable";
+    req.msync = "warp";  // unknown policy is a bad_request, not a default
+    const Response resp = MustCall(&client, req);
+    ASSERT_EQ(resp.op, ResponseOp::kError);
+    EXPECT_EQ(resp.error, ErrorCode::kBadRequest);
+  }
+  {
+    Request req;
+    req.op = RequestOp::kPersist;
+    req.name = "durable";
+    req.msync = "async";
+    const Response resp = MustCall(&client, req);
+    ASSERT_EQ(resp.op, ResponseOp::kPersisted) << resp.message;
+    EXPECT_EQ(resp.name, "durable");
+    EXPECT_GT(resp.resident_bytes, 0u);
+  }
+  {
+    Request req;
+    req.op = RequestOp::kList;
+    const Response resp = MustCall(&client, req);
+    ASSERT_EQ(resp.relations.size(), 1u);
+    EXPECT_TRUE(resp.relations[0].durable);
+  }
+  // Loading a name that is already registered is already_exists.
+  {
+    Request req;
+    req.op = RequestOp::kLoad;
+    req.name = "durable";
+    const Response resp = MustCall(&client, req);
+    ASSERT_EQ(resp.op, ResponseOp::kError);
+    EXPECT_EQ(resp.error, ErrorCode::kAlreadyExists);
+  }
+
+  // "Restart the daemon": tear the server down (the catalog keeps durable
+  // files on disk) and start a fresh one over the same segment root with
+  // the warm-restart scan enabled.
+  server_->Drain();
+  server_->Stop();
+  StartServer(2, 2, /*load_store=*/true);
+  Client client2 = Connect();
+  {
+    Request req;
+    req.op = RequestOp::kList;
+    const Response resp = MustCall(&client2, req);
+    ASSERT_EQ(resp.op, ResponseOp::kRelations);
+    ASSERT_EQ(resp.relations.size(), 1u);
+    EXPECT_EQ(resp.relations[0].name, "durable");
+    EXPECT_TRUE(resp.relations[0].durable);
+  }
+  // The reloaded relation answers every driver with the pre-restart
+  // result — same count and checksum, no regeneration.
+  for (join::Algorithm a :
+       {join::Algorithm::kGrace, join::Algorithm::kIndexNestedLoops}) {
+    const Response after = MustCall(&client2, QueryFor("durable", a));
+    ASSERT_EQ(after.op, ResponseOp::kResult) << after.message;
+    EXPECT_TRUE(after.verified);
+    EXPECT_EQ(after.count, before.count);
+    EXPECT_EQ(after.checksum, before.checksum);
+  }
+  // Explicit unregister of a durable relation deletes the store files: a
+  // third restart's scan finds nothing.
+  {
+    Request req;
+    req.op = RequestOp::kUnregister;
+    req.name = "durable";
+    const Response resp = MustCall(&client2, req);
+    ASSERT_EQ(resp.op, ResponseOp::kUnregistered) << resp.message;
+  }
+  server_->Drain();
+  server_->Stop();
+  StartServer(2, 2, /*load_store=*/true);
+  Client client3 = Connect();
+  {
+    Request req;
+    req.op = RequestOp::kList;
+    const Response resp = MustCall(&client3, req);
+    ASSERT_EQ(resp.op, ResponseOp::kRelations);
+    EXPECT_TRUE(resp.relations.empty());
+  }
+  server_->Drain();
   server_->Stop();
 }
 

@@ -202,8 +202,27 @@ int main(int argc, char** argv) {
                     plan_rows->number);
       queries_col = buf;
     }
-    std::printf("ok\t%s\tbench=%s\t%s\t%s\n", path.c_str(),
-                bench->str.c_str(), scatter_col.c_str(), queries_col.c_str());
+    // Index column: B+-tree probe traffic (probes/matches) when the dump
+    // carries index-join telemetry, "-" for benches that never probe.
+    const mmjoin::obs::JsonValue* ix_probes =
+        counters && counters->is_object()
+            ? counters->Find("join.index.probes")
+            : nullptr;
+    const mmjoin::obs::JsonValue* ix_matches =
+        counters && counters->is_object()
+            ? counters->Find("join.index.matches")
+            : nullptr;
+    std::string index_col = "index=-";
+    if (ix_probes && ix_probes->is_number() && ix_matches &&
+        ix_matches->is_number()) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "index=%.0f/%.0f", ix_probes->number,
+                    ix_matches->number);
+      index_col = buf;
+    }
+    std::printf("ok\t%s\tbench=%s\t%s\t%s\t%s\n", path.c_str(),
+                bench->str.c_str(), scatter_col.c_str(), queries_col.c_str(),
+                index_col.c_str());
 
     if (!baseline_path.empty() &&
         (bench_filter.empty() || bench_filter == bench->str)) {
