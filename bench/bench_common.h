@@ -14,6 +14,7 @@
 #include "join/grace.h"
 #include "join/hybrid_hash.h"
 #include "join/index_nl.h"
+#include "join/mpsm.h"
 #include "join/nested_loops.h"
 #include "join/sort_merge.h"
 #include "model/join_model.h"
@@ -51,6 +52,8 @@ inline StatusOr<join::JoinRunResult> RunAlgorithm(
       return join::RunHybridHash(env, w, p);
     case join::Algorithm::kIndexNestedLoops:
       return join::RunIndexNestedLoops(env, w, p);
+    case join::Algorithm::kMpsm:
+      return join::RunMpsm(env, w, p);
   }
   return Status::InvalidArgument("bad algorithm");
 }

@@ -7,7 +7,7 @@
 //       --disks=4 --theta=0.0 --mem-frac=0.05 --model --passes
 //
 // Flags (all optional):
-//   --algorithm=nl|sm|grace|hh|inl|all  which join to run      [all]
+//   --algorithm=nl|sm|mpsm|grace|hh|inl|all  which join to run      [all]
 //   --backend=sim|real            costed simulator or real mmap [sim]
 //   --r=N --s=N                   relation sizes in objects    [102400]
 //   --disks=D                     partitions/disks             [4]
@@ -56,7 +56,7 @@ using namespace mmjoin;
 
 constexpr char kUsage[] =
     "usage: mmjoin_cli [flags]\n"
-    "  --algorithm=nl|sm|grace|hh|inl|all  which join to run      [all]\n"
+    "  --algorithm=nl|sm|mpsm|grace|hh|inl|all  which join to run      [all]\n"
     "  --backend=sim|real            costed simulator or real mmap [sim]\n"
     "  --r=N --s=N                   relation sizes in objects    [102400]\n"
     "  --disks=D                     partitions/disks             [4]\n"
@@ -216,6 +216,8 @@ int RunOne(join::Algorithm a, const Flags& flags,
         return join::RunNestedLoops(&env, *workload, params);
       case join::Algorithm::kSortMerge:
         return join::RunSortMerge(&env, *workload, params);
+      case join::Algorithm::kMpsm:
+        return join::RunMpsm(&env, *workload, params);
       case join::Algorithm::kHybridHash:
         return join::RunHybridHash(&env, *workload, params);
       case join::Algorithm::kIndexNestedLoops:
@@ -326,6 +328,8 @@ int RunOneReal(join::Algorithm a, const Flags& flags,
         return mm::MmNestedLoops(workload, options);
       case join::Algorithm::kSortMerge:
         return mm::MmSortMerge(workload, options);
+      case join::Algorithm::kMpsm:
+        return mm::MmMpsm(workload, options);
       case join::Algorithm::kHybridHash:
         return mm::MmHybridHash(workload, options);
       case join::Algorithm::kIndexNestedLoops:
@@ -449,7 +453,7 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
   if (!ResolveRealOptions(flags, &real_options)) return 2;
   std::printf("real backend: schedule=%s morsel-tuples=%llu skew-split=%.1f "
               "kernel=%s prefetch-distance=%u paging=%s huge-pages=%s "
-              "scatter=%s scatter-tuples=%u numa=%s\n\n",
+              "scatter=%s scatter-tuples=%u numa=%s\n",
               exec::ScheduleName(real_options.schedule),
               static_cast<unsigned long long>(
                   real_options.morsel_tuples ? real_options.morsel_tuples
@@ -467,6 +471,8 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
               real_options.scatter_tuples ? real_options.scatter_tuples
                                           : exec::kDefaultScatterTuples,
               exec::NumaModeName(real_options.numa));
+  std::printf("topology: %s\n\n",
+              exec::NumaTopologySummary(exec::QueryNumaTopology()).c_str());
   const bool durable = !flags.store.empty();
   std::string dir = durable ? flags.store
                    : flags.dir.empty()
@@ -572,6 +578,8 @@ int main(int argc, char** argv) {
     algorithms = {join::Algorithm::kNestedLoops};
   } else if (flags.algorithm == "sm") {
     algorithms = {join::Algorithm::kSortMerge};
+  } else if (flags.algorithm == "mpsm") {
+    algorithms = {join::Algorithm::kMpsm};
   } else if (flags.algorithm == "grace") {
     algorithms = {join::Algorithm::kGrace};
   } else if (flags.algorithm == "hh") {
@@ -580,7 +588,8 @@ int main(int argc, char** argv) {
     algorithms = {join::Algorithm::kIndexNestedLoops};
   } else if (flags.algorithm == "all") {
     algorithms = {join::Algorithm::kNestedLoops, join::Algorithm::kSortMerge,
-                  join::Algorithm::kGrace, join::Algorithm::kHybridHash,
+                  join::Algorithm::kMpsm, join::Algorithm::kGrace,
+                  join::Algorithm::kHybridHash,
                   join::Algorithm::kIndexNestedLoops};
   } else {
     std::fprintf(stderr, "bad --algorithm\n");

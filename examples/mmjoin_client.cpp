@@ -30,7 +30,7 @@ constexpr char kUsage[] =
     "  register NAME R S PARTITIONS [THETA] [SEED]  build + keep resident\n"
     "  query NAME ALGORITHM [--priority=low|normal|high] [--trace]\n"
     "      ALGORITHM: nested-loops | sort-merge | grace | hybrid-hash |\n"
-    "                 index-nl\n"
+    "                 index-nl | mpsm\n"
     "  plan NAME PLAN [--priority=low|normal|high] [--trace]\n"
     "      PLAN: q1 | q4 | q6 (built-in TPC-H-style plans)\n"
     "  persist NAME [MSYNC]  seal as a durable store (none|async|sync)\n"
@@ -208,6 +208,8 @@ int main(int argc, char** argv) {
       req.algorithm = join::Algorithm::kHybridHash;
     } else if (algo == "index-nl") {
       req.algorithm = join::Algorithm::kIndexNestedLoops;
+    } else if (algo == "mpsm") {
+      req.algorithm = join::Algorithm::kMpsm;
     } else {
       cli::BadFlagValue("mmjoin_client", algo, kUsage);
     }

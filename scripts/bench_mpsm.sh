@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# MPSM acceptance bench: a Release build of the real-backend join bench,
+# mpsm table only, at A/B scale (>= 16M objects per side by default) with
+# the timing gate armed — on a multi-node NUMA host the run fails unless
+# MPSM under numa=local is at least MIN_SPEEDUP x the sort-merge baseline
+# on one of the two workloads (uniform, Zipf). On a single-node host the
+# driver degenerates to its documented fallback (one band — there is no
+# remote traffic for the placement to avoid): the bench prints the skip,
+# the identity check (mpsm and sort-merge produce the identical verified
+# count/checksum, asserted unconditionally inside the bench) still runs,
+# and the committed artifact records the topology line explaining the
+# missing speedup. Either way the artifact is honest about what the host
+# could show.
+#
+#   scripts/bench_mpsm.sh [build_dir] [objects] [out_json]
+#
+# Defaults: build-bench, 16777216 objects per relation (2 GiB per side),
+# D=8 partitions. Output artifact: BENCH_mpsm.json at the repo root.
+# Knobs via env: MMJOIN_MPSM_REPS (default 2, best-of, interleaved),
+# MMJOIN_MPSM_ASSERT (default 1.0, the gate's min speedup),
+# BENCH_MPSM_TIMEOUT (seconds, default 3600), PARTITIONS (default 8).
+#
+# This is the run that produces the committed BENCH_mpsm.json artifact;
+# CI's bench-smoke runs the same table at small scale WITHOUT the gate
+# (shared runners are too noisy for timing assertions, and typically
+# single-node anyway).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OBJECTS="${2:-16777216}"
+OUT_JSON="${3:-BENCH_mpsm.json}"
+PARTITIONS="${PARTITIONS:-8}"
+REPS="${MMJOIN_MPSM_REPS:-2}"
+MIN_SPEEDUP="${MMJOIN_MPSM_ASSERT:-1.0}"
+TIMEOUT_S="${BENCH_MPSM_TIMEOUT:-3600}"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target real_backend_join metrics_validate
+
+OUT_DIR="$BUILD_DIR/bench-mpsm"
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+echo "== real_backend_join mpsm table: $OBJECTS objects, D=$PARTITIONS," \
+     "reps=$REPS, gate: mpsm(numa=local) >= ${MIN_SPEEDUP}x sort-merge" \
+     "(multi-node hosts only; single-node records the fallback)"
+(
+  cd "$OUT_DIR"
+  mkdir -p store
+  MMJOIN_MPSM_ONLY=1 MMJOIN_MPSM_ASSERT="$MIN_SPEEDUP" \
+    MMJOIN_MPSM_REPS="$REPS" \
+    timeout "$TIMEOUT_S" ../bench/real_backend_join "$OBJECTS" \
+    "$PARTITIONS" 1.1 store \
+    | tee bench_mpsm.log
+  ../tools/metrics_validate --merge BENCH_mpsm.json ./*.metrics.json
+)
+cp "$OUT_DIR/BENCH_mpsm.json" "$OUT_JSON"
+echo "bench-mpsm: OK ($OUT_JSON)"

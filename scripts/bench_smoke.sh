@@ -48,7 +48,10 @@ run "../bench/fig5b_sort_merge" "$OBJECTS"
 run "../bench/fig5c_grace" "$OBJECTS"
 # Twice the objects for the real backend (it is wall-clock fast), D=8,
 # Zipf theta 1.1: the static-vs-stealing table runs on a genuinely skewed
-# workload and the same_join column asserts schedule-independence.
+# workload and the same_join column asserts schedule-independence. The run
+# includes the small-N mpsm-vs-sort-merge table (identity asserted
+# unconditionally, timing not gated here — scripts/bench_mpsm.sh arms the
+# gate at scale), so BENCH_ci.json carries the join.mpsm.* telemetry.
 run env MMJOIN_KERNEL_REPS=3 "../bench/real_backend_join" "$((OBJECTS * 2))" 8 1.1
 # 10 seconds of open-loop multi-query load through the mmjoind service
 # stack (in-process server, real unix socket, 4 clients on the shared

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Protocol-docs coverage gate: every wire vocabulary string in
 # src/service/protocol.h (the kRequestOps / kResponseOps / kErrorCodes
-# tables — the single source of truth for the mmjoind protocol) and every
-# built-in plan name in src/exec/op/plan.h (kPlanNames — the run_plan
-# vocabulary) must appear in docs/PROTOCOL.md, and the operator docs must
-# exist at all.
+# tables — the single source of truth for the mmjoind protocol), every
+# algorithm name in src/service/protocol.cc (kAlgorithmNames — the
+# query.algorithm vocabulary), and every built-in plan name in
+# src/exec/op/plan.h (kPlanNames — the run_plan vocabulary) must appear
+# in docs/PROTOCOL.md, and the operator docs must exist at all.
 # Wired into ctest as `check_protocol_docs` so adding a message without
 # documenting it fails the tier-1 suite, not a reviewer's memory.
 #
@@ -64,6 +65,8 @@ missing=0
 for table in kRequestOps kResponseOps kErrorCodes; do
   check_table "$table" "$HEADER"
 done
+# The query op's algorithm vocabulary lives in the codec, not the header.
+check_table kAlgorithmNames src/service/protocol.cc
 # The run_plan op's plan-name vocabulary lives with the operator layer.
 check_table kPlanNames src/exec/op/plan.h
 

@@ -30,6 +30,14 @@
 //     static B+-tree over the packed S-pointer (sorted SRef leaves +
 //     implicit key levels) and probed per S tuple — S's identity IS the
 //     probe key, so unmatched S objects are never touched.
+//   Mpsm (EXT-9, after Albutiu/Kemper/Neumann): pass 0 range-partitions R
+//     by S-pointer into one band per NUMA node; pass 1 heapsorts each
+//     band's IRUN runs strictly node-locally; pass 2 has each partition
+//     binary-search its key range out of EVERY node's runs and merge-join
+//     the slices against one sequential sweep of S_i — remote bands are
+//     only ever scanned sequentially, never probed randomly. The pointer
+//     join sorts only R (S's placement IS the sort key), so unlike the
+//     original MPSM the S side needs no sorting at all.
 //
 // Cost charging (ChargeCpu/ChargeSetup), byte access, the S fetch protocol
 // and barriers are all backend-provided; on the real backend the charges
@@ -268,6 +276,320 @@ StatusOr<join::JoinRunResult> SortMerge(B& ex,
   result.nrun_last = overall.nrun_last;
   result.lrun = overall.lrun;
   result.npass = *std::max_element(npass_per.begin(), npass_per.end());
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// NUMA-affine massively-parallel sort-merge (EXT-9)
+// ---------------------------------------------------------------------------
+
+/// MPSM adapted to the pointer join. R is range-partitioned by packed
+/// S-pointer into one contiguous *band* per NUMA node (pass 0), each band
+/// is heapsorted into IRUN-object runs by that node's own workers
+/// (pass 1), and each S partition's key range is then carved out of every
+/// node's runs by binary search and k-way merge-joined against one
+/// sequential sweep of S_i (pass 2). Cross-node traffic is confined to
+/// the sequential tail scans of remote run slices — the random work
+/// (sorting, heap pops, S dereferences) is all node-local. Output is
+/// bit-identical to SortMerge: every R tuple lands in exactly one band,
+/// every band tuple belongs to exactly one partition's key range, and the
+/// output tallies are commutative sums.
+///
+/// On a single-node host (or the simulator, whose NumaNodeCount() is 1)
+/// the range partitioning degenerates to one band — the documented
+/// fallback: same passes, same results, no cross-node structure to
+/// exploit.
+template <Backend B>
+StatusOr<join::JoinRunResult> Mpsm(B& ex, const join::JoinParams& params) {
+  using Seg = typename B::Seg;
+  const uint32_t d = ex.D();
+  const sim::MachineConfig& mc = ex.mc();
+  const bool sync = params.phase_sync.value_or(true);
+  const uint64_t r = sizeof(rel::RObject);
+
+  // One band per node, at most one node per partition (a band needs at
+  // least one partition's worth of workers and one disk to live on).
+  const uint32_t nodes =
+      std::max<uint32_t>(1, std::min<uint32_t>(ex.NumaNodeCount(), d));
+  auto node_of = [nodes, d](uint32_t p) -> uint32_t {
+    return static_cast<uint32_t>(static_cast<uint64_t>(p) * nodes / d);
+  };
+  // First partition of each node's contiguous partition block: the band's
+  // home disk, and the process that charges its setup.
+  std::vector<uint32_t> node_first(nodes, 0);
+  for (uint32_t p = d; p-- > 0;) node_first[node_of(p)] = p;
+
+  // Band populations: band n receives every R tuple whose S-pointer
+  // targets a partition of node n. Sub-band (n, i) — source partition i's
+  // contribution — gets its own bump cursor, so pass-0 chains (one per
+  // source partition) write race-free without synchronization.
+  std::vector<std::vector<uint64_t>> band_counts(
+      nodes, std::vector<uint64_t>(d, 0));
+  for (uint32_t i = 0; i < d; ++i) {
+    for (uint32_t p = 0; p < d; ++p) {
+      band_counts[node_of(p)][i] += ex.SubCount(i, p);
+    }
+  }
+  op::BucketLayout band_layout;
+  band_layout.Init(band_counts);
+  std::vector<uint64_t> band_total(nodes);
+  uint64_t max_band = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    band_total[n] = band_layout.Total(n);
+    max_band = std::max(max_band, band_total[n]);
+  }
+
+  // The node bands, each on its home node's first disk and — under
+  // numa=local on a multi-node host — bound to its home node, so pass 1
+  // sorts against local memory.
+  std::vector<Seg> band_segs(nodes);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    MMJOIN_ASSIGN_OR_RETURN(
+        band_segs[n],
+        ex.CreateSegment("NB" + std::to_string(n), node_first[n],
+                         std::max<uint64_t>(band_total[n], 1) * r));
+    ex.PlaceSegment(node_first[n], band_segs[n], n);
+  }
+
+  // Setup: openMap(R_i) + openMap(S_i) per partition plus newMap of the
+  // node bands, serialized over D (the bands' share spread evenly).
+  double band_new_ms = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    band_new_ms += mc.NewMapMs(ex.SegPages(band_segs[n]));
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    const double per_proc = mc.OpenMapMs(ex.SegPages(ex.r_seg(i))) +
+                            mc.OpenMapMs(ex.SegPages(ex.s_seg(i))) +
+                            band_new_ms / d;
+    ex.ChargeSetupAll(per_proc / d);
+  }
+  // R scans once sequentially; S_i is swept sequentially by the final
+  // merge-join; the bands are about to be filled.
+  for (uint32_t i = 0; i < d; ++i) {
+    ex.AdviseSegment(i, ex.r_seg(i), AccessIntent::kSequential);
+    ex.AdviseSegment(i, ex.s_seg(i), AccessIntent::kSequential);
+  }
+  for (uint32_t n = 0; n < nodes; ++n) {
+    ex.AdviseSegment(node_first[n], band_segs[n],
+                     AccessIntent::kPopulateWrite);
+  }
+  ex.MarkPass("setup");
+
+  // ---- Pass 0: range-partition R_i across the node bands. ----
+  // The destination keyspace is the node of the S-pointer's target
+  // partition; foreign and own tuples route identically (there is no
+  // "own" fast path — a band is shared by its node's partitions). Chained
+  // morsels keep one writer per (band, source) cursor.
+  ex.ForEachPartitionTuples(
+      op::RCounts(ex),
+      [&](uint32_t i, uint64_t begin, uint64_t end) {
+        ex.BeginScatter(i, nodes, (end - begin) / nodes,
+                        [&, i](uint32_t n, const rel::RObject* run,
+                               uint64_t len) {
+                          op::AppendRun(ex, i, band_segs[n],
+                                        band_layout.Claim(n, i, len), run,
+                                        len);
+                        });
+        const Seg r_seg = ex.r_seg(i);
+        if (ex.BatchedProbe()) {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject* obj =
+                op::ReadRPtr(ex, i, r_seg, rel::Workload::ROffset(k));
+            const rel::SPtr sp = rel::SPtr::Unpack(obj->sptr);
+            ex.ScatterTo(i, node_of(sp.partition), *obj);
+          }
+        } else {
+          for (uint64_t k = begin; k < end; ++k) {
+            const rel::RObject obj =
+                op::ReadR(ex, i, r_seg, rel::Workload::ROffset(k));
+            ex.ChargeCpu(i, mc.map_ms);  // map the join attribute to target
+            const rel::SPtr sp = rel::SPtr::Unpack(obj.sptr);
+            ex.ScatterTo(i, node_of(sp.partition), obj);
+          }
+        }
+        ex.FlushScatter(i);
+      },
+      /*independent=*/false);
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass0");
+
+  // ---- Pass 1: heapsort each band's IRUN runs, strictly node-locally. ----
+  // One IRUN for every band (sized off the largest) keeps run boundaries
+  // a pure function of the plan, so pass 2 can locate any run by
+  // arithmetic. Work is expressed in RUN units on partition slots: node
+  // n's runs spread contiguously over node n's partition slots, and the
+  // morsels are independent — each run sorts in isolation — so a node's
+  // runs fan out across exactly its own workers under the node-affine
+  // schedule.
+  const join::SortMergePlan overall = join::PlanSortMerge(
+      params.m_rproc_bytes, mc.page_size, max_band, params);
+  const uint64_t irun = overall.irun;
+  std::vector<uint64_t> node_runs(nodes);
+  uint64_t total_runs = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    node_runs[n] = band_total[n] ? op::CeilDiv(band_total[n], irun) : 0;
+    total_runs += node_runs[n];
+  }
+  std::vector<uint64_t> slot_first_run(d, 0), slot_run_count(d, 0);
+  for (uint32_t q = 0; q < d; ++q) {
+    const uint32_t n = node_of(q);
+    const uint64_t slots =
+        (n + 1 < nodes ? node_first[n + 1] : d) - node_first[n];
+    const uint64_t k = q - node_first[n];
+    slot_first_run[q] = k * node_runs[n] / slots;
+    slot_run_count[q] = (k + 1) * node_runs[n] / slots - slot_first_run[q];
+  }
+  ex.ForEachPartitionTuples(
+      slot_run_count,
+      [&](uint32_t q, uint64_t rb, uint64_t re) {
+        if (rb == re) return;
+        const uint32_t n = node_of(q);
+        const double sort_start_ms = ex.clock_ms(q);
+        for (uint64_t t = rb; t < re; ++t) {
+          const uint64_t g = slot_first_run[q] + t;
+          const uint64_t start = g * irun;
+          op::SortRunInPlace(ex, q, band_segs[n], start,
+                             std::min<uint64_t>(irun, band_total[n] - start));
+        }
+        if (ex.tracing()) {
+          ex.Span(q, "sort-runs", "heap", sort_start_ms,
+                  {obs::Arg("runs", re - rb), obs::Arg("irun", irun)});
+        }
+      },
+      /*independent=*/true);
+  if (sync) ex.SyncClocks();
+  ex.MarkPass("pass1");
+
+  // ---- Pass 2: per partition, slice every node's runs and merge-join. ----
+  // Partition p's tuples occupy the key range [SPtr{p,0}, SPtr{p+1,0}) —
+  // located in each sorted run by binary search, then consumed as a
+  // sequential scan off the merge heap. Pass 0's key-range banding means
+  // every non-empty slice comes from p's HOME band (all cross-node
+  // traffic already happened as pass-0 sequential scatter writes); the
+  // probe of the other bands is cheap — two binary searches finding an
+  // empty range — and the remote-slice counter it feeds is a
+  // misalignment guard, not an expected code path. The merged stream
+  // feeds the S fetch protocol exactly like SortMerge's final pass.
+  const std::vector<uint64_t> rs_objects = op::RsObjects(ex);
+  std::vector<uint64_t> fan_in(d, 0), local_slices(d, 0), remote_slices(d, 0);
+
+  auto run_lower_bound = [&](uint32_t p, Seg seg, uint64_t lo, uint64_t hi,
+                             uint64_t key) -> uint64_t {
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      const auto* obj =
+          static_cast<const rel::RObject*>(ex.Read(p, seg, mid * r, r));
+      if (obj->sptr < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  ex.ForEachPartition(rs_objects, [&](uint32_t p) {
+    const uint32_t home = node_of(p);
+    const uint64_t key_lo = rel::SPtr{p, 0}.Pack();
+    const uint64_t key_hi = p + 1 < d ? rel::SPtr{p + 1, 0}.Pack() : 0;
+
+    // Slice [cur, end) of every run holding p's key range.
+    struct Slice {
+      uint32_t node;
+      uint64_t cur, end;
+    };
+    std::vector<Slice> slices;
+    slices.reserve(total_runs);
+    for (uint32_t n = 0; n < nodes; ++n) {
+      for (uint64_t g = 0; g < node_runs[n]; ++g) {
+        const uint64_t run_start = g * irun;
+        const uint64_t run_end =
+            std::min(band_total[n], run_start + irun);
+        const uint64_t a =
+            run_lower_bound(p, band_segs[n], run_start, run_end, key_lo);
+        const uint64_t b =
+            p + 1 < d
+                ? run_lower_bound(p, band_segs[n], a, run_end, key_hi)
+                : run_end;
+        if (a < b) {
+          slices.push_back(Slice{n, a, b});
+          if (n == home) {
+            ++local_slices[p];
+          } else {
+            ++remote_slices[p];
+          }
+        }
+      }
+    }
+    fan_in[p] = slices.size();
+
+    const double merge_start_ms = ex.clock_ms(p);
+    const bool batched_fetch = ex.BatchedProbe();
+    std::vector<SRef> fetch;
+    if (batched_fetch) fetch.reserve(op::kProbeScratch);
+    MergeHeap heap(std::max<uint64_t>(slices.size(), 1));
+    for (uint32_t g = 0; g < slices.size(); ++g) {
+      const auto* obj = static_cast<const rel::RObject*>(
+          ex.Read(p, band_segs[slices[g].node], slices[g].cur * r, r));
+      heap.Insert(MergeEntry{obj->sptr, g});
+    }
+    while (!heap.empty()) {
+      const uint32_t g = heap.Min().run;
+      Slice& sl = slices[g];
+      // Re-touch the popped object's page: with scarce memory it may have
+      // been evicted since its key entered the heap (§6.2's anomaly).
+      rel::RObject obj;
+      const void* src =
+          ex.Read(p, band_segs[sl.node], sl.cur * r, r);
+      std::memcpy(&obj, src, r);
+      ++sl.cur;
+      if (sl.cur < sl.end) {
+        const auto* next = static_cast<const rel::RObject*>(
+            ex.Read(p, band_segs[sl.node], sl.cur * r, r));
+        heap.DeleteInsert(MergeEntry{next->sptr, g});
+      } else {
+        heap.DeleteMin();
+      }
+      // The merged stream is in S-pointer order: S_p reads sequentially
+      // through the fetch protocol.
+      if (batched_fetch) {
+        fetch.push_back(SRef{obj.id, obj.sptr});
+        if (fetch.size() == op::kProbeScratch) {
+          ex.RequestSBatch(p, fetch.data(), fetch.size());
+          fetch.clear();
+        }
+      } else {
+        ex.RequestS(p, obj.id, obj.sptr);
+      }
+    }
+    if (!fetch.empty()) ex.RequestSBatch(p, fetch.data(), fetch.size());
+    op::ChargeHeapCost(ex, p, heap.cost());
+    ex.FlushSRequests(p);
+    if (ex.tracing()) {
+      ex.Span(p, "slice-merge-join", "heap", merge_start_ms,
+              {obs::Arg("fan_in", fan_in[p]),
+               obs::Arg("objects", rs_objects[p])});
+    }
+  });
+  ex.MarkPass("sort+merge+join");
+
+  for (uint32_t n = 0; n < nodes; ++n) {
+    ex.DropSegment(node_first[n], band_segs[n], /*discard=*/true);
+    MMJOIN_RETURN_NOT_OK(ex.DeleteSegment(band_segs[n]));
+  }
+
+  join::JoinRunResult result = ex.Finish();
+  result.irun = overall.irun;
+  result.nrun_abl = overall.nrun_abl;
+  result.nrun_last = overall.nrun_last;
+  result.npass = 1;  // every partition merge-joins its slices in one pass
+  result.lrun = *std::max_element(fan_in.begin(), fan_in.end());
+  result.mpsm_nodes = nodes;
+  result.mpsm_runs = total_runs;
+  result.mpsm_local_slices =
+      std::accumulate(local_slices.begin(), local_slices.end(), uint64_t{0});
+  result.mpsm_remote_slices =
+      std::accumulate(remote_slices.begin(), remote_slices.end(), uint64_t{0});
   return result;
 }
 

@@ -8,17 +8,22 @@
 // the first touch — the right default for bands that every worker reads
 // in a later pass. kLocal leans into first-touch instead: each RP band's
 // pages are pre-faulted by the worker that owns its partition, so the
-// partition's pass-1 reader finds them node-local.
+// partition's pass-1 reader finds them node-local. The MPSM driver
+// additionally binds whole node bands to their home node (BindToNode) and
+// pins workers to their node's cpus (PinThreadToNode) under kLocal.
 //
-// No libnuma: the one policy call we need is the raw mbind(2) syscall,
-// issued via syscall(2) with a locally defined MPOL_INTERLEAVE. On
-// single-node hosts (or kernels without mbind) everything degrades to
-// counted no-ops — options never fail, they just report zero effect in
-// join.numa.* (scatter_test pins this fallback behavior).
+// No libnuma: the two policy calls we need are the raw mbind(2) syscall,
+// issued via syscall(2) with locally defined MPOL_* values, and
+// sched_setaffinity(2). On single-node hosts (or kernels without mbind)
+// everything degrades to counted no-ops — options never fail, they just
+// report zero effect in join.numa.* (scatter_test pins this fallback
+// behavior).
 #ifndef MMJOIN_EXEC_NUMA_H_
 #define MMJOIN_EXEC_NUMA_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -37,11 +42,46 @@ const char* NumaModeName(NumaMode mode);
 /// sysfs topology is unreadable.
 uint32_t DetectNumaNodes();
 
+/// The host's NUMA shape as read from sysfs, plus the calling thread's
+/// current memory policy. Degrades to a one-node topology covering every
+/// cpu where sysfs is unreadable (non-Linux, restricted containers).
+struct NumaTopology {
+  uint32_t nodes = 1;                   ///< online nodes (>= 1)
+  std::vector<std::vector<uint32_t>> node_cpus;  ///< cpu ids per node
+  std::string policy = "default";       ///< current thread mempolicy name
+};
+
+/// Probes /sys/devices/system/node/node*/cpulist and get_mempolicy(2).
+/// Never fails; unreadable pieces fall back to their defaults.
+NumaTopology QueryNumaTopology();
+
+/// One-line human summary for run headers, e.g.
+/// "nodes=2 cpus=8+8 policy=default". Committed bench JSONs carry it so a
+/// reader knows what topology a number was measured on.
+std::string NumaTopologySummary(const NumaTopology& topo);
+
 /// Applies MPOL_INTERLEAVE over all `nodes` to [base, base+bytes). Sets
 /// *applied=false (and returns OK) when there is nothing to do: a single
 /// node, or a platform without the mbind syscall. A real mbind failure
 /// returns the errno as a Status.
 Status BindInterleaved(void* base, uint64_t bytes, uint32_t nodes,
+                       bool* applied);
+
+/// Applies MPOL_BIND to `node` over [base, base+bytes) — the MPSM node
+/// bands use this so each band's pages live on the node whose workers
+/// sort it. Sets *applied=false (and returns OK) when there is nothing to
+/// do: `total_nodes` <= 1, or no mbind syscall. Binding to a node the
+/// host does not have returns the errno as a Status (counted by callers,
+/// never fatal).
+Status BindToNode(void* base, uint64_t bytes, uint32_t node,
+                  uint32_t total_nodes, bool* applied);
+
+/// Pins the calling thread to `node`'s cpus per `topo` via
+/// sched_setaffinity(2). Sets *applied=false (and returns OK) when there
+/// is nothing to do: a one-node topology, an out-of-range node, or a
+/// platform without thread affinity. Pinning is a pure locality hint —
+/// failures are reported but never affect results.
+Status PinThreadToNode(uint32_t node, const NumaTopology& topo,
                        bool* applied);
 
 }  // namespace mmjoin::exec

@@ -420,38 +420,47 @@ void ProbePhases(B& ex, bool sync) {
 // Sort + MergeJoin (sort-merge pass 2)
 // ---------------------------------------------------------------------------
 
+/// Sorts one run of `len` objects at object offset `start` of `seg` in
+/// place, by S-pointer: read the run in, heapsort an array of pointers,
+/// permute the objects (one MTpp move per object), write back. The single-
+/// run body of SortRuns, exposed so MPSM's pass 1 can sort individual
+/// node-band runs as independent morsels.
+template <Backend B>
+void SortRunInPlace(B& ex, uint32_t i, typename B::Seg seg, uint64_t start,
+                    uint64_t len) {
+  const uint64_t r = sizeof(rel::RObject);
+  std::vector<rel::RObject> buffer(len);
+  for (uint64_t k = 0; k < len; ++k) {
+    const void* src = ex.Read(i, seg, (start + k) * r, r);
+    std::memcpy(&buffer[k], src, r);
+  }
+  std::vector<uint64_t> idx(len);
+  for (uint64_t k = 0; k < len; ++k) idx[k] = k;
+  HeapCost cost;
+  HeapSort(
+      &idx,
+      [&buffer](uint64_t a, uint64_t b) {
+        return buffer[a].sptr < buffer[b].sptr;
+      },
+      &cost);
+  ChargeHeapCost(ex, i, cost);
+  // Move the objects into sorted order (one MTpp move per object).
+  for (uint64_t k = 0; k < len; ++k) {
+    void* dst = ex.Write(i, seg, (start + k) * r, r);
+    std::memcpy(dst, &buffer[idx[k]], r);
+  }
+  ex.ChargeCpu(i, static_cast<double>(len * r) * ex.mc().mt_pp_ms);
+}
+
 /// Sorts RS_i into IRUN-object runs in place: read each run in, heapsort
 /// an array of pointers, permute the objects (one MTpp move per object),
 /// write back. Returns the run count.
 template <Backend B>
 uint64_t SortRuns(B& ex, uint32_t i, typename B::Seg seg, uint64_t n,
                   uint64_t irun) {
-  const uint64_t r = sizeof(rel::RObject);
   const double sort_start_ms = ex.clock_ms(i);
-  std::vector<rel::RObject> buffer;
   for (uint64_t start = 0; start < n; start += irun) {
-    const uint64_t len = std::min<uint64_t>(irun, n - start);
-    buffer.resize(len);
-    for (uint64_t k = 0; k < len; ++k) {
-      const void* src = ex.Read(i, seg, (start + k) * r, r);
-      std::memcpy(&buffer[k], src, r);
-    }
-    std::vector<uint64_t> idx(len);
-    for (uint64_t k = 0; k < len; ++k) idx[k] = k;
-    HeapCost cost;
-    HeapSort(
-        &idx,
-        [&buffer](uint64_t a, uint64_t b) {
-          return buffer[a].sptr < buffer[b].sptr;
-        },
-        &cost);
-    ChargeHeapCost(ex, i, cost);
-    // Move the objects into sorted order (one MTpp move per object).
-    for (uint64_t k = 0; k < len; ++k) {
-      void* dst = ex.Write(i, seg, (start + k) * r, r);
-      std::memcpy(dst, &buffer[idx[k]], r);
-    }
-    ex.ChargeCpu(i, static_cast<double>(len * r) * ex.mc().mt_pp_ms);
+    SortRunInPlace(ex, i, seg, start, std::min<uint64_t>(irun, n - start));
   }
   const uint64_t runs = std::max<uint64_t>(1, CeilDiv(n, irun));
   if (ex.tracing()) {

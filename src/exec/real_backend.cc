@@ -79,7 +79,32 @@ RealBackend::RealBackend(const mm::MmWorkload& workload,
   (void)params;  // plan shaping reads params through the drivers
   start_epoch_ms_ = SteadyNowMs();
   main_start_faults_ = ThreadFaults();
-  if (numa_ != NumaMode::kNone) numa_nodes_ = DetectNumaNodes();
+  // The node count is always resolved (MPSM shapes its bands by it even
+  // under numa=none); options.numa_nodes overrides the detected topology —
+  // 1 forces the single-node fallback, >1 forces a multi-band shape.
+  detected_nodes_ = DetectNumaNodes();
+  numa_nodes_ = options.numa_nodes ? options.numa_nodes : detected_nodes_;
+  node_affine_ = pool_ == nullptr && numa_ == NumaMode::kLocal &&
+                 numa_nodes_ > 1 && workers_ > 1 && d_ > 1;
+  if (node_affine_) {
+    // Node-affine scheduling: worker w's home node is w*N/W (the same
+    // contiguous-split shape as the partition map), chains carry their
+    // partition's home node, and each spawned worker pins itself to its
+    // node's cpus. All of it is locality-only — results are unchanged.
+    placement_nodes_ = std::min(numa_nodes_, d_);
+    topo_ = QueryNumaTopology();
+    sched_options_.worker_node.resize(workers_);
+    for (uint32_t w = 0; w < workers_; ++w) {
+      sched_options_.worker_node[w] =
+          static_cast<uint32_t>(uint64_t{w} * placement_nodes_ / workers_);
+    }
+    sched_options_.worker_start = [this](uint32_t w) {
+      bool applied = false;
+      // Pinning is a pure locality hint; on hosts without the forced node
+      // count (or without affinity syscalls) it is a silent no-op.
+      (void)PinThreadToNode(sched_options_.worker_node[w], topo_, &applied);
+    };
+  }
   rp_segs_.assign(d_, nullptr);
   out_count_.assign(std::max(1u, workers_), 0);
   out_digest_.assign(std::max(1u, workers_), 0);
@@ -158,7 +183,8 @@ StatusOr<RealBackend::Seg> RealBackend::CreateSegment(const std::string& name,
     // paging=none|advise. Single-node hosts: applied=false, a counted
     // no-op, never an error.
     bool applied = false;
-    const Status st = BindInterleaved(base, map_bytes, numa_nodes_, &applied);
+    const Status st =
+        BindInterleaved(base, map_bytes, detected_nodes_, &applied);
     if (applied) mbind_calls_.fetch_add(1, std::memory_order_relaxed);
     if (!st.ok()) {
       mbind_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -209,6 +235,26 @@ Status RealBackend::DeleteSegment(Seg seg) {
                            std::strerror(errno));
   }
   return Status::OK();
+}
+
+void RealBackend::PlaceSegment(uint32_t /*i*/, Seg seg, uint32_t node) {
+  // Placement is capped by the nodes the host really has: a *forced*
+  // multi-band shape (options.numa_nodes > detected) keeps MPSM's control
+  // flow but must not mbind to nonexistent nodes — those bands simply stay
+  // default-placed, which is exactly the documented degradation.
+  if (numa_ != NumaMode::kLocal || seg == nullptr || !seg->owned ||
+      !seg->live || detected_nodes_ <= 1 || node >= detected_nodes_) {
+    return;
+  }
+  bool applied = false;
+  const Status st =
+      BindToNode(seg->base, seg->map_bytes, node, detected_nodes_, &applied);
+  if (applied) mbind_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (!st.ok()) {
+    mbind_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(paging_mu_);
+    if (numa_status_.ok()) numa_status_ = st;
+  }
 }
 
 void RealBackend::DropSegment(uint32_t /*i*/, Seg seg, bool discard) {

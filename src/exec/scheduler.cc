@@ -85,11 +85,11 @@ std::vector<MorselChain> BuildChains(const std::vector<uint64_t>& counts,
     }
     if (independent) {
       for (const Morsel& m : morsels) {
-        chains.push_back(
-            MorselChain{i, std::max<uint64_t>(1, m.end - m.begin), {m}});
+        chains.push_back(MorselChain{
+            i, std::max<uint64_t>(1, m.end - m.begin), kAnyNode, {m}});
       }
     } else {
-      chains.push_back(MorselChain{i, std::max<uint64_t>(1, n),
+      chains.push_back(MorselChain{i, std::max<uint64_t>(1, n), kAnyNode,
                                    std::move(morsels)});
     }
   }
@@ -123,12 +123,25 @@ void WorkStealingScheduler::Run(std::vector<MorselChain> chains,
   }
 
   // LPT seeding: deal each chain (largest first) to the least-loaded deque.
+  // A node-tagged chain (with worker_node populated) restricts the search
+  // to that node's workers; if no worker lives on the chain's node, the
+  // deal falls back to the global least-loaded deque.
+  const bool affine = options_.worker_node.size() >= w;
   std::vector<std::deque<MorselChain*>> deques(w);
   std::vector<uint64_t> pending(w, 0);
   for (MorselChain& c : chains) {
-    uint32_t target = 0;
-    for (uint32_t v = 1; v < w; ++v) {
-      if (pending[v] < pending[target]) target = v;
+    uint32_t target = w;
+    if (affine && c.node != kAnyNode) {
+      for (uint32_t v = 0; v < w; ++v) {
+        if (options_.worker_node[v] != c.node) continue;
+        if (target == w || pending[v] < pending[target]) target = v;
+      }
+    }
+    if (target == w) {
+      target = 0;
+      for (uint32_t v = 1; v < w; ++v) {
+        if (pending[v] < pending[target]) target = v;
+      }
     }
     deques[target].push_back(&c);
     pending[target] += c.cost;
@@ -152,11 +165,21 @@ void WorkStealingScheduler::Run(std::vector<MorselChain> chains,
           pending[self] -= c->cost;
         } else {
           // Steal from the busiest victim (largest pending cost; lowest
-          // index on ties), from the opposite end of its deque.
+          // index on ties), from the opposite end of its deque. Under
+          // affinity, a same-node victim always beats a cross-node one;
+          // cross-node steals remain the fallback so no worker idles
+          // while any deque holds work.
           uint32_t victim = w;
+          bool victim_same = false;
           for (uint32_t v = 0; v < w; ++v) {
             if (v == self || deques[v].empty()) continue;
-            if (victim == w || pending[v] > pending[victim]) victim = v;
+            const bool same =
+                affine && options_.worker_node[v] == options_.worker_node[self];
+            if (victim == w || (same && !victim_same) ||
+                (same == victim_same && pending[v] > pending[victim])) {
+              victim = v;
+              victim_same = same;
+            }
           }
           if (victim != w) {
             c = deques[victim].back();
@@ -184,6 +207,7 @@ void WorkStealingScheduler::Run(std::vector<MorselChain> chains,
   threads.reserve(w);
   for (uint32_t t = 0; t < w; ++t) {
     threads.emplace_back([&worker, t, this] {
+      if (options_.worker_start) options_.worker_start(t);
       const uint64_t faults_at_start = ThreadFaults();
       worker(t);
       stats_[t].faults = ThreadFaults() - faults_at_start;

@@ -72,6 +72,16 @@ struct SchedulerOptions {
   uint32_t workers = 1;
   uint64_t morsel_tuples = kDefaultMorselTuples;
   double skew_split_factor = kDefaultSkewSplitFactor;
+  /// NUMA home node per worker slot (empty = no affinity). When set (to
+  /// `workers` entries), chains carrying a node tag are dealt to a worker
+  /// of that node and stealing prefers same-node victims. Affinity shapes
+  /// *placement only* — every chain still runs exactly once, so results
+  /// are unchanged; only locality (and the steal telemetry) moves.
+  std::vector<uint32_t> worker_node;
+  /// Runs once on each *spawned* worker thread, before its first chain —
+  /// the real backend uses it to pin the thread to its node's cpus. Never
+  /// invoked on the inline (calling-thread) path.
+  std::function<void(uint32_t)> worker_start;
 };
 
 /// One tuple range [begin, end) of one partition's pass work.
@@ -81,10 +91,16 @@ struct Morsel {
   uint64_t end = 0;
 };
 
+/// Sentinel node tag for chains with no NUMA affinity.
+inline constexpr uint32_t kAnyNode = 0xffffffffu;
+
 /// An ordered sequence of morsels executed by one worker at a time.
 struct MorselChain {
   uint32_t partition = 0;
   uint64_t cost = 0;  ///< estimated work (tuples; >= 1 so LPT can order)
+  /// Preferred NUMA node (kAnyNode = no preference). Only consulted when
+  /// SchedulerOptions::worker_node is populated.
+  uint32_t node = kAnyNode;
   std::vector<Morsel> morsels;
 };
 

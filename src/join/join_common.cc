@@ -18,6 +18,8 @@ const char* AlgorithmName(Algorithm a) {
       return "hybrid-hash";
     case Algorithm::kIndexNestedLoops:
       return "index-nl";
+    case Algorithm::kMpsm:
+      return "mpsm";
   }
   return "?";
 }
@@ -260,6 +262,14 @@ void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->counter("join.numa.mbind_errors").Inc(numa_mbind_errors);
     registry->counter("join.numa.first_touch_pages")
         .Inc(numa_first_touch_pages);
+  }
+  if (mpsm_nodes > 0) {
+    // MPSM driver only; absent from the other drivers' dumps. A value of
+    // 1 for join.mpsm.nodes records the single-node fallback.
+    registry->counter("join.mpsm.nodes").Inc(mpsm_nodes);
+    registry->counter("join.mpsm.runs").Inc(mpsm_runs);
+    registry->counter("join.mpsm.local_slices").Inc(mpsm_local_slices);
+    registry->counter("join.mpsm.remote_slices").Inc(mpsm_remote_slices);
   }
 }
 

@@ -1,0 +1,14 @@
+#include "join/mpsm.h"
+
+#include "exec/join_drivers.h"
+
+namespace mmjoin::join {
+
+StatusOr<JoinRunResult> RunMpsm(sim::SimEnv* env,
+                                const rel::Workload& workload,
+                                const JoinParams& params) {
+  JoinExecution ex(env, workload, params);
+  return exec::Mpsm(ex, params);
+}
+
+}  // namespace mmjoin::join

@@ -145,7 +145,8 @@ Status DeleteMmWorkload(SegmentManager* manager, const std::string& prefix,
 }
 
 Status PersistMmWorkload(SegmentManager* manager, const std::string& prefix,
-                         MmWorkload* workload, MsyncPolicy policy) {
+                         MmWorkload* workload, MsyncPolicy policy,
+                         exec::SharedWorkerPool* pool) {
   if (workload == nullptr || workload->r_segs.empty()) {
     return Status::InvalidArgument("cannot persist an empty workload");
   }
@@ -157,15 +158,53 @@ Status PersistMmWorkload(SegmentManager* manager, const std::string& prefix,
   // (MmIndexProbe) instead of just a reference count. Sorted (sptr, r_id)
   // input doubles as the bulk leaf build's ordering and the postings'
   // determinism: byte-identical stores for identical workloads.
+  //
+  // The collect+sort is per source partition — one independent unit each,
+  // run on the shared pool when one is given — followed by a serial D-way
+  // merge. r_ids are globally unique, so (sptr, r_id) pairs have exactly
+  // one total order: the merged result is byte-for-byte the global sort.
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> part_pairs(d);
+  const auto collect_one = [&](uint32_t i) {
+    const rel::RObject* objs = workload->RObjects(i);
+    auto& out = part_pairs[i];
+    out.reserve(workload->r_count[i]);
+    for (uint64_t k = 0; k < workload->r_count[i]; ++k) {
+      out.emplace_back(objs[k].sptr, objs[k].id);
+    }
+    std::sort(out.begin(), out.end());
+  };
+  if (pool != nullptr && d > 1) {
+    std::vector<exec::MorselChain> chains;
+    chains.reserve(d);
+    for (uint32_t i = 0; i < d; ++i) {
+      chains.push_back(exec::MorselChain{
+          i, std::max<uint64_t>(1, workload->r_count[i]), exec::kAnyNode,
+          {exec::Morsel{i, 0, workload->r_count[i]}}});
+    }
+    pool->RunChainSet(
+        std::move(chains),
+        [&](uint32_t, const exec::Morsel& m) { collect_one(m.partition); },
+        nullptr, exec::QueryPriority::kNormal, nullptr);
+  } else {
+    for (uint32_t i = 0; i < d; ++i) collect_one(i);
+  }
   std::vector<std::pair<uint64_t, uint64_t>> pairs;  // (sptr, r_id)
   pairs.reserve(workload->config.r_objects);
-  for (uint32_t i = 0; i < d; ++i) {
-    const rel::RObject* objs = workload->RObjects(i);
-    for (uint64_t k = 0; k < workload->r_count[i]; ++k) {
-      pairs.emplace_back(objs[k].sptr, objs[k].id);
+  {
+    std::vector<size_t> cur(d, 0);
+    for (;;) {
+      uint32_t best = d;
+      for (uint32_t i = 0; i < d; ++i) {
+        if (cur[i] >= part_pairs[i].size()) continue;
+        if (best == d || part_pairs[i][cur[i]] < part_pairs[best][cur[best]]) {
+          best = i;
+        }
+      }
+      if (best == d) break;
+      pairs.push_back(part_pairs[best][cur[best]++]);
     }
+    part_pairs.clear();
   }
-  std::sort(pairs.begin(), pairs.end());
   std::vector<uint64_t> keys;
   std::vector<size_t> run_start;  // index into `pairs` of each key's run
   for (size_t k = 0; k < pairs.size();) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/scheduler.h"
 #include "mmap/segment.h"
 #include "mmap/segment_manager.h"
 #include "rel/relation.h"
@@ -91,9 +92,18 @@ struct StoreManifest {
 /// Crash-test hook: with MMJOIN_PERSIST_CRASH=N in the environment the
 /// process raises SIGKILL after the N-th successful seal, leaving a
 /// deterministically torn store for the recovery tests and CI job.
+///
+/// `pool`, when non-null, parallelizes the bulk build's dominant stage —
+/// collecting and sorting R's (sptr, r_id) pairs — across the source
+/// partitions as one chain set on the shared workers; a serial D-way
+/// merge then restores the global order. Every r_id is globally unique,
+/// so the merged sequence is the one total order a global sort would
+/// produce: the persisted store is byte-identical with or without the
+/// pool.
 Status PersistMmWorkload(SegmentManager* manager, const std::string& prefix,
                          MmWorkload* workload,
-                         MsyncPolicy policy = MsyncPolicy::kNone);
+                         MsyncPolicy policy = MsyncPolicy::kNone,
+                         exec::SharedWorkerPool* pool = nullptr);
 
 /// Reattaches a persisted store: every segment is opened through the
 /// sealed path (checksums verified), the manifest is validated, and the

@@ -38,6 +38,7 @@ exec::RealBackendOptions ToBackendOptions(const MmJoinOptions& options) {
   bo.scatter = options.scatter;
   bo.scatter_tuples = options.scatter_tuples;
   bo.numa = options.numa;
+  bo.numa_nodes = options.numa_nodes;
   bo.trace = options.trace;
   bo.pool = options.pool;
   bo.priority = options.priority;
@@ -82,6 +83,11 @@ StatusOr<MmJoinResult> MmNestedLoops(const MmWorkload& workload,
 StatusOr<MmJoinResult> MmSortMerge(const MmWorkload& workload,
                                    const MmJoinOptions& options) {
   return Run<&exec::SortMerge<exec::RealBackend>>(workload, options);
+}
+
+StatusOr<MmJoinResult> MmMpsm(const MmWorkload& workload,
+                              const MmJoinOptions& options) {
+  return Run<&exec::Mpsm<exec::RealBackend>>(workload, options);
 }
 
 StatusOr<MmJoinResult> MmGrace(const MmWorkload& workload,

@@ -79,6 +79,11 @@ struct MmJoinOptions {
   /// all nodes; `kLocal` first-touches each worker's RP band from its
   /// owning worker. Both degrade to counted no-ops on single-node hosts.
   exec::NumaMode numa = exec::NumaMode::kNone;
+  /// Node fan-out for the MPSM driver's band shape: 0 (default) detects
+  /// the host topology, 1 forces the single-node fallback, >1 forces a
+  /// multi-band shape (control flow only — page placement still degrades
+  /// to counted no-ops on hosts without those nodes).
+  uint32_t numa_nodes = 0;
   /// Optional wall-clock trace recorder (Chrome trace-event JSON, same
   /// format as simulated runs; Perfetto-loadable via WriteFile).
   obs::TraceRecorder* trace = nullptr;
@@ -129,6 +134,16 @@ StatusOr<MmJoinResult> MmNestedLoops(const MmWorkload& workload,
 /// single sequential sweep of S_i per partition.
 StatusOr<MmJoinResult> MmSortMerge(const MmWorkload& workload,
                                    const MmJoinOptions& options = {});
+
+/// NUMA-affine massively-parallel sort-merge (MPSM): range-partition R
+/// into one band per NUMA node, heapsort runs strictly node-locally, then
+/// merge-join each partition's key-range slices out of every node's runs —
+/// remote bands are only ever scanned sequentially. Same pass structure
+/// and bit-identical output as MmSortMerge; on single-node hosts it
+/// degrades to a one-band sort-merge variant (run.mpsm_nodes reports the
+/// shape).
+StatusOr<MmJoinResult> MmMpsm(const MmWorkload& workload,
+                              const MmJoinOptions& options = {});
 
 /// Grace: repartition into monotone buckets, per-bucket in-memory hash
 /// table, sequential-overall S access.

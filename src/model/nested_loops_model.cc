@@ -93,8 +93,10 @@ CostBreakdown Predict(join::Algorithm algorithm, const ModelInputs& in) {
     case join::Algorithm::kHybridHash:
       return PredictHybridHash(in);
     case join::Algorithm::kIndexNestedLoops:
-      // The paper models only the four original drivers; the index join is
-      // an extension (EXT-8) with no analytic counterpart.
+    case join::Algorithm::kMpsm:
+      // The paper models only the four original drivers; the index join
+      // (EXT-8) and the NUMA-affine MPSM driver are extensions with no
+      // analytic counterpart.
       return CostBreakdown{};
   }
   return CostBreakdown{};

@@ -99,7 +99,8 @@ Status RelationCatalog::Unregister(const std::string& name) {
 }
 
 Status RelationCatalog::Persist(const std::string& name,
-                                mm::MsyncPolicy policy) {
+                                mm::MsyncPolicy policy,
+                                exec::SharedWorkerPool* pool) {
   // Hold a pin-equivalent through the persist so the entry cannot be
   // unregistered under the seal pass; queries stay admissible (persist
   // only reads the object arrays and writes header/index/manifest bytes
@@ -114,8 +115,8 @@ Status RelationCatalog::Persist(const std::string& name,
     slot = it->second.get();
     ++slot->pins;
   }
-  const Status st =
-      mm::PersistMmWorkload(manager_, name, &slot->entry.workload, policy);
+  const Status st = mm::PersistMmWorkload(manager_, name,
+                                          &slot->entry.workload, policy, pool);
   {
     std::lock_guard<std::mutex> lock(mu_);
     --slot->pins;

@@ -67,8 +67,11 @@ class RelationCatalog {
   /// headers, manifest sealed last. The entry becomes durable — its files
   /// survive daemon shutdown for the next start's LoadAll(). The relation
   /// stays queryable throughout (persist only reads the object arrays).
-  /// NotFound if absent.
-  Status Persist(const std::string& name, mm::MsyncPolicy policy);
+  /// NotFound if absent. `pool`, when given, parallelizes the index
+  /// build's per-partition collect+sort on the shared workers (the daemon
+  /// passes its query pool; output is byte-identical either way).
+  Status Persist(const std::string& name, mm::MsyncPolicy policy,
+                 exec::SharedWorkerPool* pool = nullptr);
 
   /// Reattaches a persisted store by name through the verifying sealed
   /// path and registers it as a durable resident relation — the

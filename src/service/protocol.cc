@@ -26,7 +26,8 @@ bool ParseName(const char* const (&names)[N], std::string_view s, int* out) {
 }
 
 constexpr const char* kAlgorithmNames[] = {
-    "nested-loops", "sort-merge", "grace", "hybrid-hash", "index-nl"};
+    "nested-loops", "sort-merge", "grace", "hybrid-hash", "index-nl",
+    "mpsm"};
 constexpr const char* kPriorityNames[] = {"low", "normal", "high"};
 
 std::string HexU64(uint64_t v) {

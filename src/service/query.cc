@@ -25,6 +25,8 @@ StatusOr<mm::MmJoinResult> Dispatch(join::Algorithm algorithm,
       return mm::MmHybridHash(workload, options);
     case join::Algorithm::kIndexNestedLoops:
       return mm::MmIndexNestedLoops(workload, options);
+    case join::Algorithm::kMpsm:
+      return mm::MmMpsm(workload, options);
   }
   return Status::InvalidArgument("unknown algorithm");
 }

@@ -226,7 +226,7 @@ Response Server::HandleRequest(const Request& req) {
         }
         policy = *parsed;
       }
-      const Status st = catalog_.Persist(req.name, policy);
+      const Status st = catalog_.Persist(req.name, policy, &pool_);
       if (st.ok()) {
         resp.op = ResponseOp::kPersisted;
         resp.name = req.name;

@@ -18,6 +18,7 @@
 #include "join/hybrid_hash.h"
 #include "join/index_nl.h"
 #include "join/join_common.h"
+#include "join/mpsm.h"
 #include "join/nested_loops.h"
 #include "join/sort_merge.h"
 #include "mmap/mm_relation.h"
@@ -78,6 +79,8 @@ class CrossBackendTest : public ::testing::TestWithParam<AlgoCase> {
         return join::RunHybridHash(&env, *workload, params);
       case join::Algorithm::kIndexNestedLoops:
         return join::RunIndexNestedLoops(&env, *workload, params);
+      case join::Algorithm::kMpsm:
+        return join::RunMpsm(&env, *workload, params);
     }
     return Status::InvalidArgument("bad algorithm");
   }
@@ -98,6 +101,8 @@ class CrossBackendTest : public ::testing::TestWithParam<AlgoCase> {
         return mm::MmHybridHash(*workload, options);
       case join::Algorithm::kIndexNestedLoops:
         return mm::MmIndexNestedLoops(*workload, options);
+      case join::Algorithm::kMpsm:
+        return mm::MmMpsm(*workload, options);
     }
     return Status::InvalidArgument("bad algorithm");
   }
@@ -163,7 +168,8 @@ INSTANTIATE_TEST_SUITE_P(
                       AlgoCase{"grace", join::Algorithm::kGrace},
                       AlgoCase{"hybrid_hash", join::Algorithm::kHybridHash},
                       AlgoCase{"index_nl",
-                               join::Algorithm::kIndexNestedLoops}),
+                               join::Algorithm::kIndexNestedLoops},
+                      AlgoCase{"mpsm", join::Algorithm::kMpsm}),
     [](const ::testing::TestParamInfo<AlgoCase>& info) {
       return std::string(info.param.name);
     });

@@ -36,6 +36,7 @@ namespace mmjoin {
 namespace {
 
 using exec::BuildChains;
+using exec::kAnyNode;
 using exec::Morsel;
 using exec::MorselChain;
 using exec::Schedule;
@@ -181,10 +182,10 @@ TEST(WorkStealingSchedulerTest, StealsUnderForcedContention) {
   std::atomic<uint32_t> smalls_done{0};
 
   std::vector<MorselChain> chains;
-  chains.push_back(MorselChain{0, 100, {Morsel{0, 0, 1}}});  // blocker
-  chains.push_back(MorselChain{1, 100, {Morsel{1, 0, 1}}});
+  chains.push_back(MorselChain{0, 100, kAnyNode, {Morsel{0, 0, 1}}});  // blocker
+  chains.push_back(MorselChain{1, 100, kAnyNode, {Morsel{1, 0, 1}}});
   for (uint32_t p = 2; p < 2 + kSmall; ++p) {
-    chains.push_back(MorselChain{p, 1, {Morsel{p, 0, 1}}});
+    chains.push_back(MorselChain{p, 1, kAnyNode, {Morsel{p, 0, 1}}});
   }
 
   WorkStealingScheduler sched(Opts(2, 64), [] { return 0.0; });
@@ -211,9 +212,9 @@ TEST(WorkStealingSchedulerTest, StealsUnderForcedContention) {
 
 TEST(WorkStealingSchedulerTest, SingleWorkerRunsInlineLargestFirst) {
   std::vector<MorselChain> chains;
-  chains.push_back(MorselChain{0, 1, {Morsel{0, 0, 1}}});
-  chains.push_back(MorselChain{1, 50, {Morsel{1, 0, 50}}});
-  chains.push_back(MorselChain{2, 7, {Morsel{2, 0, 7}}});
+  chains.push_back(MorselChain{0, 1, kAnyNode, {Morsel{0, 0, 1}}});
+  chains.push_back(MorselChain{1, 50, kAnyNode, {Morsel{1, 0, 50}}});
+  chains.push_back(MorselChain{2, 7, kAnyNode, {Morsel{2, 0, 7}}});
 
   std::vector<uint32_t> order;
   WorkStealingScheduler sched(Opts(1, 64), [] { return 0.0; });

@@ -457,10 +457,11 @@ TEST_F(ServiceTest, ConcurrentQueriesMatchSerialOnTwoWorkerPool) {
   // Serial references, one per algorithm, on the otherwise-idle service.
   const join::Algorithm kAlgos[] = {
       join::Algorithm::kNestedLoops, join::Algorithm::kSortMerge,
-      join::Algorithm::kGrace, join::Algorithm::kHybridHash};
-  uint64_t want_count[4];
-  uint64_t want_checksum[4];
-  for (int i = 0; i < 4; ++i) {
+      join::Algorithm::kGrace, join::Algorithm::kHybridHash,
+      join::Algorithm::kMpsm};
+  uint64_t want_count[5];
+  uint64_t want_checksum[5];
+  for (int i = 0; i < 5; ++i) {
     const Response resp = MustCall(&admin, QueryFor("uni", kAlgos[i]));
     ASSERT_EQ(resp.op, ResponseOp::kResult) << resp.message;
     ASSERT_TRUE(resp.verified);
@@ -468,7 +469,7 @@ TEST_F(ServiceTest, ConcurrentQueriesMatchSerialOnTwoWorkerPool) {
     want_checksum[i] = resp.checksum;
   }
 
-  // Two clients, interleaving all four algorithms concurrently on the
+  // Two clients, interleaving all five algorithms concurrently on the
   // 2-worker shared pool; every result must be byte-identical to serial.
   constexpr int kReps = 6;
   std::thread clients[2];
@@ -476,7 +477,7 @@ TEST_F(ServiceTest, ConcurrentQueriesMatchSerialOnTwoWorkerPool) {
     clients[c] = std::thread([&, c] {
       Client client = Connect();
       for (int rep = 0; rep < kReps; ++rep) {
-        const int i = (rep + c * 2) % 4;  // offset so the two interleave
+        const int i = (rep + c * 2) % 5;  // offset so the two interleave
         auto resp = client.Call(QueryFor("uni", kAlgos[i]));
         ASSERT_TRUE(resp.ok());
         ASSERT_EQ(resp->op, ResponseOp::kResult) << resp->message;
@@ -496,7 +497,7 @@ TEST_F(ServiceTest, ConcurrentQueriesMatchSerialOnTwoWorkerPool) {
   for (const StatEntry& e : stats.stats) {
     if (e.name == "svc.queries.completed") completed = e.value;
   }
-  EXPECT_EQ(completed, 4u + 2 * kReps);
+  EXPECT_EQ(completed, 5u + 2 * kReps);
   server_->Drain();
   server_->Stop();
 }
