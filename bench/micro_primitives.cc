@@ -2,13 +2,25 @@
 // operations, page-cache touches, disk accesses, and segment-relative
 // pointer dereferences. These measure *host* performance of the library
 // machinery itself (not the simulated 1996 costs).
+//
+// Doubles as the planner's calibration tool:
+//
+//   micro_primitives --calibration=PATH [--calibration-only]
+//
+// runs the opt::MeasureCalibration() probes (sequential scan, banded
+// random dereference, scatter copy, sort/hash/index-probe costs, fault
+// cost) and writes the strict-JSON calibration file the adaptive planner
+// loads (mmjoind --calibration, mmjoin_cli --calibration). With
+// --calibration-only the google-benchmark suite is skipped.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include "disk/disk_model.h"
 #include "heap/heapsort.h"
 #include "heap/merge_heap.h"
+#include "opt/calibration.h"
 #include "util/random.h"
 #include "vm/page_cache.h"
 #include "mmap/btree.h"
@@ -138,4 +150,47 @@ BENCHMARK(BM_BTreeFind);
 }  // namespace
 }  // namespace mmjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before google-benchmark sees the command line.
+  std::string calibration_path;
+  bool calibration_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--calibration=", 14) == 0) {
+      calibration_path = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--calibration-only") == 0) {
+      calibration_only = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  if (!calibration_path.empty() || calibration_only) {
+    const mmjoin::opt::Calibration calibration =
+        mmjoin::opt::MeasureCalibration();
+    const std::string path =
+        calibration_path.empty() ? "calibration.json" : calibration_path;
+    const mmjoin::Status st =
+        mmjoin::opt::SaveCalibration(calibration, path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "micro_primitives: calibration: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "# calibration: wrote %s (seq %.3f ns/B, scatter %.3f ns/B, "
+        "sort %.2f ns/cmp, fault %.2f us/page)\n",
+        path.c_str(), calibration.machine.seq_ns_per_byte,
+        calibration.machine.scatter_ns_per_byte,
+        calibration.machine.sort_ns_per_cmp,
+        calibration.machine.fault_us_per_page);
+    if (calibration_only) return 0;
+  }
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

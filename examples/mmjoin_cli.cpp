@@ -7,7 +7,11 @@
 //       --disks=4 --theta=0.0 --mem-frac=0.05 --model --passes
 //
 // Flags (all optional):
-//   --algorithm=nl|sm|mpsm|grace|hh|inl|all  which join to run      [all]
+//   --algorithm=nl|sm|mpsm|grace|hh|inl|auto|all  which join       [all]
+//                                 (--algo is an alias; auto lets the
+//                                 adaptive planner pick the driver)
+//   --calibration=PATH            planner calibration file for
+//                                 --algorithm=auto (real backend)
 //   --backend=sim|real            costed simulator or real mmap [sim]
 //   --r=N --s=N                   relation sizes in objects    [102400]
 //   --disks=D                     partitions/disks             [4]
@@ -56,7 +60,9 @@ using namespace mmjoin;
 
 constexpr char kUsage[] =
     "usage: mmjoin_cli [flags]\n"
-    "  --algorithm=nl|sm|mpsm|grace|hh|inl|all  which join to run      [all]\n"
+    "  --algorithm=nl|sm|mpsm|grace|hh|inl|auto|all  which join      [all]\n"
+    "                                (--algo alias; auto = adaptive planner)\n"
+    "  --calibration=PATH            planner calibration for auto (real)\n"
     "  --backend=sim|real            costed simulator or real mmap [sim]\n"
     "  --r=N --s=N                   relation sizes in objects    [102400]\n"
     "  --disks=D                     partitions/disks             [4]\n"
@@ -118,6 +124,7 @@ struct Flags {
   std::string plan;
   std::string store;
   mm::MsyncPolicy msync = mm::MsyncPolicy::kNone;
+  std::string calibration;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -130,8 +137,11 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 void ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
     std::string v;
-    if (ParseFlag(argv[i], "--algorithm", &v)) {
+    if (ParseFlag(argv[i], "--algorithm", &v) ||
+        ParseFlag(argv[i], "--algo", &v)) {
       flags->algorithm = v;
+    } else if (ParseFlag(argv[i], "--calibration", &v)) {
+      flags->calibration = v;
     } else if (ParseFlag(argv[i], "--backend", &v)) {
       flags->backend = v;
     } else if (ParseFlag(argv[i], "--dir", &v)) {
@@ -364,6 +374,47 @@ int RunOneReal(join::Algorithm a, const Flags& flags,
   return 0;
 }
 
+/// --algorithm=auto on the real backend: one MmJoin(kAuto) call through an
+/// AdaptiveController (persistent when --calibration names a file), with
+/// the decision and the model's predicted-vs-actual echoed.
+int RunAutoReal(const Flags& flags, const mm::MmWorkload& workload,
+                const join::JoinParams& params,
+                const mm::MmJoinOptions& real_options) {
+  opt::AdaptiveController controller(flags.calibration);
+  if (!flags.calibration.empty()) {
+    std::printf("planner: calibration %s (%s)\n", flags.calibration.c_str(),
+                controller.loaded_from_file() ? "loaded" : "new");
+  }
+  mm::MmJoinOptions options = real_options;
+  options.m_rproc_bytes = params.m_rproc_bytes;
+  options.max_threads = flags.threads;
+  options.algorithm = mm::MmAlgorithm::kAuto;
+  options.planner = &controller;
+  auto result = mm::MmJoin(workload, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "auto: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("planner: %s\n", result->planner_note.c_str());
+  std::printf("%-14s wall %10.2f ms   threads %2u   faults %8llu   "
+              "verified %s\n",
+              join::AlgorithmName(result->algorithm), result->wall_ms,
+              result->threads_used,
+              static_cast<unsigned long long>(result->run.faults),
+              result->verified ? "yes" : "NO");
+  std::printf("  model: predicted %.2f ms, actual %.2f ms (error %+.1f%%)\n",
+              result->run.model_predicted_ms, result->wall_ms,
+              result->run.model_error_pct);
+  if (flags.show_passes) {
+    for (const auto& pass : result->run.passes) {
+      std::printf("  pass %-16s %10.2f ms   faults %8llu\n",
+                  pass.label.c_str(), pass.elapsed_ms,
+                  static_cast<unsigned long long>(pass.faults));
+    }
+  }
+  return result->verified ? 0 : 1;
+}
+
 void PrintPlanResult(const exec::op::PlanRunResult& r, bool verified,
                      const char* time_unit, double time_scale) {
   std::printf("plan           %s %10.2f %s   threads %2u   verified %s\n",
@@ -515,9 +566,13 @@ int RunReal(const std::vector<join::Algorithm>& algorithms, const Flags& flags,
     }
   }
   int rc = 0;
-  for (auto a : algorithms) {
-    rc = RunOneReal(a, flags, *workload, params, real_options);
-    if (rc != 0) break;
+  if (flags.algorithm == "auto") {
+    rc = RunAutoReal(flags, *workload, params, real_options);
+  } else {
+    for (auto a : algorithms) {
+      rc = RunOneReal(a, flags, *workload, params, real_options);
+      if (rc != 0) break;
+    }
   }
   workload->r_segs.clear();
   workload->s_segs.clear();
@@ -570,11 +625,36 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   params.g_bytes ? params.g_bytes : machine.page_size));
 
+  const bool auto_select = flags.algorithm == "auto";
   model::DttCurves dtt;
-  if (flags.show_model) dtt = model::MeasureDttCurves(machine.disk);
+  if (flags.show_model || (auto_select && flags.backend == "sim")) {
+    dtt = model::MeasureDttCurves(machine.disk);
+  }
 
   std::vector<join::Algorithm> algorithms;
-  if (flags.algorithm == "nl") {
+  if (auto_select) {
+    // Real backend: resolved inside RunReal via MmJoin(kAuto). Sim
+    // backend: the analytic models rank the four modeled drivers here.
+    if (flags.backend == "sim") {
+      sim::SimEnv env(machine);
+      auto workload = rel::BuildWorkload(&env, flags.relation);
+      if (!workload.ok()) {
+        std::fprintf(stderr, "workload: %s\n",
+                     workload.status().ToString().c_str());
+        return 1;
+      }
+      model::ModelInputs in;
+      in.machine = machine;
+      in.relation = flags.relation;
+      in.skew = workload->skew;
+      in.params = params;
+      in.dtt = dtt;
+      const join::Algorithm pick = opt::PlanSimJoin(in);
+      std::printf("planner: picked %s (sim analytic model)\n\n",
+                  join::AlgorithmName(pick));
+      algorithms = {pick};
+    }
+  } else if (flags.algorithm == "nl") {
     algorithms = {join::Algorithm::kNestedLoops};
   } else if (flags.algorithm == "sm") {
     algorithms = {join::Algorithm::kSortMerge};

@@ -3,7 +3,8 @@
 //   mmjoin_client [--socket=PATH] register NAME R_OBJECTS S_OBJECTS
 //       PARTITIONS [THETA] [SEED]
 //   mmjoin_client [--socket=PATH] query NAME nested-loops|sort-merge|
-//       grace|hybrid-hash [--priority=low|normal|high] [--trace]
+//       grace|hybrid-hash|index-nl|mpsm|auto
+//       [--priority=low|normal|high] [--trace]
 //   mmjoin_client [--socket=PATH] plan NAME q1|q4|q6
 //       [--priority=low|normal|high] [--trace]
 //   mmjoin_client [--socket=PATH] list | stats | ping | shutdown
@@ -30,7 +31,8 @@ constexpr char kUsage[] =
     "  register NAME R S PARTITIONS [THETA] [SEED]  build + keep resident\n"
     "  query NAME ALGORITHM [--priority=low|normal|high] [--trace]\n"
     "      ALGORITHM: nested-loops | sort-merge | grace | hybrid-hash |\n"
-    "                 index-nl | mpsm\n"
+    "                 index-nl | mpsm | auto (adaptive planner picks;\n"
+    "                 the result echoes the chosen driver)\n"
     "  plan NAME PLAN [--priority=low|normal|high] [--trace]\n"
     "      PLAN: q1 | q4 | q6 (built-in TPC-H-style plans)\n"
     "  persist NAME [MSYNC]  seal as a durable store (none|async|sync)\n"
@@ -84,8 +86,10 @@ int PrintResponse(const svc::Response& resp) {
                   static_cast<unsigned long long>(resp.resident_bytes));
       return 0;
     case svc::ResponseOp::kResult:
-      std::printf("result: count=%llu checksum=0x%016llx verified=%s "
-                  "exec=%.2fms queue=%.2fms threads=%u\n",
+      std::printf("result: algorithm=%s%s count=%llu checksum=0x%016llx "
+                  "verified=%s exec=%.2fms queue=%.2fms threads=%u\n",
+                  join::AlgorithmName(resp.algorithm),
+                  resp.planner_auto ? " (planner pick)" : "",
                   static_cast<unsigned long long>(resp.count),
                   static_cast<unsigned long long>(resp.checksum),
                   resp.verified ? "yes" : "NO", resp.exec_ms, resp.queue_ms,
@@ -210,6 +214,8 @@ int main(int argc, char** argv) {
       req.algorithm = join::Algorithm::kIndexNestedLoops;
     } else if (algo == "mpsm") {
       req.algorithm = join::Algorithm::kMpsm;
+    } else if (algo == "auto") {
+      req.algorithm_auto = true;
     } else {
       cli::BadFlagValue("mmjoin_client", algo, kUsage);
     }

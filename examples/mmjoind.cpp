@@ -38,7 +38,10 @@ constexpr char kUsage[] =
     "  --artifacts=DIR      per-query metrics/trace files         [off]\n"
     "  --store=DIR          durable store root: warm-load every persisted\n"
     "                       store found there at startup (implies --dir)\n"
-    "  --msync=POLICY       default persist msync: none|async|sync [none]\n";
+    "  --msync=POLICY       default persist msync: none|async|sync [none]\n"
+    "  --calibration=PATH   adaptive-planner calibration file backing\n"
+    "                       \"algorithm\":\"auto\" queries; learned\n"
+    "                       corrections persist there across restarts [off]\n";
 
 std::atomic<bool> g_signal{false};
 
@@ -89,6 +92,8 @@ int main(int argc, char** argv) {
       StatusOr<mm::MsyncPolicy> parsed = mm::ParseMsyncPolicy(v);
       if (!parsed.ok()) cli::BadFlagValue("mmjoind", argv[a], kUsage);
       options.msync = *parsed;
+    } else if (ParseFlag(argv[a], "--calibration", &v)) {
+      options.calibration_path = v;
     } else {
       cli::UnknownFlag("mmjoind", argv[a], kUsage);
     }

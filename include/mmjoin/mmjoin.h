@@ -31,7 +31,11 @@
 #include "mmap/segment_manager.h"  // named-segment catalogue
 #include "model/join_model.h"      // analytical cost models
 #include "model/urn.h"             // Johnson-Kotz urn occupancy
+#include "model/wall_model.h"      // wall-clock cost model (planner)
 #include "model/ylru.h"            // Mackert-Lohman LRU model
+#include "opt/adaptive.h"          // shared planner state + persistence
+#include "opt/calibration.h"       // machine calibration probes + EWMA
+#include "opt/planner.h"           // adaptive driver/knob selection
 #include "obs/json.h"              // minimal JSON parse/escape helpers
 #include "obs/metrics.h"           // named counters/histograms + JSON dump
 #include "obs/trace.h"             // Chrome trace-event recorder

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Planner acceptance bench: a Release build of the planner-regret sweep
+# with the regret gate armed. The bench measures all six drivers
+# explicitly per grid cell (sizes x skew x |S|/|R| ratio x residency,
+# best-of-reps), lets algorithm=auto pick with a freshly measured
+# calibration, trains the EWMA loop to steady state, then scores every
+# pick against the explicit ground truth:
+#
+#   regret(cell) = measured_ms[picked driver] / min_d measured_ms[d]
+#
+# Gate (always armed here): geomean regret <= 1.10 and no cell worse
+# than 1.5x the best driver. The bench also asserts, unconditionally,
+# that auto's output is bit-identical (count + checksum) to every
+# explicit driver in every cell — the knob-invariance contract.
+#
+#   scripts/bench_planner.sh [build_dir] [objects] [out_json]
+#
+# Defaults: build-bench, 65536 objects per relation (the big size; the
+# grid also sweeps objects/8), D=8 partitions. Output artifact:
+# BENCH_planner.json at the repo root. Knobs via env:
+# MMJOIN_PLANNER_REPS (default 2, best-of, interleaved),
+# BENCH_PLANNER_TIMEOUT (seconds, default 3600), PARTITIONS (default 8).
+#
+# This is the run that produces the committed BENCH_planner.json
+# artifact; CI's bench-smoke runs the same sweep at small scale WITHOUT
+# the gate (shared runners are too noisy for timing assertions).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OBJECTS="${2:-65536}"
+OUT_JSON="${3:-BENCH_planner.json}"
+PARTITIONS="${PARTITIONS:-8}"
+REPS="${MMJOIN_PLANNER_REPS:-2}"
+TIMEOUT_S="${BENCH_PLANNER_TIMEOUT:-3600}"
+
+cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target planner_regret metrics_validate
+
+OUT_DIR="$BUILD_DIR/bench-planner"
+rm -rf "$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+echo "== planner_regret: $OBJECTS objects, D=$PARTITIONS, reps=$REPS," \
+     "gate: geomean <= 1.10, max <= 1.5"
+(
+  cd "$OUT_DIR"
+  mkdir -p store
+  MMJOIN_PLANNER_ASSERT=1 MMJOIN_PLANNER_REPS="$REPS" \
+    timeout "$TIMEOUT_S" ../bench/planner_regret "$OBJECTS" \
+    "$PARTITIONS" store \
+    | tee bench_planner.log
+  ../tools/metrics_validate --merge BENCH_planner.json ./*.metrics.json
+)
+cp "$OUT_DIR/BENCH_planner.json" "$OUT_JSON"
+echo "bench-planner: OK ($OUT_JSON)"

@@ -12,7 +12,10 @@
 # best-of-3 min jitters tens of percent on shared runners). Fine-grained
 # speedup
 # claims live in scripts/bench_kernels.sh, not here — CI runners are too
-# noisy for tight timing gates. Refresh the baseline by copying
+# noisy for tight timing gates. The planner_regret dump additionally
+# trips on a worse regret geomean or mean model error vs the baseline
+# (the adaptive planner's closed loop regressing is a build break even
+# when raw join times hold). Refresh the baseline by copying
 # build-bench/bench-smoke/BENCH_ci.json over BENCH_baseline.json when a
 # deliberate perf change moves the floor.
 #
@@ -31,7 +34,7 @@ BASELINE="$(pwd)/BENCH_baseline.json"
 cmake -B "$BUILD_DIR" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j --target \
   fig5a_nested_loops fig5b_sort_merge fig5c_grace real_backend_join \
-  service_load queries metrics_validate
+  service_load queries planner_regret metrics_validate
 
 OUT_DIR="$BUILD_DIR/bench-smoke"
 rm -rf "$OUT_DIR"
@@ -66,6 +69,14 @@ run "../bench/service_load" "$((OBJECTS / 2))" 10 4
 # bit-identical inside the bench; the dump rides into BENCH_ci.json like
 # the rest. The timing gate for plans lives in scripts/bench_queries.sh.
 run "../bench/queries" "$OBJECTS" 4 1.1 1
+# Small-N pass of the planner-regret sweep WITHOUT the regret gate
+# (MMJOIN_PLANNER_ASSERT unset — shared runners are too noisy; the gate
+# is armed at scale by scripts/bench_planner.sh). The auto-vs-explicit
+# identity check is unconditional inside the bench, and the dump's
+# planner telemetry (regret geomean, model error) rides into
+# BENCH_ci.json where the baseline diff below trips on closed-loop
+# regressions.
+run "../bench/planner_regret" "$OBJECTS" 8 store_planner
 
 # Every dump must parse (strict RFC 8259) and carry the bench shape; the
 # merged artifact is what CI uploads. With a committed baseline present,
@@ -76,6 +87,13 @@ if [ -f "$BASELINE" ]; then
   ../tools/metrics_validate --merge BENCH_ci.json \
     --baseline "$BASELINE" --tolerance "$TOLERANCE" \
     --bench real_backend_join ./*.metrics.json
+  # Planner closed-loop trips: regret geomean and mean |model error| vs
+  # the baseline (metrics_validate only arms these when both sides carry
+  # the planner telemetry; the elapsed-min diff doubles as the planner
+  # bench's gross wall-clock tripwire).
+  ../tools/metrics_validate \
+    --baseline "$BASELINE" --tolerance "$TOLERANCE" \
+    --bench planner_regret ./planner_regret.metrics.json
 else
   echo "bench-smoke: no BENCH_baseline.json — skipping regression diff"
   ../tools/metrics_validate --merge BENCH_ci.json ./*.metrics.json

@@ -28,10 +28,7 @@ uint32_t ResolveWorkers(uint32_t d, const RealBackendOptions& options) {
   // with worker in [0, pool->workers()), so the per-slot arrays must match
   // the pool regardless of D or the caller's thread bound.
   if (options.pool != nullptr) return options.pool->workers();
-  if (!options.parallel) return 1;
-  uint32_t bound = options.max_threads;
-  if (bound == 0) bound = std::max(1u, std::thread::hardware_concurrency());
-  return std::min(d, bound);
+  return EffectiveWorkers(d, options.parallel, options.max_threads);
 }
 
 SchedulerOptions ResolveScheduler(uint32_t workers,

@@ -67,6 +67,14 @@ inline constexpr uint64_t kDefaultMorselTuples = uint64_t{1} << 14;
 /// skew_split_factor times the mean is considered hot and over-split.
 inline constexpr double kDefaultSkewSplitFactor = 4.0;
 
+/// Worker threads a run over `partitions` partitions will use:
+/// min(partitions, max_threads or hardware_concurrency), 1 when
+/// parallel=false. Shared by the real backend's thread spawn and the
+/// adaptive planner's cost inputs so predicted and actual parallelism
+/// never diverge.
+uint32_t EffectiveWorkers(uint32_t partitions, bool parallel,
+                          uint32_t max_threads);
+
 /// Tunables of chain construction and the worker pool.
 struct SchedulerOptions {
   uint32_t workers = 1;

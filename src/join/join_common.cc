@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
 
 namespace mmjoin::join {
@@ -262,6 +263,16 @@ void JoinRunResult::ExportMetrics(obs::MetricsRegistry* registry) const {
     registry->counter("join.numa.mbind_errors").Inc(numa_mbind_errors);
     registry->counter("join.numa.first_touch_pages")
         .Inc(numa_first_touch_pages);
+  }
+  if (model_predicted_ms > 0) {
+    // Adaptive-planner runs only (mm::MmJoin); absent when no prediction
+    // was made. error_pct is recorded as magnitude — the histogram's
+    // min/mean/max summarize how far off the model runs, either way.
+    registry->histogram("join.model.predicted_ms").Record(model_predicted_ms);
+    registry->histogram("join.model.actual_ms").Record(elapsed_ms);
+    registry->histogram("join.model.error_pct")
+        .Record(std::abs(model_error_pct));
+    if (planner_auto) registry->counter("join.planner.auto").Inc();
   }
   if (mpsm_nodes > 0) {
     // MPSM driver only; absent from the other drivers' dumps. A value of

@@ -138,6 +138,13 @@ struct JoinRunResult {
   uint64_t numa_mbind_errors = 0;      ///< mbind failures (also Status)
   uint64_t numa_first_touch_pages = 0; ///< RP pages pre-faulted by owners
 
+  // Adaptive-planner echo (real backend through mm::MmJoin; all zero when
+  // the caller picked the driver explicitly and no prediction was made).
+  // error_pct is signed: positive = the run was slower than predicted.
+  bool planner_auto = false;       ///< the planner chose this driver
+  double model_predicted_ms = 0;   ///< corrected wall-model prediction
+  double model_error_pct = 0;      ///< 100 * (actual - predicted) / predicted
+
   // MPSM telemetry (mpsm driver only; all zero for the other drivers).
   // On single-node hosts (or the simulator) mpsm_nodes reports 1 — the
   // documented fallback where every band is "local". Key-range banding

@@ -2,12 +2,15 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "exec/join_drivers.h"
 #include "exec/real_backend.h"
+#include "exec/scheduler.h"
 #include "mmap/btree.h"
+#include "opt/adaptive.h"
 
 namespace mmjoin::mm {
 
@@ -73,7 +76,133 @@ StatusOr<MmJoinResult> Run(const MmWorkload& workload,
   return result;
 }
 
+/// join::Algorithm for an explicit (non-auto) MmAlgorithm.
+join::Algorithm ToJoinAlgorithm(MmAlgorithm a) {
+  switch (a) {
+    case MmAlgorithm::kNestedLoops:
+      return join::Algorithm::kNestedLoops;
+    case MmAlgorithm::kSortMerge:
+      return join::Algorithm::kSortMerge;
+    case MmAlgorithm::kMpsm:
+      return join::Algorithm::kMpsm;
+    case MmAlgorithm::kGrace:
+      return join::Algorithm::kGrace;
+    case MmAlgorithm::kHybridHash:
+      return join::Algorithm::kHybridHash;
+    case MmAlgorithm::kIndexNestedLoops:
+    case MmAlgorithm::kAuto:
+      return join::Algorithm::kIndexNestedLoops;
+  }
+  return join::Algorithm::kNestedLoops;
+}
+
+StatusOr<MmJoinResult> Dispatch(join::Algorithm a, const MmWorkload& workload,
+                                const MmJoinOptions& options) {
+  switch (a) {
+    case join::Algorithm::kNestedLoops:
+      return MmNestedLoops(workload, options);
+    case join::Algorithm::kSortMerge:
+      return MmSortMerge(workload, options);
+    case join::Algorithm::kMpsm:
+      return MmMpsm(workload, options);
+    case join::Algorithm::kGrace:
+      return MmGrace(workload, options);
+    case join::Algorithm::kHybridHash:
+      return MmHybridHash(workload, options);
+    case join::Algorithm::kIndexNestedLoops:
+      return MmIndexNestedLoops(workload, options);
+  }
+  return Status::InvalidArgument("bad algorithm");
+}
+
+/// Planner inputs from what the workload already knows: counts for the
+/// skew estimate, mincore for residency — no tuple data is touched.
+opt::PlannerInputs ToPlannerInputs(const MmWorkload& workload,
+                                   const MmJoinOptions& options) {
+  opt::PlannerInputs in;
+  in.r_objects = workload.config.r_objects;
+  in.s_objects = workload.config.s_objects;
+  in.partitions = workload.config.num_partitions;
+  const uint32_t d = workload.config.num_partitions;
+  // Hot-partition stretch: max S-target tuple share over the uniform 1/D.
+  uint64_t hottest = 0;
+  for (uint32_t j = 0; j < d; ++j) {
+    uint64_t t = 0;
+    for (uint32_t i = 0; i < d && i < workload.counts.size(); ++i) {
+      if (j < workload.counts[i].size()) t += workload.counts[i][j];
+    }
+    hottest = std::max(hottest, t);
+  }
+  if (workload.config.r_objects > 0 && d > 0) {
+    in.skew = static_cast<double>(hottest) * d /
+              static_cast<double>(workload.config.r_objects);
+  }
+  in.m_rproc_bytes = options.m_rproc_bytes;
+  // Residency of the mapped inputs, page-sampled via mincore.
+  double resident_pages = 0, total_pages = 0;
+  for (uint32_t i = 0; i < d; ++i) {
+    for (const Segment* seg : {&workload.r_segs[i], &workload.s_segs[i]}) {
+      const double pages =
+          static_cast<double>((seg->size() + 4095) / 4096);
+      resident_pages += ResidentFraction(seg->base(), seg->size()) * pages;
+      total_pages += pages;
+    }
+  }
+  in.residency = total_pages > 0 ? resident_pages / total_pages : 1.0;
+  in.workers = options.pool != nullptr
+                   ? options.pool->workers()
+                   : exec::EffectiveWorkers(d, options.parallel,
+                                            options.max_threads);
+  in.numa_nodes = options.numa_nodes;
+  in.warm_index = false;  // MmJoin has no store handle to attach a tree
+  return in;
+}
+
 }  // namespace
+
+StatusOr<MmJoinResult> MmJoin(const MmWorkload& workload,
+                              const MmJoinOptions& options) {
+  if (options.algorithm != MmAlgorithm::kAuto) {
+    const join::Algorithm a = ToJoinAlgorithm(options.algorithm);
+    MMJOIN_ASSIGN_OR_RETURN(MmJoinResult result,
+                            Dispatch(a, workload, options));
+    result.algorithm = a;
+    return result;
+  }
+
+  opt::AdaptiveController* controller =
+      options.planner ? options.planner : &opt::ProcessController();
+  const opt::PlannerDecision decision =
+      controller->Plan(ToPlannerInputs(workload, options));
+
+  // The planner's knob vector replaces the performance knobs; scheduling
+  // identity (pool, priority, trace, threads) stays the caller's.
+  MmJoinOptions resolved = options;
+  resolved.algorithm = MmAlgorithm::kAuto;  // not consulted by Dispatch
+  resolved.kernel = decision.kernel;
+  resolved.prefetch_distance = decision.prefetch_distance;
+  resolved.scatter = decision.scatter;
+  resolved.paging = decision.paging;
+  resolved.numa = decision.numa;
+  resolved.k_buckets = decision.k_buckets;
+  resolved.tsize = decision.tsize;
+
+  MMJOIN_ASSIGN_OR_RETURN(MmJoinResult result,
+                          Dispatch(decision.algorithm, workload, resolved));
+  result.algorithm = decision.algorithm;
+  result.auto_selected = true;
+  result.planner_note = decision.explanation;
+  result.run.planner_auto = true;
+  result.run.model_predicted_ms = decision.predicted_ms;
+  if (decision.predicted_ms > 0) {
+    result.run.model_error_pct = 100.0 *
+                                 (result.wall_ms - decision.predicted_ms) /
+                                 decision.predicted_ms;
+  }
+  controller->Observe(decision.algorithm, decision.workset_bytes,
+                      decision.predicted_ms, result.wall_ms);
+  return result;
+}
 
 StatusOr<MmJoinResult> MmNestedLoops(const MmWorkload& workload,
                                      const MmJoinOptions& options) {

@@ -11,6 +11,7 @@
 #define MMJOIN_MMAP_MMAP_JOIN_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "exec/kernels.h"
@@ -24,11 +25,40 @@
 #include "obs/trace.h"
 #include "util/status.h"
 
+namespace mmjoin::opt {
+class AdaptiveController;
+}  // namespace mmjoin::opt
+
 namespace mmjoin::mm {
+
+/// Driver selection for MmJoin(). kAuto resolves through the adaptive
+/// planner (src/opt/planner.h): relation stats, a mincore residency probe
+/// and the machine calibration rank all six drivers by corrected
+/// wall-clock cost. Explicit values dispatch to the matching Mm* entry
+/// point unchanged — MmJoin(algorithm=X) is bit-identical to MmX().
+enum class MmAlgorithm : uint8_t {
+  kAuto,
+  kNestedLoops,
+  kSortMerge,
+  kMpsm,
+  kGrace,
+  kHybridHash,
+  kIndexNestedLoops,
+};
 
 /// Tunables for the real joins. Zeros mean "derive a sensible default".
 /// Field-by-field documentation lives in docs/PARAMETERS.md.
 struct MmJoinOptions {
+  /// Driver MmJoin() runs; ignored by the per-driver entry points. Under
+  /// kAuto the planner also overwrites the performance-knob fields
+  /// (kernel, prefetch_distance, scatter, paging, numa, k_buckets, tsize)
+  /// with its derived vector — results are knob-invariant by contract, so
+  /// auto output stays bit-identical to any explicit-knob run.
+  MmAlgorithm algorithm = MmAlgorithm::kAuto;
+  /// Planner state for kAuto: calibration + learned per-driver EWMA
+  /// corrections (opt/adaptive.h). nullptr = a process-local controller
+  /// with host-default calibration and no persistence.
+  opt::AdaptiveController* planner = nullptr;
   bool parallel = true;  ///< false: run every partition on one thread
   /// Worker-thread bound; 0 = std::thread::hardware_concurrency(). The
   /// effective count is min(D, bound) — when D exceeds it, workers batch
@@ -106,6 +136,14 @@ struct MmJoinResult {
   uint64_t output_checksum = 0;
   bool verified = false;  ///< matched the workload's expected join
   uint32_t threads_used = 0;
+  /// Driver that actually ran (the planner's pick under MmJoin(kAuto),
+  /// the requested one otherwise) and whether the planner chose it.
+  join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+  bool auto_selected = false;
+  /// Planner one-liner under kAuto ("picked grace: ..."); empty otherwise.
+  /// Predicted-vs-actual numbers live in run.model_predicted_ms /
+  /// run.model_error_pct and the join.model.* metrics.
+  std::string planner_note;
   /// First paging-advice failure of the run (OK when none). Hints are
   /// best-effort and never fail the join — callers decide whether a failed
   /// madvise(2) is worth reporting. The count is in
@@ -124,6 +162,15 @@ struct MmJoinResult {
     run.ExportMetrics(registry);
   }
 };
+
+/// The adaptive entry point: runs `options.algorithm`, resolving kAuto
+/// through the planner (relation stats + residency probe + calibration),
+/// then records predicted-vs-actual into the result (run.model_*) and
+/// feeds the pair back into the controller's EWMA correction. Output
+/// count/checksum are bit-identical to the explicit driver's entry point
+/// — the planner only picks, it never changes semantics.
+StatusOr<MmJoinResult> MmJoin(const MmWorkload& workload,
+                              const MmJoinOptions& options = {});
 
 /// Nested loops: immediate pointer dereference per R object, staggered
 /// D-1 phases over the repartitioned remainder.

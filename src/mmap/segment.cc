@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 namespace mmjoin::mm {
 
@@ -60,6 +61,25 @@ uint64_t Checksum64(const void* data, uint64_t bytes) {
     acc = Mix(acc ^ word);
   }
   return Mix(acc);
+}
+
+double ResidentFraction(const void* base, uint64_t bytes) {
+  if (base == nullptr || bytes == 0) return 1.0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 1.0;
+  const uint64_t page_bytes = static_cast<uint64_t>(page);
+  // mincore wants a page-aligned start; round the range outward.
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(base);
+  const uintptr_t start = addr & ~(page_bytes - 1);
+  const uint64_t span = (addr + bytes) - start;
+  const uint64_t pages = (span + page_bytes - 1) / page_bytes;
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(reinterpret_cast<void*>(start), span, vec.data()) != 0) {
+    return 1.0;
+  }
+  uint64_t resident = 0;
+  for (unsigned char v : vec) resident += v & 1;
+  return static_cast<double>(resident) / static_cast<double>(pages);
 }
 
 const char* MsyncPolicyName(MsyncPolicy policy) {

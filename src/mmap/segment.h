@@ -105,6 +105,14 @@ Status AdviseMappedRange(void* map_base, uint64_t map_bytes, uint64_t offset,
                          uint64_t length, AccessIntent intent,
                          uint64_t* advised_bytes = nullptr);
 
+/// Fraction of [base, base+bytes) currently resident in physical memory,
+/// probed page-by-page via mincore(2). Returns 1.0 for an empty range and
+/// degrades to 1.0 (assume warm) where mincore is unavailable — the
+/// adaptive planner uses this as a cost-model input, so a wrong-but-warm
+/// answer only costs plan quality, never correctness. The probe allocates
+/// one byte per page; callers pass whole segments, not huge sparse maps.
+double ResidentFraction(const void* base, uint64_t bytes);
+
 /// How eagerly a durable segment pushes dirty pages to its backing file.
 /// kNone leaves write-back entirely to the kernel (fastest, weakest
 /// durability), kAsync schedules write-back without waiting (MS_ASYNC),

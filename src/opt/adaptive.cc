@@ -1,0 +1,55 @@
+#include "opt/adaptive.h"
+
+#include <utility>
+
+namespace mmjoin::opt {
+
+AdaptiveController::AdaptiveController(std::string path, Calibration fallback)
+    : calibration_(std::move(fallback)), path_(std::move(path)) {
+  if (path_.empty()) return;
+  auto loaded = LoadCalibration(path_);
+  if (loaded.ok()) {
+    calibration_ = *std::move(loaded);
+    loaded_ = true;
+  }
+}
+
+PlannerDecision AdaptiveController::Plan(const PlannerInputs& inputs) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PlanJoin(inputs, calibration_);
+}
+
+void AdaptiveController::Observe(join::Algorithm algorithm,
+                                 double workset_bytes, double predicted_ms,
+                                 double actual_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  calibration_.Observe(algorithm, workset_bytes, predicted_ms, actual_ms);
+  if (path_.empty()) return;
+  if (!SaveCalibration(calibration_, path_).ok()) ++save_errors_;
+}
+
+Calibration AdaptiveController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calibration_;
+}
+
+uint64_t AdaptiveController::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& bands : calibration_.observations) {
+    for (uint64_t n : bands) total += n;
+  }
+  return total;
+}
+
+uint64_t AdaptiveController::save_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return save_errors_;
+}
+
+AdaptiveController& ProcessController() {
+  static AdaptiveController controller;
+  return controller;
+}
+
+}  // namespace mmjoin::opt

@@ -1,0 +1,69 @@
+// The shared, persistent form of the planner: one AdaptiveController per
+// store (or per process) owns the Calibration, serves Plan() under a
+// mutex, folds every run's predicted-vs-actual pair back in through
+// Observe(), and — when given a path — persists the updated calibration
+// after each observation, so the service's picks improve across queries
+// AND across restarts. This is the "gets faster on a workload over time"
+// loop: the planner itself stays pure (opt/planner.h); all mutable state
+// lives here.
+#ifndef MMJOIN_OPT_ADAPTIVE_H_
+#define MMJOIN_OPT_ADAPTIVE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "opt/calibration.h"
+#include "opt/planner.h"
+
+namespace mmjoin::opt {
+
+class AdaptiveController {
+ public:
+  /// `path`: the calibration file to load from and persist to; empty =
+  /// in-memory only. A readable file at `path` wins over `fallback`; an
+  /// unreadable or invalid one is ignored (and overwritten on the next
+  /// observation). `fallback` seeds the state otherwise — pass
+  /// MeasureCalibration() for a measured host, or leave the defaults.
+  explicit AdaptiveController(
+      std::string path = {},
+      Calibration fallback = Calibration::HostDefaults());
+
+  AdaptiveController(const AdaptiveController&) = delete;
+  AdaptiveController& operator=(const AdaptiveController&) = delete;
+
+  /// Plans one join against the current calibration state.
+  PlannerDecision Plan(const PlannerInputs& inputs) const;
+
+  /// Folds one run's outcome into the per-driver, per-band EWMA correction
+  /// and, when a path is configured, persists the calibration (atomic
+  /// rename; best-effort — a write failure keeps the in-memory state and
+  /// is reported once via save_errors()). `workset_bytes` is the
+  /// decision's PlannerDecision::workset_bytes, so the residual lands in
+  /// the band that planned the run.
+  void Observe(join::Algorithm algorithm, double workset_bytes,
+               double predicted_ms, double actual_ms);
+
+  /// Copy of the current state (tests, reporting).
+  Calibration snapshot() const;
+
+  /// True if construction loaded a calibration file from `path`.
+  bool loaded_from_file() const { return loaded_; }
+  uint64_t observations() const;
+  uint64_t save_errors() const;
+
+ private:
+  mutable std::mutex mu_;
+  Calibration calibration_;
+  std::string path_;
+  bool loaded_ = false;
+  uint64_t save_errors_ = 0;
+};
+
+/// The process-wide controller MmJoin(algorithm=auto) falls back to when
+/// the caller supplies none: host-default calibration, no persistence.
+AdaptiveController& ProcessController();
+
+}  // namespace mmjoin::opt
+
+#endif  // MMJOIN_OPT_ADAPTIVE_H_

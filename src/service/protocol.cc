@@ -25,9 +25,14 @@ bool ParseName(const char* const (&names)[N], std::string_view s, int* out) {
   return false;
 }
 
+// The first six entries mirror join::Algorithm in enum order; the trailing
+// "auto" (index kAutoAlgorithm) is request-side vocabulary only — it asks
+// the adaptive planner to pick a driver, and result responses always carry
+// the concrete driver that ran.
 constexpr const char* kAlgorithmNames[] = {
     "nested-loops", "sort-merge", "grace", "hybrid-hash", "index-nl",
-    "mpsm"};
+    "mpsm", "auto"};
+constexpr int kAutoAlgorithm = 6;
 constexpr const char* kPriorityNames[] = {"low", "normal", "high"};
 
 std::string HexU64(uint64_t v) {
@@ -130,7 +135,9 @@ std::string SerializeRequest(const Request& req) {
     case RequestOp::kQuery:
       s += ",\"name\":\"" + JsonEscape(req.name) + "\"";
       s += ",\"algorithm\":\"";
-      s += kAlgorithmNames[static_cast<uint8_t>(req.algorithm)];
+      s += req.algorithm_auto
+               ? kAlgorithmNames[kAutoAlgorithm]
+               : kAlgorithmNames[static_cast<uint8_t>(req.algorithm)];
       s += "\",\"priority\":\"";
       s += kPriorityNames[static_cast<uint8_t>(req.priority)];
       s += "\",\"trace\":";
@@ -208,7 +215,11 @@ StatusOr<Request> ParseRequest(std::string_view line) {
         } else if (key == "algorithm" && value.is_string()) {
           int i;
           ok = ParseName(kAlgorithmNames, value.str, &i);
-          if (ok) req.algorithm = static_cast<join::Algorithm>(i);
+          if (ok && i == kAutoAlgorithm) {
+            req.algorithm_auto = true;
+          } else if (ok) {
+            req.algorithm = static_cast<join::Algorithm>(i);
+          }
         } else if (key == "priority" && value.is_string()) {
           int i;
           ok = ParseName(kPriorityNames, value.str, &i);
@@ -291,7 +302,9 @@ std::string SerializeResponse(const Response& resp) {
       s += ",\"name\":\"" + JsonEscape(resp.name) + "\"";
       s += ",\"algorithm\":\"";
       s += kAlgorithmNames[static_cast<uint8_t>(resp.algorithm)];
-      s += "\",\"count\":" + JsonNumber(static_cast<double>(resp.count));
+      s += "\"";
+      if (resp.planner_auto) s += ",\"planner\":\"auto\"";
+      s += ",\"count\":" + JsonNumber(static_cast<double>(resp.count));
       s += ",\"checksum\":\"" + HexU64(resp.checksum) + "\"";
       s += ",\"verified\":";
       s += resp.verified ? "true" : "false";
@@ -421,8 +434,14 @@ StatusOr<Response> ParseResponse(std::string_view line) {
           ok = true;
         } else if (key == "algorithm" && value.is_string()) {
           int i;
-          ok = ParseName(kAlgorithmNames, value.str, &i);
+          // Results always name the concrete driver that ran; "auto" is
+          // request-side vocabulary only.
+          ok = ParseName(kAlgorithmNames, value.str, &i) &&
+               i != kAutoAlgorithm;
           if (ok) resp.algorithm = static_cast<join::Algorithm>(i);
+        } else if (key == "planner" && value.is_string()) {
+          ok = value.str == kAlgorithmNames[kAutoAlgorithm];
+          if (ok) resp.planner_auto = true;
         } else if (key == "count") {
           ok = GetU64(value, &resp.count);
         } else if (key == "checksum" && value.is_string()) {

@@ -119,6 +119,9 @@ struct Request {
 
   // query:
   join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+  bool algorithm_auto = false;  ///< "algorithm":"auto" — let the adaptive
+                                ///< planner pick the driver; `algorithm`
+                                ///< is then ignored on the wire
   exec::QueryPriority priority = exec::QueryPriority::kNormal;
   bool trace = false;  ///< also write a per-query wall-clock trace
 
@@ -182,6 +185,9 @@ struct Response {
   double queue_ms = 0;
   uint32_t threads = 0;
   join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+  bool planner_auto = false;  ///< the adaptive planner chose `algorithm`
+                              ///< (query asked for "auto"); serialized as
+                              ///< "planner":"auto" on result responses
 
   // relations:
   std::vector<RelationInfo> relations;

@@ -6,29 +6,28 @@
 #include "mmap/mmap_join.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "opt/adaptive.h"
 
 namespace mmjoin::svc {
 
 namespace {
 
-StatusOr<mm::MmJoinResult> Dispatch(join::Algorithm algorithm,
-                                    const mm::MmWorkload& workload,
-                                    const mm::MmJoinOptions& options) {
+mm::MmAlgorithm ToMmAlgorithm(join::Algorithm algorithm) {
   switch (algorithm) {
     case join::Algorithm::kNestedLoops:
-      return mm::MmNestedLoops(workload, options);
+      return mm::MmAlgorithm::kNestedLoops;
     case join::Algorithm::kSortMerge:
-      return mm::MmSortMerge(workload, options);
+      return mm::MmAlgorithm::kSortMerge;
     case join::Algorithm::kGrace:
-      return mm::MmGrace(workload, options);
+      return mm::MmAlgorithm::kGrace;
     case join::Algorithm::kHybridHash:
-      return mm::MmHybridHash(workload, options);
+      return mm::MmAlgorithm::kHybridHash;
     case join::Algorithm::kIndexNestedLoops:
-      return mm::MmIndexNestedLoops(workload, options);
+      return mm::MmAlgorithm::kIndexNestedLoops;
     case join::Algorithm::kMpsm:
-      return mm::MmMpsm(workload, options);
+      return mm::MmAlgorithm::kMpsm;
   }
-  return Status::InvalidArgument("unknown algorithm");
+  return mm::MmAlgorithm::kNestedLoops;
 }
 
 }  // namespace
@@ -48,11 +47,14 @@ Status QueryEngine::Run(const Request& req, uint64_t query_id,
 
   obs::TraceRecorder trace;
   mm::MmJoinOptions options;
+  options.algorithm = req.algorithm_auto ? mm::MmAlgorithm::kAuto
+                                         : ToMmAlgorithm(req.algorithm);
+  options.planner = planner_;
   options.pool = pool_;
   options.priority = req.priority;
   if (req.trace && !artifacts_dir_.empty()) options.trace = &trace;
 
-  auto result = Dispatch(req.algorithm, pin.entry().workload, options);
+  auto result = mm::MmJoin(pin.entry().workload, options);
   if (!result.ok()) return result.status();
 
   outcome->count = result->output_count;
@@ -60,6 +62,9 @@ Status QueryEngine::Run(const Request& req, uint64_t query_id,
   outcome->verified = result->verified;
   outcome->exec_ms = result->wall_ms;
   outcome->threads = result->threads_used;
+  outcome->algorithm = result->algorithm;
+  outcome->planner_auto = result->auto_selected;
+  outcome->model_error_pct = result->run.model_error_pct;
   admission_->RecordExecMs(result->wall_ms);
 
   if (!artifacts_dir_.empty()) {

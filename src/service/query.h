@@ -22,6 +22,10 @@
 #include "service/protocol.h"
 #include "util/status.h"
 
+namespace mmjoin::opt {
+class AdaptiveController;
+}  // namespace mmjoin::opt
+
 namespace mmjoin::svc {
 
 /// Outcome of one query, ready for a `result` response. RunPlan
@@ -36,6 +40,15 @@ struct QueryOutcome {
   uint32_t threads = 0;
   uint64_t retry_after_ms = 0;  ///< set only on overloaded rejections
 
+  /// Driver that actually ran — the planner's pick for "algorithm":"auto"
+  /// queries (planner_auto=true), the requested one otherwise.
+  join::Algorithm algorithm = join::Algorithm::kNestedLoops;
+  bool planner_auto = false;
+  /// Signed predicted-vs-actual error of the planner's cost model for
+  /// auto queries (positive = slower than predicted); 0 otherwise. The
+  /// server's svc.planner.regret_hits counter trips on large misses.
+  double model_error_pct = 0;
+
   // run_plan only:
   uint64_t rows_scanned = 0;
   uint64_t rows_filtered = 0;
@@ -45,13 +58,17 @@ struct QueryOutcome {
 
 class QueryEngine {
  public:
-  /// `artifacts_dir` empty disables per-query files. All pointers must
+  /// `artifacts_dir` empty disables per-query files. `planner` is the
+  /// daemon-wide adaptive-planner state used for "algorithm":"auto"
+  /// queries (nullptr = the process-local controller). All pointers must
   /// outlive the engine.
   QueryEngine(RelationCatalog* catalog, exec::SharedWorkerPool* pool,
-              AdmissionController* admission, std::string artifacts_dir)
+              AdmissionController* admission, std::string artifacts_dir,
+              opt::AdaptiveController* planner = nullptr)
       : catalog_(catalog),
         pool_(pool),
         admission_(admission),
+        planner_(planner),
         artifacts_dir_(std::move(artifacts_dir)) {}
 
   /// Runs `req` (op must be kQuery) as daemon-wide query number
@@ -70,6 +87,7 @@ class QueryEngine {
   RelationCatalog* catalog_;
   exec::SharedWorkerPool* pool_;
   AdmissionController* admission_;
+  opt::AdaptiveController* planner_;
   std::string artifacts_dir_;
 };
 

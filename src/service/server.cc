@@ -38,7 +38,15 @@ Server::Server(mm::SegmentManager* manager, ServerOptions options)
       pool_(options_.workers),
       admission_(options_.admission),
       catalog_(manager),
-      engine_(&catalog_, &pool_, &admission_, options_.artifacts_dir) {}
+      planner_(options_.calibration_path),
+      engine_(&catalog_, &pool_, &admission_, options_.artifacts_dir,
+              &planner_) {
+  // Pre-register the planner counters so a `stats` response carries them
+  // at zero instead of omitting them until the first query of each kind.
+  aggregate_.counter("svc.planner.auto_queries").Inc(0);
+  aggregate_.counter("svc.planner.overrides").Inc(0);
+  aggregate_.counter("svc.planner.regret_hits").Inc(0);
+}
 
 Server::~Server() { Stop(); }
 
@@ -302,6 +310,19 @@ Response Server::HandleQuery(const Request& req) {
       aggregate_.counter("svc.queries.completed").Inc();
       aggregate_.histogram("svc.queue_ms").Record(outcome.queue_ms);
       aggregate_.histogram("svc.exec_ms").Record(outcome.exec_ms);
+      // Planner health: auto_queries/overrides split how drivers get
+      // picked; regret_hits counts auto queries whose cost model missed
+      // by more than 50% either way — the "watch the planner" signal
+      // (docs/OPERATIONS.md).
+      if (outcome.planner_auto) {
+        aggregate_.counter("svc.planner.auto_queries").Inc();
+        if (outcome.model_error_pct > 50.0 ||
+            outcome.model_error_pct < -50.0) {
+          aggregate_.counter("svc.planner.regret_hits").Inc();
+        }
+      } else {
+        aggregate_.counter("svc.planner.overrides").Inc();
+      }
     } else if (st.code() == StatusCode::kResourceExhausted || drained) {
       aggregate_.counter("svc.queries.rejected").Inc();
     } else {
@@ -313,7 +334,8 @@ Response Server::HandleQuery(const Request& req) {
   if (st.ok()) {
     resp.op = ResponseOp::kResult;
     resp.name = req.name;
-    resp.algorithm = req.algorithm;
+    resp.algorithm = outcome.algorithm;
+    resp.planner_auto = outcome.planner_auto;
     resp.count = outcome.count;
     resp.checksum = outcome.checksum;
     resp.verified = outcome.verified;

@@ -26,6 +26,7 @@
 #include "exec/scheduler.h"
 #include "mmap/segment_manager.h"
 #include "obs/metrics.h"
+#include "opt/adaptive.h"
 #include "service/admission.h"
 #include "service/catalog.h"
 #include "service/protocol.h"
@@ -50,6 +51,12 @@ struct ServerOptions {
   /// and load every valid one before accepting connections (mmjoind
   /// --store). Torn stores are skipped with a logged checksum error.
   bool load_store = false;
+  /// Calibration file backing the adaptive planner that resolves
+  /// "algorithm":"auto" queries (mmjoind --calibration). Loaded at
+  /// construction when present; learned per-driver corrections are
+  /// persisted back after every auto query. Empty = host-default
+  /// calibration, in-memory only.
+  std::string calibration_path;
 };
 
 class Server {
@@ -89,10 +96,15 @@ class Server {
 
   /// The aggregate service counters, flattened for a `stats` response:
   /// svc.queries.{admitted,rejected,completed,failed}, svc.queue_ms.* and
-  /// svc.exec_ms.* (count/sum/max, integer milliseconds), plus the live
-  /// gauges svc.inflight, svc.inflight_peak, svc.queued, svc.relations,
-  /// svc.pool.{workers, sets}.
+  /// svc.exec_ms.* (count/sum/max, integer milliseconds), the planner
+  /// counters svc.planner.{auto_queries,overrides,regret_hits} (see
+  /// docs/OPERATIONS.md), plus the live gauges svc.inflight,
+  /// svc.inflight_peak, svc.queued, svc.relations, svc.pool.{workers,
+  /// sets}.
   std::vector<StatEntry> StatsSnapshot() const;
+
+  /// The daemon-wide adaptive planner state ("algorithm":"auto" queries).
+  opt::AdaptiveController* planner() { return &planner_; }
 
  private:
   void AcceptLoop();
@@ -106,6 +118,7 @@ class Server {
   exec::SharedWorkerPool pool_;
   AdmissionController admission_;
   RelationCatalog catalog_;
+  opt::AdaptiveController planner_;
   QueryEngine engine_;
 
   int listen_fd_ = -1;

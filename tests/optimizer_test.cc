@@ -1,0 +1,407 @@
+// The adaptive planner: golden driver decisions on the pinned reference
+// machine, cost-model sanity (budget monotonicity, residency penalty),
+// the calibration JSON round-trip and its strict parser, the EWMA
+// learning loop (direction, convergence, band routing), controller
+// persistence, and — the contract everything rests on — algorithm=auto
+// producing output bit-identical to every explicit driver on the real
+// backend.
+#include "opt/planner.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "mmap/mmap_join.h"
+#include "mmap/mm_relation.h"
+#include "model/join_model.h"
+#include "opt/adaptive.h"
+#include "opt/calibration.h"
+#include "rel/generator.h"
+#include "sim/sim_env.h"
+
+namespace mmjoin::opt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden decisions: the pinned ColdStoreReference machine makes these
+// deterministic on any host. Each scenario is a textbook case the paper's
+// cost analysis argues for; a planner that misses one has a broken model
+// or a broken ranking, not a noisy measurement.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerGoldenTest, TinyJoinPicksNestedLoops) {
+  PlannerInputs in;
+  in.r_objects = in.s_objects = 2048;
+  in.partitions = 4;
+  in.workers = 4;
+  in.numa_nodes = 1;
+  const PlannerDecision d =
+      PlanJoin(in, Calibration::ColdStoreReference());
+  EXPECT_EQ(d.algorithm, join::Algorithm::kNestedLoops) << d.explanation;
+}
+
+TEST(PlannerGoldenTest, BigUniformPicksHybridHash) {
+  PlannerInputs in;
+  in.r_objects = in.s_objects = 1ull << 22;
+  in.partitions = 8;
+  in.workers = 8;
+  in.numa_nodes = 1;
+  const PlannerDecision d =
+      PlanJoin(in, Calibration::ColdStoreReference());
+  EXPECT_EQ(d.algorithm, join::Algorithm::kHybridHash) << d.explanation;
+  // Grace is the structural sibling (hybrid keeps bucket 0 resident and
+  // skips one round trip); it must rank directly behind.
+  ASSERT_GE(d.candidates.size(), 2u);
+  EXPECT_EQ(d.candidates[1].algorithm, join::Algorithm::kGrace);
+}
+
+TEST(PlannerGoldenTest, SelectiveJoinWithWarmIndexPicksIndexNl) {
+  PlannerInputs in;
+  in.r_objects = 1ull << 22;
+  in.s_objects = 1ull << 16;  // |S| = |R|/64: most of R is never matched
+  in.partitions = 8;
+  in.workers = 8;
+  in.numa_nodes = 1;
+  in.warm_index = true;
+  const PlannerDecision d =
+      PlanJoin(in, Calibration::ColdStoreReference());
+  EXPECT_EQ(d.algorithm, join::Algorithm::kIndexNestedLoops)
+      << d.explanation;
+}
+
+TEST(PlannerGoldenTest, MultiNodeBigJoinPicksMpsm) {
+  PlannerInputs in;
+  in.r_objects = in.s_objects = 1ull << 22;
+  in.partitions = 8;
+  in.workers = 8;
+  in.numa_nodes = 4;
+  const PlannerDecision d =
+      PlanJoin(in, Calibration::ColdStoreReference());
+  EXPECT_EQ(d.algorithm, join::Algorithm::kMpsm) << d.explanation;
+}
+
+TEST(PlannerTest, DecisionIsDeterministic) {
+  PlannerInputs in;
+  in.r_objects = in.s_objects = 1ull << 20;
+  in.partitions = 8;
+  in.workers = 4;
+  in.numa_nodes = 1;
+  const Calibration cal = Calibration::ColdStoreReference();
+  const PlannerDecision a = PlanJoin(in, cal);
+  const PlannerDecision b = PlanJoin(in, cal);
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_DOUBLE_EQ(a.predicted_ms, b.predicted_ms);
+  EXPECT_EQ(a.explanation, b.explanation);
+}
+
+TEST(PlannerTest, RanksAllSixDriversSortedByCorrectedCost) {
+  PlannerInputs in;
+  in.r_objects = in.s_objects = 1ull << 20;
+  in.partitions = 8;
+  in.workers = 4;
+  in.numa_nodes = 1;
+  const PlannerDecision d =
+      PlanJoin(in, Calibration::ColdStoreReference());
+  ASSERT_EQ(d.candidates.size(), kNumAlgorithms);
+  for (size_t i = 1; i < d.candidates.size(); ++i) {
+    EXPECT_LE(d.candidates[i - 1].corrected_ms, d.candidates[i].corrected_ms);
+  }
+  EXPECT_EQ(d.algorithm, d.candidates.front().algorithm);
+  EXPECT_DOUBLE_EQ(d.predicted_ms, d.candidates.front().corrected_ms);
+  EXPECT_DOUBLE_EQ(
+      d.workset_bytes,
+      static_cast<double>(in.r_objects) * sizeof(rel::RObject) +
+          static_cast<double>(in.s_objects) * sizeof(rel::SObject));
+  EXPECT_FALSE(d.explanation.empty());
+}
+
+TEST(PlannerTest, LargerMemoryBudgetNeverRaisesHybridHashCost) {
+  // More M_Rproc keeps a larger resident fraction of each bucket's build
+  // side in memory — the hybrid-hash prediction must be monotone
+  // non-increasing in the budget.
+  const Calibration cal = Calibration::ColdStoreReference();
+  double prev = 0;
+  bool first = true;
+  for (uint64_t mb : {1ull, 4ull, 16ull, 64ull, 256ull}) {
+    PlannerInputs in;
+    in.r_objects = in.s_objects = 1ull << 22;
+    in.partitions = 8;
+    in.workers = 8;
+    in.numa_nodes = 1;
+    in.m_rproc_bytes = mb << 20;
+    const PlannerDecision d = PlanJoin(in, cal);
+    double hybrid_ms = 0;
+    for (const CandidateCost& c : d.candidates) {
+      if (c.algorithm == join::Algorithm::kHybridHash) hybrid_ms = c.predicted_ms;
+    }
+    ASSERT_GT(hybrid_ms, 0.0);
+    if (!first) EXPECT_LE(hybrid_ms, prev) << "budget " << mb << " MiB";
+    prev = hybrid_ms;
+    first = false;
+  }
+}
+
+TEST(PlannerTest, ColdResidencyRaisesEveryPrediction) {
+  PlannerInputs warm;
+  warm.r_objects = warm.s_objects = 1ull << 22;
+  warm.partitions = 8;
+  warm.workers = 8;
+  warm.numa_nodes = 1;
+  PlannerInputs cold = warm;
+  cold.residency = 0.0;
+  const Calibration cal = Calibration::ColdStoreReference();
+  const PlannerDecision dw = PlanJoin(warm, cal);
+  const PlannerDecision dc = PlanJoin(cold, cal);
+  for (const CandidateCost& cw : dw.candidates) {
+    for (const CandidateCost& cc : dc.candidates) {
+      if (cw.algorithm == cc.algorithm) {
+        EXPECT_GT(cc.predicted_ms, cw.predicted_ms)
+            << join::AlgorithmName(cw.algorithm);
+      }
+    }
+  }
+}
+
+TEST(PlannerTest, PlanSimJoinIsDeterministicAndModeled) {
+  model::ModelInputs in;
+  in.machine = sim::MachineConfig::SequentSymmetry1996();
+  in.relation.r_objects = in.relation.s_objects = 25600;
+  in.relation.num_partitions = 4;
+  in.params.m_rproc_bytes = 4ull << 20;
+  in.params.m_sproc_bytes = 4ull << 20;
+  in.dtt = model::MeasureDttCurves(in.machine.disk);
+  const join::Algorithm a = PlanSimJoin(in);
+  EXPECT_EQ(a, PlanSimJoin(in));
+  // The paper models four drivers; the sim planner must stay inside them.
+  EXPECT_TRUE(a == join::Algorithm::kNestedLoops ||
+              a == join::Algorithm::kSortMerge ||
+              a == join::Algorithm::kGrace ||
+              a == join::Algorithm::kHybridHash);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration: JSON round-trip, strict parsing, EWMA learning.
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTest, JsonRoundTripPreservesEverything) {
+  Calibration c = Calibration::ColdStoreReference();
+  c.correction[0][0] = 1.25;
+  c.correction[3][1] = 0.8;
+  c.observations[0][0] = 7;
+  c.observations[3][1] = 42;
+  const std::string json = CalibrationToJson(c);
+  auto back = CalibrationFromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_DOUBLE_EQ(back->machine.seq_ns_per_byte, c.machine.seq_ns_per_byte);
+  EXPECT_DOUBLE_EQ(back->machine.fault_us_per_page,
+                   c.machine.fault_us_per_page);
+  EXPECT_EQ(back->machine.llc_bytes, c.machine.llc_bytes);
+  ASSERT_EQ(back->machine.rand_points.size(), c.machine.rand_points.size());
+  for (size_t i = 0; i < c.machine.rand_points.size(); ++i) {
+    EXPECT_EQ(back->machine.rand_points[i].band_blocks,
+              c.machine.rand_points[i].band_blocks);
+    EXPECT_DOUBLE_EQ(back->machine.rand_points[i].ms_per_block,
+                     c.machine.rand_points[i].ms_per_block);
+  }
+  for (uint32_t i = 0; i < kNumAlgorithms; ++i) {
+    for (uint32_t b = 0; b < kNumBands; ++b) {
+      EXPECT_DOUBLE_EQ(back->correction[i][b], c.correction[i][b]);
+      EXPECT_EQ(back->observations[i][b], c.observations[i][b]);
+    }
+  }
+}
+
+TEST(CalibrationTest, StrictParserRejectsMalformedDocuments) {
+  const std::string good = CalibrationToJson(Calibration::HostDefaults());
+  ASSERT_TRUE(CalibrationFromJson(good).ok());
+  // Unknown top-level key.
+  {
+    std::string bad = good;
+    bad.replace(bad.find("\"version\""), 9, "\"vursion\"");
+    EXPECT_FALSE(CalibrationFromJson(bad).ok());
+  }
+  // Unsupported version.
+  {
+    std::string bad = good;
+    bad.replace(bad.find("\"version\":1"), 11, "\"version\":2");
+    EXPECT_FALSE(CalibrationFromJson(bad).ok());
+  }
+  // Unknown machine key.
+  {
+    std::string bad = good;
+    bad.replace(bad.find("seq_ns_per_byte"), 15, "seq_ns_per_bite");
+    EXPECT_FALSE(CalibrationFromJson(bad).ok());
+  }
+  // Unknown driver name in the correction table.
+  {
+    std::string bad = good;
+    bad.replace(bad.find("nested-loops"), 12, "nested-hoops");
+    EXPECT_FALSE(CalibrationFromJson(bad).ok());
+  }
+  // A correction entry must carry one ewma value per working-set band.
+  {
+    std::string bad = good;
+    const size_t pos = bad.find("\"ewma\":[1,1]");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 12, "\"ewma\":[1]");
+    EXPECT_FALSE(CalibrationFromJson(bad).ok());
+  }
+  // Not JSON at all / empty.
+  EXPECT_FALSE(CalibrationFromJson("").ok());
+  EXPECT_FALSE(CalibrationFromJson("{\"calibration\":").ok());
+  EXPECT_FALSE(CalibrationFromJson("{}").ok());
+}
+
+TEST(CalibrationTest, ObserveRoutesResidualsToTheWorksetBand) {
+  Calibration c;  // default llc_bytes = 8 MiB
+  const double small_ws = 1 << 20;   // band 0
+  const double big_ws = 64ull << 20;  // band 1
+  ASSERT_EQ(c.BandFor(small_ws), 0u);
+  ASSERT_EQ(c.BandFor(big_ws), 1u);
+  c.Observe(join::Algorithm::kGrace, small_ws, 10.0, 20.0);
+  EXPECT_GT(c.correction[static_cast<uint32_t>(join::Algorithm::kGrace)][0],
+            1.0);
+  EXPECT_DOUBLE_EQ(
+      c.correction[static_cast<uint32_t>(join::Algorithm::kGrace)][1], 1.0);
+  c.Observe(join::Algorithm::kGrace, big_ws, 10.0, 5.0);
+  EXPECT_LT(c.correction[static_cast<uint32_t>(join::Algorithm::kGrace)][1],
+            1.0);
+  EXPECT_EQ(c.observations[static_cast<uint32_t>(join::Algorithm::kGrace)][0],
+            1u);
+  EXPECT_EQ(c.observations[static_cast<uint32_t>(join::Algorithm::kGrace)][1],
+            1u);
+  // Other drivers untouched.
+  EXPECT_DOUBLE_EQ(
+      c.correction[static_cast<uint32_t>(join::Algorithm::kSortMerge)][0],
+      1.0);
+  // Non-positive pairs are ignored.
+  Calibration untouched;
+  untouched.Observe(join::Algorithm::kGrace, small_ws, 0.0, 5.0);
+  untouched.Observe(join::Algorithm::kGrace, small_ws, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(
+      untouched.correction[static_cast<uint32_t>(join::Algorithm::kGrace)][0],
+      1.0);
+  EXPECT_EQ(
+      untouched
+          .observations[static_cast<uint32_t>(join::Algorithm::kGrace)][0],
+      0u);
+}
+
+TEST(CalibrationTest, EwmaConvergesCorrectedPredictionOntoActual) {
+  // The planner reports CORRECTED predictions, so Observe() sees
+  // predicted = raw * correction. The fixed point of the update must be
+  // corrected == actual: with a raw prediction that is persistently 2x
+  // too low, the correction converges to 2.
+  Calibration c;
+  const double raw_ms = 10.0, actual_ms = 20.0;
+  const uint32_t i = static_cast<uint32_t>(join::Algorithm::kGrace);
+  for (int n = 0; n < 60; ++n) {
+    c.Observe(join::Algorithm::kGrace, 1 << 20, raw_ms * c.correction[i][0],
+              actual_ms);
+  }
+  EXPECT_NEAR(c.correction[i][0], actual_ms / raw_ms, 0.05);
+}
+
+TEST(CalibrationTest, MeasureCalibrationProducesSaneNumbers) {
+  MeasureOptions opts;
+  opts.max_band_bytes = 2ull << 20;  // keep the probe fast in CI
+  opts.repetitions = 1;
+  const Calibration c = MeasureCalibration(opts);
+  EXPECT_GT(c.machine.seq_ns_per_byte, 0.0);
+  EXPECT_LT(c.machine.seq_ns_per_byte, 100.0);
+  EXPECT_GT(c.machine.scatter_ns_per_byte, 0.0);
+  EXPECT_GT(c.machine.sort_ns_per_cmp, 0.0);
+  EXPECT_GT(c.machine.hash_build_ns, 0.0);
+  EXPECT_GT(c.machine.hash_probe_ns, 0.0);
+  EXPECT_GT(c.machine.index_probe_ns_per_level, 0.0);
+  EXPECT_GT(c.machine.fault_us_per_page, 0.0);
+  ASSERT_GE(c.machine.rand_points.size(), 2u);
+  for (const auto& pt : c.machine.rand_points) {
+    EXPECT_GT(pt.ms_per_block, 0.0);
+  }
+}
+
+TEST(AdaptiveControllerTest, PersistsAcrossInstances) {
+  const std::string path = ::testing::TempDir() + "adaptive_cal_" +
+                           std::to_string(::getpid()) + ".json";
+  std::remove(path.c_str());
+  {
+    AdaptiveController fresh(path, Calibration::ColdStoreReference());
+    EXPECT_FALSE(fresh.loaded_from_file());
+    EXPECT_EQ(fresh.observations(), 0u);
+    fresh.Observe(join::Algorithm::kGrace, 1 << 20, 10.0, 20.0);
+    EXPECT_EQ(fresh.observations(), 1u);
+    EXPECT_EQ(fresh.save_errors(), 0u);
+  }
+  {
+    AdaptiveController reloaded(path);
+    EXPECT_TRUE(reloaded.loaded_from_file());
+    EXPECT_EQ(reloaded.observations(), 1u);
+    const Calibration snap = reloaded.snapshot();
+    EXPECT_GT(
+        snap.correction[static_cast<uint32_t>(join::Algorithm::kGrace)][0],
+        1.0);
+    // The reference machine rode along, not the host defaults.
+    EXPECT_DOUBLE_EQ(snap.machine.seq_ns_per_byte,
+                     Calibration::ColdStoreReference().machine.seq_ns_per_byte);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The contract: algorithm=auto is bit-identical to every explicit driver.
+// ---------------------------------------------------------------------------
+
+class AutoIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "mmjoin_opt_" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
+    mgr_ = std::make_unique<mm::SegmentManager>(dir_);
+  }
+
+  std::string dir_;
+  std::unique_ptr<mm::SegmentManager> mgr_;
+};
+
+TEST_F(AutoIdentityTest, AutoMatchesEveryExplicitDriver) {
+  rel::RelationConfig rc;
+  rc.r_objects = rc.s_objects = 8192;
+  rc.num_partitions = 4;
+  rc.zipf_theta = 1.1;
+  auto w = mm::BuildMmWorkload(mgr_.get(), "opt", rc);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+
+  AdaptiveController controller;
+  mm::MmJoinOptions auto_opt;
+  auto_opt.algorithm = mm::MmAlgorithm::kAuto;
+  auto_opt.planner = &controller;
+  auto auto_r = mm::MmJoin(*w, auto_opt);
+  ASSERT_TRUE(auto_r.ok()) << auto_r.status().ToString();
+  EXPECT_TRUE(auto_r->verified);
+  EXPECT_TRUE(auto_r->auto_selected);
+  EXPECT_FALSE(auto_r->planner_note.empty());
+  EXPECT_GT(auto_r->run.model_predicted_ms, 0.0);
+  EXPECT_EQ(controller.observations(), 1u);
+
+  const mm::MmAlgorithm kExplicit[] = {
+      mm::MmAlgorithm::kNestedLoops, mm::MmAlgorithm::kSortMerge,
+      mm::MmAlgorithm::kMpsm,        mm::MmAlgorithm::kGrace,
+      mm::MmAlgorithm::kHybridHash,  mm::MmAlgorithm::kIndexNestedLoops};
+  for (mm::MmAlgorithm algo : kExplicit) {
+    mm::MmJoinOptions opt;
+    opt.algorithm = algo;
+    auto r = mm::MmJoin(*w, opt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->verified);
+    EXPECT_FALSE(r->auto_selected);
+    EXPECT_EQ(r->output_count, auto_r->output_count);
+    EXPECT_EQ(r->output_checksum, auto_r->output_checksum);
+  }
+}
+
+}  // namespace
+}  // namespace mmjoin::opt

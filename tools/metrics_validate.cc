@@ -30,6 +30,13 @@
 // --hist picks a different histogram for the diff — the query-plan bench
 // carries plan.elapsed_ms instead of join.elapsed_ms
 // (scripts/bench_queries.sh passes --hist plan.elapsed_ms).
+//
+// Dumps carrying adaptive-planner telemetry get two extra trips against
+// the baseline: the planner_regret geomean (planner.regret_geomean_x1000,
+// same relative tolerance) and the mean absolute model error
+// (join.model.error_pct mean, tolerance read as percentage POINTS — a
+// closed loop whose predictions drift 25 points worse is broken even if
+// the joins themselves got no slower).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +71,34 @@ bool ElapsedMin(const mmjoin::obs::JsonValue& dump, const std::string& hist,
   const mmjoin::obs::JsonValue* min = h->Find("min");
   if (!min || !min->is_number()) return false;
   *out = min->number;
+  return true;
+}
+
+/// Counter value of one bench dump, or false if absent.
+bool CounterValue(const mmjoin::obs::JsonValue& dump, const std::string& name,
+                  double* out) {
+  const mmjoin::obs::JsonValue* metrics = dump.Find("metrics");
+  if (!metrics || !metrics->is_object()) return false;
+  const mmjoin::obs::JsonValue* counters = metrics->Find("counters");
+  if (!counters || !counters->is_object()) return false;
+  const mmjoin::obs::JsonValue* c = counters->Find(name);
+  if (!c || !c->is_number()) return false;
+  *out = c->number;
+  return true;
+}
+
+/// `hist` histogram mean of one bench dump, or false if absent.
+bool HistMean(const mmjoin::obs::JsonValue& dump, const std::string& hist,
+              double* out) {
+  const mmjoin::obs::JsonValue* metrics = dump.Find("metrics");
+  if (!metrics || !metrics->is_object()) return false;
+  const mmjoin::obs::JsonValue* hists = metrics->Find("histograms");
+  if (!hists || !hists->is_object()) return false;
+  const mmjoin::obs::JsonValue* h = hists->Find(hist);
+  if (!h || !h->is_object()) return false;
+  const mmjoin::obs::JsonValue* mean = h->Find("mean");
+  if (!mean || !mean->is_number()) return false;
+  *out = mean->number;
   return true;
 }
 
@@ -238,9 +273,25 @@ int main(int argc, char** argv) {
                     mp_runs->number);
       mpsm_col = buf;
     }
-    std::printf("ok\t%s\tbench=%s\t%s\t%s\t%s\t%s\n", path.c_str(),
+    // Planner column: algorithm=auto decisions / mean absolute model error
+    // when the dump carries the adaptive-planner telemetry, "-" for
+    // benches that only ran explicit drivers.
+    std::string planner_col = "planner=-";
+    double auto_runs = 0, mean_err = 0;
+    if (CounterValue(*doc, "join.planner.auto", &auto_runs) &&
+        auto_runs > 0) {
+      char buf[64];
+      if (HistMean(*doc, "join.model.error_pct", &mean_err)) {
+        std::snprintf(buf, sizeof(buf), "planner=%.0f/%.1f%%", auto_runs,
+                      mean_err);
+      } else {
+        std::snprintf(buf, sizeof(buf), "planner=%.0f/-", auto_runs);
+      }
+      planner_col = buf;
+    }
+    std::printf("ok\t%s\tbench=%s\t%s\t%s\t%s\t%s\t%s\n", path.c_str(),
                 bench->str.c_str(), scatter_col.c_str(), queries_col.c_str(),
-                index_col.c_str(), mpsm_col.c_str());
+                index_col.c_str(), mpsm_col.c_str(), planner_col.c_str());
 
     if (!baseline_path.empty() &&
         (bench_filter.empty() || bench_filter == bench->str)) {
@@ -262,6 +313,39 @@ int main(int argc, char** argv) {
                     "(%+.1f%%, tolerance %.0f%%)\t%s\n",
                     bench->str.c_str(), hist_name.c_str(), base_ms, cur_ms,
                     delta_pct, tolerance_pct, regressed ? "REGRESSED" : "ok");
+        if (regressed) ++regressions;
+      }
+      // Planner trips: when both sides carry the adaptive-planner
+      // telemetry, a worse regret geomean (beyond the same relative
+      // tolerance) or a mean absolute model error that grew by more than
+      // `tolerance` percentage points is a regression — the closed loop
+      // got worse at picking or at predicting.
+      double cur_regret = 0, base_regret = 0;
+      if (base_dump != nullptr &&
+          CounterValue(*doc, "planner.regret_geomean_x1000", &cur_regret) &&
+          CounterValue(*base_dump, "planner.regret_geomean_x1000",
+                       &base_regret) &&
+          base_regret > 0) {
+        const double delta_pct =
+            (cur_regret - base_regret) / base_regret * 100.0;
+        const bool regressed = delta_pct > tolerance_pct;
+        std::printf("diff\t%s\tregret geomean %.3fx -> %.3fx "
+                    "(%+.1f%%, tolerance %.0f%%)\t%s\n",
+                    bench->str.c_str(), base_regret / 1000.0,
+                    cur_regret / 1000.0, delta_pct, tolerance_pct,
+                    regressed ? "REGRESSED" : "ok");
+        if (regressed) ++regressions;
+      }
+      double cur_err = 0, base_err = 0;
+      if (base_dump != nullptr &&
+          HistMean(*doc, "join.model.error_pct", &cur_err) &&
+          HistMean(*base_dump, "join.model.error_pct", &base_err)) {
+        const double delta_pts = cur_err - base_err;
+        const bool regressed = delta_pts > tolerance_pct;
+        std::printf("diff\t%s\tmodel |error| mean %.1f%% -> %.1f%% "
+                    "(%+.1f pts, tolerance %.0f pts)\t%s\n",
+                    bench->str.c_str(), base_err, cur_err, delta_pts,
+                    tolerance_pct, regressed ? "REGRESSED" : "ok");
         if (regressed) ++regressions;
       }
     }
